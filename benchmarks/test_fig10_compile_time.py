@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 10 (compilation-time scalability).
+
+Shape claims checked against the paper:
+* Compile time grows with application size but sub-exponentially
+  (the algorithm is O(n*g)).
+* All compile times stay within the paper's reported order of magnitude
+  (they report <= ~12 s at 300 qubits on a 2019 laptop).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig10
+
+
+def test_fig10(run_once):
+    rows = run_once(fig10.run)
+    print()
+    print(fig10.render(rows))
+
+    assert len(rows) == len(fig10.FAMILIES) * len(fig10.SIZES)
+    for family in fig10.FAMILIES:
+        assert fig10.is_subexponential(rows, family), (
+            f"{family} compile time grows too fast"
+        )
+    assert max(row["compile_s"] for row in rows) < 60.0

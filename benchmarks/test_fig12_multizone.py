@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 12 (multiple entanglement zones).
+
+Shape claim checked against the paper: the two-zone configuration yields
+fidelity at least as good as one zone on most large applications.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig12
+
+
+def test_fig12(run_once):
+    rows = run_once(fig12.run)
+    print()
+    print(fig12.render(rows))
+
+    at_least_as_good = sum(
+        1 for row in rows if row["2-zone/log10F"] >= row["1-zone/log10F"] - 0.5
+    )
+    assert at_least_as_good >= len(rows) / 2, (
+        f"two zones competitive on only {at_least_as_good}/{len(rows)} apps"
+    )

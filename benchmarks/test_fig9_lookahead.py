@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 9 (look-ahead ability analysis).
+
+Shape claims checked against the paper:
+* Nearest-neighbour QAOA is essentially flat in k.
+* Communication-heavy applications (SQRT) vary measurably with k.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig9
+
+
+def test_fig9(run_once):
+    rows = run_once(fig9.run)
+    print()
+    print(fig9.render(rows))
+
+    assert len(rows) == len(fig9.APPLICATIONS) * len(fig9.LOOKAHEADS)
+
+    qaoa_spread = fig9.fidelity_spread(rows, "QAOA_n256")
+    sqrt_spread = max(
+        fig9.fidelity_spread(rows, "SQRT_n117"),
+        fig9.fidelity_spread(rows, "SQRT_n299"),
+    )
+    assert qaoa_spread <= max(1.0, sqrt_spread), (
+        f"QAOA should be flat in k: spread {qaoa_spread} vs SQRT {sqrt_spread}"
+    )

@@ -1,0 +1,73 @@
+"""Architectural comparison: EML-QCCD + MUSS-TI versus monolithic QCCD grids.
+
+A miniature of the paper's Figure 6: runs one medium-scale application
+through the two grid baselines (Murali et al. [55] and Dai et al. [13] on a
+3x4 grid) and through MUSS-TI on an EML-QCCD machine sized to the circuit,
+then prints the three metrics side by side.
+
+Run with::
+
+    python examples/compare_architectures.py [benchmark-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import EMLQCCDMachine, QCCDGridMachine, execute, get_benchmark
+from repro.analysis import format_fidelity, improvement_percent, render_table
+from repro.baselines import DaiCompiler, MuraliCompiler
+from repro.core import MussTiCompiler
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Adder_n128"
+    circuit = get_benchmark(name)
+    grid = QCCDGridMachine(3, 4, 16)
+    eml = EMLQCCDMachine.for_circuit_size(circuit.num_qubits, trap_capacity=16)
+
+    print(f"application  : {circuit.name} "
+          f"({circuit.num_qubits} qubits, {len(circuit)} gates)")
+    print(f"baseline hw  : {grid.describe()}")
+    print(f"MUSS-TI hw   : {eml.describe()}")
+    print()
+
+    runs = [
+        (MuraliCompiler(), grid),
+        (DaiCompiler(), grid),
+        (MussTiCompiler(), eml),
+    ]
+    rows = []
+    reports = {}
+    for compiler, machine in runs:
+        program = compiler.compile(circuit, machine)
+        report = execute(program)
+        reports[program.compiler_name] = report
+        rows.append(
+            [
+                program.compiler_name,
+                report.shuttle_count,
+                f"{report.execution_time_us:.0f}",
+                format_fidelity(report.fidelity, report.log10_fidelity),
+                f"{program.compile_time_s:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["compiler", "shuttles", "time (us)", "fidelity", "compile (s)"],
+            rows,
+        )
+    )
+
+    ours = reports["MUSS-TI"]
+    best_baseline = min(
+        reports["QCCD-Murali"].shuttle_count, reports["QCCD-Dai"].shuttle_count
+    )
+    reduction = improvement_percent(best_baseline, ours.shuttle_count)
+    print()
+    print(f"MUSS-TI shuttle reduction vs best baseline: {reduction:.1f} %")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""repro: a full reproduction of MUSS-TI (MICRO 2025).
+
+MUSS-TI is a multi-level shuttle-scheduling compiler for entanglement-module
+linked QCCD (EML-QCCD) trapped-ion machines.  This package provides the
+complete stack: circuit IR and OpenQASM I/O, benchmark workload generators,
+hardware and physics models, the MUSS-TI compiler, three baseline compilers
+(Murali et al., Dai et al., MQT-like), a schedule executor/verifier, and the
+experiment harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import (EMLQCCDMachine, MussTiCompiler, execute, get_benchmark)
+
+    circuit = get_benchmark("GHZ_n32")
+    machine = EMLQCCDMachine.for_circuit_size(circuit.num_qubits)
+    program = MussTiCompiler().compile(circuit, machine)
+    print(execute(program).summary())
+"""
+
+from .baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
+from .circuits import (
+    DependencyGraph,
+    Gate,
+    QuantumCircuit,
+    lower_to_native,
+    parse_qasm,
+)
+from .core import MussTiCompiler, MussTiConfig
+from .hardware import (
+    EMLQCCDMachine,
+    Machine,
+    ModuleLayout,
+    QCCDGridMachine,
+    ZoneKind,
+    paper_grid,
+)
+from .physics import DEFAULT_PARAMS, PhysicalParams
+from .sim import (
+    ExecutionReport,
+    Program,
+    execute,
+    is_valid,
+    verify_program,
+)
+from .workloads import available_benchmarks, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "DaiCompiler",
+    "DependencyGraph",
+    "EMLQCCDMachine",
+    "ExecutionReport",
+    "Gate",
+    "Machine",
+    "ModuleLayout",
+    "MqtLikeCompiler",
+    "MuraliCompiler",
+    "MussTiCompiler",
+    "MussTiConfig",
+    "PhysicalParams",
+    "Program",
+    "QCCDGridMachine",
+    "QuantumCircuit",
+    "ZoneKind",
+    "available_benchmarks",
+    "execute",
+    "get_benchmark",
+    "is_valid",
+    "lower_to_native",
+    "parse_qasm",
+    "paper_grid",
+    "verify_program",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .experiments import EXPERIMENTS
+from .runs import RunResult, eml_for, run_case, small_grid, table2_compilers
+from .tables import format_fidelity, improvement_percent, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "RunResult",
+    "eml_for",
+    "format_fidelity",
+    "improvement_percent",
+    "render_table",
+    "run_case",
+    "small_grid",
+    "table2_compilers",
+]

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+from .runner import main
+
+raise SystemExit(main())

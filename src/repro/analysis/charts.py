@@ -1,0 +1,81 @@
+"""ASCII charts for terminal-friendly figure rendering.
+
+The paper's figures are bar/line plots; these helpers render the same data
+as monospace charts so every experiment remains inspectable without
+matplotlib (which the reproduction environment does not ship).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the largest absolute value."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels and values differ in length: {len(labels)} vs {len(values)}"
+        )
+    if not labels:
+        return title or "(empty chart)"
+    peak = max(abs(value) for value in values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value else 0, round(abs(value) / peak * width))
+        lines.append(f"{label:>{label_width}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: one block per group, one bar per series.
+
+    The paper's Fig 6 layout (per-application bars for each compiler) maps
+    directly onto this.
+    """
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    if not groups or not series:
+        return title or "(empty chart)"
+    peak = max(
+        (abs(v) for values in series.values() for v in values), default=1.0
+    ) or 1.0
+    name_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index]
+            bar = "#" * max(1 if value else 0, round(abs(value) / peak * width))
+            lines.append(f"  {name:>{name_width}} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend rendering (used for sweep summaries)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return glyphs[len(glyphs) // 2] * len(values)
+    scale = (len(glyphs) - 1) / (high - low)
+    return "".join(glyphs[round((v - low) * scale)] for v in values)

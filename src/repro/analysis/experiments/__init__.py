@@ -1,0 +1,32 @@
+"""One driver module per paper table/figure.
+
+Each module exposes ``run(...) -> list[dict]`` returning structured rows and
+``render(rows) -> str`` producing the paper-style ASCII table.
+"""
+
+from . import (
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table2,
+)
+
+#: Experiment registry for the CLI and the benchmark harness.
+EXPERIMENTS = {
+    "table2": table2,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}
+
+__all__ = ["EXPERIMENTS"] + sorted(EXPERIMENTS)

@@ -1,0 +1,48 @@
+"""Figure 10: compilation-time scalability.
+
+Wall-clock compile time of full MUSS-TI for Adder, BV, GHZ and QAOA as the
+application size grows 150 -> 300 qubits.  The paper's point: O(n*g) scaling
+— compile time grows with size but not exponentially.
+"""
+
+from __future__ import annotations
+
+from ...workloads import get_benchmark
+from ..runs import eml_for, muss_ti
+from ..tables import render_table
+
+SIZES = (150, 200, 250, 300)
+FAMILIES = ("Adder", "BV", "GHZ", "QAOA")
+
+
+def run(families=FAMILIES, sizes=SIZES) -> list[dict]:
+    rows: list[dict] = []
+    for family in families:
+        for size in sizes:
+            circuit = get_benchmark(f"{family}_n{size}")
+            machine = eml_for(circuit)
+            program = muss_ti().compile(circuit, machine)
+            rows.append(
+                {
+                    "app": family,
+                    "size": size,
+                    "gates": len(circuit),
+                    "compile_s": round(program.compile_time_s, 3),
+                }
+            )
+    return rows
+
+
+def is_subexponential(rows: list[dict], family: str) -> bool:
+    """Check compile time grows slower than doubling per +50 qubits."""
+    times = [row["compile_s"] for row in rows if row["app"] == family]
+    return all(
+        later <= max(4.0 * earlier, earlier + 1.0)
+        for earlier, later in zip(times, times[1:])
+    )
+
+
+def render(rows: list[dict]) -> str:
+    headers = ["app", "size", "gates", "compile_s"]
+    body = [[r["app"], r["size"], r["gates"], r["compile_s"]] for r in rows]
+    return render_table(headers, body, title="Figure 10 - Compilation Time (s)")

@@ -1,0 +1,47 @@
+"""Figure 11: compilation time versus fidelity trade-off.
+
+The four ablation arms on one complex application (SQRT_n128) and one simple
+application (BV_n128).  The paper's finding: the combined strategy is the
+fidelity winner in both, at the price of the longest compile time.
+"""
+
+from __future__ import annotations
+
+from ...core import MussTiConfig
+from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..tables import render_table
+
+APPLICATIONS = ("SQRT_n128", "BV_n128")
+
+ARMS = (
+    ("Trivial", MussTiConfig.trivial),
+    ("SWAP Insert", MussTiConfig.swap_insert_only),
+    ("SABRE", MussTiConfig.sabre_only),
+    ("SWAP Insert + SABRE", MussTiConfig.full),
+)
+
+
+def run(applications=APPLICATIONS) -> list[dict]:
+    rows: list[dict] = []
+    for app in applications:
+        circuit = benchmark_circuit(app)
+        for label, make_config in ARMS:
+            machine = eml_for(circuit)
+            result = run_case(muss_ti(make_config()), circuit, machine)
+            rows.append(
+                {
+                    "app": app,
+                    "technique": label,
+                    "compile_s": round(result.compile_time_s, 3),
+                    "log10F": round(result.log10_fidelity, 2),
+                }
+            )
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    headers = ["app", "technique", "compile_s", "log10F"]
+    body = [[r["app"], r["technique"], r["compile_s"], r["log10F"]] for r in rows]
+    return render_table(
+        headers, body, title="Figure 11 - Compile Time vs Fidelity"
+    )

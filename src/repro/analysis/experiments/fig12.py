@@ -1,0 +1,41 @@
+"""Figure 12: multiple entanglement (optical) zone analysis.
+
+Fidelity of the large applications when each EML module has one versus two
+optical zones.  The paper's finding: two zones win on most applications by
+spreading fiber traffic (and therefore heat) across zones.
+"""
+
+from __future__ import annotations
+
+from ...workloads import LARGE_SUITE
+from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..tables import render_table
+
+ZONE_COUNTS = (1, 2)
+
+
+def run(applications=LARGE_SUITE, zone_counts=ZONE_COUNTS) -> list[dict]:
+    rows: list[dict] = []
+    for app in applications:
+        circuit = benchmark_circuit(app)
+        row: dict[str, object] = {"app": app}
+        for zones in zone_counts:
+            machine = eml_for(circuit, num_optical=zones)
+            result = run_case(muss_ti(), circuit, machine)
+            row[f"{zones}-zone/log10F"] = round(result.log10_fidelity, 2)
+            row[f"{zones}-zone/shuttles"] = result.shuttle_count
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    headers = ["app", "single zone log10F", "two zones log10F", "winner"]
+    body = []
+    for row in rows:
+        single = row["1-zone/log10F"]
+        double = row["2-zone/log10F"]
+        winner = "two" if double > single else ("single" if single > double else "tie")
+        body.append([row["app"], single, double, winner])
+    return render_table(
+        headers, body, title="Figure 12 - Multiple Entanglement Zones"
+    )

@@ -1,0 +1,93 @@
+"""Figure 6: architectural comparison across three scales.
+
+Shuttle count, execution time and fidelity for MUSS-TI (on EML-QCCD sized to
+the application) versus Murali [55] and Dai [13] (on the monolithic grids of
+§4: 2x2 cap 12 for small, 3x4 cap 16 for medium, 4x5 cap 16 for large).
+"""
+
+from __future__ import annotations
+
+from ...baselines import DaiCompiler, MuraliCompiler
+from ...hardware import QCCDGridMachine
+from ...workloads import LARGE_SUITE, MEDIUM_SUITE, SMALL_SUITE
+from ..runs import benchmark_circuit, eml_for, muss_ti, run_case, small_grid
+from ..tables import improvement_percent, render_table
+
+SCALES = {
+    "small": dict(suite=SMALL_SUITE, grid=("small", None)),
+    "medium": dict(suite=MEDIUM_SUITE, grid=(3, 4)),
+    "large": dict(suite=LARGE_SUITE, grid=(4, 5)),
+}
+
+
+def _baseline_machine(scale: str) -> QCCDGridMachine:
+    if scale == "small":
+        return small_grid("2x2")
+    rows, cols = SCALES[scale]["grid"]
+    return QCCDGridMachine(rows, cols, 16)
+
+
+def run(scales=("small", "medium", "large")) -> list[dict]:
+    rows: list[dict] = []
+    for scale in scales:
+        suite = SCALES[scale]["suite"]
+        for app in suite:
+            circuit = benchmark_circuit(app)
+            entries = {}
+            for compiler, machine in (
+                (MuraliCompiler(), _baseline_machine(scale)),
+                (DaiCompiler(), _baseline_machine(scale)),
+                (muss_ti(), eml_for(circuit) if scale != "small" else small_grid("2x2")),
+            ):
+                result = run_case(compiler, circuit, machine)
+                entries[result.compiler] = result
+            ours = entries["MUSS-TI"]
+            best_baseline = min(
+                entries["QCCD-Murali"].shuttle_count,
+                entries["QCCD-Dai"].shuttle_count,
+            )
+            rows.append(
+                {
+                    "scale": scale,
+                    "app": app,
+                    **{
+                        f"{name}/shuttles": r.shuttle_count
+                        for name, r in entries.items()
+                    },
+                    **{
+                        f"{name}/time": round(r.execution_time_us)
+                        for name, r in entries.items()
+                    },
+                    **{
+                        f"{name}/log10F": round(r.log10_fidelity, 1)
+                        for name, r in entries.items()
+                    },
+                    "shuttle_reduction_%": round(
+                        improvement_percent(best_baseline, ours.shuttle_count), 1
+                    ),
+                }
+            )
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    compilers = ["QCCD-Murali", "QCCD-Dai", "MUSS-TI"]
+    sections = []
+    for metric, label in (
+        ("shuttles", "Number of Shuttles"),
+        ("time", "Time Evaluation (us)"),
+        ("log10F", "Fidelity (log10)"),
+    ):
+        headers = ["scale", "app"] + compilers + (
+            ["reduction_%"] if metric == "shuttles" else []
+        )
+        body = []
+        for row in rows:
+            cells = [row["scale"], row["app"]] + [
+                row[f"{c}/{metric}"] for c in compilers
+            ]
+            if metric == "shuttles":
+                cells.append(row["shuttle_reduction_%"])
+            body.append(cells)
+        sections.append(render_table(headers, body, title=f"Figure 6 - {label}"))
+    return "\n\n".join(sections)

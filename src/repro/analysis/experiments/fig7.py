@@ -1,0 +1,50 @@
+"""Figure 7: trap-capacity analysis of EML-QCCD.
+
+Fidelity of MUSS-TI-compiled applications as trap capacity sweeps 12-20.
+The paper's observation: fidelity peaks at an interior capacity (roughly
+14-18) — small traps shuttle too much (heat), large traps degrade two-qubit
+gates (the 1 - eps*N^2 law).
+"""
+
+from __future__ import annotations
+
+from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+
+CAPACITIES = (12, 14, 16, 18, 20)
+APPLICATIONS = ("Adder_n128", "BV_n128", "GHZ_n128", "QAOA_n128", "SQRT_n299")
+
+
+def run(applications=APPLICATIONS, capacities=CAPACITIES) -> list[dict]:
+    rows: list[dict] = []
+    for app in applications:
+        circuit = benchmark_circuit(app)
+        for capacity in capacities:
+            machine = eml_for(circuit, trap_capacity=capacity)
+            result = run_case(muss_ti(), circuit, machine)
+            rows.append(
+                {
+                    "app": app,
+                    "capacity": capacity,
+                    "shuttles": result.shuttle_count,
+                    "log10F": round(result.log10_fidelity, 2),
+                    "fidelity": result.fidelity,
+                }
+            )
+    return rows
+
+
+def best_capacity(rows: list[dict], app: str) -> int:
+    """Capacity with the highest fidelity for an application."""
+    candidates = [row for row in rows if row["app"] == app]
+    return max(candidates, key=lambda row: row["log10F"])["capacity"]
+
+
+def render(rows: list[dict]) -> str:
+    from ..tables import render_table
+
+    headers = ["app", "capacity", "shuttles", "log10F"]
+    body = [[r["app"], r["capacity"], r["shuttles"], r["log10F"]] for r in rows]
+    table = render_table(headers, body, title="Figure 7 - Trap Capacity Analysis")
+    apps = sorted({r["app"] for r in rows})
+    peaks = ", ".join(f"{app}: best capacity {best_capacity(rows, app)}" for app in apps)
+    return f"{table}\n\nFidelity peaks -> {peaks}"

@@ -1,0 +1,48 @@
+"""Figure 8: ablation of MUSS-TI's compilation techniques.
+
+Four arms — Trivial, SWAP Insert, SABRE, SABRE + SWAP Insert — across the
+medium and large suites.  The paper's finding: SWAP insertion alone helps a
+little (it fires rarely from a trivial mapping), SABRE helps more, and the
+combination wins.
+"""
+
+from __future__ import annotations
+
+from ...core import MussTiConfig
+from ...workloads import LARGE_SUITE, MEDIUM_SUITE
+from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..tables import render_table
+
+ARMS = (
+    ("Trivial", MussTiConfig.trivial),
+    ("SWAP Insert", MussTiConfig.swap_insert_only),
+    ("SABRE", MussTiConfig.sabre_only),
+    ("SABRE + SWAP Insert", MussTiConfig.full),
+)
+
+APPLICATIONS = tuple(MEDIUM_SUITE) + tuple(LARGE_SUITE)
+
+
+def run(applications=APPLICATIONS) -> list[dict]:
+    rows: list[dict] = []
+    for app in applications:
+        circuit = benchmark_circuit(app)
+        row: dict[str, object] = {"app": app}
+        for label, make_config in ARMS:
+            machine = eml_for(circuit)
+            result = run_case(muss_ti(make_config()), circuit, machine)
+            row[f"{label}/log10F"] = round(result.log10_fidelity, 2)
+            row[f"{label}/shuttles"] = result.shuttle_count
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    headers = ["app"] + [label for label, _ in ARMS]
+    body = [
+        [row["app"]] + [row[f"{label}/log10F"] for label, _ in ARMS]
+        for row in rows
+    ]
+    return render_table(
+        headers, body, title="Figure 8 - Compilation Techniques (log10 fidelity)"
+    )

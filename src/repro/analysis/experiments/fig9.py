@@ -1,0 +1,48 @@
+"""Figure 9: look-ahead ability analysis.
+
+Fidelity of full MUSS-TI as the weight-table look-ahead ``k`` sweeps over
+{4, 6, 8, 10, 12}.  The paper's finding: the optimal k is
+application-dependent — long-communication apps (SQRT, Adder) prefer larger
+k; nearest-neighbour QAOA is flat.
+"""
+
+from __future__ import annotations
+
+from ...core import MussTiConfig
+from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..tables import render_table
+
+LOOKAHEADS = (4, 6, 8, 10, 12)
+APPLICATIONS = ("QAOA_n256", "Adder_n256", "RAN_n256", "SQRT_n117", "SQRT_n299")
+
+
+def run(applications=APPLICATIONS, lookaheads=LOOKAHEADS) -> list[dict]:
+    rows: list[dict] = []
+    for app in applications:
+        circuit = benchmark_circuit(app)
+        for k in lookaheads:
+            machine = eml_for(circuit)
+            config = MussTiConfig().with_lookahead(k)
+            result = run_case(muss_ti(config), circuit, machine)
+            rows.append(
+                {
+                    "app": app,
+                    "k": k,
+                    "log10F": round(result.log10_fidelity, 2),
+                    "shuttles": result.shuttle_count,
+                    "swaps": result.inserted_swaps,
+                }
+            )
+    return rows
+
+
+def fidelity_spread(rows: list[dict], app: str) -> float:
+    """Max - min log10 fidelity across k for one application."""
+    values = [row["log10F"] for row in rows if row["app"] == app]
+    return max(values) - min(values)
+
+
+def render(rows: list[dict]) -> str:
+    headers = ["app", "k", "log10F", "shuttles", "swaps"]
+    body = [[r["app"], r["k"], r["log10F"], r["shuttles"], r["swaps"]] for r in rows]
+    return render_table(headers, body, title="Figure 9 - Look-ahead Analysis")

@@ -1,0 +1,51 @@
+"""Table 2: small-scale comparison on standard QCCD grids.
+
+Four compilers (Murali [55], Dai [13], MQT-like [70], MUSS-TI) on the six
+30-32 qubit applications, over Grid 2x2 (trap capacity 12) and Grid 2x3
+(trap capacity 8).  Reports shuttle count, execution time and fidelity —
+the exact cells of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from ...workloads import SMALL_SUITE
+from ..runs import RunResult, benchmark_circuit, run_case, small_grid, table2_compilers
+from ..tables import format_fidelity, render_table
+
+GRIDS = ("2x2", "2x3")
+
+
+def run(applications=SMALL_SUITE, grids=GRIDS) -> list[dict]:
+    """Execute the full Table 2 matrix; returns one row per (grid, app)."""
+    rows: list[dict] = []
+    for grid_kind in grids:
+        for app in applications:
+            circuit = benchmark_circuit(app)
+            row: dict[str, object] = {"grid": grid_kind, "app": app}
+            for compiler in table2_compilers():
+                machine = small_grid(grid_kind)
+                result: RunResult = run_case(compiler, circuit, machine)
+                row[f"{result.compiler}/shuttles"] = result.shuttle_count
+                row[f"{result.compiler}/time"] = round(result.execution_time_us)
+                row[f"{result.compiler}/fidelity"] = format_fidelity(
+                    result.fidelity, result.log10_fidelity
+                )
+            rows.append(row)
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    compilers = ["QCCD-Murali", "QCCD-Dai", "QCCD-MQT", "MUSS-TI"]
+    sections = []
+    for metric, label in (
+        ("shuttles", "Shuttle Count"),
+        ("time", "Execution Time (us)"),
+        ("fidelity", "Fidelity"),
+    ):
+        headers = ["grid", "app"] + compilers
+        body = [
+            [row["grid"], row["app"]] + [row[f"{c}/{metric}"] for c in compilers]
+            for row in rows
+        ]
+        sections.append(render_table(headers, body, title=f"Table 2 - {label}"))
+    return "\n\n".join(sections)

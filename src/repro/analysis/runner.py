@@ -1,0 +1,51 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.analysis table2          # one experiment
+    python -m repro.analysis fig6 fig7       # several
+    python -m repro.analysis all             # the whole evaluation section
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the MUSS-TI paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one of: {', '.join(sorted(EXPERIMENTS))}, or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in names:
+        module = EXPERIMENTS[name]
+        started = time.perf_counter()
+        rows = module.run()
+        elapsed = time.perf_counter() - started
+        print(module.render(rows))
+        print(f"[{name}: {len(rows)} rows in {elapsed:.1f} s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Shared experiment plumbing: compile-execute-report in one call.
+
+Every experiment driver funnels through :func:`run_case`, which builds (or
+accepts) the machine, compiles, optionally verifies, executes under the given
+physics, and returns a flat :class:`RunResult` row that table renderers and
+benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
+from ..circuits import QuantumCircuit
+from ..core import MussTiCompiler, MussTiConfig
+from ..hardware import EMLQCCDMachine, Machine, ModuleLayout, QCCDGridMachine
+from ..physics import PhysicalParams
+from ..sim import execute, verify_program
+from ..workloads import get_benchmark
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One experiment row."""
+
+    application: str
+    compiler: str
+    shuttle_count: int
+    execution_time_us: float
+    log10_fidelity: float
+    fidelity: float
+    compile_time_s: float
+    fiber_gates: int
+    inserted_swaps: int
+
+    def cells(self) -> dict[str, object]:
+        return {
+            "app": self.application,
+            "compiler": self.compiler,
+            "shuttles": self.shuttle_count,
+            "time_us": round(self.execution_time_us),
+            "log10F": round(self.log10_fidelity, 2),
+            "fidelity": self.fidelity,
+            "compile_s": round(self.compile_time_s, 3),
+        }
+
+
+#: The paper's four compared systems, in Table 2 column order.
+def table2_compilers():
+    return (
+        MuraliCompiler(),
+        DaiCompiler(),
+        MqtLikeCompiler(),
+        MussTiCompiler(),
+    )
+
+
+def small_grid(kind: str) -> QCCDGridMachine:
+    """Table 2's two small-scale test machines."""
+    if kind == "2x2":
+        return QCCDGridMachine(2, 2, 12)
+    if kind == "2x3":
+        return QCCDGridMachine(2, 3, 8)
+    raise ValueError(f"unknown small grid {kind!r}")
+
+
+def eml_for(
+    circuit: QuantumCircuit,
+    trap_capacity: int = 16,
+    num_optical: int = 1,
+) -> EMLQCCDMachine:
+    """MUSS-TI's machine for an application (§4 architecture setting)."""
+    layout = ModuleLayout(num_optical=num_optical)
+    return EMLQCCDMachine.for_circuit_size(
+        circuit.num_qubits, trap_capacity=trap_capacity, layout=layout
+    )
+
+
+def run_case(
+    compiler,
+    circuit: QuantumCircuit,
+    machine: Machine,
+    params: PhysicalParams | None = None,
+    *,
+    verify: bool = False,
+) -> RunResult:
+    """Compile + (optionally verify) + execute one case."""
+    program = compiler.compile(circuit, machine)
+    if verify:
+        verify_program(program)
+    report = execute(program, params)
+    return RunResult(
+        application=circuit.name,
+        compiler=program.compiler_name,
+        shuttle_count=report.shuttle_count,
+        execution_time_us=report.execution_time_us,
+        log10_fidelity=report.log10_fidelity,
+        fidelity=report.fidelity,
+        compile_time_s=program.compile_time_s,
+        fiber_gates=report.fiber_gate_count,
+        inserted_swaps=report.inserted_swap_count,
+    )
+
+
+def benchmark_circuit(name: str) -> QuantumCircuit:
+    """Benchmark circuit in scheduler-native form."""
+    return get_benchmark(name)
+
+
+def muss_ti(config: MussTiConfig | None = None) -> MussTiCompiler:
+    return MussTiCompiler(config)

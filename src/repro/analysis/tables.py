@@ -1,0 +1,46 @@
+"""ASCII table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def format_fidelity(value: float, log10_value: float | None = None) -> str:
+    """Render fidelity like the paper's tables: 0.82 or 5.9e-13."""
+    if log10_value is None:
+        if value <= 0.0:
+            return "0.0"
+        log10_value = math.log10(value)
+    if log10_value >= math.log10(0.01):
+        return f"{10 ** log10_value:.2f}"
+    exponent = math.floor(log10_value)
+    mantissa = 10.0 ** (log10_value - exponent)
+    return f"{mantissa:.1f}e{exponent:+03d}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table with per-column width fitting."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def improvement_percent(baseline: float, ours: float) -> float:
+    """Relative reduction of ``ours`` versus ``baseline`` in percent."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - ours) / baseline

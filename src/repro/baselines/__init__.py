@@ -1,0 +1,24 @@
+"""Baseline compilers the paper compares against (§4).
+
+* :class:`MuraliCompiler` — [55] greedy shortest-path QCCD compilation.
+* :class:`DaiCompiler` — [13] cost/look-ahead shuttle strategies.
+* :class:`MqtLikeCompiler` — [70] dedicated-processing-zone policy.
+
+All run on :class:`~repro.hardware.grid.QCCDGridMachine` instances and emit
+the same op streams as MUSS-TI, so the executor compares them under
+identical physics.
+"""
+
+from .common import GridCompilerBase, block_placement, make_room_simple
+from .dai import DaiCompiler
+from .mqt_like import MqtLikeCompiler
+from .murali import MuraliCompiler
+
+__all__ = [
+    "DaiCompiler",
+    "GridCompilerBase",
+    "MqtLikeCompiler",
+    "MuraliCompiler",
+    "block_placement",
+    "make_room_simple",
+]

@@ -1,0 +1,42 @@
+"""Baseline [55]: Murali et al., 'Architecting NISQ trapped-ion quantum
+computers' (ISCA 2020).
+
+The reference QCCD compiler: gates are processed in program order; when a
+two-qubit gate's operands sit in different traps, one ion shuttles along the
+shortest grid path into its partner's trap.  Destination overflow is
+resolved by pushing a resident (no usage-recency awareness) to the nearest
+trap with space.
+
+The defining characteristics reproduced here:
+
+* always move *towards the partner's trap* (no meet-in-the-middle),
+* move the operand whose destination trap is less crowded (their
+  occupancy-aware greedy choice), breaking ties toward the first operand,
+* no look-ahead: each gate is resolved in isolation, so walking interaction
+  patterns (Adder, SQRT) ping-pong ions between traps.
+"""
+
+from __future__ import annotations
+
+from ..circuits import Gate
+from ..core.state import MachineState
+from .common import GridCompilerBase, make_room_simple
+
+
+class MuraliCompiler(GridCompilerBase):
+    """Greedy shortest-path QCCD grid compiler."""
+
+    name = "QCCD-Murali"
+
+    def resolve(self, state: MachineState, gate: Gate) -> None:
+        qubit_a, qubit_b = gate.qubits
+        zone_a = state.zone_of(qubit_a)
+        zone_b = state.zone_of(qubit_b)
+        # Send the ion into the trap with the most head-room; a full
+        # destination forces an eviction on arrival.
+        if state.free_space(zone_a) > state.free_space(zone_b):
+            mover, target = qubit_b, zone_a
+        else:
+            mover, target = qubit_a, zone_b
+        make_room_simple(state, target, 1, frozenset(gate.qubits))
+        state.shuttle(mover, target)

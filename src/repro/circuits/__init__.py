@@ -1,0 +1,64 @@
+"""Quantum circuit intermediate representation.
+
+The circuit layer is deliberately small and self-contained: gates
+(:mod:`repro.circuits.gate`), the circuit container
+(:mod:`repro.circuits.circuit`), the gate dependency DAG used by every
+scheduler (:mod:`repro.circuits.dag`), lowering passes
+(:mod:`repro.circuits.decompose`) and OpenQASM 2.0 I/O
+(:mod:`repro.circuits.qasm`).
+"""
+
+from .circuit import CircuitError, QuantumCircuit, validate_native
+from .dag import DependencyError, DependencyGraph, dependency_layers
+from .decompose import lower_to_native, ms_equivalent
+from .gate import (
+    GATE_ARITIES,
+    GATE_PARAM_COUNTS,
+    ONE_QUBIT_GATES,
+    THREE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+    GateError,
+)
+from .profile import (
+    communication_summary,
+    interaction_distance_histogram,
+    locality_score,
+    reuse_distance_profile,
+)
+from .qasm import QasmError, emit_qasm, load_qasm, parse_qasm, save_qasm
+from .statevector import (
+    equivalent_up_to_global_phase,
+    statevector,
+    unitary,
+)
+
+__all__ = [
+    "CircuitError",
+    "DependencyError",
+    "DependencyGraph",
+    "GATE_ARITIES",
+    "GATE_PARAM_COUNTS",
+    "Gate",
+    "GateError",
+    "ONE_QUBIT_GATES",
+    "QasmError",
+    "QuantumCircuit",
+    "THREE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "communication_summary",
+    "dependency_layers",
+    "interaction_distance_histogram",
+    "locality_score",
+    "reuse_distance_profile",
+    "emit_qasm",
+    "equivalent_up_to_global_phase",
+    "load_qasm",
+    "lower_to_native",
+    "ms_equivalent",
+    "parse_qasm",
+    "save_qasm",
+    "statevector",
+    "unitary",
+    "validate_native",
+]

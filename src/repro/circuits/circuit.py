@@ -1,0 +1,268 @@
+"""Quantum circuit container.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`~repro.circuits.gate.Gate`
+records over ``num_qubits`` wires.  It offers the handful of structural
+queries the compiler stack needs (two-qubit gate extraction, depth, counts,
+reversal for SABRE) plus convenience appenders for the common gate set so the
+workload generators read like textbook circuit constructions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from .gate import Gate, GateError
+
+
+class CircuitError(ValueError):
+    """Raised when a gate does not fit the circuit (e.g. qubit out of range)."""
+
+
+class QuantumCircuit:
+    """An ordered gate list over a fixed number of qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits <= 0:
+            raise CircuitError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._gates: list[Gate] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits and self._gates == other._gates
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"gates={len(self._gates)})"
+        )
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gate sequence as an immutable snapshot."""
+        return tuple(self._gates)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate, validating its qubits against the register size."""
+        for q in gate.qubits:
+            if q >= self.num_qubits:
+                raise CircuitError(
+                    f"gate {gate} uses qubit {q} but circuit has "
+                    f"{self.num_qubits} qubits"
+                )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, params: Iterable[float] = ()) -> "QuantumCircuit":
+        """Append a gate by name; the generic escape hatch."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # Named appenders keep generator code close to the textbook notation.
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.add("h", q)
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.add("x", q)
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.add("y", q)
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.add("z", q)
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.add("s", q)
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        return self.add("sdg", q)
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.add("t", q)
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.add("tdg", q)
+
+    def rx(self, angle: float, q: int) -> "QuantumCircuit":
+        return self.add("rx", q, params=(angle,))
+
+    def ry(self, angle: float, q: int) -> "QuantumCircuit":
+        return self.add("ry", q, params=(angle,))
+
+    def rz(self, angle: float, q: int) -> "QuantumCircuit":
+        return self.add("rz", q, params=(angle,))
+
+    def p(self, angle: float, q: int) -> "QuantumCircuit":
+        return self.add("p", q, params=(angle,))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cx", control, target)
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("cz", a, b)
+
+    def cp(self, angle: float, a: int, b: int) -> "QuantumCircuit":
+        return self.add("cp", a, b, params=(angle,))
+
+    def rzz(self, angle: float, a: int, b: int) -> "QuantumCircuit":
+        return self.add("rzz", a, b, params=(angle,))
+
+    def ms(self, angle: float, a: int, b: int) -> "QuantumCircuit":
+        return self.add("ms", a, b, params=(angle,))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("swap", a, b)
+
+    def ccx(self, c1: int, c2: int, target: int) -> "QuantumCircuit":
+        return self.add("ccx", c1, c2, target)
+
+    def measure(self, q: int) -> "QuantumCircuit":
+        return self.add("measure", q)
+
+    def barrier(self, q: int) -> "QuantumCircuit":
+        return self.add("barrier", q)
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+
+    def count_ops(self) -> Counter:
+        """Histogram of gate names."""
+        return Counter(g.name for g in self._gates)
+
+    @property
+    def num_one_qubit_gates(self) -> int:
+        return sum(1 for g in self._gates if g.is_one_qubit)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return sum(1 for g in self._gates if g.is_two_qubit)
+
+    def two_qubit_gates(self) -> list[Gate]:
+        return [g for g in self._gates if g.is_two_qubit]
+
+    def used_qubits(self) -> set[int]:
+        used: set[int] = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return used
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate as one layer-slot."""
+        frontier = [0] * self.num_qubits
+        for gate in self._gates:
+            level = 1 + max(frontier[q] for q in gate.qubits)
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def two_qubit_depth(self) -> int:
+        """Depth counting only two-or-more-qubit gates."""
+        frontier = [0] * self.num_qubits
+        for gate in self._gates:
+            if gate.is_one_qubit:
+                continue
+            level = 1 + max(frontier[q] for q in gate.qubits)
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def interaction_pairs(self) -> Counter:
+        """Histogram of unordered qubit pairs coupled by two-qubit gates."""
+        pairs: Counter = Counter()
+        for gate in self._gates:
+            if gate.is_two_qubit:
+                pairs[tuple(sorted(gate.qubits))] += 1
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def reversed(self) -> "QuantumCircuit":
+        """Gates in reverse order (dependency DAG with all edges flipped).
+
+        This is the ``G'`` of the SABRE two-fold search (§3.4); the gates
+        themselves are not inverted because routing only cares about which
+        qubits interact.
+        """
+        out = QuantumCircuit(self.num_qubits, name=f"{self.name}_reversed")
+        out._gates = list(reversed(self._gates))
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """The exact inverse circuit (reversed order, inverted gates)."""
+        out = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        for gate in reversed(self._gates):
+            if not gate.is_unitary:
+                raise CircuitError(f"cannot invert non-unitary gate {gate}")
+            out.append(gate.inverse())
+        return out
+
+    def remap(self, permutation: dict[int, int]) -> "QuantumCircuit":
+        """Relabel qubits through ``permutation`` (old index -> new index)."""
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        for gate in self._gates:
+            try:
+                out.append(gate.on(*(permutation[q] for q in gate.qubits)))
+            except KeyError as exc:
+                raise CircuitError(f"permutation misses qubit {exc}") from exc
+        return out
+
+    def without_non_unitary(self) -> "QuantumCircuit":
+        """Drop measure/reset/barrier markers (schedulers ignore them)."""
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        out._gates = [g for g in self._gates if g.is_unitary]
+        return out
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Concatenate ``other`` after this circuit (same register size)."""
+        if other.num_qubits > self.num_qubits:
+            raise CircuitError(
+                "cannot compose a wider circuit "
+                f"({other.num_qubits} > {self.num_qubits} qubits)"
+            )
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        out._gates = self._gates + list(other._gates)
+        return out
+
+
+def validate_native(circuit: QuantumCircuit) -> None:
+    """Check that a circuit contains only 1q/2q gates (scheduler input form).
+
+    Raises:
+        GateError: if a three-qubit gate survived decomposition.
+    """
+    for index, gate in enumerate(circuit):
+        if gate.num_qubits > 2:
+            raise GateError(
+                f"gate #{index} ({gate}) has {gate.num_qubits} qubits; run "
+                "repro.circuits.decompose.lower_to_native first"
+            )

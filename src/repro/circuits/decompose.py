@@ -1,0 +1,151 @@
+"""Lowering passes to the scheduler's native gate set.
+
+The schedulers accept only one- and two-qubit gates.  Workload generators are
+free to use CCX/CSWAP and the richer two-qubit family; this module lowers
+them with standard textbook identities:
+
+* ``ccx``  -> 6 CX + 7 one-qubit gates (T-count-7 Toffoli network).
+* ``cswap``-> CX · CCX · CX.
+* ``swap`` -> optionally 3 CX (kept intact by default because the hardware
+  executes a logical SWAP as 3 MS gates natively, §3.3).
+* ``cp/cu1`` -> 2 CX + 3 RZ (phase form).
+* ``rzz``  -> CX · RZ · CX.
+
+Lowering preserves the interaction structure exactly, which is all the
+shuttle schedulers observe.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .circuit import QuantumCircuit
+from .gate import Gate
+
+
+def decompose_ccx(c1: int, c2: int, target: int) -> list[Gate]:
+    """Standard 6-CX Toffoli decomposition."""
+    t, tdg, h, cx = "t", "tdg", "h", "cx"
+    return [
+        Gate(h, (target,)),
+        Gate(cx, (c2, target)),
+        Gate(tdg, (target,)),
+        Gate(cx, (c1, target)),
+        Gate(t, (target,)),
+        Gate(cx, (c2, target)),
+        Gate(tdg, (target,)),
+        Gate(cx, (c1, target)),
+        Gate(t, (c2,)),
+        Gate(t, (target,)),
+        Gate(h, (target,)),
+        Gate(cx, (c1, c2)),
+        Gate(t, (c1,)),
+        Gate(tdg, (c2,)),
+        Gate(cx, (c1, c2)),
+    ]
+
+
+def decompose_cswap(control: int, a: int, b: int) -> list[Gate]:
+    """Fredkin gate via CX-conjugated Toffoli."""
+    return (
+        [Gate("cx", (b, a))]
+        + decompose_ccx(control, a, b)
+        + [Gate("cx", (b, a))]
+    )
+
+
+def decompose_swap(a: int, b: int) -> list[Gate]:
+    """SWAP as three CX gates."""
+    return [Gate("cx", (a, b)), Gate("cx", (b, a)), Gate("cx", (a, b))]
+
+
+def decompose_cp(angle: float, a: int, b: int) -> list[Gate]:
+    """Controlled-phase as 2 CX + 3 RZ (global phase dropped)."""
+    half = angle / 2.0
+    return [
+        Gate("rz", (a,), (half,)),
+        Gate("cx", (a, b)),
+        Gate("rz", (b,), (-half,)),
+        Gate("cx", (a, b)),
+        Gate("rz", (b,), (half,)),
+    ]
+
+
+def decompose_rzz(angle: float, a: int, b: int) -> list[Gate]:
+    """ZZ interaction as CX · RZ · CX."""
+    return [
+        Gate("cx", (a, b)),
+        Gate("rz", (b,), (angle,)),
+        Gate("cx", (a, b)),
+    ]
+
+
+def lower_to_native(
+    circuit: QuantumCircuit,
+    *,
+    expand_swap: bool = False,
+    expand_phase_gates: bool = False,
+) -> QuantumCircuit:
+    """Lower a circuit to 1q + 2q gates.
+
+    Args:
+        circuit: the input circuit (may contain ccx/cswap).
+        expand_swap: also expand logical ``swap`` gates into 3 CX.  Off by
+            default: the EML-QCCD hardware model executes a logical SWAP as
+            three MS gates, and the executor prices it that way.
+        expand_phase_gates: also expand ``cp``/``cu1``/``rzz`` into CX + RZ
+            form.  Off by default: they are ordinary two-qubit gates to the
+            scheduler, and keeping them intact keeps gate counts comparable
+            with the paper's benchmark descriptions.
+
+    Returns:
+        A new circuit containing no gate wider than two qubits.
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name == "ccx":
+            out.extend(decompose_ccx(*gate.qubits))
+        elif gate.name == "cswap":
+            out.extend(decompose_cswap(*gate.qubits))
+        elif gate.name == "swap" and expand_swap:
+            out.extend(decompose_swap(*gate.qubits))
+        elif gate.name in ("cp", "cu1") and expand_phase_gates:
+            out.extend(decompose_cp(gate.params[0], *gate.qubits))
+        elif gate.name == "rzz" and expand_phase_gates:
+            out.extend(decompose_rzz(gate.params[0], *gate.qubits))
+        else:
+            out.append(gate)
+    return out
+
+
+def ms_equivalent(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite CX/CZ into the native MS(pi/2) entangler plus 1q corrections.
+
+    Trapped-ion hardware implements two-qubit entanglement with the
+    Mølmer–Sørensen interaction; a CX equals one MS(pi/2) with single-qubit
+    pre/post rotations.  Schedulers are insensitive to the rewrite (the
+    two-qubit interaction pattern is identical) but it is useful for
+    hardware-faithful gate counting.
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    half_pi = math.pi / 2
+    for gate in circuit:
+        if gate.name == "cx":
+            control, target = gate.qubits
+            out.ry(half_pi, control)
+            out.ms(half_pi, control, target)
+            out.rx(-half_pi, control)
+            out.rx(-half_pi, target)
+            out.ry(-half_pi, control)
+        elif gate.name == "cz":
+            a, b = gate.qubits
+            out.ry(half_pi, b)
+            out.ry(half_pi, a)
+            out.ms(half_pi, a, b)
+            out.rx(-half_pi, a)
+            out.rx(-half_pi, b)
+            out.ry(-half_pi, a)
+            out.ry(-half_pi, b)
+        else:
+            out.append(gate)
+    return out

@@ -1,0 +1,185 @@
+"""Gate-level intermediate representation.
+
+A :class:`Gate` is an immutable record naming a quantum operation, the qubits
+it acts on, and its real parameters.  The scheduler only distinguishes
+one-qubit gates (executed in place, §3.1 of the paper) from two-qubit gates
+(which must be routed), so the IR stays deliberately small: a name drawn from
+a known registry, a qubit tuple, and a parameter tuple.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Names of supported one-qubit gates mapped to their parameter count.
+ONE_QUBIT_GATES = {
+    "id": 0,
+    "h": 0,
+    "x": 0,
+    "y": 0,
+    "z": 0,
+    "s": 0,
+    "sdg": 0,
+    "t": 0,
+    "tdg": 0,
+    "sx": 0,
+    "sxdg": 0,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u1": 1,
+    "u2": 2,
+    "u3": 3,
+    "measure": 0,
+    "reset": 0,
+    "barrier": 0,
+}
+
+#: Names of supported two-qubit gates mapped to their parameter count.
+TWO_QUBIT_GATES = {
+    "cx": 0,
+    "cy": 0,
+    "cz": 0,
+    "ch": 0,
+    "swap": 0,
+    "ms": 1,      # Mølmer–Sørensen; the native trapped-ion entangler.
+    "rxx": 1,
+    "ryy": 1,
+    "rzz": 1,
+    "cp": 1,
+    "cu1": 1,
+    "crx": 1,
+    "cry": 1,
+    "crz": 1,
+}
+
+#: Names of supported three-qubit gates mapped to their parameter count.
+THREE_QUBIT_GATES = {
+    "ccx": 0,
+    "cswap": 0,
+}
+
+#: Union of all gate registries: name -> parameter count.
+GATE_PARAM_COUNTS = {**ONE_QUBIT_GATES, **TWO_QUBIT_GATES, **THREE_QUBIT_GATES}
+
+#: name -> number of qubits the gate acts on.
+GATE_ARITIES = {
+    **{name: 1 for name in ONE_QUBIT_GATES},
+    **{name: 2 for name in TWO_QUBIT_GATES},
+    **{name: 3 for name in THREE_QUBIT_GATES},
+}
+
+#: Gates that commute with routing bookkeeping (no unitary action).
+NON_UNITARY_GATES = frozenset({"measure", "reset", "barrier"})
+
+#: The native set the schedulers accept (after decomposition).
+NATIVE_ONE_QUBIT = frozenset(ONE_QUBIT_GATES)
+NATIVE_TWO_QUBIT = frozenset(TWO_QUBIT_GATES)
+
+
+class GateError(ValueError):
+    """Raised for malformed gates (unknown name, bad arity, repeated qubit)."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One quantum operation.
+
+    Attributes:
+        name: lower-case gate mnemonic, e.g. ``"cx"`` or ``"rz"``.
+        qubits: the distinct qubit indices the gate acts on, in order.
+        params: real parameters (rotation angles), possibly empty.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.name not in GATE_ARITIES:
+            raise GateError(f"unknown gate name: {self.name!r}")
+        arity = GATE_ARITIES[self.name]
+        if len(self.qubits) != arity:
+            raise GateError(
+                f"gate {self.name!r} expects {arity} qubit(s), "
+                f"got {len(self.qubits)}: {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise GateError(f"gate {self.name!r} repeats a qubit: {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise GateError(f"gate {self.name!r} uses a negative qubit index")
+        expected_params = GATE_PARAM_COUNTS[self.name]
+        if len(self.params) != expected_params:
+            raise GateError(
+                f"gate {self.name!r} expects {expected_params} parameter(s), "
+                f"got {len(self.params)}"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_one_qubit(self) -> bool:
+        return len(self.qubits) == 1
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return len(self.qubits) == 2
+
+    @property
+    def is_unitary(self) -> bool:
+        return self.name not in NON_UNITARY_GATES
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate (used by SABRE's reverse traversal).
+
+        Parametrised gates negate their angles; self-inverse gates return
+        themselves; ``s``/``t`` map to their daggers and vice versa.
+        """
+        dagger_pairs = {
+            "s": "sdg", "sdg": "s",
+            "t": "tdg", "tdg": "t",
+            "sx": "sxdg", "sxdg": "sx",
+        }
+        if self.name in dagger_pairs:
+            return Gate(dagger_pairs[self.name], self.qubits)
+        if self.params:
+            return Gate(self.name, self.qubits, tuple(-p for p in self.params))
+        return self
+
+    def on(self, *qubits: int) -> "Gate":
+        """Return a copy of this gate applied to different qubits."""
+        return Gate(self.name, tuple(qubits), self.params)
+
+    def __str__(self) -> str:
+        if self.params:
+            angle_text = ",".join(format_angle(p) for p in self.params)
+            return f"{self.name}({angle_text}) {list(self.qubits)}"
+        return f"{self.name} {list(self.qubits)}"
+
+
+def format_angle(value: float) -> str:
+    """Render an angle compactly, using multiples of pi when exact."""
+    if value == 0:
+        return "0"
+    ratio = value / math.pi
+    if ratio == int(ratio):
+        n = int(ratio)
+        if n == 1:
+            return "pi"
+        if n == -1:
+            return "-pi"
+        return f"{n}*pi"
+    for denom in (2, 4, 8, 16):
+        if abs(ratio * denom - round(ratio * denom)) < 1e-12:
+            numer = round(ratio * denom)
+            if numer == 1:
+                return f"pi/{denom}"
+            if numer == -1:
+                return f"-pi/{denom}"
+            return f"{numer}*pi/{denom}"
+    return repr(value)

@@ -1,0 +1,87 @@
+"""Circuit communication profiling.
+
+Quantifies the properties the paper reasons about qualitatively — "QAOA is
+nearest-neighbour", "SQRT is the most communication-intensive" — so workload
+claims become measurable:
+
+* :func:`interaction_distance_histogram` — |i - j| counts over two-qubit
+  gates (wire-label locality).
+* :func:`locality_score` — fraction of two-qubit gates whose operands are
+  within a window (1.0 = fully local).
+* :func:`reuse_distance_profile` — per-qubit gap (in two-qubit gate steps)
+  between consecutive uses; small gaps mean LRU-friendly working sets.
+* :func:`communication_summary` — one dict with the headline numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .circuit import QuantumCircuit
+
+
+def interaction_distance_histogram(circuit: QuantumCircuit) -> Counter:
+    """Histogram of wire-label distances |i - j| over two-qubit gates."""
+    histogram: Counter = Counter()
+    for gate in circuit:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            histogram[abs(a - b)] += 1
+    return histogram
+
+
+def locality_score(circuit: QuantumCircuit, window: int = 8) -> float:
+    """Fraction of two-qubit gates with operand distance <= ``window``."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    histogram = interaction_distance_histogram(circuit)
+    total = sum(histogram.values())
+    if total == 0:
+        return 1.0
+    local = sum(count for distance, count in histogram.items() if distance <= window)
+    return local / total
+
+
+def reuse_distance_profile(circuit: QuantumCircuit) -> Counter:
+    """Histogram of per-qubit gaps between consecutive two-qubit gates.
+
+    A gap of 0 means a qubit was used by back-to-back two-qubit gates; large
+    gaps mean cold qubits.  LRU-style scheduling thrives on small gaps.
+    """
+    gaps: Counter = Counter()
+    last_use: dict[int, int] = {}
+    step = 0
+    for gate in circuit:
+        if not gate.is_two_qubit:
+            continue
+        for qubit in gate.qubits:
+            if qubit in last_use:
+                gaps[step - last_use[qubit] - 1] += 1
+            last_use[qubit] = step
+        step += 1
+    return gaps
+
+
+def communication_summary(circuit: QuantumCircuit, window: int = 8) -> dict:
+    """Headline communication metrics for a workload."""
+    histogram = interaction_distance_histogram(circuit)
+    total = sum(histogram.values())
+    gaps = reuse_distance_profile(circuit)
+    gap_total = sum(gaps.values())
+    mean_distance = (
+        sum(distance * count for distance, count in histogram.items()) / total
+        if total
+        else 0.0
+    )
+    mean_gap = (
+        sum(gap * count for gap, count in gaps.items()) / gap_total
+        if gap_total
+        else 0.0
+    )
+    return {
+        "two_qubit_gates": total,
+        "mean_interaction_distance": mean_distance,
+        "max_interaction_distance": max(histogram) if histogram else 0,
+        "locality_score": locality_score(circuit, window),
+        "mean_reuse_gap": mean_gap,
+    }

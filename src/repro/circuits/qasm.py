@@ -1,0 +1,498 @@
+"""OpenQASM 2.0 subset parser and emitter.
+
+The QASMBench suite the paper draws its workloads from ships OpenQASM 2.0
+files.  This module reads the practically-used subset of the language —
+``qreg``/``creg`` declarations, the standard-library gate calls, ``measure``,
+``barrier`` and user ``gate`` macro definitions — and flattens everything
+onto a single wire index space, producing a
+:class:`~repro.circuits.circuit.QuantumCircuit`.
+
+Expressions in gate parameters support ``pi``, numeric literals, ``+ - * /``,
+unary minus and parentheses, evaluated with a small recursive-descent parser
+(no ``eval``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from .circuit import QuantumCircuit
+from .gate import GATE_ARITIES, GATE_PARAM_COUNTS, Gate
+
+
+class QasmError(ValueError):
+    """Raised on malformed QASM input."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+# ----------------------------------------------------------------------
+# Parameter expression evaluation
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?"
+    r"|(?P<name>[a-zA-Z_][a-zA-Z_0-9]*)"
+    r"|(?P<op>[-+*/()^]))"
+)
+
+
+class _ExpressionParser:
+    """Recursive-descent evaluator for QASM parameter expressions."""
+
+    def __init__(self, text: str, variables: dict[str, float]) -> None:
+        self.tokens = self._tokenize(text)
+        self.position = 0
+        self.variables = variables
+        self.text = text
+
+    @staticmethod
+    def _tokenize(text: str) -> list[str]:
+        tokens: list[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                if text[position:].strip() == "":
+                    break
+                raise QasmError(f"bad expression token near {text[position:]!r}")
+            tokens.append(match.group().strip())
+            position = match.end()
+        return tokens
+
+    def _peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QasmError(f"unexpected end of expression in {self.text!r}")
+        self.position += 1
+        return token
+
+    def parse(self) -> float:
+        value = self._expr()
+        if self._peek() is not None:
+            raise QasmError(f"trailing tokens in expression {self.text!r}")
+        return value
+
+    def _expr(self) -> float:
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            if self._take() == "+":
+                value += self._term()
+            else:
+                value -= self._term()
+        return value
+
+    def _term(self) -> float:
+        value = self._factor()
+        while self._peek() in ("*", "/"):
+            if self._take() == "*":
+                value *= self._factor()
+            else:
+                value /= self._factor()
+        return value
+
+    def _factor(self) -> float:
+        token = self._take()
+        if token == "-":
+            return -self._factor()
+        if token == "+":
+            return self._factor()
+        if token == "(":
+            value = self._expr()
+            if self._take() != ")":
+                raise QasmError(f"missing ')' in expression {self.text!r}")
+            return value
+        if token == "pi":
+            return math.pi
+        if token in self.variables:
+            return self.variables[token]
+        try:
+            return float(token)
+        except ValueError:
+            raise QasmError(
+                f"unknown symbol {token!r} in expression {self.text!r}"
+            ) from None
+
+
+def evaluate_expression(text: str, variables: dict[str, float] | None = None) -> float:
+    """Evaluate a QASM parameter expression such as ``-3*pi/8``."""
+    return _ExpressionParser(text, variables or {}).parse()
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+#: QASM statements that declare structure rather than apply gates.
+_DECLARATION_KEYWORDS = ("OPENQASM", "include", "qreg", "creg", "gate", "opaque", "if")
+
+#: Gates in qelib1.inc that we map onto our registry directly.
+_ALIASES = {
+    "cnot": "cx",
+    "u": "u3",
+    "phase": "p",
+}
+
+
+@dataclass
+class _Register:
+    name: str
+    size: int
+    offset: int
+
+
+@dataclass
+class _GateMacro:
+    name: str
+    params: list[str]
+    qubits: list[str]
+    body: list[str]
+
+
+class QasmParser:
+    """Parses an OpenQASM 2.0 program into a :class:`QuantumCircuit`."""
+
+    def __init__(self) -> None:
+        self.registers: dict[str, _Register] = {}
+        self.macros: dict[str, _GateMacro] = {}
+        self.total_qubits = 0
+
+    # -- public API ----------------------------------------------------
+
+    def parse(self, text: str, name: str = "qasm") -> QuantumCircuit:
+        statements = self._split_statements(text)
+        gates: list[Gate] = []
+        for line_number, statement in statements:
+            self._parse_statement(statement, gates, line_number)
+        if self.total_qubits == 0:
+            raise QasmError("no qreg declared")
+        circuit = QuantumCircuit(self.total_qubits, name=name)
+        circuit.extend(gates)
+        return circuit
+
+    # -- lexical structure ----------------------------------------------
+
+    @staticmethod
+    def _split_statements(text: str) -> list[tuple[int, str]]:
+        """Strip comments, then split on ';' while keeping gate bodies whole."""
+        lines = []
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            code = raw.split("//", 1)[0]
+            if code.strip():
+                lines.append((line_number, code))
+        statements: list[tuple[int, str]] = []
+        buffer = ""
+        buffer_line = 0
+        depth = 0
+        for line_number, code in lines:
+            for char in code:
+                if not buffer.strip():
+                    buffer_line = line_number
+                if char == "{":
+                    depth += 1
+                elif char == "}":
+                    depth -= 1
+                    buffer += char
+                    if depth == 0 and buffer.lstrip().startswith("gate"):
+                        statements.append((buffer_line, buffer.strip()))
+                        buffer = ""
+                    continue
+                if char == ";" and depth == 0:
+                    if buffer.strip():
+                        statements.append((buffer_line, buffer.strip()))
+                    buffer = ""
+                else:
+                    buffer += char
+            buffer += " "
+        if buffer.strip():
+            statements.append((buffer_line, buffer.strip()))
+        return statements
+
+    # -- statement dispatch ----------------------------------------------
+
+    def _parse_statement(
+        self, statement: str, gates: list[Gate], line: int
+    ) -> None:
+        if statement.startswith("OPENQASM") or statement.startswith("include"):
+            return
+        if statement.startswith("qreg"):
+            self._parse_qreg(statement, line)
+            return
+        if statement.startswith("creg") or statement.startswith("opaque"):
+            return
+        if statement.startswith("gate "):
+            self._parse_macro(statement, line)
+            return
+        if statement.startswith("if"):
+            # Classical control collapses to the controlled gate for
+            # scheduling purposes (the shuttle cost is identical).
+            body = statement.split(")", 1)
+            if len(body) != 2:
+                raise QasmError("malformed if statement", line)
+            self._parse_statement(body[1].strip(), gates, line)
+            return
+        if statement.startswith("measure"):
+            self._parse_measure(statement, gates, line)
+            return
+        if statement.startswith("barrier"):
+            self._parse_barrier(statement, gates, line)
+            return
+        if statement.startswith("reset"):
+            operand = statement[len("reset"):].strip()
+            for qubit in self._expand_operand(operand, line):
+                gates.append(Gate("reset", (qubit,)))
+            return
+        self._parse_gate_call(statement, gates, line)
+
+    def _parse_qreg(self, statement: str, line: int) -> None:
+        match = re.fullmatch(r"qreg\s+([a-zA-Z_]\w*)\s*\[\s*(\d+)\s*\]", statement)
+        if match is None:
+            raise QasmError(f"malformed qreg: {statement!r}", line)
+        reg_name, size_text = match.groups()
+        size = int(size_text)
+        if size <= 0:
+            raise QasmError(f"qreg {reg_name} must have positive size", line)
+        if reg_name in self.registers:
+            raise QasmError(f"duplicate qreg {reg_name}", line)
+        self.registers[reg_name] = _Register(reg_name, size, self.total_qubits)
+        self.total_qubits += size
+
+    def _parse_macro(self, statement: str, line: int) -> None:
+        header, _, body = statement.partition("{")
+        body = body.rsplit("}", 1)[0]
+        header = header[len("gate"):].strip()
+        match = re.match(
+            r"([a-zA-Z_]\w*)\s*(?:\(([^)]*)\))?\s*(.*)", header, re.DOTALL
+        )
+        if match is None:
+            raise QasmError(f"malformed gate definition: {header!r}", line)
+        macro_name, params_text, qubits_text = match.groups()
+        params = [p.strip() for p in (params_text or "").split(",") if p.strip()]
+        qubits = [q.strip() for q in qubits_text.split(",") if q.strip()]
+        body_statements = [s.strip() for s in body.split(";") if s.strip()]
+        self.macros[macro_name] = _GateMacro(macro_name, params, qubits, body_statements)
+
+    def _parse_measure(self, statement: str, gates: list[Gate], line: int) -> None:
+        operand = statement[len("measure"):].split("->")[0].strip()
+        for qubit in self._expand_operand(operand, line):
+            gates.append(Gate("measure", (qubit,)))
+
+    def _parse_barrier(self, statement: str, gates: list[Gate], line: int) -> None:
+        operand_text = statement[len("barrier"):].strip()
+        if not operand_text:
+            return
+        for operand in self._split_operands(operand_text):
+            for qubit in self._expand_operand(operand, line):
+                gates.append(Gate("barrier", (qubit,)))
+
+    # -- gate calls -------------------------------------------------------
+
+    def _parse_gate_call(self, statement: str, gates: list[Gate], line: int) -> None:
+        match = re.match(
+            r"([a-zA-Z_]\w*)\s*(?:\(([^)]*)\))?\s*(.+)", statement, re.DOTALL
+        )
+        if match is None:
+            raise QasmError(f"cannot parse statement: {statement!r}", line)
+        raw_name, params_text, operands_text = match.groups()
+        name = _ALIASES.get(raw_name, raw_name)
+        params = tuple(
+            evaluate_expression(p)
+            for p in (params_text or "").split(",")
+            if p.strip()
+        )
+        operands = self._split_operands(operands_text)
+
+        if name in self.macros:
+            self._expand_macro(self.macros[name], params, operands, gates, line)
+            return
+        if name not in GATE_ARITIES:
+            raise QasmError(f"unknown gate {raw_name!r}", line)
+
+        expanded = [self._expand_operand(op, line) for op in operands]
+        lengths = {len(qubits) for qubits in expanded if len(qubits) > 1}
+        if len(lengths) > 1:
+            raise QasmError("mismatched register broadcast sizes", line)
+        broadcast = lengths.pop() if lengths else 1
+        for i in range(broadcast):
+            qubits = tuple(
+                qs[i] if len(qs) > 1 else qs[0] for qs in expanded
+            )
+            gates.append(self._make_gate(name, qubits, params, line))
+
+    def _make_gate(
+        self, name: str, qubits: tuple[int, ...], params: tuple[float, ...], line: int
+    ) -> Gate:
+        expected = GATE_PARAM_COUNTS[name]
+        if name == "ms" and len(params) == 0:
+            params = (math.pi / 2,)
+        if len(params) != expected:
+            raise QasmError(
+                f"gate {name} expects {expected} params, got {len(params)}", line
+            )
+        try:
+            return Gate(name, qubits, params)
+        except ValueError as exc:
+            raise QasmError(str(exc), line) from exc
+
+    def _expand_macro(
+        self,
+        macro: _GateMacro,
+        params: tuple[float, ...],
+        operands: list[str],
+        gates: list[Gate],
+        line: int,
+    ) -> None:
+        if len(params) != len(macro.params):
+            raise QasmError(
+                f"macro {macro.name} expects {len(macro.params)} params", line
+            )
+        if len(operands) != len(macro.qubits):
+            raise QasmError(
+                f"macro {macro.name} expects {len(macro.qubits)} qubits", line
+            )
+        bindings = dict(zip(macro.params, params))
+        qubit_map: dict[str, int] = {}
+        for formal, actual in zip(macro.qubits, operands):
+            indices = self._expand_operand(actual, line)
+            if len(indices) != 1:
+                raise QasmError(
+                    f"macro {macro.name} cannot broadcast registers", line
+                )
+            qubit_map[formal] = indices[0]
+        for body_statement in macro.body:
+            if body_statement.startswith("barrier"):
+                continue
+            match = re.match(
+                r"([a-zA-Z_]\w*)\s*(?:\(([^)]*)\))?\s*(.+)", body_statement
+            )
+            if match is None:
+                raise QasmError(
+                    f"bad statement in macro {macro.name}: {body_statement!r}",
+                    line,
+                )
+            raw_name, params_text, operands_text = match.groups()
+            inner_name = _ALIASES.get(raw_name, raw_name)
+            inner_params = tuple(
+                evaluate_expression(p, bindings)
+                for p in (params_text or "").split(",")
+                if p.strip()
+            )
+            inner_operands = self._split_operands(operands_text)
+            if inner_name in self.macros:
+                mapped = []
+                for operand in inner_operands:
+                    if operand not in qubit_map:
+                        raise QasmError(
+                            f"macro {macro.name} uses unknown qubit {operand!r}",
+                            line,
+                        )
+                    mapped.append(qubit_map[operand])
+                self._expand_macro(
+                    self.macros[inner_name],
+                    inner_params,
+                    [f"__q{i}" for i in mapped],
+                    gates,
+                    line,
+                )
+                continue
+            if inner_name not in GATE_ARITIES:
+                raise QasmError(
+                    f"unknown gate {raw_name!r} in macro {macro.name}", line
+                )
+            qubits = []
+            for operand in inner_operands:
+                if operand.startswith("__q"):
+                    qubits.append(int(operand[3:]))
+                elif operand in qubit_map:
+                    qubits.append(qubit_map[operand])
+                else:
+                    raise QasmError(
+                        f"macro {macro.name} uses unknown qubit {operand!r}",
+                        line,
+                    )
+            gates.append(self._make_gate(inner_name, tuple(qubits), inner_params, line))
+
+    # -- operands ---------------------------------------------------------
+
+    @staticmethod
+    def _split_operands(text: str) -> list[str]:
+        return [op.strip() for op in text.split(",") if op.strip()]
+
+    def _expand_operand(self, operand: str, line: int) -> list[int]:
+        """Resolve ``reg[3]`` to one index or bare ``reg`` to all its wires."""
+        if operand.startswith("__q"):
+            return [int(operand[3:])]
+        match = re.fullmatch(r"([a-zA-Z_]\w*)\s*(?:\[\s*(\d+)\s*\])?", operand)
+        if match is None:
+            raise QasmError(f"malformed operand {operand!r}", line)
+        reg_name, index_text = match.groups()
+        register = self.registers.get(reg_name)
+        if register is None:
+            raise QasmError(f"unknown register {reg_name!r}", line)
+        if index_text is None:
+            return [register.offset + i for i in range(register.size)]
+        index = int(index_text)
+        if index >= register.size:
+            raise QasmError(
+                f"index {index} out of range for register {reg_name}[{register.size}]",
+                line,
+            )
+        return [register.offset + index]
+
+
+def parse_qasm(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source text into a circuit."""
+    return QasmParser().parse(text, name=name)
+
+
+def load_qasm(path: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_qasm(text, name=name)
+
+
+# ----------------------------------------------------------------------
+# Emission
+# ----------------------------------------------------------------------
+
+def emit_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit back to OpenQASM 2.0 text.
+
+    Output uses one flat register ``q`` and numeric parameters, so
+    ``parse_qasm(emit_qasm(c))`` reproduces the gate list exactly.
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        operands = ",".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name == "measure":
+            lines.append(f"measure q[{gate.qubits[0]}] -> c[{gate.qubits[0]}];")
+        elif gate.params:
+            params = ",".join(repr(p) for p in gate.params)
+            lines.append(f"{gate.name}({params}) {operands};")
+        else:
+            lines.append(f"{gate.name} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def save_qasm(circuit: QuantumCircuit, path: str) -> None:
+    """Write a circuit to an OpenQASM 2.0 file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(emit_qasm(circuit))

@@ -1,0 +1,238 @@
+"""Dense statevector / unitary simulation for small circuits.
+
+Used by the test suite to prove decomposition identities (CCX -> 6 CX,
+logical SWAP = 3 CX, MS-basis rewrites) by direct matrix comparison, and by
+examples that want amplitudes.  Practical up to ~12 qubits; scheduling code
+never imports this module.
+
+Conventions: qubit 0 is the least-significant bit of the computational-basis
+index (``|q_{n-1} ... q_1 q_0>``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gate import Gate
+
+_SQRT_2 = math.sqrt(2.0)
+
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT_2
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+_ID = np.eye(2, dtype=complex)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    phase = np.exp(-1j * theta / 2)
+    return np.array([[phase, 0], [0, np.conj(phase)]], dtype=complex)
+
+
+def _phase(theta: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def one_qubit_matrix(gate: Gate) -> np.ndarray:
+    """2x2 unitary of a one-qubit gate."""
+    name, params = gate.name, gate.params
+    fixed = {
+        "id": _ID,
+        "h": _H,
+        "x": _X,
+        "y": _Y,
+        "z": _Z,
+        "s": _S,
+        "sdg": _S.conj().T,
+        "t": _phase(math.pi / 4),
+        "tdg": _phase(-math.pi / 4),
+        "sx": _SX,
+        "sxdg": _SX.conj().T,
+    }
+    if name in fixed:
+        return fixed[name]
+    if name == "rx":
+        return _rx(params[0])
+    if name == "ry":
+        return _ry(params[0])
+    if name == "rz":
+        return _rz(params[0])
+    if name in ("p", "u1"):
+        return _phase(params[0])
+    if name == "u2":
+        return _u3(math.pi / 2, params[0], params[1])
+    if name == "u3":
+        return _u3(*params)
+    raise ValueError(f"gate {name!r} has no unitary (measure/reset/barrier?)")
+
+
+def _controlled(unitary: np.ndarray) -> np.ndarray:
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = unitary
+    return out
+
+
+def two_qubit_matrix(gate: Gate) -> np.ndarray:
+    """4x4 unitary on (control=qubit0 of the gate, target=qubit1).
+
+    Index convention inside the 4x4 block: basis |q_first q_second> with the
+    gate's first operand as the most significant bit.
+    """
+    name, params = gate.name, gate.params
+    if name == "cx":
+        return _controlled(_X)
+    if name == "cy":
+        return _controlled(_Y)
+    if name == "cz":
+        return _controlled(_Z)
+    if name == "ch":
+        return _controlled(_H)
+    if name in ("cp", "cu1"):
+        return _controlled(_phase(params[0]))
+    if name == "crx":
+        return _controlled(_rx(params[0]))
+    if name == "cry":
+        return _controlled(_ry(params[0]))
+    if name == "crz":
+        return _controlled(_rz(params[0]))
+    if name == "swap":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+    if name in ("rxx", "ms"):
+        theta = params[0]
+        c, s = math.cos(theta / 2), -1j * math.sin(theta / 2)
+        out = np.eye(4, dtype=complex) * c
+        out[0, 3] = out[1, 2] = out[2, 1] = out[3, 0] = s
+        return out
+    if name == "ryy":
+        theta = params[0]
+        c, s = math.cos(theta / 2), 1j * math.sin(theta / 2)
+        out = np.eye(4, dtype=complex) * c
+        out[0, 3] = out[3, 0] = s
+        out[1, 2] = out[2, 1] = -s
+        return out
+    if name == "rzz":
+        theta = params[0]
+        phase = np.exp(-1j * theta / 2)
+        return np.diag([phase, np.conj(phase), np.conj(phase), phase])
+    raise ValueError(f"unsupported two-qubit gate {name!r}")
+
+
+def _apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to a dense state of ``2**num_qubits`` amplitudes."""
+    tensor = state.reshape([2] * num_qubits)
+    # numpy axis 0 is the most significant qubit (n-1).
+    axes = [num_qubits - 1 - q for q in gate.qubits]
+    if gate.num_qubits == 1:
+        matrix = one_qubit_matrix(gate)
+        moved = np.moveaxis(tensor, axes[0], 0)
+        shaped = moved.reshape(2, -1)
+        result = (matrix @ shaped).reshape(moved.shape)
+        tensor = np.moveaxis(result, 0, axes[0])
+    elif gate.num_qubits == 2:
+        matrix = two_qubit_matrix(gate)
+        moved = np.moveaxis(tensor, axes, (0, 1))
+        shaped = moved.reshape(4, -1)
+        result = (matrix @ shaped).reshape(moved.shape)
+        tensor = np.moveaxis(result, (0, 1), axes)
+    elif gate.name == "ccx":
+        matrix = np.eye(8, dtype=complex)
+        matrix[6:, 6:] = _X
+        moved = np.moveaxis(tensor, axes, (0, 1, 2))
+        shaped = moved.reshape(8, -1)
+        result = (matrix @ shaped).reshape(moved.shape)
+        tensor = np.moveaxis(result, (0, 1, 2), axes)
+    elif gate.name == "cswap":
+        matrix = np.eye(8, dtype=complex)
+        swap = np.array([[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]])
+        matrix[4:, 4:] = swap
+        moved = np.moveaxis(tensor, axes, (0, 1, 2))
+        shaped = moved.reshape(8, -1)
+        result = (matrix @ shaped).reshape(moved.shape)
+        tensor = np.moveaxis(result, (0, 1, 2), axes)
+    else:
+        raise ValueError(f"cannot simulate gate {gate}")
+    return tensor.reshape(-1)
+
+
+def statevector(circuit: QuantumCircuit, initial: np.ndarray | None = None) -> np.ndarray:
+    """Final statevector of a circuit applied to |0...0> (or ``initial``)."""
+    if circuit.num_qubits > 14:
+        raise ValueError(
+            f"statevector simulation capped at 14 qubits, got {circuit.num_qubits}"
+        )
+    dimension = 1 << circuit.num_qubits
+    if initial is None:
+        state = np.zeros(dimension, dtype=complex)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial, dtype=complex).copy()
+        if state.shape != (dimension,):
+            raise ValueError(f"initial state must have {dimension} amplitudes")
+    for gate in circuit:
+        if not gate.is_unitary:
+            continue
+        state = _apply_gate(state, gate, circuit.num_qubits)
+    return state
+
+
+def unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Full unitary matrix of a circuit (<= 10 qubits)."""
+    if circuit.num_qubits > 10:
+        raise ValueError(
+            f"unitary construction capped at 10 qubits, got {circuit.num_qubits}"
+        )
+    dimension = 1 << circuit.num_qubits
+    columns = []
+    for basis in range(dimension):
+        start = np.zeros(dimension, dtype=complex)
+        start[basis] = 1.0
+        columns.append(statevector(circuit, start))
+    return np.stack(columns, axis=1)
+
+
+def equivalent_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, tolerance: float = 1e-9
+) -> bool:
+    """Whether two unitaries/states differ only by a global phase."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    if abs(a[index]) < tolerance:
+        return bool(np.allclose(a, b, atol=tolerance))
+    if abs(b[index]) < tolerance:
+        return False
+    phase = b[index] / a[index]
+    if not math.isclose(abs(phase), 1.0, abs_tol=1e-6):
+        return False
+    return bool(np.allclose(a * phase, b, atol=tolerance))

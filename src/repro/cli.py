@@ -1,0 +1,185 @@
+"""Command-line interface: compile, inspect and compare from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro compile Adder_n32 --machine grid:2x2:12
+    python -m repro compile GHZ_n128 --machine eml --compiler trivial
+    python -m repro compile BV_n64 --machine eml --timeline
+    python -m repro compare QAOA_n128
+
+Machine specs:
+
+* ``grid:RxC:CAP`` — monolithic QCCD grid (baseline hardware).
+* ``eml[:CAP[:OPTICAL]]`` — EML-QCCD sized to the circuit (§4 rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_fidelity, render_table
+from .baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
+from .core import MussTiCompiler, MussTiConfig
+from .hardware import EMLQCCDMachine, Machine, ModuleLayout, QCCDGridMachine
+from .physics import PhysicalParams
+from .sim import execute, fidelity_breakdown, render_breakdown, verify_program
+from .sim.trace import render_timeline, save_trace
+from .workloads import available_benchmarks, get_benchmark
+
+COMPILERS = {
+    "muss-ti": lambda: MussTiCompiler(),
+    "trivial": lambda: MussTiCompiler(MussTiConfig.trivial()),
+    "sabre": lambda: MussTiCompiler(MussTiConfig.sabre_only()),
+    "swap-insert": lambda: MussTiCompiler(MussTiConfig.swap_insert_only()),
+    "murali": MuraliCompiler,
+    "dai": DaiCompiler,
+    "mqt": MqtLikeCompiler,
+}
+
+PARAMS = {
+    "default": PhysicalParams,
+    "perfect-gate": lambda: PhysicalParams().perfect_gate(),
+    "perfect-shuttle": lambda: PhysicalParams().perfect_shuttle(),
+}
+
+
+def parse_machine(spec: str, num_qubits: int) -> Machine:
+    """Resolve a machine spec string (see module docstring)."""
+    parts = spec.split(":")
+    if parts[0] == "grid":
+        if len(parts) != 3:
+            raise ValueError(f"grid spec must be grid:RxC:CAP, got {spec!r}")
+        rows_text, _, cols_text = parts[1].partition("x")
+        return QCCDGridMachine(int(rows_text), int(cols_text), int(parts[2]))
+    if parts[0] == "eml":
+        capacity = int(parts[1]) if len(parts) > 1 else 16
+        optical = int(parts[2]) if len(parts) > 2 else 1
+        layout = ModuleLayout(num_optical=optical)
+        return EMLQCCDMachine.for_circuit_size(
+            num_qubits, trap_capacity=capacity, layout=layout
+        )
+    raise ValueError(f"unknown machine spec {spec!r} (want grid:... or eml...)")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("canonical paper suite:")
+    for name in available_benchmarks():
+        circuit = get_benchmark(name)
+        print(
+            f"  {name:12s} {circuit.num_qubits:4d} qubits, "
+            f"{len(circuit):6d} gates ({circuit.num_two_qubit_gates} two-qubit)"
+        )
+    print()
+    print("families accept any size, e.g. GHZ_n48, QV_n20, Ising_n64, HS_n16")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    circuit = get_benchmark(args.benchmark)
+    machine = parse_machine(args.machine, circuit.num_qubits)
+    compiler = COMPILERS[args.compiler]()
+    program = compiler.compile(circuit, machine)
+    if not args.no_verify:
+        verify_program(program)
+    params = PARAMS[args.params]()
+    report = execute(program, params)
+    print(report.summary())
+    if args.breakdown:
+        print()
+        print(render_breakdown(fidelity_breakdown(program, params)))
+    if args.timeline:
+        print()
+        print(render_timeline(program))
+    if args.trace:
+        save_trace(program, args.trace)
+        print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    circuit = get_benchmark(args.benchmark)
+    grid = parse_machine(args.grid, circuit.num_qubits)
+    eml = parse_machine(args.eml, circuit.num_qubits)
+    rows = []
+    for key, machine in (
+        ("murali", grid),
+        ("dai", grid),
+        ("mqt", grid),
+        ("muss-ti", eml),
+    ):
+        program = COMPILERS[key]().compile(circuit, machine)
+        report = execute(program)
+        rows.append(
+            [
+                program.compiler_name,
+                report.shuttle_count,
+                f"{report.execution_time_us:.0f}",
+                format_fidelity(report.fidelity, report.log10_fidelity),
+                f"{program.compile_time_s:.2f}",
+            ]
+        )
+    print(f"{circuit.name}: baselines on {grid.describe()};")
+    print(f"MUSS-TI on {eml.describe()}")
+    print()
+    print(
+        render_table(
+            ["compiler", "shuttles", "time (us)", "fidelity", "compile (s)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MUSS-TI reproduction command line",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list benchmark workloads").set_defaults(
+        handler=_cmd_list
+    )
+
+    compile_parser = commands.add_parser("compile", help="compile one workload")
+    compile_parser.add_argument("benchmark", help="e.g. Adder_n32")
+    compile_parser.add_argument("--machine", default="eml", help="grid:RxC:CAP or eml[:CAP[:OPT]]")
+    compile_parser.add_argument(
+        "--compiler", choices=sorted(COMPILERS), default="muss-ti"
+    )
+    compile_parser.add_argument(
+        "--params", choices=sorted(PARAMS), default="default"
+    )
+    compile_parser.add_argument(
+        "--timeline", action="store_true", help="print an ASCII zone timeline"
+    )
+    compile_parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="print the fidelity loss split by channel",
+    )
+    compile_parser.add_argument("--trace", help="write a JSON op trace here")
+    compile_parser.add_argument(
+        "--no-verify", action="store_true", help="skip schedule verification"
+    )
+    compile_parser.set_defaults(handler=_cmd_compile)
+
+    compare_parser = commands.add_parser(
+        "compare", help="all four compilers on one workload"
+    )
+    compare_parser.add_argument("benchmark")
+    compare_parser.add_argument("--grid", default="grid:3x4:16")
+    compare_parser.add_argument("--eml", default="eml")
+    compare_parser.set_defaults(handler=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""MUSS-TI compiler configuration.
+
+The four ablation arms of Fig 8 are expressed as flag combinations:
+
+* *Trivial*            — ``use_sabre_mapping=False, use_swap_insertion=False``
+* *SWAP Insert*        — ``use_sabre_mapping=False, use_swap_insertion=True``
+* *SABRE*              — ``use_sabre_mapping=True,  use_swap_insertion=False``
+* *SABRE + SWAP Insert* — both true (the full MUSS-TI, the default).
+
+``lookahead_k`` and ``swap_threshold`` are the §3.3 constants (k = 8, T = 4;
+T must be at least 3 because a SWAP costs three MS gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MussTiConfig:
+    """Tunable knobs of the MUSS-TI scheduling pipeline."""
+
+    lookahead_k: int = 8
+    swap_threshold: int = 4
+    use_swap_insertion: bool = True
+    use_sabre_mapping: bool = True
+    use_lru: bool = True
+    #: Batch-eviction low-water mark for optical zones: once an eviction is
+    #: unavoidable, demote cold ions until this many slots are free, so
+    #: subsequent fiber-gate arrivals don't each pay an eviction.
+    optical_slack: int = 8
+
+    def __post_init__(self) -> None:
+        if self.lookahead_k < 1:
+            raise ValueError(f"lookahead_k must be >= 1, got {self.lookahead_k}")
+        if self.swap_threshold < 3:
+            raise ValueError(
+                "swap_threshold must be >= 3 (a SWAP costs three MS gates), "
+                f"got {self.swap_threshold}"
+            )
+        if self.optical_slack < 0:
+            raise ValueError(
+                f"optical_slack must be >= 0, got {self.optical_slack}"
+            )
+
+    # -- the four ablation arms (Fig 8) ---------------------------------
+
+    @classmethod
+    def trivial(cls) -> "MussTiConfig":
+        return cls(use_sabre_mapping=False, use_swap_insertion=False)
+
+    @classmethod
+    def swap_insert_only(cls) -> "MussTiConfig":
+        return cls(use_sabre_mapping=False, use_swap_insertion=True)
+
+    @classmethod
+    def sabre_only(cls) -> "MussTiConfig":
+        return cls(use_sabre_mapping=True, use_swap_insertion=False)
+
+    @classmethod
+    def full(cls) -> "MussTiConfig":
+        return cls()
+
+    def with_lookahead(self, k: int) -> "MussTiConfig":
+        """Fig 9's sweep knob."""
+        return replace(self, lookahead_k=k)
+
+    @property
+    def label(self) -> str:
+        """Human-readable arm name (matches Fig 8's legend)."""
+        if self.use_sabre_mapping and self.use_swap_insertion:
+            return "SABRE + SWAP Insert"
+        if self.use_sabre_mapping:
+            return "SABRE"
+        if self.use_swap_insertion:
+            return "SWAP Insert"
+        return "Trivial"

@@ -1,0 +1,156 @@
+"""Exhaustive minimal-shuttle scheduler for tiny instances.
+
+A uniform-cost search over (executed-gates, qubit-placement) states that
+finds the true minimum number of inter-zone moves needed to execute a
+circuit.  Chain ordering inside a zone is ignored (chain swaps are free
+here), so the result is a *lower bound* on any real schedule's shuttle
+count — which is exactly what makes it useful:
+
+* tests assert ``optimal <= MussTiCompiler's count`` (soundness of the
+  bound) and ``MussTi <= optimal + slack`` (near-optimality on small cases),
+  quantifying the §5.9 optimality discussion;
+* it doubles as ground truth when tuning routing heuristics.
+
+Complexity is exponential; guard rails reject instances beyond ~8 qubits /
+~12 two-qubit gates / ~8 zones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from ..circuits import DependencyGraph, QuantumCircuit, validate_native
+from ..hardware import Machine
+
+
+class OptimalSearchError(ValueError):
+    """Raised when the instance is too large for exhaustive search."""
+
+
+def _check_size(circuit: QuantumCircuit, machine: Machine) -> None:
+    two_qubit = circuit.num_two_qubit_gates
+    if circuit.num_qubits > 8:
+        raise OptimalSearchError(
+            f"exhaustive search capped at 8 qubits, got {circuit.num_qubits}"
+        )
+    if two_qubit > 12:
+        raise OptimalSearchError(
+            f"exhaustive search capped at 12 two-qubit gates, got {two_qubit}"
+        )
+    if machine.num_zones > 8:
+        raise OptimalSearchError(
+            f"exhaustive search capped at 8 zones, got {machine.num_zones}"
+        )
+
+
+def _executable(machine: Machine, placement: tuple[int, ...], a: int, b: int) -> bool:
+    zone_a = machine.zone(placement[a])
+    zone_b = machine.zone(placement[b])
+    if placement[a] == placement[b]:
+        return zone_a.allows_gates
+    return (
+        zone_a.allows_fiber
+        and zone_b.allows_fiber
+        and zone_a.module_id != zone_b.module_id
+    )
+
+
+def minimum_shuttles(
+    circuit: QuantumCircuit,
+    machine: Machine,
+    initial_placement: dict[int, tuple[int, ...]],
+) -> int:
+    """Minimum inter-zone moves to execute ``circuit`` from the placement.
+
+    One-qubit gates are free (they execute in place); a move of one qubit to
+    an adjacent zone costs 1; multi-hop transport costs its hop count
+    (machine adjacency applies).  Logical SWAP insertion is not modelled,
+    so this is the optimum over *pure shuttle* schedules.
+    """
+    validate_native(circuit)
+    _check_size(circuit, machine)
+
+    # Two-qubit gates in dependency order per qubit pair; one-qubit gates
+    # are irrelevant to shuttle cost.
+    dag = DependencyGraph(circuit.without_non_unitary())
+    order: list[tuple[int, int]] = []
+    node_of: dict[int, int] = {}
+    while not dag.is_empty:
+        node = dag.frontier()[0]
+        gate = dag.gate(node)
+        if gate.is_two_qubit:
+            node_of[node] = len(order)
+            order.append(gate.qubits)
+        dag.complete(node)
+    # Rebuild pairwise dependencies among the two-qubit gates only.
+    deps: list[set[int]] = [set() for _ in order]
+    last_on_qubit: dict[int, int] = {}
+    for index, (a, b) in enumerate(order):
+        for q in (a, b):
+            if q in last_on_qubit:
+                deps[index].add(last_on_qubit[q])
+            last_on_qubit[q] = index
+
+    start = [0] * circuit.num_qubits
+    for zone_id, chain in initial_placement.items():
+        for qubit in chain:
+            start[qubit] = zone_id
+    capacities = [zone.capacity for zone in machine.zones]
+
+    def occupancy(placement: tuple[int, ...]) -> list[int]:
+        filled = [0] * machine.num_zones
+        for zone_id in placement:
+            filled[zone_id] += 1
+        return filled
+
+    start_state = (0, tuple(start))  # (executed mask over `order`, placement)
+    full_mask = (1 << len(order)) - 1
+    if not order:
+        return 0
+
+    tie = count()
+    frontier: list[tuple[int, int, tuple[int, tuple[int, ...]]]] = [
+        (0, next(tie), start_state)
+    ]
+    best: dict[tuple[int, tuple[int, ...]], int] = {start_state: 0}
+
+    while frontier:
+        cost, _, (mask, placement) = heapq.heappop(frontier)
+        if best.get((mask, placement), -1) != cost:
+            continue
+        # Execute every currently-executable gate greedily (free, and
+        # executing more never hurts: it only relaxes future dependencies).
+        changed = True
+        while changed:
+            changed = False
+            for index, (a, b) in enumerate(order):
+                bit = 1 << index
+                if mask & bit:
+                    continue
+                if any(not mask & (1 << d) for d in deps[index]):
+                    continue
+                if _executable(machine, placement, a, b):
+                    mask |= bit
+                    changed = True
+        if mask == full_mask:
+            return cost
+        key = (mask, placement)
+        if best.get(key, cost + 1) < cost:
+            continue
+        best[key] = cost
+        filled = occupancy(placement)
+        # Branch: move any qubit one hop in the shuttle graph.
+        for qubit, zone_id in enumerate(placement):
+            for neighbour in machine.neighbours(zone_id):
+                if filled[neighbour] >= capacities[neighbour]:
+                    continue
+                moved = list(placement)
+                moved[qubit] = neighbour
+                state = (mask, tuple(moved))
+                new_cost = cost + 1
+                if best.get(state, new_cost + 1) > new_cost:
+                    best[state] = new_cost
+                    heapq.heappush(frontier, (new_cost, next(tie), state))
+
+    raise OptimalSearchError("search exhausted without executing all gates")

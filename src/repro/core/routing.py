@@ -1,0 +1,306 @@
+"""Multi-level qubit routing and conflict handling (paper §3.2).
+
+Routing answers two questions for a selected two-qubit gate:
+
+* **Which zone should host the gate?**  Among the gate-capable zones of the
+  qubits' module we pick the zone minimising (ions that must move, eviction
+  pressure, level distance) — the paper's "available and closest in level"
+  policy, which in Fig 4 chooses the level-2 zone where one operand already
+  sits.
+* **What if the zone is full?**  Conflict handling evicts the least-recently
+  used resident (the page-fault analogy) to the closest lower-level zone
+  with space, cascading to any zone with space as a last resort.
+"""
+
+from __future__ import annotations
+
+from ..hardware import Zone
+from .state import MachineState, RoutingError
+
+
+def gate_capable_zones(state: MachineState, module_id: int) -> list[Zone]:
+    return [
+        zone
+        for zone in state.machine.zones_in_module(module_id)
+        if zone.allows_gates
+    ]
+
+
+def optical_zones(state: MachineState, module_id: int) -> list[Zone]:
+    return [
+        zone
+        for zone in state.machine.zones_in_module(module_id)
+        if zone.allows_fiber
+    ]
+
+
+def _eviction_target(
+    state: MachineState, from_zone: int, protected: frozenset[int]
+) -> int:
+    """Pick where an evicted qubit goes: closest lower level with space."""
+    machine = state.machine
+    module_id = machine.zone(from_zone).module_id
+    from_level = machine.zone(from_zone).level
+    candidates = [
+        zone
+        for zone in machine.zones_in_module(module_id)
+        if zone.zone_id != from_zone and state.free_space(zone.zone_id) > 0
+    ]
+    if not candidates:
+        raise RoutingError(
+            f"module {module_id} has no free space to evict from zone {from_zone}"
+        )
+
+    def preference(zone: Zone) -> tuple:
+        is_lower = zone.level < from_level
+        # Prefer lower levels (multi-level demotion), the closest level
+        # first, then the nearest and emptiest zone.  On uniform grids all
+        # levels tie and hop distance decides.
+        return (
+            0 if is_lower else 1,
+            abs(zone.level - (from_level - 1)),
+            machine.hop_distance(from_zone, zone.zone_id),
+            -state.free_space(zone.zone_id),
+        )
+
+    return min(candidates, key=preference).zone_id
+
+
+def make_room(
+    state: MachineState,
+    zone_id: int,
+    needed: int,
+    protected: frozenset[int],
+    *,
+    use_lru: bool = True,
+    future_qubits: frozenset[int] = frozenset(),
+    slack: int = 0,
+) -> None:
+    """Evict residents of ``zone_id`` until ``needed`` slots are free.
+
+    ``slack`` enables batch eviction: once an eviction is unavoidable, keep
+    demoting cold residents down to a low-water mark of ``needed + slack``
+    free slots (the classic cache strategy of evicting in bulk so the next
+    arrivals are free).  Qubits needed inside the look-ahead window are never
+    demoted for slack.
+    """
+    capacity = state.machine.zone(zone_id).capacity
+    if state.free_space(zone_id) >= needed:
+        return
+    goal = min(needed + max(slack, 0), capacity)
+    guard = 0
+    while state.free_space(zone_id) < goal:
+        guard += 1
+        if guard > capacity + 1:
+            raise RoutingError(f"eviction from zone {zone_id} does not converge")
+        past_need = state.free_space(zone_id) >= needed
+        protect = protected | future_qubits if past_need else protected
+        try:
+            if use_lru:
+                victim = state.lru_victim(zone_id, protect, future_qubits)
+            else:
+                victim = state.fifo_victim(zone_id, protect)
+            target = _eviction_target(state, zone_id, protected)
+        except RoutingError:
+            if past_need:
+                return  # slack is best-effort; the hard need is satisfied
+            raise
+        state.shuttle(victim, target)
+        state.stats["evictions"] += 1
+
+
+def choose_local_zone(
+    state: MachineState,
+    qubit_a: int,
+    qubit_b: int,
+    future_partners: dict[int, int] | None = None,
+) -> int:
+    """Zone that will host a local two-qubit gate on two same-module qubits.
+
+    ``future_partners`` maps zone id -> number of upcoming gate partners of
+    the two operands residing there (computed from the first ``k`` DAG
+    layers).  It breaks cost ties toward the zone where the pair's near
+    future lives — the memory-hierarchy locality principle: schedule the
+    working set where it will be reused.
+    """
+    module_id = state.module_of(qubit_a)
+    if state.module_of(qubit_b) != module_id:
+        raise RoutingError(
+            f"qubits {qubit_a} and {qubit_b} are on different modules"
+        )
+    machine = state.machine
+    candidates = gate_capable_zones(state, module_id)
+    if not candidates:
+        raise RoutingError(f"module {module_id} has no gate-capable zone")
+
+    zone_a = state.zone_of(qubit_a)
+    zone_b = state.zone_of(qubit_b)
+    future_partners = future_partners or {}
+    # Operands with upcoming partners on *other* modules will need the
+    # optical zone soon anyway; hosting their local gates there avoids the
+    # optical<->operation ping-pong around every fiber gate.
+    module_zone_ids = {
+        zone.zone_id for zone in machine.zones_in_module(module_id)
+    }
+    remote_partner_count = sum(
+        count
+        for zone_id, count in future_partners.items()
+        if zone_id not in module_zone_ids
+    )
+
+    def cost(zone: Zone) -> tuple:
+        movers = [
+            q
+            for q, current in ((qubit_a, zone_a), (qubit_b, zone_b))
+            if current != zone.zone_id
+        ]
+        hops = sum(
+            machine.hop_distance(state.zone_of(q), zone.zone_id) for q in movers
+        )
+        overflow = max(0, len(movers) - state.free_space(zone.zone_id))
+        fiber_pull = 1 if zone.allows_fiber and remote_partner_count > 0 else 0
+        level_distance = sum(
+            abs(machine.zone(state.zone_of(q)).level - zone.level)
+            for q in movers
+        )
+        # Shuttle work first (each hop travelled and each eviction is one
+        # shuttle, and a pending fiber gate credits the optical zone one
+        # shuttle), then level proximity, then future locality, then prefer
+        # the higher level and the less-pressured zone.
+        return (
+            hops + overflow - fiber_pull,
+            level_distance,
+            -future_partners.get(zone.zone_id, 0),
+            -zone.level,
+            state.zone_usage[zone.zone_id],
+        )
+
+    return min(candidates, key=cost).zone_id
+
+
+def choose_optical_zone(state: MachineState, qubit: int) -> int:
+    """Optical zone that will host ``qubit`` for a fiber operation.
+
+    With several optical zones (Fig 12) the choice balances eviction need
+    and accumulated pressure, spreading fiber traffic (and therefore heat)
+    across zones.
+    """
+    module_id = state.module_of(qubit)
+    candidates = optical_zones(state, module_id)
+    if not candidates:
+        raise RoutingError(f"module {module_id} has no optical zone")
+    current = state.zone_of(qubit)
+    for zone in candidates:
+        if zone.zone_id == current:
+            return current
+
+    def cost(zone: Zone) -> tuple:
+        overflow = max(0, 1 - state.free_space(zone.zone_id))
+        return (
+            overflow,
+            state.zone_usage[zone.zone_id],
+            -state.free_space(zone.zone_id),
+        )
+
+    return min(candidates, key=cost).zone_id
+
+
+def future_partner_census(
+    state: MachineState, qubit_a: int, qubit_b: int, future_pairs
+) -> dict[int, int]:
+    """Count upcoming partners of the two operands per zone.
+
+    ``future_pairs`` is an iterable of two-qubit operand pairs drawn from the
+    first ``k`` DAG layers (the same look-ahead window the SWAP weight table
+    uses).
+    """
+    census: dict[int, int] = {}
+    operands = (qubit_a, qubit_b)
+    for u, v in future_pairs:
+        for mine, partner in ((u, v), (v, u)):
+            if mine in operands and partner not in operands:
+                zone_id = state.location.get(partner)
+                if zone_id is not None:
+                    census[zone_id] = census.get(zone_id, 0) + 1
+    return census
+
+
+def route_local_gate(
+    state: MachineState,
+    qubit_a: int,
+    qubit_b: int,
+    *,
+    use_lru: bool = True,
+    future_pairs=(),
+    slack: int = 0,
+) -> int:
+    """Bring two same-module qubits into one gate-capable zone; returns it.
+
+    ``slack`` applies batch eviction when the chosen host is an optical
+    zone, keeping fiber-gate head-room available (see :func:`make_room`).
+    """
+    census = future_partner_census(state, qubit_a, qubit_b, future_pairs)
+    target = choose_local_zone(state, qubit_a, qubit_b, census)
+    protected = frozenset((qubit_a, qubit_b))
+    future_qubits = frozenset(q for pair in future_pairs for q in pair)
+    movers = [q for q in (qubit_a, qubit_b) if state.zone_of(q) != target]
+    if movers:
+        make_room(
+            state,
+            target,
+            len(movers),
+            protected,
+            use_lru=use_lru,
+            future_qubits=future_qubits,
+            slack=slack if state.machine.zone(target).allows_fiber else 0,
+        )
+        for qubit in movers:
+            state.shuttle(qubit, target)
+    return target
+
+
+def route_to_optical(
+    state: MachineState,
+    qubit: int,
+    *,
+    use_lru: bool = True,
+    future_qubits: frozenset[int] = frozenset(),
+    slack: int = 0,
+) -> int:
+    """Bring one qubit into an optical zone of its module; returns the zone."""
+    target = choose_optical_zone(state, qubit)
+    if state.zone_of(qubit) != target:
+        make_room(
+            state,
+            target,
+            1,
+            frozenset((qubit,)),
+            use_lru=use_lru,
+            future_qubits=future_qubits,
+            slack=slack,
+        )
+        state.shuttle(qubit, target)
+    return target
+
+
+def route_fiber_gate(
+    state: MachineState,
+    qubit_a: int,
+    qubit_b: int,
+    *,
+    use_lru: bool = True,
+    future_qubits: frozenset[int] = frozenset(),
+    slack: int = 0,
+) -> tuple[int, int]:
+    """Bring two different-module qubits into their optical zones."""
+    if state.same_module(qubit_a, qubit_b):
+        raise RoutingError(
+            f"qubits {qubit_a} and {qubit_b} share a module; use a local gate"
+        )
+    zone_a = route_to_optical(
+        state, qubit_a, use_lru=use_lru, future_qubits=future_qubits, slack=slack
+    )
+    zone_b = route_to_optical(
+        state, qubit_b, use_lru=use_lru, future_qubits=future_qubits, slack=slack
+    )
+    return zone_a, zone_b

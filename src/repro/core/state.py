@@ -1,0 +1,245 @@
+"""Compile-time machine state and op emission.
+
+:class:`MachineState` is the single mutable object threaded through the
+MUSS-TI scheduling loop: it mirrors what the executor will later replay
+(per-zone ion chains, logical-qubit locations) plus compile-time-only
+bookkeeping (LRU timestamps, per-zone usage pressure used for load
+balancing across multiple optical zones).
+
+All physical-op emission funnels through :meth:`shuttle`, which handles the
+chain-edge discipline: an interior ion is first bubbled to the nearest chain
+edge with physical chain swaps (Fig 4's "SWAP insert" of the qubit chain),
+then split, moved hop by hop, and merged at the destination tail.
+"""
+
+from __future__ import annotations
+
+from ..hardware import Machine
+from ..sim.ops import (
+    ChainSwapOp,
+    FiberGateOp,
+    GateOp,
+    MergeOp,
+    MoveOp,
+    Operation,
+    SplitOp,
+    SwapGateOp,
+)
+from ..circuits import Gate
+
+
+class RoutingError(RuntimeError):
+    """Raised when no legal routing decision exists (machine overfull)."""
+
+
+class MachineState:
+    """Mutable scheduling state over a machine."""
+
+    def __init__(
+        self, machine: Machine, initial_placement: dict[int, tuple[int, ...]]
+    ) -> None:
+        self.machine = machine
+        self.chains: dict[int, list[int]] = {
+            zone.zone_id: [] for zone in machine.zones
+        }
+        self.location: dict[int, int] = {}
+        for zone_id, chain in initial_placement.items():
+            self.chains[zone_id] = list(chain)
+            for qubit in chain:
+                if qubit in self.location:
+                    raise RoutingError(f"qubit {qubit} placed twice")
+                self.location[qubit] = zone_id
+        self.initial_placement = {
+            zone_id: tuple(chain)
+            for zone_id, chain in initial_placement.items()
+            if chain
+        }
+        self.operations: list[Operation] = []
+        self._clock = 0
+        self.last_used: dict[int, int] = {q: 0 for q in self.location}
+        #: compile-time pressure proxy: ops emitted touching each zone.
+        self.zone_usage: dict[int, float] = {
+            zone.zone_id: 0.0 for zone in machine.zones
+        }
+        self.stats = {
+            "shuttles": 0,
+            "chain_swaps": 0,
+            "evictions": 0,
+            "inserted_swaps": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def zone_of(self, qubit: int) -> int:
+        return self.location[qubit]
+
+    def module_of(self, qubit: int) -> int:
+        return self.machine.zone(self.location[qubit]).module_id
+
+    def free_space(self, zone_id: int) -> int:
+        return self.machine.zone(zone_id).capacity - len(self.chains[zone_id])
+
+    def qubits_in_module(self, module_id: int) -> list[int]:
+        qubits: list[int] = []
+        for zone in self.machine.zones_in_module(module_id):
+            qubits.extend(self.chains[zone.zone_id])
+        return qubits
+
+    def co_located(self, qubit_a: int, qubit_b: int) -> bool:
+        return self.location[qubit_a] == self.location[qubit_b]
+
+    def same_module(self, qubit_a: int, qubit_b: int) -> bool:
+        return self.module_of(qubit_a) == self.module_of(qubit_b)
+
+    # ------------------------------------------------------------------
+    # LRU clock
+    # ------------------------------------------------------------------
+
+    def touch(self, *qubits: int) -> None:
+        """Record gate usage for the LRU replacement policy (§3.2)."""
+        self._clock += 1
+        for qubit in qubits:
+            self.last_used[qubit] = self._clock
+
+    def lru_victim(
+        self,
+        zone_id: int,
+        protected: frozenset[int],
+        future_qubits: frozenset[int] = frozenset(),
+    ) -> int:
+        """Least-recently-used evictable qubit of a zone (paper's policy).
+
+        ``future_qubits`` — operands of gates within the look-ahead window —
+        are spared while alternatives exist, giving the LRU scheduler the
+        anticipatory awareness §5.1 attributes to the bidirectional mapping.
+        """
+        candidates = [q for q in self.chains[zone_id] if q not in protected]
+        if not candidates:
+            raise RoutingError(
+                f"zone {zone_id} has no evictable qubit (all protected)"
+            )
+        return min(
+            candidates,
+            key=lambda q: (q in future_qubits, self.last_used[q]),
+        )
+
+    def fifo_victim(self, zone_id: int, protected: frozenset[int]) -> int:
+        """Chain-head eviction, the no-LRU ablation alternative."""
+        for qubit in self.chains[zone_id]:
+            if qubit not in protected:
+                return qubit
+        raise RoutingError(f"zone {zone_id} has no evictable qubit (all protected)")
+
+    # ------------------------------------------------------------------
+    # Physical op emission
+    # ------------------------------------------------------------------
+
+    def _bubble_to_edge(self, qubit: int) -> None:
+        """Emit chain swaps moving ``qubit`` to the nearest edge of its chain."""
+        zone_id = self.location[qubit]
+        chain = self.chains[zone_id]
+        position = chain.index(qubit)
+        to_head = position
+        to_tail = len(chain) - 1 - position
+        if to_head == 0 or to_tail == 0:
+            return
+        if to_head <= to_tail:
+            while position > 0:
+                self.operations.append(ChainSwapOp(zone_id, position - 1))
+                chain[position - 1], chain[position] = (
+                    chain[position],
+                    chain[position - 1],
+                )
+                position -= 1
+                self.stats["chain_swaps"] += 1
+        else:
+            while position < len(chain) - 1:
+                self.operations.append(ChainSwapOp(zone_id, position))
+                chain[position], chain[position + 1] = (
+                    chain[position + 1],
+                    chain[position],
+                )
+                position += 1
+                self.stats["chain_swaps"] += 1
+
+    def shuttle(self, qubit: int, destination_zone: int) -> None:
+        """Move a qubit to another zone: chain swaps + split + moves + merge.
+
+        The caller must have secured capacity in the destination.
+        """
+        source_zone = self.location[qubit]
+        if source_zone == destination_zone:
+            return
+        if self.free_space(destination_zone) < 1:
+            raise RoutingError(
+                f"shuttle of qubit {qubit} into full zone {destination_zone}"
+            )
+        path = self.machine.shuttle_path(source_zone, destination_zone)
+        self._bubble_to_edge(qubit)
+        self.operations.append(SplitOp(qubit, source_zone))
+        self.chains[source_zone].remove(qubit)
+        for here, there in zip(path, path[1:]):
+            self.operations.append(MoveOp(qubit, here, there))
+            self.stats["shuttles"] += 1
+            self.zone_usage[there] += 1.0
+        self.zone_usage[source_zone] += 1.0
+        self.operations.append(MergeOp(qubit, destination_zone))
+        self.chains[destination_zone].append(qubit)
+        self.location[qubit] = destination_zone
+        self._clock += 1
+        self.last_used.setdefault(qubit, self._clock)
+
+    # ------------------------------------------------------------------
+    # Gate emission
+    # ------------------------------------------------------------------
+
+    def emit_one_qubit_gate(self, gate: Gate, circuit_index: int) -> None:
+        """1q gates execute wherever the ion sits (§3.1 simplification)."""
+        zone_id = self.location[gate.qubits[0]]
+        self.operations.append(GateOp(gate, zone_id, circuit_index))
+
+    def emit_local_gate(self, gate: Gate, circuit_index: int) -> None:
+        zone_id = self.location[gate.qubits[0]]
+        if self.location[gate.qubits[1]] != zone_id:
+            raise RoutingError(
+                f"local gate {gate} operands not co-located: "
+                f"{self.location[gate.qubits[0]]} vs {self.location[gate.qubits[1]]}"
+            )
+        self.operations.append(GateOp(gate, zone_id, circuit_index))
+        self.zone_usage[zone_id] += 0.25
+        self.touch(*gate.qubits)
+
+    def emit_fiber_gate(self, gate: Gate, circuit_index: int) -> None:
+        qubit_a, qubit_b = gate.qubits
+        zone_a = self.location[qubit_a]
+        zone_b = self.location[qubit_b]
+        self.operations.append(FiberGateOp(gate, zone_a, zone_b, circuit_index))
+        self.zone_usage[zone_a] += 0.5
+        self.zone_usage[zone_b] += 0.5
+        self.touch(*gate.qubits)
+
+    def emit_swap_gate(self, qubit_a: int, qubit_b: int) -> None:
+        """Emit a logical SWAP and update the chains/locations to match."""
+        zone_a = self.location[qubit_a]
+        zone_b = self.location[qubit_b]
+        self.operations.append(SwapGateOp(qubit_a, qubit_b, zone_a, zone_b))
+        chain_a = self.chains[zone_a]
+        chain_b = self.chains[zone_b]
+        chain_a[chain_a.index(qubit_a)] = qubit_b
+        chain_b[chain_b.index(qubit_b)] = qubit_a
+        self.location[qubit_a] = zone_b
+        self.location[qubit_b] = zone_a
+        self.stats["inserted_swaps"] += 1
+        self.zone_usage[zone_a] += 0.75
+        self.zone_usage[zone_b] += 0.75
+        self.touch(qubit_a, qubit_b)
+
+    def final_placement(self) -> dict[int, tuple[int, ...]]:
+        """Chains at the end of scheduling (SABRE's pass output)."""
+        return {
+            zone_id: tuple(chain)
+            for zone_id, chain in self.chains.items()
+            if chain
+        }

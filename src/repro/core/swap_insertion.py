@@ -1,0 +1,138 @@
+"""Logical SWAP insertion across modules (paper §3.3).
+
+After a cross-module (fiber) gate on qubits ``q_a``/``q_b``, MUSS-TI asks
+whether either operand would be better off *living* on the remote module.
+The decision uses a weight table ``W(q, c)``: the number of two-qubit gates
+within the first ``k`` DAG layers that couple qubit ``q`` with any qubit
+currently resident on module ``c``.
+
+The insertion rule (with threshold ``T``, default 4 > 3 MS gates per SWAP):
+
+* ``W(q, home(q)) == 0``            — q is done on its own module, and
+* ``W(q, c_j) > T`` for some remote module ``c_j``        — q has heavy
+  upcoming traffic there, and
+* some qubit ``q_c`` on ``c_j`` has ``W(q_c, c_j) == 0``  — a free rider
+  willing to vacate.
+
+Then a remote logical SWAP (3 fiber MS gates) exchanges ``q`` and ``q_c``,
+turning all those upcoming fiber gates into cheap local ones (Fig 5).
+"""
+
+from __future__ import annotations
+
+from ..circuits import DependencyGraph, Gate
+from .config import MussTiConfig
+from .routing import route_to_optical
+from .state import MachineState
+
+
+class WeightTable:
+    """``W(q, c)`` over the first ``k`` layers of the remaining DAG."""
+
+    def __init__(self, dag: DependencyGraph, state: MachineState, k: int) -> None:
+        self._weights: dict[int, dict[int, int]] = {}
+        self._partners: dict[int, dict[int, int]] = {}
+        for _, gate in dag.gates_within_layers(k):
+            if not gate.is_two_qubit:
+                continue
+            qubit_a, qubit_b = gate.qubits
+            module_a = state.module_of(qubit_a)
+            module_b = state.module_of(qubit_b)
+            self._weights.setdefault(qubit_a, {}).setdefault(module_b, 0)
+            self._weights[qubit_a][module_b] += 1
+            self._weights.setdefault(qubit_b, {}).setdefault(module_a, 0)
+            self._weights[qubit_b][module_a] += 1
+            self._partners.setdefault(qubit_a, {}).setdefault(qubit_b, 0)
+            self._partners[qubit_a][qubit_b] += 1
+            self._partners.setdefault(qubit_b, {}).setdefault(qubit_a, 0)
+            self._partners[qubit_b][qubit_a] += 1
+
+    def weight(self, qubit: int, module_id: int) -> int:
+        return self._weights.get(qubit, {}).get(module_id, 0)
+
+    def row(self, qubit: int) -> dict[int, int]:
+        return dict(self._weights.get(qubit, {}))
+
+    def total(self, qubit: int) -> int:
+        """Upcoming two-qubit gates involving ``qubit`` (any module)."""
+        return sum(self._weights.get(qubit, {}).values())
+
+    def partner_count(self, qubit: int, partner: int) -> int:
+        """Upcoming gates directly coupling ``qubit`` with ``partner``."""
+        return self._partners.get(qubit, {}).get(partner, 0)
+
+    def active_qubits(self) -> frozenset[int]:
+        """Qubits with at least one gate inside the look-ahead window."""
+        return frozenset(
+            qubit for qubit, row in self._weights.items() if row
+        )
+
+
+def maybe_insert_swaps(
+    state: MachineState,
+    dag: DependencyGraph,
+    config: MussTiConfig,
+    executed_gate: Gate,
+) -> int:
+    """Apply the §3.3 rule to both operands of a just-executed fiber gate.
+
+    Returns the number of SWAPs inserted (0, 1 or 2).
+    """
+    if not config.use_swap_insertion:
+        return 0
+    table = WeightTable(dag, state, config.lookahead_k)
+    inserted = 0
+    busy = set(executed_gate.qubits)
+    for qubit in executed_gate.qubits:
+        if _consider_swap(state, table, config, qubit, busy):
+            inserted += 1
+            # Residency changed; recompute weights for the second operand.
+            table = WeightTable(dag, state, config.lookahead_k)
+    return inserted
+
+
+def _consider_swap(
+    state: MachineState,
+    table: WeightTable,
+    config: MussTiConfig,
+    qubit: int,
+    busy: set[int],
+) -> bool:
+    home = state.module_of(qubit)
+    if table.weight(qubit, home) != 0:
+        return False
+    row = table.row(qubit)
+    remote = [(weight, module) for module, weight in row.items() if module != home]
+    if not remote:
+        return False
+    best_weight, best_module = max(remote)
+    if best_weight <= config.swap_threshold:
+        return False
+
+    candidates = [
+        partner
+        for partner in state.qubits_in_module(best_module)
+        if partner not in busy
+        and table.weight(partner, best_module) == 0
+        and table.partner_count(partner, qubit) == 0
+    ]
+    if not candidates:
+        return False
+    # Prefer a truly idle partner (no near-term gates at all) so the swap
+    # does not displace someone who is about to be needed; break remaining
+    # ties toward the most recently used, whose residency information is the
+    # freshest.
+    partner = min(
+        candidates,
+        key=lambda c: (table.total(c), -state.last_used.get(c, 0)),
+    )
+
+    future_qubits = table.active_qubits()
+    route_to_optical(
+        state, qubit, use_lru=config.use_lru, future_qubits=future_qubits
+    )
+    route_to_optical(
+        state, partner, use_lru=config.use_lru, future_qubits=future_qubits
+    )
+    state.emit_swap_gate(qubit, partner)
+    return True

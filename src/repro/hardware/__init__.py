@@ -1,0 +1,29 @@
+"""Hardware models: zones, EML-QCCD machines and baseline QCCD grids."""
+
+from .eml import DEFAULT_MODULE_QUBIT_LIMIT, EMLQCCDMachine, ModuleLayout
+from .grid import PAPER_GRIDS, QCCDGridMachine, paper_grid
+from .machine import Machine, MachineError
+from .serialization import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+from .zones import Zone, ZoneKind
+
+__all__ = [
+    "DEFAULT_MODULE_QUBIT_LIMIT",
+    "EMLQCCDMachine",
+    "Machine",
+    "MachineError",
+    "ModuleLayout",
+    "PAPER_GRIDS",
+    "QCCDGridMachine",
+    "Zone",
+    "ZoneKind",
+    "load_machine",
+    "machine_from_dict",
+    "machine_to_dict",
+    "paper_grid",
+    "save_machine",
+]

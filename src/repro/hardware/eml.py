@@ -1,0 +1,159 @@
+"""EML-QCCD machine: fiber-linked QCCD modules with functional zones.
+
+Each module is the paper's refined QCCD (Fig 2b): two storage zones
+(level 0), one operation zone (level 1) and one optical zone (level 2) —
+a 2x2 trap grid — holding at most 32 qubits.  Zones inside a module are
+mutually adjacent for shuttling; *no* shuttle crosses modules.  Optical zones
+of different modules are connected through the entanglement module (fiber),
+enabling remote two-qubit gates and remote logical SWAPs.
+
+The builder follows §4 'Architecture Setting': trap capacity 16 by default
+and one module added per 32 qubits of application size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .machine import Machine, MachineError
+from .zones import Zone, ZoneKind
+
+#: Paper constraint: at most 32 qubits per QCCD module.
+DEFAULT_MODULE_QUBIT_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class ModuleLayout:
+    """Zone composition of one QCCD module."""
+
+    num_storage: int = 2
+    num_operation: int = 1
+    num_optical: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_storage < 1:
+            raise ValueError("a module needs at least one storage zone")
+        if self.num_operation < 1:
+            raise ValueError("a module needs at least one operation zone")
+        if self.num_optical < 1:
+            raise ValueError("a module needs at least one optical zone")
+
+    @property
+    def zones_per_module(self) -> int:
+        return self.num_storage + self.num_operation + self.num_optical
+
+
+class EMLQCCDMachine(Machine):
+    """Entanglement-module-linked QCCD machine."""
+
+    def __init__(
+        self,
+        num_modules: int,
+        trap_capacity: int = 16,
+        layout: ModuleLayout | None = None,
+        module_qubit_limit: int = DEFAULT_MODULE_QUBIT_LIMIT,
+    ) -> None:
+        if num_modules < 1:
+            raise MachineError(f"need at least one module, got {num_modules}")
+        if trap_capacity < 2:
+            raise MachineError(
+                f"trap capacity must be >= 2 for two-qubit gates, got {trap_capacity}"
+            )
+        self.layout = layout or ModuleLayout()
+        self.trap_capacity = trap_capacity
+        self.module_qubit_limit = module_qubit_limit
+
+        zones: list[Zone] = []
+        adjacency: dict[int, set[int]] = {}
+        for module_id in range(num_modules):
+            kinds = (
+                [ZoneKind.OPTICAL] * self.layout.num_optical
+                + [ZoneKind.OPERATION] * self.layout.num_operation
+                + [ZoneKind.STORAGE] * self.layout.num_storage
+            )
+            module_zone_ids = []
+            for kind in kinds:
+                zone_id = len(zones)
+                zones.append(Zone(zone_id, module_id, kind, trap_capacity))
+                module_zone_ids.append(zone_id)
+            # Zones inside a module are mutually adjacent: the module is a
+            # small trap cluster where any zone pair is one shuttle apart.
+            for a in module_zone_ids:
+                adjacency.setdefault(a, set()).update(
+                    b for b in module_zone_ids if b != a
+                )
+        super().__init__(zones, adjacency)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_circuit_size(
+        cls,
+        num_qubits: int,
+        trap_capacity: int = 16,
+        layout: ModuleLayout | None = None,
+        module_qubit_limit: int = DEFAULT_MODULE_QUBIT_LIMIT,
+    ) -> "EMLQCCDMachine":
+        """Size the machine to an application (§4): one module per 32 qubits.
+
+        The module count also respects total trap capacity, so shrinking the
+        trap capacity below 32/zones automatically adds modules.
+        """
+        if num_qubits < 1:
+            raise MachineError(f"num_qubits must be positive, got {num_qubits}")
+        layout = layout or ModuleLayout()
+        by_limit = math.ceil(num_qubits / module_qubit_limit)
+        per_module_capacity = layout.zones_per_module * trap_capacity
+        usable = min(module_qubit_limit, per_module_capacity)
+        by_capacity = math.ceil(num_qubits / usable)
+        num_modules = max(by_limit, by_capacity, 1)
+        return cls(num_modules, trap_capacity, layout, module_qubit_limit)
+
+    # ------------------------------------------------------------------
+    # EML-specific queries
+    # ------------------------------------------------------------------
+
+    def optical_zones(self, module_id: int) -> list[Zone]:
+        return [
+            zone
+            for zone in self.zones_in_module(module_id)
+            if zone.kind is ZoneKind.OPTICAL
+        ]
+
+    def operation_zones(self, module_id: int) -> list[Zone]:
+        return [
+            zone
+            for zone in self.zones_in_module(module_id)
+            if zone.kind is ZoneKind.OPERATION
+        ]
+
+    def storage_zones(self, module_id: int) -> list[Zone]:
+        return [
+            zone
+            for zone in self.zones_in_module(module_id)
+            if zone.kind is ZoneKind.STORAGE
+        ]
+
+    def fiber_connected(self, module_a: int, module_b: int) -> bool:
+        """All module pairs entangle through the central entanglement module."""
+        return module_a != module_b
+
+    def module_capacity(self, module_id: int) -> int:
+        """Usable qubit head-room of a module (min of trap space and the
+        32-qubit module limit)."""
+        trap_space = sum(z.capacity for z in self.zones_in_module(module_id))
+        return min(trap_space, self.module_qubit_limit)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"EML-QCCD: {self.num_modules} module(s) x "
+            f"[{self.layout.num_optical} optical + "
+            f"{self.layout.num_operation} operation + "
+            f"{self.layout.num_storage} storage] zones, "
+            f"trap capacity {self.trap_capacity}, "
+            f"module limit {self.module_qubit_limit} qubits"
+        )

@@ -1,0 +1,81 @@
+"""Monolithic QCCD grid machine (the baselines' hardware model).
+
+The comparison architectures of §4 are classic QCCD grids — Grid 2x2 and
+2x3 for small scale, 3x4 and 4x5 for medium/large — where every trap is
+full-function (gates may execute in any trap, matching 'traditional QCCD
+compilers allow two-qubit gates to be applied in arbitrary zones', §2.3) and
+ions shuttle between 4-neighbour adjacent traps through junctions.
+"""
+
+from __future__ import annotations
+
+from .machine import Machine, MachineError
+from .zones import Zone, ZoneKind
+
+
+class QCCDGridMachine(Machine):
+    """R x C grid of full-function traps with 4-neighbour shuttling."""
+
+    def __init__(self, rows: int, columns: int, trap_capacity: int) -> None:
+        if rows < 1 or columns < 1:
+            raise MachineError(f"grid must be at least 1x1, got {rows}x{columns}")
+        if trap_capacity < 2:
+            raise MachineError(
+                f"trap capacity must be >= 2 for two-qubit gates, got {trap_capacity}"
+            )
+        self.rows = rows
+        self.columns = columns
+        self.trap_capacity = trap_capacity
+
+        zones = [
+            Zone(zone_id, 0, ZoneKind.OPERATION, trap_capacity)
+            for zone_id in range(rows * columns)
+        ]
+        adjacency: dict[int, set[int]] = {zone.zone_id: set() for zone in zones}
+        for row in range(rows):
+            for col in range(columns):
+                zone_id = row * columns + col
+                if col + 1 < columns:
+                    right = zone_id + 1
+                    adjacency[zone_id].add(right)
+                    adjacency[right].add(zone_id)
+                if row + 1 < rows:
+                    down = zone_id + columns
+                    adjacency[zone_id].add(down)
+                    adjacency[down].add(zone_id)
+        super().__init__(zones, adjacency)
+
+    def position(self, zone_id: int) -> tuple[int, int]:
+        """Grid coordinates (row, column) of a trap."""
+        return divmod(zone_id, self.columns)
+
+    def manhattan_distance(self, zone_a: int, zone_b: int) -> int:
+        row_a, col_a = self.position(zone_a)
+        row_b, col_b = self.position(zone_b)
+        return abs(row_a - row_b) + abs(col_a - col_b)
+
+    def describe(self) -> str:
+        return (
+            f"QCCD grid {self.rows}x{self.columns}, "
+            f"trap capacity {self.trap_capacity}"
+        )
+
+
+#: §4's architecture settings, keyed by application scale.
+PAPER_GRIDS = {
+    "small-2x2": dict(rows=2, columns=2, trap_capacity=12),
+    "small-2x3": dict(rows=2, columns=3, trap_capacity=8),
+    "medium-3x4": dict(rows=3, columns=4, trap_capacity=16),
+    "large-4x5": dict(rows=4, columns=5, trap_capacity=16),
+}
+
+
+def paper_grid(key: str) -> QCCDGridMachine:
+    """Build one of the paper's named grid configurations."""
+    try:
+        settings = PAPER_GRIDS[key]
+    except KeyError:
+        raise MachineError(
+            f"unknown grid {key!r}; known: {sorted(PAPER_GRIDS)}"
+        ) from None
+    return QCCDGridMachine(**settings)

@@ -1,0 +1,114 @@
+"""Machine base class: a set of zones plus a shuttle topology.
+
+Concrete machines — :class:`~repro.hardware.eml.EMLQCCDMachine` and
+:class:`~repro.hardware.grid.QCCDGridMachine` — provide the zone list and an
+adjacency relation.  Everything else (paths, distances, capacity totals) is
+shared here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .zones import Zone, ZoneKind
+
+
+class MachineError(ValueError):
+    """Raised for invalid machine configurations or unreachable routes."""
+
+
+class Machine:
+    """A collection of zones with an undirected shuttle adjacency."""
+
+    def __init__(self, zones: list[Zone], adjacency: dict[int, set[int]]) -> None:
+        if not zones:
+            raise MachineError("a machine needs at least one zone")
+        ids = [zone.zone_id for zone in zones]
+        if ids != list(range(len(zones))):
+            raise MachineError("zone ids must be dense and ordered from 0")
+        self._zones = tuple(zones)
+        self._adjacency = {
+            zone.zone_id: frozenset(adjacency.get(zone.zone_id, ()))
+            for zone in zones
+        }
+        for zone_id, neighbours in self._adjacency.items():
+            for other in neighbours:
+                if zone_id not in self._adjacency[other]:
+                    raise MachineError(
+                        f"adjacency must be symmetric: {zone_id} -> {other}"
+                    )
+        self._paths: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Zone access
+    # ------------------------------------------------------------------
+
+    @property
+    def zones(self) -> tuple[Zone, ...]:
+        return self._zones
+
+    @property
+    def num_zones(self) -> int:
+        return len(self._zones)
+
+    def zone(self, zone_id: int) -> Zone:
+        return self._zones[zone_id]
+
+    def zones_of_kind(self, kind: ZoneKind) -> list[Zone]:
+        return [zone for zone in self._zones if zone.kind is kind]
+
+    def zones_in_module(self, module_id: int) -> list[Zone]:
+        return [zone for zone in self._zones if zone.module_id == module_id]
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(zone.capacity for zone in self._zones)
+
+    @property
+    def num_modules(self) -> int:
+        return 1 + max(zone.module_id for zone in self._zones)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def neighbours(self, zone_id: int) -> frozenset[int]:
+        return self._adjacency[zone_id]
+
+    def shuttle_path(self, source: int, destination: int) -> tuple[int, ...]:
+        """Shortest shuttle path as a zone-id sequence (inclusive of both
+        endpoints).  Raises :class:`MachineError` when no path exists (e.g.
+        across EML modules, which are fiber-linked only)."""
+        if source == destination:
+            return (source,)
+        key = (source, destination)
+        cached = self._paths.get(key)
+        if cached is not None:
+            return cached
+        parents: dict[int, int] = {source: source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            if current == destination:
+                break
+            for neighbour in self._adjacency[current]:
+                if neighbour not in parents:
+                    parents[neighbour] = current
+                    queue.append(neighbour)
+        if destination not in parents:
+            raise MachineError(
+                f"no shuttle path from zone {source} to zone {destination}"
+            )
+        path = [destination]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        result = tuple(reversed(path))
+        self._paths[key] = result
+        return result
+
+    def hop_distance(self, source: int, destination: int) -> int:
+        """Number of shuttle hops between two zones (0 when identical)."""
+        return len(self.shuttle_path(source, destination)) - 1
+
+    def same_module(self, zone_a: int, zone_b: int) -> bool:
+        return self.zone(zone_a).module_id == self.zone(zone_b).module_id

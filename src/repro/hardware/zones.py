@@ -1,0 +1,82 @@
+"""Zones: the functional trap regions of an (EML-)QCCD device.
+
+The paper's multi-level analogy (§3): storage zones are level 0 (external
+storage), operation zones level 1 (main memory), optical zones level 2 (CPU).
+Gates may execute only in operation/optical zones; fiber-mediated gates only
+between optical zones of different modules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ZoneKind(enum.Enum):
+    """Functional role of a trap zone."""
+
+    STORAGE = "storage"
+    OPERATION = "operation"
+    OPTICAL = "optical"
+
+    @property
+    def level(self) -> int:
+        """Memory-hierarchy level (paper §3): storage 0, operation 1, optical 2."""
+        return _LEVELS[self]
+
+    @property
+    def allows_gates(self) -> bool:
+        """Whether local two-qubit gates may execute in this zone kind."""
+        return self is not ZoneKind.STORAGE
+
+    @property
+    def allows_fiber(self) -> bool:
+        """Whether the zone has an ion-photon interface."""
+        return self is ZoneKind.OPTICAL
+
+
+_LEVELS = {
+    ZoneKind.STORAGE: 0,
+    ZoneKind.OPERATION: 1,
+    ZoneKind.OPTICAL: 2,
+}
+
+
+@dataclass(frozen=True)
+class Zone:
+    """Static description of one trap zone.
+
+    Attributes:
+        zone_id: machine-global identifier.
+        module_id: owning QCCD module (grid machines use module 0).
+        kind: functional role.
+        capacity: maximum ions the trap confines at once.
+    """
+
+    zone_id: int
+    module_id: int
+    kind: ZoneKind
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(
+                f"zone {self.zone_id} capacity must be >= 1, got {self.capacity}"
+            )
+        if self.zone_id < 0 or self.module_id < 0:
+            raise ValueError("zone and module ids must be non-negative")
+
+    @property
+    def level(self) -> int:
+        return self.kind.level
+
+    @property
+    def allows_gates(self) -> bool:
+        return self.kind.allows_gates
+
+    @property
+    def allows_fiber(self) -> bool:
+        return self.kind.allows_fiber
+
+    def __str__(self) -> str:
+        return f"z{self.zone_id}({self.kind.value}@m{self.module_id})"

@@ -1,0 +1,26 @@
+"""Physical model: Table 1 parameters, Eq. 1 fidelity, timing.
+
+Compilers never import this package; they emit descriptive operation streams
+and the executor prices them under a :class:`PhysicalParams`, which is what
+makes idealised re-pricing (Fig 13) and capacity sweeps (Fig 7) cheap.
+"""
+
+from .fidelity import (
+    FidelityLedger,
+    idle_log_fidelity,
+    shuttle_log_fidelity,
+    zone_background_log_fidelity,
+)
+from .params import DEFAULT_PARAMS, PhysicalParams
+from .timing import move_duration_us, shuttle_duration_us
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "FidelityLedger",
+    "PhysicalParams",
+    "idle_log_fidelity",
+    "move_duration_us",
+    "shuttle_duration_us",
+    "shuttle_log_fidelity",
+    "zone_background_log_fidelity",
+]

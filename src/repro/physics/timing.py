@@ -1,0 +1,31 @@
+"""Operation timing helpers.
+
+Durations come straight from Table 1; the only derived quantity is move time,
+which scales with the travelled distance at 2 um/us.
+"""
+
+from __future__ import annotations
+
+from .params import PhysicalParams
+
+
+def move_duration_us(distance_um: float, params: PhysicalParams) -> float:
+    """Time to transport an ion ``distance_um`` at the configured speed."""
+    if distance_um < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_um}")
+    return distance_um / params.move_speed_um_per_us
+
+
+def shuttle_duration_us(hops: int, params: PhysicalParams) -> float:
+    """Total duration of a ``hops``-hop shuttle: split + moves + merge.
+
+    A transport across ``hops`` zone boundaries is one split, ``hops`` moves
+    at the inter-zone distance, and one merge (Fig 2c).
+    """
+    if hops < 1:
+        raise ValueError(f"a shuttle needs >= 1 hop, got {hops}")
+    return (
+        params.split_time_us
+        + hops * move_duration_us(params.inter_zone_distance_um, params)
+        + params.merge_time_us
+    )

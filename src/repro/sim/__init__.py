@@ -1,0 +1,43 @@
+"""Schedule IR, executor, verifier and metrics."""
+
+from .breakdown import CATEGORIES, dominant_loss, fidelity_breakdown, render_breakdown
+from .executor import ExecutionError, execute
+from .metrics import ExecutionReport
+from .ops import (
+    ChainSwapOp,
+    FiberGateOp,
+    GateOp,
+    MergeOp,
+    MoveOp,
+    Operation,
+    SplitOp,
+    SwapGateOp,
+)
+from .program import Program
+from .trace import program_to_records, render_timeline, save_trace
+from .verify import VerificationError, is_valid, verify_program
+
+__all__ = [
+    "CATEGORIES",
+    "ChainSwapOp",
+    "ExecutionError",
+    "dominant_loss",
+    "fidelity_breakdown",
+    "render_breakdown",
+    "ExecutionReport",
+    "FiberGateOp",
+    "GateOp",
+    "MergeOp",
+    "MoveOp",
+    "Operation",
+    "Program",
+    "SplitOp",
+    "SwapGateOp",
+    "VerificationError",
+    "execute",
+    "is_valid",
+    "program_to_records",
+    "render_timeline",
+    "save_trace",
+    "verify_program",
+]

@@ -1,0 +1,413 @@
+"""Schedule executor: prices an op stream under a physical model.
+
+The executor replays a :class:`~repro.sim.program.Program` against the
+machine, maintaining per-zone ion chains and per-zone accumulated heat,
+validating every op's legality as it goes, and accumulating:
+
+* shuttle statistics (splits, moves, merges, chain swaps),
+* serial execution time (sum of op durations, the paper's time metric) and a
+  resource-constrained parallel makespan,
+* log-domain circuit fidelity per §4's model: Eq. 1 for trap ops, ``1-εN²``
+  for local 2q gates, 0.99 for fiber gates, everything multiplied by the
+  background fidelity ``B_i = exp(-k·heat_i)`` of the zone(s) involved.
+
+Because compilers emit descriptive ops only, the same program can be
+re-priced under :meth:`PhysicalParams.perfect_gate` or
+:meth:`~PhysicalParams.perfect_shuttle` (Fig 13) or any capacity variant.
+"""
+
+from __future__ import annotations
+
+from ..physics import (
+    FidelityLedger,
+    PhysicalParams,
+    shuttle_log_fidelity,
+    zone_background_log_fidelity,
+)
+from ..physics.timing import move_duration_us
+from .metrics import ExecutionReport
+from .ops import (
+    ChainSwapOp,
+    FiberGateOp,
+    GateOp,
+    MergeOp,
+    MoveOp,
+    Operation,
+    SplitOp,
+    SwapGateOp,
+)
+from .program import Program
+
+
+class ExecutionError(RuntimeError):
+    """Raised when an op is illegal for the current machine state."""
+
+    def __init__(self, message: str, op_index: int | None = None) -> None:
+        if op_index is not None:
+            message = f"op #{op_index}: {message}"
+        super().__init__(message)
+        self.op_index = op_index
+
+
+class _MachineReplay:
+    """Mutable chain/transit state shared by execution and verification."""
+
+    def __init__(self, program: Program) -> None:
+        self.machine = program.machine
+        self.chains: dict[int, list[int]] = {
+            zone.zone_id: [] for zone in program.machine.zones
+        }
+        for zone_id, chain in program.initial_placement.items():
+            self.chains[zone_id] = list(chain)
+        self.location: dict[int, int] = {}
+        for zone_id, chain in self.chains.items():
+            for qubit in chain:
+                self.location[qubit] = zone_id
+        #: qubit -> zone it is hovering over while detached (None = in chain).
+        self.in_transit: dict[int, int] = {}
+
+    # -- shuttle ops -----------------------------------------------------
+
+    def split(self, op: SplitOp, index: int) -> None:
+        if op.qubit in self.in_transit:
+            raise ExecutionError(f"qubit {op.qubit} is already detached", index)
+        zone_id = self.location.get(op.qubit)
+        if zone_id != op.zone:
+            raise ExecutionError(
+                f"qubit {op.qubit} is in zone {zone_id}, not {op.zone}", index
+            )
+        chain = self.chains[op.zone]
+        position = chain.index(op.qubit)
+        if position not in (0, len(chain) - 1):
+            raise ExecutionError(
+                f"qubit {op.qubit} is at interior position {position} of "
+                f"zone {op.zone} (chain swaps required before split)",
+                index,
+            )
+        chain.remove(op.qubit)
+        del self.location[op.qubit]
+        self.in_transit[op.qubit] = op.zone
+
+    def move(self, op: MoveOp, index: int) -> None:
+        at = self.in_transit.get(op.qubit)
+        if at is None:
+            raise ExecutionError(f"qubit {op.qubit} is not detached", index)
+        if at != op.source_zone:
+            raise ExecutionError(
+                f"qubit {op.qubit} is over zone {at}, not {op.source_zone}",
+                index,
+            )
+        if op.destination_zone not in self.machine.neighbours(op.source_zone):
+            raise ExecutionError(
+                f"zones {op.source_zone} and {op.destination_zone} are not "
+                "shuttle-adjacent",
+                index,
+            )
+        self.in_transit[op.qubit] = op.destination_zone
+
+    def merge(self, op: MergeOp, index: int) -> None:
+        at = self.in_transit.get(op.qubit)
+        if at is None:
+            raise ExecutionError(f"qubit {op.qubit} is not detached", index)
+        if at != op.zone:
+            raise ExecutionError(
+                f"qubit {op.qubit} is over zone {at}, not {op.zone}", index
+            )
+        chain = self.chains[op.zone]
+        zone = self.machine.zone(op.zone)
+        if len(chain) >= zone.capacity:
+            raise ExecutionError(
+                f"zone {op.zone} is full (capacity {zone.capacity})", index
+            )
+        if op.side == "head":
+            chain.insert(0, op.qubit)
+        elif op.side == "tail":
+            chain.append(op.qubit)
+        else:
+            raise ExecutionError(f"bad merge side {op.side!r}", index)
+        del self.in_transit[op.qubit]
+        self.location[op.qubit] = op.zone
+
+    def chain_swap(self, op: ChainSwapOp, index: int) -> None:
+        chain = self.chains[op.zone]
+        if not 0 <= op.position < len(chain) - 1:
+            raise ExecutionError(
+                f"chain swap position {op.position} out of range for zone "
+                f"{op.zone} (chain length {len(chain)})",
+                index,
+            )
+        chain[op.position], chain[op.position + 1] = (
+            chain[op.position + 1],
+            chain[op.position],
+        )
+
+    # -- gate ops ----------------------------------------------------------
+
+    def check_local_gate(self, op: GateOp, index: int) -> int:
+        """Validate a local gate; returns ions-in-trap for fidelity."""
+        zone = self.machine.zone(op.zone)
+        for qubit in op.gate.qubits:
+            location = self.location.get(qubit)
+            if location != op.zone:
+                raise ExecutionError(
+                    f"gate {op.gate} expects qubit {qubit} in zone {op.zone}, "
+                    f"found {location}",
+                    index,
+                )
+        if op.gate.is_two_qubit and not zone.allows_gates:
+            raise ExecutionError(
+                f"zone {op.zone} ({zone.kind.value}) cannot execute two-qubit "
+                f"gates",
+                index,
+            )
+        return len(self.chains[op.zone])
+
+    def check_fiber_gate(self, op: FiberGateOp, index: int) -> None:
+        zone_a = self.machine.zone(op.zone_a)
+        zone_b = self.machine.zone(op.zone_b)
+        if not (zone_a.allows_fiber and zone_b.allows_fiber):
+            raise ExecutionError(
+                f"fiber gate needs optical zones, got {zone_a.kind.value} and "
+                f"{zone_b.kind.value}",
+                index,
+            )
+        if zone_a.module_id == zone_b.module_id:
+            raise ExecutionError(
+                "fiber gate endpoints must be in different modules", index
+            )
+        qubit_a, qubit_b = op.gate.qubits
+        if self.location.get(qubit_a) != op.zone_a:
+            raise ExecutionError(
+                f"fiber gate expects qubit {qubit_a} in zone {op.zone_a}, "
+                f"found {self.location.get(qubit_a)}",
+                index,
+            )
+        if self.location.get(qubit_b) != op.zone_b:
+            raise ExecutionError(
+                f"fiber gate expects qubit {qubit_b} in zone {op.zone_b}, "
+                f"found {self.location.get(qubit_b)}",
+                index,
+            )
+
+    def apply_swap_gate(self, op: SwapGateOp, index: int) -> None:
+        """Validate and apply a logical SWAP (exchanges chain labels)."""
+        for qubit, zone_id in ((op.qubit_a, op.zone_a), (op.qubit_b, op.zone_b)):
+            if self.location.get(qubit) != zone_id:
+                raise ExecutionError(
+                    f"swap expects qubit {qubit} in zone {zone_id}, found "
+                    f"{self.location.get(qubit)}",
+                    index,
+                )
+        if op.is_remote:
+            zone_a = self.machine.zone(op.zone_a)
+            zone_b = self.machine.zone(op.zone_b)
+            if not (zone_a.allows_fiber and zone_b.allows_fiber):
+                raise ExecutionError(
+                    "remote swap endpoints must be optical zones", index
+                )
+            if zone_a.module_id == zone_b.module_id:
+                raise ExecutionError(
+                    "remote swap endpoints must be in different modules", index
+                )
+        else:
+            if not self.machine.zone(op.zone_a).allows_gates:
+                raise ExecutionError(
+                    f"zone {op.zone_a} cannot execute gates", index
+                )
+        chain_a = self.chains[op.zone_a]
+        chain_b = self.chains[op.zone_b]
+        index_a = chain_a.index(op.qubit_a)
+        index_b = chain_b.index(op.qubit_b)
+        chain_a[index_a] = op.qubit_b
+        chain_b[index_b] = op.qubit_a
+        self.location[op.qubit_a] = op.zone_b
+        self.location[op.qubit_b] = op.zone_a
+
+
+def execute(
+    program: Program,
+    params: PhysicalParams | None = None,
+    *,
+    include_idle_decoherence: bool = False,
+) -> ExecutionReport:
+    """Replay and price a program; raises :class:`ExecutionError` on any
+    illegal op.
+
+    ``include_idle_decoherence`` additionally charges pure T1 decay for each
+    qubit's idle time (makespan minus its busy time).  Off by default: with
+    the paper's T1 = 600 s the term is negligible, and the paper's §4 model
+    charges decay per operation only.
+    """
+    params = params or PhysicalParams()
+    program.validate_placement()
+    replay = _MachineReplay(program)
+    ledger = FidelityLedger()
+    heat: dict[int, float] = {zone.zone_id: 0.0 for zone in program.machine.zones}
+    serial_time = 0.0
+    # Resource-availability times for the parallel makespan: qubits and zones.
+    qubit_ready: dict[int, float] = {}
+    zone_ready: dict[int, float] = {}
+    qubit_busy: dict[int, float] = {}
+
+    counts = {
+        "splits": 0,
+        "moves": 0,
+        "merges": 0,
+        "chain_swaps": 0,
+        "one_qubit_gates": 0,
+        "two_qubit_gates": 0,
+        "fiber_gates": 0,
+        "inserted_swaps": 0,
+        "remote_swaps": 0,
+    }
+
+    def schedule(duration: float, qubits: tuple[int, ...], zones: tuple[int, ...]) -> None:
+        nonlocal serial_time
+        serial_time += duration
+        start = 0.0
+        for qubit in qubits:
+            start = max(start, qubit_ready.get(qubit, 0.0))
+        for zone_id in zones:
+            start = max(start, zone_ready.get(zone_id, 0.0))
+        end = start + duration
+        for qubit in qubits:
+            qubit_ready[qubit] = end
+            qubit_busy[qubit] = qubit_busy.get(qubit, 0.0) + duration
+        for zone_id in zones:
+            zone_ready[zone_id] = end
+
+    def charge_trap_op(duration: float, nbar: float, heated_zone: int) -> None:
+        ledger.charge_log(shuttle_log_fidelity(duration, nbar, params))
+        heat[heated_zone] += nbar
+
+    move_time = move_duration_us(params.inter_zone_distance_um, params)
+
+    for index, op in enumerate(program.operations):
+        if isinstance(op, SplitOp):
+            replay.split(op, index)
+            counts["splits"] += 1
+            charge_trap_op(params.split_time_us, params.split_nbar, op.zone)
+            schedule(params.split_time_us, (op.qubit,), (op.zone,))
+        elif isinstance(op, MoveOp):
+            replay.move(op, index)
+            counts["moves"] += 1
+            charge_trap_op(move_time, params.move_nbar, op.destination_zone)
+            schedule(move_time, (op.qubit,), (op.source_zone, op.destination_zone))
+        elif isinstance(op, MergeOp):
+            replay.merge(op, index)
+            counts["merges"] += 1
+            charge_trap_op(params.merge_time_us, params.merge_nbar, op.zone)
+            schedule(params.merge_time_us, (op.qubit,), (op.zone,))
+        elif isinstance(op, ChainSwapOp):
+            replay.chain_swap(op, index)
+            counts["chain_swaps"] += 1
+            charge_trap_op(
+                params.chain_swap_time_us, params.chain_swap_nbar, op.zone
+            )
+            schedule(params.chain_swap_time_us, (), (op.zone,))
+        elif isinstance(op, GateOp):
+            ions = replay.check_local_gate(op, index)
+            background = zone_background_log_fidelity(heat[op.zone], params)
+            if op.gate.is_one_qubit:
+                counts["one_qubit_gates"] += 1
+                ledger.charge_linear(params.one_qubit_gate_fidelity)
+                ledger.charge_log(background)
+                schedule(params.one_qubit_gate_time_us, op.gate.qubits, ())
+            else:
+                counts["two_qubit_gates"] += 1
+                fidelity = params.two_qubit_gate_fidelity(ions)
+                if fidelity <= 0.0:
+                    raise ExecutionError(
+                        f"two-qubit gate fidelity collapsed to zero with "
+                        f"{ions} ions in zone {op.zone}",
+                        index,
+                    )
+                ledger.charge_linear(fidelity)
+                ledger.charge_log(background)
+                schedule(
+                    params.two_qubit_gate_time_us, op.gate.qubits, (op.zone,)
+                )
+        elif isinstance(op, FiberGateOp):
+            replay.check_fiber_gate(op, index)
+            counts["fiber_gates"] += 1
+            ledger.charge_linear(params.fiber_gate_fidelity)
+            ledger.charge_log(zone_background_log_fidelity(heat[op.zone_a], params))
+            ledger.charge_log(zone_background_log_fidelity(heat[op.zone_b], params))
+            schedule(
+                params.fiber_gate_time_us, op.gate.qubits, (op.zone_a, op.zone_b)
+            )
+        elif isinstance(op, SwapGateOp):
+            counts["inserted_swaps"] += 1
+            if op.is_remote:
+                counts["remote_swaps"] += 1
+                replay.apply_swap_gate(op, index)
+                # Three fiber-entangled MS gates (§3.3).
+                for _ in range(3):
+                    ledger.charge_linear(params.fiber_gate_fidelity)
+                    ledger.charge_log(
+                        zone_background_log_fidelity(heat[op.zone_a], params)
+                    )
+                    ledger.charge_log(
+                        zone_background_log_fidelity(heat[op.zone_b], params)
+                    )
+                schedule(
+                    3 * params.fiber_gate_time_us,
+                    (op.qubit_a, op.qubit_b),
+                    (op.zone_a, op.zone_b),
+                )
+            else:
+                ions = len(replay.chains[op.zone_a])
+                replay.apply_swap_gate(op, index)
+                fidelity = params.two_qubit_gate_fidelity(ions)
+                if fidelity <= 0.0:
+                    raise ExecutionError(
+                        f"swap fidelity collapsed to zero with {ions} ions",
+                        index,
+                    )
+                background = zone_background_log_fidelity(heat[op.zone_a], params)
+                for _ in range(3):
+                    ledger.charge_linear(fidelity)
+                    ledger.charge_log(background)
+                schedule(
+                    3 * params.two_qubit_gate_time_us,
+                    (op.qubit_a, op.qubit_b),
+                    (op.zone_a,),
+                )
+        else:
+            raise ExecutionError(f"unknown operation type {type(op).__name__}", index)
+
+    if replay.in_transit:
+        raise ExecutionError(
+            f"qubits left detached at end of program: {sorted(replay.in_transit)}"
+        )
+
+    makespan = max(
+        max(qubit_ready.values(), default=0.0),
+        max(zone_ready.values(), default=0.0),
+    )
+    if include_idle_decoherence:
+        from ..physics import idle_log_fidelity
+
+        for qubit in range(program.circuit.num_qubits):
+            idle = makespan - qubit_busy.get(qubit, 0.0)
+            if idle > 0:
+                ledger.charge_log(idle_log_fidelity(idle, params))
+    return ExecutionReport(
+        circuit_name=program.circuit.name,
+        compiler_name=program.compiler_name,
+        num_qubits=program.circuit.num_qubits,
+        shuttle_count=counts["moves"],
+        split_count=counts["splits"],
+        merge_count=counts["merges"],
+        chain_swap_count=counts["chain_swaps"],
+        one_qubit_gate_count=counts["one_qubit_gates"],
+        two_qubit_gate_count=counts["two_qubit_gates"],
+        fiber_gate_count=counts["fiber_gates"],
+        inserted_swap_count=counts["inserted_swaps"],
+        remote_swap_count=counts["remote_swaps"],
+        execution_time_us=serial_time,
+        makespan_us=makespan,
+        log10_fidelity=ledger.log10_fidelity,
+        zone_heat=dict(heat),
+        compile_time_s=program.compile_time_s,
+    )

@@ -1,0 +1,88 @@
+"""Execution reports: the paper's three metrics plus diagnostics.
+
+§4 'Metrics': (1) shuttle count, (2) circuit execution time, (3) fidelity.
+Fidelity is kept in log10 form (the paper's large circuits underflow IEEE
+doubles); :attr:`ExecutionReport.fidelity` converts on demand and underflows
+to 0.0 exactly like the paper's tables when below ~1e-308.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Metrics from executing one compiled program."""
+
+    circuit_name: str
+    compiler_name: str
+    num_qubits: int
+
+    shuttle_count: int
+    split_count: int
+    merge_count: int
+    chain_swap_count: int
+
+    one_qubit_gate_count: int
+    two_qubit_gate_count: int
+    fiber_gate_count: int
+    inserted_swap_count: int
+    remote_swap_count: int
+
+    execution_time_us: float
+    makespan_us: float
+    log10_fidelity: float
+    zone_heat: dict[int, float] = field(default_factory=dict)
+    compile_time_s: float = 0.0
+
+    @property
+    def fidelity(self) -> float:
+        """Linear fidelity (0.0 on underflow, matching the paper's tables)."""
+        if self.log10_fidelity < -307:
+            return 0.0
+        return 10.0 ** self.log10_fidelity
+
+    @property
+    def total_heat(self) -> float:
+        return sum(self.zone_heat.values())
+
+    @property
+    def entangling_gate_count(self) -> int:
+        """All two-qubit interactions: local + fiber + 3 per inserted SWAP."""
+        return (
+            self.two_qubit_gate_count
+            + self.fiber_gate_count
+            + 3 * self.inserted_swap_count
+        )
+
+    def fidelity_text(self) -> str:
+        """Compact scientific rendering like the paper's tables (e.g. 5.9e-13)."""
+        if self.log10_fidelity >= math.log10(0.01):
+            return f"{self.fidelity:.2f}"
+        exponent = math.floor(self.log10_fidelity)
+        mantissa = 10.0 ** (self.log10_fidelity - exponent)
+        return f"{mantissa:.1f}e{exponent:+03d}"
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"{self.circuit_name} via {self.compiler_name} "
+            f"({self.num_qubits} qubits)",
+            f"  shuttles      : {self.shuttle_count} "
+            f"(splits {self.split_count}, merges {self.merge_count}, "
+            f"chain swaps {self.chain_swap_count})",
+            f"  gates         : {self.one_qubit_gate_count} x 1q, "
+            f"{self.two_qubit_gate_count} x 2q local, "
+            f"{self.fiber_gate_count} x fiber, "
+            f"{self.inserted_swap_count} inserted SWAPs "
+            f"({self.remote_swap_count} remote)",
+            f"  time          : {self.execution_time_us:.0f} us serial, "
+            f"{self.makespan_us:.0f} us makespan",
+            f"  fidelity      : {self.fidelity_text()} "
+            f"(log10 = {self.log10_fidelity:.2f})",
+        ]
+        if self.compile_time_s:
+            lines.append(f"  compile time  : {self.compile_time_s:.3f} s")
+        return "\n".join(lines)

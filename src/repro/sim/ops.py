@@ -1,0 +1,116 @@
+"""Schedule operations: the instruction set compilers emit.
+
+Operations are *descriptive* — they carry no durations or fidelities, only
+what happens to which ion where.  The executor prices a stream of these under
+a :class:`~repro.physics.params.PhysicalParams`, so the same compiled program
+can be evaluated under ideal-gate or ideal-shuttle physics (Fig 13) without
+recompiling.
+
+The op vocabulary mirrors the paper's Fig 2c plus gates:
+
+* :class:`SplitOp` — detach an edge ion from its chain (start of a shuttle).
+* :class:`MoveOp` — transport the detached ion across one zone boundary.
+* :class:`MergeOp` — attach the ion to the destination chain (end of shuttle).
+* :class:`ChainSwapOp` — physically swap two adjacent ions inside a trap
+  (needed because ions can only leave a chain at its edges, Fig 4).
+* :class:`GateOp` — a local 1q/2q gate inside an operation/optical zone.
+* :class:`FiberGateOp` — a remote 2q gate between two optical zones.
+* :class:`SwapGateOp` — a compiler-inserted *logical* SWAP (3 MS gates,
+  §3.3), local or over fiber; it relabels which ion carries which logical
+  qubit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits import Gate
+
+
+@dataclass(frozen=True)
+class SplitOp:
+    """Detach logical qubit ``qubit`` from the chain edge in ``zone``."""
+
+    qubit: int
+    zone: int
+
+
+@dataclass(frozen=True)
+class MoveOp:
+    """Transport a detached ion from ``source_zone`` to adjacent
+    ``destination_zone``."""
+
+    qubit: int
+    source_zone: int
+    destination_zone: int
+
+
+@dataclass(frozen=True)
+class MergeOp:
+    """Attach the detached ion to the chain in ``zone``.
+
+    ``side`` is the chain edge it joins: ``"tail"`` (default) or ``"head"``.
+    """
+
+    qubit: int
+    zone: int
+    side: str = "tail"
+
+
+@dataclass(frozen=True)
+class ChainSwapOp:
+    """Physically swap the ions at ``position`` and ``position + 1`` of the
+    chain in ``zone``."""
+
+    zone: int
+    position: int
+
+
+@dataclass(frozen=True)
+class GateOp:
+    """A circuit gate executed locally in ``zone``.
+
+    ``circuit_index`` back-references the gate's index in the source circuit
+    (compiler-inserted gates use -1), which is what lets the verifier prove
+    the program realises the circuit.
+    """
+
+    gate: Gate
+    zone: int
+    circuit_index: int = -1
+
+
+@dataclass(frozen=True)
+class FiberGateOp:
+    """A circuit two-qubit gate executed over fiber between two optical
+    zones of different modules."""
+
+    gate: Gate
+    zone_a: int
+    zone_b: int
+    circuit_index: int = -1
+
+
+@dataclass(frozen=True)
+class SwapGateOp:
+    """Compiler-inserted logical SWAP of ``qubit_a`` and ``qubit_b``.
+
+    Costs three MS gates (local when ``zone_a == zone_b``, otherwise three
+    fiber entangling operations).  After it executes, the two logical qubits
+    have exchanged physical positions.
+    """
+
+    qubit_a: int
+    qubit_b: int
+    zone_a: int
+    zone_b: int
+
+    @property
+    def is_remote(self) -> bool:
+        return self.zone_a != self.zone_b
+
+
+#: Union type of every schedule operation.
+Operation = (
+    SplitOp | MoveOp | MergeOp | ChainSwapOp | GateOp | FiberGateOp | SwapGateOp
+)

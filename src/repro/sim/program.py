@@ -1,0 +1,70 @@
+"""Compiled program: an operation stream plus its execution context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits import QuantumCircuit
+from ..hardware import Machine
+from .ops import MoveOp, Operation
+
+
+@dataclass
+class Program:
+    """The output of every compiler in this repository.
+
+    Attributes:
+        machine: the hardware the program was compiled for.
+        circuit: the source circuit (logical gates, native 1q/2q form).
+        initial_placement: zone id -> ordered chain of logical qubits, the
+            state of the machine before the first op.
+        operations: the op stream (see :mod:`repro.sim.ops`).
+        compiler_name: provenance label for reports.
+        compile_time_s: wall-clock seconds spent compiling.
+        metadata: free-form compiler statistics (e.g. inserted SWAP count).
+        final_placement: chains after the last op (filled by compilers; used
+            by SABRE's two-fold search).
+    """
+
+    machine: Machine
+    circuit: QuantumCircuit
+    initial_placement: dict[int, tuple[int, ...]]
+    operations: list[Operation]
+    compiler_name: str = "unknown"
+    compile_time_s: float = 0.0
+    metadata: dict[str, float] = field(default_factory=dict)
+    final_placement: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def shuttle_count(self) -> int:
+        """Number of inter-zone moves (the paper's headline shuttle metric)."""
+        return sum(1 for op in self.operations if isinstance(op, MoveOp))
+
+    @property
+    def num_operations(self) -> int:
+        return len(self.operations)
+
+    def initial_zone_of(self, qubit: int) -> int:
+        """Zone holding ``qubit`` before execution starts."""
+        for zone_id, chain in self.initial_placement.items():
+            if qubit in chain:
+                return zone_id
+        raise KeyError(f"qubit {qubit} is not placed")
+
+    def validate_placement(self) -> None:
+        """Check the initial placement is a partition within capacities."""
+        seen: set[int] = set()
+        for zone_id, chain in self.initial_placement.items():
+            zone = self.machine.zone(zone_id)
+            if len(chain) > zone.capacity:
+                raise ValueError(
+                    f"initial chain in zone {zone_id} exceeds capacity "
+                    f"({len(chain)} > {zone.capacity})"
+                )
+            for qubit in chain:
+                if qubit in seen:
+                    raise ValueError(f"qubit {qubit} placed twice")
+                seen.add(qubit)
+        missing = set(range(self.circuit.num_qubits)) - seen
+        if missing:
+            raise ValueError(f"qubits never placed: {sorted(missing)}")

@@ -1,0 +1,196 @@
+"""Schedule traces: JSON export and ASCII timelines.
+
+Turns a compiled :class:`~repro.sim.program.Program` into inspectable
+artifacts:
+
+* :func:`program_to_records` — a list of flat dicts (JSON-serialisable), one
+  per op, with start/end times from the executor's resource model.  Useful
+  for external tooling and regression diffing.
+* :func:`render_timeline` — a per-zone ASCII Gantt chart of the first ops of
+  a schedule, which makes scheduling pathologies (ping-pong, eviction
+  storms) visible at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..physics import PhysicalParams
+from ..physics.timing import move_duration_us
+from .ops import (
+    ChainSwapOp,
+    FiberGateOp,
+    GateOp,
+    MergeOp,
+    MoveOp,
+    SplitOp,
+    SwapGateOp,
+)
+from .program import Program
+
+
+def _op_fields(op, params: PhysicalParams) -> tuple[str, float, tuple[int, ...], tuple[int, ...]]:
+    """(kind, duration, qubits, zones) for any schedule op."""
+    move_time = move_duration_us(params.inter_zone_distance_um, params)
+    if isinstance(op, SplitOp):
+        return "split", params.split_time_us, (op.qubit,), (op.zone,)
+    if isinstance(op, MoveOp):
+        return (
+            "move",
+            move_time,
+            (op.qubit,),
+            (op.source_zone, op.destination_zone),
+        )
+    if isinstance(op, MergeOp):
+        return "merge", params.merge_time_us, (op.qubit,), (op.zone,)
+    if isinstance(op, ChainSwapOp):
+        return "chain_swap", params.chain_swap_time_us, (), (op.zone,)
+    if isinstance(op, GateOp):
+        duration = (
+            params.one_qubit_gate_time_us
+            if op.gate.is_one_qubit
+            else params.two_qubit_gate_time_us
+        )
+        return f"gate:{op.gate.name}", duration, op.gate.qubits, (op.zone,)
+    if isinstance(op, FiberGateOp):
+        return (
+            f"fiber:{op.gate.name}",
+            params.fiber_gate_time_us,
+            op.gate.qubits,
+            (op.zone_a, op.zone_b),
+        )
+    if isinstance(op, SwapGateOp):
+        duration = 3 * (
+            params.fiber_gate_time_us
+            if op.is_remote
+            else params.two_qubit_gate_time_us
+        )
+        return (
+            "swap_insert",
+            duration,
+            (op.qubit_a, op.qubit_b),
+            (op.zone_a, op.zone_b),
+        )
+    raise TypeError(f"unknown op type {type(op).__name__}")
+
+
+def program_to_records(
+    program: Program, params: PhysicalParams | None = None
+) -> list[dict]:
+    """Flatten a program into timed, JSON-serialisable op records.
+
+    Start times follow the executor's resource model: an op starts when its
+    qubits and zones are all free.
+    """
+    params = params or PhysicalParams()
+    qubit_ready: dict[int, float] = {}
+    zone_ready: dict[int, float] = {}
+    records = []
+    for index, op in enumerate(program.operations):
+        kind, duration, qubits, zones = _op_fields(op, params)
+        # Match the executor's resource model exactly: one-qubit gates do
+        # not occupy their zone (other work may proceed around them).
+        blocking_zones = (
+            ()
+            if isinstance(op, GateOp) and op.gate.is_one_qubit
+            else zones
+        )
+        start = 0.0
+        for qubit in qubits:
+            start = max(start, qubit_ready.get(qubit, 0.0))
+        for zone in blocking_zones:
+            start = max(start, zone_ready.get(zone, 0.0))
+        end = start + duration
+        for qubit in qubits:
+            qubit_ready[qubit] = end
+        for zone in blocking_zones:
+            zone_ready[zone] = end
+        records.append(
+            {
+                "index": index,
+                "kind": kind,
+                "qubits": list(qubits),
+                "zones": list(zones),
+                "start_us": start,
+                "duration_us": duration,
+                "end_us": end,
+            }
+        )
+    return records
+
+
+def save_trace(program: Program, path: str, params: PhysicalParams | None = None) -> None:
+    """Write the timed op records to a JSON file."""
+    records = program_to_records(program, params)
+    payload = {
+        "circuit": program.circuit.name,
+        "compiler": program.compiler_name,
+        "num_qubits": program.circuit.num_qubits,
+        "shuttle_count": program.shuttle_count,
+        "operations": records,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+_GLYPHS = {
+    "split": "s",
+    "move": ">",
+    "merge": "m",
+    "chain_swap": "x",
+    "swap_insert": "S",
+}
+
+
+def render_timeline(
+    program: Program,
+    params: PhysicalParams | None = None,
+    *,
+    width: int = 72,
+    max_time_us: float | None = None,
+) -> str:
+    """Per-zone ASCII Gantt chart of the schedule's resource usage.
+
+    Gates render as ``G`` (local) / ``F`` (fiber), shuttle stages as
+    ``s > m``, chain swaps as ``x`` and inserted SWAPs as ``S``.
+    """
+    records = program_to_records(program, params)
+    if not records:
+        return "(empty schedule)"
+    horizon = max_time_us or max(record["end_us"] for record in records)
+    if horizon <= 0:
+        return "(zero-length schedule)"
+    scale = width / horizon
+
+    lanes: dict[int, list[str]] = {
+        zone.zone_id: [" "] * width for zone in program.machine.zones
+    }
+    for record in records:
+        if record["start_us"] >= horizon:
+            continue
+        kind = record["kind"]
+        if kind.startswith("gate:"):
+            glyph = "G"
+        elif kind.startswith("fiber:"):
+            glyph = "F"
+        else:
+            glyph = _GLYPHS.get(kind, "?")
+        begin = int(record["start_us"] * scale)
+        finish = max(begin + 1, int(record["end_us"] * scale))
+        for zone in record["zones"]:
+            lane = lanes[zone]
+            for column in range(begin, min(finish, width)):
+                lane[column] = glyph
+
+    lines = [
+        f"timeline: {program.circuit.name} via {program.compiler_name} "
+        f"(0 .. {horizon:.0f} us)"
+    ]
+    for zone in program.machine.zones:
+        label = f"z{zone.zone_id}:{zone.kind.value[:3]}@m{zone.module_id}"
+        lines.append(f"{label:14s}|{''.join(lanes[zone.zone_id])}|")
+    lines.append(
+        "legend: G local gate, F fiber gate, s split, > move, m merge, "
+        "x chain swap, S inserted SWAP"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Program verification: proves a compiled program realises its circuit.
+
+Two layers of checking:
+
+1. *Physical legality* — every op is legal for the machine state when it
+   fires (chain edges, capacities, adjacency, zone kinds).  The executor
+   already enforces this while pricing; :func:`verify_program` reuses it.
+2. *Logical equivalence* — the circuit gates embedded in the op stream
+   (``circuit_index >= 0``) form exactly the source circuit executed in a
+   dependency-respecting order, each acting on its original logical qubits.
+   Compiler-inserted SWAPs are transparent: they relabel which ion carries
+   which logical qubit, and the executor's chain bookkeeping guarantees
+   subsequent gates still find their logical operands.
+
+Together these two checks are the repository's ground truth that a scheduler
+is *correct*, independent of how good its metrics are.
+"""
+
+from __future__ import annotations
+
+from ..circuits import DependencyGraph
+from ..physics import PhysicalParams
+from .executor import ExecutionError, execute
+from .ops import FiberGateOp, GateOp
+from .program import Program
+
+
+class VerificationError(RuntimeError):
+    """Raised when a program does not faithfully realise its circuit."""
+
+
+def verify_program(program: Program, params: PhysicalParams | None = None) -> None:
+    """Raise :class:`VerificationError` unless the program is fully valid."""
+    # Layer 1: physical legality (delegated to the executor's replay).
+    try:
+        execute(program, params)
+    except (ExecutionError, ValueError) as exc:
+        raise VerificationError(f"physical legality: {exc}") from exc
+
+    # Layer 2: logical equivalence against the dependency DAG.
+    dag = DependencyGraph(program.circuit)
+    executed: set[int] = set()
+    for op in program.operations:
+        if isinstance(op, (GateOp, FiberGateOp)) and op.circuit_index >= 0:
+            index = op.circuit_index
+            if index in executed:
+                raise VerificationError(f"circuit gate #{index} executed twice")
+            expected = program.circuit[index]
+            if expected != op.gate:
+                raise VerificationError(
+                    f"circuit gate #{index} mismatch: program has {op.gate}, "
+                    f"circuit has {expected}"
+                )
+            if not dag.is_ready(index):
+                raise VerificationError(
+                    f"circuit gate #{index} ({op.gate}) executed before its "
+                    "dependencies"
+                )
+            dag.complete(index)
+            executed.add(index)
+    if not dag.is_empty:
+        missing = [node for node, _ in dag.frontier_gates()]
+        raise VerificationError(
+            f"{len(dag)} circuit gates never executed (next ready: "
+            f"{missing[:5]})"
+        )
+
+
+def is_valid(program: Program, params: PhysicalParams | None = None) -> bool:
+    """Boolean convenience wrapper around :func:`verify_program`."""
+    try:
+        verify_program(program, params)
+    except VerificationError:
+        return False
+    return True

@@ -1,0 +1,48 @@
+"""Benchmark workload generators (the paper's application suite).
+
+Families: Adder (Cuccaro ripple-carry), BV (Bernstein–Vazirani), GHZ, QAOA
+(ring MaxCut), QFT, SQRT (Grover-style square root), RAN (unstructured
+random) and SC (supremacy-style 2D grid).  Resolve paper-style names with
+:func:`get_benchmark`.
+"""
+
+from .adder import cuccaro_adder
+from .bv import bernstein_vazirani
+from .extras import hidden_shift, ising, quantum_volume
+from .ghz import ghz
+from .qaoa import qaoa_ring
+from .qft import qft
+from .random_circuits import random_circuit, supremacy_circuit
+from .registry import (
+    GENERATORS,
+    LARGE_SUITE,
+    MEDIUM_SUITE,
+    SMALL_SUITE,
+    available_benchmarks,
+    get_benchmark,
+    parse_name,
+)
+from .sqrt import sqrt_circuit
+from .surface_code import surface_code_cycle
+
+__all__ = [
+    "GENERATORS",
+    "LARGE_SUITE",
+    "MEDIUM_SUITE",
+    "SMALL_SUITE",
+    "available_benchmarks",
+    "bernstein_vazirani",
+    "cuccaro_adder",
+    "get_benchmark",
+    "ghz",
+    "hidden_shift",
+    "ising",
+    "parse_name",
+    "qaoa_ring",
+    "qft",
+    "quantum_volume",
+    "random_circuit",
+    "sqrt_circuit",
+    "supremacy_circuit",
+    "surface_code_cycle",
+]

@@ -1,0 +1,131 @@
+"""Additional QASMBench-style workload families.
+
+Beyond the paper's eight applications, three families commonly used to
+stress NISQ compilers (all present in QASMBench and trivially available to
+downstream users of this repository):
+
+* :func:`quantum_volume` — square random SU(4)-style circuits (QV): random
+  pairings each layer, the classic all-to-all stress test.
+* :func:`ising` — first-order Trotterised transverse-field Ising evolution:
+  nearest-neighbour ZZ + transverse RX per step (Hamiltonian simulation).
+* :func:`hidden_shift` — the bent-function hidden-shift circuit: Hadamard
+  sandwich around a CZ product function, with a shifted-phase oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits import QuantumCircuit
+from .random_circuits import _XorShift
+
+
+def quantum_volume(num_qubits: int, depth: int | None = None, seed: int = 42) -> QuantumCircuit:
+    """Quantum-volume style circuit: ``depth`` layers of random pairings.
+
+    Each layer shuffles the qubits, pairs them up, and applies a random
+    SU(4) proxy (two CX with interleaved random 1q rotations) to every pair.
+    ``depth`` defaults to ``num_qubits`` (the square QV shape).
+    """
+    if num_qubits < 2:
+        raise ValueError(f"QV needs at least 2 qubits, got {num_qubits}")
+    if depth is None:
+        depth = num_qubits
+    if depth < 1:
+        raise ValueError(f"depth must be positive, got {depth}")
+    rng = _XorShift(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"QV_n{num_qubits}")
+    for _ in range(depth):
+        order = list(range(num_qubits))
+        # Fisher-Yates with the deterministic PRNG.
+        for i in range(num_qubits - 1, 0, -1):
+            j = rng.next_int(i + 1)
+            order[i], order[j] = order[j], order[i]
+        for i in range(0, num_qubits - 1, 2):
+            a, b = order[i], order[i + 1]
+            circuit.ry(rng.next_angle(), a)
+            circuit.rz(rng.next_angle(), b)
+            circuit.cx(a, b)
+            circuit.ry(rng.next_angle(), b)
+            circuit.cx(b, a)
+            circuit.rz(rng.next_angle(), a)
+    return circuit
+
+
+def ising(
+    num_qubits: int,
+    steps: int = 4,
+    coupling: float = 1.0,
+    field: float = 0.7,
+    dt: float = 0.1,
+) -> QuantumCircuit:
+    """First-order Trotterised 1-D transverse-field Ising evolution.
+
+    Per step: ``exp(-i J dt Z_i Z_{i+1})`` on every chain edge (even bonds
+    then odd bonds, enabling layer parallelism) followed by
+    ``exp(-i h dt X_i)`` everywhere.  Pure nearest-neighbour traffic — a
+    natural companion to QAOA in locality studies.
+    """
+    if num_qubits < 2:
+        raise ValueError(f"Ising needs at least 2 qubits, got {num_qubits}")
+    if steps < 1:
+        raise ValueError(f"steps must be positive, got {steps}")
+    circuit = QuantumCircuit(num_qubits, name=f"Ising_n{num_qubits}")
+    zz_angle = 2.0 * coupling * dt
+    x_angle = 2.0 * field * dt
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _ in range(steps):
+        for parity in (0, 1):
+            for q in range(parity, num_qubits - 1, 2):
+                circuit.rzz(zz_angle, q, q + 1)
+        for q in range(num_qubits):
+            circuit.rx(x_angle, q)
+    return circuit
+
+
+def hidden_shift(num_qubits: int, shift: int | None = None) -> QuantumCircuit:
+    """Hidden-shift circuit for the inner-product bent function.
+
+    The self-dual bent function ``f(x, y) = x . y`` (CZ between the two
+    register halves) sandwiched in Hadamard layers, with the shifted oracle
+    realised by X-conjugation:
+
+        H^n  ->  X_s f X_s  ->  H^n  ->  f  ->  H^n  ->  measure
+
+    Measurement reveals the shift exactly.  Communication pattern: disjoint
+    mid-range CZ pairs — between GHZ's chain and QFT's all-to-all.
+    """
+    if num_qubits < 4:
+        raise ValueError(f"hidden shift needs at least 4 qubits, got {num_qubits}")
+    if num_qubits % 2:
+        raise ValueError(f"hidden shift needs an even width, got {num_qubits}")
+    if shift is None:
+        shift = (1 << num_qubits) - 1
+    if not 0 <= shift < (1 << num_qubits):
+        raise ValueError(f"shift {shift:#x} does not fit {num_qubits} bits")
+    half = num_qubits // 2
+    circuit = QuantumCircuit(num_qubits, name=f"HS_n{num_qubits}")
+
+    def apply_f() -> None:
+        for left in range(half):
+            circuit.cz(left, half + left)
+
+    def apply_shift() -> None:
+        for q in range(num_qubits):
+            if (shift >> q) & 1:
+                circuit.x(q)
+
+    for q in range(num_qubits):
+        circuit.h(q)
+    apply_shift()
+    apply_f()
+    apply_shift()
+    for q in range(num_qubits):
+        circuit.h(q)
+    apply_f()
+    for q in range(num_qubits):
+        circuit.h(q)
+    for q in range(num_qubits):
+        circuit.measure(q)
+    return circuit

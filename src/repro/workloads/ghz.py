@@ -1,0 +1,22 @@
+"""GHZ state preparation.
+
+A Hadamard on qubit 0 followed by a CX chain.  The linear chain makes GHZ the
+lightest communication pattern in the suite: each qubit interacts with only
+its immediate successor, so good schedulers need very few shuttles
+(Table 2 reports 2-4 for GHZ_32).
+"""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    """Build the ``num_qubits``-qubit GHZ preparation circuit."""
+    if num_qubits < 2:
+        raise ValueError(f"GHZ needs at least 2 qubits, got {num_qubits}")
+    circuit = QuantumCircuit(num_qubits, name=f"GHZ_n{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit

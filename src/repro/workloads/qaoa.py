@@ -1,0 +1,45 @@
+"""QAOA for MaxCut on a ring.
+
+The paper characterises QAOA as a nearest-neighbour, low-communication
+application ("the benefit is less significant", §5.2; "essentially unaffected
+by changes in k", §5.5).  MaxCut on a ring graph captures exactly that: each
+qubit couples only with its two ring neighbours, so ZZ interactions are local
+under any block-contiguous initial mapping.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits import QuantumCircuit
+
+
+def qaoa_ring(num_qubits: int, rounds: int = 1, seed: int = 7) -> QuantumCircuit:
+    """Build a ``rounds``-round QAOA MaxCut circuit on a ring graph.
+
+    Angles are deterministic pseudo-random values derived from ``seed`` so the
+    circuit is reproducible without an optimisation loop (scheduling is
+    insensitive to the specific angles).
+    """
+    if num_qubits < 3:
+        raise ValueError(f"ring QAOA needs at least 3 qubits, got {num_qubits}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    circuit = QuantumCircuit(num_qubits, name=f"QAOA_n{num_qubits}")
+    for q in range(num_qubits):
+        circuit.h(q)
+    state = seed & 0x7FFFFFFF or 1
+    for layer in range(rounds):
+        # Cost layer: ZZ on every ring edge, even edges first then odd so
+        # neighbouring interactions can be scheduled in two parallel waves.
+        edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+        state = (1103515245 * state + 12345) % (1 << 31)
+        gamma = math.pi * state / (1 << 31)
+        for a, b in edges:
+            circuit.rzz(gamma, a, b)
+        # Mixer layer.
+        state = (1103515245 * state + 12345) % (1 << 31)
+        beta = math.pi * state / (1 << 31)
+        for q in range(num_qubits):
+            circuit.rx(beta, q)
+    return circuit

@@ -1,0 +1,126 @@
+"""Random circuit workloads: RAN (unstructured) and SC (supremacy-style).
+
+``RAN_n256`` in the paper is an unstructured random circuit — uniformly
+random two-qubit partners, the adversarial case for any locality-exploiting
+scheduler.  ``SC_n274`` is a quantum-supremacy-style circuit: a 2D grid of
+qubits entangled along grid edges in a rotating pattern (the Google-style
+patterned coupler activation), which has strong 2D locality.
+
+Both use an explicit xorshift PRNG rather than :mod:`random` so circuits are
+reproducible across Python versions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits import QuantumCircuit
+
+
+class _XorShift:
+    """Deterministic 64-bit xorshift PRNG (reproducible across platforms)."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed ^ 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF or 1
+
+    def next_int(self, bound: int) -> int:
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self.state = x
+        return x % bound
+
+    def next_angle(self) -> float:
+        return math.pi * self.next_int(1 << 20) / (1 << 20)
+
+
+def random_circuit(
+    num_qubits: int,
+    num_two_qubit_gates: int | None = None,
+    seed: int = 2025,
+) -> QuantumCircuit:
+    """Unstructured random circuit (the paper's RAN workload).
+
+    Args:
+        num_qubits: register width.
+        num_two_qubit_gates: number of CX gates; defaults to ``4 * n``,
+            matching the gate-count scale of the paper's RAN_n256 entry.
+        seed: PRNG seed.
+    """
+    if num_qubits < 2:
+        raise ValueError(f"random circuit needs >= 2 qubits, got {num_qubits}")
+    if num_two_qubit_gates is None:
+        num_two_qubit_gates = 4 * num_qubits
+    rng = _XorShift(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"RAN_n{num_qubits}")
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _ in range(num_two_qubit_gates):
+        a = rng.next_int(num_qubits)
+        b = rng.next_int(num_qubits - 1)
+        if b >= a:
+            b += 1
+        # Sprinkle 1q rotations so the DAG has realistic layer structure.
+        if rng.next_int(4) == 0:
+            circuit.rz(rng.next_angle(), a)
+        circuit.cx(a, b)
+    return circuit
+
+
+#: The supremacy coupler-activation pattern: each entry selects grid edges by
+#: (horizontal?, parity) as in Google-style patterned activation.
+_SC_PATTERN = (
+    (True, 0), (False, 0), (True, 1), (False, 1),
+    (False, 0), (True, 0), (False, 1), (True, 1),
+)
+
+
+def supremacy_circuit(
+    num_qubits: int, depth: int = 8, seed: int = 274
+) -> QuantumCircuit:
+    """2D-grid supremacy-style circuit (the paper's SC workload).
+
+    Qubits sit on a near-square grid; each layer applies random single-qubit
+    rotations everywhere and CZ along one activation pattern of grid edges.
+
+    Args:
+        num_qubits: grid size (need not be a perfect rectangle; the last row
+            may be ragged).
+        depth: number of entangling layers.
+        seed: PRNG seed for the single-qubit gate choices.
+    """
+    if num_qubits < 4:
+        raise ValueError(f"supremacy circuit needs >= 4 qubits, got {num_qubits}")
+    columns = max(2, int(math.sqrt(num_qubits)))
+    rng = _XorShift(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"SC_n{num_qubits}")
+
+    def wire(row: int, col: int) -> int:
+        return row * columns + col
+
+    rows = (num_qubits + columns - 1) // columns
+    one_qubit_choices = ("sx", "t", "h")
+
+    for q in range(num_qubits):
+        circuit.h(q)
+    for layer in range(depth):
+        for q in range(num_qubits):
+            circuit.add(one_qubit_choices[rng.next_int(3)], q)
+        horizontal, parity = _SC_PATTERN[layer % len(_SC_PATTERN)]
+        for row in range(rows):
+            for col in range(columns):
+                a = wire(row, col)
+                if a >= num_qubits:
+                    continue
+                if horizontal:
+                    if col % 2 == parity and col + 1 < columns:
+                        b = wire(row, col + 1)
+                        if b < num_qubits:
+                            circuit.cz(a, b)
+                else:
+                    if row % 2 == parity:
+                        b = wire(row + 1, col)
+                        if b < num_qubits:
+                            circuit.cz(a, b)
+    return circuit

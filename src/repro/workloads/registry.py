@@ -1,0 +1,94 @@
+"""Workload registry: benchmark circuits by paper-style name.
+
+The paper names workloads like ``Adder_n128``, ``SQRT_n299``, ``RAN_n256``.
+:func:`get_benchmark` resolves those names, and the ``*_SUITE`` constants
+reproduce the exact application sets of Table 2 and Figure 6.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+
+from ..circuits import QuantumCircuit, lower_to_native
+from .adder import cuccaro_adder
+from .bv import bernstein_vazirani
+from .extras import hidden_shift, ising, quantum_volume
+from .ghz import ghz
+from .qaoa import qaoa_ring
+from .qft import qft
+from .random_circuits import random_circuit, supremacy_circuit
+from .sqrt import sqrt_circuit
+from .surface_code import surface_code_cycle
+
+#: family name (lower case) -> generator taking num_qubits.
+GENERATORS: dict[str, Callable[[int], QuantumCircuit]] = {
+    "adder": cuccaro_adder,
+    "bv": bernstein_vazirani,
+    "ghz": ghz,
+    "qaoa": qaoa_ring,
+    "qft": qft,
+    "sqrt": sqrt_circuit,
+    "ran": random_circuit,
+    "random": random_circuit,
+    "sc": supremacy_circuit,
+    # Extended families beyond the paper's suite (QASMBench-style).
+    "qv": quantum_volume,
+    "ising": ising,
+    "hs": hidden_shift,
+    # §7 outlook: QEC syndrome extraction on EML-QCCD.
+    "surface": lambda n: surface_code_cycle(num_qubits=n),
+}
+
+_NAME_RE = re.compile(r"([a-zA-Z]+)_n?(\d+)")
+
+#: Table 2 / Fig 6 small-scale suite (30-32 qubits).
+SMALL_SUITE = ("Adder_n32", "BV_n32", "GHZ_n32", "QAOA_n32", "QFT_n32", "SQRT_n30")
+
+#: Fig 6 medium-scale suite (117-128 qubits).
+MEDIUM_SUITE = ("Adder_n128", "BV_n128", "QAOA_n128", "GHZ_n128", "SQRT_n117")
+
+#: Fig 6 large-scale suite (256-299 qubits).
+LARGE_SUITE = (
+    "Adder_n256",
+    "BV_n256",
+    "QAOA_n256",
+    "GHZ_n256",
+    "RAN_n256",
+    "SC_n274",
+    "SQRT_n299",
+)
+
+
+def parse_name(name: str) -> tuple[str, int]:
+    """Split ``"Adder_n128"`` into ``("adder", 128)``."""
+    match = _NAME_RE.fullmatch(name.strip())
+    if match is None:
+        raise KeyError(f"cannot parse benchmark name {name!r}")
+    family, size_text = match.groups()
+    family = family.lower()
+    if family not in GENERATORS:
+        raise KeyError(
+            f"unknown benchmark family {family!r}; known: {sorted(GENERATORS)}"
+        )
+    return family, int(size_text)
+
+
+def get_benchmark(name: str, *, native: bool = True) -> QuantumCircuit:
+    """Build the benchmark circuit named like the paper names it.
+
+    Args:
+        name: e.g. ``"Adder_n128"``, ``"SQRT_n299"``, ``"RAN_n256"``.
+        native: lower to 1q/2q gates and drop measure/barrier markers,
+            producing exactly what the schedulers consume (default).
+    """
+    family, num_qubits = parse_name(name)
+    circuit = GENERATORS[family](num_qubits)
+    if native:
+        circuit = lower_to_native(circuit).without_non_unitary()
+    return circuit
+
+
+def available_benchmarks() -> list[str]:
+    """Every canonical suite entry, smallest scale first."""
+    return list(SMALL_SUITE) + list(MEDIUM_SUITE) + list(LARGE_SUITE)

@@ -1,0 +1,61 @@
+"""ASCII chart tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart(["a", "b"], [10, 5], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart(["a", "b"], [4, 0])
+        assert text.splitlines()[1].count("#") == 0
+
+    def test_title_and_unit(self):
+        text = bar_chart(["x"], [3], title="T", unit=" us")
+        assert text.startswith("T\n")
+        assert "3 us" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="none") == "none"
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        text = grouped_bar_chart(
+            ["app1", "app2"],
+            {"murali": [10, 20], "ours": [5, 8]},
+            width=10,
+        )
+        assert "app1:" in text and "app2:" in text
+        assert text.count("murali") == 2
+        assert text.count("ours") == 2
+
+    def test_mismatched_series(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1, 2]})
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == " " and line[-1] == "@"
+        assert len(line) == 4
+
+    def test_constant(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,97 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, parse_machine
+from repro.hardware import EMLQCCDMachine, QCCDGridMachine
+
+
+class TestParseMachine:
+    def test_grid_spec(self):
+        machine = parse_machine("grid:3x4:16", num_qubits=100)
+        assert isinstance(machine, QCCDGridMachine)
+        assert (machine.rows, machine.columns, machine.trap_capacity) == (3, 4, 16)
+
+    def test_eml_default(self):
+        machine = parse_machine("eml", num_qubits=64)
+        assert isinstance(machine, EMLQCCDMachine)
+        assert machine.num_modules == 2
+        assert machine.trap_capacity == 16
+
+    def test_eml_with_capacity_and_optical(self):
+        machine = parse_machine("eml:12:2", num_qubits=32)
+        assert machine.trap_capacity == 12
+        assert len(machine.optical_zones(0)) == 2
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            parse_machine("mesh:2x2", 8)
+        with pytest.raises(ValueError):
+            parse_machine("grid:2x2", 8)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Adder_n32" in out
+        assert "SQRT_n299" in out
+
+    def test_compile_grid(self, capsys):
+        assert main(["compile", "GHZ_n16", "--machine", "grid:2x2:8"]) == 0
+        out = capsys.readouterr().out
+        assert "GHZ_n16 via MUSS-TI" in out
+
+    def test_compile_with_baseline(self, capsys):
+        code = main(
+            ["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--compiler", "murali"]
+        )
+        assert code == 0
+        assert "QCCD-Murali" in capsys.readouterr().out
+
+    def test_compile_with_perfect_params(self, capsys):
+        code = main(
+            [
+                "compile",
+                "GHZ_n16",
+                "--machine",
+                "grid:2x2:8",
+                "--params",
+                "perfect-shuttle",
+            ]
+        )
+        assert code == 0
+
+    def test_compile_timeline(self, capsys):
+        code = main(["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--timeline"])
+        assert code == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_compile_breakdown(self, capsys):
+        code = main(
+            ["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--breakdown"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fidelity loss by channel" in out
+        assert "background_heat" in out
+
+    def test_compile_trace(self, capsys, tmp_path):
+        trace = tmp_path / "out.json"
+        code = main(
+            ["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert trace.exists()
+
+    def test_compare(self, capsys):
+        code = main(["compare", "GHZ_n32", "--grid", "grid:2x2:12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MUSS-TI" in out and "QCCD-MQT" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

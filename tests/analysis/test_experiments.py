@@ -1,0 +1,122 @@
+"""Experiment driver tests on reduced problem sizes.
+
+Full-size experiment runs live in ``benchmarks/``; here each driver is
+exercised on small inputs to validate plumbing, row schemas and renderers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table2,
+)
+from repro.analysis.runs import eml_for, run_case, small_grid, table2_compilers
+from repro.workloads import get_benchmark
+
+
+class TestRunCase:
+    def test_produces_consistent_row(self):
+        circuit = get_benchmark("GHZ_n32")
+        result = run_case(
+            table2_compilers()[0], circuit, small_grid("2x2"), verify=True
+        )
+        assert result.application == "GHZ_n32"
+        assert result.compiler == "QCCD-Murali"
+        assert result.shuttle_count >= 0
+        assert result.execution_time_us > 0
+        assert result.log10_fidelity <= 0
+        cells = result.cells()
+        assert set(cells) >= {"app", "compiler", "shuttles", "time_us"}
+
+    def test_unknown_grid(self):
+        with pytest.raises(ValueError):
+            small_grid("9x9")
+
+    def test_eml_for_sizes_machine(self):
+        circuit = get_benchmark("GHZ_n128")
+        machine = eml_for(circuit)
+        assert machine.num_modules == 4
+        assert eml_for(circuit, num_optical=2).optical_zones(0)
+
+
+class TestDriverSchemas:
+    def test_table2_reduced(self):
+        rows = table2.run(applications=("GHZ_n32",), grids=("2x2",))
+        assert len(rows) == 1
+        assert "MUSS-TI/shuttles" in rows[0]
+        assert "QCCD-MQT/fidelity" in rows[0]
+        text = table2.render(rows)
+        assert "Shuttle Count" in text and "GHZ_n32" in text
+
+    def test_fig7_reduced(self):
+        rows = fig7.run(applications=("GHZ_n128",), capacities=(14, 16))
+        assert len(rows) == 2
+        assert fig7.best_capacity(rows, "GHZ_n128") in (14, 16)
+        assert "Trap Capacity" in fig7.render(rows)
+
+    def test_fig8_reduced(self):
+        rows = fig8.run(applications=("GHZ_n128",))
+        assert len(rows) == 1
+        for label, _ in fig8.ARMS:
+            assert f"{label}/log10F" in rows[0]
+        assert "Trivial" in fig8.render(rows)
+
+    def test_fig9_reduced(self):
+        rows = fig9.run(applications=("GHZ_n128",), lookaheads=(4, 8))
+        assert len(rows) == 2
+        assert fig9.fidelity_spread(rows, "GHZ_n128") >= 0
+        assert "Look-ahead" in fig9.render(rows)
+
+    def test_fig10_reduced(self):
+        rows = fig10.run(families=("GHZ",), sizes=(64, 96))
+        assert [row["size"] for row in rows] == [64, 96]
+        assert fig10.is_subexponential(rows, "GHZ")
+        assert "Compilation Time" in fig10.render(rows)
+
+    def test_fig11_reduced(self):
+        rows = fig11.run(applications=("BV_n64",))
+        assert len(rows) == len(fig11.ARMS)
+        assert "Fidelity" in fig11.render(rows)
+
+    def test_fig12_reduced(self):
+        rows = fig12.run(applications=("GHZ_n128",), zone_counts=(1, 2))
+        assert "1-zone/log10F" in rows[0]
+        assert "2-zone/log10F" in rows[0]
+        assert "Entanglement" in fig12.render(rows)
+
+    def test_fig13_reduced(self):
+        rows = fig13.run(applications=("GHZ_n128",))
+        row = rows[0]
+        assert row["Perfect Gate/log10F"] >= row["MUSS-TI/log10F"]
+        assert row["Perfect Shuttle/log10F"] >= row["MUSS-TI/log10F"]
+        assert "Optimality" in fig13.render(rows)
+
+
+class TestRegistry:
+    def test_every_experiment_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+        }
+
+    def test_runner_rejects_unknown(self):
+        from repro.analysis.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])

@@ -1,0 +1,30 @@
+"""Reduced-scale smoke test of the Figure 6 driver (full run in benchmarks)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig6
+
+
+def test_fig6_small_scale_schema():
+    rows = fig6.run(scales=("small",))
+    assert len(rows) == 6  # the small suite
+    for row in rows:
+        assert row["scale"] == "small"
+        for compiler in ("QCCD-Murali", "QCCD-Dai", "MUSS-TI"):
+            assert row[f"{compiler}/shuttles"] >= 0
+            assert row[f"{compiler}/time"] > 0
+            assert row[f"{compiler}/log10F"] <= 0
+        assert "shuttle_reduction_%" in row
+    text = fig6.render(rows)
+    assert "Number of Shuttles" in text
+    assert "Fidelity (log10)" in text
+
+
+def test_fig6_reduction_is_against_best_baseline():
+    rows = fig6.run(scales=("small",))
+    for row in rows:
+        best = min(row["QCCD-Murali/shuttles"], row["QCCD-Dai/shuttles"])
+        ours = row["MUSS-TI/shuttles"]
+        if best:
+            expected = round(100.0 * (best - ours) / best, 1)
+            assert row["shuttle_reduction_%"] == expected

@@ -1,0 +1,59 @@
+"""Table rendering and formatting tests."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import format_fidelity, improvement_percent, render_table
+
+
+class TestFormatFidelity:
+    def test_large_values_plain(self):
+        assert format_fidelity(0.82) == "0.82"
+        assert format_fidelity(0.13) == "0.13"
+
+    def test_small_values_scientific(self):
+        assert format_fidelity(5.9e-13) == "5.9e-13"
+        assert format_fidelity(4.2e-16) == "4.2e-16"
+
+    def test_log10_input_survives_underflow(self):
+        # Way below double precision: only representable via log10.
+        assert format_fidelity(0.0, log10_value=-500.3) == "5.0e-501"
+
+    def test_zero_without_log(self):
+        assert format_fidelity(0.0) == "0.0"
+
+    def test_boundary_at_one_percent(self):
+        assert format_fidelity(0.01) == "0.01"
+        assert "e-03" in format_fidelity(0.005)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+
+class TestImprovement:
+    def test_reduction(self):
+        assert improvement_percent(100, 25) == 75.0
+
+    def test_regression_is_negative(self):
+        assert improvement_percent(50, 100) == -100.0
+
+    def test_zero_baseline(self):
+        assert improvement_percent(0, 10) == 0.0
+
+    def test_paper_headline_numbers(self):
+        # 41.74 % style computation sanity.
+        assert math.isclose(improvement_percent(120, 70), 41.6667, abs_tol=1e-3)

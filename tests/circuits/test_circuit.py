@@ -1,0 +1,164 @@
+"""Unit tests for the circuit container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import CircuitError, Gate, QuantumCircuit, validate_native
+from repro.circuits.gate import GateError
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(4)
+        assert len(circuit) == 0
+        assert circuit.num_qubits == 4
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-3)
+
+    def test_named_appenders_build_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).rz(0.5, 2).swap(1, 2).ccx(0, 1, 2)
+        assert [g.name for g in circuit] == ["h", "cx", "rz", "swap", "ccx"]
+
+    def test_append_validates_register_bounds(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="qubit 5"):
+            circuit.add("h", 5)
+
+    def test_extend(self):
+        circuit = QuantumCircuit(2)
+        circuit.extend([Gate("h", (0,)), Gate("cx", (0, 1))])
+        assert len(circuit) == 2
+
+    def test_indexing_and_iteration(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        assert circuit[0] == Gate("h", (0,))
+        assert list(circuit)[1] == Gate("cx", (0, 1))
+
+    def test_equality(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.h(0)
+        assert a == b
+        b.x(1)
+        assert a != b
+
+    def test_equality_needs_same_width(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3)
+        assert a != b
+
+
+class TestQueries:
+    def test_count_ops(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).cx(0, 1).cx(1, 2)
+        counts = circuit.count_ops()
+        assert counts["h"] == 2
+        assert counts["cx"] == 2
+
+    def test_gate_type_counts(self, linear_chain_8):
+        assert linear_chain_8.num_one_qubit_gates == 1
+        assert linear_chain_8.num_two_qubit_gates == 7
+
+    def test_two_qubit_gates_extraction(self, bell_pair):
+        gates = bell_pair.two_qubit_gates()
+        assert gates == [Gate("cx", (0, 1))]
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(10)
+        circuit.cx(2, 7)
+        assert circuit.used_qubits() == {2, 7}
+
+    def test_depth_serial_chain(self, linear_chain_8):
+        # h + 7 chained CX: every gate depends on the previous.
+        assert linear_chain_8.depth() == 8
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3)
+        assert circuit.depth() == 1
+
+    def test_two_qubit_depth_ignores_one_qubit_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(0).h(0).cx(0, 1)
+        assert circuit.depth() == 4
+        assert circuit.two_qubit_depth() == 1
+
+    def test_depth_of_empty_circuit(self):
+        assert QuantumCircuit(3).depth() == 0
+
+    def test_interaction_pairs(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(1, 0).cx(1, 2)
+        pairs = circuit.interaction_pairs()
+        assert pairs[(0, 1)] == 2
+        assert pairs[(1, 2)] == 1
+
+
+class TestTransformations:
+    def test_reversed_flips_order_keeps_gates(self, bell_pair):
+        rev = bell_pair.reversed()
+        assert [g.name for g in rev] == ["cx", "h"]
+        assert rev.num_qubits == 2
+
+    def test_inverse_reverses_and_inverts(self):
+        circuit = QuantumCircuit(1)
+        circuit.s(0).t(0)
+        inv = circuit.inverse()
+        assert [g.name for g in inv] == ["tdg", "sdg"]
+
+    def test_inverse_rejects_measurement(self):
+        circuit = QuantumCircuit(1)
+        circuit.measure(0)
+        with pytest.raises(CircuitError, match="non-unitary"):
+            circuit.inverse()
+
+    def test_remap(self, bell_pair):
+        remapped = bell_pair.remap({0: 1, 1: 0})
+        assert remapped[1] == Gate("cx", (1, 0))
+
+    def test_remap_missing_qubit(self, bell_pair):
+        with pytest.raises(CircuitError, match="permutation"):
+            bell_pair.remap({0: 1})
+
+    def test_without_non_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).measure(0).barrier(1).cx(0, 1)
+        clean = circuit.without_non_unitary()
+        assert [g.name for g in clean] == ["h", "cx"]
+
+    def test_compose(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        combined = a.compose(b)
+        assert [g.name for g in combined] == ["h", "cx"]
+        assert len(a) == 1  # compose is non-destructive
+
+    def test_compose_rejects_wider_circuit(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3)
+        with pytest.raises(CircuitError, match="wider"):
+            a.compose(b)
+
+
+class TestValidateNative:
+    def test_accepts_two_qubit_circuit(self, bell_pair):
+        validate_native(bell_pair)  # should not raise
+
+    def test_rejects_ccx(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        with pytest.raises(GateError, match="lower_to_native"):
+            validate_native(circuit)

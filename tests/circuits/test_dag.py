@@ -1,0 +1,210 @@
+"""Unit and property tests for the dependency graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import DependencyError, DependencyGraph, QuantumCircuit, dependency_layers
+
+
+def chain_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3)
+    circuit.h(0)          # 0
+    circuit.cx(0, 1)      # 1 depends on 0
+    circuit.cx(1, 2)      # 2 depends on 1
+    circuit.h(2)          # 3 depends on 2
+    return circuit
+
+
+class TestConstruction:
+    def test_chain_dependencies(self):
+        dag = DependencyGraph(chain_circuit())
+        assert dag.predecessors(0) == ()
+        assert dag.predecessors(1) == (0,)
+        assert dag.predecessors(2) == (1,)
+        assert dag.successors(1) == (2,)
+
+    def test_parallel_gates_have_no_edges(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3)
+        dag = DependencyGraph(circuit)
+        assert dag.frontier() == [0, 1]
+
+    def test_diamond_dependency(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)   # 0
+        circuit.h(0)       # 1 <- 0
+        circuit.h(1)       # 2 <- 0
+        circuit.cx(0, 1)   # 3 <- 1, 2
+        dag = DependencyGraph(circuit)
+        assert set(dag.predecessors(3)) == {1, 2}
+
+    def test_single_edge_for_shared_pair(self):
+        # Two gates sharing BOTH qubits produce one edge, not two.
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1).cx(1, 0)
+        dag = DependencyGraph(circuit)
+        assert dag.predecessors(1) == (0,)
+
+    def test_empty_circuit(self):
+        dag = DependencyGraph(QuantumCircuit(2))
+        assert dag.is_empty
+        assert dag.frontier() == []
+
+
+class TestCompletion:
+    def test_complete_unlocks_successors(self):
+        dag = DependencyGraph(chain_circuit())
+        assert dag.frontier() == [0]
+        newly = dag.complete(0)
+        assert newly == [1]
+        assert dag.frontier() == [1]
+
+    def test_complete_non_frontier_raises(self):
+        dag = DependencyGraph(chain_circuit())
+        with pytest.raises(DependencyError, match="not in the frontier"):
+            dag.complete(2)
+
+    def test_double_complete_raises(self):
+        dag = DependencyGraph(chain_circuit())
+        dag.complete(0)
+        with pytest.raises(DependencyError):
+            dag.complete(0)
+
+    def test_len_counts_remaining(self):
+        dag = DependencyGraph(chain_circuit())
+        assert len(dag) == 4
+        dag.complete(0)
+        assert len(dag) == 3
+
+    def test_full_drain(self):
+        dag = DependencyGraph(chain_circuit())
+        order = []
+        while not dag.is_empty:
+            node = dag.frontier()[0]
+            order.append(node)
+            dag.complete(node)
+        assert order == [0, 1, 2, 3]
+
+
+class TestLayers:
+    def test_first_k_layers_of_chain(self):
+        dag = DependencyGraph(chain_circuit())
+        layers = dag.first_k_layers(2)
+        assert layers == [[0], [1]]
+
+    def test_first_k_layers_zero(self):
+        dag = DependencyGraph(chain_circuit())
+        assert dag.first_k_layers(0) == []
+
+    def test_all_layers_cover_every_gate(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(1, 2).cx(0, 1).h(3)
+        dag = DependencyGraph(circuit)
+        layers = dag.all_layers()
+        flat = [node for layer in layers for node in layer]
+        assert sorted(flat) == list(range(5))
+
+    def test_layers_respect_dependencies(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(1, 2)
+        dag = DependencyGraph(circuit)
+        layers = dag.all_layers()
+        position = {
+            node: index for index, layer in enumerate(layers) for node in layer
+        }
+        assert position[2] > position[0]
+        assert position[2] > position[1]
+
+    def test_lookahead_does_not_mutate(self):
+        dag = DependencyGraph(chain_circuit())
+        dag.first_k_layers(10)
+        assert len(dag) == 4
+        assert dag.frontier() == [0]
+
+    def test_lookahead_after_progress(self):
+        dag = DependencyGraph(chain_circuit())
+        dag.complete(0)
+        assert dag.first_k_layers(2) == [[1], [2]]
+
+    def test_gates_within_layers_yields_layer_index(self):
+        dag = DependencyGraph(chain_circuit())
+        entries = list(dag.gates_within_layers(2))
+        assert [layer for layer, _ in entries] == [0, 1]
+
+    def test_topological_order_is_valid(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 1).cx(1, 2).cx(3, 4).cx(2, 3).h(0)
+        dag = DependencyGraph(circuit)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in range(len(circuit)):
+            for pred in dag.predecessors(node):
+                assert position[pred] < position[node]
+
+    def test_dependency_layers_helper(self):
+        layers = dependency_layers(chain_circuit())
+        assert layers == [[0], [1], [2], [3]]
+
+
+@st.composite
+def random_circuits(draw):
+    num_qubits = draw(st.integers(min_value=2, max_value=8))
+    num_gates = draw(st.integers(min_value=0, max_value=30))
+    circuit = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        if draw(st.booleans()):
+            circuit.h(draw(st.integers(0, num_qubits - 1)))
+        else:
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            circuit.cx(a, b)
+    return circuit
+
+
+class TestProperties:
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_fcfs_drain_respects_dependencies(self, circuit):
+        """Completing the frontier head repeatedly is a valid topological
+        execution covering every gate exactly once."""
+        dag = DependencyGraph(circuit)
+        last_gate_on_qubit: dict[int, int] = {}
+        executed = []
+        while not dag.is_empty:
+            node = dag.frontier()[0]
+            gate = dag.gate(node)
+            for qubit in gate.qubits:
+                previous = last_gate_on_qubit.get(qubit)
+                if previous is not None:
+                    assert previous < node or previous in executed
+            executed.append(node)
+            for qubit in gate.qubits:
+                last_gate_on_qubit[qubit] = node
+            dag.complete(node)
+        assert sorted(executed) == list(range(len(circuit)))
+
+    @given(random_circuits(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_first_k_layers_prefix_property(self, circuit, k):
+        """first_k_layers(k) is a prefix of first_k_layers(k+1)."""
+        dag = DependencyGraph(circuit)
+        shorter = dag.first_k_layers(k)
+        longer = dag.first_k_layers(k + 1)
+        assert longer[: len(shorter)] == shorter
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_layer_gates_are_independent(self, circuit):
+        """No two gates in one layer share a qubit."""
+        dag = DependencyGraph(circuit)
+        for layer in dag.all_layers():
+            seen: set[int] = set()
+            for node in layer:
+                for qubit in dag.gate(node).qubits:
+                    assert qubit not in seen
+                    seen.add(qubit)

@@ -1,0 +1,135 @@
+"""Decomposition tests, anchored by unitary equivalence."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits import (
+    Gate,
+    QuantumCircuit,
+    equivalent_up_to_global_phase,
+    lower_to_native,
+    ms_equivalent,
+    unitary,
+    validate_native,
+)
+from repro.circuits.decompose import (
+    decompose_ccx,
+    decompose_cp,
+    decompose_cswap,
+    decompose_rzz,
+    decompose_swap,
+)
+
+
+def circuit_of(num_qubits: int, gates) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits)
+    circuit.extend(gates)
+    return circuit
+
+
+class TestUnitaryEquivalence:
+    def test_ccx_decomposition_matches_toffoli(self):
+        reference = QuantumCircuit(3)
+        reference.ccx(0, 1, 2)
+        lowered = circuit_of(3, decompose_ccx(0, 1, 2))
+        assert equivalent_up_to_global_phase(unitary(reference), unitary(lowered))
+
+    def test_ccx_decomposition_other_operand_order(self):
+        reference = QuantumCircuit(3)
+        reference.ccx(2, 0, 1)
+        lowered = circuit_of(3, decompose_ccx(2, 0, 1))
+        assert equivalent_up_to_global_phase(unitary(reference), unitary(lowered))
+
+    def test_cswap_decomposition(self):
+        reference = QuantumCircuit(3)
+        reference.add("cswap", 0, 1, 2)
+        lowered = circuit_of(3, decompose_cswap(0, 1, 2))
+        assert equivalent_up_to_global_phase(unitary(reference), unitary(lowered))
+
+    def test_swap_decomposition(self):
+        reference = QuantumCircuit(2)
+        reference.swap(0, 1)
+        lowered = circuit_of(2, decompose_swap(0, 1))
+        assert equivalent_up_to_global_phase(unitary(reference), unitary(lowered))
+
+    @pytest.mark.parametrize("angle", [math.pi / 2, math.pi / 4, 1.234, -0.5])
+    def test_cp_decomposition(self, angle):
+        reference = QuantumCircuit(2)
+        reference.cp(angle, 0, 1)
+        lowered = circuit_of(2, decompose_cp(angle, 0, 1))
+        assert equivalent_up_to_global_phase(unitary(reference), unitary(lowered))
+
+    @pytest.mark.parametrize("angle", [math.pi / 3, -1.1])
+    def test_rzz_decomposition(self, angle):
+        reference = QuantumCircuit(2)
+        reference.rzz(angle, 0, 1)
+        lowered = circuit_of(2, decompose_rzz(angle, 0, 1))
+        assert equivalent_up_to_global_phase(unitary(reference), unitary(lowered))
+
+    def test_ms_equivalent_cx(self):
+        reference = QuantumCircuit(2)
+        reference.cx(0, 1)
+        rewritten = ms_equivalent(reference)
+        assert "ms" in rewritten.count_ops()
+        assert "cx" not in rewritten.count_ops()
+        assert equivalent_up_to_global_phase(unitary(reference), unitary(rewritten))
+
+    def test_ms_equivalent_cz(self):
+        reference = QuantumCircuit(2)
+        reference.cz(0, 1)
+        rewritten = ms_equivalent(reference)
+        assert equivalent_up_to_global_phase(unitary(reference), unitary(rewritten))
+
+
+class TestLowerToNative:
+    def test_removes_all_wide_gates(self):
+        circuit = QuantumCircuit(4)
+        circuit.ccx(0, 1, 2).add("cswap", 1, 2, 3).cx(0, 1)
+        lowered = lower_to_native(circuit)
+        validate_native(lowered)
+
+    def test_preserves_narrow_gates(self, bell_pair):
+        assert lower_to_native(bell_pair) == bell_pair
+
+    def test_swap_kept_by_default(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        assert lower_to_native(circuit).count_ops()["swap"] == 1
+
+    def test_swap_expanded_on_request(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        lowered = lower_to_native(circuit, expand_swap=True)
+        assert lowered.count_ops()["cx"] == 3
+        assert "swap" not in lowered.count_ops()
+
+    def test_phase_gates_kept_by_default(self):
+        circuit = QuantumCircuit(2)
+        circuit.cp(0.5, 0, 1).rzz(0.25, 0, 1)
+        lowered = lower_to_native(circuit)
+        assert lowered.count_ops()["cp"] == 1
+        assert lowered.count_ops()["rzz"] == 1
+
+    def test_phase_gates_expanded_on_request(self):
+        circuit = QuantumCircuit(2)
+        circuit.cp(0.5, 0, 1).rzz(0.25, 0, 1)
+        lowered = lower_to_native(circuit, expand_phase_gates=True)
+        assert "cp" not in lowered.count_ops()
+        assert "rzz" not in lowered.count_ops()
+        reference_unitary = unitary(circuit)
+        assert equivalent_up_to_global_phase(reference_unitary, unitary(lowered))
+
+    def test_whole_circuit_unitary_preserved(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0).ccx(0, 1, 2).cx(2, 3).ccx(1, 2, 3).t(3)
+        lowered = lower_to_native(circuit)
+        assert equivalent_up_to_global_phase(unitary(circuit), unitary(lowered))
+
+    def test_gate_objects_survive_lowering(self):
+        circuit = QuantumCircuit(3)
+        circuit.rz(0.7, 1)
+        lowered = lower_to_native(circuit)
+        assert lowered[0] == Gate("rz", (1,), (0.7,))

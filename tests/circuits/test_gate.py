@@ -1,0 +1,141 @@
+"""Unit tests for the gate IR."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits import GATE_ARITIES, Gate, GateError
+from repro.circuits.gate import format_angle
+
+
+class TestGateConstruction:
+    def test_simple_one_qubit_gate(self):
+        gate = Gate("h", (3,))
+        assert gate.name == "h"
+        assert gate.qubits == (3,)
+        assert gate.params == ()
+
+    def test_two_qubit_gate(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.is_two_qubit
+        assert not gate.is_one_qubit
+        assert gate.num_qubits == 2
+
+    def test_parametrised_gate(self):
+        gate = Gate("rz", (0,), (math.pi,))
+        assert gate.params == (math.pi,)
+
+    def test_three_qubit_gate(self):
+        gate = Gate("ccx", (0, 1, 2))
+        assert gate.num_qubits == 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GateError, match="unknown gate"):
+            Gate("frobnicate", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(GateError, match="expects 2 qubit"):
+            Gate("cx", (0,))
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(GateError, match="expects 1 qubit"):
+            Gate("h", (0, 1))
+
+    def test_repeated_qubit_rejected(self):
+        with pytest.raises(GateError, match="repeats a qubit"):
+            Gate("cx", (2, 2))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(GateError, match="negative"):
+            Gate("h", (-1,))
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(GateError, match="parameter"):
+            Gate("rz", (0,))
+
+    def test_extra_params_rejected(self):
+        with pytest.raises(GateError, match="parameter"):
+            Gate("h", (0,), (1.0,))
+
+    def test_gates_are_hashable_and_equal(self):
+        a = Gate("cx", (0, 1))
+        b = Gate("cx", (0, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Gate("cx", (1, 0))
+
+    def test_gates_are_immutable(self):
+        gate = Gate("h", (0,))
+        with pytest.raises(AttributeError):
+            gate.name = "x"
+
+
+class TestGateProperties:
+    def test_measure_is_not_unitary(self):
+        assert not Gate("measure", (0,)).is_unitary
+        assert not Gate("barrier", (0,)).is_unitary
+        assert not Gate("reset", (0,)).is_unitary
+
+    def test_standard_gates_are_unitary(self):
+        for name in ("h", "x", "cx", "cz", "swap", "ccx"):
+            arity = GATE_ARITIES[name]
+            assert Gate(name, tuple(range(arity))).is_unitary
+
+    def test_on_relabels_qubits(self):
+        gate = Gate("cx", (0, 1))
+        moved = gate.on(5, 7)
+        assert moved.qubits == (5, 7)
+        assert moved.name == "cx"
+
+    def test_on_preserves_params(self):
+        gate = Gate("rz", (0,), (0.5,))
+        assert gate.on(3).params == (0.5,)
+
+
+class TestGateInverse:
+    def test_self_inverse_gates(self):
+        for name in ("h", "x", "y", "z", "cx", "cz", "swap"):
+            arity = GATE_ARITIES[name]
+            gate = Gate(name, tuple(range(arity)))
+            assert gate.inverse() == gate
+
+    def test_rotation_inverse_negates_angle(self):
+        gate = Gate("rz", (0,), (0.7,))
+        assert gate.inverse() == Gate("rz", (0,), (-0.7,))
+
+    def test_dagger_pairs(self):
+        assert Gate("s", (0,)).inverse() == Gate("sdg", (0,))
+        assert Gate("sdg", (0,)).inverse() == Gate("s", (0,))
+        assert Gate("t", (0,)).inverse() == Gate("tdg", (0,))
+        assert Gate("tdg", (0,)).inverse() == Gate("t", (0,))
+
+    def test_double_inverse_is_identity(self):
+        for gate in (
+            Gate("rz", (0,), (1.2,)),
+            Gate("t", (0,)),
+            Gate("cp", (0, 1), (0.3,)),
+        ):
+            assert gate.inverse().inverse() == gate
+
+
+class TestFormatAngle:
+    def test_zero(self):
+        assert format_angle(0) == "0"
+
+    def test_pi(self):
+        assert format_angle(math.pi) == "pi"
+        assert format_angle(-math.pi) == "-pi"
+
+    def test_multiples(self):
+        assert format_angle(2 * math.pi) == "2*pi"
+
+    def test_fractions(self):
+        assert format_angle(math.pi / 2) == "pi/2"
+        assert format_angle(math.pi / 4) == "pi/4"
+        assert format_angle(-math.pi / 8) == "-pi/8"
+        assert format_angle(3 * math.pi / 4) == "3*pi/4"
+
+    def test_irrational_falls_back_to_repr(self):
+        assert format_angle(0.1234) == repr(0.1234)

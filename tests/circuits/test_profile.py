@@ -1,0 +1,97 @@
+"""Circuit communication-profile tests — the paper's workload claims,
+made quantitative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    communication_summary,
+    interaction_distance_histogram,
+    locality_score,
+    reuse_distance_profile,
+)
+from repro.workloads import get_benchmark
+
+
+class TestHistogram:
+    def test_chain_circuit(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(1, 2).cx(0, 3)
+        histogram = interaction_distance_histogram(circuit)
+        assert histogram == {1: 2, 3: 1}
+
+    def test_one_qubit_gates_ignored(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        assert interaction_distance_histogram(circuit) == {}
+
+
+class TestLocalityScore:
+    def test_fully_local(self):
+        circuit = QuantumCircuit(8)
+        for q in range(7):
+            circuit.cx(q, q + 1)
+        assert locality_score(circuit, window=1) == 1.0
+
+    def test_fully_nonlocal(self):
+        circuit = QuantumCircuit(16)
+        circuit.cx(0, 15).cx(1, 14)
+        assert locality_score(circuit, window=4) == 0.0
+
+    def test_empty_circuit_is_local(self):
+        assert locality_score(QuantumCircuit(4)) == 1.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            locality_score(QuantumCircuit(2), window=0)
+
+
+class TestReuseProfile:
+    def test_back_to_back_reuse(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1).cx(0, 2)
+        gaps = reuse_distance_profile(circuit)
+        assert gaps[0] == 1  # qubit 0 reused immediately
+
+    def test_cold_qubit_gap(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(2, 3).cx(0, 1)
+        gaps = reuse_distance_profile(circuit)
+        assert gaps[2] == 2  # qubits 0 and 1 idle for two gate steps
+
+
+class TestPaperWorkloadClaims:
+    """§2.3/§5's qualitative workload characterisations, asserted."""
+
+    def test_qaoa_is_nearest_neighbour(self):
+        summary = communication_summary(get_benchmark("QAOA_n128"))
+        # The ring's wrap edge (distance n-1) is the only non-local gate.
+        assert summary["locality_score"] >= 0.99
+
+    def test_ghz_is_fully_local(self):
+        assert locality_score(get_benchmark("GHZ_n128"), window=1) == 1.0
+
+    def test_qft_is_all_to_all(self):
+        summary = communication_summary(get_benchmark("QFT_n32"))
+        assert summary["max_interaction_distance"] == 31
+        assert summary["locality_score"] < 0.6
+
+    def test_sqrt_has_heavy_reuse(self):
+        """SQRT's ladders reuse a hot window: the mean reuse gap is tiny
+        relative to the circuit length (a qubit waits ~48 of 2800+ steps
+        between uses) — the LRU-friendly structure MUSS-TI exploits."""
+        summary = communication_summary(get_benchmark("SQRT_n117"))
+        assert summary["two_qubit_gates"] > 2000
+        relative_gap = summary["mean_reuse_gap"] / summary["two_qubit_gates"]
+        assert relative_gap < 0.05
+
+    def test_ran_is_the_least_local(self):
+        ran = communication_summary(get_benchmark("RAN_n256"))
+        sc = communication_summary(get_benchmark("SC_n274"))
+        assert ran["locality_score"] < sc["locality_score"]
+
+    def test_sc_is_grid_local(self):
+        summary = communication_summary(get_benchmark("SC_n274"), window=17)
+        assert summary["locality_score"] == 1.0

@@ -1,0 +1,201 @@
+"""OpenQASM 2.0 parser and emitter tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits import (
+    Gate,
+    QasmError,
+    QuantumCircuit,
+    emit_qasm,
+    parse_qasm,
+)
+from repro.circuits.qasm import evaluate_expression
+
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestExpressions:
+    def test_number(self):
+        assert evaluate_expression("2.5") == 2.5
+
+    def test_pi(self):
+        assert evaluate_expression("pi") == math.pi
+
+    def test_arithmetic(self):
+        assert evaluate_expression("pi/2") == math.pi / 2
+        assert evaluate_expression("3*pi/4") == 3 * math.pi / 4
+        assert evaluate_expression("-pi") == -math.pi
+        assert evaluate_expression("1+2*3") == 7
+        assert evaluate_expression("(1+2)*3") == 9
+
+    def test_scientific_notation(self):
+        assert evaluate_expression("1e-3") == pytest.approx(1e-3)
+
+    def test_variables(self):
+        assert evaluate_expression("theta/2", {"theta": math.pi}) == math.pi / 2
+
+    def test_unknown_symbol(self):
+        with pytest.raises(QasmError, match="unknown symbol"):
+            evaluate_expression("tau")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(QasmError):
+            evaluate_expression("(1+2")
+
+
+class TestBasicParsing:
+    def test_single_register(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\nh q[0];\ncx q[0],q[1];")
+        assert circuit.num_qubits == 3
+        assert circuit.gates == (Gate("h", (0,)), Gate("cx", (0, 1)))
+
+    def test_multiple_registers_are_flattened(self):
+        text = HEADER + "qreg a[2];\nqreg b[2];\ncx a[1],b[0];"
+        circuit = parse_qasm(text)
+        assert circuit.num_qubits == 4
+        assert circuit[0] == Gate("cx", (1, 2))
+
+    def test_parametrised_gate(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(pi/4) q[0];")
+        assert circuit[0] == Gate("rz", (0,), (math.pi / 4,))
+
+    def test_register_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\nh q;")
+        assert len(circuit) == 3
+        assert {g.qubits[0] for g in circuit} == {0, 1, 2}
+
+    def test_two_operand_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg a[2];\nqreg b[2];\ncx a,b;")
+        assert circuit.gates == (Gate("cx", (0, 2)), Gate("cx", (1, 3)))
+
+    def test_measure(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[2];\ncreg c[2];\nmeasure q[1] -> c[1];"
+        )
+        assert circuit[0] == Gate("measure", (1,))
+
+    def test_measure_broadcast(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\ncreg c[2];\nmeasure q -> c;")
+        assert len(circuit) == 2
+
+    def test_barrier(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\nbarrier q[0],q[1];")
+        assert [g.name for g in circuit] == ["barrier", "barrier"]
+
+    def test_comments_stripped(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[1]; // register\n// whole line comment\nh q[0];"
+        )
+        assert len(circuit) == 1
+
+    def test_if_statement_collapses_to_gate(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[1];\ncreg c[1];\nif (c==1) x q[0];"
+        )
+        assert circuit[0] == Gate("x", (0,))
+
+    def test_cnot_alias(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\nCX q[0],q[1];"
+                             .replace("CX", "cnot"))
+        assert circuit[0].name == "cx"
+
+
+class TestMacros:
+    def test_simple_macro(self):
+        text = (
+            HEADER
+            + "gate bell a,b { h a; cx a,b; }\n"
+            + "qreg q[2];\nbell q[0],q[1];"
+        )
+        circuit = parse_qasm(text)
+        assert circuit.gates == (Gate("h", (0,)), Gate("cx", (0, 1)))
+
+    def test_parametrised_macro(self):
+        text = (
+            HEADER
+            + "gate rot(theta) a { rz(theta/2) a; }\n"
+            + "qreg q[1];\nrot(pi) q[0];"
+        )
+        circuit = parse_qasm(text)
+        assert circuit[0] == Gate("rz", (0,), (math.pi / 2,))
+
+    def test_nested_macro(self):
+        text = (
+            HEADER
+            + "gate inner a,b { cx a,b; }\n"
+            + "gate outer a,b { inner a,b; inner b,a; }\n"
+            + "qreg q[2];\nouter q[0],q[1];"
+        )
+        circuit = parse_qasm(text)
+        assert circuit.gates == (Gate("cx", (0, 1)), Gate("cx", (1, 0)))
+
+    def test_macro_wrong_arity(self):
+        text = HEADER + "gate foo a,b { cx a,b; }\nqreg q[2];\nfoo q[0];"
+        with pytest.raises(QasmError, match="expects 2 qubits"):
+            parse_qasm(text)
+
+
+class TestErrors:
+    def test_missing_qreg(self):
+        with pytest.raises(QasmError, match="no qreg"):
+            parse_qasm(HEADER + "creg c[2];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError, match="unknown gate"):
+            parse_qasm(HEADER + "qreg q[1];\nwarp q[0];")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError, match="unknown register"):
+            parse_qasm(HEADER + "qreg q[1];\nh r[0];")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmError, match="out of range"):
+            parse_qasm(HEADER + "qreg q[2];\nh q[5];")
+
+    def test_duplicate_register(self):
+        with pytest.raises(QasmError, match="duplicate"):
+            parse_qasm(HEADER + "qreg q[1];\nqreg q[2];")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse_qasm(HEADER + "qreg q[1];\nwarp q[0];")
+        except QasmError as exc:
+            assert "line 4" in str(exc)
+        else:
+            pytest.fail("expected QasmError")
+
+    def test_repeated_operand_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[2];\ncx q[0],q[0];")
+
+
+class TestRoundTrip:
+    def test_emit_then_parse_identity(self, bell_pair):
+        text = emit_qasm(bell_pair)
+        parsed = parse_qasm(text)
+        assert parsed.gates == bell_pair.gates
+        assert parsed.num_qubits == bell_pair.num_qubits
+
+    def test_round_trip_with_params(self):
+        circuit = QuantumCircuit(3)
+        circuit.rz(0.1234, 0).cp(math.pi / 8, 0, 2).rzz(-1.5, 1, 2)
+        parsed = parse_qasm(emit_qasm(circuit))
+        assert parsed.gates == circuit.gates
+
+    def test_round_trip_with_measure(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).measure(0).measure(1)
+        parsed = parse_qasm(emit_qasm(circuit))
+        assert [g.name for g in parsed] == ["h", "measure", "measure"]
+
+    def test_benchmark_round_trip(self):
+        from repro.workloads import get_benchmark
+
+        circuit = get_benchmark("QFT_n16")
+        parsed = parse_qasm(emit_qasm(circuit))
+        assert parsed.gates == circuit.gates

@@ -1,0 +1,64 @@
+"""Hypothesis property tests for QASM round-tripping."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, emit_qasm, parse_qasm
+
+_ONE_QUBIT = ("h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx")
+_ROTATIONS = ("rx", "ry", "rz", "p")
+_TWO_QUBIT = ("cx", "cy", "cz", "swap")
+_TWO_QUBIT_PARAM = ("cp", "rzz", "rxx")
+
+
+@st.composite
+def qasm_circuits(draw):
+    num_qubits = draw(st.integers(min_value=1, max_value=10))
+    num_gates = draw(st.integers(min_value=0, max_value=40))
+    circuit = QuantumCircuit(num_qubits)
+    angles = st.floats(
+        min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+    )
+    for _ in range(num_gates):
+        choice = draw(st.integers(0, 4))
+        q = draw(st.integers(0, num_qubits - 1))
+        if choice == 0:
+            circuit.add(draw(st.sampled_from(_ONE_QUBIT)), q)
+        elif choice == 1:
+            circuit.add(
+                draw(st.sampled_from(_ROTATIONS)), q, params=(draw(angles),)
+            )
+        elif choice == 2 and num_qubits >= 2:
+            r = draw(st.integers(0, num_qubits - 2))
+            if r >= q:
+                r += 1
+            circuit.add(draw(st.sampled_from(_TWO_QUBIT)), q, r)
+        elif choice == 3 and num_qubits >= 2:
+            r = draw(st.integers(0, num_qubits - 2))
+            if r >= q:
+                r += 1
+            circuit.add(
+                draw(st.sampled_from(_TWO_QUBIT_PARAM)), q, r,
+                params=(draw(angles),),
+            )
+        else:
+            circuit.measure(q)
+    return circuit
+
+
+class TestQasmRoundTrip:
+    @given(qasm_circuits())
+    @settings(max_examples=100, deadline=None)
+    def test_emit_parse_is_identity(self, circuit):
+        parsed = parse_qasm(emit_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert parsed.gates == circuit.gates
+
+    @given(qasm_circuits())
+    @settings(max_examples=50, deadline=None)
+    def test_double_round_trip_is_stable(self, circuit):
+        once = emit_qasm(parse_qasm(emit_qasm(circuit)))
+        twice = emit_qasm(parse_qasm(once))
+        assert once == twice

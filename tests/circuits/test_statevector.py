@@ -1,0 +1,125 @@
+"""Statevector simulator tests (the test suite's correctness anchor)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    equivalent_up_to_global_phase,
+    statevector,
+    unitary,
+)
+
+
+class TestStatevector:
+    def test_initial_state(self):
+        state = statevector(QuantumCircuit(2))
+        assert np.allclose(state, [1, 0, 0, 0])
+
+    def test_x_flips(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        assert np.allclose(statevector(circuit), [0, 1])
+
+    def test_bell_state(self, bell_pair):
+        state = statevector(bell_pair)
+        expected = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_ghz_state(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2)
+        state = statevector(circuit)
+        expected = np.zeros(8)
+        expected[0] = expected[7] = 1 / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_qubit_order_convention(self):
+        # X on qubit 1 of a 2-qubit register: |q1 q0> = |10> = index 2.
+        circuit = QuantumCircuit(2)
+        circuit.x(1)
+        assert np.allclose(statevector(circuit), [0, 0, 1, 0])
+
+    def test_cx_control_target_orientation(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(0)       # control on
+        circuit.cx(0, 1)   # flips target
+        assert np.allclose(statevector(circuit), [0, 0, 0, 1])
+
+    def test_cx_does_nothing_when_control_off(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        assert np.allclose(statevector(circuit), [1, 0, 0, 0])
+
+    def test_normalisation_preserved(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).rx(0.3, 1).cx(0, 2).rzz(0.7, 1, 2).t(0)
+        state = statevector(circuit)
+        assert math.isclose(float(np.linalg.norm(state)), 1.0, abs_tol=1e-10)
+
+    def test_measure_is_skipped(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).measure(0)
+        state = statevector(circuit)
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0.5])
+
+    def test_width_cap(self):
+        with pytest.raises(ValueError, match="capped"):
+            statevector(QuantumCircuit(20))
+
+    def test_custom_initial_state(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        state = statevector(circuit, np.array([0, 1], dtype=complex))
+        assert np.allclose(state, [1, 0])
+
+
+class TestUnitary:
+    def test_identity_circuit(self):
+        assert np.allclose(unitary(QuantumCircuit(2)), np.eye(4))
+
+    def test_x_unitary(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        assert np.allclose(unitary(circuit), [[0, 1], [1, 0]])
+
+    def test_unitarity_of_random_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).t(1).cx(1, 2).rx(0.4, 0).cz(0, 2)
+        matrix = unitary(circuit)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(8), atol=1e-9)
+
+    def test_swap_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        expected = np.eye(4)[:, [0, 2, 1, 3]]
+        assert np.allclose(unitary(circuit), expected)
+
+    def test_gate_order_matters(self):
+        a = QuantumCircuit(1)
+        a.h(0).t(0)
+        b = QuantumCircuit(1)
+        b.t(0).h(0)
+        assert not np.allclose(unitary(a), unitary(b))
+
+
+class TestGlobalPhaseEquivalence:
+    def test_same_matrix(self):
+        assert equivalent_up_to_global_phase(np.eye(2), np.eye(2))
+
+    def test_phase_difference_accepted(self):
+        assert equivalent_up_to_global_phase(np.eye(2), 1j * np.eye(2))
+
+    def test_different_matrices_rejected(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        assert not equivalent_up_to_global_phase(np.eye(2), x)
+
+    def test_shape_mismatch_rejected(self):
+        assert not equivalent_up_to_global_phase(np.eye(2), np.eye(4))
+
+    def test_non_unit_scale_rejected(self):
+        assert not equivalent_up_to_global_phase(np.eye(2), 2.0 * np.eye(2))

@@ -1,0 +1,189 @@
+"""End-to-end MUSS-TI compiler tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Gate, QuantumCircuit
+from repro.core import MussTiCompiler, MussTiConfig
+from repro.sim import (
+    FiberGateOp,
+    GateOp,
+    SwapGateOp,
+    execute,
+    verify_program,
+)
+from repro.workloads import get_benchmark
+
+
+class TestBasicCompilation:
+    def test_bell_pair(self, tiny_grid, bell_pair):
+        program = MussTiCompiler().compile(bell_pair, tiny_grid)
+        verify_program(program)
+        report = execute(program)
+        assert report.one_qubit_gate_count == 1
+        assert report.two_qubit_gate_count == 1
+        assert report.shuttle_count == 0  # both qubits start co-located
+
+    def test_chain_on_eml(self, two_modules_cap8, linear_chain_8):
+        program = MussTiCompiler().compile(linear_chain_8, two_modules_cap8)
+        verify_program(program)
+
+    def test_rejects_unlowered_circuit(self, tiny_grid):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        with pytest.raises(Exception, match="lower_to_native"):
+            MussTiCompiler().compile(circuit, tiny_grid)
+
+    def test_compile_time_recorded(self, tiny_grid, bell_pair):
+        program = MussTiCompiler().compile(bell_pair, tiny_grid)
+        assert program.compile_time_s > 0
+        assert program.compiler_name == "MUSS-TI"
+
+    def test_metadata_statistics(self, small_grid_2x2):
+        circuit = get_benchmark("Adder_n32")
+        program = MussTiCompiler().compile(circuit, small_grid_2x2)
+        assert "shuttles" in program.metadata
+        assert program.metadata["shuttles"] == program.shuttle_count
+
+    def test_deterministic(self, small_grid_2x2):
+        circuit = get_benchmark("QAOA_n32")
+        first = MussTiCompiler().compile(circuit, small_grid_2x2)
+        second = MussTiCompiler().compile(circuit, small_grid_2x2)
+        assert first.operations == second.operations
+
+
+class TestExecutableFirstSelection:
+    def test_ready_gates_run_before_routing(self, tiny_grid):
+        """Fig 4's g0: a co-located gate runs before any shuttle fires."""
+        circuit = QuantumCircuit(6)
+        circuit.cx(0, 4)  # needs routing under block placement
+        circuit.cx(2, 3)  # co-located (same trap) -> should execute first
+        placement = {0: (0, 1, 2, 3), 1: (4, 5)}
+        program = MussTiCompiler().compile(
+            circuit, tiny_grid, initial_placement=placement
+        )
+        gate_order = [
+            op.circuit_index
+            for op in program.operations
+            if isinstance(op, (GateOp, FiberGateOp)) and op.gate.is_two_qubit
+        ]
+        assert gate_order.index(1) < gate_order.index(0)
+
+    def test_fcfs_among_blocked_gates(self, tiny_grid):
+        """Both gates need routing: the older one is routed first."""
+        circuit = QuantumCircuit(8)
+        circuit.cx(0, 4)
+        circuit.cx(1, 5)
+        placement = {0: (0, 1, 2, 3), 1: (4, 5, 6, 7)}
+        program = MussTiCompiler().compile(
+            circuit, tiny_grid, initial_placement=placement
+        )
+        gate_order = [
+            op.circuit_index
+            for op in program.operations
+            if isinstance(op, GateOp) and op.gate.is_two_qubit
+        ]
+        assert gate_order == [0, 1]
+
+
+class TestCrossModuleBehaviour:
+    def test_cross_module_gates_use_fiber(self, two_tight_modules):
+        circuit = QuantumCircuit(10)
+        circuit.cx(0, 9)  # qubits land on different modules (limit 8)
+        program = MussTiCompiler(MussTiConfig.trivial()).compile(
+            circuit, two_tight_modules
+        )
+        verify_program(program)
+        fiber_ops = [
+            op for op in program.operations if isinstance(op, FiberGateOp)
+        ]
+        assert len(fiber_ops) == 1
+
+    def test_no_fiber_on_single_module(self, one_module):
+        circuit = QuantumCircuit(8)
+        for q in range(7):
+            circuit.cx(q, q + 1)
+        program = MussTiCompiler().compile(circuit, one_module)
+        assert not any(
+            isinstance(op, (FiberGateOp, SwapGateOp)) for op in program.operations
+        )
+
+    def test_swap_insertion_reduces_fiber_gates(self, two_tight_modules):
+        """A BV-style star: the hot qubit should migrate, not fiber 8x."""
+        circuit = QuantumCircuit(16)
+        for partner in range(8, 16):
+            circuit.cx(0, partner)
+        with_swaps = MussTiCompiler(MussTiConfig.swap_insert_only()).compile(
+            circuit, two_tight_modules
+        )
+        without = MussTiCompiler(MussTiConfig.trivial()).compile(
+            circuit, two_tight_modules
+        )
+        count = lambda prog: sum(
+            1 for op in prog.operations if isinstance(op, FiberGateOp)
+        )
+        assert count(with_swaps) < count(without)
+        verify_program(with_swaps)
+        verify_program(without)
+
+
+class TestAblationArms:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            MussTiConfig.trivial(),
+            MussTiConfig.swap_insert_only(),
+            MussTiConfig.sabre_only(),
+            MussTiConfig.full(),
+        ],
+        ids=lambda c: c.label,
+    )
+    def test_every_arm_verifies(self, config, two_modules_cap8):
+        circuit = get_benchmark("GHZ_n16")
+        wide = QuantumCircuit(16, name=circuit.name)
+        wide.extend(circuit.gates)
+        program = MussTiCompiler(config).compile(wide, two_modules_cap8)
+        verify_program(program)
+
+    def test_no_lru_arm_works(self, small_grid_2x2):
+        circuit = get_benchmark("QAOA_n32")
+        config = MussTiConfig(use_lru=False)
+        program = MussTiCompiler(config).compile(circuit, small_grid_2x2)
+        verify_program(program)
+
+    def test_lru_not_worse_than_fifo(self, small_grid_2x2):
+        circuit = get_benchmark("Adder_n32")
+        lru = MussTiCompiler(MussTiConfig(use_lru=True)).compile(
+            circuit, small_grid_2x2
+        )
+        fifo = MussTiCompiler(MussTiConfig(use_lru=False)).compile(
+            circuit, small_grid_2x2
+        )
+        assert lru.shuttle_count <= fifo.shuttle_count + 5
+
+
+class TestPaperScaleBehaviour:
+    def test_table2_adder_scale(self, small_grid_2x2):
+        """Adder_32 on the 2x2 grid: single-digit shuttles (paper: 7)."""
+        circuit = get_benchmark("Adder_n32")
+        program = MussTiCompiler().compile(circuit, small_grid_2x2)
+        report = execute(program)
+        assert report.shuttle_count <= 20
+
+    def test_ghz_32_scale(self, small_grid_2x2):
+        circuit = get_benchmark("GHZ_n32")
+        program = MussTiCompiler().compile(circuit, small_grid_2x2)
+        report = execute(program)
+        assert report.shuttle_count <= 10  # paper: 2
+        assert report.fidelity > 0.5       # paper: 0.82
+
+    def test_eml_chain_needs_few_shuttles(self):
+        from repro.hardware import EMLQCCDMachine
+
+        circuit = get_benchmark("GHZ_n128")
+        machine = EMLQCCDMachine.for_circuit_size(128)
+        program = MussTiCompiler().compile(circuit, machine)
+        report = execute(program)
+        assert report.shuttle_count <= 40
+        verify_program(program)

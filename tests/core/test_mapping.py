@@ -1,0 +1,125 @@
+"""Initial mapping tests: trivial level-ordering and SABRE two-fold search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    MussTiCompiler,
+    MussTiConfig,
+    RoutingError,
+    sabre_placement,
+    trivial_placement,
+)
+from repro.hardware import EMLQCCDMachine, QCCDGridMachine, ZoneKind
+
+
+def placement_is_partition(placement, num_qubits, machine):
+    seen = set()
+    for zone_id, chain in placement.items():
+        assert len(chain) <= machine.zone(zone_id).capacity
+        for qubit in chain:
+            assert qubit not in seen
+            seen.add(qubit)
+    assert seen == set(range(num_qubits))
+
+
+class TestTrivialPlacement:
+    def test_fills_highest_level_first(self, one_module):
+        circuit = QuantumCircuit(6)
+        placement = trivial_placement(circuit, one_module)
+        optical = one_module.optical_zones(0)[0].zone_id
+        operation = one_module.operation_zones(0)[0].zone_id
+        # Capacity 4 optical gets qubits 0-3, operation gets 4-5.
+        assert placement[optical] == (0, 1, 2, 3)
+        assert placement[operation] == (4, 5)
+
+    def test_respects_module_qubit_limit(self):
+        machine = EMLQCCDMachine(num_modules=2, trap_capacity=16)
+        circuit = QuantumCircuit(40)
+        placement = trivial_placement(circuit, machine)
+        placement_is_partition(placement, 40, machine)
+        module0_qubits = sum(
+            len(chain)
+            for zone_id, chain in placement.items()
+            if machine.zone(zone_id).module_id == 0
+        )
+        assert module0_qubits == 32  # the paper's per-module cap
+
+    def test_grid_machines_fill_in_zone_order(self, small_grid_2x2):
+        circuit = QuantumCircuit(32)
+        placement = trivial_placement(circuit, small_grid_2x2)
+        placement_is_partition(placement, 32, small_grid_2x2)
+        assert placement[0] == tuple(range(12))
+        assert placement[1] == tuple(range(12, 24))
+        assert placement[2] == tuple(range(24, 32))
+
+    def test_too_many_qubits_rejected(self, one_module):
+        circuit = QuantumCircuit(64)
+        with pytest.raises(RoutingError, match="too small"):
+            trivial_placement(circuit, one_module)
+
+    def test_exact_fit(self):
+        machine = EMLQCCDMachine(num_modules=1, trap_capacity=8)
+        circuit = QuantumCircuit(32)
+        placement = trivial_placement(circuit, machine)
+        placement_is_partition(placement, 32, machine)
+
+
+class TestSabrePlacement:
+    def test_produces_valid_partition(self, two_modules_cap8):
+        circuit = QuantumCircuit(12)
+        for q in range(11):
+            circuit.cx(q, q + 1)
+        compiler = MussTiCompiler(MussTiConfig.sabre_only())
+        placement = sabre_placement(circuit, two_modules_cap8, compiler)
+        placement_is_partition(placement, 12, two_modules_cap8)
+
+    def test_differs_from_trivial_on_structured_input(self, small_grid_2x2):
+        # Hot pairs straddle the trivial trap boundaries (q_i with q_{31-i}),
+        # so the forward/backward passes must reorganise the placement.
+        circuit = QuantumCircuit(32)
+        for i in range(8):
+            circuit.cx(i, 31 - i)
+            circuit.cx(31 - i, i)
+        compiler = MussTiCompiler(MussTiConfig.sabre_only())
+        trivial = trivial_placement(circuit, small_grid_2x2)
+        sabre = sabre_placement(circuit, small_grid_2x2, compiler)
+        assert sabre != trivial
+
+    def test_sabre_helps_or_matches_on_shuttles(self, small_grid_2x2):
+        from repro.sim import execute
+
+        circuit = QuantumCircuit(32)
+        for q in range(24, 31):
+            circuit.cx(q, q + 1)
+        for q in range(24, 30):
+            circuit.cx(q, q + 2)
+        trivial_program = MussTiCompiler(MussTiConfig.trivial()).compile(
+            circuit, small_grid_2x2
+        )
+        sabre_program = MussTiCompiler(MussTiConfig.sabre_only()).compile(
+            circuit, small_grid_2x2
+        )
+        assert (
+            execute(sabre_program).shuttle_count
+            <= execute(trivial_program).shuttle_count + 2
+        )
+
+
+class TestCompilerPlacementIntegration:
+    def test_explicit_placement_is_used(self, tiny_grid, bell_pair):
+        placement = {1: (0, 1)}
+        program = MussTiCompiler().compile(
+            bell_pair, tiny_grid, initial_placement=placement
+        )
+        assert program.initial_placement == placement
+
+    def test_sabre_config_controls_default(self, small_grid_2x2, linear_chain_8):
+        trivial_arm = MussTiCompiler(MussTiConfig.trivial()).compile(
+            linear_chain_8, small_grid_2x2
+        )
+        assert trivial_arm.initial_placement == trivial_placement(
+            linear_chain_8, small_grid_2x2
+        )

@@ -1,0 +1,119 @@
+"""Exhaustive optimal-scheduler tests and MUSS-TI optimality checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    MussTiCompiler,
+    OptimalSearchError,
+    minimum_shuttles,
+    trivial_placement,
+)
+from repro.hardware import EMLQCCDMachine, QCCDGridMachine
+
+
+class TestMinimumShuttles:
+    def test_colocated_gates_cost_nothing(self, tiny_grid):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1).cx(2, 3).cx(0, 1)
+        placement = {0: (0, 1), 1: (2, 3)}
+        assert minimum_shuttles(circuit, tiny_grid, placement) == 0
+
+    def test_single_separation_costs_one(self, tiny_grid):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        placement = {0: (0,), 1: (1,)}
+        assert minimum_shuttles(circuit, tiny_grid, placement) == 1
+
+    def test_distance_matters(self):
+        machine = QCCDGridMachine(1, 4, 2)
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        placement = {0: (0,), 3: (1,)}
+        # Qubits 3 hops apart; the cheapest meeting needs 3 moves total.
+        assert minimum_shuttles(circuit, machine, placement) == 3
+
+    def test_capacity_forces_extra_move(self):
+        machine = QCCDGridMachine(1, 3, 2)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 2)
+        # Trap 0 holds (0,1), trap 1 holds (2,3): both full; meeting in
+        # trap 2 needs 2 moves, entering a full trap would need an evict.
+        placement = {0: (0, 1), 1: (2, 3)}
+        assert minimum_shuttles(circuit, machine, placement) == 2
+
+    def test_one_qubit_gates_free(self, tiny_grid):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).h(2)
+        placement = {0: (0, 1, 2)}
+        assert minimum_shuttles(circuit, tiny_grid, placement) == 0
+
+    def test_fiber_execution_counts_as_free(self, two_tight_modules):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        optical0 = two_tight_modules.optical_zones(0)[0].zone_id
+        optical1 = two_tight_modules.optical_zones(1)[0].zone_id
+        placement = {optical0: (0,), optical1: (1,)}
+        assert minimum_shuttles(circuit, two_tight_modules, placement) == 0
+
+    def test_storage_qubits_must_move(self, one_module):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        storage = one_module.storage_zones(0)[0].zone_id
+        placement = {storage: (0, 1)}
+        # Both must leave storage (no gates there): minimum two moves...
+        # unless one moves and they meet in a gate zone: both must be in the
+        # same gate-capable zone, so 2 moves.
+        assert minimum_shuttles(circuit, one_module, placement) == 2
+
+    def test_size_guards(self, tiny_grid):
+        with pytest.raises(OptimalSearchError, match="8 qubits"):
+            minimum_shuttles(QuantumCircuit(9), tiny_grid, {0: tuple(range(4))})
+        wide = QuantumCircuit(4)
+        for _ in range(13):
+            wide.cx(0, 1)
+        with pytest.raises(OptimalSearchError, match="12 two-qubit"):
+            minimum_shuttles(wide, tiny_grid, {0: (0, 1, 2, 3)})
+
+
+class TestMussTiNearOptimality:
+    """Quantifies §5.9: MUSS-TI tracks the exhaustive optimum on small
+    instances (chain swaps excluded from both counts)."""
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [(0, 1), (1, 2), (2, 3)],
+            [(0, 3), (1, 2), (0, 2)],
+            [(0, 1), (2, 3), (0, 2), (1, 3)],
+            [(3, 0), (2, 1), (3, 1), (0, 1)],
+        ],
+    )
+    def test_within_small_gap_on_tiny_grid(self, edges):
+        machine = QCCDGridMachine(2, 2, 2)
+        circuit = QuantumCircuit(4)
+        for a, b in edges:
+            circuit.cx(a, b)
+        placement = trivial_placement(circuit, machine)
+        optimum = minimum_shuttles(circuit, machine, placement)
+        program = MussTiCompiler().compile(
+            circuit, machine, initial_placement=placement
+        )
+        assert program.shuttle_count >= optimum  # bound is sound
+        assert program.shuttle_count <= optimum + 3  # near-optimal
+
+    def test_on_small_eml_machine(self):
+        machine = EMLQCCDMachine(
+            num_modules=1, trap_capacity=3, module_qubit_limit=6
+        )
+        circuit = QuantumCircuit(6)
+        circuit.cx(0, 5).cx(1, 4).cx(2, 3)
+        placement = trivial_placement(circuit, machine)
+        optimum = minimum_shuttles(circuit, machine, placement)
+        program = MussTiCompiler().compile(
+            circuit, machine, initial_placement=placement
+        )
+        assert program.shuttle_count >= optimum
+        assert program.shuttle_count <= optimum + 4

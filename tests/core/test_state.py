@@ -1,0 +1,128 @@
+"""Machine-state tests: chains, shuttles, LRU bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MachineState, RoutingError
+from repro.sim import ChainSwapOp, MergeOp, MoveOp, SplitOp
+
+
+class TestPlacement:
+    def test_initial_chains(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0, 1), 2: (2,)})
+        assert state.chains[0] == [0, 1]
+        assert state.zone_of(2) == 2
+        assert state.free_space(0) == 2
+        assert state.free_space(1) == 4
+
+    def test_duplicate_placement_rejected(self, tiny_grid):
+        with pytest.raises(RoutingError, match="twice"):
+            MachineState(tiny_grid, {0: (0,), 1: (0,)})
+
+    def test_module_and_colocation_queries(self, two_modules):
+        optical0 = two_modules.optical_zones(0)[0].zone_id
+        optical1 = two_modules.optical_zones(1)[0].zone_id
+        state = MachineState(two_modules, {optical0: (0, 1), optical1: (2,)})
+        assert state.co_located(0, 1)
+        assert not state.co_located(0, 2)
+        assert state.same_module(0, 1)
+        assert not state.same_module(0, 2)
+        assert state.qubits_in_module(1) == [2]
+
+
+class TestShuttle:
+    def test_edge_ion_shuttles_without_chain_swaps(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0, 1, 2)})
+        state.shuttle(2, 1)  # tail ion
+        assert state.chains[0] == [0, 1]
+        assert state.chains[1] == [2]
+        kinds = [type(op) for op in state.operations]
+        assert kinds == [SplitOp, MoveOp, MergeOp]
+
+    def test_interior_ion_bubbles_to_nearest_edge(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0, 1, 2, 3)})
+        state.shuttle(1, 1)  # position 1 of 4: head side is nearer
+        chain_swaps = [op for op in state.operations if isinstance(op, ChainSwapOp)]
+        assert len(chain_swaps) == 1
+        assert state.chains[0] == [0, 2, 3]
+
+    def test_multi_hop_path(self):
+        from repro.hardware import QCCDGridMachine
+
+        machine = QCCDGridMachine(1, 4, 4)
+        state = MachineState(machine, {0: (0,)})
+        state.shuttle(0, 3)
+        moves = [op for op in state.operations if isinstance(op, MoveOp)]
+        assert len(moves) == 3
+        assert state.stats["shuttles"] == 3
+
+    def test_noop_shuttle(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0,)})
+        state.shuttle(0, 0)
+        assert state.operations == []
+
+    def test_full_destination_rejected(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0,), 1: (1, 2, 3, 4)})
+        with pytest.raises(RoutingError, match="full"):
+            state.shuttle(0, 1)
+
+
+class TestLru:
+    def test_touch_orders_eviction(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0, 1, 2)})
+        state.touch(0)
+        state.touch(2)
+        assert state.lru_victim(0, frozenset()) == 1
+        state.touch(1)
+        assert state.lru_victim(0, frozenset()) == 0
+
+    def test_protected_qubits_skipped(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0, 1)})
+        state.touch(1)
+        assert state.lru_victim(0, frozenset({0})) == 1
+
+    def test_future_qubits_spared(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0, 1, 2)})
+        state.touch(2)
+        # 0 is oldest, but it is needed soon; 1 gets evicted instead.
+        assert state.lru_victim(0, frozenset(), frozenset({0})) == 1
+
+    def test_all_protected_raises(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0,)})
+        with pytest.raises(RoutingError, match="evictable"):
+            state.lru_victim(0, frozenset({0}))
+
+    def test_fifo_victim_is_chain_head(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (2, 0, 1)})
+        assert state.fifo_victim(0, frozenset()) == 2
+        assert state.fifo_victim(0, frozenset({2})) == 0
+
+
+class TestGateEmission:
+    def test_local_gate_touches_lru(self, tiny_grid, bell_pair):
+        state = MachineState(tiny_grid, {0: (0, 1)})
+        state.emit_local_gate(bell_pair[1], 1)
+        assert state.last_used[0] == state.last_used[1] > 0
+
+    def test_local_gate_requires_colocation(self, tiny_grid, bell_pair):
+        state = MachineState(tiny_grid, {0: (0,), 1: (1,)})
+        with pytest.raises(RoutingError, match="not co-located"):
+            state.emit_local_gate(bell_pair[1], 1)
+
+    def test_swap_gate_relabels_chains(self, two_modules):
+        optical0 = two_modules.optical_zones(0)[0].zone_id
+        optical1 = two_modules.optical_zones(1)[0].zone_id
+        state = MachineState(two_modules, {optical0: (0, 1), optical1: (2,)})
+        state.emit_swap_gate(0, 2)
+        assert state.zone_of(0) == optical1
+        assert state.zone_of(2) == optical0
+        assert state.chains[optical0] == [2, 1]
+        assert state.chains[optical1] == [0]
+        assert state.stats["inserted_swaps"] == 1
+
+    def test_final_placement_snapshot(self, tiny_grid):
+        state = MachineState(tiny_grid, {0: (0, 1)})
+        state.shuttle(1, 2)
+        placement = state.final_placement()
+        assert placement == {0: (0,), 2: (1,)}

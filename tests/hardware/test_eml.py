@@ -1,0 +1,113 @@
+"""EML-QCCD machine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import (
+    EMLQCCDMachine,
+    MachineError,
+    ModuleLayout,
+    ZoneKind,
+)
+
+
+class TestModuleLayout:
+    def test_default_is_paper_layout(self):
+        layout = ModuleLayout()
+        assert layout.num_storage == 2
+        assert layout.num_operation == 1
+        assert layout.num_optical == 1
+        assert layout.zones_per_module == 4
+
+    def test_requires_each_zone_kind(self):
+        with pytest.raises(ValueError):
+            ModuleLayout(num_storage=0)
+        with pytest.raises(ValueError):
+            ModuleLayout(num_operation=0)
+        with pytest.raises(ValueError):
+            ModuleLayout(num_optical=0)
+
+
+class TestConstruction:
+    def test_single_module_zone_roles(self, one_module):
+        kinds = [zone.kind for zone in one_module.zones]
+        assert kinds.count(ZoneKind.OPTICAL) == 1
+        assert kinds.count(ZoneKind.OPERATION) == 1
+        assert kinds.count(ZoneKind.STORAGE) == 2
+
+    def test_two_modules_zone_count(self, two_modules):
+        assert two_modules.num_zones == 8
+        assert two_modules.num_modules == 2
+
+    def test_intra_module_full_adjacency(self, one_module):
+        for zone in one_module.zones:
+            assert one_module.neighbours(zone.zone_id) == frozenset(
+                z.zone_id for z in one_module.zones if z.zone_id != zone.zone_id
+            )
+
+    def test_no_shuttle_across_modules(self, two_modules):
+        with pytest.raises(MachineError, match="no shuttle path"):
+            two_modules.shuttle_path(0, 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(MachineError):
+            EMLQCCDMachine(num_modules=0)
+        with pytest.raises(MachineError):
+            EMLQCCDMachine(num_modules=1, trap_capacity=1)
+
+    def test_multi_optical_layout(self, dual_optical_module):
+        assert len(dual_optical_module.optical_zones(0)) == 2
+        assert dual_optical_module.num_zones == 10
+
+
+class TestSizing:
+    def test_one_module_per_32_qubits(self):
+        assert EMLQCCDMachine.for_circuit_size(32).num_modules == 1
+        assert EMLQCCDMachine.for_circuit_size(33).num_modules == 2
+        assert EMLQCCDMachine.for_circuit_size(128).num_modules == 4
+        assert EMLQCCDMachine.for_circuit_size(299).num_modules == 10
+
+    def test_small_trap_capacity_adds_modules(self):
+        # 4 zones x 4 capacity = 16 usable per module.
+        machine = EMLQCCDMachine.for_circuit_size(64, trap_capacity=4)
+        assert machine.num_modules == 4
+
+    def test_capacity_sweep_machines_fit_suite(self):
+        for capacity in (12, 14, 16, 18, 20):
+            machine = EMLQCCDMachine.for_circuit_size(128, trap_capacity=capacity)
+            total = sum(
+                machine.module_capacity(m) for m in range(machine.num_modules)
+            )
+            assert total >= 128
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(MachineError):
+            EMLQCCDMachine.for_circuit_size(0)
+
+
+class TestQueries:
+    def test_fiber_connectivity_is_all_pairs(self, two_modules):
+        assert two_modules.fiber_connected(0, 1)
+        assert not two_modules.fiber_connected(1, 1)
+
+    def test_module_capacity_respects_limit(self):
+        machine = EMLQCCDMachine(num_modules=1, trap_capacity=16)
+        # 4 zones x 16 = 64 trap slots, but the module limit caps it at 32.
+        assert machine.module_capacity(0) == 32
+
+    def test_module_capacity_respects_traps(self):
+        machine = EMLQCCDMachine(num_modules=1, trap_capacity=4)
+        assert machine.module_capacity(0) == 16
+
+    def test_zone_accessors(self, two_modules):
+        assert len(two_modules.storage_zones(1)) == 2
+        assert len(two_modules.operation_zones(1)) == 1
+        assert len(two_modules.optical_zones(1)) == 1
+        for zone in two_modules.zones_in_module(1):
+            assert zone.module_id == 1
+
+    def test_describe(self, two_modules):
+        text = two_modules.describe()
+        assert "2 module" in text
+        assert "trap capacity 4" in text

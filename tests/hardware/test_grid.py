@@ -1,0 +1,79 @@
+"""QCCD grid machine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import MachineError, QCCDGridMachine, ZoneKind, paper_grid
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        machine = QCCDGridMachine(3, 4, 16)
+        assert machine.num_zones == 12
+        assert machine.rows == 3
+        assert machine.columns == 4
+
+    def test_all_traps_full_function(self, tiny_grid):
+        for zone in tiny_grid.zones:
+            assert zone.kind is ZoneKind.OPERATION
+            assert zone.allows_gates
+
+    def test_single_module(self, tiny_grid):
+        assert tiny_grid.num_modules == 1
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(MachineError):
+            QCCDGridMachine(0, 4, 16)
+        with pytest.raises(MachineError):
+            QCCDGridMachine(2, 2, 1)
+
+
+class TestTopology:
+    def test_corner_neighbours(self, tiny_grid):
+        assert tiny_grid.neighbours(0) == frozenset({1, 2})
+
+    def test_interior_neighbours(self):
+        machine = QCCDGridMachine(3, 3, 4)
+        assert machine.neighbours(4) == frozenset({1, 3, 5, 7})
+
+    def test_no_diagonal_edges(self, tiny_grid):
+        assert 3 not in tiny_grid.neighbours(0)
+
+    def test_path_follows_grid(self):
+        machine = QCCDGridMachine(3, 4, 16)
+        path = machine.shuttle_path(0, 11)
+        assert path[0] == 0 and path[-1] == 11
+        assert len(path) - 1 == machine.manhattan_distance(0, 11)
+
+    def test_manhattan_distance(self):
+        machine = QCCDGridMachine(3, 4, 16)
+        assert machine.manhattan_distance(0, 11) == 5
+        assert machine.manhattan_distance(5, 5) == 0
+
+    def test_position(self):
+        machine = QCCDGridMachine(3, 4, 16)
+        assert machine.position(0) == (0, 0)
+        assert machine.position(7) == (1, 3)
+        assert machine.position(11) == (2, 3)
+
+
+class TestPaperGrids:
+    def test_all_named_grids(self):
+        for key, expected in (
+            ("small-2x2", (2, 2, 12)),
+            ("small-2x3", (2, 3, 8)),
+            ("medium-3x4", (3, 4, 16)),
+            ("large-4x5", (4, 5, 16)),
+        ):
+            machine = paper_grid(key)
+            assert (machine.rows, machine.columns, machine.trap_capacity) == expected
+
+    def test_unknown_grid(self):
+        with pytest.raises(MachineError, match="unknown grid"):
+            paper_grid("huge-9x9")
+
+    def test_capacities_fit_the_paper_suites(self):
+        assert paper_grid("small-2x2").total_capacity >= 32
+        assert paper_grid("medium-3x4").total_capacity >= 128
+        assert paper_grid("large-4x5").total_capacity >= 299

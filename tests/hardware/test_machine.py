@@ -1,0 +1,87 @@
+"""Machine base class tests (topology, paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import Machine, MachineError, Zone, ZoneKind
+
+
+def line_machine(length: int = 4, capacity: int = 4) -> Machine:
+    zones = [Zone(i, 0, ZoneKind.OPERATION, capacity) for i in range(length)]
+    adjacency = {i: set() for i in range(length)}
+    for i in range(length - 1):
+        adjacency[i].add(i + 1)
+        adjacency[i + 1].add(i)
+    return Machine(zones, adjacency)
+
+
+class TestConstruction:
+    def test_empty_machine_rejected(self):
+        with pytest.raises(MachineError, match="at least one zone"):
+            Machine([], {})
+
+    def test_non_dense_zone_ids_rejected(self):
+        zones = [Zone(1, 0, ZoneKind.STORAGE, 4)]
+        with pytest.raises(MachineError, match="dense"):
+            Machine(zones, {1: set()})
+
+    def test_asymmetric_adjacency_rejected(self):
+        zones = [Zone(0, 0, ZoneKind.STORAGE, 4), Zone(1, 0, ZoneKind.STORAGE, 4)]
+        with pytest.raises(MachineError, match="symmetric"):
+            Machine(zones, {0: {1}, 1: set()})
+
+
+class TestQueries:
+    def test_zone_lookup(self):
+        machine = line_machine()
+        assert machine.zone(2).zone_id == 2
+        assert machine.num_zones == 4
+
+    def test_zones_of_kind(self):
+        machine = line_machine()
+        assert len(machine.zones_of_kind(ZoneKind.OPERATION)) == 4
+        assert machine.zones_of_kind(ZoneKind.OPTICAL) == []
+
+    def test_total_capacity(self):
+        assert line_machine(4, 5).total_capacity == 20
+
+    def test_num_modules(self):
+        assert line_machine().num_modules == 1
+
+    def test_same_module(self):
+        machine = line_machine()
+        assert machine.same_module(0, 3)
+
+
+class TestPaths:
+    def test_trivial_path(self):
+        machine = line_machine()
+        assert machine.shuttle_path(2, 2) == (2,)
+        assert machine.hop_distance(2, 2) == 0
+
+    def test_line_path(self):
+        machine = line_machine()
+        assert machine.shuttle_path(0, 3) == (0, 1, 2, 3)
+        assert machine.hop_distance(0, 3) == 3
+
+    def test_path_is_shortest(self):
+        machine = line_machine(6)
+        assert machine.hop_distance(1, 4) == 3
+
+    def test_unreachable_raises(self):
+        zones = [Zone(0, 0, ZoneKind.STORAGE, 4), Zone(1, 1, ZoneKind.STORAGE, 4)]
+        machine = Machine(zones, {0: set(), 1: set()})
+        with pytest.raises(MachineError, match="no shuttle path"):
+            machine.shuttle_path(0, 1)
+
+    def test_path_caching_consistency(self):
+        machine = line_machine(5)
+        first = machine.shuttle_path(0, 4)
+        second = machine.shuttle_path(0, 4)
+        assert first == second
+
+    def test_neighbours(self):
+        machine = line_machine()
+        assert machine.neighbours(0) == frozenset({1})
+        assert machine.neighbours(1) == frozenset({0, 2})

@@ -1,0 +1,80 @@
+"""Machine serialization round-trip tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import (
+    EMLQCCDMachine,
+    MachineError,
+    ModuleLayout,
+    QCCDGridMachine,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+
+
+class TestDictRoundTrip:
+    def test_grid(self):
+        original = QCCDGridMachine(3, 4, 16)
+        rebuilt = machine_from_dict(machine_to_dict(original))
+        assert isinstance(rebuilt, QCCDGridMachine)
+        assert rebuilt.rows == 3
+        assert rebuilt.columns == 4
+        assert rebuilt.trap_capacity == 16
+
+    def test_eml_default_layout(self):
+        original = EMLQCCDMachine(num_modules=4, trap_capacity=12)
+        rebuilt = machine_from_dict(machine_to_dict(original))
+        assert isinstance(rebuilt, EMLQCCDMachine)
+        assert rebuilt.num_modules == 4
+        assert rebuilt.trap_capacity == 12
+        assert rebuilt.module_qubit_limit == 32
+
+    def test_eml_custom_layout(self):
+        layout = ModuleLayout(num_storage=3, num_operation=2, num_optical=2)
+        original = EMLQCCDMachine(
+            num_modules=2, trap_capacity=8, layout=layout, module_qubit_limit=24
+        )
+        rebuilt = machine_from_dict(machine_to_dict(original))
+        assert rebuilt.layout == layout
+        assert rebuilt.module_qubit_limit == 24
+        assert rebuilt.num_zones == original.num_zones
+
+    def test_zone_structure_identical(self):
+        original = EMLQCCDMachine(num_modules=2, trap_capacity=8)
+        rebuilt = machine_from_dict(machine_to_dict(original))
+        assert [z.kind for z in rebuilt.zones] == [z.kind for z in original.zones]
+        assert [z.module_id for z in rebuilt.zones] == [
+            z.module_id for z in original.zones
+        ]
+
+    def test_unknown_kind(self):
+        with pytest.raises(MachineError, match="unknown machine kind"):
+            machine_from_dict({"kind": "mesh"})
+
+    def test_unserialisable_machine(self):
+        from repro.hardware import Machine, Zone, ZoneKind
+
+        machine = Machine([Zone(0, 0, ZoneKind.STORAGE, 4)], {0: set()})
+        with pytest.raises(MachineError, match="cannot serialise"):
+            machine_to_dict(machine)
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path):
+        original = EMLQCCDMachine(num_modules=3, trap_capacity=16)
+        path = tmp_path / "machine.json"
+        save_machine(original, str(path))
+        rebuilt = load_machine(str(path))
+        assert machine_to_dict(rebuilt) == machine_to_dict(original)
+
+    def test_json_is_readable(self, tmp_path):
+        import json
+
+        path = tmp_path / "machine.json"
+        save_machine(QCCDGridMachine(2, 2, 12), str(path))
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "grid"

@@ -1,0 +1,53 @@
+"""Zone model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import Zone, ZoneKind
+
+
+class TestZoneKind:
+    def test_levels_follow_paper(self):
+        # §3: storage = level 0, operation = level 1, optical = level 2.
+        assert ZoneKind.STORAGE.level == 0
+        assert ZoneKind.OPERATION.level == 1
+        assert ZoneKind.OPTICAL.level == 2
+
+    def test_gate_capability(self):
+        assert not ZoneKind.STORAGE.allows_gates
+        assert ZoneKind.OPERATION.allows_gates
+        assert ZoneKind.OPTICAL.allows_gates
+
+    def test_fiber_capability(self):
+        assert not ZoneKind.STORAGE.allows_fiber
+        assert not ZoneKind.OPERATION.allows_fiber
+        assert ZoneKind.OPTICAL.allows_fiber
+
+
+class TestZone:
+    def test_attributes_delegate_to_kind(self):
+        zone = Zone(3, 1, ZoneKind.OPTICAL, 16)
+        assert zone.level == 2
+        assert zone.allows_gates
+        assert zone.allows_fiber
+        assert zone.capacity == 16
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Zone(0, 0, ZoneKind.STORAGE, 0)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Zone(-1, 0, ZoneKind.STORAGE, 4)
+        with pytest.raises(ValueError):
+            Zone(0, -1, ZoneKind.STORAGE, 4)
+
+    def test_str(self):
+        zone = Zone(5, 2, ZoneKind.STORAGE, 4)
+        assert str(zone) == "z5(storage@m2)"
+
+    def test_frozen(self):
+        zone = Zone(0, 0, ZoneKind.STORAGE, 4)
+        with pytest.raises(AttributeError):
+            zone.capacity = 8

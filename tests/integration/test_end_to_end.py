@@ -1,0 +1,91 @@
+"""Cross-compiler end-to-end integration tests.
+
+Every compiler x workload x machine combination must produce a program that
+passes both verification layers and yields sane metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
+from repro.core import MussTiCompiler
+from repro.hardware import EMLQCCDMachine, QCCDGridMachine
+from repro.sim import execute, verify_program
+from repro.workloads import SMALL_SUITE, get_benchmark
+
+GRID_COMPILERS = [MuraliCompiler, DaiCompiler, MqtLikeCompiler, MussTiCompiler]
+
+
+@pytest.mark.parametrize("app", SMALL_SUITE)
+@pytest.mark.parametrize("compiler_cls", GRID_COMPILERS)
+def test_small_suite_on_2x2(app, compiler_cls):
+    circuit = get_benchmark(app)
+    machine = QCCDGridMachine(2, 2, 12)
+    program = compiler_cls().compile(circuit, machine)
+    verify_program(program)
+    report = execute(program)
+    assert report.two_qubit_gate_count + report.fiber_gate_count == (
+        circuit.num_two_qubit_gates
+    )
+    assert report.one_qubit_gate_count == circuit.num_one_qubit_gates
+    assert report.execution_time_us > 0
+    assert report.log10_fidelity < 0
+
+
+@pytest.mark.parametrize("app", ["GHZ_n64", "QAOA_n64", "BV_n64"])
+def test_muss_ti_on_eml_machines(app):
+    circuit = get_benchmark(app)
+    machine = EMLQCCDMachine.for_circuit_size(circuit.num_qubits, trap_capacity=16)
+    program = MussTiCompiler().compile(circuit, machine)
+    verify_program(program)
+
+
+def test_gate_conservation_with_inserted_swaps():
+    """Inserted SWAPs add entangling work but never drop circuit gates."""
+    circuit = get_benchmark("BV_n64")
+    machine = EMLQCCDMachine.for_circuit_size(64, trap_capacity=16)
+    program = MussTiCompiler().compile(circuit, machine)
+    report = execute(program)
+    assert (
+        report.two_qubit_gate_count + report.fiber_gate_count
+        == circuit.num_two_qubit_gates
+    )
+    assert report.entangling_gate_count >= circuit.num_two_qubit_gates
+    verify_program(program)
+
+
+def test_all_compilers_same_physics():
+    """Identical circuits and identical machines: reports differ only
+    through policy, not through accounting (total circuit gates match)."""
+    circuit = get_benchmark("GHZ_n32")
+    machine = QCCDGridMachine(2, 3, 8)
+    gate_totals = set()
+    for compiler_cls in GRID_COMPILERS:
+        report = execute(compiler_cls().compile(circuit, machine))
+        gate_totals.add(
+            (report.one_qubit_gate_count, report.two_qubit_gate_count)
+        )
+    assert len(gate_totals) == 1
+
+
+def test_report_summary_renders():
+    circuit = get_benchmark("GHZ_n32")
+    machine = QCCDGridMachine(2, 2, 12)
+    report = execute(MussTiCompiler().compile(circuit, machine))
+    text = report.summary()
+    assert "GHZ_n32" in text
+    assert "MUSS-TI" in text
+    assert "shuttles" in text
+
+
+def test_quickstart_snippet_from_readme():
+    """The README quickstart must keep working verbatim."""
+    from repro import EMLQCCDMachine, execute, get_benchmark
+    from repro.core import MussTiCompiler
+
+    circuit = get_benchmark("GHZ_n32")
+    machine = EMLQCCDMachine.for_circuit_size(circuit.num_qubits)
+    program = MussTiCompiler().compile(circuit, machine)
+    report = execute(program)
+    assert report.fidelity > 0

@@ -1,0 +1,54 @@
+"""The shipped examples must keep running (they are user-facing API tests)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart_default(self):
+        out = run_example("quickstart.py")
+        assert "GHZ_n32 via MUSS-TI" in out
+        assert "schedule verified" in out
+
+    def test_quickstart_with_argument(self):
+        out = run_example("quickstart.py", "QAOA_n32")
+        assert "QAOA_n32" in out
+
+    def test_compare_architectures(self):
+        out = run_example("compare_architectures.py", "GHZ_n128")
+        assert "QCCD-Murali" in out
+        assert "MUSS-TI" in out
+        assert "shuttle reduction" in out
+
+    def test_capacity_tuning(self):
+        out = run_example("capacity_tuning.py", "GHZ_n64", "14", "16")
+        assert "best trap capacity" in out
+
+    def test_swap_insertion_demo(self):
+        out = run_example("swap_insertion_demo.py")
+        assert "without SWAP insertion" in out
+        assert "with SWAP insertion" in out
+        assert "BV_n64" in out
+
+    def test_qec_on_eml(self):
+        out = run_example("qec_on_eml.py", "1")
+        assert "surface code" in out
+        assert "d=7" in out

@@ -1,0 +1,150 @@
+"""Hypothesis property tests over random circuits and machines.
+
+The single most important invariant in the repository: *every* compiler, on
+*any* circuit and machine combination, emits a program that passes physical
+and logical verification.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
+from repro.circuits import QuantumCircuit
+from repro.core import MussTiCompiler, MussTiConfig
+from repro.hardware import EMLQCCDMachine, QCCDGridMachine
+from repro.physics import PhysicalParams
+from repro.sim import execute, verify_program
+
+
+@st.composite
+def circuits(draw, max_qubits=12, max_gates=40):
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    circuit = QuantumCircuit(num_qubits, name="prop")
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            circuit.h(draw(st.integers(0, num_qubits - 1)))
+        elif kind == 1:
+            circuit.rz(draw(st.floats(-3.14, 3.14)), draw(st.integers(0, num_qubits - 1)))
+        else:
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            circuit.cx(a, b)
+    return circuit
+
+
+@st.composite
+def grid_machines(draw):
+    rows = draw(st.integers(min_value=1, max_value=3))
+    cols = draw(st.integers(min_value=2, max_value=4))
+    capacity = draw(st.integers(min_value=4, max_value=12))
+    return QCCDGridMachine(rows, cols, capacity)
+
+
+@st.composite
+def eml_machines(draw):
+    modules = draw(st.integers(min_value=1, max_value=3))
+    capacity = draw(st.integers(min_value=4, max_value=8))
+    limit = draw(st.integers(min_value=8, max_value=16))
+    return EMLQCCDMachine(
+        num_modules=modules, trap_capacity=capacity, module_qubit_limit=limit
+    )
+
+
+class TestCompilerSoundness:
+    # Feasibility guard: a machine with zero spare slots cannot shuttle at
+    # all (every move needs a free destination), so schedulability requires
+    # at least one slot of slack.
+
+    @given(circuits(), grid_machines())
+    @settings(max_examples=40, deadline=None)
+    def test_muss_ti_on_grids(self, circuit, machine):
+        if machine.total_capacity < circuit.num_qubits + 1:
+            return
+        program = MussTiCompiler().compile(circuit, machine)
+        verify_program(program)
+
+    @given(circuits(max_qubits=16), eml_machines())
+    @settings(max_examples=40, deadline=None)
+    def test_muss_ti_on_eml(self, circuit, machine):
+        usable = sum(
+            machine.module_capacity(m) for m in range(machine.num_modules)
+        )
+        if usable < circuit.num_qubits + machine.num_modules:
+            return
+        program = MussTiCompiler().compile(circuit, machine)
+        verify_program(program)
+
+    @given(circuits(max_qubits=10), grid_machines())
+    @settings(max_examples=25, deadline=None)
+    def test_baselines_on_grids(self, circuit, machine):
+        if machine.total_capacity < circuit.num_qubits + 1:
+            return
+        for compiler_cls in (MuraliCompiler, DaiCompiler):
+            program = compiler_cls().compile(circuit, machine)
+            verify_program(program)
+
+    @given(circuits(max_qubits=8))
+    @settings(max_examples=25, deadline=None)
+    def test_mqt_on_grid(self, circuit):
+        machine = QCCDGridMachine(2, 3, 6)
+        # MQT needs the processing zone kept free of home placements.
+        if machine.total_capacity - machine.trap_capacity < circuit.num_qubits:
+            return
+        program = MqtLikeCompiler().compile(circuit, machine)
+        verify_program(program)
+
+    @given(circuits(max_qubits=10), st.sampled_from([4, 6, 8, 10, 12]))
+    @settings(max_examples=20, deadline=None)
+    def test_lookahead_never_breaks_correctness(self, circuit, k):
+        machine = EMLQCCDMachine(
+            num_modules=2, trap_capacity=4, module_qubit_limit=8
+        )
+        if circuit.num_qubits > 16:
+            return
+        config = MussTiConfig().with_lookahead(k)
+        program = MussTiCompiler(config).compile(circuit, machine)
+        verify_program(program)
+
+
+class TestExecutorInvariants:
+    @given(circuits(max_qubits=10))
+    @settings(max_examples=30, deadline=None)
+    def test_idealised_params_bound_real_fidelity(self, circuit):
+        machine = QCCDGridMachine(2, 2, 6)
+        if machine.total_capacity < circuit.num_qubits:
+            return
+        program = MussTiCompiler().compile(circuit, machine)
+        base = PhysicalParams()
+        real = execute(program, base)
+        perfect_gate = execute(program, base.perfect_gate())
+        perfect_shuttle = execute(program, base.perfect_shuttle())
+        assert perfect_gate.log10_fidelity >= real.log10_fidelity - 1e-9
+        assert perfect_shuttle.log10_fidelity >= real.log10_fidelity - 1e-9
+
+    @given(circuits(max_qubits=10))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_never_exceeds_serial_time(self, circuit):
+        machine = QCCDGridMachine(2, 2, 6)
+        if machine.total_capacity < circuit.num_qubits:
+            return
+        report = execute(MussTiCompiler().compile(circuit, machine))
+        assert report.makespan_us <= report.execution_time_us + 1e-6
+
+    @given(circuits(max_qubits=10))
+    @settings(max_examples=30, deadline=None)
+    def test_gate_counts_conserved(self, circuit):
+        machine = QCCDGridMachine(2, 2, 6)
+        if machine.total_capacity < circuit.num_qubits:
+            return
+        report = execute(MussTiCompiler().compile(circuit, machine))
+        assert (
+            report.two_qubit_gate_count + report.fiber_gate_count
+            == circuit.num_two_qubit_gates
+        )
+        assert report.one_qubit_gate_count == circuit.num_one_qubit_gates

@@ -1,0 +1,121 @@
+"""Fidelity model tests (Eq. 1 and the log-domain ledger)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics import (
+    DEFAULT_PARAMS,
+    FidelityLedger,
+    idle_log_fidelity,
+    shuttle_log_fidelity,
+    zone_background_log_fidelity,
+)
+
+
+class TestEquationOne:
+    def test_matches_closed_form(self):
+        # F = exp(-t/T1 - k * nbar)
+        log_f = shuttle_log_fidelity(80.0, 1.0, DEFAULT_PARAMS)
+        expected = -(80.0 / 600e6) - 0.001 * 1.0
+        assert log_f == pytest.approx(expected)
+
+    def test_zero_duration_zero_heat_is_perfect(self):
+        assert shuttle_log_fidelity(0.0, 0.0, DEFAULT_PARAMS) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            shuttle_log_fidelity(-1.0, 0.0, DEFAULT_PARAMS)
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_always_non_positive(self, duration, nbar):
+        assert shuttle_log_fidelity(duration, nbar, DEFAULT_PARAMS) <= 0.0
+
+    @given(st.floats(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_heat(self, nbar):
+        lighter = shuttle_log_fidelity(10.0, nbar, DEFAULT_PARAMS)
+        heavier = shuttle_log_fidelity(10.0, nbar + 1.0, DEFAULT_PARAMS)
+        assert heavier < lighter
+
+
+class TestBackgroundFidelity:
+    def test_cold_zone_is_perfect(self):
+        assert zone_background_log_fidelity(0.0, DEFAULT_PARAMS) == 0.0
+
+    def test_follows_heating_rate(self):
+        log_b = zone_background_log_fidelity(100.0, DEFAULT_PARAMS)
+        assert log_b == pytest.approx(-0.1)
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(ValueError):
+            zone_background_log_fidelity(-1.0, DEFAULT_PARAMS)
+
+
+class TestIdleFidelity:
+    def test_pure_t1_decay(self):
+        assert idle_log_fidelity(600e6, DEFAULT_PARAMS) == pytest.approx(-1.0)
+
+    def test_zero_idle(self):
+        assert idle_log_fidelity(0.0, DEFAULT_PARAMS) == 0.0
+
+
+class TestLedger:
+    def test_empty_ledger_is_perfect(self):
+        ledger = FidelityLedger()
+        assert ledger.fidelity == 1.0
+        assert ledger.log10_fidelity == 0.0
+        assert ledger.operations == 0
+
+    def test_linear_charges_multiply(self):
+        ledger = FidelityLedger()
+        ledger.charge_linear(0.99)
+        ledger.charge_linear(0.98)
+        assert ledger.fidelity == pytest.approx(0.99 * 0.98)
+        assert ledger.operations == 2
+
+    def test_log_charge(self):
+        ledger = FidelityLedger()
+        ledger.charge_log(math.log(0.5))
+        assert ledger.fidelity == pytest.approx(0.5)
+
+    def test_rejects_fidelity_above_one(self):
+        ledger = FidelityLedger()
+        with pytest.raises(ValueError):
+            ledger.charge_linear(1.1)
+        with pytest.raises(ValueError):
+            ledger.charge_log(0.5)
+
+    def test_rejects_zero_fidelity(self):
+        ledger = FidelityLedger()
+        with pytest.raises(ValueError):
+            ledger.charge_linear(0.0)
+
+    def test_no_underflow_in_log_domain(self):
+        """The paper's QFT cases underflow doubles; the ledger must not."""
+        ledger = FidelityLedger()
+        for _ in range(200_000):
+            ledger.charge_linear(0.99)
+        # Linear fidelity underflows to exactly 0.0 (like the paper's tables)
+        assert ledger.fidelity == 0.0
+        # ... but the log-domain value remains exact and finite.
+        expected_log10 = 200_000 * math.log10(0.99)
+        assert ledger.log10_fidelity == pytest.approx(expected_log10, rel=1e-9)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_product(self, factors):
+        ledger = FidelityLedger()
+        product = 1.0
+        for factor in factors:
+            ledger.charge_linear(factor)
+            product *= factor
+        assert ledger.fidelity == pytest.approx(product, rel=1e-9)

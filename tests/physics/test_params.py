@@ -1,0 +1,103 @@
+"""Physical parameter tests (Table 1 constants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.physics import DEFAULT_PARAMS, PhysicalParams
+
+
+class TestTableOneConstants:
+    def test_trap_operation_times(self):
+        assert DEFAULT_PARAMS.split_time_us == 80.0
+        assert DEFAULT_PARAMS.merge_time_us == 80.0
+        assert DEFAULT_PARAMS.chain_swap_time_us == 40.0
+        assert DEFAULT_PARAMS.move_speed_um_per_us == 2.0
+
+    def test_trap_operation_heat(self):
+        assert DEFAULT_PARAMS.split_nbar == 1.0
+        assert DEFAULT_PARAMS.merge_nbar == 1.0
+        assert DEFAULT_PARAMS.chain_swap_nbar == 0.3
+        assert DEFAULT_PARAMS.move_nbar == 0.1
+
+    def test_gate_parameters(self):
+        assert DEFAULT_PARAMS.one_qubit_gate_time_us == 5.0
+        assert DEFAULT_PARAMS.one_qubit_gate_fidelity == 0.9999
+        assert DEFAULT_PARAMS.two_qubit_gate_time_us == 40.0
+        assert DEFAULT_PARAMS.fiber_gate_time_us == 200.0
+        assert DEFAULT_PARAMS.fiber_gate_fidelity == 0.99
+
+    def test_decoherence_constants(self):
+        assert DEFAULT_PARAMS.qubit_lifetime_us == 600e6
+        assert DEFAULT_PARAMS.heating_rate == 0.001
+        assert DEFAULT_PARAMS.gate_decay_epsilon == pytest.approx(1 / 25600)
+
+
+class TestDerivedQuantities:
+    def test_move_time(self):
+        # 200 um at 2 um/us.
+        assert DEFAULT_PARAMS.move_time_us == 100.0
+
+    def test_two_qubit_fidelity_formula(self):
+        # 1 - N^2/25600: the paper's numbers for common chain lengths.
+        assert DEFAULT_PARAMS.two_qubit_gate_fidelity(16) == pytest.approx(0.99)
+        assert DEFAULT_PARAMS.two_qubit_gate_fidelity(12) == pytest.approx(
+            1 - 144 / 25600
+        )
+
+    def test_two_qubit_fidelity_monotone_in_ions(self):
+        values = [DEFAULT_PARAMS.two_qubit_gate_fidelity(n) for n in range(2, 30)]
+        assert values == sorted(values, reverse=True)
+
+    def test_two_qubit_fidelity_requires_two_ions(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMS.two_qubit_gate_fidelity(1)
+
+    def test_two_qubit_fidelity_floors_at_zero(self):
+        assert DEFAULT_PARAMS.two_qubit_gate_fidelity(1000) == 0.0
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalParams(split_time_us=-1)
+
+    def test_zero_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalParams(qubit_lifetime_us=0)
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalParams(move_nbar=-0.1)
+
+    def test_fidelity_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalParams(fiber_gate_fidelity=1.5)
+
+    def test_params_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PARAMS.heating_rate = 0.5
+
+
+class TestIdealVariants:
+    def test_perfect_shuttle_zeroes_heat(self):
+        ideal = DEFAULT_PARAMS.perfect_shuttle()
+        assert ideal.split_nbar == 0.0
+        assert ideal.move_nbar == 0.0
+        assert ideal.merge_nbar == 0.0
+        assert ideal.chain_swap_nbar == 0.0
+        # Times unchanged: shuttles still cost wall clock.
+        assert ideal.split_time_us == DEFAULT_PARAMS.split_time_us
+
+    def test_perfect_gate_pins_fidelity(self):
+        ideal = DEFAULT_PARAMS.perfect_gate()
+        assert ideal.two_qubit_gate_fidelity(16) == pytest.approx(0.9999)
+        assert ideal.fiber_gate_fidelity == 0.9999
+        # Heating model unchanged.
+        assert ideal.split_nbar == DEFAULT_PARAMS.split_nbar
+
+    def test_variants_do_not_mutate_original(self):
+        DEFAULT_PARAMS.perfect_gate()
+        DEFAULT_PARAMS.perfect_shuttle()
+        assert DEFAULT_PARAMS.split_nbar == 1.0
+        assert DEFAULT_PARAMS.fiber_gate_fidelity == 0.99

@@ -1,0 +1,33 @@
+"""Timing helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.physics import DEFAULT_PARAMS, move_duration_us, shuttle_duration_us
+
+
+class TestMoveDuration:
+    def test_table1_speed(self):
+        assert move_duration_us(200.0, DEFAULT_PARAMS) == 100.0
+        assert move_duration_us(2.0, DEFAULT_PARAMS) == 1.0
+
+    def test_zero_distance(self):
+        assert move_duration_us(0.0, DEFAULT_PARAMS) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            move_duration_us(-1.0, DEFAULT_PARAMS)
+
+
+class TestShuttleDuration:
+    def test_single_hop(self):
+        # split (80) + one 200-um move (100) + merge (80)
+        assert shuttle_duration_us(1, DEFAULT_PARAMS) == 260.0
+
+    def test_multi_hop(self):
+        assert shuttle_duration_us(3, DEFAULT_PARAMS) == 80 + 300 + 80
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ValueError):
+            shuttle_duration_us(0, DEFAULT_PARAMS)

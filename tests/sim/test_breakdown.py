@@ -1,0 +1,79 @@
+"""Fidelity-breakdown tests: the categories must sum to the executor total."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MussTiCompiler
+from repro.hardware import EMLQCCDMachine, QCCDGridMachine
+from repro.physics import PhysicalParams
+from repro.sim import (
+    CATEGORIES,
+    dominant_loss,
+    execute,
+    fidelity_breakdown,
+    render_breakdown,
+)
+from repro.workloads import get_benchmark
+
+
+def breakdown_for(name: str, machine):
+    circuit = get_benchmark(name)
+    program = MussTiCompiler().compile(circuit, machine)
+    return program, fidelity_breakdown(program)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize(
+        "app", ["GHZ_n32", "QAOA_n32", "Adder_n32", "SQRT_n30"]
+    )
+    def test_categories_sum_to_executor_total(self, app, small_grid_2x2):
+        program, breakdown = breakdown_for(app, small_grid_2x2)
+        report = execute(program)
+        assert sum(breakdown.values()) == pytest.approx(
+            report.log10_fidelity, rel=1e-9, abs=1e-9
+        )
+
+    def test_consistency_on_eml_with_fiber_and_swaps(self):
+        machine = EMLQCCDMachine.for_circuit_size(64, trap_capacity=16)
+        program, breakdown = breakdown_for("BV_n64", machine)
+        report = execute(program)
+        assert report.fiber_gate_count > 0  # exercise the fiber branch
+        assert sum(breakdown.values()) == pytest.approx(
+            report.log10_fidelity, rel=1e-9, abs=1e-9
+        )
+
+    def test_all_categories_non_positive(self, small_grid_2x2):
+        _, breakdown = breakdown_for("QFT_n32", small_grid_2x2)
+        assert set(breakdown) == set(CATEGORIES)
+        for value in breakdown.values():
+            assert value <= 0.0
+
+    def test_repriced_params_respected(self, small_grid_2x2):
+        program, _ = breakdown_for("Adder_n32", small_grid_2x2)
+        ideal = fidelity_breakdown(program, PhysicalParams().perfect_shuttle())
+        assert ideal["background_heat"] == 0.0
+        # Only the (negligible) -t/T1 duration term remains on shuttle ops.
+        assert ideal["shuttle_ops"] == pytest.approx(0.0, abs=1e-3)
+
+
+class TestInterpretation:
+    def test_ghz_is_gate_dominated(self, small_grid_2x2):
+        """A near-shuttle-free chain circuit loses fidelity to the 1-eps*N^2
+        term, not to heat."""
+        _, breakdown = breakdown_for("GHZ_n32", small_grid_2x2)
+        assert dominant_loss(breakdown) == "two_qubit_gates"
+
+    def test_sqrt_is_heat_dominated(self):
+        """The paper's §5.9 observation: gate-heavy circuits suffer most
+        from shuttle-induced background heat."""
+        machine = EMLQCCDMachine.for_circuit_size(117, trap_capacity=16)
+        _, breakdown = breakdown_for("SQRT_n117", machine)
+        assert dominant_loss(breakdown) == "background_heat"
+
+    def test_render(self, small_grid_2x2):
+        _, breakdown = breakdown_for("GHZ_n32", small_grid_2x2)
+        text = render_breakdown(breakdown)
+        for category in CATEGORIES:
+            assert category in text
+        assert "total" in text

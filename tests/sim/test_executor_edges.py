@@ -1,0 +1,67 @@
+"""Executor edge cases documented as deliberate model decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Gate, QuantumCircuit
+from repro.physics import DEFAULT_PARAMS
+from repro.sim import ExecutionError, GateOp, Program, execute
+
+
+class TestOneQubitGatesInStorage:
+    def test_allowed_by_design(self, one_module):
+        """§3.1: one-qubit gates execute in place and are disregarded by
+        routing — including for ions parked in storage zones."""
+        storage = one_module.storage_zones(0)[0].zone_id
+        circuit = QuantumCircuit(2)
+        program = Program(
+            one_module,
+            circuit,
+            {storage: (0, 1)},
+            [GateOp(Gate("h", (0,)), storage)],
+        )
+        report = execute(program)
+        assert report.one_qubit_gate_count == 1
+
+    def test_two_qubit_still_forbidden(self, one_module):
+        storage = one_module.storage_zones(0)[0].zone_id
+        circuit = QuantumCircuit(2)
+        program = Program(
+            one_module,
+            circuit,
+            {storage: (0, 1)},
+            [GateOp(Gate("cx", (0, 1)), storage)],
+        )
+        with pytest.raises(ExecutionError):
+            execute(program)
+
+
+class TestGateFamilies:
+    @pytest.mark.parametrize("name", ["cx", "cz", "swap", "ms", "rzz", "cp"])
+    def test_every_two_qubit_family_prices_identically(self, tiny_grid, name):
+        """The physics model is gate-name agnostic for local 2q gates."""
+        params = (0.5,) if name in ("ms", "rzz", "cp") else ()
+        circuit = QuantumCircuit(2)
+        program = Program(
+            tiny_grid,
+            circuit,
+            {0: (0, 1)},
+            [GateOp(Gate(name, (0, 1), params), 0)],
+        )
+        report = execute(program)
+        assert report.two_qubit_gate_count == 1
+        assert report.execution_time_us == DEFAULT_PARAMS.two_qubit_gate_time_us
+
+    def test_empty_program_is_perfect(self, tiny_grid):
+        program = Program(tiny_grid, QuantumCircuit(2), {0: (0, 1)}, [])
+        report = execute(program)
+        assert report.log10_fidelity == 0.0
+        assert report.fidelity == 1.0
+        assert report.execution_time_us == 0.0
+        assert report.makespan_us == 0.0
+
+    def test_fidelity_text_formats(self, tiny_grid):
+        program = Program(tiny_grid, QuantumCircuit(2), {0: (0, 1)}, [])
+        report = execute(program)
+        assert report.fidelity_text() == "1.00"

@@ -1,0 +1,44 @@
+"""Idle-decoherence option tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MussTiCompiler
+from repro.physics import PhysicalParams
+from repro.sim import execute
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture
+def program(small_grid_2x2):
+    return MussTiCompiler().compile(get_benchmark("GHZ_n32"), small_grid_2x2)
+
+
+class TestIdleDecoherence:
+    def test_off_by_default(self, program):
+        default = execute(program)
+        explicit_off = execute(program, include_idle_decoherence=False)
+        assert default.log10_fidelity == explicit_off.log10_fidelity
+
+    def test_idle_lowers_fidelity(self, program):
+        without = execute(program)
+        with_idle = execute(program, include_idle_decoherence=True)
+        assert with_idle.log10_fidelity < without.log10_fidelity
+
+    def test_negligible_at_paper_lifetime(self, program):
+        """With T1 = 600 s the idle term is invisible (paper's premise for
+        charging decay per-op only)."""
+        without = execute(program)
+        with_idle = execute(program, include_idle_decoherence=True)
+        assert abs(with_idle.log10_fidelity - without.log10_fidelity) < 1e-3
+
+    def test_dominant_at_short_lifetime(self, program):
+        """A 10 ms T1 makes idle decay the dominant loss for a 32-qubit
+        chain circuit (most qubits wait most of the time)."""
+        short_t1 = PhysicalParams(qubit_lifetime_us=1e4)
+        without = execute(program, short_t1)
+        with_idle = execute(
+            program, short_t1, include_idle_decoherence=True
+        )
+        assert with_idle.log10_fidelity < without.log10_fidelity - 1.0

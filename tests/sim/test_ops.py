@@ -1,0 +1,57 @@
+"""Schedule op record tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Gate
+from repro.sim import (
+    ChainSwapOp,
+    FiberGateOp,
+    GateOp,
+    MergeOp,
+    MoveOp,
+    SplitOp,
+    SwapGateOp,
+)
+
+
+class TestOpRecords:
+    def test_split(self):
+        op = SplitOp(qubit=3, zone=1)
+        assert op.qubit == 3 and op.zone == 1
+
+    def test_move(self):
+        op = MoveOp(qubit=3, source_zone=0, destination_zone=1)
+        assert op.source_zone == 0
+        assert op.destination_zone == 1
+
+    def test_merge_default_side(self):
+        assert MergeOp(qubit=0, zone=1).side == "tail"
+        assert MergeOp(qubit=0, zone=1, side="head").side == "head"
+
+    def test_chain_swap(self):
+        op = ChainSwapOp(zone=2, position=3)
+        assert op.position == 3
+
+    def test_gate_op_default_index(self):
+        op = GateOp(Gate("h", (0,)), zone=1)
+        assert op.circuit_index == -1
+
+    def test_fiber_gate_op(self):
+        op = FiberGateOp(Gate("cx", (0, 5)), zone_a=0, zone_b=4, circuit_index=7)
+        assert op.circuit_index == 7
+
+    def test_swap_gate_remote_flag(self):
+        local = SwapGateOp(0, 1, zone_a=2, zone_b=2)
+        remote = SwapGateOp(0, 1, zone_a=2, zone_b=6)
+        assert not local.is_remote
+        assert remote.is_remote
+
+    def test_ops_are_immutable(self):
+        op = SplitOp(qubit=0, zone=0)
+        with pytest.raises(AttributeError):
+            op.qubit = 5
+
+    def test_ops_are_hashable(self):
+        assert len({SplitOp(0, 0), SplitOp(0, 0), SplitOp(1, 0)}) == 2

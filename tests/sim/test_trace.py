@@ -1,0 +1,111 @@
+"""Trace export and timeline rendering tests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import MussTiCompiler
+from repro.sim import program_to_records, render_timeline, save_trace
+from repro.workloads import get_benchmark
+
+
+def compiled(machine_fixture, name="GHZ_n16"):
+    circuit = get_benchmark(name)
+    return MussTiCompiler().compile(circuit, machine_fixture)
+
+
+class TestRecords:
+    def test_one_record_per_op(self, small_grid_2x2):
+        program = compiled(small_grid_2x2, "GHZ_n32")
+        records = program_to_records(program)
+        assert len(records) == program.num_operations
+
+    def test_records_are_timed_and_ordered(self, small_grid_2x2):
+        program = compiled(small_grid_2x2, "GHZ_n32")
+        records = program_to_records(program)
+        for record in records:
+            assert record["end_us"] == record["start_us"] + record["duration_us"]
+            assert record["duration_us"] > 0
+        assert [r["index"] for r in records] == list(range(len(records)))
+
+    def test_resource_exclusivity(self, small_grid_2x2):
+        """No two ops overlap in time on the same qubit or blocking zone.
+
+        One-qubit gates don't block their zone (matching the executor's
+        resource model), so zone intervals exclude them.
+        """
+        program = compiled(small_grid_2x2, "QAOA_n32")
+        records = program_to_records(program)
+        by_resource: dict[tuple[str, int], list[tuple[float, float]]] = {}
+        for record in records:
+            for qubit in record["qubits"]:
+                by_resource.setdefault(("q", qubit), []).append(
+                    (record["start_us"], record["end_us"])
+                )
+            one_qubit_gate = (
+                record["kind"].startswith("gate:") and len(record["qubits"]) == 1
+            )
+            if one_qubit_gate:
+                continue
+            for zone in record["zones"]:
+                by_resource.setdefault(("z", zone), []).append(
+                    (record["start_us"], record["end_us"])
+                )
+        for intervals in by_resource.values():
+            intervals.sort()
+            for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+                assert start_b >= end_a - 1e-9
+
+    def test_makespan_matches_executor(self, small_grid_2x2):
+        from repro.sim import execute
+
+        program = compiled(small_grid_2x2, "QAOA_n32")
+        records = program_to_records(program)
+        report = execute(program)
+        assert max(r["end_us"] for r in records) == report.makespan_us
+
+    def test_json_round_trip(self, small_grid_2x2, tmp_path):
+        program = compiled(small_grid_2x2, "GHZ_n32")
+        path = tmp_path / "trace.json"
+        save_trace(program, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["circuit"] == "GHZ_n32"
+        assert payload["compiler"] == "MUSS-TI"
+        assert len(payload["operations"]) == program.num_operations
+        assert payload["shuttle_count"] == program.shuttle_count
+
+
+class TestTimeline:
+    def test_renders_all_zones(self, small_grid_2x2):
+        program = compiled(small_grid_2x2, "GHZ_n32")
+        text = render_timeline(program)
+        for zone in small_grid_2x2.zones:
+            assert f"z{zone.zone_id}:" in text
+        assert "legend" in text
+
+    def test_contains_gate_glyphs(self, small_grid_2x2):
+        program = compiled(small_grid_2x2, "GHZ_n32")
+        text = render_timeline(program)
+        assert "G" in text
+
+    def test_fiber_glyphs_on_eml(self, two_tight_modules):
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(10)
+        circuit.cx(0, 9)
+        program = MussTiCompiler().compile(circuit, two_tight_modules)
+        assert "F" in render_timeline(program)
+
+    def test_width_parameter(self, small_grid_2x2):
+        program = compiled(small_grid_2x2, "GHZ_n32")
+        text = render_timeline(program, width=40)
+        lane = text.splitlines()[1]
+        assert lane.count("|") == 2
+        assert len(lane.split("|")[1]) == 40
+
+    def test_empty_program(self, tiny_grid):
+        from repro.circuits import QuantumCircuit
+        from repro.sim import Program
+
+        program = Program(tiny_grid, QuantumCircuit(2), {0: (0, 1)}, [])
+        assert "empty" in render_timeline(program)

@@ -1,0 +1,101 @@
+"""Verifier tests: the checker must catch every class of bad program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Gate, QuantumCircuit
+from repro.core import MussTiCompiler
+from repro.sim import (
+    FiberGateOp,
+    GateOp,
+    Program,
+    VerificationError,
+    is_valid,
+    verify_program,
+)
+
+
+def compiled_bell(machine):
+    circuit = QuantumCircuit(2, name="bell")
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return MussTiCompiler().compile(circuit, machine)
+
+
+class TestAcceptsGoodPrograms:
+    def test_compiled_program_verifies(self, tiny_grid):
+        program = compiled_bell(tiny_grid)
+        verify_program(program)
+        assert is_valid(program)
+
+    def test_eml_program_verifies(self, two_modules, linear_chain_8):
+        program = MussTiCompiler().compile(linear_chain_8, two_modules)
+        verify_program(program)
+
+
+class TestCatchesBadPrograms:
+    def test_missing_gate(self, tiny_grid):
+        program = compiled_bell(tiny_grid)
+        # Drop the CX.
+        program.operations = [
+            op
+            for op in program.operations
+            if not (isinstance(op, GateOp) and op.gate.name == "cx")
+        ]
+        with pytest.raises(VerificationError, match="never executed"):
+            verify_program(program)
+        assert not is_valid(program)
+
+    def test_duplicated_gate(self, tiny_grid):
+        program = compiled_bell(tiny_grid)
+        gate_ops = [op for op in program.operations if isinstance(op, GateOp)]
+        program.operations.append(gate_ops[-1])
+        with pytest.raises(VerificationError, match="twice"):
+            verify_program(program)
+
+    def test_wrong_gate_substituted(self, tiny_grid):
+        program = compiled_bell(tiny_grid)
+        swapped = []
+        for op in program.operations:
+            if isinstance(op, GateOp) and op.gate.name == "cx":
+                swapped.append(
+                    GateOp(Gate("cz", op.gate.qubits), op.zone, op.circuit_index)
+                )
+            else:
+                swapped.append(op)
+        program.operations = swapped
+        with pytest.raises(VerificationError, match="mismatch"):
+            verify_program(program)
+
+    def test_dependency_violation(self, tiny_grid):
+        circuit = QuantumCircuit(2, name="ordered")
+        circuit.x(0)        # gate 0
+        circuit.cx(0, 1)    # gate 1, depends on 0
+        program = MussTiCompiler().compile(circuit, tiny_grid)
+        gate_ops = [op for op in program.operations if isinstance(op, GateOp)]
+        others = [op for op in program.operations if not isinstance(op, GateOp)]
+        program.operations = others + list(reversed(gate_ops))
+        with pytest.raises(VerificationError, match="before its"):
+            verify_program(program)
+
+    def test_physical_illegality_reported(self, tiny_grid):
+        program = compiled_bell(tiny_grid)
+        # Teleport the gate to a zone where the qubits are not.
+        program.operations = [
+            GateOp(op.gate, zone=3, circuit_index=op.circuit_index)
+            if isinstance(op, GateOp) and op.gate.is_two_qubit
+            else op
+            for op in program.operations
+        ]
+        with pytest.raises(VerificationError, match="physical legality"):
+            verify_program(program)
+
+    def test_compiler_inserted_gates_are_transparent(self, two_modules_cap8):
+        """A program with inserted SWAPs (circuit_index == -1) verifies."""
+        circuit = QuantumCircuit(10, name="cross")
+        # Force cross-module traffic (modules hold 8+2 at cap 8).
+        for q in range(9):
+            circuit.cx(q, 9)
+        program = MussTiCompiler().compile(circuit, two_modules_cap8)
+        verify_program(program)

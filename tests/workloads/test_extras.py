@@ -1,0 +1,112 @@
+"""Extended workload family tests (QV, Ising, hidden shift)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import statevector
+from repro.workloads import (
+    get_benchmark,
+    hidden_shift,
+    ising,
+    quantum_volume,
+)
+
+
+class TestQuantumVolume:
+    def test_square_shape_default(self):
+        circuit = quantum_volume(8)
+        # depth = n layers, each pairing floor(n/2) pairs, 2 CX per pair.
+        assert circuit.count_ops()["cx"] == 8 * 4 * 2
+
+    def test_odd_width_leaves_one_idle_per_layer(self):
+        circuit = quantum_volume(5, depth=3)
+        assert circuit.count_ops()["cx"] == 3 * 2 * 2
+
+    def test_deterministic_by_seed(self):
+        assert quantum_volume(6) == quantum_volume(6)
+        assert quantum_volume(6, seed=1) != quantum_volume(6, seed=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantum_volume(1)
+        with pytest.raises(ValueError):
+            quantum_volume(4, depth=0)
+
+    def test_registry_integration(self):
+        circuit = get_benchmark("QV_n8")
+        assert circuit.num_qubits == 8
+        assert circuit.num_two_qubit_gates > 0
+
+
+class TestIsing:
+    def test_bond_structure(self):
+        circuit = ising(8, steps=1)
+        # 7 chain bonds -> 7 rzz per step.
+        assert circuit.count_ops()["rzz"] == 7
+        assert circuit.count_ops()["rx"] == 8
+
+    def test_nearest_neighbour_only(self):
+        circuit = ising(16, steps=3)
+        for a, b in circuit.interaction_pairs():
+            assert b - a == 1
+
+    def test_step_scaling(self):
+        assert (
+            ising(8, steps=4).count_ops()["rzz"]
+            == 4 * ising(8, steps=1).count_ops()["rzz"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ising(1)
+        with pytest.raises(ValueError):
+            ising(8, steps=0)
+
+    def test_registry_integration(self):
+        circuit = get_benchmark("Ising_n32")
+        assert circuit.num_qubits == 32
+
+
+class TestHiddenShift:
+    def test_structure(self):
+        circuit = hidden_shift(8)
+        counts = circuit.count_ops()
+        assert counts["cz"] == 2 * 4  # two applications of f, half pairs each
+        assert counts["h"] == 3 * 8
+
+    def test_recovers_shift(self):
+        """Measuring the hidden-shift circuit yields the shift exactly."""
+        shift = 0b1011
+        circuit = hidden_shift(4, shift=shift).without_non_unitary()
+        probabilities = np.abs(statevector(circuit)) ** 2
+        assert probabilities[shift] == pytest.approx(1.0, abs=1e-9)
+
+    def test_recovers_default_shift(self):
+        circuit = hidden_shift(6).without_non_unitary()
+        probabilities = np.abs(statevector(circuit)) ** 2
+        assert probabilities[(1 << 6) - 1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hidden_shift(5)  # odd
+        with pytest.raises(ValueError):
+            hidden_shift(2)  # too small
+        with pytest.raises(ValueError):
+            hidden_shift(4, shift=1 << 10)
+
+    def test_registry_integration(self):
+        circuit = get_benchmark("HS_n16")
+        assert circuit.num_qubits == 16
+
+
+class TestExtrasCompile:
+    @pytest.mark.parametrize("name", ["QV_n12", "Ising_n16", "HS_n12"])
+    def test_compile_and_verify(self, name, small_grid_2x2):
+        from repro.core import MussTiCompiler
+        from repro.sim import verify_program
+
+        circuit = get_benchmark(name)
+        program = MussTiCompiler().compile(circuit, small_grid_2x2)
+        verify_program(program)

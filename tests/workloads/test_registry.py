@@ -1,0 +1,86 @@
+"""Workload registry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import validate_native
+from repro.workloads import (
+    LARGE_SUITE,
+    MEDIUM_SUITE,
+    SMALL_SUITE,
+    available_benchmarks,
+    get_benchmark,
+    parse_name,
+)
+
+
+class TestParseName:
+    def test_standard_names(self):
+        assert parse_name("Adder_n128") == ("adder", 128)
+        assert parse_name("SQRT_n299") == ("sqrt", 299)
+        assert parse_name("RAN_n256") == ("ran", 256)
+
+    def test_case_insensitive_family(self):
+        assert parse_name("adder_n32") == ("adder", 32)
+        assert parse_name("ADDER_n32") == ("adder", 32)
+
+    def test_n_prefix_optional(self):
+        assert parse_name("GHZ_64") == ("ghz", 64)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown benchmark family"):
+            parse_name("Shor_n64")
+
+    def test_malformed_name(self):
+        with pytest.raises(KeyError, match="cannot parse"):
+            parse_name("totally wrong")
+
+
+class TestGetBenchmark:
+    def test_returns_requested_size(self):
+        circuit = get_benchmark("GHZ_n48")
+        assert circuit.num_qubits == 48
+
+    def test_native_by_default(self):
+        circuit = get_benchmark("Adder_n32")
+        validate_native(circuit)
+        assert all(g.is_unitary for g in circuit)
+
+    def test_raw_mode_keeps_measures(self):
+        circuit = get_benchmark("BV_n16", native=False)
+        assert "measure" in circuit.count_ops()
+
+    def test_deterministic(self):
+        assert get_benchmark("RAN_n64").gates == get_benchmark("RAN_n64").gates
+
+
+class TestSuites:
+    def test_small_suite_sizes(self):
+        for name in SMALL_SUITE:
+            circuit = get_benchmark(name)
+            assert 30 <= circuit.num_qubits <= 32, name
+
+    def test_medium_suite_sizes(self):
+        for name in MEDIUM_SUITE:
+            circuit = get_benchmark(name)
+            assert 117 <= circuit.num_qubits <= 128, name
+
+    def test_large_suite_sizes(self):
+        for name in LARGE_SUITE:
+            circuit = get_benchmark(name)
+            assert 256 <= circuit.num_qubits <= 299, name
+
+    def test_gate_counts_in_paper_range(self):
+        """§4: 2-qubit gate counts range 31 to ~4400 across the suite."""
+        for name in available_benchmarks():
+            circuit = get_benchmark(name)
+            assert 30 <= circuit.num_two_qubit_gates <= 8000, (
+                f"{name}: {circuit.num_two_qubit_gates}"
+            )
+
+    def test_all_suites_resolvable(self):
+        names = available_benchmarks()
+        assert len(names) == len(set(names))
+        for name in names:
+            get_benchmark(name)

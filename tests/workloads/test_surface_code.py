@@ -1,0 +1,80 @@
+"""Surface-code cycle workload tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import get_benchmark, surface_code_cycle
+
+
+class TestLayout:
+    def test_distance_3_qubit_count(self):
+        # d=3 rotated code: 9 data + 8 stabilisers = 17 qubits.
+        circuit = surface_code_cycle(3)
+        assert circuit.num_qubits == 17
+
+    def test_distance_5_qubit_count(self):
+        # d=5: 25 data + 24 stabilisers = 49 qubits.
+        circuit = surface_code_cycle(5)
+        assert circuit.num_qubits == 49
+
+    def test_stabiliser_weights(self):
+        """Every ancilla touches 2-4 data qubits; interior ones touch 4."""
+        circuit = surface_code_cycle(3)
+        num_data = 9
+        ancilla_degree: dict[int, set[int]] = {}
+        for gate in circuit.two_qubit_gates():
+            ancilla = max(gate.qubits)
+            data = min(gate.qubits)
+            assert ancilla >= num_data
+            assert data < num_data
+            ancilla_degree.setdefault(ancilla, set()).add(data)
+        degrees = sorted(len(v) for v in ancilla_degree.values())
+        # d=3 rotated code: 4 weight-2 boundary + 4 weight-4 bulk stabilisers.
+        assert degrees == [2, 2, 2, 2, 4, 4, 4, 4]
+
+    def test_cx_count_equals_total_weight(self):
+        circuit = surface_code_cycle(3)
+        assert circuit.count_ops()["cx"] == 4 * 2 + 4 * 4
+
+    def test_every_data_qubit_covered(self):
+        circuit = surface_code_cycle(3)
+        touched = set()
+        for gate in circuit.two_qubit_gates():
+            touched.add(min(gate.qubits))
+        assert touched == set(range(9))
+
+
+class TestRounds:
+    def test_round_scaling(self):
+        one = surface_code_cycle(3, rounds=1)
+        three = surface_code_cycle(3, rounds=3)
+        assert three.count_ops()["cx"] == 3 * one.count_ops()["cx"]
+
+    def test_ancillas_reset_between_rounds(self):
+        circuit = surface_code_cycle(3, rounds=2)
+        assert circuit.count_ops()["reset"] == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            surface_code_cycle(2)
+        with pytest.raises(ValueError):
+            surface_code_cycle(4)
+        with pytest.raises(ValueError):
+            surface_code_cycle(3, rounds=0)
+
+
+class TestIntegration:
+    def test_registry_resolution(self):
+        circuit = get_benchmark("Surface_n49")
+        assert circuit.num_qubits == 49  # largest odd distance fitting 49
+
+    def test_compiles_on_eml(self):
+        from repro.core import MussTiCompiler
+        from repro.hardware import EMLQCCDMachine
+        from repro.sim import verify_program
+
+        circuit = get_benchmark("Surface_n49")
+        machine = EMLQCCDMachine.for_circuit_size(circuit.num_qubits)
+        program = MussTiCompiler().compile(circuit, machine)
+        verify_program(program)
