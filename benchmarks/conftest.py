@@ -1,23 +1,48 @@
 """Shared benchmark configuration.
 
 Every benchmark regenerates one table/figure of the paper via the
-corresponding :mod:`repro.analysis.experiments` driver.  Experiments are
-deterministic, so a single round measures the real cost; shape assertions on
-the returned rows double as integration checks of the paper's claims.
+:mod:`repro.bench` sweep engine.  Experiments are deterministic, so a
+single round measures the real cost; shape assertions on the returned
+rows double as integration checks of the paper's claims.
+
+All files under ``benchmarks/`` are auto-marked ``bench`` and ``slow`` so
+the fast tier-1 job can deselect them (``-m "not bench"``) while a
+dedicated CI job runs them.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+from repro.bench import sweep
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    # This hook sees the whole session's items, not just this directory's.
+    for item in items:
+        if _BENCH_DIR in Path(item.path).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture
-def run_once(benchmark):
-    """Run an experiment exactly once under pytest-benchmark timing."""
+def sweep_once(benchmark):
+    """Run one experiment through the sweep engine, timed, cache off.
 
-    def runner(func, *args, **kwargs):
-        return benchmark.pedantic(
-            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    Benchmarks must measure the real cost of every cell, so the on-disk
+    result cache is disabled; the engine still provides the cell
+    decomposition and row assembly the production runner uses.
+    """
+
+    def runner(experiment: str, **kwargs):
+        kwargs.setdefault("use_cache", False)
+        result = benchmark.pedantic(
+            sweep, args=(experiment,), kwargs=kwargs, rounds=1, iterations=1
         )
+        return result.rows
 
     return runner

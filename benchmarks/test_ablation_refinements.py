@@ -1,58 +1,24 @@
 """Benchmark: ablation of this implementation's refinements beyond §3.
 
-DESIGN.md documents four refinements on top of the paper's described
-algorithm; this bench quantifies the two that are switchable:
+The driver lives in :mod:`repro.analysis.experiments.ablation` (the
+tenth registered experiment, runnable as ``repro bench ablation``); this
+bench times it and checks its shape claims:
 
-* **LRU vs FIFO eviction** (the paper's §3.2 policy vs. the naive one).
-* **Batch demotion slack** (``optical_slack``) on the fiber path.
-
-Claims checked: LRU does not lose to FIFO on the walking workloads, and
-slack does not hurt the medium suite while helping communication-heavy SQRT.
+* **LRU vs FIFO eviction** — LRU does not lose to FIFO on the walking
+  workloads.
+* **Batch demotion slack** (``optical_slack``) — slack does not hurt the
+  medium suite while helping communication-heavy SQRT.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from repro.analysis import render_table
-from repro.analysis.runs import benchmark_circuit, eml_for, run_case
-from repro.core import MussTiCompiler, MussTiConfig
+from repro.analysis.experiments import ablation
 
 
-def run_refinement_ablation() -> list[dict]:
-    apps = ("Adder_n128", "BV_n128", "SQRT_n117")
-    arms = (
-        ("full", MussTiConfig()),
-        ("fifo-eviction", MussTiConfig(use_lru=False)),
-        ("no-slack", replace(MussTiConfig(), optical_slack=0)),
-    )
-    rows = []
-    for app in apps:
-        circuit = benchmark_circuit(app)
-        row: dict[str, object] = {"app": app}
-        for label, config in arms:
-            machine = eml_for(circuit)
-            result = run_case(MussTiCompiler(config), circuit, machine)
-            row[f"{label}/shuttles"] = result.shuttle_count
-            row[f"{label}/log10F"] = round(result.log10_fidelity, 1)
-        rows.append(row)
-    return rows
-
-
-def test_refinement_ablation(run_once):
-    rows = run_once(run_refinement_ablation)
-    headers = ["app", "full", "fifo-eviction", "no-slack"]
-    body = [
-        [
-            row["app"],
-            f"{row['full/shuttles']} / {row['full/log10F']}",
-            f"{row['fifo-eviction/shuttles']} / {row['fifo-eviction/log10F']}",
-            f"{row['no-slack/shuttles']} / {row['no-slack/log10F']}",
-        ]
-        for row in rows
-    ]
+def test_refinement_ablation(sweep_once):
+    rows = sweep_once("ablation")
     print()
-    print(render_table(headers, body, title="Refinement ablation (shuttles / log10F)"))
+    print(ablation.render(rows))
 
     for row in rows:
         # LRU should not lose badly to FIFO anywhere.

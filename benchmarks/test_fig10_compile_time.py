@@ -12,8 +12,8 @@ from __future__ import annotations
 from repro.analysis.experiments import fig10
 
 
-def test_fig10(run_once):
-    rows = run_once(fig10.run)
+def test_fig10(sweep_once):
+    rows = sweep_once("fig10")
     print()
     print(fig10.render(rows))
 

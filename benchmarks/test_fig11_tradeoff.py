@@ -10,8 +10,8 @@ from __future__ import annotations
 from repro.analysis.experiments import fig11
 
 
-def test_fig11(run_once):
-    rows = run_once(fig11.run)
+def test_fig11(sweep_once):
+    rows = sweep_once("fig11")
     print()
     print(fig11.render(rows))
 

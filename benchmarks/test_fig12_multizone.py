@@ -9,8 +9,8 @@ from __future__ import annotations
 from repro.analysis.experiments import fig12
 
 
-def test_fig12(run_once):
-    rows = run_once(fig12.run)
+def test_fig12(sweep_once):
+    rows = sweep_once("fig12")
     print()
     print(fig12.render(rows))
 

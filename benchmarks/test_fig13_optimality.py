@@ -11,8 +11,8 @@ from __future__ import annotations
 from repro.analysis.experiments import fig13
 
 
-def test_fig13(run_once):
-    rows = run_once(fig13.run)
+def test_fig13(sweep_once):
+    rows = sweep_once("fig13")
     print()
     print(fig13.render(rows))
 

@@ -14,8 +14,8 @@ from statistics import mean
 from repro.analysis.experiments import fig6
 
 
-def test_fig6(run_once):
-    rows = run_once(fig6.run)
+def test_fig6(sweep_once):
+    rows = sweep_once("fig6")
     print()
     print(fig6.render(rows))
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 from repro.analysis.experiments import fig7
 
 
-def test_fig7(run_once):
-    rows = run_once(fig7.run)
+def test_fig7(sweep_once):
+    rows = sweep_once("fig7")
     print()
     print(fig7.render(rows))
 

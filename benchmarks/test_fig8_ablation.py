@@ -12,8 +12,8 @@ from __future__ import annotations
 from repro.analysis.experiments import fig8
 
 
-def test_fig8(run_once):
-    rows = run_once(fig8.run)
+def test_fig8(sweep_once):
+    rows = sweep_once("fig8")
     print()
     print(fig8.render(rows))
 

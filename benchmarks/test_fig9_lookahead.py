@@ -10,8 +10,8 @@ from __future__ import annotations
 from repro.analysis.experiments import fig9
 
 
-def test_fig9(run_once):
-    rows = run_once(fig9.run)
+def test_fig9(sweep_once):
+    rows = sweep_once("fig9")
     print()
     print(fig9.render(rows))
 

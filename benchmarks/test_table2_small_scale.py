@@ -13,8 +13,8 @@ from repro.analysis.experiments import table2
 COMPILERS = ("QCCD-Murali", "QCCD-Dai", "QCCD-MQT", "MUSS-TI")
 
 
-def test_table2(run_once):
-    rows = run_once(table2.run)
+def test_table2(sweep_once):
+    rows = sweep_once("table2")
     assert len(rows) == 12  # 6 applications x 2 grids
     print()
     print(table2.render(rows))

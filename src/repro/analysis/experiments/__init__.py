@@ -1,10 +1,20 @@
 """One driver module per paper table/figure.
 
-Each module exposes ``run(...) -> list[dict]`` returning structured rows and
-``render(rows) -> str`` producing the paper-style ASCII table.
+Each module exposes the sweep-engine protocol:
+
+* ``cells(...) -> list[dict]`` — the grid of independent cells
+  (workload x machine x compiler config) as JSON-scalar specs;
+* ``run_cell(spec) -> dict`` — execute one cell (pure, picklable, so the
+  engine can farm it out to worker processes and cache the payload);
+* ``assemble(pairs) -> list[dict]`` — regroup ``(spec, result)`` pairs,
+  in cell-declaration order, into the driver's row schema;
+* ``run(...) -> list[dict]`` — serial convenience wrapper
+  (``assemble`` over in-process ``run_cell`` calls);
+* ``render(rows) -> str`` — the paper-style ASCII table.
 """
 
 from . import (
+    ablation,
     fig6,
     fig7,
     fig8,
@@ -16,7 +26,7 @@ from . import (
     table2,
 )
 
-#: Experiment registry for the CLI and the benchmark harness.
+#: The paper's evaluation section: what ``python -m repro.analysis all`` runs.
 EXPERIMENTS = {
     "table2": table2,
     "fig6": fig6,
@@ -29,4 +39,7 @@ EXPERIMENTS = {
     "fig13": fig13,
 }
 
-__all__ = ["EXPERIMENTS"] + sorted(EXPERIMENTS)
+#: Every sweepable driver, including extras beyond the paper's figures.
+ALL_EXPERIMENTS = {**EXPERIMENTS, "ablation": ablation}
+
+__all__ = ["ALL_EXPERIMENTS", "EXPERIMENTS"] + sorted(ALL_EXPERIMENTS)

@@ -1,0 +1,72 @@
+"""Refinement ablation: this implementation's switchable extras beyond §3.
+
+DESIGN.md documents four refinements on top of the paper's described
+algorithm; this driver quantifies the two that are switchable:
+
+* **LRU vs FIFO eviction** (the paper's §3.2 policy vs. the naive one).
+* **Batch demotion slack** (``optical_slack``) on the fiber path.
+
+Not part of the paper's evaluation section, so it is excluded from
+``python -m repro.analysis all`` but registered with the sweep engine
+(``python -m repro bench ablation``) and regression-checked in
+``benchmarks/test_ablation_refinements.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ...core import MussTiCompiler, MussTiConfig
+from ..runs import benchmark_circuit, eml_for, result_to_dict, run_case
+from ..tables import render_table
+
+APPLICATIONS = ("Adder_n128", "BV_n128", "SQRT_n117")
+
+ARM_NAMES = ("full", "fifo-eviction", "no-slack")
+
+
+def _arm_config(arm: str) -> MussTiConfig:
+    if arm == "full":
+        return MussTiConfig()
+    if arm == "fifo-eviction":
+        return MussTiConfig(use_lru=False)
+    if arm == "no-slack":
+        return replace(MussTiConfig(), optical_slack=0)
+    raise ValueError(f"unknown ablation arm {arm!r}")
+
+
+def cells(applications=APPLICATIONS, arms=ARM_NAMES) -> list[dict]:
+    """One cell per (application, refinement arm)."""
+    return [{"app": app, "arm": arm} for app in applications for arm in arms]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = benchmark_circuit(spec["app"])
+    machine = eml_for(circuit)
+    compiler = MussTiCompiler(_arm_config(spec["arm"]))
+    return result_to_dict(run_case(compiler, circuit, machine))
+
+
+def assemble(pairs) -> list[dict]:
+    rows: dict[str, dict] = {}
+    for spec, result in pairs:
+        row = rows.setdefault(spec["app"], {"app": spec["app"]})
+        label = spec["arm"]
+        row[f"{label}/shuttles"] = result["shuttle_count"]
+        row[f"{label}/log10F"] = round(result["log10_fidelity"], 1)
+    return list(rows.values())
+
+
+def run(applications=APPLICATIONS, arms=ARM_NAMES) -> list[dict]:
+    specs = cells(applications, arms)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
+
+
+def render(rows: list[dict]) -> str:
+    headers = ["app"] + [f"{arm} (shuttles / log10F)" for arm in ARM_NAMES]
+    body = [
+        [row["app"]]
+        + [f"{row[f'{arm}/shuttles']} / {row[f'{arm}/log10F']}" for arm in ARM_NAMES]
+        for row in rows
+    ]
+    return render_table(headers, body, title="Refinement ablation (shuttles / log10F)")

@@ -15,22 +15,37 @@ SIZES = (150, 200, 250, 300)
 FAMILIES = ("Adder", "BV", "GHZ", "QAOA")
 
 
+def cells(families=FAMILIES, sizes=SIZES) -> list[dict]:
+    """One cell per (family, size): a compile-only measurement."""
+    return [
+        {"family": family, "size": size}
+        for family in families
+        for size in sizes
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = get_benchmark(f"{spec['family']}_n{spec['size']}")
+    machine = eml_for(circuit)
+    program = muss_ti().compile(circuit, machine)
+    return {"gates": len(circuit), "compile_s": program.compile_time_s}
+
+
+def assemble(pairs) -> list[dict]:
+    return [
+        {
+            "app": spec["family"],
+            "size": spec["size"],
+            "gates": result["gates"],
+            "compile_s": round(result["compile_s"], 3),
+        }
+        for spec, result in pairs
+    ]
+
+
 def run(families=FAMILIES, sizes=SIZES) -> list[dict]:
-    rows: list[dict] = []
-    for family in families:
-        for size in sizes:
-            circuit = get_benchmark(f"{family}_n{size}")
-            machine = eml_for(circuit)
-            program = muss_ti().compile(circuit, machine)
-            rows.append(
-                {
-                    "app": family,
-                    "size": size,
-                    "gates": len(circuit),
-                    "compile_s": round(program.compile_time_s, 3),
-                }
-            )
-    return rows
+    specs = cells(families, sizes)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
 
 
 def is_subexponential(rows: list[dict], family: str) -> bool:

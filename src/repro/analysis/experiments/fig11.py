@@ -8,7 +8,7 @@ fidelity winner in both, at the price of the longest compile time.
 from __future__ import annotations
 
 from ...core import MussTiConfig
-from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..runs import benchmark_circuit, eml_for, muss_ti, result_to_dict, run_case
 from ..tables import render_table
 
 APPLICATIONS = ("SQRT_n128", "BV_n128")
@@ -20,23 +20,40 @@ ARMS = (
     ("SWAP Insert + SABRE", MussTiConfig.full),
 )
 
+ARM_CONFIGS = dict(ARMS)
+
+
+def cells(applications=APPLICATIONS) -> list[dict]:
+    """One cell per (application, ablation arm)."""
+    return [
+        {"app": app, "arm": label}
+        for app in applications
+        for label, _ in ARMS
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = benchmark_circuit(spec["app"])
+    machine = eml_for(circuit)
+    config = ARM_CONFIGS[spec["arm"]]()
+    return result_to_dict(run_case(muss_ti(config), circuit, machine))
+
+
+def assemble(pairs) -> list[dict]:
+    return [
+        {
+            "app": spec["app"],
+            "technique": spec["arm"],
+            "compile_s": round(result["compile_time_s"], 3),
+            "log10F": round(result["log10_fidelity"], 2),
+        }
+        for spec, result in pairs
+    ]
+
 
 def run(applications=APPLICATIONS) -> list[dict]:
-    rows: list[dict] = []
-    for app in applications:
-        circuit = benchmark_circuit(app)
-        for label, make_config in ARMS:
-            machine = eml_for(circuit)
-            result = run_case(muss_ti(make_config()), circuit, machine)
-            rows.append(
-                {
-                    "app": app,
-                    "technique": label,
-                    "compile_s": round(result.compile_time_s, 3),
-                    "log10F": round(result.log10_fidelity, 2),
-                }
-            )
-    return rows
+    specs = cells(applications)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
 
 
 def render(rows: list[dict]) -> str:

@@ -8,24 +8,40 @@ spreading fiber traffic (and therefore heat) across zones.
 from __future__ import annotations
 
 from ...workloads import LARGE_SUITE
-from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..runs import benchmark_circuit, eml_for, muss_ti, result_to_dict, run_case
 from ..tables import render_table
 
 ZONE_COUNTS = (1, 2)
 
 
+def cells(applications=LARGE_SUITE, zone_counts=ZONE_COUNTS) -> list[dict]:
+    """One cell per (application, optical-zone count)."""
+    return [
+        {"app": app, "zones": zones}
+        for app in applications
+        for zones in zone_counts
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = benchmark_circuit(spec["app"])
+    machine = eml_for(circuit, num_optical=spec["zones"])
+    return result_to_dict(run_case(muss_ti(), circuit, machine))
+
+
+def assemble(pairs) -> list[dict]:
+    rows: dict[str, dict] = {}
+    for spec, result in pairs:
+        row = rows.setdefault(spec["app"], {"app": spec["app"]})
+        zones = spec["zones"]
+        row[f"{zones}-zone/log10F"] = round(result["log10_fidelity"], 2)
+        row[f"{zones}-zone/shuttles"] = result["shuttle_count"]
+    return list(rows.values())
+
+
 def run(applications=LARGE_SUITE, zone_counts=ZONE_COUNTS) -> list[dict]:
-    rows: list[dict] = []
-    for app in applications:
-        circuit = benchmark_circuit(app)
-        row: dict[str, object] = {"app": app}
-        for zones in zone_counts:
-            machine = eml_for(circuit, num_optical=zones)
-            result = run_case(muss_ti(), circuit, machine)
-            row[f"{zones}-zone/log10F"] = round(result.log10_fidelity, 2)
-            row[f"{zones}-zone/shuttles"] = result.shuttle_count
-        rows.append(row)
-    return rows
+    specs = cells(applications, zone_counts)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
 
 
 def render(rows: list[dict]) -> str:

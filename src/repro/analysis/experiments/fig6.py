@@ -7,10 +7,16 @@ the application) versus Murali [55] and Dai [13] (on the monolithic grids of
 
 from __future__ import annotations
 
-from ...baselines import DaiCompiler, MuraliCompiler
 from ...hardware import QCCDGridMachine
 from ...workloads import LARGE_SUITE, MEDIUM_SUITE, SMALL_SUITE
-from ..runs import benchmark_circuit, eml_for, muss_ti, run_case, small_grid
+from ..runs import (
+    benchmark_circuit,
+    eml_for,
+    make_compiler,
+    result_to_dict,
+    run_case,
+    small_grid,
+)
 from ..tables import improvement_percent, render_table
 
 SCALES = {
@@ -18,6 +24,8 @@ SCALES = {
     "medium": dict(suite=MEDIUM_SUITE, grid=(3, 4)),
     "large": dict(suite=LARGE_SUITE, grid=(4, 5)),
 }
+
+COMPILER_NAMES = ("murali", "dai", "muss-ti")
 
 
 def _baseline_machine(scale: str) -> QCCDGridMachine:
@@ -27,47 +35,70 @@ def _baseline_machine(scale: str) -> QCCDGridMachine:
     return QCCDGridMachine(rows, cols, 16)
 
 
-def run(scales=("small", "medium", "large")) -> list[dict]:
+def cells(scales=("small", "medium", "large")) -> list[dict]:
+    """One cell per (scale, application, compiler)."""
+    return [
+        {"scale": scale, "app": app, "compiler": compiler}
+        for scale in scales
+        for app in SCALES[scale]["suite"]
+        for compiler in COMPILER_NAMES
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    scale = spec["scale"]
+    circuit = benchmark_circuit(spec["app"])
+    if spec["compiler"] == "muss-ti":
+        machine = eml_for(circuit) if scale != "small" else small_grid("2x2")
+    else:
+        machine = _baseline_machine(scale)
+    result = run_case(make_compiler(spec["compiler"]), circuit, machine)
+    return result_to_dict(result)
+
+
+def assemble(pairs) -> list[dict]:
+    """Regroup cells into one row per (scale, app) with the derived
+    shuttle-reduction column (best baseline vs MUSS-TI)."""
+    groups: dict[tuple, dict] = {}
+    for spec, result in pairs:
+        entries = groups.setdefault((spec["scale"], spec["app"]), {})
+        entries[result["compiler"]] = result
     rows: list[dict] = []
-    for scale in scales:
-        suite = SCALES[scale]["suite"]
-        for app in suite:
-            circuit = benchmark_circuit(app)
-            entries = {}
-            for compiler, machine in (
-                (MuraliCompiler(), _baseline_machine(scale)),
-                (DaiCompiler(), _baseline_machine(scale)),
-                (muss_ti(), eml_for(circuit) if scale != "small" else small_grid("2x2")),
-            ):
-                result = run_case(compiler, circuit, machine)
-                entries[result.compiler] = result
-            ours = entries["MUSS-TI"]
+    for (scale, app), entries in groups.items():
+        row: dict[str, object] = {"scale": scale, "app": app}
+        row.update(
+            {f"{name}/shuttles": r["shuttle_count"] for name, r in entries.items()}
+        )
+        row.update(
+            {
+                f"{name}/time": round(r["execution_time_us"])
+                for name, r in entries.items()
+            }
+        )
+        row.update(
+            {
+                f"{name}/log10F": round(r["log10_fidelity"], 1)
+                for name, r in entries.items()
+            }
+        )
+        if {"QCCD-Murali", "QCCD-Dai", "MUSS-TI"} <= set(entries):
             best_baseline = min(
-                entries["QCCD-Murali"].shuttle_count,
-                entries["QCCD-Dai"].shuttle_count,
+                entries["QCCD-Murali"]["shuttle_count"],
+                entries["QCCD-Dai"]["shuttle_count"],
             )
-            rows.append(
-                {
-                    "scale": scale,
-                    "app": app,
-                    **{
-                        f"{name}/shuttles": r.shuttle_count
-                        for name, r in entries.items()
-                    },
-                    **{
-                        f"{name}/time": round(r.execution_time_us)
-                        for name, r in entries.items()
-                    },
-                    **{
-                        f"{name}/log10F": round(r.log10_fidelity, 1)
-                        for name, r in entries.items()
-                    },
-                    "shuttle_reduction_%": round(
-                        improvement_percent(best_baseline, ours.shuttle_count), 1
-                    ),
-                }
+            row["shuttle_reduction_%"] = round(
+                improvement_percent(
+                    best_baseline, entries["MUSS-TI"]["shuttle_count"]
+                ),
+                1,
             )
+        rows.append(row)
     return rows
+
+
+def run(scales=("small", "medium", "large")) -> list[dict]:
+    specs = cells(scales)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
 
 
 def render(rows: list[dict]) -> str:
@@ -83,11 +114,11 @@ def render(rows: list[dict]) -> str:
         )
         body = []
         for row in rows:
-            cells = [row["scale"], row["app"]] + [
+            cells_ = [row["scale"], row["app"]] + [
                 row[f"{c}/{metric}"] for c in compilers
             ]
             if metric == "shuttles":
-                cells.append(row["shuttle_reduction_%"])
-            body.append(cells)
+                cells_.append(row["shuttle_reduction_%"])
+            body.append(cells_)
         sections.append(render_table(headers, body, title=f"Figure 6 - {label}"))
     return "\n\n".join(sections)

@@ -8,29 +8,43 @@ gates (the 1 - eps*N^2 law).
 
 from __future__ import annotations
 
-from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..runs import benchmark_circuit, eml_for, muss_ti, result_to_dict, run_case
 
 CAPACITIES = (12, 14, 16, 18, 20)
 APPLICATIONS = ("Adder_n128", "BV_n128", "GHZ_n128", "QAOA_n128", "SQRT_n299")
 
 
+def cells(applications=APPLICATIONS, capacities=CAPACITIES) -> list[dict]:
+    """One cell per (application, trap capacity)."""
+    return [
+        {"app": app, "capacity": capacity}
+        for app in applications
+        for capacity in capacities
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = benchmark_circuit(spec["app"])
+    machine = eml_for(circuit, trap_capacity=spec["capacity"])
+    return result_to_dict(run_case(muss_ti(), circuit, machine))
+
+
+def assemble(pairs) -> list[dict]:
+    return [
+        {
+            "app": spec["app"],
+            "capacity": spec["capacity"],
+            "shuttles": result["shuttle_count"],
+            "log10F": round(result["log10_fidelity"], 2),
+            "fidelity": result["fidelity"],
+        }
+        for spec, result in pairs
+    ]
+
+
 def run(applications=APPLICATIONS, capacities=CAPACITIES) -> list[dict]:
-    rows: list[dict] = []
-    for app in applications:
-        circuit = benchmark_circuit(app)
-        for capacity in capacities:
-            machine = eml_for(circuit, trap_capacity=capacity)
-            result = run_case(muss_ti(), circuit, machine)
-            rows.append(
-                {
-                    "app": app,
-                    "capacity": capacity,
-                    "shuttles": result.shuttle_count,
-                    "log10F": round(result.log10_fidelity, 2),
-                    "fidelity": result.fidelity,
-                }
-            )
-    return rows
+    specs = cells(applications, capacities)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
 
 
 def best_capacity(rows: list[dict], app: str) -> int:

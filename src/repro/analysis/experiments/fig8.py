@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ...core import MussTiConfig
 from ...workloads import LARGE_SUITE, MEDIUM_SUITE
-from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..runs import benchmark_circuit, eml_for, muss_ti, result_to_dict, run_case
 from ..tables import render_table
 
 ARMS = (
@@ -20,21 +20,40 @@ ARMS = (
     ("SABRE + SWAP Insert", MussTiConfig.full),
 )
 
+ARM_CONFIGS = dict(ARMS)
+
 APPLICATIONS = tuple(MEDIUM_SUITE) + tuple(LARGE_SUITE)
 
 
+def cells(applications=APPLICATIONS) -> list[dict]:
+    """One cell per (application, ablation arm)."""
+    return [
+        {"app": app, "arm": label}
+        for app in applications
+        for label, _ in ARMS
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = benchmark_circuit(spec["app"])
+    machine = eml_for(circuit)
+    config = ARM_CONFIGS[spec["arm"]]()
+    return result_to_dict(run_case(muss_ti(config), circuit, machine))
+
+
+def assemble(pairs) -> list[dict]:
+    rows: dict[str, dict] = {}
+    for spec, result in pairs:
+        row = rows.setdefault(spec["app"], {"app": spec["app"]})
+        label = spec["arm"]
+        row[f"{label}/log10F"] = round(result["log10_fidelity"], 2)
+        row[f"{label}/shuttles"] = result["shuttle_count"]
+    return list(rows.values())
+
+
 def run(applications=APPLICATIONS) -> list[dict]:
-    rows: list[dict] = []
-    for app in applications:
-        circuit = benchmark_circuit(app)
-        row: dict[str, object] = {"app": app}
-        for label, make_config in ARMS:
-            machine = eml_for(circuit)
-            result = run_case(muss_ti(make_config()), circuit, machine)
-            row[f"{label}/log10F"] = round(result.log10_fidelity, 2)
-            row[f"{label}/shuttles"] = result.shuttle_count
-        rows.append(row)
-    return rows
+    specs = cells(applications)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
 
 
 def render(rows: list[dict]) -> str:

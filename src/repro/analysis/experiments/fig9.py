@@ -9,31 +9,43 @@ k; nearest-neighbour QAOA is flat.
 from __future__ import annotations
 
 from ...core import MussTiConfig
-from ..runs import benchmark_circuit, eml_for, muss_ti, run_case
+from ..runs import benchmark_circuit, eml_for, muss_ti, result_to_dict, run_case
 from ..tables import render_table
 
 LOOKAHEADS = (4, 6, 8, 10, 12)
 APPLICATIONS = ("QAOA_n256", "Adder_n256", "RAN_n256", "SQRT_n117", "SQRT_n299")
 
 
+def cells(applications=APPLICATIONS, lookaheads=LOOKAHEADS) -> list[dict]:
+    """One cell per (application, look-ahead depth)."""
+    return [
+        {"app": app, "k": k} for app in applications for k in lookaheads
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = benchmark_circuit(spec["app"])
+    machine = eml_for(circuit)
+    config = MussTiConfig().with_lookahead(spec["k"])
+    return result_to_dict(run_case(muss_ti(config), circuit, machine))
+
+
+def assemble(pairs) -> list[dict]:
+    return [
+        {
+            "app": spec["app"],
+            "k": spec["k"],
+            "log10F": round(result["log10_fidelity"], 2),
+            "shuttles": result["shuttle_count"],
+            "swaps": result["inserted_swaps"],
+        }
+        for spec, result in pairs
+    ]
+
+
 def run(applications=APPLICATIONS, lookaheads=LOOKAHEADS) -> list[dict]:
-    rows: list[dict] = []
-    for app in applications:
-        circuit = benchmark_circuit(app)
-        for k in lookaheads:
-            machine = eml_for(circuit)
-            config = MussTiConfig().with_lookahead(k)
-            result = run_case(muss_ti(config), circuit, machine)
-            rows.append(
-                {
-                    "app": app,
-                    "k": k,
-                    "log10F": round(result.log10_fidelity, 2),
-                    "shuttles": result.shuttle_count,
-                    "swaps": result.inserted_swaps,
-                }
-            )
-    return rows
+    specs = cells(applications, lookaheads)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
 
 
 def fidelity_spread(rows: list[dict], app: str) -> float:

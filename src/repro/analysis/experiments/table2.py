@@ -9,29 +9,56 @@ the exact cells of the paper's Table 2.
 from __future__ import annotations
 
 from ...workloads import SMALL_SUITE
-from ..runs import RunResult, benchmark_circuit, run_case, small_grid, table2_compilers
+from ..runs import (
+    TABLE2_COMPILER_NAMES,
+    benchmark_circuit,
+    make_compiler,
+    result_to_dict,
+    run_case,
+    small_grid,
+)
 from ..tables import format_fidelity, render_table
 
 GRIDS = ("2x2", "2x3")
 
 
+def cells(applications=SMALL_SUITE, grids=GRIDS) -> list[dict]:
+    """One cell per (grid, application, compiler)."""
+    return [
+        {"grid": grid, "app": app, "compiler": compiler}
+        for grid in grids
+        for app in applications
+        for compiler in TABLE2_COMPILER_NAMES
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = benchmark_circuit(spec["app"])
+    machine = small_grid(spec["grid"])
+    result = run_case(make_compiler(spec["compiler"]), circuit, machine)
+    return result_to_dict(result)
+
+
+def assemble(pairs) -> list[dict]:
+    """Regroup cells into one row per (grid, app), compilers as columns."""
+    rows: dict[tuple, dict] = {}
+    for spec, result in pairs:
+        row = rows.setdefault(
+            (spec["grid"], spec["app"]), {"grid": spec["grid"], "app": spec["app"]}
+        )
+        name = result["compiler"]
+        row[f"{name}/shuttles"] = result["shuttle_count"]
+        row[f"{name}/time"] = round(result["execution_time_us"])
+        row[f"{name}/fidelity"] = format_fidelity(
+            result["fidelity"], result["log10_fidelity"]
+        )
+    return list(rows.values())
+
+
 def run(applications=SMALL_SUITE, grids=GRIDS) -> list[dict]:
     """Execute the full Table 2 matrix; returns one row per (grid, app)."""
-    rows: list[dict] = []
-    for grid_kind in grids:
-        for app in applications:
-            circuit = benchmark_circuit(app)
-            row: dict[str, object] = {"grid": grid_kind, "app": app}
-            for compiler in table2_compilers():
-                machine = small_grid(grid_kind)
-                result: RunResult = run_case(compiler, circuit, machine)
-                row[f"{result.compiler}/shuttles"] = result.shuttle_count
-                row[f"{result.compiler}/time"] = round(result.execution_time_us)
-                row[f"{result.compiler}/fidelity"] = format_fidelity(
-                    result.fidelity, result.log10_fidelity
-                )
-            rows.append(row)
-    return rows
+    specs = cells(applications, grids)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
 
 
 def render(rows: list[dict]) -> str:

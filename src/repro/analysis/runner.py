@@ -5,6 +5,12 @@ Usage::
     python -m repro.analysis table2          # one experiment
     python -m repro.analysis fig6 fig7       # several
     python -m repro.analysis all             # the whole evaluation section
+    python -m repro.analysis all --jobs 8    # parallel cells, same output
+
+All execution funnels through :mod:`repro.bench`: cells are served from the
+on-disk result cache when possible and recomputed (optionally across a
+process pool) otherwise.  Tables are printed on stdout exactly as the
+original serial runner produced them; cell progress streams on stderr.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ import argparse
 import sys
 import time
 
+from ..bench import stderr_progress, sweep
 from .experiments import EXPERIMENTS
 
 
@@ -27,6 +34,23 @@ def main(argv: list[str] | None = None) -> int:
         metavar="EXPERIMENT",
         help=f"one of: {', '.join(sorted(EXPERIMENTS))}, or 'all'",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per experiment (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell, ignoring the on-disk result cache",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-cell progress on stderr",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -36,13 +60,19 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    progress = stderr_progress if args.progress else None
     for name in names:
         module = EXPERIMENTS[name]
         started = time.perf_counter()
-        rows = module.run()
+        result = sweep(
+            name,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            progress=progress,
+        )
         elapsed = time.perf_counter() - started
-        print(module.render(rows))
-        print(f"[{name}: {len(rows)} rows in {elapsed:.1f} s]")
+        print(module.render(result.rows))
+        print(f"[{name}: {len(result.rows)} rows in {elapsed:.1f} s]")
         print()
     return 0
 

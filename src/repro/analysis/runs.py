@@ -8,7 +8,7 @@ benchmarks consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
 from ..circuits import QuantumCircuit
@@ -45,14 +45,61 @@ class RunResult:
         }
 
 
+#: Compiler factories addressable by name from cell specs and the CLI.
+COMPILER_FACTORIES = {
+    "muss-ti": lambda: MussTiCompiler(),
+    "trivial": lambda: MussTiCompiler(MussTiConfig.trivial()),
+    "sabre": lambda: MussTiCompiler(MussTiConfig.sabre_only()),
+    "swap-insert": lambda: MussTiCompiler(MussTiConfig.swap_insert_only()),
+    "murali": MuraliCompiler,
+    "dai": DaiCompiler,
+    "mqt": MqtLikeCompiler,
+}
+
+#: Table 2 column order, as registry names.
+TABLE2_COMPILER_NAMES = ("murali", "dai", "mqt", "muss-ti")
+
+
+def make_compiler(name: str):
+    """Instantiate a compiler from its registry name."""
+    try:
+        return COMPILER_FACTORIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown compiler {name!r} (want one of {', '.join(sorted(COMPILER_FACTORIES))})"
+        ) from None
+
+
 #: The paper's four compared systems, in Table 2 column order.
 def table2_compilers():
-    return (
-        MuraliCompiler(),
-        DaiCompiler(),
-        MqtLikeCompiler(),
-        MussTiCompiler(),
-    )
+    return tuple(make_compiler(name) for name in TABLE2_COMPILER_NAMES)
+
+
+def machine_from_spec(spec: str, num_qubits: int) -> Machine:
+    """Resolve a machine spec string.
+
+    * ``grid:RxC:CAP`` — monolithic QCCD grid (baseline hardware).
+    * ``eml[:CAP[:OPTICAL]]`` — EML-QCCD sized to the circuit (§4 rule).
+    """
+    parts = spec.split(":")
+    if parts[0] == "grid":
+        if len(parts) != 3:
+            raise ValueError(f"grid spec must be grid:RxC:CAP, got {spec!r}")
+        rows_text, _, cols_text = parts[1].partition("x")
+        return QCCDGridMachine(int(rows_text), int(cols_text), int(parts[2]))
+    if parts[0] == "eml":
+        capacity = int(parts[1]) if len(parts) > 1 else 16
+        optical = int(parts[2]) if len(parts) > 2 else 1
+        layout = ModuleLayout(num_optical=optical)
+        return EMLQCCDMachine.for_circuit_size(
+            num_qubits, trap_capacity=capacity, layout=layout
+        )
+    raise ValueError(f"unknown machine spec {spec!r} (want grid:... or eml...)")
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Flatten a :class:`RunResult` into a JSON-serialisable cell payload."""
+    return asdict(result)
 
 
 def small_grid(kind: str) -> QCCDGridMachine:

@@ -1,0 +1,48 @@
+"""Parallel sweep engine with on-disk result caching.
+
+Experiments declare grids of independent *cells* (workload x machine x
+compiler config); this package executes them — serially or across a
+process pool — memoises each cell's result on disk keyed by
+(experiment, cell params, config fingerprint), and reassembles the
+driver's row format in deterministic order.
+
+Entry points::
+
+    from repro.bench import sweep
+    result = sweep("table2", jobs=4)
+    print(result.rows)
+
+or from the shell::
+
+    python -m repro bench table2 --jobs 4
+    python -m repro bench list
+    python -m repro bench clear-cache
+    python -m repro bench sweep -w GHZ_n64 -m eml -m grid:2x2:12 -c muss-ti
+"""
+
+from .cache import ResultCache, config_fingerprint, default_cache_dir
+from .cells import cell_key, describe_cell, matches_filter, parse_filter
+from .engine import (
+    CellOutcome,
+    SweepResult,
+    experiment_registry,
+    resolve_experiment,
+    stderr_progress,
+    sweep,
+)
+
+__all__ = [
+    "CellOutcome",
+    "ResultCache",
+    "SweepResult",
+    "cell_key",
+    "config_fingerprint",
+    "default_cache_dir",
+    "describe_cell",
+    "experiment_registry",
+    "matches_filter",
+    "parse_filter",
+    "resolve_experiment",
+    "stderr_progress",
+    "sweep",
+]

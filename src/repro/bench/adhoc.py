@@ -1,0 +1,75 @@
+"""Ad-hoc sweeps: any workload x machine x compiler grid from the CLI.
+
+The paper's drivers cover fixed grids; this driver lets ``repro bench
+sweep`` explore arbitrary scenario combinations — every registered
+workload family at any size, both machine families, and every named
+compiler — through the same cell engine and cache as the canonical
+experiments.
+"""
+
+from __future__ import annotations
+
+from ..analysis.runs import (
+    benchmark_circuit,
+    machine_from_spec,
+    make_compiler,
+    result_to_dict,
+    run_case,
+)
+from ..analysis.tables import format_fidelity, render_table
+
+DEFAULT_MACHINES = ("eml",)
+DEFAULT_COMPILERS = ("muss-ti",)
+
+
+def cells(
+    workloads=(),
+    machines=DEFAULT_MACHINES,
+    compilers=DEFAULT_COMPILERS,
+) -> list[dict]:
+    """One cell per (workload, machine spec, compiler name)."""
+    if not workloads:
+        raise ValueError("an ad-hoc sweep needs at least one workload")
+    return [
+        {"workload": workload, "machine": machine, "compiler": compiler}
+        for workload in workloads
+        for machine in machines
+        for compiler in compilers
+    ]
+
+
+def run_cell(spec: dict) -> dict:
+    circuit = benchmark_circuit(spec["workload"])
+    machine = machine_from_spec(spec["machine"], circuit.num_qubits)
+    compiler = make_compiler(spec["compiler"])
+    return result_to_dict(run_case(compiler, circuit, machine))
+
+
+def assemble(pairs) -> list[dict]:
+    rows = []
+    for spec, result in pairs:
+        rows.append(
+            {
+                "workload": spec["workload"],
+                "machine": spec["machine"],
+                "compiler": result["compiler"],
+                "shuttles": result["shuttle_count"],
+                "time_us": round(result["execution_time_us"]),
+                "fidelity": format_fidelity(
+                    result["fidelity"], result["log10_fidelity"]
+                ),
+                "compile_s": round(result["compile_time_s"], 3),
+            }
+        )
+    return rows
+
+
+def run(workloads=(), machines=DEFAULT_MACHINES, compilers=DEFAULT_COMPILERS) -> list[dict]:
+    specs = cells(workloads, machines, compilers)
+    return assemble([(spec, run_cell(spec)) for spec in specs])
+
+
+def render(rows: list[dict]) -> str:
+    headers = ["workload", "machine", "compiler", "shuttles", "time_us", "fidelity", "compile_s"]
+    body = [[row[h] for h in headers] for row in rows]
+    return render_table(headers, body, title="Ad-hoc sweep")

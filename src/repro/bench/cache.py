@@ -1,0 +1,131 @@
+"""On-disk JSON result cache for the sweep engine.
+
+One JSON file per experiment, holding ``{cell key: entry}`` plus the
+*config fingerprint* the entries were computed under.  The fingerprint is
+a content hash of every ``.py`` file of the :mod:`repro` package, so any
+code change — physics constants, scheduler heuristics, workload
+generators — silently invalidates stale results instead of serving them.
+
+Cache layout::
+
+    <cache root>/<experiment>.json
+        {"fingerprint": "...", "entries": {"<cell key>": {"result": {...},
+                                                          "elapsed_s": 1.23}}}
+
+The root defaults to ``~/.cache/repro-bench`` (respecting
+``XDG_CACHE_HOME``) and can be overridden with the ``REPRO_BENCH_CACHE``
+environment variable or the ``--cache-dir`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+
+_ENV_VAR = "REPRO_BENCH_CACHE"
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
+_fingerprint: str | None = None
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    override = os.environ.get(_ENV_VAR)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-bench"
+
+
+def config_fingerprint() -> str:
+    """Content hash of the repro package source (memoised per process)."""
+    global _fingerprint
+    if _fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+class ResultCache:
+    """Per-experiment memo of cell results, persisted as JSON."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._loaded: dict[str, dict] = {}
+        self._dirty: set[str] = set()
+
+    # -- lookup ----------------------------------------------------------
+
+    def _path(self, experiment: str) -> Path:
+        # Experiment names become file names; refuse anything that could
+        # escape the cache root (e.g. "../elsewhere/file").
+        if not _NAME_RE.match(experiment):
+            raise ValueError(f"invalid experiment name {experiment!r}")
+        return self.root / f"{experiment}.json"
+
+    def _entries(self, experiment: str) -> dict:
+        if experiment not in self._loaded:
+            entries: dict = {}
+            path = self._path(experiment)
+            if path.exists():
+                try:
+                    payload = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    payload = {}
+                if payload.get("fingerprint") == config_fingerprint():
+                    entries = payload.get("entries", {})
+            self._loaded[experiment] = entries
+        return self._loaded[experiment]
+
+    def get(self, experiment: str, key: str) -> dict | None:
+        """Return the cached entry ``{"result": ..., "elapsed_s": ...}``."""
+        return self._entries(experiment).get(key)
+
+    def put(self, experiment: str, key: str, result: dict, elapsed_s: float) -> None:
+        self._entries(experiment)[key] = {"result": result, "elapsed_s": elapsed_s}
+        self._dirty.add(experiment)
+
+    def count(self, experiment: str) -> int:
+        return len(self._entries(experiment))
+
+    # -- persistence -----------------------------------------------------
+
+    def flush(self) -> None:
+        """Atomically persist every experiment touched by :meth:`put`."""
+        for experiment in sorted(self._dirty):
+            self.root.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "fingerprint": config_fingerprint(),
+                "entries": self._entries(experiment),
+            }
+            path = self._path(experiment)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(path)
+        self._dirty.clear()
+
+    def clear(self, experiment: str | None = None) -> int:
+        """Drop cached results; returns the number of files removed."""
+        if experiment is not None:
+            targets = [self._path(experiment)]
+        elif self.root.is_dir():
+            targets = sorted(self.root.glob("*.json"))
+        else:
+            targets = []
+        removed = 0
+        for path in targets:
+            if path.exists():
+                path.unlink()
+                removed += 1
+            self._loaded.pop(path.stem, None)
+            self._dirty.discard(path.stem)
+        return removed

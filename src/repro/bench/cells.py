@@ -1,0 +1,72 @@
+"""Cell specs: the unit of work of the sweep engine.
+
+A *cell* is one independent point of an experiment's evaluation grid —
+typically (workload x machine x compiler config).  Experiment drivers
+declare their grid as a list of plain JSON-scalar dicts; the engine
+executes each dict through the driver's ``run_cell`` and hands the
+(spec, result) pairs back to ``assemble``.
+
+Keeping specs as plain dicts keeps them picklable (for the process pool)
+and JSON-serialisable (for the on-disk cache key).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shlex
+from collections.abc import Iterable
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def cell_key(spec: dict) -> str:
+    """Canonical, order-independent string form of a cell spec.
+
+    Used both as the cache key and as the target of ``--filter`` substring
+    terms.
+    """
+    for name, value in spec.items():
+        if not isinstance(value, _SCALARS):
+            raise TypeError(
+                f"cell spec field {name!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+    return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+
+
+def describe_cell(spec: dict) -> str:
+    """Human-readable ``k=v`` rendering, in the driver's field order."""
+    return " ".join(f"{name}={value}" for name, value in spec.items())
+
+
+def parse_filter(text: str) -> list[str]:
+    """Split a ``--filter`` expression into terms (AND semantics).
+
+    Terms separate on whitespace and commas; quote a value that contains
+    spaces, e.g. ``"arm='SABRE + SWAP Insert'"``.
+    """
+    try:
+        return shlex.split(text.replace(",", " "))
+    except ValueError:  # unbalanced quotes: fall back to a plain split
+        return [term for term in re.split(r"[,\s]+", text) if term]
+
+
+def matches_filter(spec: dict, terms: Iterable[str]) -> bool:
+    """True when *spec* satisfies every filter term.
+
+    A ``key=value`` term requires the spec to carry that key with exactly
+    that (stringified) value; a bare term matches as a substring of the
+    canonical key.
+    """
+    key = cell_key(spec)
+    for term in terms:
+        if "=" in term:
+            name, _, want = term.partition("=")
+            # Unknown fields fail closed: a term naming a key the spec
+            # doesn't carry selects nothing rather than everything.
+            if name not in spec or str(spec[name]) != want:
+                return False
+            continue
+        if term not in key:
+            return False
+    return True

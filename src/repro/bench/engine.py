@@ -1,0 +1,191 @@
+"""Parallel sweep engine: execute experiment cells, cache, reassemble.
+
+The engine turns a declared grid of independent cells into rows:
+
+1. ask the driver for its cell specs (``module.cells(**cells_kwargs)``),
+2. optionally drop cells that fail the ``--filter`` terms,
+3. satisfy what it can from the on-disk :class:`~repro.bench.cache.ResultCache`,
+4. execute the misses — in-process when ``jobs <= 1``, otherwise through a
+   :class:`concurrent.futures.ProcessPoolExecutor`,
+5. hand (spec, result) pairs to ``module.assemble`` *in declaration order*,
+   so parallel and serial sweeps produce identical rows.
+
+Progress streams through a callback per finished cell; the CLI wires it to
+stderr so stdout stays byte-compatible with the serial runner.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import ModuleType
+
+from .cache import ResultCache
+from .cells import cell_key, describe_cell, matches_filter, parse_filter
+
+
+def experiment_registry() -> dict[str, ModuleType]:
+    """Every sweepable driver: the paper experiments plus extras."""
+    from ..analysis.experiments import ALL_EXPERIMENTS
+    from . import adhoc
+
+    registry = dict(ALL_EXPERIMENTS)
+    registry["adhoc"] = adhoc
+    return registry
+
+
+def resolve_experiment(name: str) -> ModuleType:
+    registry = experiment_registry()
+    if name not in registry:
+        raise KeyError(
+            f"unknown experiment {name!r} (want one of {', '.join(sorted(registry))})"
+        )
+    return registry[name]
+
+
+def _run_cell_task(experiment: str, spec: dict) -> tuple[dict, float]:
+    """Worker entry point: execute one cell, returning (result, seconds)."""
+    module = resolve_experiment(experiment)
+    started = time.perf_counter()
+    result = module.run_cell(spec)
+    return result, time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed (or cache-served) cell."""
+
+    spec: dict
+    result: dict
+    cached: bool
+    elapsed_s: float
+
+    def describe(self) -> str:
+        return describe_cell(self.spec)
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, in deterministic cell order."""
+
+    experiment: str
+    outcomes: list[CellOutcome]
+    rows: list[dict] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def misses(self) -> int:
+        return len(self.outcomes) - self.hits
+
+    @property
+    def compute_seconds(self) -> float:
+        """Worker-side seconds spent on cells executed this sweep."""
+        return sum(o.elapsed_s for o in self.outcomes if not o.cached)
+
+
+ProgressFn = Callable[[str, int, int, CellOutcome], None]
+
+
+def stderr_progress(experiment: str, done: int, total: int, outcome: CellOutcome) -> None:
+    """Default per-cell progress reporter: one line per cell on stderr,
+    keeping stdout reserved for the rendered tables."""
+    import sys
+
+    state = "cached" if outcome.cached else f"{outcome.elapsed_s:.2f}s"
+    print(
+        f"[{experiment} {done}/{total}] {outcome.describe()} ({state})",
+        file=sys.stderr,
+    )
+
+
+def sweep(
+    experiment: str,
+    *,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Path | str | None = None,
+    cell_filter: str | None = None,
+    cells_kwargs: dict | None = None,
+    progress: ProgressFn | None = None,
+) -> SweepResult:
+    """Run one experiment's grid and assemble its rows.
+
+    Args:
+        experiment: registered driver name (``table2``, ``fig6``...,
+            ``ablation``, ``adhoc``).
+        jobs: worker processes; ``<= 1`` runs in-process.
+        use_cache: serve/record results in the on-disk cache.
+        cache_dir: cache root override (default resolved from the env).
+        cell_filter: ``--filter`` expression selecting a cell subset.
+        cells_kwargs: forwarded to the driver's ``cells()`` (the ad-hoc
+            driver takes its grid this way).
+        progress: called as ``progress(experiment, done, total, outcome)``
+            after every cell.
+    """
+    module = resolve_experiment(experiment)
+    specs = list(module.cells(**(cells_kwargs or {})))
+    if cell_filter:
+        terms = parse_filter(cell_filter)
+        specs = [spec for spec in specs if matches_filter(spec, terms)]
+
+    cache = ResultCache(cache_dir) if use_cache else None
+    keys = [cell_key(spec) for spec in specs]
+    outcomes: list[CellOutcome | None] = [None] * len(specs)
+    done = 0
+
+    def record(index: int, outcome: CellOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(experiment, done, len(specs), outcome)
+
+    pending: list[int] = []
+    for index, spec in enumerate(specs):
+        entry = cache.get(experiment, keys[index]) if cache is not None else None
+        if entry is not None:
+            record(
+                index,
+                CellOutcome(spec, entry["result"], True, entry["elapsed_s"]),
+            )
+        else:
+            pending.append(index)
+
+    try:
+        if jobs <= 1 or len(pending) <= 1:
+            for index in pending:
+                result, elapsed = _run_cell_task(experiment, specs[index])
+                if cache is not None:
+                    cache.put(experiment, keys[index], result, elapsed)
+                record(index, CellOutcome(specs[index], result, False, elapsed))
+        elif pending:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_cell_task, experiment, specs[index]): index
+                    for index in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index = futures[future]
+                        result, elapsed = future.result()
+                        if cache is not None:
+                            cache.put(experiment, keys[index], result, elapsed)
+                        record(
+                            index, CellOutcome(specs[index], result, False, elapsed)
+                        )
+    finally:
+        if cache is not None:
+            cache.flush()
+
+    completed = [outcome for outcome in outcomes if outcome is not None]
+    rows = module.assemble([(o.spec, o.result) for o in completed])
+    return SweepResult(experiment, completed, rows)

@@ -1,4 +1,4 @@
-"""Command-line interface: compile, inspect and compare from the shell.
+"""Command-line interface: compile, inspect, compare and sweep from the shell.
 
 Usage::
 
@@ -7,6 +7,10 @@ Usage::
     python -m repro compile GHZ_n128 --machine eml --compiler trivial
     python -m repro compile BV_n64 --machine eml --timeline
     python -m repro compare QAOA_n128
+    python -m repro bench table2 --jobs 4
+    python -m repro bench list
+    python -m repro bench clear-cache fig7
+    python -m repro bench sweep -w GHZ_n64 -m eml -m grid:2x2:12 -c muss-ti -c dai
 
 Machine specs:
 
@@ -17,26 +21,27 @@ Machine specs:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 from .analysis import format_fidelity, render_table
-from .baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
-from .core import MussTiCompiler, MussTiConfig
-from .hardware import EMLQCCDMachine, Machine, ModuleLayout, QCCDGridMachine
+from .analysis.runs import COMPILER_FACTORIES, machine_from_spec
+from .bench import (
+    ResultCache,
+    default_cache_dir,
+    describe_cell,
+    experiment_registry,
+    stderr_progress,
+    sweep,
+)
 from .physics import PhysicalParams
 from .sim import execute, fidelity_breakdown, render_breakdown, verify_program
 from .sim.trace import render_timeline, save_trace
 from .workloads import available_benchmarks, get_benchmark
 
-COMPILERS = {
-    "muss-ti": lambda: MussTiCompiler(),
-    "trivial": lambda: MussTiCompiler(MussTiConfig.trivial()),
-    "sabre": lambda: MussTiCompiler(MussTiConfig.sabre_only()),
-    "swap-insert": lambda: MussTiCompiler(MussTiConfig.swap_insert_only()),
-    "murali": MuraliCompiler,
-    "dai": DaiCompiler,
-    "mqt": MqtLikeCompiler,
-}
+#: Compiler registry, shared with the experiment drivers.
+COMPILERS = COMPILER_FACTORIES
 
 PARAMS = {
     "default": PhysicalParams,
@@ -44,23 +49,8 @@ PARAMS = {
     "perfect-shuttle": lambda: PhysicalParams().perfect_shuttle(),
 }
 
-
-def parse_machine(spec: str, num_qubits: int) -> Machine:
-    """Resolve a machine spec string (see module docstring)."""
-    parts = spec.split(":")
-    if parts[0] == "grid":
-        if len(parts) != 3:
-            raise ValueError(f"grid spec must be grid:RxC:CAP, got {spec!r}")
-        rows_text, _, cols_text = parts[1].partition("x")
-        return QCCDGridMachine(int(rows_text), int(cols_text), int(parts[2]))
-    if parts[0] == "eml":
-        capacity = int(parts[1]) if len(parts) > 1 else 16
-        optical = int(parts[2]) if len(parts) > 2 else 1
-        layout = ModuleLayout(num_optical=optical)
-        return EMLQCCDMachine.for_circuit_size(
-            num_qubits, trap_capacity=capacity, layout=layout
-        )
-    raise ValueError(f"unknown machine spec {spec!r} (want grid:... or eml...)")
+#: Resolve a machine spec string (see module docstring).
+parse_machine = machine_from_spec
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -132,6 +122,130 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        cell_filter=args.filter,
+        progress=stderr_progress if not args.quiet else None,
+    )
+
+
+def _print_sweep(name: str, result, render, elapsed: float, filtered: bool) -> None:
+    if filtered:
+        # A filtered sweep may cover only part of each row, so the driver's
+        # paper-style renderer can't be trusted; show the raw cells instead.
+        for outcome in result.outcomes:
+            print(f"{describe_cell(outcome.spec)} -> {outcome.result}")
+    else:
+        print(render(result.rows))
+    print(
+        f"[{name}: {len(result.outcomes)} cells, {result.hits} cached, "
+        f"{len(result.rows)} rows in {elapsed:.1f} s]"
+    )
+    print()
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    registry = experiment_registry()
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(name for name in registry if name != "adhoc")
+    unknown = [name for name in names if name not in registry or name == "adhoc"]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(use 'repro bench sweep' for ad-hoc grids)",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        started = time.perf_counter()
+        result = sweep(name, **_sweep_kwargs(args))
+        elapsed = time.perf_counter() - started
+        _print_sweep(name, result, registry[name].render, elapsed, bool(args.filter))
+    return 0
+
+
+def _cmd_bench_sweep(args: argparse.Namespace) -> int:
+    cells_kwargs = dict(
+        workloads=tuple(args.workload),
+        machines=tuple(args.machine or ["eml"]),
+        compilers=tuple(args.compiler or ["muss-ti"]),
+    )
+    from .bench import adhoc
+
+    started = time.perf_counter()
+    try:
+        result = sweep("adhoc", cells_kwargs=cells_kwargs, **_sweep_kwargs(args))
+    except (ValueError, KeyError) as error:
+        # Bad workload/machine/compiler spec: report cleanly, not a traceback.
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    _print_sweep("adhoc", result, adhoc.render, elapsed, bool(args.filter))
+    return 0
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    registry = experiment_registry()
+    cache = ResultCache(args.cache_dir)
+    print(f"cache: {cache.root}")
+    for name in sorted(registry):
+        module = registry[name]
+        if name == "adhoc":
+            grid = "(grid from 'repro bench sweep' flags)"
+        else:
+            grid = f"{len(module.cells())} cells, {cache.count(name)} cached"
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:10s} {grid:28s} {summary}")
+    return 0
+
+
+def _cmd_bench_clear_cache(args: argparse.Namespace) -> int:
+    if args.experiment is not None and args.experiment not in experiment_registry():
+        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    removed = cache.clear(args.experiment)
+    target = args.experiment or "all experiments"
+    print(f"removed {removed} cache file(s) for {target} under {cache.root}")
+    return 0
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        metavar="N",
+        help="worker processes (default: CPU count)",
+    )
+    parser.add_argument(
+        "--filter",
+        metavar="EXPR",
+        help="run only matching cells, e.g. 'app=GHZ_n128 compiler=muss-ti'",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="ignore the on-disk result cache"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache root (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress on stderr"
+    )
+
+
+#: Explicit bench sub-commands; anything else after ``bench`` is an
+#: experiment name and routes through the implicit ``run``.
+BENCH_SUBCOMMANDS = ("run", "list", "clear-cache", "sweep")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -173,10 +287,81 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--grid", default="grid:3x4:16")
     compare_parser.add_argument("--eml", default="eml")
     compare_parser.set_defaults(handler=_cmd_compare)
+
+    bench_parser = commands.add_parser(
+        "bench", help="parallel, cached experiment sweeps"
+    )
+    bench_commands = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_commands.add_parser(
+        "run", help="run registered experiments through the sweep engine"
+    )
+    bench_run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment names (e.g. table2 fig7), or 'all'",
+    )
+    _add_sweep_flags(bench_run)
+    bench_run.set_defaults(handler=_cmd_bench_run)
+
+    bench_sweep = bench_commands.add_parser(
+        "sweep", help="ad-hoc workload x machine x compiler grid"
+    )
+    bench_sweep.add_argument(
+        "-w",
+        "--workload",
+        action="append",
+        required=True,
+        metavar="NAME",
+        help="workload, repeatable (e.g. -w GHZ_n64 -w Adder_n128)",
+    )
+    bench_sweep.add_argument(
+        "-m",
+        "--machine",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="machine spec, repeatable (default: eml)",
+    )
+    bench_sweep.add_argument(
+        "-c",
+        "--compiler",
+        action="append",
+        default=None,
+        choices=sorted(COMPILERS),
+        metavar="NAME",
+        help="compiler, repeatable (default: muss-ti)",
+    )
+    _add_sweep_flags(bench_sweep)
+    bench_sweep.set_defaults(handler=_cmd_bench_sweep)
+
+    bench_list = bench_commands.add_parser(
+        "list", help="registered experiments and cache population"
+    )
+    bench_list.add_argument("--cache-dir", default=None)
+    bench_list.set_defaults(handler=_cmd_bench_list)
+
+    bench_clear = bench_commands.add_parser(
+        "clear-cache", help="drop cached results (all, or one experiment)"
+    )
+    bench_clear.add_argument("experiment", nargs="?", default=None)
+    bench_clear.add_argument("--cache-dir", default=None)
+    bench_clear.set_defaults(handler=_cmd_bench_clear_cache)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Sugar: ``repro bench table2 --jobs 2`` routes through the implicit
+    # ``run`` sub-command.
+    if (
+        len(argv) >= 2
+        and argv[0] == "bench"
+        and argv[1] not in BENCH_SUBCOMMANDS
+        and argv[1] not in ("-h", "--help")
+    ):
+        argv.insert(1, "run")
     args = build_parser().parse_args(argv)
     return args.handler(args)
 

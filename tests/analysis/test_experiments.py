@@ -9,7 +9,9 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
     EXPERIMENTS,
+    ablation,
     fig7,
     fig8,
     fig9,
@@ -100,6 +102,39 @@ class TestDriverSchemas:
         assert row["Perfect Shuttle/log10F"] >= row["MUSS-TI/log10F"]
         assert "Optimality" in fig13.render(rows)
 
+    def test_ablation_reduced(self):
+        rows = ablation.run(applications=("BV_n128",))
+        assert len(rows) == 1
+        for arm in ablation.ARM_NAMES:
+            assert f"{arm}/shuttles" in rows[0]
+            assert f"{arm}/log10F" in rows[0]
+        assert "Refinement ablation" in ablation.render(rows)
+
+
+class TestCellProtocol:
+    """Every driver declares its grid and reassembles it losslessly."""
+
+    def test_every_driver_exposes_the_protocol(self):
+        for name, module in ALL_EXPERIMENTS.items():
+            for hook in ("cells", "run_cell", "assemble", "run", "render"):
+                assert hasattr(module, hook), f"{name} lacks {hook}"
+
+    def test_cells_are_json_scalar_specs(self):
+        from repro.bench import cell_key
+
+        for name, module in ALL_EXPERIMENTS.items():
+            specs = module.cells()
+            assert specs, f"{name} declares no cells"
+            keys = {cell_key(spec) for spec in specs}
+            assert len(keys) == len(specs), f"{name} has duplicate cells"
+
+    def test_run_is_cells_plus_assemble(self):
+        specs = table2.cells(applications=("GHZ_n32",), grids=("2x2",))
+        pairs = [(spec, table2.run_cell(spec)) for spec in specs]
+        assert table2.assemble(pairs) == table2.run(
+            applications=("GHZ_n32",), grids=("2x2",)
+        )
+
 
 class TestRegistry:
     def test_every_experiment_registered(self):
@@ -114,6 +149,9 @@ class TestRegistry:
             "fig12",
             "fig13",
         }
+
+    def test_all_experiments_adds_the_extras(self):
+        assert set(ALL_EXPERIMENTS) == set(EXPERIMENTS) | {"ablation"}
 
     def test_runner_rejects_unknown(self):
         from repro.analysis.runner import main

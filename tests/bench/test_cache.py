@@ -1,0 +1,103 @@
+"""On-disk result cache: persistence, fingerprint invalidation, clearing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import ResultCache, config_fingerprint, default_cache_dir
+from repro.bench.cache import _ENV_VAR
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("exp", "k") is None
+        cache.put("exp", "k", {"value": 1.5}, elapsed_s=0.25)
+        entry = cache.get("exp", "k")
+        assert entry == {"result": {"value": 1.5}, "elapsed_s": 0.25}
+
+    def test_flush_persists_across_instances(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", "k", {"value": 2}, elapsed_s=0.1)
+        cache.flush()
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.get("exp", "k")["result"] == {"value": 2}
+        assert reloaded.count("exp") == 1
+
+    def test_unflushed_results_stay_in_memory_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", "k", {"value": 2}, elapsed_s=0.1)
+        assert ResultCache(tmp_path).get("exp", "k") is None
+
+    def test_stale_fingerprint_invalidates(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "fingerprint": "not-the-current-code",
+                    "entries": {"k": {"result": {"value": 1}, "elapsed_s": 0.1}},
+                }
+            )
+        )
+        assert ResultCache(tmp_path).get("exp", "k") is None
+
+    def test_current_fingerprint_is_served(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "fingerprint": config_fingerprint(),
+                    "entries": {"k": {"result": {"value": 1}, "elapsed_s": 0.1}},
+                }
+            )
+        )
+        assert ResultCache(tmp_path).get("exp", "k")["result"] == {"value": 1}
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        (tmp_path / "exp.json").write_text("{not json")
+        assert ResultCache(tmp_path).get("exp", "k") is None
+
+    def test_clear_one_experiment(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", "k", {}, 0.1)
+        cache.put("b", "k", {}, 0.1)
+        cache.flush()
+        assert cache.clear("a") == 1
+        assert (tmp_path / "b.json").exists()
+        assert not (tmp_path / "a.json").exists()
+        assert ResultCache(tmp_path).get("a", "k") is None
+
+    def test_path_traversal_rejected(self, tmp_path):
+        import pytest
+
+        cache = ResultCache(tmp_path / "root")
+        with pytest.raises(ValueError, match="invalid experiment name"):
+            cache.clear("../victim/secret")
+        with pytest.raises(ValueError, match="invalid experiment name"):
+            cache.get(".hidden", "k")
+
+    def test_clear_all(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", "k", {}, 0.1)
+        cache.put("b", "k", {}, 0.1)
+        cache.flush()
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+
+
+class TestCacheLocation:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_ENV_VAR, str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+        assert ResultCache().root == tmp_path / "override"
+
+    def test_default_under_cache_home(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(_ENV_VAR, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro-bench"
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        assert config_fingerprint() == config_fingerprint()
+        assert len(config_fingerprint()) == 64

@@ -1,0 +1,54 @@
+"""Cell spec utilities: canonical keys and filter matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import cell_key, describe_cell, matches_filter, parse_filter
+
+
+class TestCellKey:
+    def test_canonical_and_order_independent(self):
+        assert cell_key({"b": 1, "a": "x"}) == cell_key({"a": "x", "b": 1})
+        assert cell_key({"app": "GHZ_n32", "k": 4}) == '{"app":"GHZ_n32","k":4}'
+
+    def test_rejects_non_scalar_fields(self):
+        with pytest.raises(TypeError):
+            cell_key({"app": ["GHZ_n32"]})
+
+    def test_describe_uses_declaration_order(self):
+        assert describe_cell({"grid": "2x2", "app": "BV_n32"}) == "grid=2x2 app=BV_n32"
+
+
+class TestFilter:
+    def test_parse_splits_on_commas_and_spaces(self):
+        assert parse_filter("a=1, b=2  c") == ["a=1", "b=2", "c"]
+
+    def test_key_value_terms_match_exactly(self):
+        spec = {"app": "GHZ_n32", "capacity": 16}
+        assert matches_filter(spec, ["app=GHZ_n32"])
+        assert matches_filter(spec, ["capacity=16"])
+        assert not matches_filter(spec, ["app=GHZ_n128"])
+        assert not matches_filter(spec, ["capacity=1"])
+
+    def test_terms_are_anded(self):
+        spec = {"app": "GHZ_n32", "capacity": 16}
+        assert matches_filter(spec, ["app=GHZ_n32", "capacity=16"])
+        assert not matches_filter(spec, ["app=GHZ_n32", "capacity=12"])
+
+    def test_unknown_key_fails_closed(self):
+        assert not matches_filter({"app": "GHZ_n32"}, ["grid=2x2"])
+
+    def test_bare_terms_match_substring_of_key(self):
+        assert matches_filter({"app": "GHZ_n32"}, ["GHZ"])
+        assert not matches_filter({"app": "GHZ_n32"}, ["SQRT"])
+
+    def test_quoted_values_keep_their_spaces(self):
+        terms = parse_filter("app=BV_n128 arm='SABRE + SWAP Insert'")
+        assert terms == ["app=BV_n128", "arm=SABRE + SWAP Insert"]
+        spec = {"app": "BV_n128", "arm": "SABRE + SWAP Insert"}
+        assert matches_filter(spec, terms)
+        assert not matches_filter({"app": "BV_n128", "arm": "Trivial"}, terms)
+
+    def test_unbalanced_quotes_fall_back_to_plain_split(self):
+        assert parse_filter("app=BV_n128 arm='oops") == ["app=BV_n128", "arm='oops"]

@@ -1,0 +1,115 @@
+"""The ``python -m repro bench`` command surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+def test_bench_list(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table2", "fig13", "ablation", "adhoc"):
+        assert name in out
+    assert "cache:" in out
+
+
+def test_bench_run_implicit_subcommand(capsys):
+    # `bench table2 ...` sugar routes through `bench run`.
+    code = main(
+        ["bench", "table2", "--jobs", "1", "--quiet", "--filter", "grid=2x2 app=GHZ_n32"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "grid=2x2 app=GHZ_n32 compiler=muss-ti" in out
+    assert "[table2: 4 cells, 0 cached" in out
+
+
+def test_bench_run_unfiltered_renders_paper_table(capsys):
+    assert main(["bench", "table2", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2 - Shuttle Count" in out
+    assert "[table2: 48 cells" in out
+
+
+def test_bench_run_uses_cache_on_second_invocation(capsys):
+    args = ["bench", "run", "table2", "--quiet", "--filter", "grid=2x2 app=GHZ_n32"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0
+    assert "4 cached" in capsys.readouterr().out
+
+
+def test_bench_run_rejects_unknown_experiment(capsys):
+    assert main(["bench", "run", "nope", "--quiet"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_bench_sweep_adhoc_grid(capsys):
+    code = main(
+        [
+            "bench",
+            "sweep",
+            "-w",
+            "GHZ_n16",
+            "-m",
+            "grid:2x2:12",
+            "-c",
+            "muss-ti",
+            "-c",
+            "murali",
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Ad-hoc sweep" in out
+    assert "QCCD-Murali" in out and "MUSS-TI" in out
+
+
+def test_bench_clear_cache(capsys):
+    run = ["bench", "table2", "--quiet", "--filter", "grid=2x2 app=GHZ_n32"]
+    assert main(run) == 0
+    capsys.readouterr()
+    assert main(["bench", "clear-cache", "table2"]) == 0
+    assert "removed 1 cache file(s)" in capsys.readouterr().out
+    # After clearing, the same run recomputes.
+    assert main(run) == 0
+    assert "0 cached" in capsys.readouterr().out
+
+
+def test_bench_sweep_bad_specs_fail_cleanly(capsys):
+    assert main(["bench", "sweep", "-w", "GHZ_n16", "-m", "mesh:2x2", "--quiet"]) == 2
+    assert "unknown machine spec" in capsys.readouterr().err
+    assert main(["bench", "sweep", "-w", "NOPE_n4", "--quiet"]) == 2
+    assert "unknown benchmark family" in capsys.readouterr().err
+
+
+def test_bench_clear_cache_empty(capsys):
+    assert main(["bench", "clear-cache"]) == 0
+    assert "removed 0 cache file(s)" in capsys.readouterr().out
+
+
+def test_bench_clear_cache_rejects_unregistered_names(capsys):
+    assert main(["bench", "clear-cache", "../victim/secret"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_analysis_runner_routes_through_engine(capsys):
+    from repro.analysis.runner import main as analysis_main
+
+    assert analysis_main(["table2"]) == 0
+    first = capsys.readouterr().out
+    assert "Table 2 - Shuttle Count" in first
+    assert "[table2: 12 rows in" in first
+    # Second invocation is served from the cache and prints the same table.
+    assert analysis_main(["table2"]) == 0
+    second = capsys.readouterr().out
+    assert first.split("[table2")[0] == second.split("[table2")[0]

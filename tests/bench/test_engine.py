@@ -1,0 +1,128 @@
+"""Sweep engine: determinism, caching, filtering, registry.
+
+Real (reduced-size) experiment cells are used throughout so the tests
+exercise the same driver protocol the production runner does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ALL_EXPERIMENTS, table2
+from repro.bench import experiment_registry, resolve_experiment, sweep
+
+REDUCED = {"applications": ("GHZ_n32",), "grids": ("2x2",)}
+
+
+class TestRegistry:
+    def test_contains_all_drivers_plus_adhoc(self):
+        registry = experiment_registry()
+        assert set(registry) == set(ALL_EXPERIMENTS) | {"adhoc"}
+        assert "ablation" in registry
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError, match="not-a-driver"):
+            resolve_experiment("not-a-driver")
+
+    def test_driver_protocol_surface(self):
+        for name, module in experiment_registry().items():
+            for hook in ("cells", "run_cell", "assemble", "run", "render"):
+                assert hasattr(module, hook), f"{name} lacks {hook}"
+
+
+class TestDeterminism:
+    def test_matches_serial_driver(self, tmp_path):
+        result = sweep("table2", cache_dir=tmp_path, cells_kwargs=REDUCED)
+        assert result.rows == table2.run(**REDUCED)
+
+    def test_parallel_equals_serial(self, tmp_path):
+        serial = sweep("table2", jobs=1, use_cache=False, cells_kwargs=REDUCED)
+        parallel = sweep("table2", jobs=2, use_cache=False, cells_kwargs=REDUCED)
+        assert serial.rows == parallel.rows
+        assert [o.spec for o in serial.outcomes] == [o.spec for o in parallel.outcomes]
+
+
+class TestCaching:
+    def test_second_sweep_is_all_hits(self, tmp_path):
+        cold = sweep("table2", cache_dir=tmp_path, cells_kwargs=REDUCED)
+        assert cold.hits == 0 and cold.misses == 4
+        warm = sweep("table2", cache_dir=tmp_path, cells_kwargs=REDUCED)
+        assert warm.hits == 4 and warm.misses == 0
+        assert warm.rows == cold.rows
+        assert warm.compute_seconds == 0.0
+
+    def test_no_cache_never_reads_or_writes(self, tmp_path):
+        sweep("table2", use_cache=False, cache_dir=tmp_path, cells_kwargs=REDUCED)
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_partial_overlap_reuses_common_cells(self, tmp_path):
+        sweep("table2", cache_dir=tmp_path, cells_kwargs=REDUCED)
+        wider = sweep(
+            "table2",
+            cache_dir=tmp_path,
+            cells_kwargs={"applications": ("GHZ_n32", "BV_n32"), "grids": ("2x2",)},
+        )
+        assert wider.hits == 4 and wider.misses == 4
+
+
+class TestFilter:
+    def test_filter_selects_cell_subset(self):
+        result = sweep(
+            "table2",
+            use_cache=False,
+            cells_kwargs=REDUCED,
+            cell_filter="compiler=muss-ti",
+        )
+        assert len(result.outcomes) == 1
+        assert result.outcomes[0].spec["compiler"] == "muss-ti"
+        # Partial rows still assemble from whatever cells ran.
+        assert result.rows[0]["MUSS-TI/shuttles"] >= 0
+
+    def test_filter_matching_nothing(self):
+        result = sweep(
+            "table2", use_cache=False, cells_kwargs=REDUCED, cell_filter="app=nope"
+        )
+        assert result.outcomes == [] and result.rows == []
+
+
+class TestProgress:
+    def test_callback_streams_every_cell(self, tmp_path):
+        seen = []
+        sweep(
+            "table2",
+            cache_dir=tmp_path,
+            cells_kwargs=REDUCED,
+            progress=lambda name, done, total, outcome: seen.append(
+                (name, done, total, outcome.cached)
+            ),
+        )
+        assert [s[:3] for s in seen] == [("table2", i, 4) for i in range(1, 5)]
+        assert all(not cached for *_, cached in seen)
+        seen.clear()
+        sweep(
+            "table2",
+            cache_dir=tmp_path,
+            cells_kwargs=REDUCED,
+            progress=lambda name, done, total, outcome: seen.append(outcome.cached),
+        )
+        assert seen == [True] * 4
+
+
+class TestAdhoc:
+    def test_grid_is_workload_x_machine_x_compiler(self):
+        result = sweep(
+            "adhoc",
+            use_cache=False,
+            cells_kwargs={
+                "workloads": ("GHZ_n16", "BV_n16"),
+                "machines": ("grid:2x2:12",),
+                "compilers": ("muss-ti", "murali"),
+            },
+        )
+        assert len(result.rows) == 4
+        assert {row["compiler"] for row in result.rows} == {"MUSS-TI", "QCCD-Murali"}
+        assert {row["workload"] for row in result.rows} == {"GHZ_n16", "BV_n16"}
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError, match="at least one workload"):
+            sweep("adhoc", use_cache=False)
