@@ -15,15 +15,14 @@ from __future__ import annotations
 
 import sys
 
-from repro import EMLQCCDMachine, execute, get_benchmark
+import repro
 from repro.analysis import render_table
-from repro.core import MussTiCompiler
 
 
 def main() -> int:
     name = sys.argv[1] if len(sys.argv) > 1 else "BV_n128"
     capacities = [int(arg) for arg in sys.argv[2:]] or [12, 14, 16, 18, 20]
-    circuit = get_benchmark(name)
+    circuit = repro.get_benchmark(name)
     print(f"application : {circuit.name} ({circuit.num_qubits} qubits)")
     print(f"capacities  : {capacities}")
     print()
@@ -31,11 +30,11 @@ def main() -> int:
     rows = []
     best = None
     for capacity in capacities:
-        machine = EMLQCCDMachine.for_circuit_size(
-            circuit.num_qubits, trap_capacity=capacity
+        # "eml:CAP" machine specs size the machine to the circuit (§4 rule).
+        machine = repro.machine_from_spec(
+            f"eml:{capacity}", circuit.num_qubits
         )
-        program = MussTiCompiler().compile(circuit, machine)
-        report = execute(program)
+        report = repro.compile(circuit, machine).execute()
         rows.append(
             [
                 capacity,

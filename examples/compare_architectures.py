@@ -14,17 +14,17 @@ from __future__ import annotations
 
 import sys
 
-from repro import EMLQCCDMachine, QCCDGridMachine, execute, get_benchmark
+import repro
 from repro.analysis import format_fidelity, improvement_percent, render_table
-from repro.baselines import DaiCompiler, MuraliCompiler
-from repro.core import MussTiCompiler
 
 
 def main() -> int:
     name = sys.argv[1] if len(sys.argv) > 1 else "Adder_n128"
-    circuit = get_benchmark(name)
-    grid = QCCDGridMachine(3, 4, 16)
-    eml = EMLQCCDMachine.for_circuit_size(circuit.num_qubits, trap_capacity=16)
+    circuit = repro.get_benchmark(name)
+    grid = repro.QCCDGridMachine(3, 4, 16)
+    eml = repro.EMLQCCDMachine.for_circuit_size(
+        circuit.num_qubits, trap_capacity=16
+    )
 
     print(f"application  : {circuit.name} "
           f"({circuit.num_qubits} qubits, {len(circuit)} gates)")
@@ -32,24 +32,22 @@ def main() -> int:
     print(f"MUSS-TI hw   : {eml.describe()}")
     print()
 
-    runs = [
-        (MuraliCompiler(), grid),
-        (DaiCompiler(), grid),
-        (MussTiCompiler(), eml),
-    ]
+    # Compilers come from the registry by name; each runs on the hardware
+    # family the paper evaluates it on.
+    runs = [("murali", grid), ("dai", grid), ("muss-ti", eml)]
     rows = []
     reports = {}
-    for compiler, machine in runs:
-        program = compiler.compile(circuit, machine)
-        report = execute(program)
-        reports[program.compiler_name] = report
+    for spec, machine in runs:
+        result = repro.compile(circuit, machine, compiler=spec)
+        report = result.execute()
+        reports[result.compiler_name] = report
         rows.append(
             [
-                program.compiler_name,
+                result.compiler_name,
                 report.shuttle_count,
                 f"{report.execution_time_us:.0f}",
                 format_fidelity(report.fidelity, report.log10_fidelity),
-                f"{program.compile_time_s:.2f}",
+                f"{result.compile_time_s:.2f}",
             ]
         )
     print(

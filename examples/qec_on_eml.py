@@ -15,10 +15,9 @@ from __future__ import annotations
 
 import sys
 
-from repro import EMLQCCDMachine, execute, verify_program
+import repro
 from repro.analysis import render_table
 from repro.analysis.charts import bar_chart, sparkline
-from repro.core import MussTiCompiler
 from repro.workloads import surface_code_cycle
 
 
@@ -29,10 +28,8 @@ def main() -> int:
     shuttle_series = []
     for distance in distances:
         circuit = surface_code_cycle(distance, rounds=rounds).without_non_unitary()
-        machine = EMLQCCDMachine.for_circuit_size(circuit.num_qubits)
-        program = MussTiCompiler().compile(circuit, machine)
-        verify_program(program)
-        report = execute(program)
+        machine = repro.EMLQCCDMachine.for_circuit_size(circuit.num_qubits)
+        report = repro.compile(circuit, machine, verify=True).execute()
         rows.append(
             [
                 f"d={distance}",

@@ -15,29 +15,29 @@ from __future__ import annotations
 
 import sys
 
-from repro import EMLQCCDMachine, execute, get_benchmark, verify_program
-from repro.core import MussTiCompiler
+import repro
 
 
 def main() -> int:
     name = sys.argv[1] if len(sys.argv) > 1 else "GHZ_n32"
-    circuit = get_benchmark(name)
+    circuit = repro.get_benchmark(name)
     print(f"circuit      : {circuit.name}")
     print(f"  qubits     : {circuit.num_qubits}")
     print(f"  gates      : {len(circuit)} "
           f"({circuit.num_two_qubit_gates} two-qubit)")
     print(f"  depth      : {circuit.depth()}")
 
-    machine = EMLQCCDMachine.for_circuit_size(circuit.num_qubits)
+    machine = repro.EMLQCCDMachine.for_circuit_size(circuit.num_qubits)
     print(f"machine      : {machine.describe()}")
 
-    compiler = MussTiCompiler()
-    program = compiler.compile(circuit, machine)
-    verify_program(program)  # both legality layers; raises on any bug
-    print(f"compiled     : {program.num_operations} ops "
-          f"in {program.compile_time_s:.3f} s (schedule verified)")
+    # One call: resolve the compiler from the registry, compile, and run
+    # both schedule-legality layers (verify=True raises on any bug).
+    result = repro.compile(circuit, machine, compiler="muss-ti", verify=True)
+    print(f"compiled     : {result.num_operations} ops "
+          f"in {result.compile_time_s:.3f} s (schedule verified)")
+    print(f"  pipeline   : {', '.join(sorted(result.pass_stats))}")
 
-    report = execute(program)
+    report = result.execute()
     print()
     print(report.summary())
     return 0

@@ -13,11 +13,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro import execute, get_benchmark, verify_program
+import repro
+from repro import QuantumCircuit
 from repro.analysis import render_table
-from repro.circuits import QuantumCircuit
-from repro.core import MussTiCompiler, MussTiConfig
-from repro.hardware import EMLQCCDMachine
 from repro.sim import FiberGateOp, SwapGateOp
 
 
@@ -38,21 +36,23 @@ def describe(program) -> dict[str, int]:
 
 def main() -> int:
     circuit = figure5_circuit()
-    machine = EMLQCCDMachine(num_modules=2, trap_capacity=4, module_qubit_limit=8)
+    machine = repro.EMLQCCDMachine(
+        num_modules=2, trap_capacity=4, module_qubit_limit=8
+    )
     print("scenario: q0 (module 0) must interact with q8..q15 (module 1)")
     print(f"machine : {machine.describe()}")
     print()
 
+    # The two pipeline variants, straight from the compiler registry.
     arms = [
-        ("without SWAP insertion", MussTiConfig.trivial()),
-        ("with SWAP insertion", MussTiConfig.swap_insert_only()),
+        ("without SWAP insertion", "trivial"),
+        ("with SWAP insertion", "swap-insert"),
     ]
     rows = []
-    for label, config in arms:
-        program = MussTiCompiler(config).compile(circuit, machine)
-        verify_program(program)
-        report = execute(program)
-        stats = describe(program)
+    for label, spec in arms:
+        result = repro.compile(circuit, machine, compiler=spec, verify=True)
+        report = result.execute()
+        stats = describe(result.program)
         rows.append(
             [
                 label,
@@ -75,13 +75,11 @@ def main() -> int:
 
     # Show it on a real workload too: Bernstein-Vazirani's shared ancilla.
     print()
-    bv = get_benchmark("BV_n64")
-    eml = EMLQCCDMachine.for_circuit_size(64, trap_capacity=16)
     rows = []
-    for label, config in arms:
-        program = MussTiCompiler(config).compile(bv, eml)
-        report = execute(program)
-        stats = describe(program)
+    for label, spec in arms:
+        result = repro.compile("BV_n64", "eml:16", compiler=spec)
+        report = result.execute()
+        stats = describe(result.program)
         rows.append(
             [
                 label,

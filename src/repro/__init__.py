@@ -7,7 +7,23 @@ hardware and physics models, the MUSS-TI compiler, three baseline compilers
 (Murali et al., Dai et al., MQT-like), a schedule executor/verifier, and the
 experiment harness regenerating every table and figure of the paper.
 
-Quickstart::
+Quickstart — the :func:`repro.compile` facade resolves benchmark names,
+machine specs and compiler specs in one call::
+
+    import repro
+
+    result = repro.compile("GHZ_n32", "eml", verify=True)
+    print(result.execute().summary())
+
+Compilers are looked up in a single registry by *spec string* —
+``"muss-ti"``, ``"muss-ti?lookahead_k=4"``, ``"murali"``, ``"dai"``,
+``"mqt"``, or the ablation arms ``"trivial"`` / ``"sabre"`` /
+``"swap-insert"`` — and new ones plug in with
+:func:`repro.register_compiler`.  Under the hood MUSS-TI is a
+:class:`~repro.pipeline.PassPipeline` of composable passes (placement,
+scheduling, SWAP insertion policy); see :mod:`repro.pipeline`.
+
+The class-based API remains fully supported::
 
     from repro import (EMLQCCDMachine, MussTiCompiler, execute, get_benchmark)
 
@@ -32,9 +48,21 @@ from .hardware import (
     ModuleLayout,
     QCCDGridMachine,
     ZoneKind,
+    machine_from_spec,
     paper_grid,
 )
 from .physics import DEFAULT_PARAMS, PhysicalParams
+from .pipeline import (
+    CompileResult,
+    CompilerRegistry,
+    PassPipeline,
+    available_compilers,
+    build_muss_ti_pipeline,
+    compile,
+    default_registry,
+    register_compiler,
+    resolve_compiler,
+)
 from .sim import (
     ExecutionReport,
     Program,
@@ -44,10 +72,12 @@ from .sim import (
 )
 from .workloads import available_benchmarks, get_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_PARAMS",
+    "CompileResult",
+    "CompilerRegistry",
     "DaiCompiler",
     "DependencyGraph",
     "EMLQCCDMachine",
@@ -59,18 +89,26 @@ __all__ = [
     "MuraliCompiler",
     "MussTiCompiler",
     "MussTiConfig",
+    "PassPipeline",
     "PhysicalParams",
     "Program",
     "QCCDGridMachine",
     "QuantumCircuit",
     "ZoneKind",
     "available_benchmarks",
+    "available_compilers",
+    "build_muss_ti_pipeline",
+    "compile",
+    "default_registry",
     "execute",
     "get_benchmark",
     "is_valid",
     "lower_to_native",
+    "machine_from_spec",
     "parse_qasm",
     "paper_grid",
+    "register_compiler",
+    "resolve_compiler",
     "verify_program",
     "__version__",
 ]

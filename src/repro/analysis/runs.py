@@ -10,13 +10,33 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-from ..baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
 from ..circuits import QuantumCircuit
 from ..core import MussTiCompiler, MussTiConfig
-from ..hardware import EMLQCCDMachine, Machine, ModuleLayout, QCCDGridMachine
+from ..hardware import (
+    EMLQCCDMachine,
+    Machine,
+    ModuleLayout,
+    QCCDGridMachine,
+    machine_from_spec,
+)
 from ..physics import PhysicalParams
+from ..pipeline import default_registry, resolve_compiler
 from ..sim import execute, verify_program
 from ..workloads import get_benchmark
+
+__all__ = [
+    "RunResult",
+    "TABLE2_COMPILER_NAMES",
+    "benchmark_circuit",
+    "eml_for",
+    "machine_from_spec",
+    "make_compiler",
+    "muss_ti",
+    "result_to_dict",
+    "run_case",
+    "small_grid",
+    "table2_compilers",
+]
 
 
 @dataclass(frozen=True)
@@ -45,56 +65,18 @@ class RunResult:
         }
 
 
-#: Compiler factories addressable by name from cell specs and the CLI.
-COMPILER_FACTORIES = {
-    "muss-ti": lambda: MussTiCompiler(),
-    "trivial": lambda: MussTiCompiler(MussTiConfig.trivial()),
-    "sabre": lambda: MussTiCompiler(MussTiConfig.sabre_only()),
-    "swap-insert": lambda: MussTiCompiler(MussTiConfig.swap_insert_only()),
-    "murali": MuraliCompiler,
-    "dai": DaiCompiler,
-    "mqt": MqtLikeCompiler,
-}
-
-#: Table 2 column order, as registry names.
-TABLE2_COMPILER_NAMES = ("murali", "dai", "mqt", "muss-ti")
+#: Table 2 column order, straight from the compiler registry.
+TABLE2_COMPILER_NAMES = default_registry().paper_suite()
 
 
 def make_compiler(name: str):
-    """Instantiate a compiler from its registry name."""
-    try:
-        return COMPILER_FACTORIES[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown compiler {name!r} (want one of {', '.join(sorted(COMPILER_FACTORIES))})"
-        ) from None
+    """Instantiate a compiler from a registry spec (name, or name?k=v...)."""
+    return resolve_compiler(name)
 
 
 #: The paper's four compared systems, in Table 2 column order.
 def table2_compilers():
     return tuple(make_compiler(name) for name in TABLE2_COMPILER_NAMES)
-
-
-def machine_from_spec(spec: str, num_qubits: int) -> Machine:
-    """Resolve a machine spec string.
-
-    * ``grid:RxC:CAP`` — monolithic QCCD grid (baseline hardware).
-    * ``eml[:CAP[:OPTICAL]]`` — EML-QCCD sized to the circuit (§4 rule).
-    """
-    parts = spec.split(":")
-    if parts[0] == "grid":
-        if len(parts) != 3:
-            raise ValueError(f"grid spec must be grid:RxC:CAP, got {spec!r}")
-        rows_text, _, cols_text = parts[1].partition("x")
-        return QCCDGridMachine(int(rows_text), int(cols_text), int(parts[2]))
-    if parts[0] == "eml":
-        capacity = int(parts[1]) if len(parts) > 1 else 16
-        optical = int(parts[2]) if len(parts) > 2 else 1
-        layout = ModuleLayout(num_optical=optical)
-        return EMLQCCDMachine.for_circuit_size(
-            num_qubits, trap_capacity=capacity, layout=layout
-        )
-    raise ValueError(f"unknown machine spec {spec!r} (want grid:... or eml...)")
 
 
 def result_to_dict(result: RunResult) -> dict:

@@ -12,11 +12,15 @@ from __future__ import annotations
 from ..analysis.runs import (
     benchmark_circuit,
     machine_from_spec,
-    make_compiler,
     result_to_dict,
     run_case,
 )
 from ..analysis.tables import format_fidelity, render_table
+from ..pipeline import (
+    format_compiler_spec,
+    parse_compiler_spec,
+    resolve_compiler,
+)
 
 DEFAULT_MACHINES = ("eml",)
 DEFAULT_COMPILERS = ("muss-ti",)
@@ -27,21 +31,33 @@ def cells(
     machines=DEFAULT_MACHINES,
     compilers=DEFAULT_COMPILERS,
 ) -> list[dict]:
-    """One cell per (workload, machine spec, compiler name)."""
+    """One cell per (workload, machine spec, compiler spec)."""
     if not workloads:
         raise ValueError("an ad-hoc sweep needs at least one workload")
+    canonical_compilers = []
+    for compiler in compilers:
+        # Resolve every compiler and machine spec up front so a typo fails
+        # the sweep with a clean message instead of erroring inside a
+        # worker process.  Compiler specs are canonicalised (options sorted
+        # by key) so equivalent specs share one cache key.
+        resolve_compiler(compiler)
+        canonical_compilers.append(
+            format_compiler_spec(*parse_compiler_spec(compiler))
+        )
+    for machine in machines:
+        machine_from_spec(machine, 1)
     return [
         {"workload": workload, "machine": machine, "compiler": compiler}
         for workload in workloads
         for machine in machines
-        for compiler in compilers
+        for compiler in canonical_compilers
     ]
 
 
 def run_cell(spec: dict) -> dict:
     circuit = benchmark_circuit(spec["workload"])
     machine = machine_from_spec(spec["machine"], circuit.num_qubits)
-    compiler = make_compiler(spec["compiler"])
+    compiler = resolve_compiler(spec["compiler"])
     return result_to_dict(run_case(compiler, circuit, machine))
 
 

@@ -5,6 +5,8 @@ Usage::
     python -m repro list
     python -m repro compile Adder_n32 --machine grid:2x2:12
     python -m repro compile GHZ_n128 --machine eml --compiler trivial
+    python -m repro compile BV_n64 --machine eml --compiler "muss-ti?lookahead_k=4"
+    python -m repro compile BV_n64 --machine eml --set optical_slack=0
     python -m repro compile BV_n64 --machine eml --timeline
     python -m repro compare QAOA_n128
     python -m repro bench table2 --jobs 4
@@ -26,7 +28,6 @@ import sys
 import time
 
 from .analysis import format_fidelity, render_table
-from .analysis.runs import COMPILER_FACTORIES, machine_from_spec
 from .bench import (
     ResultCache,
     default_cache_dir,
@@ -35,13 +36,18 @@ from .bench import (
     stderr_progress,
     sweep,
 )
+from .hardware import machine_from_spec
 from .physics import PhysicalParams
-from .sim import execute, fidelity_breakdown, render_breakdown, verify_program
+from .pipeline import (
+    available_compilers,
+    default_registry,
+    parse_option_assignments,
+    resolve_compiler,
+)
+from .pipeline import compile as compile_circuit
+from .sim import execute, fidelity_breakdown, render_breakdown
 from .sim.trace import render_timeline, save_trace
 from .workloads import available_benchmarks, get_benchmark
-
-#: Compiler registry, shared with the experiment drivers.
-COMPILERS = COMPILER_FACTORIES
 
 PARAMS = {
     "default": PhysicalParams,
@@ -68,11 +74,21 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     circuit = get_benchmark(args.benchmark)
-    machine = parse_machine(args.machine, circuit.num_qubits)
-    compiler = COMPILERS[args.compiler]()
-    program = compiler.compile(circuit, machine)
-    if not args.no_verify:
-        verify_program(program)
+    try:
+        machine = parse_machine(args.machine, circuit.num_qubits)
+        overrides = parse_option_assignments(args.set or [])
+        compiler = resolve_compiler(args.compiler, overrides)
+    except ValueError as error:
+        # Bad machine spec, unknown compiler, bad spec/--set key or value:
+        # clean message, no traceback.  Compilation itself runs outside
+        # this guard so real compile-time failures still surface with full
+        # context.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = compile_circuit(
+        circuit, machine, compiler=compiler, verify=not args.no_verify
+    )
+    program = result.program
     params = PARAMS[args.params]()
     report = execute(program, params)
     print(report.summary())
@@ -92,14 +108,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     circuit = get_benchmark(args.benchmark)
     grid = parse_machine(args.grid, circuit.num_qubits)
     eml = parse_machine(args.eml, circuit.num_qubits)
+    registry = default_registry()
     rows = []
-    for key, machine in (
-        ("murali", grid),
-        ("dai", grid),
-        ("mqt", grid),
-        ("muss-ti", eml),
-    ):
-        program = COMPILERS[key]().compile(circuit, machine)
+    for key in registry.paper_suite():
+        entry = registry.entry(key)
+        machine = grid if entry.machine_family == "grid" else eml
+        program = entry.create().compile(circuit, machine)
         report = execute(program)
         rows.append(
             [
@@ -261,7 +275,22 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("benchmark", help="e.g. Adder_n32")
     compile_parser.add_argument("--machine", default="eml", help="grid:RxC:CAP or eml[:CAP[:OPT]]")
     compile_parser.add_argument(
-        "--compiler", choices=sorted(COMPILERS), default="muss-ti"
+        "--compiler",
+        default="muss-ti",
+        metavar="SPEC",
+        help=(
+            "registered compiler, optionally with ?key=value options "
+            f"(registered: {', '.join(available_compilers())})"
+        ),
+    )
+    compile_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help=(
+            "override one compiler option (repeatable), "
+            "e.g. --set lookahead_k=4"
+        ),
     )
     compile_parser.add_argument(
         "--params", choices=sorted(PARAMS), default="default"
@@ -329,9 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--compiler",
         action="append",
         default=None,
-        choices=sorted(COMPILERS),
-        metavar="NAME",
-        help="compiler, repeatable (default: muss-ti)",
+        metavar="SPEC",
+        help=(
+            "compiler spec, repeatable (default: muss-ti; registered: "
+            f"{', '.join(available_compilers())}; append ?key=value options)"
+        ),
     )
     _add_sweep_flags(bench_sweep)
     bench_sweep.set_defaults(handler=_cmd_bench_sweep)

@@ -1,7 +1,12 @@
 """The MUSS-TI compiler (paper §3).
 
-The scheduling loop interleaves three stages until the dependency DAG is
-empty (Fig 3):
+The scheduling logic lives in :mod:`repro.pipeline.passes` as composable
+passes; this class is the stable, paper-facing front: it maps a
+:class:`MussTiConfig` onto the matching pass pipeline (Fig 8's four
+ablation arms are four pipeline variants) and returns the familiar
+:class:`~repro.sim.Program`.
+
+The pipeline stages mirror Fig 3:
 
 1. **Gate selection** — execute every frontier gate that already meets the
    hardware requirement (one-qubit gates anywhere; two-qubit gates whose
@@ -21,16 +26,16 @@ empty (Fig 3):
 
 from __future__ import annotations
 
-import time
+from typing import TYPE_CHECKING
 
-from ..circuits import DependencyGraph, Gate, QuantumCircuit, validate_native
+from ..circuits import QuantumCircuit
 from ..hardware import Machine
 from ..sim import Program
 from .config import MussTiConfig
-from .mapping import Placement, sabre_placement, trivial_placement
-from .routing import route_fiber_gate, route_local_gate
-from .state import MachineState
-from .swap_insertion import maybe_insert_swaps
+from .mapping import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..pipeline.passes import PassPipeline
 
 
 class MussTiCompiler:
@@ -48,6 +53,14 @@ class MussTiCompiler:
     # Public API
     # ------------------------------------------------------------------
 
+    def pipeline(self) -> "PassPipeline":
+        """The pass pipeline this configuration assembles to."""
+        # Imported lazily: repro.pipeline registers this class's factories
+        # at import time, so a module-level import would be circular.
+        from ..pipeline.passes import build_muss_ti_pipeline
+
+        return build_muss_ti_pipeline(self.config, name=self.name)
+
     def compile(
         self,
         circuit: QuantumCircuit,
@@ -55,115 +68,4 @@ class MussTiCompiler:
         initial_placement: Placement | None = None,
     ) -> Program:
         """Schedule ``circuit`` onto ``machine``; returns the op stream."""
-        started = time.perf_counter()
-        validate_native(circuit)
-        if initial_placement is None:
-            if self.config.use_sabre_mapping:
-                initial_placement = sabre_placement(circuit, machine, self)
-            else:
-                initial_placement = trivial_placement(circuit, machine)
-
-        dag = DependencyGraph(circuit)
-        state = MachineState(machine, initial_placement)
-        self._run(dag, state)
-
-        elapsed = time.perf_counter() - started
-        return Program(
-            machine=machine,
-            circuit=circuit,
-            initial_placement=dict(initial_placement),
-            operations=state.operations,
-            compiler_name=self.name,
-            compile_time_s=elapsed,
-            metadata={key: float(value) for key, value in state.stats.items()},
-            final_placement=state.final_placement(),
-        )
-
-    # ------------------------------------------------------------------
-    # Scheduling loop
-    # ------------------------------------------------------------------
-
-    def _run(self, dag: DependencyGraph, state: MachineState) -> None:
-        while not dag.is_empty:
-            self._drain_executable(dag, state)
-            if dag.is_empty:
-                return
-            self._route_and_execute_oldest(dag, state)
-
-    def _drain_executable(self, dag: DependencyGraph, state: MachineState) -> None:
-        """Execute frontier gates that already meet hardware requirements."""
-        progressed = True
-        while progressed:
-            progressed = False
-            for node in dag.frontier():
-                gate = dag.gate(node)
-                if gate.is_one_qubit:
-                    state.emit_one_qubit_gate(gate, node)
-                    dag.complete(node)
-                    progressed = True
-                elif self._execute_if_ready(dag, state, node, gate):
-                    progressed = True
-
-    def _execute_if_ready(
-        self,
-        dag: DependencyGraph,
-        state: MachineState,
-        node: int,
-        gate: Gate,
-    ) -> bool:
-        qubit_a, qubit_b = gate.qubits
-        zone_a = state.zone_of(qubit_a)
-        zone_b = state.zone_of(qubit_b)
-        if zone_a == zone_b and state.machine.zone(zone_a).allows_gates:
-            state.emit_local_gate(gate, node)
-            dag.complete(node)
-            return True
-        machine = state.machine
-        if (
-            machine.zone(zone_a).allows_fiber
-            and machine.zone(zone_b).allows_fiber
-            and machine.zone(zone_a).module_id != machine.zone(zone_b).module_id
-        ):
-            state.emit_fiber_gate(gate, node)
-            dag.complete(node)
-            maybe_insert_swaps(state, dag, self.config, gate)
-            return True
-        return False
-
-    def _route_and_execute_oldest(
-        self, dag: DependencyGraph, state: MachineState
-    ) -> None:
-        """FCFS fallback: route and fire the oldest frontier two-qubit gate."""
-        node = dag.frontier()[0]
-        gate = dag.gate(node)
-        qubit_a, qubit_b = gate.qubits
-        future_pairs = [
-            g.qubits
-            for _, g in dag.gates_within_layers(self.config.lookahead_k)
-            if g.is_two_qubit
-        ]
-        if state.same_module(qubit_a, qubit_b):
-            # Local gates route without slack: batch demotion only pays for
-            # itself on the fiber path, where arrivals are one-directional.
-            route_local_gate(
-                state,
-                qubit_a,
-                qubit_b,
-                use_lru=self.config.use_lru,
-                future_pairs=future_pairs,
-            )
-            state.emit_local_gate(gate, node)
-            dag.complete(node)
-        else:
-            future_qubits = frozenset(q for pair in future_pairs for q in pair)
-            route_fiber_gate(
-                state,
-                qubit_a,
-                qubit_b,
-                use_lru=self.config.use_lru,
-                future_qubits=future_qubits,
-                slack=self.config.optical_slack,
-            )
-            state.emit_fiber_gate(gate, node)
-            dag.complete(node)
-            maybe_insert_swaps(state, dag, self.config, gate)
+        return self.pipeline().compile(circuit, machine, initial_placement).program

@@ -13,10 +13,11 @@ reverse pass sitting in high-level zones.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 from ..circuits import QuantumCircuit
 from ..hardware import Machine
+from .config import MussTiConfig
 from .state import RoutingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -105,19 +106,22 @@ def trivial_placement(circuit: QuantumCircuit, machine: Machine) -> Placement:
 def sabre_placement(
     circuit: QuantumCircuit,
     machine: Machine,
-    compiler: "MussTiCompiler",
+    compiler: Union["MussTiCompiler", MussTiConfig],
 ) -> Placement:
     """Two-fold search placement (§3.4 'SABRE').
 
-    Both warm-up passes run with SABRE disabled (to terminate the recursion)
-    but otherwise the caller's configuration, so the final placements reflect
-    the real scheduling dynamics.
+    ``compiler`` may be a :class:`MussTiCompiler` or its bare
+    :class:`MussTiConfig` (what the scheduling dynamics actually depend
+    on).  Both warm-up passes run with SABRE disabled (to terminate the
+    recursion) but otherwise the caller's configuration, so the final
+    placements reflect the real scheduling dynamics.
     """
     from dataclasses import replace
 
     from .compiler import MussTiCompiler
 
-    warmup = MussTiCompiler(replace(compiler.config, use_sabre_mapping=False))
+    config = getattr(compiler, "config", compiler)
+    warmup = MussTiCompiler(replace(config, use_sabre_mapping=False))
     start = trivial_placement(circuit, machine)
     forward = warmup.compile(circuit, machine, initial_placement=start)
     backward = warmup.compile(

@@ -9,6 +9,7 @@ from .serialization import (
     machine_to_dict,
     save_machine,
 )
+from .specs import machine_from_spec
 from .zones import Zone, ZoneKind
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "ZoneKind",
     "load_machine",
     "machine_from_dict",
+    "machine_from_spec",
     "machine_to_dict",
     "paper_grid",
     "save_machine",

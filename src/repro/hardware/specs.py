@@ -1,0 +1,35 @@
+"""Machine spec strings: ``grid:RxC:CAP`` and ``eml[:CAP[:OPTICAL]]``.
+
+The string form the CLI, the ad-hoc sweep cells and the
+:func:`repro.compile` facade share.  Specs are plain strings, so sweep
+cells stay picklable and cache keys stay JSON-safe — the same contract the
+compiler registry keeps for compiler specs.
+"""
+
+from __future__ import annotations
+
+from .eml import EMLQCCDMachine, ModuleLayout
+from .grid import QCCDGridMachine
+from .machine import Machine
+
+
+def machine_from_spec(spec: str, num_qubits: int) -> Machine:
+    """Resolve a machine spec string.
+
+    * ``grid:RxC:CAP`` — monolithic QCCD grid (baseline hardware).
+    * ``eml[:CAP[:OPTICAL]]`` — EML-QCCD sized to the circuit (§4 rule).
+    """
+    parts = spec.split(":")
+    if parts[0] == "grid":
+        if len(parts) != 3:
+            raise ValueError(f"grid spec must be grid:RxC:CAP, got {spec!r}")
+        rows_text, _, cols_text = parts[1].partition("x")
+        return QCCDGridMachine(int(rows_text), int(cols_text), int(parts[2]))
+    if parts[0] == "eml":
+        capacity = int(parts[1]) if len(parts) > 1 else 16
+        optical = int(parts[2]) if len(parts) > 2 else 1
+        layout = ModuleLayout(num_optical=optical)
+        return EMLQCCDMachine.for_circuit_size(
+            num_qubits, trap_capacity=capacity, layout=layout
+        )
+    raise ValueError(f"unknown machine spec {spec!r} (want grid:... or eml...)")

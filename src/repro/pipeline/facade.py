@@ -1,0 +1,114 @@
+"""The one-call front door: :func:`repro.compile`.
+
+Accepts the flexible forms every front-end already speaks — a benchmark
+name or a circuit, a machine spec string or a machine, a compiler spec
+string / instance / :class:`~repro.pipeline.passes.PassPipeline` — and
+returns a :class:`~repro.pipeline.context.CompileResult`::
+
+    import repro
+
+    result = repro.compile("GHZ_n32", "eml")
+    print(result.execute().summary())
+
+    result = repro.compile("Adder_n32", "grid:2x2:12", compiler="dai")
+    result = repro.compile("BV_n64", "eml", compiler="muss-ti?lookahead_k=4")
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Any, Mapping
+
+from ..circuits import QuantumCircuit
+from ..hardware import Machine, machine_from_spec
+from ..workloads import get_benchmark
+from .context import CompileResult
+from .passes import PassPipeline
+from .registry import resolve_compiler
+
+
+def _resolve_circuit(circuit_or_benchmark: QuantumCircuit | str) -> QuantumCircuit:
+    if isinstance(circuit_or_benchmark, str):
+        return get_benchmark(circuit_or_benchmark)
+    return circuit_or_benchmark
+
+
+def _resolve_machine(machine: Machine | str, num_qubits: int) -> Machine:
+    if isinstance(machine, str):
+        return machine_from_spec(machine, num_qubits)
+    return machine
+
+
+def _config_overrides(config: Any) -> Mapping[str, Any] | None:
+    """Normalise ``config`` into spec-option overrides (or None)."""
+    if config is None:
+        return None
+    if isinstance(config, Mapping):
+        return dict(config)
+    if is_dataclass(config) and not isinstance(config, type):
+        # e.g. a full MussTiConfig: every field becomes an override.
+        return asdict(config)
+    raise TypeError(
+        "config must be a mapping of option overrides or a config "
+        f"dataclass, got {type(config).__name__}"
+    )
+
+
+def _compile_with_instance(
+    compiler: Any, circuit: QuantumCircuit, machine: Machine
+) -> CompileResult:
+    """Compile with a ready compiler object, preferring its pass pipeline."""
+    pipeline_factory = getattr(compiler, "pipeline", None)
+    if callable(pipeline_factory):
+        pipeline = pipeline_factory()
+        if isinstance(pipeline, PassPipeline):
+            return pipeline.compile(circuit, machine)
+    return CompileResult(program=compiler.compile(circuit, machine))
+
+
+def compile(  # noqa: A001 - deliberate: repro.compile is the public verb
+    circuit_or_benchmark: QuantumCircuit | str,
+    machine: Machine | str,
+    compiler: str | Any = "muss-ti",
+    config: Any = None,
+    verify: bool = False,
+) -> CompileResult:
+    """Compile a circuit (or named benchmark) onto a machine (or spec).
+
+    Args:
+        circuit_or_benchmark: a :class:`~repro.circuits.QuantumCircuit`, or
+            a benchmark name such as ``"GHZ_n32"``.
+        machine: a :class:`~repro.hardware.Machine`, or a spec string such
+            as ``"eml"``, ``"eml:12:2"`` or ``"grid:2x2:12"`` (sized to the
+            circuit where the spec allows).
+        compiler: a registry spec string (``"muss-ti"``,
+            ``"muss-ti?lookahead_k=4"``, ``"dai"``, ...), a compiler
+            instance, or a :class:`~repro.pipeline.passes.PassPipeline`.
+        config: option overrides for a spec-string compiler — a mapping
+            (``{"lookahead_k": 4}``) or a config dataclass (e.g. a full
+            :class:`~repro.core.config.MussTiConfig`).  Invalid with a
+            ready compiler instance or pipeline.
+        verify: run both schedule-legality layers before returning.
+
+    Returns:
+        A :class:`~repro.pipeline.context.CompileResult`; the raw
+        :class:`~repro.sim.Program` is ``result.program``.
+    """
+    circuit = _resolve_circuit(circuit_or_benchmark)
+    resolved_machine = _resolve_machine(machine, circuit.num_qubits)
+    overrides = _config_overrides(config)
+
+    if isinstance(compiler, PassPipeline):
+        if overrides is not None:
+            raise ValueError(
+                "config overrides are only valid with a compiler spec "
+                "string, not a ready PassPipeline"
+            )
+        result = compiler.compile(circuit, resolved_machine)
+    else:
+        instance = resolve_compiler(compiler, overrides)
+        result = _compile_with_instance(instance, circuit, resolved_machine)
+
+    if verify:
+        result.verify()
+    return result

@@ -1,0 +1,410 @@
+"""Composable compilation passes and the pipeline that runs them.
+
+The MUSS-TI compiler is a short sequence of passes over a shared
+:class:`~repro.pipeline.context.CompileContext`:
+
+1. :class:`ValidateNativePass` — reject circuits not lowered to the native
+   gate set.
+2. A placement pass — :class:`TrivialPlacementPass` (§3.4 sequential
+   highest-level-first) or :class:`SabrePlacementPass` (§3.4 two-fold
+   search).  Placement passes are no-ops when the caller supplied an
+   initial placement.
+3. :class:`SchedulingPass` — the Fig 3 interleaved loop: executable-first
+   gate selection, multi-level routing with LRU eviction, and a pluggable
+   post-fiber-gate :class:`SwapInsertionPolicy` (§3.3 weight-table rule, or
+   none).
+
+The Fig 8 ablation arms are therefore pipeline *variants*: swap the
+placement pass and the SWAP policy instead of threading booleans through a
+monolithic compiler.  :func:`build_muss_ti_pipeline` maps a
+:class:`~repro.core.config.MussTiConfig` onto the matching variant, which
+is exactly what :class:`~repro.core.compiler.MussTiCompiler` now wraps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Protocol, runtime_checkable
+
+from ..circuits import DependencyGraph, Gate, QuantumCircuit, validate_native
+from ..core.config import MussTiConfig
+from ..core.mapping import sabre_placement, trivial_placement
+from ..core.routing import route_fiber_gate, route_local_gate
+from ..core.state import MachineState
+from ..core.swap_insertion import maybe_insert_swaps
+from ..hardware import Machine
+from ..sim import Program
+from .context import CompileContext, CompileResult
+
+
+class PipelineError(Exception):
+    """A pipeline was assembled or driven incorrectly."""
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One stage of a compiler pipeline.
+
+    A pass mutates the :class:`CompileContext` in place — filling in the
+    placement, emitting operations through the machine state, recording
+    stats — and returns nothing.
+    """
+
+    name: str
+
+    def run(self, context: CompileContext) -> None: ...
+
+
+@runtime_checkable
+class SwapInsertionPolicy(Protocol):
+    """Post-gate hook of the scheduling loop (runs after fiber gates)."""
+
+    name: str
+
+    def after_fiber_gate(
+        self, state: MachineState, dag: DependencyGraph, gate: Gate
+    ) -> int: ...
+
+
+# ---------------------------------------------------------------------------
+# SWAP-insertion policies
+# ---------------------------------------------------------------------------
+
+
+class NoSwapInsertion:
+    """Ablation arms without §3.3: never insert a remote SWAP."""
+
+    name = "none"
+
+    def after_fiber_gate(
+        self, state: MachineState, dag: DependencyGraph, gate: Gate
+    ) -> int:
+        return 0
+
+
+class WeightTableSwapInsertion:
+    """The §3.3 weight-table rule, applied after every fiber gate."""
+
+    name = "weight-table"
+
+    def __init__(self, config: MussTiConfig) -> None:
+        # Constructing this policy *is* the decision to insert SWAPs; don't
+        # let a config built for another arm silently disable it (the
+        # engine in maybe_insert_swaps re-checks the flag).
+        if not config.use_swap_insertion:
+            config = replace(config, use_swap_insertion=True)
+        self.config = config
+
+    def after_fiber_gate(
+        self, state: MachineState, dag: DependencyGraph, gate: Gate
+    ) -> int:
+        return maybe_insert_swaps(state, dag, self.config, gate)
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+
+class ValidateNativePass:
+    """Reject circuits that were not lowered to the native gate set."""
+
+    name = "validate-native"
+
+    def run(self, context: CompileContext) -> None:
+        validate_native(context.circuit)
+
+
+class TrivialPlacementPass:
+    """§3.4 'Trivial Mapping': sequential highest-level-first placement."""
+
+    name = "placement-trivial"
+
+    def run(self, context: CompileContext) -> None:
+        if context.placement is not None:
+            context.note(f"{self.name}: caller-provided placement kept")
+            return
+        context.placement = trivial_placement(context.circuit, context.machine)
+        context.record(self.name, placed_qubits=float(context.circuit.num_qubits))
+
+
+def _context_config(
+    own: MussTiConfig | None, context: CompileContext
+) -> MussTiConfig:
+    """A pass's knobs: its own config, else the pipeline-level one."""
+    if own is not None:
+        return own
+    if isinstance(context.config, MussTiConfig):
+        return context.config
+    return MussTiConfig()
+
+
+class SabrePlacementPass:
+    """§3.4 'SABRE': two-fold search seeded from the trivial placement.
+
+    Constructed without a config, it reads the pipeline-level one from the
+    context at run time.
+    """
+
+    name = "placement-sabre"
+
+    def __init__(self, config: MussTiConfig | None = None) -> None:
+        self.config = config
+
+    def run(self, context: CompileContext) -> None:
+        if context.placement is not None:
+            context.note(f"{self.name}: caller-provided placement kept")
+            return
+        context.placement = sabre_placement(
+            context.circuit, context.machine, _context_config(self.config, context)
+        )
+        context.record(self.name, placed_qubits=float(context.circuit.num_qubits))
+
+
+class SchedulingPass:
+    """The Fig 3 loop: gate selection, multi-level routing, post-gate policy.
+
+    Interleaves three stages until the dependency DAG is empty:
+
+    1. **Gate selection** — execute every frontier gate that already meets
+       the hardware requirement (one-qubit gates anywhere; two-qubit gates
+       whose operands are co-located in a gate-capable zone, or sitting in
+       optical zones of two different modules).
+    2. **Qubit routing** — when nothing is executable, take the frontier's
+       oldest two-qubit gate (first-come, first-served) and route its
+       operands: same-module gates to the best local zone by the
+       multi-level policy, cross-module gates into their optical zones for
+       a fiber gate.  Zone conflicts are resolved by LRU eviction to lower
+       levels (page-fault analogy, Fig 4).
+    3. **Post-gate policy** — after each cross-module gate, the configured
+       :class:`SwapInsertionPolicy` may insert a remote logical SWAP to
+       migrate a qubit to the module where its upcoming partners live
+       (Fig 5).
+
+    Constructed without a config, the pass reads the pipeline-level one
+    from the context at run time (and derives the default SWAP policy
+    from it).
+    """
+
+    name = "schedule"
+
+    def __init__(
+        self,
+        config: MussTiConfig | None = None,
+        swap_policy: SwapInsertionPolicy | None = None,
+    ) -> None:
+        self.config = config
+        if swap_policy is None and config is not None:
+            swap_policy = self._default_policy(config)
+        self.swap_policy = swap_policy
+
+    @staticmethod
+    def _default_policy(config: MussTiConfig) -> SwapInsertionPolicy:
+        if config.use_swap_insertion:
+            return WeightTableSwapInsertion(config)
+        return NoSwapInsertion()
+
+    def run(self, context: CompileContext) -> None:
+        if context.placement is None:
+            raise PipelineError(
+                "SchedulingPass needs a placement; run a placement pass first "
+                "or pass initial_placement to compile()"
+            )
+        config = _context_config(self.config, context)
+        policy = self.swap_policy or self._default_policy(config)
+        if context.dag is None:
+            context.dag = DependencyGraph(context.circuit)
+        if context.state is None:
+            context.state = MachineState(context.machine, context.placement)
+        dag, state = context.dag, context.state
+        while not dag.is_empty:
+            self._drain_executable(dag, state, policy)
+            if dag.is_empty:
+                break
+            self._route_and_execute_oldest(dag, state, config, policy)
+        context.record(
+            self.name,
+            scheduled_gates=float(len(context.circuit)),
+            inserted_swaps=float(state.stats.get("inserted_swaps", 0)),
+        )
+
+    # -- stage 1: executable-first gate selection ----------------------
+
+    def _drain_executable(
+        self,
+        dag: DependencyGraph,
+        state: MachineState,
+        policy: SwapInsertionPolicy,
+    ) -> None:
+        """Execute frontier gates that already meet hardware requirements."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for node in dag.frontier():
+                gate = dag.gate(node)
+                if gate.is_one_qubit:
+                    state.emit_one_qubit_gate(gate, node)
+                    dag.complete(node)
+                    progressed = True
+                elif self._execute_if_ready(dag, state, node, gate, policy):
+                    progressed = True
+
+    def _execute_if_ready(
+        self,
+        dag: DependencyGraph,
+        state: MachineState,
+        node: int,
+        gate: Gate,
+        policy: SwapInsertionPolicy,
+    ) -> bool:
+        qubit_a, qubit_b = gate.qubits
+        zone_a = state.zone_of(qubit_a)
+        zone_b = state.zone_of(qubit_b)
+        if zone_a == zone_b and state.machine.zone(zone_a).allows_gates:
+            state.emit_local_gate(gate, node)
+            dag.complete(node)
+            return True
+        machine = state.machine
+        if (
+            machine.zone(zone_a).allows_fiber
+            and machine.zone(zone_b).allows_fiber
+            and machine.zone(zone_a).module_id != machine.zone(zone_b).module_id
+        ):
+            state.emit_fiber_gate(gate, node)
+            dag.complete(node)
+            policy.after_fiber_gate(state, dag, gate)
+            return True
+        return False
+
+    # -- stage 2 + 3: routing and the post-gate policy ------------------
+
+    def _route_and_execute_oldest(
+        self,
+        dag: DependencyGraph,
+        state: MachineState,
+        config: MussTiConfig,
+        policy: SwapInsertionPolicy,
+    ) -> None:
+        """FCFS fallback: route and fire the oldest frontier two-qubit gate."""
+        node = dag.frontier()[0]
+        gate = dag.gate(node)
+        qubit_a, qubit_b = gate.qubits
+        future_pairs = [
+            g.qubits
+            for _, g in dag.gates_within_layers(config.lookahead_k)
+            if g.is_two_qubit
+        ]
+        if state.same_module(qubit_a, qubit_b):
+            # Local gates route without slack: batch demotion only pays for
+            # itself on the fiber path, where arrivals are one-directional.
+            route_local_gate(
+                state,
+                qubit_a,
+                qubit_b,
+                use_lru=config.use_lru,
+                future_pairs=future_pairs,
+            )
+            state.emit_local_gate(gate, node)
+            dag.complete(node)
+        else:
+            future_qubits = frozenset(q for pair in future_pairs for q in pair)
+            route_fiber_gate(
+                state,
+                qubit_a,
+                qubit_b,
+                use_lru=config.use_lru,
+                future_qubits=future_qubits,
+                slack=config.optical_slack,
+            )
+            state.emit_fiber_gate(gate, node)
+            dag.complete(node)
+            policy.after_fiber_gate(state, dag, gate)
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PassPipeline:
+    """An ordered pass sequence that compiles circuits onto machines.
+
+    ``name`` becomes the program's ``compiler_name``; ``config`` is carried
+    on the context, and passes constructed without their own config (e.g.
+    a bare ``SchedulingPass()``) read their knobs from it at run time.
+    """
+
+    name: str
+    passes: tuple[Pass, ...]
+    config: Any = None
+
+    def describe(self) -> str:
+        """``validate-native -> placement-sabre -> schedule`` style summary."""
+        return " -> ".join(p.name for p in self.passes)
+
+    def compile(
+        self,
+        circuit: QuantumCircuit,
+        machine: Machine,
+        initial_placement: dict[int, tuple[int, ...]] | None = None,
+    ) -> CompileResult:
+        """Run every pass in order; returns the schedule + diagnostics."""
+        started = time.perf_counter()
+        context = CompileContext(
+            circuit=circuit,
+            machine=machine,
+            config=self.config,
+            placement=None if initial_placement is None else dict(initial_placement),
+        )
+        for stage in self.passes:
+            stage_started = time.perf_counter()
+            stage.run(context)
+            context.record(
+                stage.name, seconds=time.perf_counter() - stage_started
+            )
+        if context.state is None or context.placement is None:
+            raise PipelineError(
+                f"pipeline {self.name!r} produced no schedule "
+                f"(passes: {self.describe() or 'none'}); add a SchedulingPass"
+            )
+        elapsed = time.perf_counter() - started
+        program = Program(
+            machine=machine,
+            circuit=circuit,
+            initial_placement=dict(context.placement),
+            operations=context.state.operations,
+            compiler_name=self.name,
+            compile_time_s=elapsed,
+            metadata={
+                key: float(value) for key, value in context.state.stats.items()
+            },
+            final_placement=context.state.final_placement(),
+        )
+        return CompileResult(
+            program=program,
+            pass_stats={name: dict(s) for name, s in context.pass_stats.items()},
+            diagnostics=tuple(context.diagnostics),
+        )
+
+
+def build_muss_ti_pipeline(
+    config: MussTiConfig | None = None, name: str = "MUSS-TI"
+) -> PassPipeline:
+    """Assemble the pipeline variant matching a :class:`MussTiConfig`.
+
+    The four Fig 8 ablation arms map onto the four (placement pass, SWAP
+    policy) combinations; the scheduling loop itself is shared.
+    """
+    config = config or MussTiConfig()
+    placement: Pass = (
+        SabrePlacementPass(config)
+        if config.use_sabre_mapping
+        else TrivialPlacementPass()
+    )
+    return PassPipeline(
+        name=name,
+        passes=(ValidateNativePass(), placement, SchedulingPass(config)),
+        config=config,
+    )

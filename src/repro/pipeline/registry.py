@@ -1,0 +1,295 @@
+"""Unified compiler registry: one name -> factory table for the whole repo.
+
+Every compiler — MUSS-TI and its ablation arms, the three grid baselines,
+and anything a downstream user registers — lives in one
+:class:`CompilerRegistry`.  The CLI, the experiment drivers, the sweep
+engine and the :func:`repro.compile` facade all resolve compilers through
+it, so registering a compiler once makes it addressable everywhere.
+
+Compilers are addressed by *spec strings*::
+
+    muss-ti
+    muss-ti?lookahead_k=4&optical_slack=0
+    dai?lookahead=6
+
+A spec is a registered name plus optional ``?key=value&...`` options.
+Values coerce to bool (``true``/``false``/``yes``/``no``/``on``/``off``),
+int, float, or stay strings; the entry validates option names against its
+advertised set before instantiating.  Specs are plain strings, so sweep
+cells stay picklable across the process pool and JSON-safe for the on-disk
+result cache.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+#: Registered names must be addressable inside spec strings and cache keys.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_TRUE_WORDS = frozenset({"true", "yes", "on"})
+_FALSE_WORDS = frozenset({"false", "no", "off"})
+
+
+def coerce_option_value(text: str) -> Any:
+    """Parse an option value: bool words, then int, then float, else str."""
+    lowered = text.lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_compiler_spec(spec: str) -> tuple[str, dict[str, Any]]:
+    """Split ``name?key=value&...`` into (name, coerced options)."""
+    name, query_sep, query = spec.partition("?")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"compiler spec {spec!r} has no compiler name")
+    options: dict[str, Any] = {}
+    if query_sep:
+        for part in query.split("&"):
+            if not part:
+                continue
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(
+                    f"bad option {part!r} in compiler spec {spec!r} "
+                    "(want key=value)"
+                )
+            options[key] = coerce_option_value(value.strip())
+    return name, options
+
+
+def format_compiler_spec(name: str, options: Mapping[str, Any] | None = None) -> str:
+    """Inverse of :func:`parse_compiler_spec` (options sorted by key)."""
+    if not options:
+        return name
+    parts = []
+    for key in sorted(options):
+        value = options[key]
+        text = str(value).lower() if isinstance(value, bool) else str(value)
+        parts.append(f"{key}={text}")
+    return f"{name}?{'&'.join(parts)}"
+
+
+def parse_option_assignments(assignments: Iterable[str]) -> dict[str, Any]:
+    """Parse ``key=value`` strings (e.g. repeated ``--set`` flags)."""
+    options: dict[str, Any] = {}
+    for assignment in assignments:
+        key, eq, value = assignment.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise ValueError(
+                f"bad override {assignment!r} (want key=value, "
+                "e.g. --set lookahead_k=4)"
+            )
+        options[key] = coerce_option_value(value.strip())
+    return options
+
+
+@dataclass(frozen=True)
+class CompilerEntry:
+    """One registered compiler: factory plus the metadata the UIs need."""
+
+    name: str
+    factory: Callable[..., Any]
+    summary: str = ""
+    #: The hardware family the paper evaluates this compiler on
+    #: ("grid" for the monolithic-QCCD baselines, "eml" for MUSS-TI).
+    machine_family: str = "eml"
+    #: Option names the factory accepts via spec strings / overrides.
+    options: tuple[str, ...] = ()
+    #: Column position in the paper's Table 2 (None: not a paper system).
+    paper_order: int | None = None
+
+    def create(self, options: Mapping[str, Any] | None = None) -> Any:
+        """Instantiate, validating option names against the advertised set."""
+        options = dict(options or {})
+        unknown = sorted(set(options) - set(self.options))
+        if unknown:
+            valid = ", ".join(self.options) if self.options else "none"
+            raise ValueError(
+                f"unknown option(s) for compiler {self.name!r}: "
+                f"{', '.join(unknown)} (valid options: {valid})"
+            )
+        return self.factory(**options)
+
+
+class CompilerRegistry:
+    """Name -> :class:`CompilerEntry` table with spec-string resolution."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CompilerEntry] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        *,
+        summary: str = "",
+        machine_family: str = "eml",
+        options: Iterable[str] = (),
+        paper_order: int | None = None,
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering ``factory`` under ``name``.
+
+        ::
+
+            @registry.register("my-compiler", options=("depth",))
+            def make_my_compiler(depth: int = 4):
+                return MyCompiler(depth)
+        """
+
+        def decorate(factory: Callable[..., Any]) -> Callable[..., Any]:
+            self.add(
+                CompilerEntry(
+                    name=name,
+                    factory=factory,
+                    summary=summary,
+                    machine_family=machine_family,
+                    options=tuple(options),
+                    paper_order=paper_order,
+                )
+            )
+            return factory
+
+        return decorate
+
+    def add(self, entry: CompilerEntry) -> None:
+        if not _NAME_RE.match(entry.name):
+            raise ValueError(
+                f"invalid compiler name {entry.name!r} "
+                "(letters, digits, '.', '_', '-'; must not start with punctuation)"
+            )
+        if entry.name in self._entries:
+            raise ValueError(
+                f"compiler {entry.name!r} is already registered; "
+                "pick a different name (re-registration is not allowed)"
+            )
+        if entry.machine_family not in ("grid", "eml"):
+            raise ValueError(
+                f"machine_family must be 'grid' or 'eml', got "
+                f"{entry.machine_family!r}"
+            )
+        self._entries[entry.name] = entry
+
+    # -- lookup ----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[CompilerEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> CompilerEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown compiler {name!r} "
+                f"(want one of {', '.join(self.names())})"
+            ) from None
+
+    def paper_suite(self) -> tuple[str, ...]:
+        """The paper's compared systems, in Table 2 column order."""
+        ranked = [e for e in self._entries.values() if e.paper_order is not None]
+        ranked.sort(key=lambda e: e.paper_order)
+        return tuple(e.name for e in ranked)
+
+    def describe(self) -> str:
+        """One ``name  summary`` line per registration, sorted by name."""
+        width = max((len(name) for name in self._entries), default=0)
+        return "\n".join(
+            f"{name:{width}s}  {self._entries[name].summary}"
+            for name in self.names()
+        )
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve(
+        self,
+        spec: str | Any,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> Any:
+        """Turn a spec string (or ready compiler instance) into a compiler.
+
+        ``overrides`` merge over the spec's ``?key=value`` options (used by
+        the CLI's ``--set`` flags).  A non-string ``spec`` must already be a
+        compiler (anything with a ``compile`` method) and accepts no
+        overrides.
+        """
+        if not isinstance(spec, str):
+            if overrides:
+                raise ValueError(
+                    "option overrides need a compiler name, "
+                    f"not a {type(spec).__name__} instance"
+                )
+            if hasattr(spec, "compile"):
+                return spec
+            raise TypeError(
+                f"expected a compiler spec string or an object with a "
+                f"compile() method, got {type(spec).__name__}"
+            )
+        name, options = parse_compiler_spec(spec)
+        if overrides:
+            options.update(overrides)
+        return self.entry(name).create(options)
+
+
+#: The process-wide registry every front-end resolves through.
+_DEFAULT_REGISTRY = CompilerRegistry()
+
+
+def default_registry() -> CompilerRegistry:
+    """The registry the CLI, drivers and facade share."""
+    return _DEFAULT_REGISTRY
+
+
+def register_compiler(
+    name: str,
+    *,
+    summary: str = "",
+    machine_family: str = "eml",
+    options: Iterable[str] = (),
+    paper_order: int | None = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """``@register_compiler("name")`` on the default registry."""
+    return _DEFAULT_REGISTRY.register(
+        name,
+        summary=summary,
+        machine_family=machine_family,
+        options=options,
+        paper_order=paper_order,
+    )
+
+
+def resolve_compiler(
+    spec: str | Any, overrides: Mapping[str, Any] | None = None
+) -> Any:
+    """Resolve a spec through the default registry."""
+    return _DEFAULT_REGISTRY.resolve(spec, overrides)
+
+
+def available_compilers() -> list[str]:
+    """Sorted names registered in the default registry."""
+    return _DEFAULT_REGISTRY.names()

@@ -95,3 +95,129 @@ class TestCommands:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCompilerSpecs:
+    def test_compile_with_spec_options(self, capsys):
+        code = main(
+            [
+                "compile",
+                "GHZ_n16",
+                "--machine",
+                "grid:2x2:8",
+                "--compiler",
+                "muss-ti?lookahead_k=4",
+            ]
+        )
+        assert code == 0
+        assert "GHZ_n16 via MUSS-TI" in capsys.readouterr().out
+
+    def test_compile_with_set_overrides(self, capsys):
+        code = main(
+            [
+                "compile",
+                "GHZ_n16",
+                "--machine",
+                "grid:2x2:8",
+                "--set",
+                "lookahead_k=4",
+                "--set",
+                "use_lru=false",
+            ]
+        )
+        assert code == 0
+        assert "GHZ_n16 via MUSS-TI" in capsys.readouterr().out
+
+    def test_unknown_compiler_lists_registry(self, capsys):
+        code = main(
+            ["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--compiler", "nope"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown compiler 'nope'" in err
+        assert "muss-ti" in err  # the registry names the alternatives
+
+    def test_unknown_option_is_clean_error(self, capsys):
+        code = main(
+            [
+                "compile",
+                "GHZ_n16",
+                "--machine",
+                "grid:2x2:8",
+                "--set",
+                "bogus_knob=1",
+            ]
+        )
+        assert code == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_bad_machine_spec_is_clean_error(self, capsys):
+        code = main(["compile", "GHZ_n16", "--machine", "grid:2x2"])
+        assert code == 2
+        assert "grid spec" in capsys.readouterr().err
+
+    def test_malformed_set_is_clean_error(self, capsys):
+        code = main(
+            ["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--set", "oops"]
+        )
+        assert code == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_compile_help_lists_registered_compilers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compile", "--help"])
+        out = capsys.readouterr().out
+        for name in ("muss-ti", "murali", "dai", "mqt", "trivial"):
+            assert name in out
+
+    def test_bench_sweep_accepts_spec_compiler(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench",
+                "sweep",
+                "-w",
+                "GHZ_n16",
+                "-m",
+                "grid:2x2:8",
+                "-c",
+                "muss-ti?lookahead_k=4",
+                "--jobs",
+                "1",
+                "--no-cache",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "MUSS-TI" in capsys.readouterr().out
+
+    def test_bench_sweep_rejects_bad_machine_spec(self, capsys):
+        code = main(
+            [
+                "bench",
+                "sweep",
+                "-w",
+                "GHZ_n16",
+                "-m",
+                "grid:2x2",  # missing capacity
+                "--no-cache",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        assert "grid spec" in capsys.readouterr().err
+
+    def test_bench_sweep_rejects_unknown_compiler(self, capsys):
+        code = main(
+            [
+                "bench",
+                "sweep",
+                "-w",
+                "GHZ_n16",
+                "-c",
+                "nope",
+                "--no-cache",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        assert "unknown compiler" in capsys.readouterr().err

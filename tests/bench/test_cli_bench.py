@@ -113,3 +113,30 @@ def test_analysis_runner_routes_through_engine(capsys):
     assert analysis_main(["table2"]) == 0
     second = capsys.readouterr().out
     assert first.split("[table2")[0] == second.split("[table2")[0]
+
+
+def test_adhoc_cells_canonicalise_compiler_specs():
+    """Equivalent specs with different option order share one cell key."""
+    from repro.bench import adhoc
+    from repro.bench.cells import cell_key
+
+    first = adhoc.cells(
+        workloads=("GHZ_n16",),
+        machines=("grid:2x2:12",),
+        compilers=("muss-ti?lookahead_k=4&optical_slack=0",),
+    )
+    second = adhoc.cells(
+        workloads=("GHZ_n16",),
+        machines=("grid:2x2:12",),
+        compilers=("muss-ti?optical_slack=0&lookahead_k=4",),
+    )
+    assert cell_key(first[0]) == cell_key(second[0])
+
+
+def test_adhoc_cells_reject_bad_machine_spec():
+    from repro.bench import adhoc
+
+    with pytest.raises(ValueError, match="grid spec"):
+        adhoc.cells(
+            workloads=("GHZ_n16",), machines=("grid:2x2",), compilers=("muss-ti",)
+        )

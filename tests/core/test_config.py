@@ -1,0 +1,90 @@
+"""MussTiConfig: validation, the four ablation arms, label rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MussTiConfig
+
+
+class TestValidation:
+    def test_defaults_are_paper_constants(self):
+        config = MussTiConfig()
+        assert config.lookahead_k == 8
+        assert config.swap_threshold == 4
+        assert config.use_sabre_mapping and config.use_swap_insertion
+        assert config.use_lru
+        assert config.optical_slack == 8
+
+    @pytest.mark.parametrize("k", [0, -1, -8])
+    def test_lookahead_must_be_positive(self, k):
+        with pytest.raises(ValueError, match="lookahead_k must be >= 1"):
+            MussTiConfig(lookahead_k=k)
+
+    @pytest.mark.parametrize("threshold", [0, 1, 2])
+    def test_swap_threshold_floor_is_three(self, threshold):
+        """A SWAP costs three MS gates, so T < 3 can never pay off."""
+        with pytest.raises(ValueError, match="swap_threshold must be >= 3"):
+            MussTiConfig(swap_threshold=threshold)
+
+    def test_swap_threshold_of_three_allowed(self):
+        assert MussTiConfig(swap_threshold=3).swap_threshold == 3
+
+    def test_optical_slack_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="optical_slack must be >= 0"):
+            MussTiConfig(optical_slack=-1)
+        assert MussTiConfig(optical_slack=0).optical_slack == 0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MussTiConfig().lookahead_k = 4
+
+
+class TestArms:
+    def test_trivial(self):
+        config = MussTiConfig.trivial()
+        assert not config.use_sabre_mapping
+        assert not config.use_swap_insertion
+
+    def test_swap_insert_only(self):
+        config = MussTiConfig.swap_insert_only()
+        assert not config.use_sabre_mapping
+        assert config.use_swap_insertion
+
+    def test_sabre_only(self):
+        config = MussTiConfig.sabre_only()
+        assert config.use_sabre_mapping
+        assert not config.use_swap_insertion
+
+    def test_full_is_default(self):
+        assert MussTiConfig.full() == MussTiConfig()
+
+    def test_with_lookahead(self):
+        base = MussTiConfig()
+        swept = base.with_lookahead(12)
+        assert swept.lookahead_k == 12
+        assert base.lookahead_k == 8  # original untouched (frozen + replace)
+        assert swept.use_sabre_mapping == base.use_sabre_mapping
+
+    def test_with_lookahead_validates(self):
+        with pytest.raises(ValueError):
+            MussTiConfig().with_lookahead(0)
+
+
+class TestLabel:
+    @pytest.mark.parametrize(
+        "config,expected",
+        [
+            (MussTiConfig.trivial(), "Trivial"),
+            (MussTiConfig.swap_insert_only(), "SWAP Insert"),
+            (MussTiConfig.sabre_only(), "SABRE"),
+            (MussTiConfig.full(), "SABRE + SWAP Insert"),
+        ],
+        ids=["trivial", "swap-insert", "sabre", "full"],
+    )
+    def test_label_matches_fig8_legend(self, config, expected):
+        assert config.label == expected
+
+    def test_label_ignores_non_arm_knobs(self):
+        config = MussTiConfig(lookahead_k=4, use_lru=False, optical_slack=0)
+        assert config.label == "SABRE + SWAP Insert"

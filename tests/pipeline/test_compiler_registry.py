@@ -1,0 +1,226 @@
+"""Compiler registry: spec parsing, resolution, registration rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DaiCompiler, MqtLikeCompiler, MuraliCompiler
+from repro.core import MussTiCompiler
+from repro.pipeline import (
+    CompilerRegistry,
+    available_compilers,
+    coerce_option_value,
+    default_registry,
+    format_compiler_spec,
+    parse_compiler_spec,
+    parse_option_assignments,
+    resolve_compiler,
+)
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        assert parse_compiler_spec("muss-ti") == ("muss-ti", {})
+
+    def test_options_coerce_types(self):
+        name, options = parse_compiler_spec(
+            "muss-ti?lookahead_k=4&optical_slack=0&use_lru=false&tag=x"
+        )
+        assert name == "muss-ti"
+        assert options == {
+            "lookahead_k": 4,
+            "optical_slack": 0,
+            "use_lru": False,
+            "tag": "x",
+        }
+
+    def test_float_value(self):
+        assert parse_compiler_spec("x?rate=0.5")[1] == {"rate": 0.5}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="no compiler name"):
+            parse_compiler_spec("?k=1")
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(ValueError, match="want key=value"):
+            parse_compiler_spec("muss-ti?lookahead_k")
+
+    def test_round_trip(self):
+        spec = "muss-ti?lookahead_k=4&use_lru=false"
+        name, options = parse_compiler_spec(spec)
+        assert format_compiler_spec(name, options) == spec
+
+    def test_format_bare(self):
+        assert format_compiler_spec("dai") == "dai"
+
+
+class TestCoercion:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("true", True),
+            ("False", False),
+            ("YES", True),
+            ("off", False),
+            ("12", 12),
+            ("-3", -3),
+            ("2.5", 2.5),
+            ("name", "name"),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert coerce_option_value(text) == expected
+
+
+class TestOptionAssignments:
+    def test_parses_repeated_sets(self):
+        assert parse_option_assignments(["lookahead_k=4", "use_lru=false"]) == {
+            "lookahead_k": 4,
+            "use_lru": False,
+        }
+
+    def test_rejects_missing_equals(self):
+        with pytest.raises(ValueError, match="want key=value"):
+            parse_option_assignments(["lookahead_k"])
+
+
+class TestDefaultRegistry:
+    def test_paper_compilers_registered(self):
+        names = available_compilers()
+        for name in ("muss-ti", "murali", "dai", "mqt"):
+            assert name in names
+
+    def test_ablation_arms_registered(self):
+        names = available_compilers()
+        for name in ("trivial", "sabre", "swap-insert"):
+            assert name in names
+
+    def test_paper_suite_order(self):
+        assert default_registry().paper_suite() == (
+            "murali",
+            "dai",
+            "mqt",
+            "muss-ti",
+        )
+
+    def test_machine_families(self):
+        registry = default_registry()
+        assert registry.entry("murali").machine_family == "grid"
+        assert registry.entry("dai").machine_family == "grid"
+        assert registry.entry("mqt").machine_family == "grid"
+        assert registry.entry("muss-ti").machine_family == "eml"
+
+    def test_resolve_each_builtin(self):
+        expected = {
+            "muss-ti": MussTiCompiler,
+            "trivial": MussTiCompiler,
+            "sabre": MussTiCompiler,
+            "swap-insert": MussTiCompiler,
+            "murali": MuraliCompiler,
+            "dai": DaiCompiler,
+            "mqt": MqtLikeCompiler,
+        }
+        for name, cls in expected.items():
+            assert isinstance(resolve_compiler(name), cls)
+
+    def test_arm_configs(self):
+        assert resolve_compiler("trivial").config.label == "Trivial"
+        assert resolve_compiler("sabre").config.label == "SABRE"
+        assert resolve_compiler("swap-insert").config.label == "SWAP Insert"
+        assert resolve_compiler("muss-ti").config.label == "SABRE + SWAP Insert"
+
+    def test_spec_options_reach_config(self):
+        compiler = resolve_compiler("muss-ti?lookahead_k=4&optical_slack=0")
+        assert compiler.config.lookahead_k == 4
+        assert compiler.config.optical_slack == 0
+
+    def test_dai_lookahead_option(self):
+        assert resolve_compiler("dai?lookahead=6").lookahead == 6
+
+    def test_describe_lists_everything(self):
+        text = default_registry().describe()
+        for name in available_compilers():
+            assert name in text
+
+
+class TestResolutionErrors:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown compiler 'nope'"):
+            resolve_compiler("nope")
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ValueError, match="muss-ti"):
+            resolve_compiler("nope")
+
+    def test_bad_spec_key(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            resolve_compiler("muss-ti?bogus_knob=1")
+
+    def test_bad_spec_key_names_valid_options(self):
+        with pytest.raises(ValueError, match="lookahead_k"):
+            resolve_compiler("muss-ti?bogus_knob=1")
+
+    def test_option_on_optionless_compiler(self):
+        with pytest.raises(ValueError, match="valid options: none"):
+            resolve_compiler("murali?x=1")
+
+    def test_bad_option_value_propagates_config_validation(self):
+        with pytest.raises(ValueError, match="lookahead_k"):
+            resolve_compiler("muss-ti?lookahead_k=0")
+
+    def test_overrides_merge_over_spec(self):
+        compiler = resolve_compiler(
+            "muss-ti?lookahead_k=4", {"lookahead_k": 6}
+        )
+        assert compiler.config.lookahead_k == 6
+
+    def test_instance_passes_through(self):
+        instance = MussTiCompiler()
+        assert resolve_compiler(instance) is instance
+
+    def test_instance_rejects_overrides(self):
+        with pytest.raises(ValueError, match="compiler name"):
+            resolve_compiler(MussTiCompiler(), {"lookahead_k": 4})
+
+    def test_non_compiler_object_rejected(self):
+        with pytest.raises(TypeError, match="compile"):
+            resolve_compiler(42)
+
+
+class TestRegistrationRules:
+    def test_register_and_resolve(self):
+        registry = CompilerRegistry()
+
+        @registry.register("custom", options=("depth",))
+        def make_custom(depth: int = 1):
+            return MussTiCompiler()
+
+        assert "custom" in registry
+        assert isinstance(registry.resolve("custom?depth=2"), MussTiCompiler)
+
+    def test_duplicate_registration_rejected(self):
+        registry = CompilerRegistry()
+        registry.register("custom")(lambda: MussTiCompiler())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("custom")(lambda: MussTiCompiler())
+
+    def test_invalid_name_rejected(self):
+        registry = CompilerRegistry()
+        with pytest.raises(ValueError, match="invalid compiler name"):
+            registry.register("bad name")(lambda: MussTiCompiler())
+        with pytest.raises(ValueError, match="invalid compiler name"):
+            registry.register("?x")(lambda: MussTiCompiler())
+
+    def test_invalid_machine_family_rejected(self):
+        registry = CompilerRegistry()
+        with pytest.raises(ValueError, match="machine_family"):
+            registry.register("custom", machine_family="ring")(
+                lambda: MussTiCompiler()
+            )
+
+    def test_registry_is_iterable_and_sized(self):
+        registry = CompilerRegistry()
+        registry.register("a")(lambda: MussTiCompiler())
+        registry.register("b")(lambda: MussTiCompiler())
+        assert len(registry) == 2
+        assert sorted(entry.name for entry in registry) == ["a", "b"]

@@ -1,0 +1,127 @@
+"""The repro.compile facade: input forms, config overrides, verify."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import MussTiConfig
+from repro.circuits import QuantumCircuit
+
+
+class TestInputForms:
+    def test_benchmark_name_and_machine_spec(self):
+        result = repro.compile("GHZ_n16", "grid:2x2:8")
+        assert result.compiler_name == "MUSS-TI"
+        assert result.circuit.name == "GHZ_n16"
+
+    def test_circuit_object(self, small_grid_2x2):
+        circuit = repro.get_benchmark("GHZ_n16")
+        result = repro.compile(circuit, small_grid_2x2)
+        assert result.circuit is circuit
+        assert result.machine is small_grid_2x2
+
+    def test_eml_spec_sized_to_circuit(self):
+        result = repro.compile("GHZ_n64", "eml")
+        assert result.machine.num_modules == 2
+
+    def test_compiler_spec_with_options(self):
+        result = repro.compile(
+            "GHZ_n16", "eml", compiler="muss-ti?lookahead_k=4"
+        )
+        assert result.program.compiler_name == "MUSS-TI"
+
+    def test_compiler_instance(self, small_grid_2x2):
+        compiler = repro.MussTiCompiler(MussTiConfig.trivial())
+        result = repro.compile("GHZ_n16", small_grid_2x2, compiler=compiler)
+        # The instance path still goes through its pipeline for diagnostics.
+        assert "placement-trivial" in result.pass_stats
+
+    def test_baseline_instance_without_pipeline(self, small_grid_2x2):
+        result = repro.compile(
+            "GHZ_n16", small_grid_2x2, compiler=repro.MuraliCompiler()
+        )
+        assert result.compiler_name == "QCCD-Murali"
+        assert result.pass_stats == {}
+
+    def test_pass_pipeline_object(self, small_grid_2x2):
+        pipeline = repro.build_muss_ti_pipeline()
+        result = repro.compile("GHZ_n16", small_grid_2x2, compiler=pipeline)
+        assert result.compiler_name == "MUSS-TI"
+
+
+class TestConfig:
+    def test_mapping_overrides(self):
+        result = repro.compile(
+            "GHZ_n16", "eml", config={"lookahead_k": 4, "use_lru": False}
+        )
+        assert result.program.compiler_name == "MUSS-TI"
+
+    def test_dataclass_config(self, small_grid_2x2):
+        config = MussTiConfig.trivial()
+        result = repro.compile("GHZ_n16", small_grid_2x2, config=config)
+        assert "placement-trivial" in result.pass_stats
+
+    def test_dataclass_config_equivalent_to_class_api(self, small_grid_2x2):
+        config = MussTiConfig(lookahead_k=4, optical_slack=0)
+        circuit = repro.get_benchmark("Adder_n32")
+        via_facade = repro.compile(circuit, small_grid_2x2, config=config)
+        via_class = repro.MussTiCompiler(config).compile(circuit, small_grid_2x2)
+        assert via_facade.program.operations == via_class.operations
+
+    def test_config_with_pipeline_rejected(self, small_grid_2x2):
+        with pytest.raises(ValueError, match="PassPipeline"):
+            repro.compile(
+                "GHZ_n16",
+                small_grid_2x2,
+                compiler=repro.build_muss_ti_pipeline(),
+                config={"lookahead_k": 4},
+            )
+
+    def test_config_of_wrong_type_rejected(self, small_grid_2x2):
+        with pytest.raises(TypeError, match="config"):
+            repro.compile("GHZ_n16", small_grid_2x2, config=7)
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            repro.compile("GHZ_n16", "eml", config={"bogus": 1})
+
+
+class TestVerifyAndErrors:
+    def test_verify_flag(self):
+        result = repro.compile("GHZ_n16", "grid:2x2:8", verify=True)
+        assert result.num_operations > 0
+
+    def test_verify_works_for_baselines(self):
+        repro.compile("GHZ_n16", "grid:2x2:8", compiler="murali", verify=True)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(Exception):
+            repro.compile("NotABenchmark_n8", "eml")
+
+    def test_unknown_machine_spec(self):
+        with pytest.raises(ValueError, match="machine spec"):
+            repro.compile("GHZ_n16", "mesh:2x2")
+
+    def test_unknown_compiler(self):
+        with pytest.raises(ValueError, match="unknown compiler"):
+            repro.compile("GHZ_n16", "eml", compiler="nope")
+
+
+class TestCustomRegistration:
+    def test_registered_compiler_reaches_facade(self, small_grid_2x2):
+        registry = repro.default_registry()
+        name = "facade-test-compiler"
+        if name not in registry:
+            repro.register_compiler(name, summary="test-only")(
+                lambda: repro.MussTiCompiler(MussTiConfig.trivial())
+            )
+        result = repro.compile("GHZ_n16", small_grid_2x2, compiler=name)
+        assert result.compiler_name == "MUSS-TI"
+
+    def test_facade_handles_tiny_custom_circuit(self, tiny_grid):
+        circuit = QuantumCircuit(2, name="mini")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        result = repro.compile(circuit, tiny_grid, verify=True)
+        assert result.num_operations >= 2
