@@ -1,9 +1,13 @@
-"""Architectural comparison: EML-QCCD + MUSS-TI versus monolithic QCCD grids.
+"""Architectural comparison: registry topologies head-to-head on one app.
 
-A miniature of the paper's Figure 6: runs one medium-scale application
-through the two grid baselines (Murali et al. [55] and Dai et al. [13] on a
-3x4 grid) and through MUSS-TI on an EML-QCCD machine sized to the circuit,
-then prints the three metrics side by side.
+An extended miniature of the paper's Figure 6: runs one medium-scale
+application through every interesting (machine spec, compiler) pair the
+registries provide — the two grid baselines (Murali et al. [55] and Dai et
+al. [13]) on a 3x4 monolithic grid, plus MUSS-TI on four registry
+topologies: a ring of traps, a linear chain, the paper's EML-QCCD sized to
+the circuit, and a hub-and-leaf star EML — then prints the metrics side by
+side.  Machines come from spec strings, so adding a topology to the
+comparison is one string, not a new class.
 
 Run with::
 
@@ -21,28 +25,41 @@ from repro.analysis import format_fidelity, improvement_percent, render_table
 def main() -> int:
     name = sys.argv[1] if len(sys.argv) > 1 else "Adder_n128"
     circuit = repro.get_benchmark(name)
-    grid = repro.QCCDGridMachine(3, 4, 16)
-    eml = repro.EMLQCCDMachine.for_circuit_size(
-        circuit.num_qubits, trap_capacity=16
-    )
 
+    # (machine spec, compiler spec) pairs, both resolved via registries.
+    runs = [
+        ("grid:3x4:16", "murali"),
+        ("grid:3x4:16", "dai"),
+        ("ring:12:16", "muss-ti"),
+        ("chain:12:16", "muss-ti"),
+        ("eml", "muss-ti"),
+        ("star:1+6:16", "muss-ti"),
+    ]
+
+    machines = {
+        spec: repro.resolve_machine(spec, circuit.num_qubits)
+        for spec in dict.fromkeys(spec for spec, _ in runs)
+    }
     print(f"application  : {circuit.name} "
           f"({circuit.num_qubits} qubits, {len(circuit)} gates)")
-    print(f"baseline hw  : {grid.describe()}")
-    print(f"MUSS-TI hw   : {eml.describe()}")
+    for spec, machine in machines.items():
+        print(f"  {spec:12s} : {machine.describe()}")
     print()
 
-    # Compilers come from the registry by name; each runs on the hardware
-    # family the paper evaluates it on.
-    runs = [("murali", grid), ("dai", grid), ("muss-ti", eml)]
     rows = []
-    reports = {}
-    for spec, machine in runs:
-        result = repro.compile(circuit, machine, compiler=spec)
+    eml_report = None
+    baseline_shuttles = []
+    for spec, compiler in runs:
+        machine = machines[spec]
+        result = repro.compile(circuit, machine, compiler=compiler)
         report = result.execute()
-        reports[result.compiler_name] = report
+        if spec == "eml":
+            eml_report = report
+        if machine.architecture().kind == "grid":
+            baseline_shuttles.append(report.shuttle_count)
         rows.append(
             [
+                spec,
                 result.compiler_name,
                 report.shuttle_count,
                 f"{report.execution_time_us:.0f}",
@@ -52,18 +69,19 @@ def main() -> int:
         )
     print(
         render_table(
-            ["compiler", "shuttles", "time (us)", "fidelity", "compile (s)"],
+            ["machine", "compiler", "shuttles", "time (us)", "fidelity",
+             "compile (s)"],
             rows,
         )
     )
 
-    ours = reports["MUSS-TI"]
-    best_baseline = min(
-        reports["QCCD-Murali"].shuttle_count, reports["QCCD-Dai"].shuttle_count
+    assert eml_report is not None
+    reduction = improvement_percent(
+        min(baseline_shuttles), eml_report.shuttle_count
     )
-    reduction = improvement_percent(best_baseline, ours.shuttle_count)
     print()
-    print(f"MUSS-TI shuttle reduction vs best baseline: {reduction:.1f} %")
+    print(f"MUSS-TI on EML shuttle reduction vs best grid baseline: "
+          f"{reduction:.1f} %")
     return 0
 
 

@@ -19,7 +19,13 @@ Compilers are looked up in a single registry by *spec string* —
 ``"muss-ti"``, ``"muss-ti?lookahead_k=4"``, ``"murali"``, ``"dai"``,
 ``"mqt"``, or the ablation arms ``"trivial"`` / ``"sabre"`` /
 ``"swap-insert"`` — and new ones plug in with
-:func:`repro.register_compiler`.  Under the hood MUSS-TI is a
+:func:`repro.register_compiler`.  Machines resolve the same way through
+the declarative topology registry — ``"eml:16:2"``, ``"grid:3x4:16"``,
+``"ring:8:16"``, ``"star:1+6:16"``, ``"eml?modules=4&optical=2"`` or
+``"file:arch.json"`` — new topologies plug in with
+:func:`repro.register_machine` (a builder function returning an
+:class:`~repro.hardware.ArchitectureSpec`; no ``Machine`` subclass
+needed).  Under the hood MUSS-TI is a
 :class:`~repro.pipeline.PassPipeline` of composable passes (placement,
 scheduling, SWAP insertion policy); see :mod:`repro.pipeline`.
 
@@ -43,13 +49,24 @@ from .circuits import (
 )
 from .core import MussTiCompiler, MussTiConfig
 from .hardware import (
+    ArchitectureSpec,
     EMLQCCDMachine,
     Machine,
+    MachineRegistry,
     ModuleLayout,
     QCCDGridMachine,
     ZoneKind,
+    ZoneSpec,
+    available_machines,
+    canonical_machine_spec,
+    default_machine_registry,
+    load_machine,
     machine_from_spec,
     paper_grid,
+    register_machine,
+    render_machine,
+    resolve_machine,
+    save_machine,
 )
 from .physics import DEFAULT_PARAMS, PhysicalParams
 from .pipeline import (
@@ -72,10 +89,11 @@ from .sim import (
 )
 from .workloads import available_benchmarks, get_benchmark
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DEFAULT_PARAMS",
+    "ArchitectureSpec",
     "CompileResult",
     "CompilerRegistry",
     "DaiCompiler",
@@ -84,6 +102,7 @@ __all__ = [
     "ExecutionReport",
     "Gate",
     "Machine",
+    "MachineRegistry",
     "ModuleLayout",
     "MqtLikeCompiler",
     "MuraliCompiler",
@@ -95,20 +114,29 @@ __all__ = [
     "QCCDGridMachine",
     "QuantumCircuit",
     "ZoneKind",
+    "ZoneSpec",
     "available_benchmarks",
     "available_compilers",
+    "available_machines",
     "build_muss_ti_pipeline",
+    "canonical_machine_spec",
     "compile",
+    "default_machine_registry",
     "default_registry",
     "execute",
     "get_benchmark",
     "is_valid",
+    "load_machine",
     "lower_to_native",
     "machine_from_spec",
     "parse_qasm",
     "paper_grid",
     "register_compiler",
+    "register_machine",
+    "render_machine",
     "resolve_compiler",
+    "resolve_machine",
+    "save_machine",
     "verify_program",
     "__version__",
 ]

@@ -16,6 +16,7 @@ from ..analysis.runs import (
     run_case,
 )
 from ..analysis.tables import format_fidelity, render_table
+from ..hardware import canonical_machine_spec
 from ..pipeline import (
     format_compiler_spec,
     parse_compiler_spec,
@@ -38,18 +39,22 @@ def cells(
     for compiler in compilers:
         # Resolve every compiler and machine spec up front so a typo fails
         # the sweep with a clean message instead of erroring inside a
-        # worker process.  Compiler specs are canonicalised (options sorted
-        # by key) so equivalent specs share one cache key.
+        # worker process.  Both spec kinds are canonicalised (defaults
+        # dropped, options sorted) so equivalent spellings share one cache
+        # key — and deduplicated, so two spellings of one machine don't
+        # compute (and print) the same cell twice.
         resolve_compiler(compiler)
         canonical_compilers.append(
             format_compiler_spec(*parse_compiler_spec(compiler))
         )
-    for machine in machines:
-        machine_from_spec(machine, 1)
+    canonical_compilers = list(dict.fromkeys(canonical_compilers))
+    canonical_machines = list(
+        dict.fromkeys(canonical_machine_spec(machine) for machine in machines)
+    )
     return [
         {"workload": workload, "machine": machine, "compiler": compiler}
         for workload in workloads
-        for machine in machines
+        for machine in canonical_machines
         for compiler in canonical_compilers
     ]
 

@@ -13,11 +13,14 @@ Usage::
     python -m repro bench list
     python -m repro bench clear-cache fig7
     python -m repro bench sweep -w GHZ_n64 -m eml -m grid:2x2:12 -c muss-ti -c dai
+    python -m repro machine list
+    python -m repro machine show eml:16:2
+    python -m repro machine render star:1+6:16
 
-Machine specs:
-
-* ``grid:RxC:CAP`` — monolithic QCCD grid (baseline hardware).
-* ``eml[:CAP[:OPTICAL]]`` — EML-QCCD sized to the circuit (§4 rule).
+Machine specs resolve through the machine registry (``repro machine
+list``): ``grid:RxC:CAP``, ``eml[:CAP[:OPTICAL]]``, ``ring:N[:CAP]``,
+``star:H+L[:CAP]``, ``chain:N[:CAP]``, any registered name with
+``?key=value&...`` options, or ``file:path.json`` architecture files.
 """
 
 from __future__ import annotations
@@ -36,7 +39,13 @@ from .bench import (
     stderr_progress,
     sweep,
 )
-from .hardware import machine_from_spec
+from .hardware import (
+    available_machines,
+    canonical_machine_spec,
+    default_machine_registry,
+    render_machine,
+    resolve_machine,
+)
 from .physics import PhysicalParams
 from .pipeline import (
     available_compilers,
@@ -55,8 +64,14 @@ PARAMS = {
     "perfect-shuttle": lambda: PhysicalParams().perfect_shuttle(),
 }
 
-#: Resolve a machine spec string (see module docstring).
-parse_machine = machine_from_spec
+
+def _machine_spec_help() -> str:
+    """The ``--machine`` flag help, derived from the machine registry."""
+    return (
+        "machine spec (registered: "
+        f"{', '.join(available_machines())}; e.g. grid:3x4:16, eml:16:2, "
+        "ring:8:16, star:1+6:16, name?key=value, or file:path.json)"
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -75,7 +90,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_compile(args: argparse.Namespace) -> int:
     circuit = get_benchmark(args.benchmark)
     try:
-        machine = parse_machine(args.machine, circuit.num_qubits)
+        machine = resolve_machine(args.machine, circuit.num_qubits)
         overrides = parse_option_assignments(args.set or [])
         compiler = resolve_compiler(args.compiler, overrides)
     except ValueError as error:
@@ -106,8 +121,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     circuit = get_benchmark(args.benchmark)
-    grid = parse_machine(args.grid, circuit.num_qubits)
-    eml = parse_machine(args.eml, circuit.num_qubits)
+    try:
+        grid = resolve_machine(args.grid, circuit.num_qubits)
+        eml = resolve_machine(args.eml, circuit.num_qubits)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     registry = default_registry()
     rows = []
     for key in registry.paper_suite():
@@ -229,6 +248,48 @@ def _cmd_bench_clear_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_machine_list(_args: argparse.Namespace) -> int:
+    registry = default_machine_registry()
+    print("registered machine topologies:")
+    for line in registry.describe().splitlines():
+        print(f"  {line}")
+    print()
+    print(f"families: {', '.join(registry.families())}")
+    print(
+        "specs take positional segments (grid:3x4:16, eml:16:2, ring:8:16, "
+        "star:1+6:16), ?key=value options, or file:path.json"
+    )
+    return 0
+
+
+def _cmd_machine_show(args: argparse.Namespace) -> int:
+    try:
+        machine = resolve_machine(args.spec, args.qubits)
+        canonical = canonical_machine_spec(args.spec)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    arch = machine.architecture()
+    print(f"spec      : {args.spec}")
+    print(f"canonical : {canonical}")
+    print(f"built     : {machine.spec or '(custom architecture)'}")
+    print(f"summary   : {machine.describe()}")
+    print(f"zones     : {arch.num_zones} across {arch.num_modules} module(s)")
+    print(f"capacity  : {arch.total_capacity} ions total")
+    print(f"edges     : {len(arch.edges)} shuttle edges")
+    return 0
+
+
+def _cmd_machine_render(args: argparse.Namespace) -> int:
+    try:
+        machine = resolve_machine(args.spec, args.qubits)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_machine(machine))
+    return 0
+
+
 def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -273,7 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     compile_parser = commands.add_parser("compile", help="compile one workload")
     compile_parser.add_argument("benchmark", help="e.g. Adder_n32")
-    compile_parser.add_argument("--machine", default="eml", help="grid:RxC:CAP or eml[:CAP[:OPT]]")
+    compile_parser.add_argument(
+        "--machine", default="eml", metavar="SPEC", help=_machine_spec_help()
+    )
     compile_parser.add_argument(
         "--compiler",
         default="muss-ti",
@@ -313,9 +376,44 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="all four compilers on one workload"
     )
     compare_parser.add_argument("benchmark")
-    compare_parser.add_argument("--grid", default="grid:3x4:16")
-    compare_parser.add_argument("--eml", default="eml")
+    compare_parser.add_argument(
+        "--grid",
+        default="grid:3x4:16",
+        metavar="SPEC",
+        help="machine for grid-family compilers (default: grid:3x4:16)",
+    )
+    compare_parser.add_argument(
+        "--eml",
+        default="eml",
+        metavar="SPEC",
+        help="machine for eml-family compilers (default: eml, sized to the circuit)",
+    )
     compare_parser.set_defaults(handler=_cmd_compare)
+
+    machine_parser = commands.add_parser(
+        "machine", help="inspect the machine/topology registry"
+    )
+    machine_commands = machine_parser.add_subparsers(
+        dest="machine_command", required=True
+    )
+    machine_list = machine_commands.add_parser(
+        "list", help="registered topologies and their families"
+    )
+    machine_list.set_defaults(handler=_cmd_machine_list)
+    for sub, handler, description in (
+        ("show", _cmd_machine_show, "build a spec and summarise it"),
+        ("render", _cmd_machine_render, "draw an ASCII zone map"),
+    ):
+        machine_sub = machine_commands.add_parser(sub, help=description)
+        machine_sub.add_argument("spec", metavar="SPEC", help=_machine_spec_help())
+        machine_sub.add_argument(
+            "--qubits",
+            type=int,
+            default=32,
+            metavar="N",
+            help="circuit size for circuit-relative specs (default: 32)",
+        )
+        machine_sub.set_defaults(handler=handler)
 
     bench_parser = commands.add_parser(
         "bench", help="parallel, cached experiment sweeps"
@@ -351,7 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         metavar="SPEC",
-        help="machine spec, repeatable (default: eml)",
+        help=f"repeatable (default: eml); {_machine_spec_help()}",
     )
     bench_sweep.add_argument(
         "-c",

@@ -1,4 +1,14 @@
-"""Hardware models: zones, EML-QCCD machines and baseline QCCD grids."""
+"""Hardware models: zones, machines, and the declarative topology registry.
+
+Machines resolve from *spec strings* through one
+:class:`~repro.hardware.topology.MachineRegistry` — ``grid:3x4:16``,
+``eml:16:2``, ``ring:8:16``, ``star:1+6:16``, ``chain:6:16``,
+``eml?modules=4&optical=2`` or ``file:path.json`` — and every machine
+lowers to a declarative :class:`~repro.hardware.topology.ArchitectureSpec`
+for lossless (de)serialization.  Register new shapes with
+:func:`~repro.hardware.topology.register_machine`; no ``Machine``
+subclass needed.
+"""
 
 from .eml import DEFAULT_MODULE_QUBIT_LIMIT, EMLQCCDMachine, ModuleLayout
 from .grid import PAPER_GRIDS, QCCDGridMachine, paper_grid
@@ -10,22 +20,48 @@ from .serialization import (
     save_machine,
 )
 from .specs import machine_from_spec
+from .topology import (
+    ArchitectureSpec,
+    MachineEntry,
+    MachineRegistry,
+    ZoneSpec,
+    available_machines,
+    canonical_machine_spec,
+    default_machine_registry,
+    machine_families,
+    parse_machine_spec,
+    register_machine,
+    render_machine,
+    resolve_machine,
+)
 from .zones import Zone, ZoneKind
 
 __all__ = [
+    "ArchitectureSpec",
     "DEFAULT_MODULE_QUBIT_LIMIT",
     "EMLQCCDMachine",
     "Machine",
+    "MachineEntry",
     "MachineError",
+    "MachineRegistry",
     "ModuleLayout",
     "PAPER_GRIDS",
     "QCCDGridMachine",
     "Zone",
     "ZoneKind",
+    "ZoneSpec",
+    "available_machines",
+    "canonical_machine_spec",
+    "default_machine_registry",
     "load_machine",
+    "machine_families",
     "machine_from_dict",
     "machine_from_spec",
     "machine_to_dict",
+    "parse_machine_spec",
     "paper_grid",
+    "register_machine",
+    "render_machine",
+    "resolve_machine",
     "save_machine",
 ]

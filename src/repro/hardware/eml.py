@@ -84,6 +84,15 @@ class EMLQCCDMachine(Machine):
                     b for b in module_zone_ids if b != a
                 )
         super().__init__(zones, adjacency)
+        self._spec_kind = "eml"
+        self._spec_options = {
+            "modules": num_modules,
+            "capacity": trap_capacity,
+            "optical": self.layout.num_optical,
+            "operation": self.layout.num_operation,
+            "storage": self.layout.num_storage,
+            "module_limit": module_qubit_limit,
+        }
 
     # ------------------------------------------------------------------
     # Builders

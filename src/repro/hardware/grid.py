@@ -44,6 +44,12 @@ class QCCDGridMachine(Machine):
                     adjacency[zone_id].add(down)
                     adjacency[down].add(zone_id)
         super().__init__(zones, adjacency)
+        self._spec_kind = "grid"
+        self._spec_options = {
+            "rows": rows,
+            "cols": columns,
+            "capacity": trap_capacity,
+        }
 
     def position(self, zone_id: int) -> tuple[int, int]:
         """Grid coordinates (row, column) of a trap."""

@@ -2,15 +2,22 @@
 
 Concrete machines — :class:`~repro.hardware.eml.EMLQCCDMachine` and
 :class:`~repro.hardware.grid.QCCDGridMachine` — provide the zone list and an
-adjacency relation.  Everything else (paths, distances, capacity totals) is
-shared here.
+adjacency relation, and :meth:`Machine.from_architecture` builds one
+directly from a declarative
+:class:`~repro.hardware.topology.ArchitectureSpec` (no subclass needed).
+Everything else (paths, distances, capacity totals, lowering back to an
+architecture) is shared here.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING, Any
 
 from .zones import Zone, ZoneKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .topology import ArchitectureSpec
 
 
 class MachineError(ValueError):
@@ -19,6 +26,11 @@ class MachineError(ValueError):
 
 class Machine:
     """A collection of zones with an undirected shuttle adjacency."""
+
+    #: Registry bookkeeping: which topology builder produced this machine
+    #: (``None`` for hand-built instances, reported as kind ``"custom"``).
+    _spec_kind: str | None = None
+    _spec_options: dict[str, Any] | None = None
 
     def __init__(self, zones: list[Zone], adjacency: dict[int, set[int]]) -> None:
         if not zones:
@@ -38,6 +50,110 @@ class Machine:
                         f"adjacency must be symmetric: {zone_id} -> {other}"
                     )
         self._paths: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Declarative architecture round trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_architecture(cls, arch: "ArchitectureSpec") -> "Machine":
+        """Lower a declarative architecture into a runnable machine.
+
+        Any topology expressible as a zone table plus adjacency edges
+        builds through here — new shapes need a builder function, not a
+        ``Machine`` subclass.  Always builds a plain :class:`Machine`
+        (subclasses have their own constructors and rebuild through the
+        registry instead).  An architecture option ``module_limit``
+        becomes the machine's ``module_qubit_limit`` (the per-module ion
+        budget placement respects).
+        """
+        zones = [
+            Zone(zone_id, row.module_id, row.kind, row.capacity)
+            for zone_id, row in enumerate(arch.zones)
+        ]
+        machine = Machine(zones, arch.adjacency())
+        machine._spec_kind = arch.kind
+        machine._spec_options = arch.options_dict()
+        limit = machine._spec_options.get("module_limit")
+        if limit is not None:
+            machine.module_qubit_limit = limit
+        return machine
+
+    def architecture(self) -> "ArchitectureSpec":
+        """Lower this machine to its declarative architecture.
+
+        The inverse of :meth:`from_architecture`; machines built outside
+        the topology registry lower with kind ``"custom"`` and no
+        options, which still round-trips through ``to_dict``/``from_dict``.
+        """
+        from .topology import ArchitectureSpec, ZoneSpec
+
+        edges = {
+            (min(zone_id, other), max(zone_id, other))
+            for zone_id, neighbours in self._adjacency.items()
+            for other in neighbours
+        }
+        return ArchitectureSpec(
+            kind=self._spec_kind or "custom",
+            zones=tuple(
+                ZoneSpec(zone.module_id, zone.kind, zone.capacity)
+                for zone in self._zones
+            ),
+            edges=tuple(sorted(edges)),
+            options=tuple(sorted((self._spec_options or {}).items())),
+        )
+
+    @property
+    def spec(self) -> str | None:
+        """Canonical machine-spec string, or ``None`` off the registry.
+
+        Lossless, and verified to be: the recorded options are rebuilt
+        through the registered builder and must reproduce this machine's
+        zone table and edges, so a hand-lowered architecture that merely
+        borrows a registered kind name gets ``None`` instead of a spec
+        naming different hardware.  Circuit-relative inputs such as plain
+        ``"eml"`` pin their module count once built.
+        """
+        memo = getattr(self, "_spec_memo", None)
+        if memo is None:
+            memo = (self._compute_spec(),)
+            self._spec_memo = memo
+        return memo[0]
+
+    def _compute_spec(self) -> str | None:
+        if self._spec_kind is None:
+            return None
+        from .topology import default_machine_registry
+
+        registry = default_machine_registry()
+        if self._spec_kind not in registry:
+            return None
+        entry = registry.entry(self._spec_kind)
+        try:
+            options = entry.validate_options(self._spec_options or {})
+            rebuilt = entry.build(options)
+        except (ValueError, TypeError):
+            return None
+        mine = self.architecture()
+        theirs = rebuilt.architecture()
+        if mine.zones != theirs.zones or mine.edges != theirs.edges:
+            return None
+        return entry.format_spec(options)
+
+    def to_dict(self) -> dict:
+        """JSON-safe architecture payload (see :mod:`repro.hardware.serialization`)."""
+        return self.architecture().to_dict()
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Machine":
+        """Rebuild a machine from :meth:`to_dict` output."""
+        from .serialization import machine_from_dict
+
+        return machine_from_dict(payload)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (subclasses specialise)."""
+        return self.architecture().describe()
 
     # ------------------------------------------------------------------
     # Zone access

@@ -1,74 +1,49 @@
-"""Machine (de)serialization: experiment configs as plain dicts / JSON.
+"""Machine (de)serialization: architectures as plain dicts / JSON files.
 
-Round-trips both machine families through JSON-safe dictionaries so sweep
-configurations can live in files and experiment results can record exactly
-which hardware produced them.
+Every machine — the registered families *and* hand-built custom
+topologies — lowers to a declarative
+:class:`~repro.hardware.topology.ArchitectureSpec` (zone table + shuttle
+edges + the builder options that produced it), so sweep configurations can
+live in files, ``file:path.json`` machine specs resolve from disk, and
+experiment results can record exactly which hardware produced them.
+
+The round trip is lossless and type-preserving: payloads whose ``kind``
+names a registered topology rebuild through that builder (an ``eml``
+payload comes back as an :class:`~repro.hardware.eml.EMLQCCDMachine`),
+and the rebuilt zone table is checked against the payload so corrupt or
+hand-edited files fail loudly instead of silently drifting.
 """
 
 from __future__ import annotations
 
 import json
 
-from .eml import EMLQCCDMachine, ModuleLayout
-from .grid import QCCDGridMachine
-from .machine import Machine, MachineError
+from .machine import Machine
+from .topology import default_machine_registry
 
 
 def machine_to_dict(machine: Machine) -> dict:
-    """Describe a machine as a JSON-safe dict."""
-    if isinstance(machine, QCCDGridMachine):
-        return {
-            "kind": "grid",
-            "rows": machine.rows,
-            "columns": machine.columns,
-            "trap_capacity": machine.trap_capacity,
-        }
-    if isinstance(machine, EMLQCCDMachine):
-        return {
-            "kind": "eml",
-            "num_modules": machine.num_modules,
-            "trap_capacity": machine.trap_capacity,
-            "module_qubit_limit": machine.module_qubit_limit,
-            "layout": {
-                "num_storage": machine.layout.num_storage,
-                "num_operation": machine.layout.num_operation,
-                "num_optical": machine.layout.num_optical,
-            },
-        }
-    raise MachineError(
-        f"cannot serialise machine type {type(machine).__name__}"
-    )
+    """Describe a machine as a JSON-safe architecture payload."""
+    return machine.architecture().to_dict()
 
 
 def machine_from_dict(payload: dict) -> Machine:
-    """Rebuild a machine from :func:`machine_to_dict` output."""
-    kind = payload.get("kind")
-    if kind == "grid":
-        return QCCDGridMachine(
-            rows=payload["rows"],
-            columns=payload["columns"],
-            trap_capacity=payload["trap_capacity"],
-        )
-    if kind == "eml":
-        layout_payload = payload.get("layout", {})
-        layout = ModuleLayout(
-            num_storage=layout_payload.get("num_storage", 2),
-            num_operation=layout_payload.get("num_operation", 1),
-            num_optical=layout_payload.get("num_optical", 1),
-        )
-        return EMLQCCDMachine(
-            num_modules=payload["num_modules"],
-            trap_capacity=payload["trap_capacity"],
-            layout=layout,
-            module_qubit_limit=payload.get("module_qubit_limit", 32),
-        )
-    raise MachineError(f"unknown machine kind {kind!r}")
+    """Rebuild a machine from :func:`machine_to_dict` output.
+
+    Accepts everything a ``file:`` machine spec does: full architecture
+    payloads (registered kinds rebuild through their topology builder and
+    are checked against the declared zone table; unknown or ``custom``
+    kinds lower generically), minimal ``{"kind", "options"}`` payloads,
+    and the pre-1.2 serialization format.
+    """
+    return default_machine_registry().from_payload(payload)
 
 
 def save_machine(machine: Machine, path: str) -> None:
-    """Write a machine description to a JSON file."""
+    """Write a machine description to a JSON file (``file:`` spec target)."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(machine_to_dict(machine), handle, indent=2)
+        handle.write("\n")
 
 
 def load_machine(path: str) -> Machine:

@@ -1,35 +1,24 @@
-"""Machine spec strings: ``grid:RxC:CAP`` and ``eml[:CAP[:OPTICAL]]``.
+"""Machine spec strings — compatibility front over the topology registry.
 
-The string form the CLI, the ad-hoc sweep cells and the
-:func:`repro.compile` facade share.  Specs are plain strings, so sweep
-cells stay picklable and cache keys stay JSON-safe — the same contract the
-compiler registry keeps for compiler specs.
+:func:`machine_from_spec` predates :mod:`repro.hardware.topology`; it now
+delegates to the declarative machine registry, which owns the grammar
+(``grid:RxC:CAP``, ``eml[:CAP[:OPTICAL]]``, ``ring:N:CAP``,
+``star:H+L:CAP``, ``chain:N:CAP``, ``name?key=value&...`` query options
+and ``file:path.json`` architecture files).  Specs are plain strings, so
+sweep cells stay picklable and cache keys stay JSON-safe — the same
+contract the compiler registry keeps for compiler specs.
 """
 
 from __future__ import annotations
 
-from .eml import EMLQCCDMachine, ModuleLayout
-from .grid import QCCDGridMachine
 from .machine import Machine
+from .topology import resolve_machine
 
 
 def machine_from_spec(spec: str, num_qubits: int) -> Machine:
-    """Resolve a machine spec string.
+    """Resolve a machine spec string via the default machine registry.
 
-    * ``grid:RxC:CAP`` — monolithic QCCD grid (baseline hardware).
-    * ``eml[:CAP[:OPTICAL]]`` — EML-QCCD sized to the circuit (§4 rule).
+    ``num_qubits`` sizes circuit-relative specs (plain ``eml``, §4 rule);
+    fully pinned specs (``grid:3x4:16``, ``eml?modules=4``) ignore it.
     """
-    parts = spec.split(":")
-    if parts[0] == "grid":
-        if len(parts) != 3:
-            raise ValueError(f"grid spec must be grid:RxC:CAP, got {spec!r}")
-        rows_text, _, cols_text = parts[1].partition("x")
-        return QCCDGridMachine(int(rows_text), int(cols_text), int(parts[2]))
-    if parts[0] == "eml":
-        capacity = int(parts[1]) if len(parts) > 1 else 16
-        optical = int(parts[2]) if len(parts) > 2 else 1
-        layout = ModuleLayout(num_optical=optical)
-        return EMLQCCDMachine.for_circuit_size(
-            num_qubits, trap_capacity=capacity, layout=layout
-        )
-    raise ValueError(f"unknown machine spec {spec!r} (want grid:... or eml...)")
+    return resolve_machine(spec, num_qubits)

@@ -1,0 +1,1240 @@
+"""Declarative machine registry and topology API.
+
+The hardware mirror of the compiler registry (:mod:`repro.pipeline.registry`):
+one :class:`MachineRegistry` holds every buildable topology, addressed by
+*machine spec strings*, and every topology lowers to one declarative
+:class:`ArchitectureSpec` — a zone table plus undirected shuttle-adjacency
+edges — that :meth:`~repro.hardware.machine.Machine.from_architecture`
+turns into a runnable machine.  New shapes need only a builder function,
+no :class:`~repro.hardware.machine.Machine` subclass.
+
+Spec strings come in three forms::
+
+    grid:4x4:12                        # positional (canonical where it fits)
+    eml:16:2                           # eml[:CAP[:OPT]], sized to the circuit
+    ring:8:16                          # ring of 8 full-function traps, cap 16
+    star:1+6:16                        # 1 hub + 6 leaf EML modules, cap 16
+    eml?modules=4&optical=2&storage=3  # query form (any registered option)
+    file:examples/eml_4mod.json        # a JSON architecture file
+
+Positional and query options compose (``eml:12?storage=3``); the registry
+canonicalises every spec (defaults dropped, options sorted), so equivalent
+spellings share one sweep-cache key.  Builders register with
+:func:`register_machine`::
+
+    @register_machine("ladder", family="grid", options=("rungs", "capacity"))
+    def build_ladder(num_qubits=None, *, rungs=4, capacity=16):
+        ...
+        return ArchitectureSpec(kind="ladder", zones=..., edges=...,
+                                options={"rungs": rungs, "capacity": capacity})
+
+A builder may return either a finished machine or an
+:class:`ArchitectureSpec` (lowered automatically).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..specstrings import (
+    NAME_RE,
+    coerce_option_value,
+    format_query,
+    parse_query,
+)
+from .eml import DEFAULT_MODULE_QUBIT_LIMIT, EMLQCCDMachine, ModuleLayout
+from .grid import QCCDGridMachine
+from .machine import Machine, MachineError
+from .zones import ZoneKind
+
+__all__ = [
+    "ArchitectureSpec",
+    "MachineEntry",
+    "MachineRegistry",
+    "ZoneSpec",
+    "available_machines",
+    "canonical_machine_spec",
+    "default_machine_registry",
+    "machine_families",
+    "parse_machine_spec",
+    "register_machine",
+    "render_machine",
+    "resolve_machine",
+]
+
+#: Spec prefix naming a JSON architecture file instead of a registered builder.
+FILE_PREFIX = "file:"
+
+
+# ---------------------------------------------------------------------------
+# Declarative architecture description
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """One row of an architecture's zone table (zone id = row position)."""
+
+    module_id: int
+    kind: ZoneKind
+    capacity: int
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("module id", self.module_id),
+            ("capacity", self.capacity),
+        ):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise MachineError(
+                    f"zone {name} must be an integer, got {value!r}"
+                )
+        if self.module_id < 0:
+            raise MachineError(
+                f"zone module id must be non-negative, got {self.module_id}"
+            )
+        if not isinstance(self.kind, ZoneKind):
+            raise MachineError(f"zone kind must be a ZoneKind, got {self.kind!r}")
+        if self.capacity < 1:
+            raise MachineError(
+                f"zone capacity must be >= 1, got {self.capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Declarative machine description: zone table + adjacency edges.
+
+    ``zones`` is ordered — a zone's id is its position.  ``edges`` are
+    undirected ``(a, b)`` pairs over zone ids (normalised to ``a < b``,
+    deduplicated and sorted on construction, so two specs describing the
+    same topology compare equal).  ``kind``/``options`` record which
+    registry builder produced the spec, making the round trip through
+    :meth:`to_dict`/:meth:`from_dict` lossless; hand-built architectures
+    use kind ``"custom"``.
+    """
+
+    kind: str = "custom"
+    zones: tuple[ZoneSpec, ...] = ()
+    edges: tuple[tuple[int, int], ...] = ()
+    options: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not NAME_RE.match(self.kind):
+            raise MachineError(f"invalid architecture kind {self.kind!r}")
+        zones = tuple(self.zones)
+        if not zones:
+            raise MachineError("an architecture needs at least one zone")
+        for zone in zones:
+            if not isinstance(zone, ZoneSpec):
+                raise MachineError(
+                    f"zones must be ZoneSpec rows, got {type(zone).__name__}"
+                )
+        modules = {zone.module_id for zone in zones}
+        if modules != set(range(len(modules))):
+            raise MachineError(
+                "module ids must be dense from 0, got "
+                f"{sorted(modules)}"
+            )
+        normalised: set[tuple[int, int]] = set()
+        for edge in self.edges:
+            try:
+                a, b = edge
+            except (TypeError, ValueError):
+                raise MachineError(
+                    f"edges must be (a, b) zone-id pairs, got {edge!r}"
+                ) from None
+            if not all(
+                isinstance(end, int) and not isinstance(end, bool)
+                for end in (a, b)
+            ):
+                raise MachineError(
+                    f"edge {edge!r} endpoints must be integer zone ids"
+                )
+            if a == b:
+                raise MachineError(f"self-loop edge on zone {a}")
+            if not (0 <= a < len(zones) and 0 <= b < len(zones)):
+                raise MachineError(
+                    f"edge {edge!r} references an unknown zone "
+                    f"(zone ids run 0..{len(zones) - 1})"
+                )
+            normalised.add((min(a, b), max(a, b)))
+        options = tuple(
+            sorted(
+                dict(self.options).items()
+                if not isinstance(self.options, Mapping)
+                else self.options.items()
+            )
+        )
+        object.__setattr__(self, "zones", zones)
+        object.__setattr__(self, "edges", tuple(sorted(normalised)))
+        object.__setattr__(self, "options", options)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_zones(self) -> int:
+        return len(self.zones)
+
+    @property
+    def num_modules(self) -> int:
+        return 1 + max(zone.module_id for zone in self.zones)
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(zone.capacity for zone in self.zones)
+
+    def options_dict(self) -> dict[str, Any]:
+        return dict(self.options)
+
+    def adjacency(self) -> dict[int, set[int]]:
+        """The edge list as the symmetric mapping ``Machine`` consumes."""
+        neighbours: dict[int, set[int]] = {
+            zone_id: set() for zone_id in range(len(self.zones))
+        }
+        for a, b in self.edges:
+            neighbours[a].add(b)
+            neighbours[b].add(a)
+        return neighbours
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict: ``{"kind", "options", "zones", "edges"}``."""
+        return {
+            "kind": self.kind,
+            "options": {
+                key: value for key, value in self.options
+            },
+            "zones": [
+                {
+                    "zone_id": zone_id,
+                    "module": zone.module_id,
+                    "kind": zone.kind.value,
+                    "capacity": zone.capacity,
+                }
+                for zone_id, zone in enumerate(self.zones)
+            ],
+            "edges": [list(edge) for edge in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ArchitectureSpec":
+        """Inverse of :meth:`to_dict`, with full validation.
+
+        ``zone_id`` fields are optional; when present they must be dense
+        and match each row's position, so a hand-edited file cannot
+        silently reorder the zone table.
+        """
+        if not isinstance(payload, Mapping):
+            raise MachineError(
+                f"architecture payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        kind = payload.get("kind")
+        if not isinstance(kind, str) or not NAME_RE.match(kind):
+            raise MachineError(f"invalid architecture kind {kind!r}")
+        options = payload.get("options", {})
+        if not isinstance(options, Mapping):
+            raise MachineError("architecture 'options' must be a mapping")
+        rows = payload.get("zones")
+        if not isinstance(rows, (list, tuple)) or not rows:
+            raise MachineError(
+                "architecture 'zones' must be a non-empty list"
+            )
+        zones: list[ZoneSpec] = []
+        for position, row in enumerate(rows):
+            if not isinstance(row, Mapping):
+                raise MachineError(f"zone row {position} must be a mapping")
+            zone_id = row.get("zone_id", position)
+            if zone_id != position:
+                raise MachineError(
+                    f"zone ids must be dense and ordered from 0: row "
+                    f"{position} carries zone_id {zone_id!r}"
+                )
+            kind_text = row.get("kind")
+            try:
+                zone_kind = ZoneKind(kind_text)
+            except ValueError:
+                valid = ", ".join(k.value for k in ZoneKind)
+                raise MachineError(
+                    f"unknown zone kind {kind_text!r} (want one of {valid})"
+                ) from None
+            # Require the structural keys outright: silently defaulting a
+            # misspelled 'module' or 'capacity' would build a different
+            # machine than the file describes.
+            missing = [key for key in ("module", "capacity") if key not in row]
+            if missing:
+                raise MachineError(
+                    f"zone row {position} needs {' and '.join(repr(k) for k in missing)}"
+                )
+            zones.append(
+                ZoneSpec(
+                    module_id=row["module"],
+                    kind=zone_kind,
+                    capacity=row["capacity"],
+                )
+            )
+        edges = payload.get("edges", [])
+        if not isinstance(edges, (list, tuple)):
+            raise MachineError("architecture 'edges' must be a list of pairs")
+        parsed_edges = []
+        for edge in edges:
+            if not isinstance(edge, (list, tuple)):
+                raise MachineError(
+                    f"edges must be [a, b] zone-id pairs, got {edge!r}"
+                )
+            parsed_edges.append(tuple(edge))
+        return cls(
+            kind=kind,
+            zones=tuple(zones),
+            edges=tuple(parsed_edges),
+            options=tuple(sorted(options.items())),
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        per_kind: dict[str, int] = {}
+        for zone in self.zones:
+            per_kind[zone.kind.value] = per_kind.get(zone.kind.value, 0) + 1
+        mix = " + ".join(
+            f"{per_kind[k.value]} {k.value}" for k in ZoneKind if k.value in per_kind
+        )
+        return (
+            f"{self.kind}: {self.num_modules} module(s), "
+            f"{self.num_zones} zones ({mix}), "
+            f"{len(self.edges)} shuttle edges, "
+            f"total capacity {self.total_capacity}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineEntry:
+    """One registered topology: builder plus the metadata the UIs need."""
+
+    name: str
+    builder: Callable[..., Any]
+    summary: str = ""
+    #: Hardware family compilers target ("grid": monolithic full-function
+    #: traps, "eml": fiber-linked modules).  Compiler ``machine_family``
+    #: metadata resolves against the set of registered families.
+    family: str = "eml"
+    #: Option names the builder accepts via spec strings.
+    options: tuple[str, ...] = ()
+    #: Default option values — dropped when formatting canonical specs.
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    #: Parse colon-separated positional segments into options.  ``None``
+    #: uses the default codec: segments fill ``options`` in declaration
+    #: order (``ladder:6`` -> first declared option = 6).
+    positional: Callable[[list[str], str], dict[str, Any]] | None = None
+    #: Render options as the short colon form, or None to fall back to the
+    #: generic ``name?key=value`` query form.
+    colon_form: Callable[[dict[str, Any]], str | None] | None = None
+    #: Validate option *values* at spec-parse time (ranges, consistency) —
+    #: so a bad capacity fails with a clear message before Machine.__init__.
+    check: Callable[[dict[str, Any]], None] | None = None
+
+    def validate_options(self, options: Mapping[str, Any]) -> dict[str, Any]:
+        """Check option names and values; returns a plain dict."""
+        options = dict(options)
+        unknown = sorted(set(options) - set(self.options))
+        if unknown:
+            valid = ", ".join(self.options) if self.options else "none"
+            raise ValueError(
+                f"unknown option(s) for machine {self.name!r}: "
+                f"{', '.join(unknown)} (valid options: {valid})"
+            )
+        if self.check is not None:
+            self.check(options)
+        return options
+
+    def canonical_options(self, options: Mapping[str, Any]) -> dict[str, Any]:
+        """Drop options whose value equals the registered default."""
+        return {
+            key: value
+            for key, value in options.items()
+            if key not in self.defaults or self.defaults[key] != value
+        }
+
+    def format_spec(self, options: Mapping[str, Any]) -> str:
+        """Canonical spec string for *options* (shortest registered form).
+
+        *options* must already satisfy :meth:`validate_options` — the
+        colon formatters rely on required keys being present.
+        """
+        minimal = self.canonical_options(options)
+        if self.colon_form is not None:
+            short = self.colon_form(dict(minimal))
+            if short is not None:
+                return short
+        return format_query(self.name, minimal)
+
+    def build(
+        self, options: Mapping[str, Any], num_qubits: int | None = None
+    ) -> Machine:
+        """Instantiate, lowering an :class:`ArchitectureSpec` result."""
+        built = self.builder(num_qubits=num_qubits, **self.validate_options(options))
+        if isinstance(built, ArchitectureSpec):
+            built = Machine.from_architecture(built)
+        if not isinstance(built, Machine):
+            raise TypeError(
+                f"machine builder {self.name!r} must return a Machine or an "
+                f"ArchitectureSpec, got {type(built).__name__}"
+            )
+        return built
+
+
+class MachineRegistry:
+    """Name -> :class:`MachineEntry` table with spec-string resolution."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, MachineEntry] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        *,
+        summary: str = "",
+        family: str = "eml",
+        options: Iterable[str] = (),
+        defaults: Mapping[str, Any] | None = None,
+        positional: Callable[[list[str], str], dict[str, Any]] | None = None,
+        colon_form: Callable[[dict[str, Any]], str | None] | None = None,
+        check: Callable[[dict[str, Any]], None] | None = None,
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering ``builder`` under ``name``.
+
+        The builder is called as ``builder(num_qubits=..., **options)`` and
+        may return a :class:`~repro.hardware.machine.Machine` or an
+        :class:`ArchitectureSpec`.
+        """
+
+        def decorate(builder: Callable[..., Any]) -> Callable[..., Any]:
+            self.add(
+                MachineEntry(
+                    name=name,
+                    builder=builder,
+                    summary=summary,
+                    family=family,
+                    options=tuple(options),
+                    defaults=(
+                        dict(defaults)
+                        if defaults is not None
+                        else _builder_defaults(builder, options)
+                    ),
+                    positional=positional,
+                    colon_form=colon_form,
+                    check=check,
+                )
+            )
+            return builder
+
+        return decorate
+
+    def add(self, entry: MachineEntry) -> None:
+        if not NAME_RE.match(entry.name):
+            raise ValueError(
+                f"invalid machine name {entry.name!r} "
+                "(letters, digits, '.', '_', '-'; must not start with punctuation)"
+            )
+        if entry.name == "file":
+            raise ValueError(
+                "'file' is reserved for file:path.json machine specs"
+            )
+        if entry.name in self._entries:
+            raise ValueError(
+                f"machine {entry.name!r} is already registered; "
+                "pick a different name (re-registration is not allowed)"
+            )
+        if not NAME_RE.match(entry.family):
+            raise ValueError(f"invalid machine family {entry.family!r}")
+        self._entries[entry.name] = entry
+
+    # -- lookup ----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[MachineEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def families(self) -> list[str]:
+        """Every hardware family named by a registration, sorted."""
+        return sorted({entry.family for entry in self._entries.values()})
+
+    def entry(self, name: str) -> MachineEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown machine {name!r} "
+                f"(want one of {', '.join(self.names())}, or file:path.json)"
+            ) from None
+
+    def describe(self) -> str:
+        """One ``name  summary`` line per registration, sorted by name."""
+        width = max((len(name) for name in self._entries), default=0)
+        return "\n".join(
+            f"{name:{width}s}  {self._entries[name].summary}"
+            for name in self.names()
+        )
+
+    # -- spec strings ----------------------------------------------------
+
+    def parse(self, spec: str) -> tuple[str, dict[str, Any]]:
+        """Split a machine spec into ``(name, validated options)``.
+
+        Accepts positional colon segments, a ``?key=value`` query, or both
+        (``eml:12?storage=3``); query options may not rename a positional
+        one.  ``file:`` specs do not parse — resolve them instead.
+        """
+        if spec.startswith(FILE_PREFIX):
+            raise ValueError(
+                f"{spec!r} names an architecture file; file: specs carry no "
+                "options to parse"
+            )
+        head, query_sep, query = spec.partition("?")
+        name, _, rest = head.partition(":")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"machine spec {spec!r} has no machine name")
+        entry = self.entry(name)
+        options: dict[str, Any] = {}
+        if rest:
+            parts = rest.split(":")
+            if entry.positional is not None:
+                options.update(entry.positional(parts, spec))
+            elif len(parts) > len(entry.options):
+                raise ValueError(
+                    f"too many positional segments in {spec!r} (machine "
+                    f"{name!r} takes at most {len(entry.options)}: "
+                    f"{', '.join(entry.options) or 'none'})"
+                )
+            else:
+                # Default codec: colon segments fill the declared options
+                # in registration order.
+                options.update(
+                    (key, coerce_option_value(part))
+                    for key, part in zip(entry.options, parts)
+                )
+        if query_sep:
+            for key, value in parse_query(query, spec=spec).items():
+                if key in options:
+                    raise ValueError(
+                        f"option {key!r} appears both positionally and in "
+                        f"the query of {spec!r}"
+                    )
+                options[key] = value
+        return name, entry.validate_options(options)
+
+    def canonical(self, spec: str) -> str:
+        """Canonical string form of *spec* (validates as a side effect).
+
+        Equivalent spellings — positional vs query, explicit defaults vs
+        omitted — collapse to one string, so sweep grids and cache keys
+        treat them as the same machine.  ``file:`` specs canonicalise to
+        the canonical spec of the architecture they contain when that
+        architecture is registry-buildable, else stay path-keyed.
+        """
+        if spec.startswith(FILE_PREFIX):
+            path = _file_spec_path(spec)
+            payload = _upgrade_legacy_payload(_read_payload(path))
+            if isinstance(payload, Mapping) and "zones" not in payload:
+                # Minimal form: kind + options canonicalise without a
+                # build, so circuit-relative files (no modules pinned)
+                # canonicalise too.
+                kind = payload.get("kind")
+                if isinstance(kind, str) and kind in self._entries:
+                    entry = self._entries[kind]
+                    return entry.format_spec(
+                        entry.validate_options(payload.get("options", {}))
+                    )
+                # Fall through to from_payload for its error message.
+            # Full form: resolve for real — the recorded options must
+            # rebuild the declared zone table, so a corrupt file cannot
+            # canonicalise (and cache-key) as pristine hardware.  That
+            # check already ran inside from_payload, so the spec formats
+            # straight from the machine's recorded options (machine.spec
+            # would redo the rebuild-and-compare).
+            machine = self.from_payload(payload)
+            if machine._spec_kind in self._entries:
+                entry = self._entries[machine._spec_kind]
+                return entry.format_spec(
+                    entry.validate_options(machine._spec_options or {})
+                )
+            # Unregistered/custom kinds stay path-keyed, but carry a
+            # content digest so an edited file never reuses a stale sweep
+            # cache key (and relative/absolute spellings agree).
+            return (
+                f"{FILE_PREFIX}{os.path.abspath(path)}"
+                f"#sha256={_payload_digest(payload)}"
+            )
+        name, options = self.parse(spec)
+        return self._entries[name].format_spec(options)
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve(
+        self, spec: str | Machine, num_qubits: int | None = None
+    ) -> Machine:
+        """Turn a spec string (or ready machine) into a machine.
+
+        ``num_qubits`` sizes circuit-relative specs (the §4 ``eml`` rule);
+        fully pinned specs ignore it.
+        """
+        if isinstance(spec, Machine):
+            return spec
+        if not isinstance(spec, str):
+            raise TypeError(
+                f"expected a machine spec string or a Machine, got "
+                f"{type(spec).__name__}"
+            )
+        if spec.startswith(FILE_PREFIX):
+            return self.from_payload(
+                _read_payload(_file_spec_path(spec)), num_qubits
+            )
+        name, options = self.parse(spec)
+        return self._entries[name].build(options, num_qubits)
+
+    def from_architecture(self, arch: ArchitectureSpec) -> Machine:
+        """Build *arch*, through its registered builder when one exists.
+
+        A registered kind rebuilds through its builder (so e.g. an ``eml``
+        architecture comes back as an :class:`EMLQCCDMachine`) and the
+        result is checked against the declared zone table; unknown kinds
+        lower generically.
+        """
+        if arch.kind in self._entries:
+            if not arch.options:
+                raise MachineError(
+                    f"architecture of registered kind {arch.kind!r} must "
+                    "record its builder 'options' (or use kind 'custom' "
+                    "for a hand-built zone table)"
+                )
+            entry = self._entries[arch.kind]
+            machine = entry.build(arch.options_dict())
+            rebuilt = machine.architecture()
+            if rebuilt.zones != arch.zones or rebuilt.edges != arch.edges:
+                raise MachineError(
+                    f"architecture payload of kind {arch.kind!r} does not "
+                    "match what its builder produces from the recorded "
+                    "options (zone table or edges differ)"
+                )
+            return machine
+        return Machine.from_architecture(arch)
+
+    def from_payload(
+        self, payload: Mapping, num_qubits: int | None = None
+    ) -> Machine:
+        """Build a machine from a JSON payload (dict / ``file:`` content).
+
+        Three accepted shapes:
+
+        * full :meth:`ArchitectureSpec.to_dict` output (``zones``/``edges``
+          declared; registered kinds are checked against their builder),
+        * minimal ``{"kind", "options"}`` for a kind registered *in this
+          registry* (built directly — no zone table to cross-check;
+          ``num_qubits`` sizes circuit-relative option sets),
+        * the pre-1.2 serialization format, upgraded transparently.
+        """
+        payload = _upgrade_legacy_payload(payload)
+        if not isinstance(payload, Mapping):
+            raise MachineError(
+                f"machine payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        if "zones" in payload:
+            return self.from_architecture(ArchitectureSpec.from_dict(payload))
+        # Minimal form: a registered kind plus builder options.
+        kind = payload.get("kind")
+        if not isinstance(kind, str) or kind not in self:
+            raise MachineError(
+                f"a machine payload without a 'zones' table needs a "
+                f"registered 'kind' (got {kind!r}; registered: "
+                f"{', '.join(self.names())})"
+            )
+        entry = self.entry(kind)
+        return entry.build(payload.get("options", {}), num_qubits)
+
+
+def _builder_defaults(
+    builder: Callable[..., Any], options: Iterable[str]
+) -> dict[str, Any]:
+    """Derive canonicalisation defaults from a builder's signature.
+
+    Registrations that do not pass ``defaults=`` still get the documented
+    invariant — explicit-default spellings canonicalise away — from the
+    builder's own keyword defaults.  ``None`` defaults mean "unset" (e.g.
+    eml's circuit-relative ``modules``) and are skipped.
+    """
+    import inspect
+
+    option_names = set(options)
+    try:
+        parameters = inspect.signature(builder).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return {}
+    return {
+        name: parameter.default
+        for name, parameter in parameters.items()
+        if name in option_names
+        and parameter.default is not inspect.Parameter.empty
+        and parameter.default is not None
+    }
+
+
+def _file_spec_path(spec: str) -> str:
+    """Extract the path of a ``file:`` spec.
+
+    Only the self-generated canonicalisation fragment is dropped
+    (``file:arch.json#sha256=...`` resolves like ``file:arch.json``);
+    a ``#`` that is genuinely part of the file name stays intact.
+    """
+    path = spec[len(FILE_PREFIX):].strip()
+    head, sep, fragment = path.rpartition("#")
+    if sep and fragment.startswith("sha256="):
+        path = head
+    if "?" in path:
+        raise ValueError(
+            f"file: machine specs carry no ?options (got {spec!r}); put "
+            "builder options in the JSON file's 'options' object"
+        )
+    return path
+
+
+def _payload_digest(payload: Mapping) -> str:
+    """Content digest of a machine payload (whitespace-insensitive)."""
+    import hashlib
+    import json
+
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _read_payload(path: str) -> Mapping:
+    """Read a ``file:`` machine spec's JSON payload with clean errors."""
+    import json
+
+    path = path.strip()
+    if not path:
+        raise ValueError("file: machine spec needs a path, e.g. file:arch.json")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ValueError(f"cannot read machine file {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"machine file {path!r} is not valid JSON: {error}"
+        ) from None
+    if not isinstance(payload, Mapping):
+        raise MachineError(f"machine file {path!r} must hold a JSON object")
+    return payload
+
+
+def _upgrade_legacy_payload(payload: Any) -> Any:
+    """Convert the pre-1.2 serialization format to builder options.
+
+    Version 1.1's ``machine_to_dict`` wrote ``{"kind": "grid", "rows",
+    "columns", "trap_capacity"}`` and ``{"kind": "eml", "num_modules",
+    "trap_capacity", "module_qubit_limit", "layout": {...}}``; saved sweep
+    configs in that shape keep loading.
+    """
+    if (
+        not isinstance(payload, Mapping)
+        or "zones" in payload
+        or "options" in payload
+    ):
+        return payload
+    kind = payload.get("kind")
+    if kind == "grid" and {"rows", "columns", "trap_capacity"} <= payload.keys():
+        return {
+            "kind": "grid",
+            "options": {
+                "rows": payload["rows"],
+                "cols": payload["columns"],
+                "capacity": payload["trap_capacity"],
+            },
+        }
+    if kind == "eml" and "num_modules" in payload:
+        layout = payload.get("layout") or {}
+        return {
+            "kind": "eml",
+            "options": {
+                "modules": payload["num_modules"],
+                "capacity": payload.get("trap_capacity", 16),
+                "optical": layout.get("num_optical", 1),
+                "operation": layout.get("num_operation", 1),
+                "storage": layout.get("num_storage", 2),
+                "module_limit": payload.get(
+                    "module_qubit_limit", DEFAULT_MODULE_QUBIT_LIMIT
+                ),
+            },
+        }
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Default registry + module-level helpers
+# ---------------------------------------------------------------------------
+
+#: The process-wide registry every front-end resolves through.
+_DEFAULT_REGISTRY = MachineRegistry()
+
+
+def default_machine_registry() -> MachineRegistry:
+    """The registry the CLI, facade, sweeps and serializer share."""
+    return _DEFAULT_REGISTRY
+
+
+def register_machine(
+    name: str,
+    *,
+    summary: str = "",
+    family: str = "eml",
+    options: Iterable[str] = (),
+    defaults: Mapping[str, Any] | None = None,
+    positional: Callable[[list[str], str], dict[str, Any]] | None = None,
+    colon_form: Callable[[dict[str, Any]], str | None] | None = None,
+    check: Callable[[dict[str, Any]], None] | None = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """``@register_machine("name")`` on the default registry."""
+    return _DEFAULT_REGISTRY.register(
+        name,
+        summary=summary,
+        family=family,
+        options=options,
+        defaults=defaults,
+        positional=positional,
+        colon_form=colon_form,
+        check=check,
+    )
+
+
+def parse_machine_spec(spec: str) -> tuple[str, dict[str, Any]]:
+    """Parse a machine spec through the default registry."""
+    return _DEFAULT_REGISTRY.parse(spec)
+
+
+def canonical_machine_spec(spec: str) -> str:
+    """Canonicalise (and validate) a machine spec string."""
+    return _DEFAULT_REGISTRY.canonical(spec)
+
+
+def resolve_machine(spec: str | Machine, num_qubits: int | None = None) -> Machine:
+    """Resolve a spec through the default registry."""
+    return _DEFAULT_REGISTRY.resolve(spec, num_qubits)
+
+
+def available_machines() -> list[str]:
+    """Sorted names registered in the default registry."""
+    return _DEFAULT_REGISTRY.names()
+
+
+def machine_families() -> list[str]:
+    """Hardware families named by default-registry machines."""
+    return _DEFAULT_REGISTRY.families()
+
+
+# ---------------------------------------------------------------------------
+# Built-in topologies
+# ---------------------------------------------------------------------------
+
+
+def _require_int(options: Mapping[str, Any], key: str, minimum: int, why: str) -> None:
+    if key not in options:
+        return
+    value = options[key]
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ValueError(
+            f"machine option {key!r} must be an integer >= {minimum} "
+            f"({why}), got {value!r}"
+        )
+
+
+def _require_present(options: Mapping[str, Any], keys: Iterable[str], name: str) -> None:
+    missing = [key for key in keys if key not in options]
+    if missing:
+        raise ValueError(
+            f"machine {name!r} needs option(s) {', '.join(missing)} "
+            f"(e.g. {name}?{'&'.join(f'{key}=...' for key in missing)})"
+        )
+
+
+def _check_capacity(options: Mapping[str, Any]) -> None:
+    _require_int(options, "capacity", 2, "two-qubit gates need >= 2 ions per trap")
+
+
+def _parse_grid_positional(parts: list[str], spec: str) -> dict[str, Any]:
+    if len(parts) != 2 or "x" not in parts[0]:
+        raise ValueError(f"grid spec must be grid:RxC:CAP, got {spec!r}")
+    rows_text, _, cols_text = parts[0].partition("x")
+    try:
+        return {
+            "rows": int(rows_text),
+            "cols": int(cols_text),
+            "capacity": int(parts[1]),
+        }
+    except ValueError:
+        raise ValueError(
+            f"grid spec must be grid:RxC:CAP with integers, got {spec!r}"
+        ) from None
+
+
+def _check_grid(options: Mapping[str, Any]) -> None:
+    _require_present(options, ("rows", "cols", "capacity"), "grid")
+    _require_int(options, "rows", 1, "a grid needs at least one row")
+    _require_int(options, "cols", 1, "a grid needs at least one column")
+    _check_capacity(options)
+
+
+def _grid_colon_form(options: dict[str, Any]) -> str | None:
+    return f"grid:{options['rows']}x{options['cols']}:{options['capacity']}"
+
+
+@register_machine(
+    "grid",
+    summary="monolithic QCCD grid of full-function traps (baseline hardware)",
+    family="grid",
+    options=("rows", "cols", "capacity"),
+    positional=_parse_grid_positional,
+    colon_form=_grid_colon_form,
+    check=_check_grid,
+)
+def build_grid(num_qubits: int | None = None, *, rows: int, cols: int, capacity: int) -> Machine:
+    return QCCDGridMachine(rows, cols, capacity)
+
+
+def _parse_int_segments(
+    parts: list[str], spec: str, names: tuple[str, ...], usage: str
+) -> dict[str, Any]:
+    if len(parts) > len(names):
+        raise ValueError(f"spec must be {usage}, got {spec!r}")
+    try:
+        return {name: int(text) for name, text in zip(names, parts)}
+    except ValueError:
+        raise ValueError(
+            f"spec must be {usage} with integers, got {spec!r}"
+        ) from None
+
+
+_EML_LAYOUT_OPTIONS = ("optical", "operation", "storage")
+
+#: Single source of the eml builder defaults — shared by the registration's
+#: ``defaults=`` (canonical-spec dropping) and the colon formatter, so a
+#: changed default can never make a canonical spec name a different machine.
+_EML_DEFAULTS = {
+    "capacity": 16,
+    "optical": 1,
+    "operation": 1,
+    "storage": 2,
+    "module_limit": DEFAULT_MODULE_QUBIT_LIMIT,
+}
+
+#: Likewise for the star builder (leaf zones follow the eml layout).
+_STAR_DEFAULTS = {"hubs": 1, "hub_optical": 2, **_EML_DEFAULTS}
+
+
+def _check_eml(options: Mapping[str, Any]) -> None:
+    _check_capacity(options)
+    _require_int(options, "modules", 1, "an EML machine needs a module")
+    _require_int(options, "optical", 1, "a module needs an optical zone")
+    _require_int(options, "operation", 1, "a module needs an operation zone")
+    _require_int(options, "storage", 1, "a module needs a storage zone")
+    _require_int(options, "module_limit", 2, "a module must hold a gate pair")
+
+
+def _eml_colon_form(options: dict[str, Any]) -> str | None:
+    if not set(options) <= {"capacity", "optical"}:
+        return None
+    if "optical" in options:
+        capacity = options.get("capacity", _EML_DEFAULTS["capacity"])
+        return f"eml:{capacity}:{options['optical']}"
+    if "capacity" in options:
+        return f"eml:{options['capacity']}"
+    return "eml"
+
+
+@register_machine(
+    "eml",
+    summary="entanglement-module-linked QCCD, sized to the circuit (§4 rule)",
+    family="eml",
+    options=("modules", "capacity", "module_limit") + _EML_LAYOUT_OPTIONS,
+    defaults=_EML_DEFAULTS,
+    positional=lambda parts, spec: _parse_int_segments(
+        parts, spec, ("capacity", "optical"), "eml[:CAP[:OPTICAL]]"
+    ),
+    colon_form=_eml_colon_form,
+    check=_check_eml,
+)
+def build_eml(
+    num_qubits: int | None = None,
+    *,
+    modules: int | None = None,
+    capacity: int = 16,
+    optical: int = 1,
+    operation: int = 1,
+    storage: int = 2,
+    module_limit: int = DEFAULT_MODULE_QUBIT_LIMIT,
+) -> Machine:
+    layout = ModuleLayout(
+        num_storage=storage, num_operation=operation, num_optical=optical
+    )
+    if modules is not None:
+        return EMLQCCDMachine(modules, capacity, layout, module_limit)
+    if num_qubits is None:
+        raise ValueError(
+            "an 'eml' spec without modules=N sizes itself to the circuit; "
+            "pass num_qubits or pin the module count (eml?modules=4)"
+        )
+    return EMLQCCDMachine.for_circuit_size(
+        num_qubits, trap_capacity=capacity, layout=layout,
+        module_qubit_limit=module_limit,
+    )
+
+
+def _operation_row(count: int, capacity: int) -> tuple[ZoneSpec, ...]:
+    return tuple(
+        ZoneSpec(module_id=0, kind=ZoneKind.OPERATION, capacity=capacity)
+        for _ in range(count)
+    )
+
+
+def _check_ring(options: Mapping[str, Any]) -> None:
+    _require_present(options, ("traps",), "ring")
+    _require_int(options, "traps", 3, "a ring needs at least three traps")
+    _check_capacity(options)
+
+
+@register_machine(
+    "ring",
+    summary="cycle of full-function traps (grid family, wrap-around shuttling)",
+    family="grid",
+    options=("traps", "capacity"),
+    positional=lambda parts, spec: _parse_int_segments(
+        parts, spec, ("traps", "capacity"), "ring:TRAPS[:CAP]"
+    ),
+    colon_form=lambda options: (
+        f"ring:{options['traps']}:{options['capacity']}"
+        if "capacity" in options
+        else f"ring:{options['traps']}"
+    ),
+    check=_check_ring,
+)
+def build_ring(
+    num_qubits: int | None = None, *, traps: int, capacity: int = 16
+) -> ArchitectureSpec:
+    edges = [(i, (i + 1) % traps) for i in range(traps)]
+    return ArchitectureSpec(
+        kind="ring",
+        zones=_operation_row(traps, capacity),
+        edges=tuple(edges),
+        options={"traps": traps, "capacity": capacity},
+    )
+
+
+def _check_chain(options: Mapping[str, Any]) -> None:
+    _require_present(options, ("traps",), "chain")
+    _require_int(options, "traps", 1, "a chain needs at least one trap")
+    _check_capacity(options)
+
+
+@register_machine(
+    "chain",
+    summary="linear chain of full-function traps (grid family, no wrap-around)",
+    family="grid",
+    options=("traps", "capacity"),
+    positional=lambda parts, spec: _parse_int_segments(
+        parts, spec, ("traps", "capacity"), "chain:TRAPS[:CAP]"
+    ),
+    colon_form=lambda options: (
+        f"chain:{options['traps']}:{options['capacity']}"
+        if "capacity" in options
+        else f"chain:{options['traps']}"
+    ),
+    check=_check_chain,
+)
+def build_chain(
+    num_qubits: int | None = None, *, traps: int, capacity: int = 16
+) -> ArchitectureSpec:
+    edges = [(i, i + 1) for i in range(traps - 1)]
+    return ArchitectureSpec(
+        kind="chain",
+        zones=_operation_row(traps, capacity),
+        edges=tuple(edges),
+        options={"traps": traps, "capacity": capacity},
+    )
+
+
+def _parse_star_positional(parts: list[str], spec: str) -> dict[str, Any]:
+    usage = "star:HUBS+LEAVES[:CAP]"
+    if not parts or len(parts) > 2 or "+" not in parts[0]:
+        raise ValueError(f"star spec must be {usage}, got {spec!r}")
+    hubs_text, _, leaves_text = parts[0].partition("+")
+    try:
+        options: dict[str, Any] = {
+            "hubs": int(hubs_text),
+            "leaves": int(leaves_text),
+        }
+        if len(parts) == 2:
+            options["capacity"] = int(parts[1])
+    except ValueError:
+        raise ValueError(f"star spec must be {usage} with integers, got {spec!r}") from None
+    return options
+
+
+def _check_star(options: Mapping[str, Any]) -> None:
+    _require_present(options, ("leaves",), "star")
+    _require_int(options, "hubs", 1, "a star needs a hub module")
+    _require_int(options, "leaves", 1, "a star needs a leaf module")
+    _require_int(options, "hub_optical", 1, "a hub needs an optical zone")
+    _check_eml(options)
+
+
+def _star_colon_form(options: dict[str, Any]) -> str | None:
+    if not set(options) <= {"hubs", "leaves", "capacity"}:
+        return None
+    hubs = options.get("hubs", _STAR_DEFAULTS["hubs"])
+    head = f"star:{hubs}+{options['leaves']}"
+    if "capacity" in options:
+        return f"{head}:{options['capacity']}"
+    return head
+
+
+@register_machine(
+    "star",
+    summary="hub-and-leaf EML: optical-rich hub modules plus standard leaves",
+    family="eml",
+    options=("hubs", "leaves", "capacity", "hub_optical", "module_limit")
+    + _EML_LAYOUT_OPTIONS,
+    defaults=_STAR_DEFAULTS,
+    positional=_parse_star_positional,
+    colon_form=_star_colon_form,
+    check=_check_star,
+)
+def build_star(
+    num_qubits: int | None = None,
+    *,
+    hubs: int = 1,
+    leaves: int,
+    capacity: int = 16,
+    hub_optical: int = 2,
+    optical: int = 1,
+    operation: int = 1,
+    storage: int = 2,
+    module_limit: int = DEFAULT_MODULE_QUBIT_LIMIT,
+) -> ArchitectureSpec:
+    """Heterogeneous EML for §7-style scaling studies: *hubs* modules get
+    ``hub_optical`` ion-photon interfaces (entanglement routing centres),
+    the *leaves* keep the standard layout.  Intra-module shuttling is
+    all-to-all, exactly as in :class:`EMLQCCDMachine` modules."""
+    zones: list[ZoneSpec] = []
+    edges: list[tuple[int, int]] = []
+    for module_id in range(hubs + leaves):
+        n_optical = hub_optical if module_id < hubs else optical
+        kinds = (
+            [ZoneKind.OPTICAL] * n_optical
+            + [ZoneKind.OPERATION] * operation
+            + [ZoneKind.STORAGE] * storage
+        )
+        first = len(zones)
+        zones.extend(
+            ZoneSpec(module_id=module_id, kind=kind, capacity=capacity)
+            for kind in kinds
+        )
+        edges.extend(
+            (a, b)
+            for a in range(first, len(zones))
+            for b in range(a + 1, len(zones))
+        )
+    return ArchitectureSpec(
+        kind="star",
+        zones=tuple(zones),
+        edges=tuple(edges),
+        options={
+            "hubs": hubs,
+            "leaves": leaves,
+            "capacity": capacity,
+            "hub_optical": hub_optical,
+            "optical": optical,
+            "operation": operation,
+            "storage": storage,
+            "module_limit": module_limit,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# ASCII zone maps
+# ---------------------------------------------------------------------------
+
+_KIND_GLYPHS = {
+    ZoneKind.OPTICAL: "opt",
+    ZoneKind.OPERATION: "op",
+    ZoneKind.STORAGE: "sto",
+}
+
+
+def _zone_cell(zone: Any) -> str:
+    return f"[z{zone.zone_id} {_KIND_GLYPHS[zone.kind]}/{zone.capacity}]"
+
+
+def render_machine(machine: Machine) -> str:
+    """ASCII zone map of any machine (the ``repro machine render`` view).
+
+    Grids draw as their row/column lattice; rings and chains as a single
+    shuttle line; module-linked machines one module per line plus the
+    fiber legend.
+    """
+    arch = machine.architecture()
+    spec = machine.spec
+    lines = [arch.describe() if spec is None else f"{spec} — {arch.describe()}"]
+
+    if isinstance(machine, QCCDGridMachine):
+        cells = [_zone_cell(zone) for zone in machine.zones]
+        width = max(len(cell) for cell in cells)
+        for row in range(machine.rows):
+            start = row * machine.columns
+            lines.append(
+                " -- ".join(
+                    cell.ljust(width)
+                    for cell in cells[start : start + machine.columns]
+                ).rstrip()
+            )
+        lines.append("4-neighbour shuttling between adjacent traps")
+        return "\n".join(lines)
+
+    if arch.kind in ("ring", "chain"):
+        row = " -- ".join(_zone_cell(zone) for zone in machine.zones)
+        if arch.kind == "ring" and machine.num_zones > 2:
+            row += " -- (z0)"
+        lines.append(row)
+        return "\n".join(lines)
+
+    width = len(f"module {machine.num_modules - 1}")
+    for module_id in range(machine.num_modules):
+        cells = " ".join(
+            _zone_cell(zone) for zone in machine.zones_in_module(module_id)
+        )
+        lines.append(f"{f'module {module_id}':{width}s}: {cells}")
+    optical = [zone for zone in machine.zones if zone.allows_fiber]
+    if machine.num_modules > 1 and optical:
+        ids = ", ".join(f"z{zone.zone_id}" for zone in optical)
+        lines.append(
+            f"fiber: optical zones ({ids}) entangle across all module pairs"
+        )
+    return "\n".join(lines)

@@ -12,6 +12,8 @@ returns a :class:`~repro.pipeline.context.CompileResult`::
 
     result = repro.compile("Adder_n32", "grid:2x2:12", compiler="dai")
     result = repro.compile("BV_n64", "eml", compiler="muss-ti?lookahead_k=4")
+    result = repro.compile("GHZ_n16", "ring:8:16")
+    result = repro.compile("GHZ_n64", "file:examples/eml_4mod.json")
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from dataclasses import asdict, is_dataclass
 from typing import Any, Mapping
 
 from ..circuits import QuantumCircuit
-from ..hardware import Machine, machine_from_spec
+from ..hardware import Machine, resolve_machine
 from ..workloads import get_benchmark
 from .context import CompileResult
 from .passes import PassPipeline
@@ -31,12 +33,6 @@ def _resolve_circuit(circuit_or_benchmark: QuantumCircuit | str) -> QuantumCircu
     if isinstance(circuit_or_benchmark, str):
         return get_benchmark(circuit_or_benchmark)
     return circuit_or_benchmark
-
-
-def _resolve_machine(machine: Machine | str, num_qubits: int) -> Machine:
-    if isinstance(machine, str):
-        return machine_from_spec(machine, num_qubits)
-    return machine
 
 
 def _config_overrides(config: Any) -> Mapping[str, Any] | None:
@@ -78,9 +74,11 @@ def compile(  # noqa: A001 - deliberate: repro.compile is the public verb
     Args:
         circuit_or_benchmark: a :class:`~repro.circuits.QuantumCircuit`, or
             a benchmark name such as ``"GHZ_n32"``.
-        machine: a :class:`~repro.hardware.Machine`, or a spec string such
-            as ``"eml"``, ``"eml:12:2"`` or ``"grid:2x2:12"`` (sized to the
-            circuit where the spec allows).
+        machine: a :class:`~repro.hardware.Machine`, or a machine-registry
+            spec string such as ``"eml"``, ``"eml:12:2"``,
+            ``"grid:2x2:12"``, ``"ring:8:16"``, ``"star:1+6:16"`` or
+            ``"file:arch.json"`` (sized to the circuit where the spec
+            allows).
         compiler: a registry spec string (``"muss-ti"``,
             ``"muss-ti?lookahead_k=4"``, ``"dai"``, ...), a compiler
             instance, or a :class:`~repro.pipeline.passes.PassPipeline`.
@@ -95,7 +93,7 @@ def compile(  # noqa: A001 - deliberate: repro.compile is the public verb
         :class:`~repro.sim.Program` is ``result.program``.
     """
     circuit = _resolve_circuit(circuit_or_benchmark)
-    resolved_machine = _resolve_machine(machine, circuit.num_qubits)
+    resolved_machine = resolve_machine(machine, circuit.num_qubits)
     overrides = _config_overrides(config)
 
     if isinstance(compiler, PassPipeline):

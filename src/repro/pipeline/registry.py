@@ -22,33 +22,15 @@ result cache.
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
-#: Registered names must be addressable inside spec strings and cache keys.
-_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
-
-_TRUE_WORDS = frozenset({"true", "yes", "on"})
-_FALSE_WORDS = frozenset({"false", "no", "off"})
-
-
-def coerce_option_value(text: str) -> Any:
-    """Parse an option value: bool words, then int, then float, else str."""
-    lowered = text.lower()
-    if lowered in _TRUE_WORDS:
-        return True
-    if lowered in _FALSE_WORDS:
-        return False
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
-    return text
+from ..specstrings import NAME_RE as _NAME_RE
+from ..specstrings import (
+    coerce_option_value,  # noqa: F401  (re-exported public helper)
+    format_query,
+    parse_query,
+)
 
 
 def parse_compiler_spec(spec: str) -> tuple[str, dict[str, Any]]:
@@ -57,32 +39,13 @@ def parse_compiler_spec(spec: str) -> tuple[str, dict[str, Any]]:
     name = name.strip()
     if not name:
         raise ValueError(f"compiler spec {spec!r} has no compiler name")
-    options: dict[str, Any] = {}
-    if query_sep:
-        for part in query.split("&"):
-            if not part:
-                continue
-            key, eq, value = part.partition("=")
-            key = key.strip()
-            if not eq or not key:
-                raise ValueError(
-                    f"bad option {part!r} in compiler spec {spec!r} "
-                    "(want key=value)"
-                )
-            options[key] = coerce_option_value(value.strip())
+    options = parse_query(query, spec=spec) if query_sep else {}
     return name, options
 
 
 def format_compiler_spec(name: str, options: Mapping[str, Any] | None = None) -> str:
     """Inverse of :func:`parse_compiler_spec` (options sorted by key)."""
-    if not options:
-        return name
-    parts = []
-    for key in sorted(options):
-        value = options[key]
-        text = str(value).lower() if isinstance(value, bool) else str(value)
-        parts.append(f"{key}={text}")
-    return f"{name}?{'&'.join(parts)}"
+    return format_query(name, options)
 
 
 def parse_option_assignments(assignments: Iterable[str]) -> dict[str, Any]:
@@ -180,10 +143,16 @@ class CompilerRegistry:
                 f"compiler {entry.name!r} is already registered; "
                 "pick a different name (re-registration is not allowed)"
             )
-        if entry.machine_family not in ("grid", "eml"):
+        # Families come from the machine registry, so a compiler can target
+        # any registered hardware family (imported lazily: hardware never
+        # imports pipeline, keeping the dependency one-way).
+        from ..hardware.topology import machine_families
+
+        families = machine_families()
+        if entry.machine_family not in families:
             raise ValueError(
-                f"machine_family must be 'grid' or 'eml', got "
-                f"{entry.machine_family!r}"
+                f"machine_family must be a registered machine family "
+                f"({', '.join(families)}), got {entry.machine_family!r}"
             )
         self._entries[entry.name] = entry
 

@@ -1,0 +1,76 @@
+"""Shared spec-string grammar helpers.
+
+Both registries — compilers (:mod:`repro.pipeline.registry`) and machines
+(:mod:`repro.hardware.topology`) — address their entries with *spec
+strings*: a registered name plus optional ``?key=value&...`` options.
+This module owns the pieces of that grammar they share, so the two
+registries parse and canonicalise options identically:
+
+* :func:`coerce_option_value` — value coercion (bool words, int, float,
+  else string),
+* :func:`parse_query` — ``key=value&...`` query-part parsing,
+* :func:`format_query` — the canonical inverse (options sorted by key).
+
+Specs stay plain strings end to end, so sweep cells remain picklable
+across the process pool and JSON-safe for the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+#: Registered names must be addressable inside spec strings and cache keys.
+NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_TRUE_WORDS = frozenset({"true", "yes", "on"})
+_FALSE_WORDS = frozenset({"false", "no", "off"})
+
+
+def coerce_option_value(text: str) -> Any:
+    """Parse an option value: bool words, then int, then float, else str."""
+    lowered = text.lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_query(query: str, *, spec: str) -> dict[str, Any]:
+    """Parse the ``key=value&...`` part of *spec* into coerced options."""
+    options: dict[str, Any] = {}
+    for part in query.split("&"):
+        if not part:
+            continue
+        key, eq, value = part.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise ValueError(
+                f"bad option {part!r} in spec {spec!r} (want key=value)"
+            )
+        options[key] = coerce_option_value(value.strip())
+    return options
+
+
+def format_option_value(value: Any) -> str:
+    """Render one option value exactly as the parser would re-read it."""
+    return str(value).lower() if isinstance(value, bool) else str(value)
+
+
+def format_query(name: str, options: Mapping[str, Any] | None = None) -> str:
+    """Canonical ``name?key=value&...`` form (options sorted by key)."""
+    if not options:
+        return name
+    parts = [
+        f"{key}={format_option_value(options[key])}" for key in sorted(options)
+    ]
+    return f"{name}?{'&'.join(parts)}"

@@ -4,32 +4,32 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import main, parse_machine
-from repro.hardware import EMLQCCDMachine, QCCDGridMachine
+from repro.cli import main
+from repro.hardware import EMLQCCDMachine, QCCDGridMachine, machine_from_spec
 
 
 class TestParseMachine:
     def test_grid_spec(self):
-        machine = parse_machine("grid:3x4:16", num_qubits=100)
+        machine = machine_from_spec("grid:3x4:16", num_qubits=100)
         assert isinstance(machine, QCCDGridMachine)
         assert (machine.rows, machine.columns, machine.trap_capacity) == (3, 4, 16)
 
     def test_eml_default(self):
-        machine = parse_machine("eml", num_qubits=64)
+        machine = machine_from_spec("eml", num_qubits=64)
         assert isinstance(machine, EMLQCCDMachine)
         assert machine.num_modules == 2
         assert machine.trap_capacity == 16
 
     def test_eml_with_capacity_and_optical(self):
-        machine = parse_machine("eml:12:2", num_qubits=32)
+        machine = machine_from_spec("eml:12:2", num_qubits=32)
         assert machine.trap_capacity == 12
         assert len(machine.optical_zones(0)) == 2
 
     def test_bad_specs(self):
-        with pytest.raises(ValueError):
-            parse_machine("mesh:2x2", 8)
-        with pytest.raises(ValueError):
-            parse_machine("grid:2x2", 8)
+        with pytest.raises(ValueError, match="unknown machine"):
+            machine_from_spec("mesh:2x2", 8)
+        with pytest.raises(ValueError, match="grid spec"):
+            machine_from_spec("grid:2x2", 8)
 
 
 class TestCommands:
@@ -206,6 +206,24 @@ class TestCompilerSpecs:
         assert code == 2
         assert "grid spec" in capsys.readouterr().err
 
+    def test_bench_sweep_rejects_unknown_machine(self, capsys):
+        code = main(
+            [
+                "bench",
+                "sweep",
+                "-w",
+                "GHZ_n16",
+                "-m",
+                "mesh:2x2",
+                "--no-cache",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown machine 'mesh'" in err
+        assert "eml" in err  # the registry names the alternatives
+
     def test_bench_sweep_rejects_unknown_compiler(self, capsys):
         code = main(
             [
@@ -221,3 +239,77 @@ class TestCompilerSpecs:
         )
         assert code == 2
         assert "unknown compiler" in capsys.readouterr().err
+
+
+class TestMachineSpecs:
+    def test_compile_on_ring(self, capsys):
+        code = main(["compile", "GHZ_n16", "--machine", "ring:8:16"])
+        assert code == 0
+        assert "GHZ_n16 via MUSS-TI" in capsys.readouterr().out
+
+    def test_compile_on_file_spec(self, capsys, tmp_path):
+        path = tmp_path / "arch.json"
+        path.write_text('{"kind": "eml", "options": {"modules": 2}}')
+        code = main(["compile", "GHZ_n32", "--machine", f"file:{path}"])
+        assert code == 0
+        assert "GHZ_n32 via MUSS-TI" in capsys.readouterr().out
+
+    def test_unknown_machine_lists_registry(self, capsys):
+        code = main(["compile", "GHZ_n16", "--machine", "mesh:2x2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown machine 'mesh'" in err
+        assert "grid" in err and "ring" in err
+
+    def test_zero_capacity_is_parse_time_error(self, capsys):
+        code = main(["compile", "GHZ_n16", "--machine", "grid:2x2:0"])
+        assert code == 2
+        assert "capacity" in capsys.readouterr().err
+
+    def test_compile_help_lists_registered_machines(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compile", "--help"])
+        out = capsys.readouterr().out
+        for name in ("grid", "eml", "ring", "star", "chain"):
+            assert name in out
+
+
+class TestMachineCommands:
+    def test_machine_list(self, capsys):
+        assert main(["machine", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("grid", "eml", "ring", "star", "chain"):
+            assert name in out
+        assert "families: eml, grid" in out
+
+    def test_machine_show(self, capsys):
+        assert main(["machine", "show", "eml"]) == 0
+        out = capsys.readouterr().out
+        assert "canonical : eml" in out
+        assert "built     : eml?modules=1" in out
+
+    def test_machine_show_star(self, capsys):
+        assert main(["machine", "show", "star:1+6:16", "--qubits", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "canonical : star:1+6" in out
+        assert "7 module(s)" in out
+
+    def test_machine_render_grid(self, capsys):
+        assert main(["machine", "render", "grid:2x3:8"]) == 0
+        out = capsys.readouterr().out
+        assert "[z0 op/8]" in out
+        assert "4-neighbour" in out
+
+    def test_machine_render_eml(self, capsys):
+        assert main(["machine", "render", "eml?modules=2"]) == 0
+        out = capsys.readouterr().out
+        assert "module 0" in out and "module 1" in out
+        assert "fiber" in out
+
+    def test_machine_show_bad_spec_is_clean_error(self, capsys):
+        assert main(["machine", "show", "grid:2x2:0"]) == 2
+        assert "capacity" in capsys.readouterr().err
+
+    def test_machine_show_missing_file_is_clean_error(self, capsys):
+        assert main(["machine", "show", "file:/does/not/exist.json"]) == 2
+        assert "cannot read machine file" in capsys.readouterr().err

@@ -101,3 +101,48 @@ class TestFingerprint:
     def test_stable_within_process(self):
         assert config_fingerprint() == config_fingerprint()
         assert len(config_fingerprint()) == 64
+
+
+class TestMachineSpecCacheKeys:
+    """Cache keys change when (and only when) the canonical machine spec does."""
+
+    @staticmethod
+    def keys_for(machine: str) -> list[str]:
+        from repro.bench import adhoc
+        from repro.bench.cells import cell_key
+
+        specs = adhoc.cells(workloads=("GHZ_n16",), machines=(machine,))
+        return [cell_key(spec) for spec in specs]
+
+    def test_equivalent_machine_specs_share_one_key(self):
+        # Explicit defaults, positional vs query spelling: same canonical
+        # machine spec, therefore the same cell key -> one cached result.
+        baseline = self.keys_for("eml")
+        assert self.keys_for("eml:16:1") == baseline
+        assert self.keys_for("eml?capacity=16") == baseline
+        assert self.keys_for("grid:2x2:12") == self.keys_for(
+            "grid?rows=2&cols=2&capacity=12"
+        )
+
+    def test_different_machine_specs_change_the_key(self):
+        baseline = self.keys_for("eml")
+        for other in ("eml:12", "eml:16:2", "eml?modules=2", "grid:2x2:12", "ring:8:16"):
+            assert self.keys_for(other) != baseline
+
+    def test_equivalent_spellings_deduplicate_to_one_cell(self):
+        from repro.bench import adhoc
+
+        specs = adhoc.cells(
+            workloads=("GHZ_n16",),
+            machines=("eml", "eml:16:1", "eml?capacity=16"),
+            compilers=("muss-ti", "muss-ti"),
+        )
+        assert len(specs) == 1
+        assert specs[0]["machine"] == "eml"
+
+    def test_file_spec_shares_key_with_registered_spelling(self, tmp_path):
+        import json
+
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps({"kind": "eml", "options": {"modules": 4}}))
+        assert self.keys_for(f"file:{path}") == self.keys_for("eml?modules=4")

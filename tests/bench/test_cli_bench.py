@@ -87,7 +87,7 @@ def test_bench_clear_cache(capsys):
 
 def test_bench_sweep_bad_specs_fail_cleanly(capsys):
     assert main(["bench", "sweep", "-w", "GHZ_n16", "-m", "mesh:2x2", "--quiet"]) == 2
-    assert "unknown machine spec" in capsys.readouterr().err
+    assert "unknown machine 'mesh'" in capsys.readouterr().err
     assert main(["bench", "sweep", "-w", "NOPE_n4", "--quiet"]) == 2
     assert "unknown benchmark family" in capsys.readouterr().err
 

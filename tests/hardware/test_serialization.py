@@ -1,4 +1,4 @@
-"""Machine serialization round-trip tests."""
+"""Machine serialization round-trip tests (through ArchitectureSpec)."""
 
 from __future__ import annotations
 
@@ -6,32 +6,63 @@ import pytest
 
 from repro.hardware import (
     EMLQCCDMachine,
+    Machine,
     MachineError,
     ModuleLayout,
     QCCDGridMachine,
+    Zone,
+    ZoneKind,
     load_machine,
     machine_from_dict,
     machine_to_dict,
+    resolve_machine,
     save_machine,
 )
 
+#: Every registered topology, through each spec syntax it supports.
+REGISTERED_SPECS = [
+    "grid:2x2:12",
+    "grid:3x4:16",
+    "grid?capacity=8&cols=3&rows=2",
+    "eml?modules=2",
+    "eml?capacity=12&modules=3&optical=2",
+    "eml?modules=2&operation=2&storage=3",
+    "ring:8:16",
+    "ring:5:4",
+    "chain:6:16",
+    "chain:1:4",
+    "star:1+6:16",
+    "star:2+4:8",
+    "star:1+2?hub_optical=3&storage=1",
+]
 
-class TestDictRoundTrip:
-    def test_grid(self):
-        original = QCCDGridMachine(3, 4, 16)
-        rebuilt = machine_from_dict(machine_to_dict(original))
-        assert isinstance(rebuilt, QCCDGridMachine)
-        assert rebuilt.rows == 3
-        assert rebuilt.columns == 4
-        assert rebuilt.trap_capacity == 16
 
-    def test_eml_default_layout(self):
-        original = EMLQCCDMachine(num_modules=4, trap_capacity=12)
+class TestRegisteredRoundTrips:
+    @pytest.mark.parametrize("spec", REGISTERED_SPECS)
+    def test_spec_build_dict_rebuild_identical(self, spec):
+        """spec -> build -> to_dict -> from_dict -> identical architecture
+        and identical canonical spec string."""
+        original = resolve_machine(spec)
         rebuilt = machine_from_dict(machine_to_dict(original))
-        assert isinstance(rebuilt, EMLQCCDMachine)
-        assert rebuilt.num_modules == 4
-        assert rebuilt.trap_capacity == 12
-        assert rebuilt.module_qubit_limit == 32
+        assert rebuilt.architecture() == original.architecture()
+        assert rebuilt.spec == original.spec
+        assert original.spec is not None
+
+    @pytest.mark.parametrize("spec", REGISTERED_SPECS)
+    def test_machine_spec_is_lossless(self, spec):
+        """machine.spec rebuilds the identical machine with no circuit."""
+        original = resolve_machine(spec)
+        again = resolve_machine(original.spec)
+        assert again.architecture() == original.architecture()
+
+    def test_registered_kind_preserves_machine_type(self):
+        grid = machine_from_dict(machine_to_dict(QCCDGridMachine(3, 4, 16)))
+        assert isinstance(grid, QCCDGridMachine)
+        assert (grid.rows, grid.columns, grid.trap_capacity) == (3, 4, 16)
+        eml = machine_from_dict(machine_to_dict(EMLQCCDMachine(4, 12)))
+        assert isinstance(eml, EMLQCCDMachine)
+        assert (eml.num_modules, eml.trap_capacity) == (4, 12)
+        assert eml.module_qubit_limit == 32
 
     def test_eml_custom_layout(self):
         layout = ModuleLayout(num_storage=3, num_operation=2, num_optical=2)
@@ -51,16 +82,191 @@ class TestDictRoundTrip:
             z.module_id for z in original.zones
         ]
 
-    def test_unknown_kind(self):
-        with pytest.raises(MachineError, match="unknown machine kind"):
+
+class TestCustomMachines:
+    def make_custom(self) -> Machine:
+        zones = [
+            Zone(0, 0, ZoneKind.OPTICAL, 4),
+            Zone(1, 0, ZoneKind.STORAGE, 8),
+            Zone(2, 1, ZoneKind.OPERATION, 8),
+        ]
+        return Machine(zones, {0: {1}, 1: {0}, 2: set()})
+
+    def test_custom_machine_round_trips_generically(self):
+        original = self.make_custom()
+        payload = machine_to_dict(original)
+        assert payload["kind"] == "custom"
+        rebuilt = machine_from_dict(payload)
+        assert type(rebuilt) is Machine
+        assert rebuilt.architecture() == original.architecture()
+
+    def test_custom_machine_has_no_spec_string(self):
+        assert self.make_custom().spec is None
+
+    def test_machine_instance_methods(self):
+        original = self.make_custom()
+        rebuilt = Machine.from_dict(original.to_dict())
+        assert rebuilt.architecture() == original.architecture()
+
+
+class TestErrorCases:
+    def test_unknown_kind_without_zone_table(self):
+        with pytest.raises(MachineError, match="registered 'kind'"):
             machine_from_dict({"kind": "mesh"})
 
-    def test_unserialisable_machine(self):
-        from repro.hardware import Machine, Zone, ZoneKind
+    def test_invalid_kind_name(self):
+        with pytest.raises(MachineError, match="invalid architecture kind"):
+            machine_from_dict(
+                {
+                    "kind": "me sh",
+                    "zones": [{"module": 0, "kind": "storage", "capacity": 4}],
+                }
+            )
 
-        machine = Machine([Zone(0, 0, ZoneKind.STORAGE, 4)], {0: set()})
-        with pytest.raises(MachineError, match="cannot serialise"):
-            machine_to_dict(machine)
+    def test_missing_zone_table(self):
+        with pytest.raises(MachineError, match="zones"):
+            machine_from_dict({"kind": "custom"})
+
+    def test_non_dense_zone_ids(self):
+        payload = {
+            "kind": "custom",
+            "zones": [
+                {"zone_id": 0, "module": 0, "kind": "storage", "capacity": 4},
+                {"zone_id": 2, "module": 0, "kind": "storage", "capacity": 4},
+            ],
+            "edges": [],
+        }
+        with pytest.raises(MachineError, match="dense"):
+            machine_from_dict(payload)
+
+    def test_bad_edge_endpoint(self):
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": 0, "kind": "storage", "capacity": 4}],
+            "edges": [[0, 5]],
+        }
+        with pytest.raises(MachineError, match="unknown zone"):
+            machine_from_dict(payload)
+
+    def test_self_loop_edge(self):
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": 0, "kind": "storage", "capacity": 4}],
+            "edges": [[0, 0]],
+        }
+        with pytest.raises(MachineError, match="self-loop"):
+            machine_from_dict(payload)
+
+    def test_bad_zone_kind(self):
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": 0, "kind": "mesh", "capacity": 4}],
+        }
+        with pytest.raises(MachineError, match="unknown zone kind"):
+            machine_from_dict(payload)
+
+    def test_zero_capacity_zone(self):
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": 0, "kind": "storage", "capacity": 0}],
+        }
+        with pytest.raises(MachineError, match="capacity"):
+            machine_from_dict(payload)
+
+    def test_registered_kind_without_options(self):
+        payload = {
+            "kind": "eml",
+            "zones": [{"module": 0, "kind": "storage", "capacity": 4}],
+        }
+        with pytest.raises(MachineError, match="options"):
+            machine_from_dict(payload)
+
+    def test_registered_kind_with_mismatched_zone_table(self):
+        payload = machine_to_dict(QCCDGridMachine(2, 2, 12))
+        payload["zones"][0]["capacity"] = 99  # contradicts the options
+        with pytest.raises(MachineError, match="does not match"):
+            machine_from_dict(payload)
+
+
+class TestLegacyFormat:
+    """Pre-1.2 machine_to_dict payloads keep loading."""
+
+    def test_legacy_grid(self):
+        machine = machine_from_dict(
+            {"kind": "grid", "rows": 3, "columns": 4, "trap_capacity": 16}
+        )
+        assert isinstance(machine, QCCDGridMachine)
+        assert (machine.rows, machine.columns, machine.trap_capacity) == (3, 4, 16)
+
+    def test_legacy_eml_with_layout(self):
+        machine = machine_from_dict(
+            {
+                "kind": "eml",
+                "num_modules": 2,
+                "trap_capacity": 8,
+                "module_qubit_limit": 24,
+                "layout": {
+                    "num_storage": 3,
+                    "num_operation": 2,
+                    "num_optical": 2,
+                },
+            }
+        )
+        assert isinstance(machine, EMLQCCDMachine)
+        assert machine.num_modules == 2
+        assert machine.module_qubit_limit == 24
+        assert machine.layout == ModuleLayout(
+            num_storage=3, num_operation=2, num_optical=2
+        )
+
+    def test_legacy_eml_defaults(self):
+        machine = machine_from_dict(
+            {"kind": "eml", "num_modules": 4, "trap_capacity": 12}
+        )
+        assert machine.num_modules == 4
+        assert machine.module_qubit_limit == 32
+
+
+class TestMalformedPayloadValues:
+    """Hand-edited values fail with MachineError, never a raw TypeError."""
+
+    def test_non_pair_edge(self):
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": 0, "kind": "storage", "capacity": 4}] * 2,
+            "edges": [5],
+        }
+        with pytest.raises(MachineError, match="pairs"):
+            machine_from_dict(payload)
+
+    def test_string_edge_endpoints(self):
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": 0, "kind": "storage", "capacity": 4}] * 2,
+            "edges": [["0", "1"]],
+        }
+        with pytest.raises(MachineError, match="integer zone ids"):
+            machine_from_dict(payload)
+
+    def test_string_capacity(self):
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": 0, "kind": "storage", "capacity": "4"}],
+        }
+        with pytest.raises(MachineError, match="integer"):
+            machine_from_dict(payload)
+
+    def test_string_module_id(self):
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": "0", "kind": "storage", "capacity": 4}],
+        }
+        with pytest.raises(MachineError, match="integer"):
+            machine_from_dict(payload)
+
+    def test_non_mapping_payload(self):
+        with pytest.raises(MachineError, match="JSON object"):
+            machine_from_dict(["not", "a", "machine"])
 
 
 class TestFileRoundTrip:
@@ -70,6 +276,7 @@ class TestFileRoundTrip:
         save_machine(original, str(path))
         rebuilt = load_machine(str(path))
         assert machine_to_dict(rebuilt) == machine_to_dict(original)
+        assert rebuilt.architecture() == original.architecture()
 
     def test_json_is_readable(self, tmp_path):
         import json
@@ -78,3 +285,26 @@ class TestFileRoundTrip:
         save_machine(QCCDGridMachine(2, 2, 12), str(path))
         payload = json.loads(path.read_text())
         assert payload["kind"] == "grid"
+        assert payload["options"] == {"rows": 2, "cols": 2, "capacity": 12}
+        assert len(payload["zones"]) == 4
+
+    def test_load_machine_accepts_minimal_form(self, tmp_path):
+        # The README's minimal file: format loads through the public
+        # serialization API too, not just file: specs.
+        import json
+
+        path = tmp_path / "arch.json"
+        path.write_text(
+            json.dumps({"kind": "eml", "options": {"modules": 4, "optical": 2}})
+        )
+        machine = load_machine(str(path))
+        assert isinstance(machine, EMLQCCDMachine)
+        assert machine.num_modules == 4
+        assert len(machine.optical_zones(0)) == 2
+
+    def test_saved_file_is_a_machine_spec(self, tmp_path):
+        path = tmp_path / "machine.json"
+        save_machine(EMLQCCDMachine(num_modules=2, trap_capacity=8), str(path))
+        machine = resolve_machine(f"file:{path}")
+        assert isinstance(machine, EMLQCCDMachine)
+        assert machine.num_modules == 2

@@ -1,0 +1,450 @@
+"""Machine registry, spec grammar, and declarative topology tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hardware import (
+    ArchitectureSpec,
+    EMLQCCDMachine,
+    Machine,
+    MachineError,
+    MachineRegistry,
+    QCCDGridMachine,
+    Zone,
+    ZoneKind,
+    ZoneSpec,
+    available_machines,
+    canonical_machine_spec,
+    default_machine_registry,
+    machine_families,
+    parse_machine_spec,
+    render_machine,
+    resolve_machine,
+)
+
+
+class TestRegistryContents:
+    def test_builtin_names(self):
+        assert set(available_machines()) >= {"grid", "eml", "ring", "star", "chain"}
+
+    def test_families(self):
+        assert machine_families() == ["eml", "grid"]
+
+    def test_describe_lists_every_name(self):
+        text = default_machine_registry().describe()
+        for name in available_machines():
+            assert name in text
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown machine 'mesh'"):
+            resolve_machine("mesh:2x2", 8)
+
+    def test_duplicate_registration_rejected(self):
+        registry = MachineRegistry()
+
+        @registry.register("dup")
+        def build(num_qubits=None):
+            return EMLQCCDMachine(1)
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @registry.register("dup")
+            def build_again(num_qubits=None):
+                return EMLQCCDMachine(1)
+
+    def test_file_name_reserved(self):
+        registry = MachineRegistry()
+        with pytest.raises(ValueError, match="reserved"):
+
+            @registry.register("file")
+            def build(num_qubits=None):
+                return EMLQCCDMachine(1)
+
+
+class TestSpecParsing:
+    def test_positional_grid(self):
+        assert parse_machine_spec("grid:3x4:16") == (
+            "grid",
+            {"rows": 3, "cols": 4, "capacity": 16},
+        )
+
+    def test_positional_and_query_compose(self):
+        name, options = parse_machine_spec("eml:12?storage=3")
+        assert name == "eml"
+        assert options == {"capacity": 12, "storage": 3}
+
+    def test_positional_query_conflict_rejected(self):
+        with pytest.raises(ValueError, match="both positionally and in"):
+            parse_machine_spec("eml:12?capacity=16")
+
+    def test_star_positional(self):
+        assert parse_machine_spec("star:2+4:8") == (
+            "star",
+            {"hubs": 2, "leaves": 4, "capacity": 8},
+        )
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            parse_machine_spec("ring:8?wormholes=2")
+
+    def test_non_integer_positional_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            parse_machine_spec("ring:eight")
+
+    def test_defaults_derived_from_builder_signature(self):
+        # A registration without defaults= still canonicalises explicit
+        # defaults away (the README ladder example relies on this).
+        registry = MachineRegistry()
+
+        @registry.register("pairs", family="grid", options=("count", "capacity"))
+        def build(num_qubits=None, *, count, capacity=16):
+            return EMLQCCDMachine(count, capacity)
+
+        assert registry.canonical("pairs:3:16") == "pairs?count=3"
+        assert registry.canonical("pairs:3") == "pairs?count=3"
+        assert registry.canonical("pairs:3:8") == "pairs?capacity=8&count=3"
+
+    def test_file_spec_keeps_real_hash_in_filename(self, tmp_path):
+        # Only the self-generated #sha256= fragment is stripped; a '#'
+        # that is part of the file name stays.
+        path = tmp_path / "arch#1.json"
+        path.write_text(json.dumps({"kind": "eml", "options": {"modules": 2}}))
+        assert resolve_machine(f"file:{path}").num_modules == 2
+
+    def test_file_spec_rejects_query_options(self, tmp_path):
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps({"kind": "eml", "options": {"modules": 2}}))
+        with pytest.raises(ValueError, match="carry no .options"):
+            resolve_machine(f"file:{path}?optical=2")
+
+    def test_default_positional_codec_fills_declared_options(self):
+        registry = MachineRegistry()
+
+        @registry.register("blob", options=("size", "capacity"))
+        def build(num_qubits=None, *, size=1, capacity=16):
+            return EMLQCCDMachine(size, capacity)
+
+        assert registry.parse("blob:3") == ("blob", {"size": 3})
+        assert registry.parse("blob:3:8") == ("blob", {"size": 3, "capacity": 8})
+        with pytest.raises(ValueError, match="too many positional segments"):
+            registry.parse("blob:3:8:1")
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "spec, message",
+        [
+            ("grid:2x2:0", "capacity"),
+            ("grid:2x2:1", "capacity"),
+            ("grid:0x2:8", "rows"),
+            ("eml:16:-1", "optical"),
+            ("eml:0", "capacity"),
+            ("eml?modules=0", "modules"),
+            ("ring:2:16", "traps"),
+            ("ring:8:1", "capacity"),
+            ("chain:0:16", "traps"),
+            ("star:1+0:16", "leaves"),
+            ("star:0+4:16", "hubs"),
+            ("star:1+4?hub_optical=0", "hub_optical"),
+            ("grid?rows=2", "cols"),
+            ("eml?module_limit=1", "module_limit"),
+        ],
+    )
+    def test_bad_values_fail_at_parse_time(self, spec, message):
+        """Malformed capacities/counts raise a clear spec-level error
+        instead of failing deep inside Machine.__init__."""
+        with pytest.raises(ValueError, match=message):
+            canonical_machine_spec(spec)
+        with pytest.raises(ValueError, match=message):
+            resolve_machine(spec, 16)
+
+    def test_float_capacity_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            canonical_machine_spec("eml?capacity=2.5")
+
+
+class TestCanonicalisation:
+    @pytest.mark.parametrize(
+        "spec, canonical",
+        [
+            ("grid:3x4:16", "grid:3x4:16"),
+            ("grid?cols=4&rows=3&capacity=16", "grid:3x4:16"),
+            ("eml", "eml"),
+            ("eml:16", "eml"),
+            ("eml:16:1", "eml"),
+            ("eml:12", "eml:12"),
+            ("eml?optical=2", "eml:16:2"),
+            ("eml:12:2", "eml:12:2"),
+            ("eml?modules=4&optical=2", "eml?modules=4&optical=2"),
+            ("eml?storage=3", "eml?storage=3"),
+            ("ring:8:16", "ring:8"),
+            ("ring:8?capacity=12", "ring:8:12"),
+            ("chain:6:8", "chain:6:8"),
+            ("star:1+6:16", "star:1+6"),
+            ("star:2+4:8", "star:2+4:8"),
+            ("star:1+4?hub_optical=3", "star?hub_optical=3&leaves=4"),
+        ],
+    )
+    def test_canonical_forms(self, spec, canonical):
+        assert canonical_machine_spec(spec) == canonical
+
+    def test_canonical_is_idempotent(self):
+        for spec in ("grid:2x2:12", "eml:12:2", "ring:8", "star:1+6"):
+            once = canonical_machine_spec(spec)
+            assert canonical_machine_spec(once) == once
+
+    def test_equivalent_spellings_build_identical_machines(self):
+        a = resolve_machine("eml?optical=2", 32)
+        b = resolve_machine("eml:16:2", 32)
+        assert a.architecture() == b.architecture()
+
+    def test_file_spec_canonicalises_to_registered_spec(self, tmp_path):
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps({"kind": "eml", "options": {"modules": 4}}))
+        assert canonical_machine_spec(f"file:{path}") == "eml?modules=4"
+
+    def test_corrupt_file_spec_fails_canonicalisation(self, tmp_path):
+        # A hand-edited zone table that contradicts the recorded options
+        # must not canonicalise (and cache-key) as the pristine machine.
+        from repro.hardware import save_machine
+
+        path = tmp_path / "arch.json"
+        save_machine(QCCDGridMachine(2, 2, 12), str(path))
+        payload = json.loads(path.read_text())
+        payload["zones"][0]["capacity"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(MachineError, match="does not match"):
+            canonical_machine_spec(f"file:{path}")
+        # Sanity: resolve() rejects the same file the same way.
+        with pytest.raises(MachineError, match="does not match"):
+            resolve_machine(f"file:{path}")
+
+    def test_custom_file_spec_canonical_tracks_content(self, tmp_path):
+        # Custom-kind files canonicalise to an absolute path plus a content
+        # digest, so editing the file (or respelling the path) can never
+        # reuse a stale sweep-cache key.
+        payload = {
+            "kind": "custom",
+            "zones": [{"module": 0, "kind": "operation", "capacity": 4}] * 2,
+            "edges": [[0, 1]],
+        }
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps(payload))
+        first = canonical_machine_spec(f"file:{path}")
+        assert first.startswith("file:") and "#sha256=" in first
+        # Idempotent, and insensitive to JSON whitespace.
+        assert canonical_machine_spec(first) == first
+        path.write_text(json.dumps(payload, indent=2))
+        assert canonical_machine_spec(f"file:{path}") == first
+        # A real content change moves the key.
+        payload["zones"][0]["capacity"] = 8
+        path.write_text(json.dumps(payload))
+        changed = canonical_machine_spec(f"file:{path}")
+        assert changed != first
+        # The digest-carrying form still resolves.
+        assert resolve_machine(changed).zone(0).capacity == 8
+
+    def test_missing_zone_keys_are_named(self, tmp_path):
+        path = tmp_path / "arch.json"
+        path.write_text(
+            json.dumps(
+                {"kind": "custom", "zones": [{"module": 0, "kind": "storage"}]}
+            )
+        )
+        with pytest.raises(MachineError, match="needs 'capacity'"):
+            resolve_machine(f"file:{path}")
+        path.write_text(
+            json.dumps(
+                {"kind": "custom", "zones": [{"kind": "storage", "capacity": 4}]}
+            )
+        )
+        with pytest.raises(MachineError, match="needs 'module'"):
+            resolve_machine(f"file:{path}")
+
+    def test_circuit_relative_file_spec(self, tmp_path):
+        # A minimal file without a pinned module count sizes to the circuit
+        # at resolve time and still canonicalises without one.
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps({"kind": "eml", "options": {"capacity": 12}}))
+        assert canonical_machine_spec(f"file:{path}") == "eml:12"
+        machine = resolve_machine(f"file:{path}", 64)
+        assert machine.trap_capacity == 12
+        assert machine.num_modules == resolve_machine("eml:12", 64).num_modules
+        with pytest.raises(ValueError, match="num_qubits"):
+            resolve_machine(f"file:{path}")
+
+    def test_borrowed_kind_with_plausible_options_has_no_spec(self):
+        # Options that validate but do not rebuild this zone table must not
+        # produce a spec naming different hardware.
+        zones = tuple(ZoneSpec(0, ZoneKind.STORAGE, 4) for _ in range(8))
+        arch = ArchitectureSpec(
+            kind="ring", zones=zones, edges=(), options={"traps": 8}
+        )
+        machine = Machine.from_architecture(arch)
+        assert machine.spec is None
+
+    def test_file_spec_resolves_against_the_owning_registry(self, tmp_path):
+        registry = MachineRegistry()
+
+        @registry.register("solo", options=("modules",))
+        def build(num_qubits=None, *, modules=1):
+            return EMLQCCDMachine(modules)
+
+        path = tmp_path / "arch.json"
+        path.write_text(json.dumps({"kind": "solo", "options": {"modules": 2}}))
+        machine = registry.resolve(f"file:{path}")
+        assert machine.num_modules == 2
+        # The default registry does not know 'solo'.
+        with pytest.raises(MachineError, match="registered 'kind'"):
+            resolve_machine(f"file:{path}")
+
+
+class TestBuilders:
+    def test_eml_sized_to_circuit(self):
+        machine = resolve_machine("eml", 64)
+        assert isinstance(machine, EMLQCCDMachine)
+        assert machine.num_modules == 2
+
+    def test_eml_unsized_without_circuit_rejected(self):
+        with pytest.raises(ValueError, match="num_qubits"):
+            resolve_machine("eml")
+
+    def test_eml_pinned_modules_ignores_circuit(self):
+        machine = resolve_machine("eml?modules=4")
+        assert machine.num_modules == 4
+
+    def test_ring_topology(self):
+        machine = resolve_machine("ring:8:16")
+        assert machine.num_zones == 8
+        assert machine.num_modules == 1
+        assert all(zone.kind is ZoneKind.OPERATION for zone in machine.zones)
+        assert machine.neighbours(0) == frozenset({1, 7})
+        # Wrap-around: the long way round is never taken.
+        assert machine.hop_distance(0, 7) == 1
+        assert machine.hop_distance(0, 4) == 4
+
+    def test_chain_topology(self):
+        machine = resolve_machine("chain:6:16")
+        assert machine.neighbours(0) == frozenset({1})
+        assert machine.hop_distance(0, 5) == 5
+
+    def test_star_topology(self):
+        machine = resolve_machine("star:1+6:16")
+        assert machine.num_modules == 7
+        hub_optical = [z for z in machine.zones_in_module(0) if z.allows_fiber]
+        leaf_optical = [z for z in machine.zones_in_module(1) if z.allows_fiber]
+        assert len(hub_optical) == 2
+        assert len(leaf_optical) == 1
+        assert machine.module_qubit_limit == 32
+        # No shuttle path across modules: links are fiber-only.
+        with pytest.raises(MachineError, match="no shuttle path"):
+            machine.shuttle_path(0, machine.zones_in_module(1)[0].zone_id)
+
+    def test_from_architecture_on_subclass_builds_plain_machine(self):
+        # The inherited classmethod must not try the subclass constructor
+        # (whose signature differs); it always lowers generically.
+        arch = resolve_machine("ring:4:8").architecture()
+        machine = QCCDGridMachine.from_architecture(arch)
+        assert type(machine) is Machine
+        assert machine.num_zones == 4
+
+    def test_resolve_passes_machine_through(self):
+        machine = QCCDGridMachine(2, 2, 8)
+        assert resolve_machine(machine) is machine
+
+    def test_resolve_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="machine spec string"):
+            resolve_machine(42)
+
+    def test_builder_returning_architecture_lowers(self):
+        registry = MachineRegistry()
+
+        @registry.register("pair", family="grid", options=("capacity",))
+        def build(num_qubits=None, *, capacity=4):
+            zones = (
+                ZoneSpec(0, ZoneKind.OPERATION, capacity),
+                ZoneSpec(0, ZoneKind.OPERATION, capacity),
+            )
+            return ArchitectureSpec(
+                kind="pair", zones=zones, edges=((0, 1),),
+                options={"capacity": capacity},
+            )
+
+        machine = registry.resolve("pair?capacity=6")
+        assert type(machine) is Machine
+        assert machine.num_zones == 2
+        assert machine.zone(0).capacity == 6
+
+
+class TestArchitectureSpec:
+    def test_edges_normalise(self):
+        zones = (
+            ZoneSpec(0, ZoneKind.OPERATION, 4),
+            ZoneSpec(0, ZoneKind.OPERATION, 4),
+        )
+        a = ArchitectureSpec(kind="custom", zones=zones, edges=((1, 0), (0, 1)))
+        b = ArchitectureSpec(kind="custom", zones=zones, edges=((0, 1),))
+        assert a == b
+        assert a.adjacency() == {0: {1}, 1: {0}}
+
+    def test_non_integer_edge_endpoints_rejected(self):
+        zones = (
+            ZoneSpec(0, ZoneKind.OPERATION, 4),
+            ZoneSpec(0, ZoneKind.OPERATION, 4),
+        )
+        with pytest.raises(MachineError, match="integer zone ids"):
+            ArchitectureSpec(kind="custom", zones=zones, edges=(("0", "1"),))
+
+    def test_module_ids_must_be_dense(self):
+        zones = (ZoneSpec(1, ZoneKind.OPERATION, 4),)
+        with pytest.raises(MachineError, match="dense"):
+            ArchitectureSpec(kind="custom", zones=zones)
+
+    def test_empty_zone_table_rejected(self):
+        with pytest.raises(MachineError, match="at least one zone"):
+            ArchitectureSpec(kind="custom", zones=())
+
+    def test_round_trip_through_dict(self):
+        arch = resolve_machine("star:1+2:8").architecture()
+        assert ArchitectureSpec.from_dict(arch.to_dict()) == arch
+
+    def test_borrowed_registered_kind_without_options_has_no_spec(self):
+        # A hand-lowered architecture may name a registered kind without
+        # carrying its builder options; .spec and render must not crash.
+        zones = tuple(ZoneSpec(0, ZoneKind.OPERATION, 4) for _ in range(3))
+        arch = ArchitectureSpec(kind="ring", zones=zones, edges=((0, 1), (1, 2)))
+        machine = Machine.from_architecture(arch)
+        assert machine.spec is None
+        assert "3 zones" in render_machine(machine)
+
+    def test_from_architecture_sets_module_limit(self):
+        arch = resolve_machine("star:1+2?module_limit=24").architecture()
+        machine = Machine.from_architecture(arch)
+        assert machine.module_qubit_limit == 24
+
+    def test_describe_mentions_shape(self):
+        text = resolve_machine("ring:5:4").architecture().describe()
+        assert "ring" in text and "5 zones" in text
+
+
+class TestRender:
+    def test_grid_render_has_rows(self):
+        text = render_machine(resolve_machine("grid:2x3:8"))
+        assert text.count("\n") >= 3
+        assert "[z5 op/8]" in text
+
+    def test_eml_render_lists_modules_and_fiber(self):
+        text = render_machine(resolve_machine("eml?modules=2"))
+        assert "module 0" in text and "module 1" in text
+        assert "fiber" in text
+
+    def test_ring_render_wraps(self):
+        text = render_machine(resolve_machine("ring:4:4"))
+        assert "(z0)" in text
+
+    def test_custom_render(self):
+        machine = Machine([Zone(0, 0, ZoneKind.STORAGE, 4)], {0: set()})
+        assert "module 0" in render_machine(machine)

@@ -89,3 +89,35 @@ def test_quickstart_snippet_from_readme():
     program = MussTiCompiler().compile(circuit, machine)
     report = execute(program)
     assert report.fidelity > 0
+
+
+NEW_TOPOLOGY_SPECS = ["ring:8:16", "star:1+6:16", "chain:6:16"]
+
+
+@pytest.mark.parametrize("spec", NEW_TOPOLOGY_SPECS)
+@pytest.mark.parametrize("app", ["GHZ_n64", "BV_n64"])
+def test_muss_ti_on_registry_topologies(app, spec):
+    """Registry-built topologies compile -> verify -> execute end to end."""
+    import repro
+
+    circuit = get_benchmark(app)
+    result = repro.compile(circuit, spec, verify=True)
+    report = result.execute()
+    assert report.two_qubit_gate_count + report.fiber_gate_count == (
+        circuit.num_two_qubit_gates
+    )
+    assert report.execution_time_us > 0
+
+
+def test_shipped_architecture_file_compiles():
+    """The README's file: spec example works end to end."""
+    from pathlib import Path
+
+    import repro
+
+    path = Path(__file__).resolve().parents[2] / "examples" / "eml_4mod.json"
+    result = repro.compile("GHZ_n64", f"file:{path}", verify=True)
+    machine = repro.resolve_machine(f"file:{path}")
+    assert machine.num_modules == 4
+    assert len(machine.optical_zones(0)) == 2
+    assert result.execute().fidelity > 0

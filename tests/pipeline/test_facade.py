@@ -100,8 +100,13 @@ class TestVerifyAndErrors:
             repro.compile("NotABenchmark_n8", "eml")
 
     def test_unknown_machine_spec(self):
-        with pytest.raises(ValueError, match="machine spec"):
+        with pytest.raises(ValueError, match="unknown machine"):
             repro.compile("GHZ_n16", "mesh:2x2")
+
+    def test_new_topologies_compile_end_to_end(self):
+        for spec in ("ring:8:16", "star:1+6:16", "chain:6:16"):
+            result = repro.compile("GHZ_n16", spec, verify=True)
+            assert result.execute().fidelity > 0
 
     def test_unknown_compiler(self):
         with pytest.raises(ValueError, match="unknown compiler"):
