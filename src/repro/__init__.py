@@ -89,7 +89,7 @@ from .sim import (
 )
 from .workloads import available_benchmarks, get_benchmark
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DEFAULT_PARAMS",

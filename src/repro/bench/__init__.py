@@ -18,6 +18,7 @@ or from the shell::
     python -m repro bench list
     python -m repro bench clear-cache
     python -m repro bench sweep -w GHZ_n64 -m eml -m grid:2x2:12 -c muss-ti
+    python -m repro bench micro            # tracked perf grid -> BENCH_<date>.json
 """
 
 from .cache import ResultCache, config_fingerprint, default_cache_dir
@@ -30,19 +31,37 @@ from .engine import (
     stderr_progress,
     sweep,
 )
+from .micro import (
+    BENCH_SCHEMA,
+    MICRO_GRID,
+    BenchSchemaError,
+    default_output_path,
+    micro_cells,
+    run_micro,
+    validate_payload,
+    write_payload,
+)
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
     "CellOutcome",
+    "MICRO_GRID",
     "ResultCache",
     "SweepResult",
     "cell_key",
     "config_fingerprint",
     "default_cache_dir",
+    "default_output_path",
     "describe_cell",
     "experiment_registry",
     "matches_filter",
+    "micro_cells",
     "parse_filter",
     "resolve_experiment",
+    "run_micro",
     "stderr_progress",
     "sweep",
+    "validate_payload",
+    "write_payload",
 ]

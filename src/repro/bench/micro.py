@@ -1,0 +1,311 @@
+"""Tracked microbenchmark suite: ``repro bench micro`` -> ``BENCH_<date>.json``.
+
+A fixed, registry-addressed grid of compile+execute cells spanning the
+repository's scale axis — from the paper's small 2x2 grid through ring /
+chain / star topologies up to a 64-module EML machine — timed fresh
+(never cache-served) and written to a dated, schema-validated JSON file.
+Committing one ``BENCH_*.json`` per performance-relevant PR gives the
+repo a perf *trajectory*: every optimization claims its speedup against
+a recorded baseline instead of a vibe.
+
+Method: each cell compiles ``repeats`` times and executes ``repeats``
+times, recording the **minimum** wall-clock of each phase (the standard
+microbenchmark estimator — the minimum is the least noise-contaminated
+observation).  Schedule metrics (op counts, makespan, fidelity) ride
+along so a timing change caused by a schedule change is immediately
+visible.
+
+The emitted payload is validated against :data:`BENCH_SCHEMA` before it
+is written; ``validate_payload`` uses ``jsonschema`` when available and
+falls back to an equivalent structural check on machines without it (the
+package itself stays stdlib-only).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from collections.abc import Callable
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..hardware import canonical_machine_spec, resolve_machine
+from ..pipeline import resolve_compiler
+from ..sim import execute
+from ..workloads import get_benchmark
+from .cells import matches_filter, parse_filter
+
+#: Current schema version of the ``BENCH_*.json`` payload.
+SCHEMA_VERSION = 1
+
+#: The fixed grid, ordered small -> large.  Machines are registry spec
+#: strings (canonicalised at run time); the final cell — QFT_n128 on a
+#: 64-module EML with tight traps — is the headline "largest cell" whose
+#: wall-clock every performance PR is judged against.
+MICRO_GRID: tuple[dict, ...] = (
+    {"workload": "GHZ_n32", "machine": "grid:2x2:12", "compiler": "muss-ti"},
+    {"workload": "QFT_n32", "machine": "ring:8:16", "compiler": "muss-ti"},
+    {"workload": "QFT_n32", "machine": "chain:8:16", "compiler": "muss-ti"},
+    {"workload": "QFT_n64", "machine": "star:1+6:16", "compiler": "muss-ti"},
+    {"workload": "QFT_n64", "machine": "eml", "compiler": "muss-ti"},
+    {"workload": "QV_n32", "machine": "eml", "compiler": "muss-ti"},
+    {"workload": "SQRT_n128", "machine": "eml", "compiler": "muss-ti"},
+    {"workload": "QFT_n64", "machine": "eml?capacity=4&modules=64", "compiler": "muss-ti"},
+    {"workload": "QFT_n128", "machine": "eml:64:4", "compiler": "muss-ti"},
+    {"workload": "QFT_n128", "machine": "eml?capacity=4&modules=64", "compiler": "muss-ti"},
+)
+
+_CELL_SCHEMA = {
+    "type": "object",
+    "required": [
+        "workload",
+        "machine",
+        "compiler",
+        "compile_s",
+        "execute_s",
+        "total_s",
+        "operations",
+        "shuttles",
+        "makespan_us",
+        "log10_fidelity",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "workload": {"type": "string", "minLength": 1},
+        "machine": {"type": "string", "minLength": 1},
+        "compiler": {"type": "string", "minLength": 1},
+        "compile_s": {"type": "number", "minimum": 0},
+        "execute_s": {"type": "number", "minimum": 0},
+        "total_s": {"type": "number", "minimum": 0},
+        "operations": {"type": "integer", "minimum": 0},
+        "shuttles": {"type": "integer", "minimum": 0},
+        "makespan_us": {"type": "number", "minimum": 0},
+        "log10_fidelity": {"type": "number", "maximum": 0},
+    },
+}
+
+#: JSON Schema (draft 2020-12) of the ``BENCH_*.json`` payload.
+BENCH_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": "https://example.invalid/repro-muss-ti/bench-micro.schema.json",
+    "title": "repro bench micro payload",
+    "type": "object",
+    "required": ["schema_version", "created_utc", "grid", "repeats", "environment", "cells"],
+    "additionalProperties": False,
+    "properties": {
+        "schema_version": {"const": SCHEMA_VERSION},
+        "created_utc": {"type": "string", "minLength": 1},
+        "grid": {"const": "micro"},
+        "repeats": {"type": "integer", "minimum": 1},
+        "environment": {
+            "type": "object",
+            "required": ["python", "platform"],
+            "additionalProperties": False,
+            "properties": {
+                "python": {"type": "string", "minLength": 1},
+                "platform": {"type": "string", "minLength": 1},
+            },
+        },
+        "cells": {"type": "array", "minItems": 1, "items": _CELL_SCHEMA},
+    },
+}
+
+
+class BenchSchemaError(ValueError):
+    """The payload does not conform to :data:`BENCH_SCHEMA`."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(message)
+
+
+def _validate_node(value, schema: dict, path: str) -> None:
+    """Minimal structural validator for the subset of JSON Schema used by
+    :data:`BENCH_SCHEMA` (const, type, required, additionalProperties,
+    bounds, minLength, minItems)."""
+    if "const" in schema:
+        _check(value == schema["const"], f"{path}: expected {schema['const']!r}")
+        return
+    kind = schema.get("type")
+    if kind == "object":
+        _check(isinstance(value, dict), f"{path}: expected object")
+        for name in schema.get("required", ()):
+            _check(name in value, f"{path}: missing required field {name!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                _check(name in properties, f"{path}: unexpected field {name!r}")
+        for name, sub in properties.items():
+            if name in value:
+                _validate_node(value[name], sub, f"{path}.{name}")
+    elif kind == "array":
+        _check(isinstance(value, list), f"{path}: expected array")
+        _check(
+            len(value) >= schema.get("minItems", 0),
+            f"{path}: expected at least {schema.get('minItems', 0)} item(s)",
+        )
+        items = schema.get("items")
+        if items:
+            for index, element in enumerate(value):
+                _validate_node(element, items, f"{path}[{index}]")
+    elif kind == "string":
+        _check(isinstance(value, str), f"{path}: expected string")
+        _check(
+            len(value) >= schema.get("minLength", 0), f"{path}: string too short"
+        )
+    elif kind == "integer":
+        _check(
+            isinstance(value, int) and not isinstance(value, bool),
+            f"{path}: expected integer",
+        )
+        _check_bounds(value, schema, path)
+    elif kind == "number":
+        _check(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"{path}: expected number",
+        )
+        _check_bounds(value, schema, path)
+
+
+def _check_bounds(value, schema: dict, path: str) -> None:
+    minimum = schema.get("minimum")
+    if minimum is not None:
+        _check(value >= minimum, f"{path}: {value} < minimum {minimum}")
+    maximum = schema.get("maximum")
+    if maximum is not None:
+        _check(value <= maximum, f"{path}: {value} > maximum {maximum}")
+
+
+def validate_payload(payload: dict) -> None:
+    """Raise :class:`BenchSchemaError` unless *payload* conforms to
+    :data:`BENCH_SCHEMA`.  Uses ``jsonschema`` when installed, otherwise
+    an equivalent built-in structural check."""
+    try:
+        import jsonschema
+    except ImportError:
+        _validate_node(payload, BENCH_SCHEMA, "$")
+        return
+    try:
+        jsonschema.validate(payload, BENCH_SCHEMA)
+    except jsonschema.ValidationError as error:
+        raise BenchSchemaError(str(error)) from error
+
+
+def micro_cells(cell_filter: str | None = None) -> list[dict]:
+    """The micro grid with canonical machine specs, optionally filtered
+    with the sweep engine's ``--filter`` syntax."""
+    cells = [
+        {**cell, "machine": canonical_machine_spec(cell["machine"])}
+        for cell in MICRO_GRID
+    ]
+    if cell_filter:
+        terms = parse_filter(cell_filter)
+        cells = [cell for cell in cells if matches_filter(cell, terms)]
+    return cells
+
+
+ProgressFn = Callable[[int, int, dict], None]
+
+
+def run_micro(
+    *,
+    repeats: int = 3,
+    cell_filter: str | None = None,
+    progress: ProgressFn | None = None,
+) -> dict:
+    """Execute the microbenchmark grid; returns the payload (validated).
+
+    Results are always measured fresh — perf numbers must never be served
+    from the sweep cache.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    cells = micro_cells(cell_filter)
+    if not cells:
+        raise ValueError(f"filter {cell_filter!r} selected no micro cells")
+    rows: list[dict] = []
+    for index, cell in enumerate(cells):
+        circuit = get_benchmark(cell["workload"])
+        machine = resolve_machine(cell["machine"], circuit.num_qubits)
+        compiler = resolve_compiler(cell["compiler"])
+        compile_s = float("inf")
+        program = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            program = compiler.compile(circuit, machine)
+            compile_s = min(compile_s, time.perf_counter() - started)
+        execute_s = float("inf")
+        report = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            report = execute(program)
+            execute_s = min(execute_s, time.perf_counter() - started)
+        row = {
+            "workload": cell["workload"],
+            "machine": cell["machine"],
+            "compiler": cell["compiler"],
+            "compile_s": round(compile_s, 6),
+            "execute_s": round(execute_s, 6),
+            "total_s": round(compile_s + execute_s, 6),
+            "operations": program.num_operations,
+            "shuttles": report.shuttle_count,
+            "makespan_us": report.makespan_us,
+            "log10_fidelity": report.log10_fidelity,
+        }
+        rows.append(row)
+        if progress is not None:
+            progress(index + 1, len(cells), row)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "created_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "grid": "micro",
+        "repeats": repeats,
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "cells": rows,
+    }
+    validate_payload(payload)
+    return payload
+
+
+def default_output_path(root: Path | str = ".") -> Path:
+    """``BENCH_<utc date>.json`` under *root* (the repo root, typically)."""
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d")
+    return Path(root) / f"BENCH_{stamp}.json"
+
+
+def write_payload(payload: dict, path: Path | str) -> Path:
+    """Validate and write the payload; returns the path written."""
+    validate_payload(payload)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def render(payload: dict) -> str:
+    """Fixed-width table of the payload's cells."""
+    from ..analysis.tables import render_table
+
+    headers = [
+        "workload", "machine", "compile_s", "execute_s", "total_s", "ops", "shuttles",
+    ]
+    body = [
+        [
+            row["workload"],
+            row["machine"],
+            f"{row['compile_s']:.3f}",
+            f"{row['execute_s']:.3f}",
+            f"{row['total_s']:.3f}",
+            row["operations"],
+            row["shuttles"],
+        ]
+        for row in payload["cells"]
+    ]
+    return render_table(
+        headers, body, title=f"Microbenchmarks (best of {payload['repeats']})"
+    )

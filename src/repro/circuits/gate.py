@@ -83,7 +83,7 @@ class GateError(ValueError):
     """Raised for malformed gates (unknown name, bad arity, repeated qubit)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Gate:
     """One quantum operation.
 

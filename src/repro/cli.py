@@ -222,6 +222,34 @@ def _cmd_bench_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_micro(args: argparse.Namespace) -> int:
+    from .bench import micro
+
+    repeats = 1 if args.quick else args.repeats
+
+    def progress(done: int, total: int, row: dict) -> None:
+        print(
+            f"[micro {done}/{total}] {row['workload']} on {row['machine']}: "
+            f"compile {row['compile_s']:.3f}s execute {row['execute_s']:.3f}s",
+            file=sys.stderr,
+        )
+
+    try:
+        payload = micro.run_micro(
+            repeats=repeats,
+            cell_filter=args.filter,
+            progress=None if args.quiet else progress,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    path = args.output or micro.default_output_path()
+    micro.write_payload(payload, path)
+    print(micro.render(payload))
+    print(f"[micro: {len(payload['cells'])} cells, schema-valid, written to {path}]")
+    return 0
+
+
 def _cmd_bench_list(args: argparse.Namespace) -> int:
     registry = experiment_registry()
     cache = ResultCache(args.cache_dir)
@@ -318,7 +346,7 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
 
 #: Explicit bench sub-commands; anything else after ``bench`` is an
 #: experiment name and routes through the implicit ``run``.
-BENCH_SUBCOMMANDS = ("run", "list", "clear-cache", "sweep")
+BENCH_SUBCOMMANDS = ("run", "list", "clear-cache", "sweep", "micro")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -464,6 +492,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_flags(bench_sweep)
     bench_sweep.set_defaults(handler=_cmd_bench_sweep)
+
+    bench_micro = bench_commands.add_parser(
+        "micro",
+        help="tracked microbenchmark grid, written to BENCH_<date>.json",
+    )
+    bench_micro.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing repeats per phase; the minimum is recorded (default: 3)",
+    )
+    bench_micro.add_argument(
+        "--quick",
+        action="store_true",
+        help="single repeat per cell (CI smoke; noisier numbers)",
+    )
+    bench_micro.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output file (default: ./BENCH_<utc date>.json)",
+    )
+    bench_micro.add_argument(
+        "--filter",
+        metavar="EXPR",
+        help="run only matching cells, e.g. 'workload=QFT_n64'",
+    )
+    bench_micro.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress on stderr"
+    )
+    bench_micro.set_defaults(handler=_cmd_bench_micro)
 
     bench_list = bench_commands.add_parser(
         "list", help="registered experiments and cache population"

@@ -10,6 +10,13 @@ Routing answers two questions for a selected two-qubit gate:
 * **What if the zone is full?**  Conflict handling evicts the least-recently
   used resident (the page-fault analogy) to the closest lower-level zone
   with space, cascading to any zone with space as a last resort.
+
+Every topology query — per-module zone groups, hop distances, levels —
+reads from the machine's precomputed
+:class:`~repro.hardware.TopologyMaps` (``state.maps``), so each routing
+decision costs dictionary/array lookups rather than zone scans and BFS.
+The decision *policy* is unchanged from the seed implementation; the
+differential suite holds the emitted schedules byte-identical.
 """
 
 from __future__ import annotations
@@ -19,51 +26,44 @@ from .state import MachineState, RoutingError
 
 
 def gate_capable_zones(state: MachineState, module_id: int) -> list[Zone]:
-    return [
-        zone
-        for zone in state.machine.zones_in_module(module_id)
-        if zone.allows_gates
-    ]
+    return list(state.maps.module_gate_zones[module_id])
 
 
 def optical_zones(state: MachineState, module_id: int) -> list[Zone]:
-    return [
-        zone
-        for zone in state.machine.zones_in_module(module_id)
-        if zone.allows_fiber
-    ]
+    return list(state.maps.module_optical_zones[module_id])
 
 
 def _eviction_target(
     state: MachineState, from_zone: int, protected: frozenset[int]
 ) -> int:
-    """Pick where an evicted qubit goes: closest lower level with space."""
-    machine = state.machine
-    module_id = machine.zone(from_zone).module_id
-    from_level = machine.zone(from_zone).level
-    candidates = [
-        zone
-        for zone in machine.zones_in_module(module_id)
-        if zone.zone_id != from_zone and state.free_space(zone.zone_id) > 0
-    ]
-    if not candidates:
+    """Pick where an evicted qubit goes: closest lower level with space.
+
+    Prefer lower levels (multi-level demotion), the closest level first,
+    then the nearest and emptiest zone; on uniform grids all levels tie
+    and hop distance decides.  The static part of that preference is
+    precomputed per zone (``maps.eviction_preference``, already sorted);
+    this scan only folds in the dynamic free-space tie-breaker.
+    """
+    maps = state.maps
+    chains = state.chains
+    capacity = maps.zone_capacity
+    best_key: tuple | None = None
+    best_zone = -1
+    for static_key, zone_id in maps.eviction_preference[from_zone]:
+        free = capacity[zone_id] - len(chains[zone_id])
+        if free <= 0:
+            continue
+        key = (static_key, -free)
+        if best_key is None:
+            best_key, best_zone = key, zone_id
+        elif key < best_key:
+            best_key, best_zone = key, zone_id
+    if best_key is None:
+        module_id = maps.zone_module[from_zone]
         raise RoutingError(
             f"module {module_id} has no free space to evict from zone {from_zone}"
         )
-
-    def preference(zone: Zone) -> tuple:
-        is_lower = zone.level < from_level
-        # Prefer lower levels (multi-level demotion), the closest level
-        # first, then the nearest and emptiest zone.  On uniform grids all
-        # levels tie and hop distance decides.
-        return (
-            0 if is_lower else 1,
-            abs(zone.level - (from_level - 1)),
-            machine.hop_distance(from_zone, zone.zone_id),
-            -state.free_space(zone.zone_id),
-        )
-
-    return min(candidates, key=preference).zone_id
+    return best_zone
 
 
 def make_room(
@@ -84,16 +84,17 @@ def make_room(
     arrivals are free).  Qubits needed inside the look-ahead window are never
     demoted for slack.
     """
-    capacity = state.machine.zone(zone_id).capacity
-    if state.free_space(zone_id) >= needed:
+    capacity = state.maps.zone_capacity[zone_id]
+    chain = state.chains[zone_id]
+    if capacity - len(chain) >= needed:
         return
     goal = min(needed + max(slack, 0), capacity)
     guard = 0
-    while state.free_space(zone_id) < goal:
+    while capacity - len(chain) < goal:
         guard += 1
         if guard > capacity + 1:
             raise RoutingError(f"eviction from zone {zone_id} does not converge")
-        past_need = state.free_space(zone_id) >= needed
+        past_need = capacity - len(chain) >= needed
         protect = protected | future_qubits if past_need else protected
         try:
             if use_lru:
@@ -123,59 +124,75 @@ def choose_local_zone(
     future lives — the memory-hierarchy locality principle: schedule the
     working set where it will be reused.
     """
-    module_id = state.module_of(qubit_a)
-    if state.module_of(qubit_b) != module_id:
+    maps = state.maps
+    location = state.location
+    zone_a = location[qubit_a]
+    zone_b = location[qubit_b]
+    module_id = maps.zone_module[zone_a]
+    if maps.zone_module[zone_b] != module_id:
         raise RoutingError(
             f"qubits {qubit_a} and {qubit_b} are on different modules"
         )
-    machine = state.machine
-    candidates = gate_capable_zones(state, module_id)
+    candidates = maps.module_gate_zones[module_id]
     if not candidates:
         raise RoutingError(f"module {module_id} has no gate-capable zone")
 
-    zone_a = state.zone_of(qubit_a)
-    zone_b = state.zone_of(qubit_b)
     future_partners = future_partners or {}
     # Operands with upcoming partners on *other* modules will need the
     # optical zone soon anyway; hosting their local gates there avoids the
     # optical<->operation ping-pong around every fiber gate.
-    module_zone_ids = {
-        zone.zone_id for zone in machine.zones_in_module(module_id)
-    }
+    module_zone_ids = maps.module_zone_ids[module_id]
     remote_partner_count = sum(
         count
         for zone_id, count in future_partners.items()
         if zone_id not in module_zone_ids
     )
 
-    def cost(zone: Zone) -> tuple:
-        movers = [
-            q
-            for q, current in ((qubit_a, zone_a), (qubit_b, zone_b))
-            if current != zone.zone_id
-        ]
-        hops = sum(
-            machine.hop_distance(state.zone_of(q), zone.zone_id) for q in movers
-        )
-        overflow = max(0, len(movers) - state.free_space(zone.zone_id))
-        fiber_pull = 1 if zone.allows_fiber and remote_partner_count > 0 else 0
-        level_distance = sum(
-            abs(machine.zone(state.zone_of(q)).level - zone.level)
-            for q in movers
-        )
-        # Shuttle work first (each hop travelled and each eviction is one
-        # shuttle, and a pending fiber gate credits the optical zone one
-        # shuttle), then level proximity, then future locality, then prefer
-        # the higher level and the less-pressured zone.
-        return (
+    distances = maps.distances
+    zone_level = maps.zone_level
+    allows_fiber = maps.zone_allows_fiber
+    capacity = maps.zone_capacity
+    chains = state.chains
+    zone_usage = state.zone_usage
+    get_partners = future_partners.get
+    has_remote = remote_partner_count > 0
+    level_a = zone_level[zone_a]
+    level_b = zone_level[zone_b]
+
+    # Shuttle work first (each hop travelled and each eviction is one
+    # shuttle, and a pending fiber gate credits the optical zone one
+    # shuttle), then level proximity, then future locality, then prefer
+    # the higher level and the less-pressured zone.
+    best_key: tuple | None = None
+    best_zone = -1
+    for zone in candidates:
+        zone_id = zone.zone_id
+        level = zone_level[zone_id]
+        hops = 0
+        level_distance = 0
+        movers = 0
+        if zone_a != zone_id:
+            movers = 1
+            hops = distances[(zone_a, zone_id)]
+            level_distance = abs(level_a - level)
+        if zone_b != zone_id:
+            movers += 1
+            hops += distances[(zone_b, zone_id)]
+            level_distance += abs(level_b - level)
+        overflow = movers - (capacity[zone_id] - len(chains[zone_id]))
+        if overflow < 0:
+            overflow = 0
+        fiber_pull = 1 if has_remote and allows_fiber[zone_id] else 0
+        key = (
             hops + overflow - fiber_pull,
             level_distance,
-            -future_partners.get(zone.zone_id, 0),
-            -zone.level,
-            state.zone_usage[zone.zone_id],
+            -get_partners(zone_id, 0),
+            -level,
+            zone_usage[zone_id],
         )
-
-    return min(candidates, key=cost).zone_id
+        if best_key is None or key < best_key:
+            best_key, best_zone = key, zone_id
+    return best_zone
 
 
 def choose_optical_zone(state: MachineState, qubit: int) -> int:
@@ -185,22 +202,28 @@ def choose_optical_zone(state: MachineState, qubit: int) -> int:
     and accumulated pressure, spreading fiber traffic (and therefore heat)
     across zones.
     """
-    module_id = state.module_of(qubit)
-    candidates = optical_zones(state, module_id)
+    maps = state.maps
+    current = state.location[qubit]
+    module_id = maps.zone_module[current]
+    candidates = maps.module_optical_zones[module_id]
     if not candidates:
         raise RoutingError(f"module {module_id} has no optical zone")
-    current = state.zone_of(qubit)
+    if len(candidates) == 1:
+        only = candidates[0].zone_id
+        return only
     for zone in candidates:
         if zone.zone_id == current:
             return current
 
+    free_space = state.free_space
+    zone_usage = state.zone_usage
+
     def cost(zone: Zone) -> tuple:
-        overflow = max(0, 1 - state.free_space(zone.zone_id))
-        return (
-            overflow,
-            state.zone_usage[zone.zone_id],
-            -state.free_space(zone.zone_id),
-        )
+        free = free_space(zone.zone_id)
+        overflow = 1 - free
+        if overflow < 0:
+            overflow = 0
+        return (overflow, zone_usage[zone.zone_id], -free)
 
     return min(candidates, key=cost).zone_id
 
@@ -215,13 +238,47 @@ def future_partner_census(
     uses).
     """
     census: dict[int, int] = {}
-    operands = (qubit_a, qubit_b)
+    location_get = state.location.get
     for u, v in future_pairs:
-        for mine, partner in ((u, v), (v, u)):
-            if mine in operands and partner not in operands:
-                zone_id = state.location.get(partner)
-                if zone_id is not None:
-                    census[zone_id] = census.get(zone_id, 0) + 1
+        if u == qubit_a or u == qubit_b:
+            mine, partner = u, v
+            if partner == qubit_a or partner == qubit_b:
+                continue
+        elif v == qubit_a or v == qubit_b:
+            mine, partner = v, u
+        else:
+            continue
+        zone_id = location_get(partner)
+        if zone_id is not None:
+            census[zone_id] = census.get(zone_id, 0) + 1
+    return census
+
+
+_EMPTY_BUCKET: dict[int, int] = {}
+
+
+def _census_from_index(
+    state: MachineState,
+    qubit_a: int,
+    qubit_b: int,
+    partners_index: dict[int, dict[int, int]],
+) -> dict[int, int]:
+    """:func:`future_partner_census` against a per-qubit partner index.
+
+    Equivalent counts: every window pair coupling an operand with an
+    outside qubit is tallied (with multiplicity) in that operand's partner
+    bucket, and pairs coupling the two operands with each other are
+    skipped, as before.
+    """
+    census: dict[int, int] = {}
+    location_get = state.location.get
+    for mine, other in ((qubit_a, qubit_b), (qubit_b, qubit_a)):
+        for partner, count in partners_index.get(mine, _EMPTY_BUCKET).items():
+            if partner == other or partner == mine:
+                continue
+            zone_id = location_get(partner)
+            if zone_id is not None:
+                census[zone_id] = census.get(zone_id, 0) + count
     return census
 
 
@@ -233,16 +290,24 @@ def route_local_gate(
     use_lru: bool = True,
     future_pairs=(),
     slack: int = 0,
+    lookahead: "tuple[dict[int, dict[int, int]], frozenset[int]] | None" = None,
 ) -> int:
     """Bring two same-module qubits into one gate-capable zone; returns it.
 
     ``slack`` applies batch eviction when the chosen host is an optical
     zone, keeping fiber-gate head-room available (see :func:`make_room`).
+    The scheduling loop passes ``lookahead`` — the DAG's memoised
+    ``(partner index, operand set)`` for the window — instead of a raw
+    ``future_pairs`` iterable; both encode the same window.
     """
-    census = future_partner_census(state, qubit_a, qubit_b, future_pairs)
+    if lookahead is not None:
+        partners_index, future_qubits = lookahead
+        census = _census_from_index(state, qubit_a, qubit_b, partners_index)
+    else:
+        census = future_partner_census(state, qubit_a, qubit_b, future_pairs)
+        future_qubits = frozenset(q for pair in future_pairs for q in pair)
     target = choose_local_zone(state, qubit_a, qubit_b, census)
     protected = frozenset((qubit_a, qubit_b))
-    future_qubits = frozenset(q for pair in future_pairs for q in pair)
     movers = [q for q in (qubit_a, qubit_b) if state.zone_of(q) != target]
     if movers:
         make_room(
@@ -252,7 +317,7 @@ def route_local_gate(
             protected,
             use_lru=use_lru,
             future_qubits=future_qubits,
-            slack=slack if state.machine.zone(target).allows_fiber else 0,
+            slack=slack if state.maps.zone_allows_fiber[target] else 0,
         )
         for qubit in movers:
             state.shuttle(qubit, target)

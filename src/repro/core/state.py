@@ -6,6 +6,15 @@ MUSS-TI scheduling loop: it mirrors what the executor will later replay
 bookkeeping (LRU timestamps, per-zone usage pressure used for load
 balancing across multiple optical zones).
 
+The state works over any :class:`~repro.hardware.Machine` — typically one
+resolved from a registry spec string (``"eml:16:2"``, ``"grid:2x2:12"``,
+``"ring:8:16"``...) or lowered from a declarative
+:class:`~repro.hardware.ArchitectureSpec`.  On construction it grabs the
+machine's precomputed :class:`~repro.hardware.TopologyMaps` (cached per
+canonical machine spec), so the per-op queries the scheduling loop hammers
+— *which module is this qubit in? how far is this zone? how much space is
+left?* — are array lookups, not scans or searches.
+
 All physical-op emission funnels through :meth:`shuttle`, which handles the
 chain-edge discipline: an interior ion is first bubbled to the nearest chain
 edge with physical chain swaps (Fig 4's "SWAP insert" of the qubit chain),
@@ -39,6 +48,11 @@ class MachineState:
         self, machine: Machine, initial_placement: dict[int, tuple[int, ...]]
     ) -> None:
         self.machine = machine
+        #: Precomputed topology lookups shared by every hot-path query.
+        self.maps = machine.topology_maps()
+        self._zone_module = self.maps.zone_module
+        self._zone_capacity = self.maps.zone_capacity
+        self._paths = self.maps.paths
         self.chains: dict[int, list[int]] = {
             zone.zone_id: [] for zone in machine.zones
         }
@@ -76,22 +90,25 @@ class MachineState:
         return self.location[qubit]
 
     def module_of(self, qubit: int) -> int:
-        return self.machine.zone(self.location[qubit]).module_id
+        return self._zone_module[self.location[qubit]]
 
     def free_space(self, zone_id: int) -> int:
-        return self.machine.zone(zone_id).capacity - len(self.chains[zone_id])
+        return self._zone_capacity[zone_id] - len(self.chains[zone_id])
 
     def qubits_in_module(self, module_id: int) -> list[int]:
         qubits: list[int] = []
-        for zone in self.machine.zones_in_module(module_id):
-            qubits.extend(self.chains[zone.zone_id])
+        chains = self.chains
+        for zone in self.maps.module_zones[module_id]:
+            qubits.extend(chains[zone.zone_id])
         return qubits
 
     def co_located(self, qubit_a: int, qubit_b: int) -> bool:
         return self.location[qubit_a] == self.location[qubit_b]
 
     def same_module(self, qubit_a: int, qubit_b: int) -> bool:
-        return self.module_of(qubit_a) == self.module_of(qubit_b)
+        zone_module = self._zone_module
+        location = self.location
+        return zone_module[location[qubit_a]] == zone_module[location[qubit_b]]
 
     # ------------------------------------------------------------------
     # LRU clock
@@ -172,21 +189,31 @@ class MachineState:
         source_zone = self.location[qubit]
         if source_zone == destination_zone:
             return
-        if self.free_space(destination_zone) < 1:
+        chains = self.chains
+        destination_chain = chains[destination_zone]
+        if self._zone_capacity[destination_zone] - len(destination_chain) < 1:
             raise RoutingError(
                 f"shuttle of qubit {qubit} into full zone {destination_zone}"
             )
-        path = self.machine.shuttle_path(source_zone, destination_zone)
+        path = self._paths.get((source_zone, destination_zone))
+        if path is None:
+            # Unreachable pair: surface the machine's own error (same
+            # MachineError the seed raised from its per-query BFS).
+            path = self.machine.shuttle_path(source_zone, destination_zone)
         self._bubble_to_edge(qubit)
-        self.operations.append(SplitOp(qubit, source_zone))
-        self.chains[source_zone].remove(qubit)
-        for here, there in zip(path, path[1:]):
-            self.operations.append(MoveOp(qubit, here, there))
-            self.stats["shuttles"] += 1
-            self.zone_usage[there] += 1.0
-        self.zone_usage[source_zone] += 1.0
-        self.operations.append(MergeOp(qubit, destination_zone))
-        self.chains[destination_zone].append(qubit)
+        operations = self.operations
+        zone_usage = self.zone_usage
+        operations.append(SplitOp(qubit, source_zone))
+        chains[source_zone].remove(qubit)
+        here = path[0]
+        for there in path[1:]:
+            operations.append(MoveOp(qubit, here, there))
+            zone_usage[there] += 1.0
+            here = there
+        self.stats["shuttles"] += len(path) - 1
+        zone_usage[source_zone] += 1.0
+        operations.append(MergeOp(qubit, destination_zone))
+        destination_chain.append(qubit)
         self.location[qubit] = destination_zone
         self._clock += 1
         self.last_used.setdefault(qubit, self._clock)

@@ -27,45 +27,72 @@ from .state import MachineState
 
 
 class WeightTable:
-    """``W(q, c)`` over the first ``k`` layers of the remaining DAG."""
+    """``W(q, c)`` over the first ``k`` layers of the remaining DAG.
+
+    Construction indexes the DAG's memoised look-ahead pair list
+    (:meth:`~repro.circuits.dag.DependencyGraph.two_qubit_pairs_within`)
+    by qubit; the per-module weights are aggregated lazily at query time
+    from each qubit's (short) partner list.  The §3.3 rule early-exits on
+    most fiber gates — ``W(q, home) != 0`` — so deferring the aggregation
+    skips most of the seed's eager table build.  Weights resolve partner
+    residency against the state *when queried*; the scheduling loop never
+    moves an ion between building a table and reading it (it rebuilds
+    after every inserted SWAP), so queries see exactly the seed's counts.
+    """
+
+    _EMPTY: dict[int, int] = {}
 
     def __init__(self, dag: DependencyGraph, state: MachineState, k: int) -> None:
-        self._weights: dict[int, dict[int, int]] = {}
-        self._partners: dict[int, dict[int, int]] = {}
+        self._state = state
+        partners_index = getattr(dag, "lookahead_partners", None)
+        if partners_index is not None:
+            # Live per-version window index — never mutated here.
+            self._by_qubit = partners_index(k)
+            return
+        by_qubit: dict[int, dict[int, int]] = {}
+        # Duck-typed DAG stand-ins: derive the index the seed way.
         for _, gate in dag.gates_within_layers(k):
             if not gate.is_two_qubit:
                 continue
             qubit_a, qubit_b = gate.qubits
-            module_a = state.module_of(qubit_a)
-            module_b = state.module_of(qubit_b)
-            self._weights.setdefault(qubit_a, {}).setdefault(module_b, 0)
-            self._weights[qubit_a][module_b] += 1
-            self._weights.setdefault(qubit_b, {}).setdefault(module_a, 0)
-            self._weights[qubit_b][module_a] += 1
-            self._partners.setdefault(qubit_a, {}).setdefault(qubit_b, 0)
-            self._partners[qubit_a][qubit_b] += 1
-            self._partners.setdefault(qubit_b, {}).setdefault(qubit_a, 0)
-            self._partners[qubit_b][qubit_a] += 1
+            row = by_qubit.setdefault(qubit_a, {})
+            row[qubit_b] = row.get(qubit_b, 0) + 1
+            row = by_qubit.setdefault(qubit_b, {})
+            row[qubit_a] = row.get(qubit_a, 0) + 1
+        self._by_qubit = by_qubit
 
     def weight(self, qubit: int, module_id: int) -> int:
-        return self._weights.get(qubit, {}).get(module_id, 0)
+        partners = self._by_qubit.get(qubit)
+        if not partners:
+            return 0
+        location = self._state.location
+        zone_module = self._state.maps.zone_module
+        return sum(
+            count
+            for partner, count in partners.items()
+            if zone_module[location[partner]] == module_id
+        )
 
     def row(self, qubit: int) -> dict[int, int]:
-        return dict(self._weights.get(qubit, {}))
+        location = self._state.location
+        zone_module = self._state.maps.zone_module
+        row: dict[int, int] = {}
+        for partner, count in self._by_qubit.get(qubit, self._EMPTY).items():
+            module_id = zone_module[location[partner]]
+            row[module_id] = row.get(module_id, 0) + count
+        return row
 
     def total(self, qubit: int) -> int:
         """Upcoming two-qubit gates involving ``qubit`` (any module)."""
-        return sum(self._weights.get(qubit, {}).values())
+        return sum(self._by_qubit.get(qubit, self._EMPTY).values())
 
     def partner_count(self, qubit: int, partner: int) -> int:
         """Upcoming gates directly coupling ``qubit`` with ``partner``."""
-        return self._partners.get(qubit, {}).get(partner, 0)
+        return self._by_qubit.get(qubit, self._EMPTY).get(partner, 0)
 
     def active_qubits(self) -> frozenset[int]:
         """Qubits with at least one gate inside the look-ahead window."""
-        return frozenset(
-            qubit for qubit, row in self._weights.items() if row
-        )
+        return frozenset(self._by_qubit)
 
 
 def maybe_insert_swaps(

@@ -10,6 +10,7 @@ for lossless (de)serialization.  Register new shapes with
 subclass needed.
 """
 
+from .distances import TopologyMaps, topology_cache_key, topology_maps
 from .eml import DEFAULT_MODULE_QUBIT_LIMIT, EMLQCCDMachine, ModuleLayout
 from .grid import PAPER_GRIDS, QCCDGridMachine, paper_grid
 from .machine import Machine, MachineError
@@ -47,6 +48,7 @@ __all__ = [
     "ModuleLayout",
     "PAPER_GRIDS",
     "QCCDGridMachine",
+    "TopologyMaps",
     "Zone",
     "ZoneKind",
     "ZoneSpec",
@@ -64,4 +66,6 @@ __all__ = [
     "render_machine",
     "resolve_machine",
     "save_machine",
+    "topology_cache_key",
+    "topology_maps",
 ]

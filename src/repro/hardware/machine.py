@@ -11,7 +11,6 @@ architecture) is shared here.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from .zones import Zone, ZoneKind
@@ -49,7 +48,6 @@ class Machine:
                     raise MachineError(
                         f"adjacency must be symmetric: {zone_id} -> {other}"
                     )
-        self._paths: dict[tuple[int, int], tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Declarative architecture round trip
@@ -191,40 +189,43 @@ class Machine:
     def neighbours(self, zone_id: int) -> frozenset[int]:
         return self._adjacency[zone_id]
 
+    def topology_maps(self):
+        """Precomputed :class:`~repro.hardware.distances.TopologyMaps`.
+
+        Built once per topology (cached by canonical machine spec) and
+        memoised on the instance; the scheduling hot path reads every
+        distance, path and per-module zone grouping from here.
+        """
+        from .distances import topology_maps
+
+        return topology_maps(self)
+
     def shuttle_path(self, source: int, destination: int) -> tuple[int, ...]:
         """Shortest shuttle path as a zone-id sequence (inclusive of both
         endpoints).  Raises :class:`MachineError` when no path exists (e.g.
-        across EML modules, which are fiber-linked only)."""
-        if source == destination:
-            return (source,)
-        key = (source, destination)
-        cached = self._paths.get(key)
-        if cached is not None:
-            return cached
-        parents: dict[int, int] = {source: source}
-        queue = deque([source])
-        while queue:
-            current = queue.popleft()
-            if current == destination:
-                break
-            for neighbour in self._adjacency[current]:
-                if neighbour not in parents:
-                    parents[neighbour] = current
-                    queue.append(neighbour)
-        if destination not in parents:
+        across EML modules, which are fiber-linked only).  Served from the
+        precomputed all-pairs table of :meth:`topology_maps`."""
+        path = self.topology_maps().paths.get((source, destination))
+        if path is None:
+            # Distinguish bad zone ids (IndexError, as before) from
+            # legitimately disconnected pairs.
+            self.zone(source)
+            self.zone(destination)
             raise MachineError(
                 f"no shuttle path from zone {source} to zone {destination}"
             )
-        path = [destination]
-        while path[-1] != source:
-            path.append(parents[path[-1]])
-        result = tuple(reversed(path))
-        self._paths[key] = result
-        return result
+        return path
 
     def hop_distance(self, source: int, destination: int) -> int:
         """Number of shuttle hops between two zones (0 when identical)."""
-        return len(self.shuttle_path(source, destination)) - 1
+        distance = self.topology_maps().distances.get((source, destination))
+        if distance is None:
+            self.zone(source)
+            self.zone(destination)
+            raise MachineError(
+                f"no shuttle path from zone {source} to zone {destination}"
+            )
+        return distance
 
     def same_module(self, zone_a: int, zone_b: int) -> bool:
         return self.zone(zone_a).module_id == self.zone(zone_b).module_id

@@ -42,7 +42,7 @@ _LEVELS = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Zone:
     """Static description of one trap zone.
 

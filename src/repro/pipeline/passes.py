@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from heapq import heappop, heappush
 from typing import Any, Protocol, runtime_checkable
 
 from ..circuits import DependencyGraph, Gate, QuantumCircuit, validate_native
@@ -35,6 +36,7 @@ from ..core.state import MachineState
 from ..core.swap_insertion import maybe_insert_swaps
 from ..hardware import Machine
 from ..sim import Program
+from ..sim.ops import MergeOp, SwapGateOp
 from .context import CompileContext, CompileResult
 
 
@@ -162,6 +164,236 @@ class SabrePlacementPass:
         context.record(self.name, placed_qubits=float(context.circuit.num_qubits))
 
 
+class _EventDrivenScheduler:
+    """Event-driven engine behind :class:`SchedulingPass`.
+
+    The seed implementation drained the frontier with repeated full passes:
+    scan every ready gate in FCFS order, execute what fits the hardware,
+    and rescan until a whole pass makes no progress.  That re-examines
+    every blocked gate once per pass even though a two-qubit gate's
+    executability is a pure function of its two operands' zones — it can
+    only change when one of those ions *moves*.
+
+    This engine keeps the exact same examination order but skips the
+    no-op re-checks, driven by two ready-event heaps:
+
+    * ``current`` — the gates still to examine in this pass, a min-heap so
+      examination stays in FCFS (ascending node id) order;
+    * ``pending`` — the events for the next pass: gates whose dependencies
+      just resolved, and blocked gates whose operands just moved at or
+      before the examination cursor.
+
+    Blocked gates park as *watchers* on their operand qubits.  When a
+    shuttle merge or an inserted SWAP moves qubit ``q`` (detected from the
+    ops appended to the machine state), ``q``'s watchers re-enter
+    ``current`` when they sit past the cursor — the seed's pass would
+    still reach them this sweep — and ``pending`` otherwise.  A stalled
+    frontier (both heaps empty) falls through to the router, exactly like
+    the seed's no-progress pass.
+
+    The replay is order-exact, not merely equivalent: the differential
+    suite pins the emitted op streams byte-for-byte against the frozen
+    seed copy.
+    """
+
+    _CLEAN, _CURRENT, _PENDING = 0, 1, 2
+
+    def __init__(
+        self,
+        dag: DependencyGraph,
+        state: MachineState,
+        config: MussTiConfig,
+        policy: SwapInsertionPolicy,
+    ) -> None:
+        self.dag = dag
+        self.state = state
+        self.config = config
+        self.policy = policy
+        maps = state.maps
+        self._allows_gates = maps.zone_allows_gates
+        self._allows_fiber = maps.zone_allows_fiber
+        self._zone_module = maps.zone_module
+        #: frontier node -> _CLEAN (parked watcher) / _CURRENT / _PENDING.
+        self.status: dict[int, int] = {}
+        #: qubit -> set of _CLEAN frontier nodes blocked on it.
+        self.watchers: dict[int, set[int]] = {}
+        # A sorted list is a valid min-heap; dag.frontier() is ascending.
+        self.current: list[int] = dag.frontier()
+        self.pending: list[int] = []
+        for node in self.current:
+            self.status[node] = self._CURRENT
+        #: High-water mark into ``state.operations`` for move detection.
+        self.ops_seen = len(state.operations)
+
+    def run(self) -> None:
+        dag = self.dag
+        while True:
+            self._drain()
+            if dag.is_empty:
+                return
+            self._route_oldest()
+
+    # -- stage 1: executable-first gate selection ----------------------
+
+    def _drain(self) -> None:
+        """Execute frontier gates that already meet hardware requirements."""
+        dag, state = self.dag, self.state
+        status = self.status
+        location = state.location
+        allows_gates = self._allows_gates
+        allows_fiber = self._allows_fiber
+        zone_module = self._zone_module
+        while True:
+            if not self.current:
+                if not self.pending:
+                    return
+                # Pass boundary: next pass examines last pass's events.
+                self.pending.sort()
+                self.current = self.pending
+                self.pending = []
+                for node in self.current:
+                    status[node] = self._CURRENT
+            while self.current:
+                node = heappop(self.current)
+                gate = dag.gate(node)
+                qubits = gate.qubits
+                if len(qubits) == 1:
+                    state.emit_one_qubit_gate(gate, node)
+                    self._on_completed(node, dag.complete(node))
+                    continue
+                qubit_a, qubit_b = qubits
+                zone_a = location[qubit_a]
+                zone_b = location[qubit_b]
+                if zone_a == zone_b:
+                    if allows_gates[zone_a]:
+                        state.emit_local_gate(gate, node)
+                        self._on_completed(node, dag.complete(node))
+                        continue
+                elif (
+                    allows_fiber[zone_a]
+                    and allows_fiber[zone_b]
+                    and zone_module[zone_a] != zone_module[zone_b]
+                ):
+                    state.emit_fiber_gate(gate, node)
+                    newly_ready = dag.complete(node)
+                    self.policy.after_fiber_gate(state, dag, gate)
+                    self._on_completed(node, newly_ready)
+                    self._note_moves(cursor=node)
+                    continue
+                # Blocked: park as a watcher until an operand moves.
+                status[node] = self._CLEAN
+                watchers = self.watchers
+                for qubit in qubits:
+                    bucket = watchers.get(qubit)
+                    if bucket is None:
+                        bucket = watchers[qubit] = set()
+                    bucket.add(node)
+
+    # -- stage 2 + 3: routing and the post-gate policy ------------------
+
+    def _route_oldest(self) -> None:
+        """FCFS fallback: route and fire the oldest frontier two-qubit gate."""
+        dag, state, config = self.dag, self.state, self.config
+        # At a stall ``status`` holds exactly the frontier (all parked), so
+        # the FCFS pick is its minimum — no need to sort the frontier.
+        node = min(self.status)
+        gate = dag.gate(node)
+        qubit_a, qubit_b = gate.qubits
+        k = config.lookahead_k
+        partners_index = dag.lookahead_partners(k)
+        future_qubits = dag.lookahead_qubits(k)
+        if state.same_module(qubit_a, qubit_b):
+            # Local gates route without slack: batch demotion only pays for
+            # itself on the fiber path, where arrivals are one-directional.
+            route_local_gate(
+                state,
+                qubit_a,
+                qubit_b,
+                use_lru=config.use_lru,
+                lookahead=(partners_index, future_qubits),
+            )
+            state.emit_local_gate(gate, node)
+            newly_ready = dag.complete(node)
+        else:
+            route_fiber_gate(
+                state,
+                qubit_a,
+                qubit_b,
+                use_lru=config.use_lru,
+                future_qubits=future_qubits,
+                slack=config.optical_slack,
+            )
+            state.emit_fiber_gate(gate, node)
+            newly_ready = dag.complete(node)
+            self.policy.after_fiber_gate(state, dag, gate)
+        # At a stall every frontier node is a parked watcher, including the
+        # node just routed: unpark it, then queue the fallout for the next
+        # drain pass (the seed rescans the frontier after routing).
+        self._unwatch(node, gate)
+        del self.status[node]
+        self._on_newly_ready(newly_ready)
+        self._note_moves(cursor=None)
+
+    # -- event bookkeeping ----------------------------------------------
+
+    def _on_completed(self, node: int, newly_ready: list[int]) -> None:
+        del self.status[node]
+        self._on_newly_ready(newly_ready)
+
+    def _on_newly_ready(self, newly_ready: list[int]) -> None:
+        status = self.status
+        pending = self.pending
+        for node in newly_ready:
+            status[node] = self._PENDING
+            pending.append(node)
+
+    def _unwatch(self, node: int, gate: Gate) -> None:
+        watchers = self.watchers
+        for qubit in gate.qubits:
+            bucket = watchers.get(qubit)
+            if bucket is not None:
+                bucket.discard(node)
+
+    def _note_moves(self, cursor: int | None) -> None:
+        """Wake the watchers of every qubit that moved since the last scan.
+
+        A qubit changes zones exactly when a shuttle completes (``MergeOp``)
+        or a logical SWAP relabels two chain slots (``SwapGateOp``); gate
+        and transport ops in between cannot affect executability.  With a
+        ``cursor`` (mid-pass, after a fiber gate's SWAP policy) watchers
+        past the cursor re-enter the current pass — the seed's sweep would
+        still reach them — and earlier ones wait for the next pass.
+        """
+        operations = self.state.operations
+        seen = self.ops_seen
+        if seen == len(operations):
+            return
+        self.ops_seen = len(operations)
+        watchers = self.watchers
+        status = self.status
+        dag = self.dag
+        for op in operations[seen:]:
+            op_type = type(op)
+            if op_type is MergeOp:
+                moved = (op.qubit,)
+            elif op_type is SwapGateOp:
+                moved = (op.qubit_a, op.qubit_b)
+            else:
+                continue
+            for qubit in moved:
+                bucket = watchers.get(qubit)
+                if not bucket:
+                    continue
+                for node in tuple(bucket):
+                    self._unwatch(node, dag.gate(node))
+                    if cursor is not None and node > cursor:
+                        status[node] = self._CURRENT
+                        heappush(self.current, node)
+                    else:
+                        status[node] = self._PENDING
+                        self.pending.append(node)
+
+
 class SchedulingPass:
     """The Fig 3 loop: gate selection, multi-level routing, post-gate policy.
 
@@ -181,6 +413,10 @@ class SchedulingPass:
        :class:`SwapInsertionPolicy` may insert a remote logical SWAP to
        migrate a qubit to the module where its upcoming partners live
        (Fig 5).
+
+    Gate selection runs on the event-driven :class:`_EventDrivenScheduler`
+    (ready-event heaps plus operand watchers) instead of repeated frontier
+    rescans; the emitted schedule is byte-identical to the seed loop.
 
     Constructed without a config, the pass reads the pipeline-level one
     from the context at run time (and derives the default SWAP policy
@@ -217,109 +453,12 @@ class SchedulingPass:
             context.dag = DependencyGraph(context.circuit)
         if context.state is None:
             context.state = MachineState(context.machine, context.placement)
-        dag, state = context.dag, context.state
-        while not dag.is_empty:
-            self._drain_executable(dag, state, policy)
-            if dag.is_empty:
-                break
-            self._route_and_execute_oldest(dag, state, config, policy)
+        _EventDrivenScheduler(context.dag, context.state, config, policy).run()
         context.record(
             self.name,
             scheduled_gates=float(len(context.circuit)),
-            inserted_swaps=float(state.stats.get("inserted_swaps", 0)),
+            inserted_swaps=float(context.state.stats.get("inserted_swaps", 0)),
         )
-
-    # -- stage 1: executable-first gate selection ----------------------
-
-    def _drain_executable(
-        self,
-        dag: DependencyGraph,
-        state: MachineState,
-        policy: SwapInsertionPolicy,
-    ) -> None:
-        """Execute frontier gates that already meet hardware requirements."""
-        progressed = True
-        while progressed:
-            progressed = False
-            for node in dag.frontier():
-                gate = dag.gate(node)
-                if gate.is_one_qubit:
-                    state.emit_one_qubit_gate(gate, node)
-                    dag.complete(node)
-                    progressed = True
-                elif self._execute_if_ready(dag, state, node, gate, policy):
-                    progressed = True
-
-    def _execute_if_ready(
-        self,
-        dag: DependencyGraph,
-        state: MachineState,
-        node: int,
-        gate: Gate,
-        policy: SwapInsertionPolicy,
-    ) -> bool:
-        qubit_a, qubit_b = gate.qubits
-        zone_a = state.zone_of(qubit_a)
-        zone_b = state.zone_of(qubit_b)
-        if zone_a == zone_b and state.machine.zone(zone_a).allows_gates:
-            state.emit_local_gate(gate, node)
-            dag.complete(node)
-            return True
-        machine = state.machine
-        if (
-            machine.zone(zone_a).allows_fiber
-            and machine.zone(zone_b).allows_fiber
-            and machine.zone(zone_a).module_id != machine.zone(zone_b).module_id
-        ):
-            state.emit_fiber_gate(gate, node)
-            dag.complete(node)
-            policy.after_fiber_gate(state, dag, gate)
-            return True
-        return False
-
-    # -- stage 2 + 3: routing and the post-gate policy ------------------
-
-    def _route_and_execute_oldest(
-        self,
-        dag: DependencyGraph,
-        state: MachineState,
-        config: MussTiConfig,
-        policy: SwapInsertionPolicy,
-    ) -> None:
-        """FCFS fallback: route and fire the oldest frontier two-qubit gate."""
-        node = dag.frontier()[0]
-        gate = dag.gate(node)
-        qubit_a, qubit_b = gate.qubits
-        future_pairs = [
-            g.qubits
-            for _, g in dag.gates_within_layers(config.lookahead_k)
-            if g.is_two_qubit
-        ]
-        if state.same_module(qubit_a, qubit_b):
-            # Local gates route without slack: batch demotion only pays for
-            # itself on the fiber path, where arrivals are one-directional.
-            route_local_gate(
-                state,
-                qubit_a,
-                qubit_b,
-                use_lru=config.use_lru,
-                future_pairs=future_pairs,
-            )
-            state.emit_local_gate(gate, node)
-            dag.complete(node)
-        else:
-            future_qubits = frozenset(q for pair in future_pairs for q in pair)
-            route_fiber_gate(
-                state,
-                qubit_a,
-                qubit_b,
-                use_lru=config.use_lru,
-                future_qubits=future_qubits,
-                slack=config.optical_slack,
-            )
-            state.emit_fiber_gate(gate, node)
-            dag.complete(node)
-            policy.after_fiber_gate(state, dag, gate)
 
 
 # ---------------------------------------------------------------------------

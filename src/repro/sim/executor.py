@@ -1,8 +1,11 @@
 """Schedule executor: prices an op stream under a physical model.
 
-The executor replays a :class:`~repro.sim.program.Program` against the
-machine, maintaining per-zone ion chains and per-zone accumulated heat,
-validating every op's legality as it goes, and accumulating:
+The executor replays a :class:`~repro.sim.program.Program` against its
+machine — any machine resolved from a registry spec string
+(``"eml:16:2"``, ``"grid:2x2:12"``...) or lowered from a declarative
+:class:`~repro.hardware.ArchitectureSpec` — maintaining per-zone ion
+chains and per-zone accumulated heat, validating every op's legality as
+it goes, and accumulating:
 
 * shuttle statistics (splits, moves, merges, chain swaps),
 * serial execution time (sum of op durations, the paper's time metric) and a
@@ -22,7 +25,6 @@ from ..physics import (
     FidelityLedger,
     PhysicalParams,
     shuttle_log_fidelity,
-    zone_background_log_fidelity,
 )
 from ..physics.timing import move_duration_us
 from .metrics import ExecutionReport
@@ -237,6 +239,13 @@ def execute(
     qubit's idle time (makespan minus its busy time).  Off by default: with
     the paper's T1 = 600 s the term is negligible, and the paper's §4 model
     charges decay per operation only.
+
+    The loop is hot-path tuned — exact-class dispatch, per-op-kind
+    fidelity/duration constants hoisted out of the loop, and the
+    resource-availability bookkeeping inlined per op shape — but charges
+    the ledger in exactly the seed's order, so every report field matches
+    the pre-optimization executor bit for bit (the differential suite
+    asserts it).
     """
     params = params or PhysicalParams()
     program.validate_placement()
@@ -249,130 +258,224 @@ def execute(
     zone_ready: dict[int, float] = {}
     qubit_busy: dict[int, float] = {}
 
-    counts = {
-        "splits": 0,
-        "moves": 0,
-        "merges": 0,
-        "chain_swaps": 0,
-        "one_qubit_gates": 0,
-        "two_qubit_gates": 0,
-        "fiber_gates": 0,
-        "inserted_swaps": 0,
-        "remote_swaps": 0,
-    }
+    splits = moves = merges = chain_swaps = 0
+    one_qubit_gates = two_qubit_gates = fiber_gates = 0
+    inserted_swaps = remote_swaps = 0
 
-    def schedule(duration: float, qubits: tuple[int, ...], zones: tuple[int, ...]) -> None:
-        nonlocal serial_time
-        serial_time += duration
-        start = 0.0
-        for qubit in qubits:
-            start = max(start, qubit_ready.get(qubit, 0.0))
-        for zone_id in zones:
-            start = max(start, zone_ready.get(zone_id, 0.0))
-        end = start + duration
-        for qubit in qubits:
-            qubit_ready[qubit] = end
-            qubit_busy[qubit] = qubit_busy.get(qubit, 0.0) + duration
-        for zone_id in zones:
-            zone_ready[zone_id] = end
+    charge_log = ledger.charge_log
+    charge_linear = ledger.charge_linear
+    qubit_ready_get = qubit_ready.get
+    zone_ready_get = zone_ready.get
+    qubit_busy_get = qubit_busy.get
 
-    def charge_trap_op(duration: float, nbar: float, heated_zone: int) -> None:
-        ledger.charge_log(shuttle_log_fidelity(duration, nbar, params))
-        heat[heated_zone] += nbar
-
+    # Per-kind constants: the trap-op fidelity charges depend only on the
+    # physical parameters, never on machine state.
     move_time = move_duration_us(params.inter_zone_distance_um, params)
+    split_time = params.split_time_us
+    merge_time = params.merge_time_us
+    chain_swap_time = params.chain_swap_time_us
+    split_nbar = params.split_nbar
+    move_nbar = params.move_nbar
+    merge_nbar = params.merge_nbar
+    chain_swap_nbar = params.chain_swap_nbar
+    split_log = shuttle_log_fidelity(split_time, split_nbar, params)
+    move_log = shuttle_log_fidelity(move_time, move_nbar, params)
+    merge_log = shuttle_log_fidelity(merge_time, merge_nbar, params)
+    chain_swap_log = shuttle_log_fidelity(chain_swap_time, chain_swap_nbar, params)
+    heating_rate = params.heating_rate  # background = -heating_rate * heat
+    one_qubit_fidelity = params.one_qubit_gate_fidelity
+    fiber_fidelity = params.fiber_gate_fidelity
+    one_qubit_time = params.one_qubit_gate_time_us
+    two_qubit_time = params.two_qubit_gate_time_us
+    fiber_time = params.fiber_gate_time_us
+    two_qubit_gate_fidelity = params.two_qubit_gate_fidelity
+
+    replay_split = replay.split
+    replay_move = replay.move
+    replay_merge = replay.merge
+    replay_chain_swap = replay.chain_swap
+    replay_check_local = replay.check_local_gate
+    replay_check_fiber = replay.check_fiber_gate
+    replay_apply_swap = replay.apply_swap_gate
 
     for index, op in enumerate(program.operations):
-        if isinstance(op, SplitOp):
-            replay.split(op, index)
-            counts["splits"] += 1
-            charge_trap_op(params.split_time_us, params.split_nbar, op.zone)
-            schedule(params.split_time_us, (op.qubit,), (op.zone,))
-        elif isinstance(op, MoveOp):
-            replay.move(op, index)
-            counts["moves"] += 1
-            charge_trap_op(move_time, params.move_nbar, op.destination_zone)
-            schedule(move_time, (op.qubit,), (op.source_zone, op.destination_zone))
-        elif isinstance(op, MergeOp):
-            replay.merge(op, index)
-            counts["merges"] += 1
-            charge_trap_op(params.merge_time_us, params.merge_nbar, op.zone)
-            schedule(params.merge_time_us, (op.qubit,), (op.zone,))
-        elif isinstance(op, ChainSwapOp):
-            replay.chain_swap(op, index)
-            counts["chain_swaps"] += 1
-            charge_trap_op(
-                params.chain_swap_time_us, params.chain_swap_nbar, op.zone
-            )
-            schedule(params.chain_swap_time_us, (), (op.zone,))
-        elif isinstance(op, GateOp):
-            ions = replay.check_local_gate(op, index)
-            background = zone_background_log_fidelity(heat[op.zone], params)
-            if op.gate.is_one_qubit:
-                counts["one_qubit_gates"] += 1
-                ledger.charge_linear(params.one_qubit_gate_fidelity)
-                ledger.charge_log(background)
-                schedule(params.one_qubit_gate_time_us, op.gate.qubits, ())
+        op_class = op.__class__
+        if op_class is MoveOp:
+            replay_move(op, index)
+            moves += 1
+            charge_log(move_log)
+            source_zone = op.source_zone
+            destination_zone = op.destination_zone
+            heat[destination_zone] += move_nbar
+            qubit = op.qubit
+            serial_time += move_time
+            start = qubit_ready_get(qubit, 0.0)
+            when = zone_ready_get(source_zone, 0.0)
+            if when > start:
+                start = when
+            when = zone_ready_get(destination_zone, 0.0)
+            if when > start:
+                start = when
+            end = start + move_time
+            qubit_ready[qubit] = end
+            qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + move_time
+            zone_ready[source_zone] = end
+            zone_ready[destination_zone] = end
+        elif op_class is GateOp:
+            ions = replay_check_local(op, index)
+            zone_id = op.zone
+            background = -heating_rate * heat[zone_id]
+            gate = op.gate
+            qubits = gate.qubits
+            if len(qubits) == 1:
+                one_qubit_gates += 1
+                charge_linear(one_qubit_fidelity)
+                charge_log(background)
+                serial_time += one_qubit_time
+                qubit = qubits[0]
+                end = qubit_ready_get(qubit, 0.0) + one_qubit_time
+                qubit_ready[qubit] = end
+                qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + one_qubit_time
             else:
-                counts["two_qubit_gates"] += 1
-                fidelity = params.two_qubit_gate_fidelity(ions)
+                two_qubit_gates += 1
+                fidelity = two_qubit_gate_fidelity(ions)
                 if fidelity <= 0.0:
                     raise ExecutionError(
                         f"two-qubit gate fidelity collapsed to zero with "
-                        f"{ions} ions in zone {op.zone}",
+                        f"{ions} ions in zone {zone_id}",
                         index,
                     )
-                ledger.charge_linear(fidelity)
-                ledger.charge_log(background)
-                schedule(
-                    params.two_qubit_gate_time_us, op.gate.qubits, (op.zone,)
-                )
-        elif isinstance(op, FiberGateOp):
-            replay.check_fiber_gate(op, index)
-            counts["fiber_gates"] += 1
-            ledger.charge_linear(params.fiber_gate_fidelity)
-            ledger.charge_log(zone_background_log_fidelity(heat[op.zone_a], params))
-            ledger.charge_log(zone_background_log_fidelity(heat[op.zone_b], params))
-            schedule(
-                params.fiber_gate_time_us, op.gate.qubits, (op.zone_a, op.zone_b)
-            )
-        elif isinstance(op, SwapGateOp):
-            counts["inserted_swaps"] += 1
-            if op.is_remote:
-                counts["remote_swaps"] += 1
-                replay.apply_swap_gate(op, index)
+                charge_linear(fidelity)
+                charge_log(background)
+                serial_time += two_qubit_time
+                qubit_a, qubit_b = qubits
+                start = qubit_ready_get(qubit_a, 0.0)
+                when = qubit_ready_get(qubit_b, 0.0)
+                if when > start:
+                    start = when
+                when = zone_ready_get(zone_id, 0.0)
+                if when > start:
+                    start = when
+                end = start + two_qubit_time
+                qubit_ready[qubit_a] = end
+                qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + two_qubit_time
+                qubit_ready[qubit_b] = end
+                qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + two_qubit_time
+                zone_ready[zone_id] = end
+        elif op_class is ChainSwapOp:
+            replay_chain_swap(op, index)
+            chain_swaps += 1
+            charge_log(chain_swap_log)
+            zone_id = op.zone
+            heat[zone_id] += chain_swap_nbar
+            serial_time += chain_swap_time
+            zone_ready[zone_id] = zone_ready_get(zone_id, 0.0) + chain_swap_time
+        elif op_class is SplitOp:
+            replay_split(op, index)
+            splits += 1
+            charge_log(split_log)
+            zone_id = op.zone
+            heat[zone_id] += split_nbar
+            qubit = op.qubit
+            serial_time += split_time
+            start = qubit_ready_get(qubit, 0.0)
+            when = zone_ready_get(zone_id, 0.0)
+            if when > start:
+                start = when
+            end = start + split_time
+            qubit_ready[qubit] = end
+            qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + split_time
+            zone_ready[zone_id] = end
+        elif op_class is MergeOp:
+            replay_merge(op, index)
+            merges += 1
+            charge_log(merge_log)
+            zone_id = op.zone
+            heat[zone_id] += merge_nbar
+            qubit = op.qubit
+            serial_time += merge_time
+            start = qubit_ready_get(qubit, 0.0)
+            when = zone_ready_get(zone_id, 0.0)
+            if when > start:
+                start = when
+            end = start + merge_time
+            qubit_ready[qubit] = end
+            qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + merge_time
+            zone_ready[zone_id] = end
+        elif op_class is FiberGateOp:
+            replay_check_fiber(op, index)
+            fiber_gates += 1
+            charge_linear(fiber_fidelity)
+            zone_a = op.zone_a
+            zone_b = op.zone_b
+            charge_log(-heating_rate * heat[zone_a])
+            charge_log(-heating_rate * heat[zone_b])
+            serial_time += fiber_time
+            qubit_a, qubit_b = op.gate.qubits
+            start = qubit_ready_get(qubit_a, 0.0)
+            when = qubit_ready_get(qubit_b, 0.0)
+            if when > start:
+                start = when
+            when = zone_ready_get(zone_a, 0.0)
+            if when > start:
+                start = when
+            when = zone_ready_get(zone_b, 0.0)
+            if when > start:
+                start = when
+            end = start + fiber_time
+            qubit_ready[qubit_a] = end
+            qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + fiber_time
+            qubit_ready[qubit_b] = end
+            qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + fiber_time
+            zone_ready[zone_a] = end
+            zone_ready[zone_b] = end
+        elif op_class is SwapGateOp:
+            inserted_swaps += 1
+            zone_a = op.zone_a
+            zone_b = op.zone_b
+            if zone_a != zone_b:  # remote swap over fiber
+                remote_swaps += 1
+                replay_apply_swap(op, index)
                 # Three fiber-entangled MS gates (§3.3).
                 for _ in range(3):
-                    ledger.charge_linear(params.fiber_gate_fidelity)
-                    ledger.charge_log(
-                        zone_background_log_fidelity(heat[op.zone_a], params)
-                    )
-                    ledger.charge_log(
-                        zone_background_log_fidelity(heat[op.zone_b], params)
-                    )
-                schedule(
-                    3 * params.fiber_gate_time_us,
-                    (op.qubit_a, op.qubit_b),
-                    (op.zone_a, op.zone_b),
-                )
+                    charge_linear(fiber_fidelity)
+                    charge_log(-heating_rate * heat[zone_a])
+                    charge_log(-heating_rate * heat[zone_b])
+                duration = 3 * fiber_time
+                zones = (zone_a, zone_b)
             else:
-                ions = len(replay.chains[op.zone_a])
-                replay.apply_swap_gate(op, index)
-                fidelity = params.two_qubit_gate_fidelity(ions)
+                ions = len(replay.chains[zone_a])
+                replay_apply_swap(op, index)
+                fidelity = two_qubit_gate_fidelity(ions)
                 if fidelity <= 0.0:
                     raise ExecutionError(
                         f"swap fidelity collapsed to zero with {ions} ions",
                         index,
                     )
-                background = zone_background_log_fidelity(heat[op.zone_a], params)
+                background = -heating_rate * heat[zone_a]
                 for _ in range(3):
-                    ledger.charge_linear(fidelity)
-                    ledger.charge_log(background)
-                schedule(
-                    3 * params.two_qubit_gate_time_us,
-                    (op.qubit_a, op.qubit_b),
-                    (op.zone_a,),
-                )
+                    charge_linear(fidelity)
+                    charge_log(background)
+                duration = 3 * two_qubit_time
+                zones = (zone_a,)
+            serial_time += duration
+            qubit_a = op.qubit_a
+            qubit_b = op.qubit_b
+            start = qubit_ready_get(qubit_a, 0.0)
+            when = qubit_ready_get(qubit_b, 0.0)
+            if when > start:
+                start = when
+            for zone_id in zones:
+                when = zone_ready_get(zone_id, 0.0)
+                if when > start:
+                    start = when
+            end = start + duration
+            qubit_ready[qubit_a] = end
+            qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + duration
+            qubit_ready[qubit_b] = end
+            qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + duration
+            for zone_id in zones:
+                zone_ready[zone_id] = end
         else:
             raise ExecutionError(f"unknown operation type {type(op).__name__}", index)
 
@@ -396,15 +499,15 @@ def execute(
         circuit_name=program.circuit.name,
         compiler_name=program.compiler_name,
         num_qubits=program.circuit.num_qubits,
-        shuttle_count=counts["moves"],
-        split_count=counts["splits"],
-        merge_count=counts["merges"],
-        chain_swap_count=counts["chain_swaps"],
-        one_qubit_gate_count=counts["one_qubit_gates"],
-        two_qubit_gate_count=counts["two_qubit_gates"],
-        fiber_gate_count=counts["fiber_gates"],
-        inserted_swap_count=counts["inserted_swaps"],
-        remote_swap_count=counts["remote_swaps"],
+        shuttle_count=moves,
+        split_count=splits,
+        merge_count=merges,
+        chain_swap_count=chain_swaps,
+        one_qubit_gate_count=one_qubit_gates,
+        two_qubit_gate_count=two_qubit_gates,
+        fiber_gate_count=fiber_gates,
+        inserted_swap_count=inserted_swaps,
+        remote_swap_count=remote_swaps,
         execution_time_us=serial_time,
         makespan_us=makespan,
         log10_fidelity=ledger.log10_fidelity,

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from ..circuits import Gate
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SplitOp:
     """Detach logical qubit ``qubit`` from the chain edge in ``zone``."""
 
@@ -35,7 +35,7 @@ class SplitOp:
     zone: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MoveOp:
     """Transport a detached ion from ``source_zone`` to adjacent
     ``destination_zone``."""
@@ -45,7 +45,7 @@ class MoveOp:
     destination_zone: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MergeOp:
     """Attach the detached ion to the chain in ``zone``.
 
@@ -57,7 +57,7 @@ class MergeOp:
     side: str = "tail"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChainSwapOp:
     """Physically swap the ions at ``position`` and ``position + 1`` of the
     chain in ``zone``."""
@@ -66,7 +66,7 @@ class ChainSwapOp:
     position: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GateOp:
     """A circuit gate executed locally in ``zone``.
 
@@ -80,7 +80,7 @@ class GateOp:
     circuit_index: int = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FiberGateOp:
     """A circuit two-qubit gate executed over fiber between two optical
     zones of different modules."""
@@ -91,7 +91,7 @@ class FiberGateOp:
     circuit_index: int = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SwapGateOp:
     """Compiler-inserted logical SWAP of ``qubit_a`` and ``qubit_b``.
 

@@ -146,3 +146,93 @@ class TestMachineSpecCacheKeys:
         path = tmp_path / "arch.json"
         path.write_text(json.dumps({"kind": "eml", "options": {"modules": 4}}))
         assert self.keys_for(f"file:{path}") == self.keys_for("eml?modules=4")
+
+
+class TestTopologyMapsCacheKeys:
+    """The distance-map cache must never conflate distinct topologies.
+
+    :func:`repro.hardware.topology_maps` is cached process-wide by
+    :func:`repro.hardware.topology_cache_key`; a collision would silently
+    route one machine with another machine's distance tables.  The risky
+    shape is two registered topologies with *equal zone counts* — ring vs
+    chain most of all, which differ only by one wrap-around edge.
+    """
+
+    #: Registered-topology spellings that all build 8-zone machines.
+    EQUAL_ZONE_COUNT_SPECS = (
+        "ring:8:16",
+        "chain:8:16",
+        "grid:2x4:16",
+        "grid:4x2:16",
+        "eml?modules=2",
+    )
+
+    def test_equal_zone_counts_never_collide(self):
+        from repro.hardware import resolve_machine, topology_cache_key
+
+        machines = {
+            spec: resolve_machine(spec, 16)
+            for spec in self.EQUAL_ZONE_COUNT_SPECS
+        }
+        zone_counts = {m.num_zones for m in machines.values()}
+        assert zone_counts == {8}, "fixture drifted: specs must stay 8-zone"
+        keys = {spec: topology_cache_key(m) for spec, m in machines.items()}
+        assert len(set(keys.values())) == len(keys), f"colliding keys: {keys}"
+
+    def test_ring_vs_chain_distances_actually_differ(self):
+        from repro.hardware import resolve_machine, topology_maps
+
+        ring = topology_maps(resolve_machine("ring:8:16", 16))
+        chain = topology_maps(resolve_machine("chain:8:16", 16))
+        # Wrap-around: opposite ends are 1 hop on the ring, 7 on the chain.
+        assert ring.distances[(0, 7)] == 1
+        assert chain.distances[(0, 7)] == 7
+
+    def test_every_registered_topology_pair_with_equal_zone_counts(self):
+        """Sweep the whole registry at small sizes: any two builds with the
+        same zone count must still key differently unless they are the
+        same canonical machine."""
+        from repro.hardware import resolve_machine, topology_cache_key
+
+        specs = (
+            "grid:2x2:8",
+            "grid:1x4:8",
+            "ring:4:8",
+            "chain:4:8",
+            "eml?modules=1&capacity=8",
+            "star:1+1:8",
+        )
+        by_zone_count: dict[int, dict[str, str]] = {}
+        for spec in specs:
+            machine = resolve_machine(spec, 8)
+            keys = by_zone_count.setdefault(machine.num_zones, {})
+            keys[spec] = topology_cache_key(machine)
+        for zone_count, keys in by_zone_count.items():
+            assert len(set(keys.values())) == len(keys), (
+                f"{zone_count}-zone collisions: {keys}"
+            )
+
+    def test_equivalent_spellings_share_one_maps_object(self):
+        from repro.hardware import resolve_machine, topology_maps
+
+        first = topology_maps(resolve_machine("eml:16:1", 16))
+        second = topology_maps(resolve_machine("eml?capacity=16", 16))
+        assert first is second
+
+    def test_custom_architectures_key_structurally(self):
+        """Hand-built machines (no canonical spec) fall back to a content
+        hash of the full architecture — still distinct across shapes."""
+        from repro.hardware import Machine, Zone, ZoneKind, topology_cache_key
+
+        def build(edges):
+            zones = [Zone(i, 0, ZoneKind.OPERATION, 4) for i in range(3)]
+            adjacency: dict[int, set[int]] = {0: set(), 1: set(), 2: set()}
+            for a, b in edges:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+            return Machine(zones, adjacency)
+
+        line = build([(0, 1), (1, 2)])
+        triangle = build([(0, 1), (1, 2), (0, 2)])
+        assert line.spec is None and triangle.spec is None
+        assert topology_cache_key(line) != topology_cache_key(triangle)

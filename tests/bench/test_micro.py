@@ -1,0 +1,131 @@
+"""Microbenchmark suite: grid declaration, schema validation, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import micro
+from repro.cli import main
+from repro.hardware import parse_machine_spec
+
+
+class TestMicroGrid:
+    def test_grid_spans_the_scale_axis(self):
+        kinds = {parse_machine_spec(cell["machine"])[0] for cell in micro.MICRO_GRID}
+        # Tentpole coverage: small grid through ring/chain/star up to EML.
+        assert {"grid", "ring", "chain", "star", "eml"} <= kinds
+
+    def test_grid_reaches_64_modules(self):
+        options = [
+            parse_machine_spec(cell["machine"])[1] for cell in micro.MICRO_GRID
+        ]
+        assert any(opts.get("modules") == 64 for opts in options)
+
+    def test_cells_canonicalise_machines(self):
+        for cell in micro.micro_cells():
+            from repro.hardware import canonical_machine_spec
+
+            assert cell["machine"] == canonical_machine_spec(cell["machine"])
+
+    def test_filter_selects_subset(self):
+        cells = micro.micro_cells("workload=GHZ_n32")
+        assert cells and all(cell["workload"] == "GHZ_n32" for cell in cells)
+
+    def test_empty_filter_rejected(self):
+        with pytest.raises(ValueError, match="selected no micro cells"):
+            micro.run_micro(repeats=1, cell_filter="workload=NoSuchThing")
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            micro.run_micro(repeats=0)
+
+
+class TestPayloadSchema:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return micro.run_micro(repeats=1, cell_filter="workload=GHZ_n32")
+
+    def test_run_micro_emits_schema_valid_payload(self, payload):
+        micro.validate_payload(payload)  # does not raise
+
+    def test_payload_validates_under_jsonschema_when_available(self, payload):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(payload, micro.BENCH_SCHEMA)
+
+    def test_builtin_validator_matches_jsonschema_verdicts(self, payload):
+        """The stdlib fallback must reject what jsonschema rejects."""
+        import copy
+
+        bad_payloads = []
+        missing = copy.deepcopy(payload)
+        del missing["cells"]
+        bad_payloads.append(missing)
+        wrong_type = copy.deepcopy(payload)
+        wrong_type["cells"][0]["compile_s"] = "fast"
+        bad_payloads.append(wrong_type)
+        negative = copy.deepcopy(payload)
+        negative["cells"][0]["shuttles"] = -1
+        bad_payloads.append(negative)
+        extra = copy.deepcopy(payload)
+        extra["cells"][0]["vibes"] = "good"
+        bad_payloads.append(extra)
+        empty = copy.deepcopy(payload)
+        empty["cells"] = []
+        bad_payloads.append(empty)
+        stale = copy.deepcopy(payload)
+        stale["schema_version"] = 99
+        bad_payloads.append(stale)
+        for bad in bad_payloads:
+            with pytest.raises(micro.BenchSchemaError):
+                micro._validate_node(bad, micro.BENCH_SCHEMA, "$")
+
+    def test_write_payload_round_trips(self, payload, tmp_path):
+        path = micro.write_payload(payload, tmp_path / "BENCH_test.json")
+        reloaded = json.loads(path.read_text())
+        micro.validate_payload(reloaded)
+        assert reloaded["cells"] == payload["cells"]
+
+    def test_write_payload_rejects_invalid(self, tmp_path):
+        with pytest.raises(micro.BenchSchemaError):
+            micro.write_payload({"schema_version": 1}, tmp_path / "x.json")
+
+    def test_render_mentions_every_cell(self, payload):
+        text = micro.render(payload)
+        for cell in payload["cells"]:
+            assert cell["workload"] in text
+
+    def test_default_output_path_is_dated(self, tmp_path):
+        path = micro.default_output_path(tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+
+
+class TestMicroCli:
+    def test_quick_run_writes_schema_valid_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(
+            [
+                "bench",
+                "micro",
+                "--quick",
+                "--quiet",
+                "--output",
+                str(out),
+                "--filter",
+                "workload=GHZ_n32",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        micro.validate_payload(payload)
+        assert payload["repeats"] == 1
+        stdout = capsys.readouterr().out
+        assert "schema-valid" in stdout and "GHZ_n32" in stdout
+
+    def test_bad_filter_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["bench", "micro", "--quick", "--quiet", "--filter", "workload=Nope"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -8,6 +8,20 @@ from repro.circuits import QuantumCircuit
 from repro.hardware import EMLQCCDMachine, ModuleLayout, QCCDGridMachine
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def tiny_grid() -> QCCDGridMachine:
     """2x2 grid, capacity 4: the smallest interesting baseline machine."""

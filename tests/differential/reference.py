@@ -1,0 +1,1287 @@
+"""Frozen pre-optimization reference scheduler and executor.
+
+This module is a **verbatim, self-contained copy** of the MUSS-TI
+scheduling hot path (``core/routing.py``, ``core/state.py``, the
+``SchedulingPass`` loop, ``circuits/dag.py``) and the schedule executor
+(``sim/executor.py``) exactly as they stood *before* the performance
+overhaul (PR 4).  It exists so the differential equivalence suite can
+prove, cell by cell, that the optimized implementations produce
+**byte-identical** programs and metrics: the overhaul is a speedup, not a
+heuristic change.
+
+Deliberate properties:
+
+* No imports from the optimized modules under test.  Only stable,
+  untouched leaves are shared: the circuit IR (``Gate``,
+  ``QuantumCircuit``, ``validate_native``), the op dataclasses, the
+  ``Program``/``ExecutionReport`` containers, the hardware ``Machine``
+  construction, and the physics models.
+* The shuttle-path BFS is copied here too (including its neighbour
+  iteration order), so changes to ``Machine.shuttle_path`` caching are
+  covered by the comparison.
+* Do not "fix" or modernise this file.  If the scheduler's behaviour is
+  *intentionally* changed one day, regenerate this copy from the last
+  behaviour-identical revision and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.circuits import Gate, QuantumCircuit, validate_native
+from repro.circuits.circuit import QuantumCircuit as _QC  # noqa: F401 (doc link)
+from repro.core.config import MussTiConfig
+from repro.hardware import Machine
+from repro.physics import (
+    FidelityLedger,
+    PhysicalParams,
+    shuttle_log_fidelity,
+    zone_background_log_fidelity,
+)
+from repro.physics.timing import move_duration_us
+from repro.sim.metrics import ExecutionReport
+from repro.sim.ops import (
+    ChainSwapOp,
+    FiberGateOp,
+    GateOp,
+    MergeOp,
+    MoveOp,
+    Operation,
+    SplitOp,
+    SwapGateOp,
+)
+from repro.sim.program import Program
+
+
+class RefRoutingError(RuntimeError):
+    """Reference copy of :class:`repro.core.state.RoutingError`."""
+
+
+class RefExecutionError(RuntimeError):
+    """Reference copy of :class:`repro.sim.executor.ExecutionError`."""
+
+    def __init__(self, message: str, op_index: int | None = None) -> None:
+        if op_index is not None:
+            message = f"op #{op_index}: {message}"
+        super().__init__(message)
+        self.op_index = op_index
+
+
+# ---------------------------------------------------------------------------
+# Machine topology queries (seed BFS, including its tie-breaking order)
+# ---------------------------------------------------------------------------
+
+
+def ref_shuttle_path(machine: Machine, source: int, destination: int) -> tuple[int, ...]:
+    """Seed ``Machine.shuttle_path``: per-query BFS over the adjacency
+    frozensets, first-visit parents, early exit at the destination."""
+    if source == destination:
+        return (source,)
+    adjacency = machine._adjacency
+    parents: dict[int, int] = {source: source}
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        current = queue[head]
+        head += 1
+        if current == destination:
+            break
+        for neighbour in adjacency[current]:
+            if neighbour not in parents:
+                parents[neighbour] = current
+                queue.append(neighbour)
+    if destination not in parents:
+        raise RefRoutingError(
+            f"no shuttle path from zone {source} to zone {destination}"
+        )
+    path = [destination]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    return tuple(reversed(path))
+
+
+def ref_hop_distance(machine: Machine, source: int, destination: int) -> int:
+    return len(ref_shuttle_path(machine, source, destination)) - 1
+
+
+def ref_zones_in_module(machine: Machine, module_id: int) -> list:
+    return [zone for zone in machine.zones if zone.module_id == module_id]
+
+
+# ---------------------------------------------------------------------------
+# Dependency graph (seed copy)
+# ---------------------------------------------------------------------------
+
+
+class RefDependencyGraph:
+    """Seed copy of :class:`repro.circuits.dag.DependencyGraph`."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        gates = circuit.gates
+        self.num_gates = len(gates)
+        self._gates = gates
+        self._successors: list[list[int]] = [[] for _ in gates]
+        self._predecessors: list[list[int]] = [[] for _ in gates]
+        self._in_degree = [0] * len(gates)
+        self._completed = [False] * len(gates)
+        self._remaining = len(gates)
+
+        last_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(gates):
+            preds = {last_on_qubit[q] for q in gate.qubits if q in last_on_qubit}
+            for pred in preds:
+                self._successors[pred].append(index)
+                self._predecessors[index].append(pred)
+            self._in_degree[index] = len(preds)
+            for q in gate.qubits:
+                last_on_qubit[q] = index
+
+        self._frontier = {
+            i for i, degree in enumerate(self._in_degree) if degree == 0
+        }
+
+    def __len__(self) -> int:
+        return self._remaining
+
+    @property
+    def is_empty(self) -> bool:
+        return self._remaining == 0
+
+    def gate(self, node: int) -> Gate:
+        return self._gates[node]
+
+    def frontier(self) -> list[int]:
+        return sorted(self._frontier)
+
+    def is_ready(self, node: int) -> bool:
+        return node in self._frontier
+
+    def complete(self, node: int) -> list[int]:
+        if node not in self._frontier:
+            raise RefRoutingError(f"gate #{node} is not in the frontier")
+        self._frontier.discard(node)
+        self._completed[node] = True
+        self._remaining -= 1
+        newly_ready: list[int] = []
+        for succ in self._successors[node]:
+            self._in_degree[succ] -= 1
+            if self._in_degree[succ] == 0:
+                self._frontier.add(succ)
+                newly_ready.append(succ)
+        return newly_ready
+
+    def first_k_layers(self, k: int) -> list[list[int]]:
+        if k <= 0:
+            return []
+        layers: list[list[int]] = []
+        virtual_degree: dict[int, int] = {}
+        current = self.frontier()
+        seen = set(current)
+        for _ in range(k):
+            if not current:
+                break
+            layers.append(current)
+            next_layer: list[int] = []
+            for node in current:
+                for succ in self._successors[node]:
+                    if succ in seen:
+                        continue
+                    degree = virtual_degree.get(succ)
+                    if degree is None:
+                        degree = self._in_degree[succ]
+                    degree -= 1
+                    virtual_degree[succ] = degree
+                    if degree == 0:
+                        next_layer.append(succ)
+                        seen.add(succ)
+            current = sorted(next_layer)
+        return layers
+
+    def gates_within_layers(self, k: int):
+        for layer_index, layer in enumerate(self.first_k_layers(k)):
+            for node in layer:
+                yield layer_index, self._gates[node]
+
+
+# ---------------------------------------------------------------------------
+# Machine state (seed copy of core/state.py)
+# ---------------------------------------------------------------------------
+
+
+class RefMachineState:
+    """Seed copy of :class:`repro.core.state.MachineState`."""
+
+    def __init__(
+        self, machine: Machine, initial_placement: dict[int, tuple[int, ...]]
+    ) -> None:
+        self.machine = machine
+        self.chains: dict[int, list[int]] = {
+            zone.zone_id: [] for zone in machine.zones
+        }
+        self.location: dict[int, int] = {}
+        for zone_id, chain in initial_placement.items():
+            self.chains[zone_id] = list(chain)
+            for qubit in chain:
+                if qubit in self.location:
+                    raise RefRoutingError(f"qubit {qubit} placed twice")
+                self.location[qubit] = zone_id
+        self.initial_placement = {
+            zone_id: tuple(chain)
+            for zone_id, chain in initial_placement.items()
+            if chain
+        }
+        self.operations: list[Operation] = []
+        self._clock = 0
+        self.last_used: dict[int, int] = {q: 0 for q in self.location}
+        self.zone_usage: dict[int, float] = {
+            zone.zone_id: 0.0 for zone in machine.zones
+        }
+        self.stats = {
+            "shuttles": 0,
+            "chain_swaps": 0,
+            "evictions": 0,
+            "inserted_swaps": 0,
+        }
+
+    # -- queries ---------------------------------------------------------
+
+    def zone_of(self, qubit: int) -> int:
+        return self.location[qubit]
+
+    def module_of(self, qubit: int) -> int:
+        return self.machine.zone(self.location[qubit]).module_id
+
+    def free_space(self, zone_id: int) -> int:
+        return self.machine.zone(zone_id).capacity - len(self.chains[zone_id])
+
+    def qubits_in_module(self, module_id: int) -> list[int]:
+        qubits: list[int] = []
+        for zone in ref_zones_in_module(self.machine, module_id):
+            qubits.extend(self.chains[zone.zone_id])
+        return qubits
+
+    def co_located(self, qubit_a: int, qubit_b: int) -> bool:
+        return self.location[qubit_a] == self.location[qubit_b]
+
+    def same_module(self, qubit_a: int, qubit_b: int) -> bool:
+        return self.module_of(qubit_a) == self.module_of(qubit_b)
+
+    # -- LRU clock -------------------------------------------------------
+
+    def touch(self, *qubits: int) -> None:
+        self._clock += 1
+        for qubit in qubits:
+            self.last_used[qubit] = self._clock
+
+    def lru_victim(
+        self,
+        zone_id: int,
+        protected: frozenset[int],
+        future_qubits: frozenset[int] = frozenset(),
+    ) -> int:
+        candidates = [q for q in self.chains[zone_id] if q not in protected]
+        if not candidates:
+            raise RefRoutingError(
+                f"zone {zone_id} has no evictable qubit (all protected)"
+            )
+        return min(
+            candidates,
+            key=lambda q: (q in future_qubits, self.last_used[q]),
+        )
+
+    def fifo_victim(self, zone_id: int, protected: frozenset[int]) -> int:
+        for qubit in self.chains[zone_id]:
+            if qubit not in protected:
+                return qubit
+        raise RefRoutingError(
+            f"zone {zone_id} has no evictable qubit (all protected)"
+        )
+
+    # -- physical op emission -------------------------------------------
+
+    def _bubble_to_edge(self, qubit: int) -> None:
+        zone_id = self.location[qubit]
+        chain = self.chains[zone_id]
+        position = chain.index(qubit)
+        to_head = position
+        to_tail = len(chain) - 1 - position
+        if to_head == 0 or to_tail == 0:
+            return
+        if to_head <= to_tail:
+            while position > 0:
+                self.operations.append(ChainSwapOp(zone_id, position - 1))
+                chain[position - 1], chain[position] = (
+                    chain[position],
+                    chain[position - 1],
+                )
+                position -= 1
+                self.stats["chain_swaps"] += 1
+        else:
+            while position < len(chain) - 1:
+                self.operations.append(ChainSwapOp(zone_id, position))
+                chain[position], chain[position + 1] = (
+                    chain[position + 1],
+                    chain[position],
+                )
+                position += 1
+                self.stats["chain_swaps"] += 1
+
+    def shuttle(self, qubit: int, destination_zone: int) -> None:
+        source_zone = self.location[qubit]
+        if source_zone == destination_zone:
+            return
+        if self.free_space(destination_zone) < 1:
+            raise RefRoutingError(
+                f"shuttle of qubit {qubit} into full zone {destination_zone}"
+            )
+        path = ref_shuttle_path(self.machine, source_zone, destination_zone)
+        self._bubble_to_edge(qubit)
+        self.operations.append(SplitOp(qubit, source_zone))
+        self.chains[source_zone].remove(qubit)
+        for here, there in zip(path, path[1:]):
+            self.operations.append(MoveOp(qubit, here, there))
+            self.stats["shuttles"] += 1
+            self.zone_usage[there] += 1.0
+        self.zone_usage[source_zone] += 1.0
+        self.operations.append(MergeOp(qubit, destination_zone))
+        self.chains[destination_zone].append(qubit)
+        self.location[qubit] = destination_zone
+        self._clock += 1
+        self.last_used.setdefault(qubit, self._clock)
+
+    # -- gate emission ---------------------------------------------------
+
+    def emit_one_qubit_gate(self, gate: Gate, circuit_index: int) -> None:
+        zone_id = self.location[gate.qubits[0]]
+        self.operations.append(GateOp(gate, zone_id, circuit_index))
+
+    def emit_local_gate(self, gate: Gate, circuit_index: int) -> None:
+        zone_id = self.location[gate.qubits[0]]
+        if self.location[gate.qubits[1]] != zone_id:
+            raise RefRoutingError(
+                f"local gate {gate} operands not co-located"
+            )
+        self.operations.append(GateOp(gate, zone_id, circuit_index))
+        self.zone_usage[zone_id] += 0.25
+        self.touch(*gate.qubits)
+
+    def emit_fiber_gate(self, gate: Gate, circuit_index: int) -> None:
+        qubit_a, qubit_b = gate.qubits
+        zone_a = self.location[qubit_a]
+        zone_b = self.location[qubit_b]
+        self.operations.append(FiberGateOp(gate, zone_a, zone_b, circuit_index))
+        self.zone_usage[zone_a] += 0.5
+        self.zone_usage[zone_b] += 0.5
+        self.touch(*gate.qubits)
+
+    def emit_swap_gate(self, qubit_a: int, qubit_b: int) -> None:
+        zone_a = self.location[qubit_a]
+        zone_b = self.location[qubit_b]
+        self.operations.append(SwapGateOp(qubit_a, qubit_b, zone_a, zone_b))
+        chain_a = self.chains[zone_a]
+        chain_b = self.chains[zone_b]
+        chain_a[chain_a.index(qubit_a)] = qubit_b
+        chain_b[chain_b.index(qubit_b)] = qubit_a
+        self.location[qubit_a] = zone_b
+        self.location[qubit_b] = zone_a
+        self.stats["inserted_swaps"] += 1
+        self.zone_usage[zone_a] += 0.75
+        self.zone_usage[zone_b] += 0.75
+        self.touch(qubit_a, qubit_b)
+
+    def final_placement(self) -> dict[int, tuple[int, ...]]:
+        return {
+            zone_id: tuple(chain)
+            for zone_id, chain in self.chains.items()
+            if chain
+        }
+
+
+# ---------------------------------------------------------------------------
+# Routing (seed copy of core/routing.py)
+# ---------------------------------------------------------------------------
+
+
+def ref_gate_capable_zones(state: RefMachineState, module_id: int) -> list:
+    return [
+        zone
+        for zone in ref_zones_in_module(state.machine, module_id)
+        if zone.allows_gates
+    ]
+
+
+def ref_optical_zones(state: RefMachineState, module_id: int) -> list:
+    return [
+        zone
+        for zone in ref_zones_in_module(state.machine, module_id)
+        if zone.allows_fiber
+    ]
+
+
+def _ref_eviction_target(
+    state: RefMachineState, from_zone: int, protected: frozenset[int]
+) -> int:
+    machine = state.machine
+    module_id = machine.zone(from_zone).module_id
+    from_level = machine.zone(from_zone).level
+    candidates = [
+        zone
+        for zone in ref_zones_in_module(machine, module_id)
+        if zone.zone_id != from_zone and state.free_space(zone.zone_id) > 0
+    ]
+    if not candidates:
+        raise RefRoutingError(
+            f"module {module_id} has no free space to evict from zone {from_zone}"
+        )
+
+    def preference(zone) -> tuple:
+        is_lower = zone.level < from_level
+        return (
+            0 if is_lower else 1,
+            abs(zone.level - (from_level - 1)),
+            ref_hop_distance(machine, from_zone, zone.zone_id),
+            -state.free_space(zone.zone_id),
+        )
+
+    return min(candidates, key=preference).zone_id
+
+
+def ref_make_room(
+    state: RefMachineState,
+    zone_id: int,
+    needed: int,
+    protected: frozenset[int],
+    *,
+    use_lru: bool = True,
+    future_qubits: frozenset[int] = frozenset(),
+    slack: int = 0,
+) -> None:
+    capacity = state.machine.zone(zone_id).capacity
+    if state.free_space(zone_id) >= needed:
+        return
+    goal = min(needed + max(slack, 0), capacity)
+    guard = 0
+    while state.free_space(zone_id) < goal:
+        guard += 1
+        if guard > capacity + 1:
+            raise RefRoutingError(f"eviction from zone {zone_id} does not converge")
+        past_need = state.free_space(zone_id) >= needed
+        protect = protected | future_qubits if past_need else protected
+        try:
+            if use_lru:
+                victim = state.lru_victim(zone_id, protect, future_qubits)
+            else:
+                victim = state.fifo_victim(zone_id, protect)
+            target = _ref_eviction_target(state, zone_id, protected)
+        except RefRoutingError:
+            if past_need:
+                return
+            raise
+        state.shuttle(victim, target)
+        state.stats["evictions"] += 1
+
+
+def ref_choose_local_zone(
+    state: RefMachineState,
+    qubit_a: int,
+    qubit_b: int,
+    future_partners: dict[int, int] | None = None,
+) -> int:
+    module_id = state.module_of(qubit_a)
+    if state.module_of(qubit_b) != module_id:
+        raise RefRoutingError(
+            f"qubits {qubit_a} and {qubit_b} are on different modules"
+        )
+    machine = state.machine
+    candidates = ref_gate_capable_zones(state, module_id)
+    if not candidates:
+        raise RefRoutingError(f"module {module_id} has no gate-capable zone")
+
+    zone_a = state.zone_of(qubit_a)
+    zone_b = state.zone_of(qubit_b)
+    future_partners = future_partners or {}
+    module_zone_ids = {
+        zone.zone_id for zone in ref_zones_in_module(machine, module_id)
+    }
+    remote_partner_count = sum(
+        count
+        for zone_id, count in future_partners.items()
+        if zone_id not in module_zone_ids
+    )
+
+    def cost(zone) -> tuple:
+        movers = [
+            q
+            for q, current in ((qubit_a, zone_a), (qubit_b, zone_b))
+            if current != zone.zone_id
+        ]
+        hops = sum(
+            ref_hop_distance(machine, state.zone_of(q), zone.zone_id)
+            for q in movers
+        )
+        overflow = max(0, len(movers) - state.free_space(zone.zone_id))
+        fiber_pull = 1 if zone.allows_fiber and remote_partner_count > 0 else 0
+        level_distance = sum(
+            abs(machine.zone(state.zone_of(q)).level - zone.level)
+            for q in movers
+        )
+        return (
+            hops + overflow - fiber_pull,
+            level_distance,
+            -future_partners.get(zone.zone_id, 0),
+            -zone.level,
+            state.zone_usage[zone.zone_id],
+        )
+
+    return min(candidates, key=cost).zone_id
+
+
+def ref_choose_optical_zone(state: RefMachineState, qubit: int) -> int:
+    module_id = state.module_of(qubit)
+    candidates = ref_optical_zones(state, module_id)
+    if not candidates:
+        raise RefRoutingError(f"module {module_id} has no optical zone")
+    current = state.zone_of(qubit)
+    for zone in candidates:
+        if zone.zone_id == current:
+            return current
+
+    def cost(zone) -> tuple:
+        overflow = max(0, 1 - state.free_space(zone.zone_id))
+        return (
+            overflow,
+            state.zone_usage[zone.zone_id],
+            -state.free_space(zone.zone_id),
+        )
+
+    return min(candidates, key=cost).zone_id
+
+
+def ref_future_partner_census(
+    state: RefMachineState, qubit_a: int, qubit_b: int, future_pairs
+) -> dict[int, int]:
+    census: dict[int, int] = {}
+    operands = (qubit_a, qubit_b)
+    for u, v in future_pairs:
+        for mine, partner in ((u, v), (v, u)):
+            if mine in operands and partner not in operands:
+                zone_id = state.location.get(partner)
+                if zone_id is not None:
+                    census[zone_id] = census.get(zone_id, 0) + 1
+    return census
+
+
+def ref_route_local_gate(
+    state: RefMachineState,
+    qubit_a: int,
+    qubit_b: int,
+    *,
+    use_lru: bool = True,
+    future_pairs=(),
+    slack: int = 0,
+) -> int:
+    census = ref_future_partner_census(state, qubit_a, qubit_b, future_pairs)
+    target = ref_choose_local_zone(state, qubit_a, qubit_b, census)
+    protected = frozenset((qubit_a, qubit_b))
+    future_qubits = frozenset(q for pair in future_pairs for q in pair)
+    movers = [q for q in (qubit_a, qubit_b) if state.zone_of(q) != target]
+    if movers:
+        ref_make_room(
+            state,
+            target,
+            len(movers),
+            protected,
+            use_lru=use_lru,
+            future_qubits=future_qubits,
+            slack=slack if state.machine.zone(target).allows_fiber else 0,
+        )
+        for qubit in movers:
+            state.shuttle(qubit, target)
+    return target
+
+
+def ref_route_to_optical(
+    state: RefMachineState,
+    qubit: int,
+    *,
+    use_lru: bool = True,
+    future_qubits: frozenset[int] = frozenset(),
+    slack: int = 0,
+) -> int:
+    target = ref_choose_optical_zone(state, qubit)
+    if state.zone_of(qubit) != target:
+        ref_make_room(
+            state,
+            target,
+            1,
+            frozenset((qubit,)),
+            use_lru=use_lru,
+            future_qubits=future_qubits,
+            slack=slack,
+        )
+        state.shuttle(qubit, target)
+    return target
+
+
+def ref_route_fiber_gate(
+    state: RefMachineState,
+    qubit_a: int,
+    qubit_b: int,
+    *,
+    use_lru: bool = True,
+    future_qubits: frozenset[int] = frozenset(),
+    slack: int = 0,
+) -> tuple[int, int]:
+    if state.same_module(qubit_a, qubit_b):
+        raise RefRoutingError(
+            f"qubits {qubit_a} and {qubit_b} share a module; use a local gate"
+        )
+    zone_a = ref_route_to_optical(
+        state, qubit_a, use_lru=use_lru, future_qubits=future_qubits, slack=slack
+    )
+    zone_b = ref_route_to_optical(
+        state, qubit_b, use_lru=use_lru, future_qubits=future_qubits, slack=slack
+    )
+    return zone_a, zone_b
+
+
+# ---------------------------------------------------------------------------
+# SWAP insertion (seed copy of core/swap_insertion.py)
+# ---------------------------------------------------------------------------
+
+
+class RefWeightTable:
+    def __init__(self, dag: RefDependencyGraph, state: RefMachineState, k: int) -> None:
+        self._weights: dict[int, dict[int, int]] = {}
+        self._partners: dict[int, dict[int, int]] = {}
+        for _, gate in dag.gates_within_layers(k):
+            if not gate.is_two_qubit:
+                continue
+            qubit_a, qubit_b = gate.qubits
+            module_a = state.module_of(qubit_a)
+            module_b = state.module_of(qubit_b)
+            self._weights.setdefault(qubit_a, {}).setdefault(module_b, 0)
+            self._weights[qubit_a][module_b] += 1
+            self._weights.setdefault(qubit_b, {}).setdefault(module_a, 0)
+            self._weights[qubit_b][module_a] += 1
+            self._partners.setdefault(qubit_a, {}).setdefault(qubit_b, 0)
+            self._partners[qubit_a][qubit_b] += 1
+            self._partners.setdefault(qubit_b, {}).setdefault(qubit_a, 0)
+            self._partners[qubit_b][qubit_a] += 1
+
+    def weight(self, qubit: int, module_id: int) -> int:
+        return self._weights.get(qubit, {}).get(module_id, 0)
+
+    def row(self, qubit: int) -> dict[int, int]:
+        return dict(self._weights.get(qubit, {}))
+
+    def total(self, qubit: int) -> int:
+        return sum(self._weights.get(qubit, {}).values())
+
+    def partner_count(self, qubit: int, partner: int) -> int:
+        return self._partners.get(qubit, {}).get(partner, 0)
+
+    def active_qubits(self) -> frozenset[int]:
+        return frozenset(qubit for qubit, row in self._weights.items() if row)
+
+
+def ref_maybe_insert_swaps(
+    state: RefMachineState,
+    dag: RefDependencyGraph,
+    config: MussTiConfig,
+    executed_gate: Gate,
+) -> int:
+    if not config.use_swap_insertion:
+        return 0
+    table = RefWeightTable(dag, state, config.lookahead_k)
+    inserted = 0
+    busy = set(executed_gate.qubits)
+    for qubit in executed_gate.qubits:
+        if _ref_consider_swap(state, table, config, qubit, busy):
+            inserted += 1
+            table = RefWeightTable(dag, state, config.lookahead_k)
+    return inserted
+
+
+def _ref_consider_swap(
+    state: RefMachineState,
+    table: RefWeightTable,
+    config: MussTiConfig,
+    qubit: int,
+    busy: set[int],
+) -> bool:
+    home = state.module_of(qubit)
+    if table.weight(qubit, home) != 0:
+        return False
+    row = table.row(qubit)
+    remote = [(weight, module) for module, weight in row.items() if module != home]
+    if not remote:
+        return False
+    best_weight, best_module = max(remote)
+    if best_weight <= config.swap_threshold:
+        return False
+
+    candidates = [
+        partner
+        for partner in state.qubits_in_module(best_module)
+        if partner not in busy
+        and table.weight(partner, best_module) == 0
+        and table.partner_count(partner, qubit) == 0
+    ]
+    if not candidates:
+        return False
+    partner = min(
+        candidates,
+        key=lambda c: (table.total(c), -state.last_used.get(c, 0)),
+    )
+
+    future_qubits = table.active_qubits()
+    ref_route_to_optical(
+        state, qubit, use_lru=config.use_lru, future_qubits=future_qubits
+    )
+    ref_route_to_optical(
+        state, partner, use_lru=config.use_lru, future_qubits=future_qubits
+    )
+    state.emit_swap_gate(qubit, partner)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Placement (seed copies of core/mapping.py)
+# ---------------------------------------------------------------------------
+
+_ROUTING_SLACK = 2
+
+
+def ref_trivial_placement(
+    circuit: QuantumCircuit, machine: Machine
+) -> dict[int, tuple[int, ...]]:
+    placement: dict[int, list[int]] = {}
+    total = circuit.num_qubits
+    modules = sorted({zone.module_id for zone in machine.zones})
+
+    def module_limit(module_id: int) -> int:
+        capacity = sum(
+            zone.capacity for zone in ref_zones_in_module(machine, module_id)
+        )
+        limit = getattr(machine, "module_qubit_limit", None)
+        if limit is not None:
+            capacity = min(capacity, limit)
+        return capacity
+
+    def zone_order(module_id: int) -> list[int]:
+        zones = ref_zones_in_module(machine, module_id)
+        zones.sort(key=lambda zone: (-zone.level, zone.zone_id))
+        return [zone.zone_id for zone in zones]
+
+    def fill(next_qubit: int, reserve: int) -> int:
+        for module_id in modules:
+            if next_qubit >= total:
+                break
+            used = sum(
+                len(placement.get(zone.zone_id, ()))
+                for zone in ref_zones_in_module(machine, module_id)
+            )
+            trap_space = sum(
+                zone.capacity for zone in ref_zones_in_module(machine, module_id)
+            )
+            budget = min(module_limit(module_id), trap_space - reserve) - used
+            for zone_id in zone_order(module_id):
+                if budget <= 0 or next_qubit >= total:
+                    break
+                room = machine.zone(zone_id).capacity - len(
+                    placement.get(zone_id, ())
+                )
+                take = min(room, budget, total - next_qubit)
+                if take <= 0:
+                    continue
+                placement.setdefault(zone_id, []).extend(
+                    range(next_qubit, next_qubit + take)
+                )
+                next_qubit += take
+                budget -= take
+        return next_qubit
+
+    next_qubit = fill(0, _ROUTING_SLACK)
+    if next_qubit < total:
+        next_qubit = fill(next_qubit, 0)
+    if next_qubit < total:
+        raise RefRoutingError(
+            f"machine too small: placed {next_qubit} of {total} qubits"
+        )
+    return {zone_id: tuple(chain) for zone_id, chain in placement.items()}
+
+
+# ---------------------------------------------------------------------------
+# The scheduling loop (seed copy of SchedulingPass)
+# ---------------------------------------------------------------------------
+
+
+def _ref_drain_executable(
+    dag: RefDependencyGraph, state: RefMachineState, config: MussTiConfig
+) -> None:
+    progressed = True
+    while progressed:
+        progressed = False
+        for node in dag.frontier():
+            gate = dag.gate(node)
+            if gate.is_one_qubit:
+                state.emit_one_qubit_gate(gate, node)
+                dag.complete(node)
+                progressed = True
+            elif _ref_execute_if_ready(dag, state, node, gate, config):
+                progressed = True
+
+
+def _ref_execute_if_ready(
+    dag: RefDependencyGraph,
+    state: RefMachineState,
+    node: int,
+    gate: Gate,
+    config: MussTiConfig,
+) -> bool:
+    qubit_a, qubit_b = gate.qubits
+    zone_a = state.zone_of(qubit_a)
+    zone_b = state.zone_of(qubit_b)
+    if zone_a == zone_b and state.machine.zone(zone_a).allows_gates:
+        state.emit_local_gate(gate, node)
+        dag.complete(node)
+        return True
+    machine = state.machine
+    if (
+        machine.zone(zone_a).allows_fiber
+        and machine.zone(zone_b).allows_fiber
+        and machine.zone(zone_a).module_id != machine.zone(zone_b).module_id
+    ):
+        state.emit_fiber_gate(gate, node)
+        dag.complete(node)
+        ref_maybe_insert_swaps(state, dag, config, gate)
+        return True
+    return False
+
+
+def _ref_route_and_execute_oldest(
+    dag: RefDependencyGraph, state: RefMachineState, config: MussTiConfig
+) -> None:
+    node = dag.frontier()[0]
+    gate = dag.gate(node)
+    qubit_a, qubit_b = gate.qubits
+    future_pairs = [
+        g.qubits
+        for _, g in dag.gates_within_layers(config.lookahead_k)
+        if g.is_two_qubit
+    ]
+    if state.same_module(qubit_a, qubit_b):
+        ref_route_local_gate(
+            state,
+            qubit_a,
+            qubit_b,
+            use_lru=config.use_lru,
+            future_pairs=future_pairs,
+        )
+        state.emit_local_gate(gate, node)
+        dag.complete(node)
+    else:
+        future_qubits = frozenset(q for pair in future_pairs for q in pair)
+        ref_route_fiber_gate(
+            state,
+            qubit_a,
+            qubit_b,
+            use_lru=config.use_lru,
+            future_qubits=future_qubits,
+            slack=config.optical_slack,
+        )
+        state.emit_fiber_gate(gate, node)
+        dag.complete(node)
+        ref_maybe_insert_swaps(state, dag, config, gate)
+
+
+def ref_schedule(
+    circuit: QuantumCircuit,
+    machine: Machine,
+    placement: dict[int, tuple[int, ...]],
+    config: MussTiConfig,
+) -> RefMachineState:
+    """Run the seed Fig 3 loop to completion; returns the final state."""
+    dag = RefDependencyGraph(circuit)
+    state = RefMachineState(machine, placement)
+    while not dag.is_empty:
+        _ref_drain_executable(dag, state, config)
+        if dag.is_empty:
+            break
+        _ref_route_and_execute_oldest(dag, state, config)
+    return state
+
+
+def reference_compile(
+    circuit: QuantumCircuit,
+    machine: Machine,
+    config: MussTiConfig | None = None,
+    initial_placement: dict[int, tuple[int, ...]] | None = None,
+    name: str = "MUSS-TI",
+) -> Program:
+    """Seed MUSS-TI pipeline: validate -> placement -> schedule."""
+    started = time.perf_counter()
+    config = config or MussTiConfig()
+    validate_native(circuit)
+    if initial_placement is not None:
+        placement = dict(initial_placement)
+    elif config.use_sabre_mapping:
+        warmup = replace(config, use_sabre_mapping=False)
+        start = ref_trivial_placement(circuit, machine)
+        forward = ref_schedule(circuit, machine, start, warmup)
+        backward = ref_schedule(
+            circuit.reversed(), machine, forward.final_placement(), warmup
+        )
+        placement = dict(backward.final_placement())
+    else:
+        placement = ref_trivial_placement(circuit, machine)
+    state = ref_schedule(circuit, machine, placement, config)
+    return Program(
+        machine=machine,
+        circuit=circuit,
+        initial_placement=dict(placement),
+        operations=state.operations,
+        compiler_name=name,
+        compile_time_s=time.perf_counter() - started,
+        metadata={key: float(value) for key, value in state.stats.items()},
+        final_placement=state.final_placement(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Executor (seed copy of sim/executor.py)
+# ---------------------------------------------------------------------------
+
+
+class _RefMachineReplay:
+    def __init__(self, program: Program) -> None:
+        self.machine = program.machine
+        self.chains: dict[int, list[int]] = {
+            zone.zone_id: [] for zone in program.machine.zones
+        }
+        for zone_id, chain in program.initial_placement.items():
+            self.chains[zone_id] = list(chain)
+        self.location: dict[int, int] = {}
+        for zone_id, chain in self.chains.items():
+            for qubit in chain:
+                self.location[qubit] = zone_id
+        self.in_transit: dict[int, int] = {}
+
+    def split(self, op: SplitOp, index: int) -> None:
+        if op.qubit in self.in_transit:
+            raise RefExecutionError(f"qubit {op.qubit} is already detached", index)
+        zone_id = self.location.get(op.qubit)
+        if zone_id != op.zone:
+            raise RefExecutionError(
+                f"qubit {op.qubit} is in zone {zone_id}, not {op.zone}", index
+            )
+        chain = self.chains[op.zone]
+        position = chain.index(op.qubit)
+        if position not in (0, len(chain) - 1):
+            raise RefExecutionError(
+                f"qubit {op.qubit} is at interior position {position}", index
+            )
+        chain.remove(op.qubit)
+        del self.location[op.qubit]
+        self.in_transit[op.qubit] = op.zone
+
+    def move(self, op: MoveOp, index: int) -> None:
+        at = self.in_transit.get(op.qubit)
+        if at is None:
+            raise RefExecutionError(f"qubit {op.qubit} is not detached", index)
+        if at != op.source_zone:
+            raise RefExecutionError(
+                f"qubit {op.qubit} is over zone {at}, not {op.source_zone}", index
+            )
+        if op.destination_zone not in self.machine.neighbours(op.source_zone):
+            raise RefExecutionError(
+                f"zones {op.source_zone} and {op.destination_zone} are not "
+                "shuttle-adjacent",
+                index,
+            )
+        self.in_transit[op.qubit] = op.destination_zone
+
+    def merge(self, op: MergeOp, index: int) -> None:
+        at = self.in_transit.get(op.qubit)
+        if at is None:
+            raise RefExecutionError(f"qubit {op.qubit} is not detached", index)
+        if at != op.zone:
+            raise RefExecutionError(
+                f"qubit {op.qubit} is over zone {at}, not {op.zone}", index
+            )
+        chain = self.chains[op.zone]
+        zone = self.machine.zone(op.zone)
+        if len(chain) >= zone.capacity:
+            raise RefExecutionError(
+                f"zone {op.zone} is full (capacity {zone.capacity})", index
+            )
+        if op.side == "head":
+            chain.insert(0, op.qubit)
+        elif op.side == "tail":
+            chain.append(op.qubit)
+        else:
+            raise RefExecutionError(f"bad merge side {op.side!r}", index)
+        del self.in_transit[op.qubit]
+        self.location[op.qubit] = op.zone
+
+    def chain_swap(self, op: ChainSwapOp, index: int) -> None:
+        chain = self.chains[op.zone]
+        if not 0 <= op.position < len(chain) - 1:
+            raise RefExecutionError(
+                f"chain swap position {op.position} out of range", index
+            )
+        chain[op.position], chain[op.position + 1] = (
+            chain[op.position + 1],
+            chain[op.position],
+        )
+
+    def check_local_gate(self, op: GateOp, index: int) -> int:
+        zone = self.machine.zone(op.zone)
+        for qubit in op.gate.qubits:
+            location = self.location.get(qubit)
+            if location != op.zone:
+                raise RefExecutionError(
+                    f"gate {op.gate} expects qubit {qubit} in zone {op.zone}, "
+                    f"found {location}",
+                    index,
+                )
+        if op.gate.is_two_qubit and not zone.allows_gates:
+            raise RefExecutionError(
+                f"zone {op.zone} cannot execute two-qubit gates", index
+            )
+        return len(self.chains[op.zone])
+
+    def check_fiber_gate(self, op: FiberGateOp, index: int) -> None:
+        zone_a = self.machine.zone(op.zone_a)
+        zone_b = self.machine.zone(op.zone_b)
+        if not (zone_a.allows_fiber and zone_b.allows_fiber):
+            raise RefExecutionError("fiber gate needs optical zones", index)
+        if zone_a.module_id == zone_b.module_id:
+            raise RefExecutionError(
+                "fiber gate endpoints must be in different modules", index
+            )
+        qubit_a, qubit_b = op.gate.qubits
+        if self.location.get(qubit_a) != op.zone_a:
+            raise RefExecutionError(
+                f"fiber gate expects qubit {qubit_a} in zone {op.zone_a}", index
+            )
+        if self.location.get(qubit_b) != op.zone_b:
+            raise RefExecutionError(
+                f"fiber gate expects qubit {qubit_b} in zone {op.zone_b}", index
+            )
+
+    def apply_swap_gate(self, op: SwapGateOp, index: int) -> None:
+        for qubit, zone_id in ((op.qubit_a, op.zone_a), (op.qubit_b, op.zone_b)):
+            if self.location.get(qubit) != zone_id:
+                raise RefExecutionError(
+                    f"swap expects qubit {qubit} in zone {zone_id}", index
+                )
+        if op.is_remote:
+            zone_a = self.machine.zone(op.zone_a)
+            zone_b = self.machine.zone(op.zone_b)
+            if not (zone_a.allows_fiber and zone_b.allows_fiber):
+                raise RefExecutionError(
+                    "remote swap endpoints must be optical zones", index
+                )
+            if zone_a.module_id == zone_b.module_id:
+                raise RefExecutionError(
+                    "remote swap endpoints must be in different modules", index
+                )
+        else:
+            if not self.machine.zone(op.zone_a).allows_gates:
+                raise RefExecutionError(
+                    f"zone {op.zone_a} cannot execute gates", index
+                )
+        chain_a = self.chains[op.zone_a]
+        chain_b = self.chains[op.zone_b]
+        index_a = chain_a.index(op.qubit_a)
+        index_b = chain_b.index(op.qubit_b)
+        chain_a[index_a] = op.qubit_b
+        chain_b[index_b] = op.qubit_a
+        self.location[op.qubit_a] = op.zone_b
+        self.location[op.qubit_b] = op.zone_a
+
+
+def reference_execute(
+    program: Program,
+    params: PhysicalParams | None = None,
+    *,
+    include_idle_decoherence: bool = False,
+) -> ExecutionReport:
+    """Seed copy of :func:`repro.sim.executor.execute`."""
+    params = params or PhysicalParams()
+    program.validate_placement()
+    replay = _RefMachineReplay(program)
+    ledger = FidelityLedger()
+    heat: dict[int, float] = {zone.zone_id: 0.0 for zone in program.machine.zones}
+    serial_time = 0.0
+    qubit_ready: dict[int, float] = {}
+    zone_ready: dict[int, float] = {}
+    qubit_busy: dict[int, float] = {}
+
+    counts = {
+        "splits": 0,
+        "moves": 0,
+        "merges": 0,
+        "chain_swaps": 0,
+        "one_qubit_gates": 0,
+        "two_qubit_gates": 0,
+        "fiber_gates": 0,
+        "inserted_swaps": 0,
+        "remote_swaps": 0,
+    }
+
+    def schedule(duration: float, qubits: tuple[int, ...], zones: tuple[int, ...]) -> None:
+        nonlocal serial_time
+        serial_time += duration
+        start = 0.0
+        for qubit in qubits:
+            start = max(start, qubit_ready.get(qubit, 0.0))
+        for zone_id in zones:
+            start = max(start, zone_ready.get(zone_id, 0.0))
+        end = start + duration
+        for qubit in qubits:
+            qubit_ready[qubit] = end
+            qubit_busy[qubit] = qubit_busy.get(qubit, 0.0) + duration
+        for zone_id in zones:
+            zone_ready[zone_id] = end
+
+    def charge_trap_op(duration: float, nbar: float, heated_zone: int) -> None:
+        ledger.charge_log(shuttle_log_fidelity(duration, nbar, params))
+        heat[heated_zone] += nbar
+
+    move_time = move_duration_us(params.inter_zone_distance_um, params)
+
+    for index, op in enumerate(program.operations):
+        if isinstance(op, SplitOp):
+            replay.split(op, index)
+            counts["splits"] += 1
+            charge_trap_op(params.split_time_us, params.split_nbar, op.zone)
+            schedule(params.split_time_us, (op.qubit,), (op.zone,))
+        elif isinstance(op, MoveOp):
+            replay.move(op, index)
+            counts["moves"] += 1
+            charge_trap_op(move_time, params.move_nbar, op.destination_zone)
+            schedule(move_time, (op.qubit,), (op.source_zone, op.destination_zone))
+        elif isinstance(op, MergeOp):
+            replay.merge(op, index)
+            counts["merges"] += 1
+            charge_trap_op(params.merge_time_us, params.merge_nbar, op.zone)
+            schedule(params.merge_time_us, (op.qubit,), (op.zone,))
+        elif isinstance(op, ChainSwapOp):
+            replay.chain_swap(op, index)
+            counts["chain_swaps"] += 1
+            charge_trap_op(
+                params.chain_swap_time_us, params.chain_swap_nbar, op.zone
+            )
+            schedule(params.chain_swap_time_us, (), (op.zone,))
+        elif isinstance(op, GateOp):
+            ions = replay.check_local_gate(op, index)
+            background = zone_background_log_fidelity(heat[op.zone], params)
+            if op.gate.is_one_qubit:
+                counts["one_qubit_gates"] += 1
+                ledger.charge_linear(params.one_qubit_gate_fidelity)
+                ledger.charge_log(background)
+                schedule(params.one_qubit_gate_time_us, op.gate.qubits, ())
+            else:
+                counts["two_qubit_gates"] += 1
+                fidelity = params.two_qubit_gate_fidelity(ions)
+                if fidelity <= 0.0:
+                    raise RefExecutionError(
+                        f"two-qubit gate fidelity collapsed to zero with "
+                        f"{ions} ions in zone {op.zone}",
+                        index,
+                    )
+                ledger.charge_linear(fidelity)
+                ledger.charge_log(background)
+                schedule(
+                    params.two_qubit_gate_time_us, op.gate.qubits, (op.zone,)
+                )
+        elif isinstance(op, FiberGateOp):
+            replay.check_fiber_gate(op, index)
+            counts["fiber_gates"] += 1
+            ledger.charge_linear(params.fiber_gate_fidelity)
+            ledger.charge_log(zone_background_log_fidelity(heat[op.zone_a], params))
+            ledger.charge_log(zone_background_log_fidelity(heat[op.zone_b], params))
+            schedule(
+                params.fiber_gate_time_us, op.gate.qubits, (op.zone_a, op.zone_b)
+            )
+        elif isinstance(op, SwapGateOp):
+            counts["inserted_swaps"] += 1
+            if op.is_remote:
+                counts["remote_swaps"] += 1
+                replay.apply_swap_gate(op, index)
+                for _ in range(3):
+                    ledger.charge_linear(params.fiber_gate_fidelity)
+                    ledger.charge_log(
+                        zone_background_log_fidelity(heat[op.zone_a], params)
+                    )
+                    ledger.charge_log(
+                        zone_background_log_fidelity(heat[op.zone_b], params)
+                    )
+                schedule(
+                    3 * params.fiber_gate_time_us,
+                    (op.qubit_a, op.qubit_b),
+                    (op.zone_a, op.zone_b),
+                )
+            else:
+                ions = len(replay.chains[op.zone_a])
+                replay.apply_swap_gate(op, index)
+                fidelity = params.two_qubit_gate_fidelity(ions)
+                if fidelity <= 0.0:
+                    raise RefExecutionError(
+                        f"swap fidelity collapsed to zero with {ions} ions",
+                        index,
+                    )
+                background = zone_background_log_fidelity(heat[op.zone_a], params)
+                for _ in range(3):
+                    ledger.charge_linear(fidelity)
+                    ledger.charge_log(background)
+                schedule(
+                    3 * params.two_qubit_gate_time_us,
+                    (op.qubit_a, op.qubit_b),
+                    (op.zone_a,),
+                )
+        else:
+            raise RefExecutionError(
+                f"unknown operation type {type(op).__name__}", index
+            )
+
+    if replay.in_transit:
+        raise RefExecutionError(
+            f"qubits left detached at end of program: {sorted(replay.in_transit)}"
+        )
+
+    makespan = max(
+        max(qubit_ready.values(), default=0.0),
+        max(zone_ready.values(), default=0.0),
+    )
+    if include_idle_decoherence:
+        from repro.physics import idle_log_fidelity
+
+        for qubit in range(program.circuit.num_qubits):
+            idle = makespan - qubit_busy.get(qubit, 0.0)
+            if idle > 0:
+                ledger.charge_log(idle_log_fidelity(idle, params))
+    return ExecutionReport(
+        circuit_name=program.circuit.name,
+        compiler_name=program.compiler_name,
+        num_qubits=program.circuit.num_qubits,
+        shuttle_count=counts["moves"],
+        split_count=counts["splits"],
+        merge_count=counts["merges"],
+        chain_swap_count=counts["chain_swaps"],
+        one_qubit_gate_count=counts["one_qubit_gates"],
+        two_qubit_gate_count=counts["two_qubit_gates"],
+        fiber_gate_count=counts["fiber_gates"],
+        inserted_swap_count=counts["inserted_swaps"],
+        remote_swap_count=counts["remote_swaps"],
+        execution_time_us=serial_time,
+        makespan_us=makespan,
+        log10_fidelity=ledger.log10_fidelity,
+        zone_heat=dict(heat),
+        compile_time_s=program.compile_time_s,
+    )

@@ -1,0 +1,85 @@
+"""Golden-file snapshots of user-facing text output.
+
+Two classes of output are pinned byte-for-byte:
+
+* ``repro machine render`` — the ASCII zone maps of representative
+  registered topologies, captured through the real CLI entry point.
+* The experiment-driver stdout tables (table2 / fig6 / fig8) on reduced,
+  fully deterministic subsets — every pinned column (shuttle counts,
+  execution times, fidelities) is a pure function of the scheduler, so
+  these snapshots double as an end-to-end regression guard for the
+  performance overhaul: a schedule change shows up as a table diff.
+
+Regenerate after an *intentional* output change with::
+
+    pytest tests/golden --update-goldens
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import fig6, fig8, table2
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "data"
+
+
+def check_golden(name: str, text: str, update: bool) -> None:
+    path = GOLDEN_DIR / name
+    if update:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return
+    assert path.exists(), (
+        f"golden file {path} missing - run `pytest tests/golden "
+        f"--update-goldens` once and commit the result"
+    )
+    expected = path.read_text(encoding="utf-8")
+    assert text == expected, (
+        f"output no longer matches {path.name}; if the change is "
+        f"intentional, regenerate with --update-goldens and review the diff"
+    )
+
+
+RENDER_SPECS = {
+    "grid_2x2_12": "grid:2x2:12",
+    "eml_2mod": "eml?modules=2",
+    "eml_2mod_dual_optical": "eml?modules=2&optical=2",
+    "ring_4_8": "ring:4:8",
+    "chain_3_8": "chain:3:8",
+    "star_1p2_8": "star:1+2:8",
+}
+
+
+class TestMachineRenderGoldens:
+    @pytest.mark.parametrize("name", sorted(RENDER_SPECS))
+    def test_render(self, name: str, capsys, update_goldens: bool) -> None:
+        assert main(["machine", "render", RENDER_SPECS[name]]) == 0
+        out = capsys.readouterr().out
+        check_golden(f"machine_render_{name}.txt", out, update_goldens)
+
+
+class TestExperimentTableGoldens:
+    """Reduced driver runs; one golden per driver's rendered stdout table."""
+
+    def test_table2(self, update_goldens: bool) -> None:
+        rows = table2.run(applications=("GHZ_n32", "QAOA_n32"), grids=("2x2",))
+        check_golden("table2_reduced.txt", table2.render(rows), update_goldens)
+
+    def test_fig6(self, update_goldens: bool) -> None:
+        specs = [
+            spec
+            for spec in fig6.cells(scales=("small",))
+            if spec["app"] in ("GHZ_n32", "BV_n32")
+        ]
+        rows = fig6.assemble([(spec, fig6.run_cell(spec)) for spec in specs])
+        check_golden("fig6_reduced.txt", fig6.render(rows), update_goldens)
+
+    def test_fig8(self, update_goldens: bool) -> None:
+        rows = fig8.run(applications=("GHZ_n32",))
+        check_golden("fig8_reduced.txt", fig8.render(rows), update_goldens)

@@ -35,7 +35,7 @@ class TestTopLevelExports:
         assert MussTiCompiler.name == "MUSS-TI"
 
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
 
 class TestQasmFileIO:
