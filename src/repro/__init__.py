@@ -25,7 +25,16 @@ the declarative topology registry — ``"eml:16:2"``, ``"grid:3x4:16"``,
 ``"file:arch.json"`` — new topologies plug in with
 :func:`repro.register_machine` (a builder function returning an
 :class:`~repro.hardware.ArchitectureSpec`; no ``Machine`` subclass
-needed).  Under the hood MUSS-TI is a
+needed).  Physics resolves the same way through the physics-profile
+registry — ``"table1"``, ``"perfect-gate"``, ``"perfect-shuttle"``,
+``"table1?heating_rate=0.5"`` — and a compiled schedule prices under
+many profiles from **one** replay via the timed-event ledger::
+
+    ledger = repro.replay(result.program)
+    for spec in ("table1", "perfect-gate", "perfect-shuttle"):
+        print(ledger.reprice(repro.resolve_physics(spec)).log10_fidelity)
+
+Under the hood MUSS-TI is a
 :class:`~repro.pipeline.PassPipeline` of composable passes (placement,
 scheduling, SWAP insertion policy); see :mod:`repro.pipeline`.
 
@@ -68,7 +77,15 @@ from .hardware import (
     resolve_machine,
     save_machine,
 )
-from .physics import DEFAULT_PARAMS, PhysicalParams
+from .physics import (
+    DEFAULT_PARAMS,
+    PhysicalParams,
+    PhysicsRegistry,
+    available_physics,
+    canonical_physics_spec,
+    register_physics,
+    resolve_physics,
+)
 from .pipeline import (
     CompileResult,
     CompilerRegistry,
@@ -81,15 +98,21 @@ from .pipeline import (
     resolve_compiler,
 )
 from .sim import (
+    EventLedger,
     ExecutionReport,
     Program,
+    TimedEvent,
     execute,
+    fidelity_breakdown,
     is_valid,
+    price_many,
+    replay,
+    reprice,
     verify_program,
 )
 from .workloads import available_benchmarks, get_benchmark
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DEFAULT_PARAMS",
@@ -99,6 +122,7 @@ __all__ = [
     "DaiCompiler",
     "DependencyGraph",
     "EMLQCCDMachine",
+    "EventLedger",
     "ExecutionReport",
     "Gate",
     "Machine",
@@ -110,20 +134,25 @@ __all__ = [
     "MussTiConfig",
     "PassPipeline",
     "PhysicalParams",
+    "PhysicsRegistry",
     "Program",
     "QCCDGridMachine",
     "QuantumCircuit",
+    "TimedEvent",
     "ZoneKind",
     "ZoneSpec",
     "available_benchmarks",
     "available_compilers",
     "available_machines",
+    "available_physics",
     "build_muss_ti_pipeline",
     "canonical_machine_spec",
+    "canonical_physics_spec",
     "compile",
     "default_machine_registry",
     "default_registry",
     "execute",
+    "fidelity_breakdown",
     "get_benchmark",
     "is_valid",
     "load_machine",
@@ -131,11 +160,16 @@ __all__ = [
     "machine_from_spec",
     "parse_qasm",
     "paper_grid",
+    "price_many",
     "register_compiler",
     "register_machine",
+    "register_physics",
     "render_machine",
+    "replay",
+    "reprice",
     "resolve_compiler",
     "resolve_machine",
+    "resolve_physics",
     "save_machine",
     "verify_program",
     "__version__",

@@ -1,14 +1,18 @@
 """Figure 13: optimality analysis under idealised physics.
 
-Re-prices the *same* MUSS-TI schedule under three parameter sets: the real
-Table 1 physics, a perfect-gate model (two-qubit fidelity pinned at 0.9999)
-and a perfect-shuttle model (no motional heating).  Because compilers emit
-descriptive op streams, no recompilation is involved — exactly the
-counterfactual the paper describes.
+Re-prices the *same* MUSS-TI schedule under three physics profiles: the
+real Table 1 physics, a perfect-gate model (two-qubit fidelity pinned at
+0.9999) and a perfect-shuttle model (no motional heating).  The schedule
+is replayed **once** into a timed-event ledger
+(:func:`repro.sim.replay`) and each profile is one pricing fold
+(:meth:`~repro.sim.EventLedger.reprice`) — no recompilation and no
+re-validation, exactly the counterfactual the paper describes.  Adding a
+parameter arm is one more ``(label, physics spec)`` pair in
+:data:`PROFILES`.
 
-Each application is one cell: the schedule is compiled once and re-priced
-under all three parameter sets inside the cell, so the counterfactual
-stays recompilation-free even under the parallel engine.
+Each application is one cell: compile + replay + all profile folds
+happen inside the cell, so the counterfactual stays recompilation-free
+even under the parallel engine.
 
 Paper's findings reproduced: MUSS-TI sits close to both ideal bounds, and
 perfect gates usually help more than perfect shuttling.
@@ -16,9 +20,8 @@ perfect gates usually help more than perfect shuttling.
 
 from __future__ import annotations
 
-from ...physics import PhysicalParams
-from ...sim import execute
-from ..runs import benchmark_circuit, eml_for, muss_ti
+from ...sim import replay
+from ..runs import benchmark_circuit, eml_for, muss_ti, resolve_physics
 from ..tables import render_table
 
 APPLICATIONS = (
@@ -34,27 +37,28 @@ APPLICATIONS = (
     "SQRT_n299",
 )
 
-LABELS = ("Perfect Gate", "Perfect Shuttle", "MUSS-TI")
+#: (column label, physics-profile spec) — one pricing fold per entry.
+PROFILES = (
+    ("Perfect Gate", "perfect-gate"),
+    ("Perfect Shuttle", "perfect-shuttle"),
+    ("MUSS-TI", "table1"),
+)
+
+LABELS = tuple(label for label, _ in PROFILES)
 
 
 def cells(applications=APPLICATIONS) -> list[dict]:
-    """One cell per application (one compile, three re-pricings)."""
+    """One cell per application (one compile + replay, N re-pricings)."""
     return [{"app": app} for app in applications]
 
 
 def run_cell(spec: dict) -> dict:
-    base = PhysicalParams()
-    variants = (
-        ("Perfect Gate", base.perfect_gate()),
-        ("Perfect Shuttle", base.perfect_shuttle()),
-        ("MUSS-TI", base),
-    )
     circuit = benchmark_circuit(spec["app"])
     machine = eml_for(circuit)
-    program = muss_ti().compile(circuit, machine)
+    ledger = replay(muss_ti().compile(circuit, machine))
     return {
-        label: execute(program, params).log10_fidelity
-        for label, params in variants
+        label: ledger.reprice(resolve_physics(physics)).log10_fidelity
+        for label, physics in PROFILES
     }
 
 

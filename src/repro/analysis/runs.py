@@ -19,9 +19,9 @@ from ..hardware import (
     QCCDGridMachine,
     machine_from_spec,
 )
-from ..physics import PhysicalParams
+from ..physics import PhysicalParams, resolve_physics
 from ..pipeline import default_registry, resolve_compiler
-from ..sim import execute, verify_program
+from ..sim import execute, price_many, verify_program
 from ..workloads import get_benchmark
 
 __all__ = [
@@ -31,7 +31,9 @@ __all__ = [
     "eml_for",
     "machine_from_spec",
     "make_compiler",
+    "multi_physics_case",
     "muss_ti",
+    "resolve_physics",
     "result_to_dict",
     "run_case",
     "small_grid",
@@ -109,15 +111,20 @@ def run_case(
     compiler,
     circuit: QuantumCircuit,
     machine: Machine,
-    params: PhysicalParams | None = None,
+    params: PhysicalParams | str | None = None,
     *,
     verify: bool = False,
 ) -> RunResult:
-    """Compile + (optionally verify) + execute one case."""
+    """Compile + (optionally verify) + execute one case.
+
+    ``params`` accepts a ready :class:`PhysicalParams` or a physics-profile
+    spec string (``"table1"``, ``"perfect-gate"``,
+    ``"table1?heating_rate=0.5"``...).
+    """
     program = compiler.compile(circuit, machine)
     if verify:
         verify_program(program)
-    report = execute(program, params)
+    report = execute(program, resolve_physics(params))
     return RunResult(
         application=circuit.name,
         compiler=program.compiler_name,
@@ -129,6 +136,28 @@ def run_case(
         fiber_gates=report.fiber_gate_count,
         inserted_swaps=report.inserted_swap_count,
     )
+
+
+def multi_physics_case(
+    compiler,
+    circuit: QuantumCircuit,
+    machine: Machine,
+    profiles,
+    *,
+    verify: bool = False,
+):
+    """Compile once, replay once, price under every physics profile.
+
+    ``profiles`` maps labels to physics specs or
+    :class:`PhysicalParams`; returns ``label -> ExecutionReport``.  This
+    is the replay-once/price-many flow experiment drivers should use for
+    Fig 13-style counterfactual grids — N parameter arms cost one
+    compile + one legality-checked replay + N pricing folds.
+    """
+    program = compiler.compile(circuit, machine)
+    if verify:
+        verify_program(program)
+    return price_many(program, profiles)
 
 
 def benchmark_circuit(name: str) -> QuantumCircuit:

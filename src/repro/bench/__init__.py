@@ -23,6 +23,13 @@ or from the shell::
 
 from .cache import ResultCache, config_fingerprint, default_cache_dir
 from .cells import cell_key, describe_cell, matches_filter, parse_filter
+from .compare import (
+    compare_payloads,
+    load_payload,
+    render_comparison,
+    run_compare,
+    worst_regression,
+)
 from .engine import (
     CellOutcome,
     SweepResult,
@@ -34,6 +41,7 @@ from .engine import (
 from .micro import (
     BENCH_SCHEMA,
     MICRO_GRID,
+    REPRICE_PROFILES,
     BenchSchemaError,
     default_output_path,
     micro_cells,
@@ -47,21 +55,27 @@ __all__ = [
     "BenchSchemaError",
     "CellOutcome",
     "MICRO_GRID",
+    "REPRICE_PROFILES",
     "ResultCache",
     "SweepResult",
     "cell_key",
+    "compare_payloads",
     "config_fingerprint",
     "default_cache_dir",
     "default_output_path",
     "describe_cell",
     "experiment_registry",
+    "load_payload",
     "matches_filter",
     "micro_cells",
     "parse_filter",
+    "render_comparison",
     "resolve_experiment",
+    "run_compare",
     "run_micro",
     "stderr_progress",
     "sweep",
     "validate_payload",
+    "worst_regression",
     "write_payload",
 ]

@@ -1,0 +1,184 @@
+"""Compare two ``BENCH_*.json`` payloads: the perf-regression guard.
+
+``repro bench compare <old.json> <new.json>`` matches cells by identity
+(workload, machine, compiler, mode), renders a per-cell delta table for
+``compile_s`` / ``execute_s`` / ``total_s``, and — with ``--fail-over
+PCT`` — exits non-zero when any matched cell's ``total_s`` regressed by
+more than PCT percent.  CI runs it after ``repro bench micro --quick``
+against the latest committed ``BENCH_*.json``, so a perf-relevant change
+cannot land without either staying inside the budget or committing a
+fresh baseline that documents the new numbers.
+
+Cells present in only one payload are listed (``(new)`` / ``(gone)``)
+but never fail the guard; both schema versions of the payload are
+accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .micro import validate_payload
+
+#: Cell-identity fields; ``mode`` defaults to the plain compile+execute cell.
+_KEY_FIELDS = ("workload", "machine", "compiler")
+
+#: Timing fields compared per cell, in table order.
+METRICS = ("compile_s", "execute_s", "total_s")
+
+#: The metric the ``--fail-over`` guard judges.
+GUARD_METRIC = "total_s"
+
+
+def load_payload(path: str | Path) -> dict:
+    """Read and schema-validate one ``BENCH_*.json`` file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ValueError(f"cannot read bench payload {str(path)!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"bench payload {str(path)!r} is not valid JSON: {error}"
+        ) from None
+    validate_payload(payload)
+    return payload
+
+
+def _cell_key(cell: dict) -> tuple:
+    return tuple(cell[field] for field in _KEY_FIELDS) + (
+        cell.get("mode", "compile-execute"),
+    )
+
+
+def _describe_key(key: tuple) -> str:
+    workload, machine, _compiler, mode = key
+    suffix = f" [{mode}]" if mode != "compile-execute" else ""
+    return f"{workload} on {machine}{suffix}"
+
+
+def compare_payloads(old: dict, new: dict) -> list[dict]:
+    """Match cells across two payloads; returns one row dict per cell.
+
+    Matched rows carry ``old``/``new``/``delta_pct`` per metric in
+    :data:`METRICS` (``delta_pct`` is ``(new - old) / old * 100``, or
+    ``None`` when the old value is zero); unmatched rows carry
+    ``status`` ``"new"`` or ``"gone"``.
+    """
+    old_cells = {_cell_key(cell): cell for cell in old["cells"]}
+    new_cells = {_cell_key(cell): cell for cell in new["cells"]}
+    rows: list[dict] = []
+    for key, old_cell in old_cells.items():
+        new_cell = new_cells.get(key)
+        if new_cell is None:
+            rows.append({"key": key, "status": "gone", "cell": old_cell})
+            continue
+        row: dict = {"key": key, "status": "matched"}
+        for metric in METRICS:
+            before = old_cell[metric]
+            after = new_cell[metric]
+            row[metric] = {
+                "old": before,
+                "new": after,
+                "delta_pct": (
+                    (after - before) / before * 100.0 if before > 0 else None
+                ),
+            }
+        rows.append(row)
+    for key, new_cell in new_cells.items():
+        if key not in old_cells:
+            rows.append({"key": key, "status": "new", "cell": new_cell})
+    return rows
+
+
+#: Cells whose baseline ``total_s`` is below this are shown in the table
+#: but not judged by the guard: a 1 ms cell regressing "200%" is timer
+#: noise, not a perf regression.
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def worst_regression(
+    rows: list[dict],
+    metric: str = GUARD_METRIC,
+    *,
+    min_seconds: float = 0.0,
+):
+    """The largest positive ``delta_pct`` across matched rows, with its key.
+
+    Rows whose baseline value is below *min_seconds* are skipped (too
+    noise-dominated to judge).  Returns ``(delta_pct, key)``;
+    ``(None, None)`` when nothing qualified.
+    """
+    worst: float | None = None
+    worst_key = None
+    for row in rows:
+        if row["status"] != "matched":
+            continue
+        entry = row[metric]
+        delta = entry["delta_pct"]
+        if delta is None or entry["old"] < min_seconds:
+            continue
+        if worst is None or delta > worst:
+            worst = delta
+            worst_key = row["key"]
+    return worst, worst_key
+
+
+def render_comparison(rows: list[dict]) -> str:
+    """Fixed-width per-cell delta table."""
+    from ..analysis.tables import render_table
+
+    headers = ["cell"] + [f"{metric} old/new (Δ%)" for metric in METRICS]
+    body = []
+    for row in rows:
+        label = _describe_key(row["key"])
+        if row["status"] != "matched":
+            body.append([label] + [f"({row['status']})"] * len(METRICS))
+            continue
+        cells = []
+        for metric in METRICS:
+            entry = row[metric]
+            delta = entry["delta_pct"]
+            delta_text = "n/a" if delta is None else f"{delta:+.0f}%"
+            cells.append(f"{entry['old']:.3f}/{entry['new']:.3f} ({delta_text})")
+        body.append([label] + cells)
+    return render_table(headers, body, title="Microbenchmark comparison")
+
+
+def run_compare(
+    old_path: str | Path,
+    new_path: str | Path,
+    *,
+    fail_over_pct: float | None = None,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> tuple[str, int]:
+    """The full compare flow: ``(report text, exit code)``.
+
+    Exit code 1 means the ``--fail-over`` guard tripped; 2 means the
+    payloads shared no judgeable cells (a mis-wired guard should fail
+    loudly, not pass vacuously).  *min_seconds* is the baseline-time
+    floor below which a cell is shown but not judged.
+    """
+    rows = compare_payloads(load_payload(old_path), load_payload(new_path))
+    lines = [render_comparison(rows)]
+    worst, worst_key = worst_regression(rows, min_seconds=min_seconds)
+    if worst is None:
+        lines.append(
+            "no matching cells to judge (nothing shared, or every baseline "
+            f"below the {min_seconds:g}s noise floor)"
+        )
+        return "\n".join(lines), 2
+    lines.append(
+        f"worst {GUARD_METRIC} regression: {worst:+.1f}% "
+        f"({_describe_key(worst_key)}; cells under {min_seconds:g}s baseline "
+        "not judged)"
+    )
+    if fail_over_pct is not None:
+        if worst > fail_over_pct:
+            lines.append(
+                f"FAIL: regression exceeds --fail-over {fail_over_pct:g}%"
+            )
+            return "\n".join(lines), 1
+        lines.append(f"OK: within --fail-over {fail_over_pct:g}%")
+    return "\n".join(lines), 0

@@ -15,10 +15,20 @@ observation).  Schedule metrics (op counts, makespan, fidelity) ride
 along so a timing change caused by a schedule change is immediately
 visible.
 
+Besides the plain compile+execute cells, the grid carries one
+``"mode": "reprice"`` cell: the replay-once/price-many flow.  It
+compiles once, then times pricing the same schedule under
+:data:`REPRICE_PROFILES` (a Fig 13-style arm set, ``len`` ≥ a dozen)
+two ways — N full re-executions versus one
+:func:`repro.sim.replay` plus N
+:meth:`~repro.sim.EventLedger.reprice` folds — and records the speedup.
+That cell is the tracked evidence that multi-profile physics sweeps stay
+cheap.
+
 The emitted payload is validated against :data:`BENCH_SCHEMA` before it
-is written; ``validate_payload`` uses ``jsonschema`` when available and
-falls back to an equivalent structural check on machines without it (the
-package itself stays stdlib-only).
+is written; ``validate_payload`` (via :mod:`repro.schema`) uses
+``jsonschema`` when available and falls back to an equivalent structural
+check on machines without it (the package itself stays stdlib-only).
 """
 
 from __future__ import annotations
@@ -32,13 +42,36 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from ..hardware import canonical_machine_spec, resolve_machine
+from ..physics import resolve_physics
 from ..pipeline import resolve_compiler
-from ..sim import execute
+from ..schema import SchemaError, validate, validate_node
+from ..sim import execute, replay
 from ..workloads import get_benchmark
 from .cells import matches_filter, parse_filter
 
-#: Current schema version of the ``BENCH_*.json`` payload.
-SCHEMA_VERSION = 1
+#: Current schema version of the ``BENCH_*.json`` payload.  Version 2
+#: added the optional ``mode``/``profiles``/``reexecute_s``/``speedup``
+#: cell fields for the replay-once/price-many cell; version-1 files
+#: still validate (and compare) cleanly.
+SCHEMA_VERSION = 2
+
+#: The physics arms of the ``reprice`` cell: the Fig 13 counterfactuals
+#: plus heating-rate / gate-decay / fiber / lifetime sweeps — the
+#: "dozens of parameter arms" use case the event ledger exists for.
+REPRICE_PROFILES: tuple[str, ...] = (
+    "table1",
+    "perfect-gate",
+    "perfect-shuttle",
+    "table1?heating_rate=0.0005",
+    "table1?heating_rate=0.002",
+    "table1?heating_rate=0.005",
+    "table1?heating_rate=0.01",
+    "table1?gate_decay_epsilon=0.0001",
+    "table1?gate_decay_epsilon=1e-05",
+    "table1?fiber_gate_fidelity=0.95",
+    "table1?fiber_gate_fidelity=0.999",
+    "table1?qubit_lifetime_us=60000000",
+)
 
 #: The fixed grid, ordered small -> large.  Machines are registry spec
 #: strings (canonicalised at run time); the final cell — QFT_n128 on a
@@ -55,6 +88,7 @@ MICRO_GRID: tuple[dict, ...] = (
     {"workload": "QFT_n64", "machine": "eml?capacity=4&modules=64", "compiler": "muss-ti"},
     {"workload": "QFT_n128", "machine": "eml:64:4", "compiler": "muss-ti"},
     {"workload": "QFT_n128", "machine": "eml?capacity=4&modules=64", "compiler": "muss-ti"},
+    {"workload": "QFT_n128", "machine": "eml:64:4", "compiler": "muss-ti", "mode": "reprice"},
 )
 
 _CELL_SCHEMA = {
@@ -83,6 +117,13 @@ _CELL_SCHEMA = {
         "shuttles": {"type": "integer", "minimum": 0},
         "makespan_us": {"type": "number", "minimum": 0},
         "log10_fidelity": {"type": "number", "maximum": 0},
+        # Replay-once/price-many cell (schema v2, optional): execute_s is
+        # the replay + N-fold pricing time; reexecute_s the N full
+        # re-executions it replaces.
+        "mode": {"enum": ["reprice"]},
+        "profiles": {"type": "integer", "minimum": 2},
+        "reexecute_s": {"type": "number", "minimum": 0},
+        "speedup": {"type": "number", "minimum": 0},
     },
 }
 
@@ -95,7 +136,7 @@ BENCH_SCHEMA = {
     "required": ["schema_version", "created_utc", "grid", "repeats", "environment", "cells"],
     "additionalProperties": False,
     "properties": {
-        "schema_version": {"const": SCHEMA_VERSION},
+        "schema_version": {"enum": [1, SCHEMA_VERSION]},
         "created_utc": {"type": "string", "minLength": 1},
         "grid": {"const": "micro"},
         "repeats": {"type": "integer", "minimum": 1},
@@ -113,85 +154,19 @@ BENCH_SCHEMA = {
 }
 
 
-class BenchSchemaError(ValueError):
-    """The payload does not conform to :data:`BENCH_SCHEMA`."""
+#: The payload does not conform to :data:`BENCH_SCHEMA` (the shared
+#: :class:`repro.schema.SchemaError`, kept under its historical name).
+BenchSchemaError = SchemaError
 
-
-def _check(condition: bool, message: str) -> None:
-    if not condition:
-        raise BenchSchemaError(message)
-
-
-def _validate_node(value, schema: dict, path: str) -> None:
-    """Minimal structural validator for the subset of JSON Schema used by
-    :data:`BENCH_SCHEMA` (const, type, required, additionalProperties,
-    bounds, minLength, minItems)."""
-    if "const" in schema:
-        _check(value == schema["const"], f"{path}: expected {schema['const']!r}")
-        return
-    kind = schema.get("type")
-    if kind == "object":
-        _check(isinstance(value, dict), f"{path}: expected object")
-        for name in schema.get("required", ()):
-            _check(name in value, f"{path}: missing required field {name!r}")
-        properties = schema.get("properties", {})
-        if schema.get("additionalProperties") is False:
-            for name in value:
-                _check(name in properties, f"{path}: unexpected field {name!r}")
-        for name, sub in properties.items():
-            if name in value:
-                _validate_node(value[name], sub, f"{path}.{name}")
-    elif kind == "array":
-        _check(isinstance(value, list), f"{path}: expected array")
-        _check(
-            len(value) >= schema.get("minItems", 0),
-            f"{path}: expected at least {schema.get('minItems', 0)} item(s)",
-        )
-        items = schema.get("items")
-        if items:
-            for index, element in enumerate(value):
-                _validate_node(element, items, f"{path}[{index}]")
-    elif kind == "string":
-        _check(isinstance(value, str), f"{path}: expected string")
-        _check(
-            len(value) >= schema.get("minLength", 0), f"{path}: string too short"
-        )
-    elif kind == "integer":
-        _check(
-            isinstance(value, int) and not isinstance(value, bool),
-            f"{path}: expected integer",
-        )
-        _check_bounds(value, schema, path)
-    elif kind == "number":
-        _check(
-            isinstance(value, (int, float)) and not isinstance(value, bool),
-            f"{path}: expected number",
-        )
-        _check_bounds(value, schema, path)
-
-
-def _check_bounds(value, schema: dict, path: str) -> None:
-    minimum = schema.get("minimum")
-    if minimum is not None:
-        _check(value >= minimum, f"{path}: {value} < minimum {minimum}")
-    maximum = schema.get("maximum")
-    if maximum is not None:
-        _check(value <= maximum, f"{path}: {value} > maximum {maximum}")
+#: Back-compat alias of :func:`repro.schema.validate_node`.
+_validate_node = validate_node
 
 
 def validate_payload(payload: dict) -> None:
     """Raise :class:`BenchSchemaError` unless *payload* conforms to
     :data:`BENCH_SCHEMA`.  Uses ``jsonschema`` when installed, otherwise
-    an equivalent built-in structural check."""
-    try:
-        import jsonschema
-    except ImportError:
-        _validate_node(payload, BENCH_SCHEMA, "$")
-        return
-    try:
-        jsonschema.validate(payload, BENCH_SCHEMA)
-    except jsonschema.ValidationError as error:
-        raise BenchSchemaError(str(error)) from error
+    the equivalent built-in structural check (:mod:`repro.schema`)."""
+    validate(payload, BENCH_SCHEMA)
 
 
 def micro_cells(cell_filter: str | None = None) -> list[dict]:
@@ -208,6 +183,48 @@ def micro_cells(cell_filter: str | None = None) -> list[dict]:
 
 
 ProgressFn = Callable[[int, int, dict], None]
+
+
+def _run_reprice_cell(cell: dict, program, compile_s: float, repeats: int) -> dict:
+    """Time the replay-once/price-many flow against N full re-executions.
+
+    ``execute_s`` records the ledger path (one :func:`repro.sim.replay`
+    plus one :meth:`~repro.sim.EventLedger.reprice` per profile in
+    :data:`REPRICE_PROFILES`); ``reexecute_s`` the per-profile
+    re-execution it replaces.  Both arms price the identical reports —
+    only the wall clock differs.
+    """
+    profiles = [resolve_physics(spec) for spec in REPRICE_PROFILES]
+    reexecute_s = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for params in profiles:
+            execute(program, params)
+        reexecute_s = min(reexecute_s, time.perf_counter() - started)
+    reprice_s = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ledger = replay(program)
+        for params in profiles:
+            ledger.reprice(params)
+        reprice_s = min(reprice_s, time.perf_counter() - started)
+    report = execute(program)
+    return {
+        "workload": cell["workload"],
+        "machine": cell["machine"],
+        "compiler": cell["compiler"],
+        "mode": "reprice",
+        "profiles": len(profiles),
+        "compile_s": round(compile_s, 6),
+        "execute_s": round(reprice_s, 6),
+        "reexecute_s": round(reexecute_s, 6),
+        "speedup": round(reexecute_s / reprice_s, 2) if reprice_s > 0 else 0.0,
+        "total_s": round(compile_s + reprice_s, 6),
+        "operations": program.num_operations,
+        "shuttles": report.shuttle_count,
+        "makespan_us": report.makespan_us,
+        "log10_fidelity": report.log10_fidelity,
+    }
 
 
 def run_micro(
@@ -237,24 +254,27 @@ def run_micro(
             started = time.perf_counter()
             program = compiler.compile(circuit, machine)
             compile_s = min(compile_s, time.perf_counter() - started)
-        execute_s = float("inf")
-        report = None
-        for _ in range(repeats):
-            started = time.perf_counter()
-            report = execute(program)
-            execute_s = min(execute_s, time.perf_counter() - started)
-        row = {
-            "workload": cell["workload"],
-            "machine": cell["machine"],
-            "compiler": cell["compiler"],
-            "compile_s": round(compile_s, 6),
-            "execute_s": round(execute_s, 6),
-            "total_s": round(compile_s + execute_s, 6),
-            "operations": program.num_operations,
-            "shuttles": report.shuttle_count,
-            "makespan_us": report.makespan_us,
-            "log10_fidelity": report.log10_fidelity,
-        }
+        if cell.get("mode") == "reprice":
+            row = _run_reprice_cell(cell, program, compile_s, repeats)
+        else:
+            execute_s = float("inf")
+            report = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                report = execute(program)
+                execute_s = min(execute_s, time.perf_counter() - started)
+            row = {
+                "workload": cell["workload"],
+                "machine": cell["machine"],
+                "compiler": cell["compiler"],
+                "compile_s": round(compile_s, 6),
+                "execute_s": round(execute_s, 6),
+                "total_s": round(compile_s + execute_s, 6),
+                "operations": program.num_operations,
+                "shuttles": report.shuttle_count,
+                "makespan_us": report.makespan_us,
+                "log10_fidelity": report.log10_fidelity,
+            }
         rows.append(row)
         if progress is not None:
             progress(index + 1, len(cells), row)
@@ -296,7 +316,7 @@ def render(payload: dict) -> str:
     ]
     body = [
         [
-            row["workload"],
+            row["workload"] + (" [reprice]" if row.get("mode") == "reprice" else ""),
             row["machine"],
             f"{row['compile_s']:.3f}",
             f"{row['execute_s']:.3f}",
@@ -306,6 +326,14 @@ def render(payload: dict) -> str:
         ]
         for row in payload["cells"]
     ]
-    return render_table(
+    table = render_table(
         headers, body, title=f"Microbenchmarks (best of {payload['repeats']})"
     )
+    notes = [
+        f"replay-once/price-many: {row['workload']} on {row['machine']} — "
+        f"{row['profiles']} profiles, re-execute {row['reexecute_s']:.3f}s vs "
+        f"reprice {row['execute_s']:.3f}s ({row['speedup']:.1f}x)"
+        for row in payload["cells"]
+        if row.get("mode") == "reprice"
+    ]
+    return "\n".join([table] + notes)

@@ -8,11 +8,15 @@ Usage::
     python -m repro compile BV_n64 --machine eml --compiler "muss-ti?lookahead_k=4"
     python -m repro compile BV_n64 --machine eml --set optical_slack=0
     python -m repro compile BV_n64 --machine eml --timeline
-    python -m repro compare QAOA_n128
+    python -m repro compile GHZ_n128 --physics perfect-shuttle
+    python -m repro compile GHZ_n128 --physics "table1?heating_rate=0.5" --json
+    python -m repro compare QAOA_n128 --physics perfect-gate
+    python -m repro trace GHZ_n32 grid:2x2:12
     python -m repro bench table2 --jobs 4
     python -m repro bench list
     python -m repro bench clear-cache fig7
     python -m repro bench sweep -w GHZ_n64 -m eml -m grid:2x2:12 -c muss-ti -c dai
+    python -m repro bench compare BENCH_old.json BENCH_new.json --fail-over 50
     python -m repro machine list
     python -m repro machine show eml:16:2
     python -m repro machine render star:1+6:16
@@ -21,11 +25,17 @@ Machine specs resolve through the machine registry (``repro machine
 list``): ``grid:RxC:CAP``, ``eml[:CAP[:OPTICAL]]``, ``ring:N[:CAP]``,
 ``star:H+L[:CAP]``, ``chain:N[:CAP]``, any registered name with
 ``?key=value&...`` options, or ``file:path.json`` architecture files.
+
+Physics specs resolve through the physics-profile registry: ``table1``
+(the default), ``perfect-gate``, ``perfect-shuttle``, each optionally
+with ``?field=value&...`` overrides of any
+:class:`~repro.physics.PhysicalParams` field.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -46,7 +56,7 @@ from .hardware import (
     render_machine,
     resolve_machine,
 )
-from .physics import PhysicalParams
+from .physics import available_physics, resolve_physics
 from .pipeline import (
     available_compilers,
     default_registry,
@@ -54,14 +64,15 @@ from .pipeline import (
     resolve_compiler,
 )
 from .pipeline import compile as compile_circuit
-from .sim import execute, fidelity_breakdown, render_breakdown
+from .sim import execute, fidelity_breakdown, render_breakdown, replay, verify_logical
 from .sim.trace import render_timeline, save_trace
 from .workloads import available_benchmarks, get_benchmark
 
+#: Legacy ``--params`` choices, mapped onto physics-profile specs.
 PARAMS = {
-    "default": PhysicalParams,
-    "perfect-gate": lambda: PhysicalParams().perfect_gate(),
-    "perfect-shuttle": lambda: PhysicalParams().perfect_shuttle(),
+    "default": "table1",
+    "perfect-gate": "perfect-gate",
+    "perfect-shuttle": "perfect-shuttle",
 }
 
 
@@ -71,6 +82,21 @@ def _machine_spec_help() -> str:
         "machine spec (registered: "
         f"{', '.join(available_machines())}; e.g. grid:3x4:16, eml:16:2, "
         "ring:8:16, star:1+6:16, name?key=value, or file:path.json)"
+    )
+
+
+def _physics_spec_help() -> str:
+    """The ``--physics`` flag help, derived from the physics registry."""
+    return (
+        "physics-profile spec (registered: "
+        f"{', '.join(available_physics())}; default table1, append "
+        "?field=value overrides, e.g. table1?heating_rate=0.5)"
+    )
+
+
+def _add_physics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--physics", default=None, metavar="SPEC", help=_physics_spec_help()
     )
 
 
@@ -89,33 +115,47 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     circuit = get_benchmark(args.benchmark)
+    if args.json and (args.breakdown or args.timeline):
+        print(
+            "error: --json emits the report payload only; "
+            "it cannot be combined with --breakdown/--timeline",
+            file=sys.stderr,
+        )
+        return 2
     try:
         machine = resolve_machine(args.machine, circuit.num_qubits)
         overrides = parse_option_assignments(args.set or [])
         compiler = resolve_compiler(args.compiler, overrides)
+        params = resolve_physics(args.physics or PARAMS[args.params])
     except ValueError as error:
-        # Bad machine spec, unknown compiler, bad spec/--set key or value:
-        # clean message, no traceback.  Compilation itself runs outside
-        # this guard so real compile-time failures still surface with full
-        # context.
+        # Bad machine spec, unknown compiler, bad physics profile, bad
+        # spec/--set key or value: clean message, no traceback.
+        # Compilation itself runs outside this guard so real compile-time
+        # failures still surface with full context.
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = compile_circuit(
-        circuit, machine, compiler=compiler, verify=not args.no_verify
-    )
+    result = compile_circuit(circuit, machine, compiler=compiler, verify=False)
     program = result.program
-    params = PARAMS[args.params]()
-    report = execute(program, params)
-    print(report.summary())
-    if args.breakdown:
-        print()
-        print(render_breakdown(fidelity_breakdown(program, params)))
-    if args.timeline:
-        print()
-        print(render_timeline(program))
+    # One legality-checked replay serves verification, the report and
+    # every requested view (breakdown, timeline, JSON trace).
+    ledger = replay(program)
+    ledger.verify_priceable(params)
+    if not args.no_verify:
+        verify_logical(program)
+    report = ledger.reprice(params)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        if args.breakdown:
+            print()
+            print(render_breakdown(fidelity_breakdown(ledger, params)))
+        if args.timeline:
+            print()
+            print(render_timeline(ledger, params))
     if args.trace:
-        save_trace(program, args.trace)
-        print(f"\ntrace written to {args.trace}")
+        save_trace(ledger, args.trace, params)
+        print(f"\ntrace written to {args.trace}", file=sys.stderr if args.json else sys.stdout)
     return 0
 
 
@@ -124,6 +164,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     try:
         grid = resolve_machine(args.grid, circuit.num_qubits)
         eml = resolve_machine(args.eml, circuit.num_qubits)
+        params = resolve_physics(args.physics)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -133,7 +174,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         entry = registry.entry(key)
         machine = grid if entry.machine_family == "grid" else eml
         program = entry.create().compile(circuit, machine)
-        report = execute(program)
+        report = execute(program, params)
         rows.append(
             [
                 program.compiler_name,
@@ -153,6 +194,46 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    circuit = get_benchmark(args.benchmark)
+    try:
+        machine = resolve_machine(args.machine, circuit.num_qubits)
+        compiler = resolve_compiler(args.compiler)
+        params = resolve_physics(args.physics)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    program = compile_circuit(circuit, machine, compiler=compiler).program
+    ledger = replay(program)  # one replay for both views
+    print(render_timeline(ledger, params, width=args.width))
+    if args.output:
+        save_trace(ledger, args.output, params)
+        print(f"trace written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .bench import compare as bench_compare
+
+    try:
+        text, code = bench_compare.run_compare(
+            args.old,
+            args.new,
+            fail_over_pct=args.fail_over,
+            min_seconds=(
+                args.min_seconds
+                if args.min_seconds is not None
+                else bench_compare.DEFAULT_MIN_SECONDS
+            ),
+        )
+    except ValueError as error:
+        # Unreadable file, invalid JSON, schema violation: clean message.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(text)
+    return code
 
 
 def _sweep_kwargs(args: argparse.Namespace) -> dict:
@@ -346,7 +427,7 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
 
 #: Explicit bench sub-commands; anything else after ``bench`` is an
 #: experiment name and routes through the implicit ``run``.
-BENCH_SUBCOMMANDS = ("run", "list", "clear-cache", "sweep", "micro")
+BENCH_SUBCOMMANDS = ("run", "list", "clear-cache", "sweep", "micro", "compare")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -383,8 +464,18 @@ def build_parser() -> argparse.ArgumentParser:
             "e.g. --set lookahead_k=4"
         ),
     )
+    _add_physics_flag(compile_parser)
     compile_parser.add_argument(
-        "--params", choices=sorted(PARAMS), default="default"
+        "--params",
+        choices=sorted(PARAMS),
+        default="default",
+        help="deprecated alias of --physics (named profiles only)",
+    )
+    compile_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the execution report as schema-validated JSON instead "
+        "of the human summary",
     )
     compile_parser.add_argument(
         "--timeline", action="store_true", help="print an ASCII zone timeline"
@@ -416,7 +507,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="machine for eml-family compilers (default: eml, sized to the circuit)",
     )
+    _add_physics_flag(compare_parser)
     compare_parser.set_defaults(handler=_cmd_compare)
+
+    trace_parser = commands.add_parser(
+        "trace", help="ASCII timeline (and JSON trace) of one compiled workload"
+    )
+    trace_parser.add_argument("benchmark", help="e.g. GHZ_n32")
+    trace_parser.add_argument("machine", metavar="MACHINE", help=_machine_spec_help())
+    trace_parser.add_argument(
+        "--compiler",
+        default="muss-ti",
+        metavar="SPEC",
+        help=(
+            "registered compiler, optionally with ?key=value options "
+            f"(registered: {', '.join(available_compilers())})"
+        ),
+    )
+    _add_physics_flag(trace_parser)
+    trace_parser.add_argument(
+        "--width",
+        type=int,
+        default=72,
+        metavar="COLS",
+        help="timeline width in columns (default: 72)",
+    )
+    trace_parser.add_argument(
+        "--output", metavar="PATH", help="also write the JSON op trace here"
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     machine_parser = commands.add_parser(
         "machine", help="inspect the machine/topology registry"
@@ -524,6 +643,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-cell progress on stderr"
     )
     bench_micro.set_defaults(handler=_cmd_bench_micro)
+
+    bench_compare_parser = bench_commands.add_parser(
+        "compare",
+        help="diff two BENCH_*.json payloads (the perf-regression guard)",
+    )
+    bench_compare_parser.add_argument(
+        "old", metavar="OLD.json", help="baseline payload (e.g. the committed BENCH_*.json)"
+    )
+    bench_compare_parser.add_argument(
+        "new", metavar="NEW.json", help="candidate payload (a fresh bench micro run)"
+    )
+    bench_compare_parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero when any matched cell's total_s regressed by "
+        "more than PCT percent",
+    )
+    bench_compare_parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="baseline total_s below which a cell is shown but not judged "
+        "(default: 0.05; timer noise dominates tiny cells)",
+    )
+    bench_compare_parser.set_defaults(handler=_cmd_bench_compare)
 
     bench_list = bench_commands.add_parser(
         "list", help="registered experiments and cache population"

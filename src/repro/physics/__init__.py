@@ -1,8 +1,15 @@
-"""Physical model: Table 1 parameters, Eq. 1 fidelity, timing.
+"""Physical model: Table 1 parameters, Eq. 1 fidelity, timing, profiles.
 
 Compilers never import this package; they emit descriptive operation streams
 and the executor prices them under a :class:`PhysicalParams`, which is what
 makes idealised re-pricing (Fig 13) and capacity sweeps (Fig 7) cheap.
+
+Named parameter sets live in the physics-profile registry
+(:mod:`repro.physics.registry`): spec strings like ``"table1"``,
+``"perfect-gate"``, ``"perfect-shuttle"`` or
+``"table1?heating_rate=0.5"`` resolve through :func:`resolve_physics`
+and plug into ``--physics`` on the CLI, sweep cells and
+:func:`repro.sim.reprice`.
 """
 
 from .fidelity import (
@@ -12,14 +19,30 @@ from .fidelity import (
     zone_background_log_fidelity,
 )
 from .params import DEFAULT_PARAMS, PhysicalParams
+from .registry import (
+    PhysicsEntry,
+    PhysicsRegistry,
+    available_physics,
+    canonical_physics_spec,
+    default_physics_registry,
+    register_physics,
+    resolve_physics,
+)
 from .timing import move_duration_us, shuttle_duration_us
 
 __all__ = [
     "DEFAULT_PARAMS",
     "FidelityLedger",
     "PhysicalParams",
+    "PhysicsEntry",
+    "PhysicsRegistry",
+    "available_physics",
+    "canonical_physics_spec",
+    "default_physics_registry",
     "idle_log_fidelity",
     "move_duration_us",
+    "register_physics",
+    "resolve_physics",
     "shuttle_duration_us",
     "shuttle_log_fidelity",
     "zone_background_log_fidelity",

@@ -1,0 +1,273 @@
+"""Physics-profile registry: named parameter sets addressed by spec string.
+
+The physics mirror of the compiler and machine registries: one
+:class:`PhysicsRegistry` holds every named :class:`~repro.physics.params.
+PhysicalParams` profile, addressed by *physics spec strings*::
+
+    table1                        # the paper's Table 1 constants (default)
+    perfect-gate                  # Fig 13: two-qubit fidelity pinned at 0.9999
+    perfect-shuttle               # Fig 13: shuttling deposits no heat
+    table1?heating_rate=0.5       # any profile + per-field overrides
+    perfect-gate?fiber_gate_time_us=100
+
+Options are :class:`PhysicalParams` field names; values coerce with the
+shared spec grammar and are validated by ``PhysicalParams.__post_init__``
+(a bad value fails at parse time with a clear message, before anything
+is priced).  Specs canonicalise — options equal to the profile's own
+value drop, the rest sort — so equivalent spellings share one sweep-cache
+key, and they stay plain strings end to end, picklable across the sweep
+engine's process pool.
+
+New profiles register with :func:`register_physics`::
+
+    @register_physics("cold-trap", summary="10x slower heating")
+    def build_cold_trap() -> PhysicalParams:
+        return PhysicalParams(heating_rate=0.0001)
+
+Front-ends resolve through :func:`resolve_physics` (the ``--physics``
+flag of ``repro compile`` / ``repro compare`` / ``repro trace``), and
+:func:`repro.sim.reprice` accepts the same specs directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Iterator, Mapping
+
+from ..specstrings import NAME_RE, format_query, parse_query
+from .params import PhysicalParams
+
+__all__ = [
+    "PhysicsEntry",
+    "PhysicsRegistry",
+    "available_physics",
+    "canonical_physics_spec",
+    "default_physics_registry",
+    "register_physics",
+    "resolve_physics",
+]
+
+#: Field names a physics spec may override (every PhysicalParams field).
+PARAM_FIELDS = tuple(f.name for f in fields(PhysicalParams))
+
+
+@dataclass(frozen=True)
+class PhysicsEntry:
+    """One registered profile: a parameter-set builder plus metadata."""
+
+    name: str
+    builder: Callable[[], PhysicalParams]
+    summary: str = ""
+
+    def build(self, options: Mapping[str, Any] | None = None) -> PhysicalParams:
+        """Instantiate the profile, applying field overrides."""
+        params = self.builder()
+        if not isinstance(params, PhysicalParams):
+            raise TypeError(
+                f"physics builder {self.name!r} must return PhysicalParams, "
+                f"got {type(params).__name__}"
+            )
+        if options:
+            try:
+                params = replace(params, **dict(options))
+            except ValueError as error:
+                raise ValueError(
+                    f"bad option for physics profile {self.name!r}: {error}"
+                ) from None
+        return params
+
+    def validate_options(self, options: Mapping[str, Any]) -> dict[str, Any]:
+        """Check option names against PhysicalParams fields and values
+        against the parameter invariants; returns a plain dict."""
+        options = dict(options)
+        unknown = sorted(set(options) - set(PARAM_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown physics option(s) for profile {self.name!r}: "
+                f"{', '.join(unknown)} (valid options are PhysicalParams "
+                f"fields: {', '.join(PARAM_FIELDS)})"
+            )
+        for key, value in options.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"physics option {key!r} must be a number, got {value!r}"
+                )
+        self.build(options)  # value validation via PhysicalParams.__post_init__
+        return options
+
+
+class PhysicsRegistry:
+    """Name -> :class:`PhysicsEntry` table with spec-string resolution."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, PhysicsEntry] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register(
+        self, name: str, *, summary: str = ""
+    ) -> Callable[[Callable[[], PhysicalParams]], Callable[[], PhysicalParams]]:
+        """Decorator registering a zero-argument builder under ``name``."""
+
+        def decorate(builder: Callable[[], PhysicalParams]):
+            self.add(PhysicsEntry(name=name, builder=builder, summary=summary))
+            return builder
+
+        return decorate
+
+    def add(self, entry: PhysicsEntry) -> None:
+        if not NAME_RE.match(entry.name):
+            raise ValueError(
+                f"invalid physics profile name {entry.name!r} "
+                "(letters, digits, '.', '_', '-'; must not start with punctuation)"
+            )
+        if entry.name in self._entries:
+            raise ValueError(
+                f"physics profile {entry.name!r} is already registered; "
+                "pick a different name (re-registration is not allowed)"
+            )
+        self._entries[entry.name] = entry
+
+    # -- lookup ----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[PhysicsEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> PhysicsEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown physics profile {name!r} "
+                f"(want one of {', '.join(self.names())})"
+            ) from None
+
+    def describe(self) -> str:
+        """One ``name  summary`` line per registration, sorted by name."""
+        width = max((len(name) for name in self._entries), default=0)
+        return "\n".join(
+            f"{name:{width}s}  {self._entries[name].summary}"
+            for name in self.names()
+        )
+
+    # -- spec strings ----------------------------------------------------
+
+    def parse(self, spec: str) -> tuple[str, dict[str, Any]]:
+        """Split a physics spec into ``(name, validated options)``."""
+        if not isinstance(spec, str):
+            raise TypeError(
+                f"expected a physics spec string, got {type(spec).__name__}"
+            )
+        name, query_sep, query = spec.partition("?")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"physics spec {spec!r} has no profile name")
+        if ":" in name:
+            raise ValueError(
+                f"physics specs take no positional segments (got {spec!r}); "
+                "use name?field=value"
+            )
+        entry = self.entry(name)
+        options = parse_query(query, spec=spec) if query_sep else {}
+        return name, entry.validate_options(options)
+
+    def canonical(self, spec: str) -> str:
+        """Canonical string form of *spec* (validates as a side effect).
+
+        Options equal to the profile's own value drop (so
+        ``table1?heating_rate=0.001`` is just ``table1``); the rest sort.
+        """
+        name, options = self.parse(spec)
+        base = self._entries[name].build()
+        minimal = {
+            key: value
+            for key, value in options.items()
+            if getattr(base, key) != value
+        }
+        return format_query(name, minimal)
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve(self, spec: str | PhysicalParams | None) -> PhysicalParams:
+        """Turn a spec string (or ready parameter set) into parameters.
+
+        ``None`` resolves to the default ``table1`` profile.
+        """
+        if spec is None:
+            spec = "table1"
+        if isinstance(spec, PhysicalParams):
+            return spec
+        name, options = self.parse(spec)
+        return self._entries[name].build(options)
+
+
+# ---------------------------------------------------------------------------
+# Default registry + module-level helpers
+# ---------------------------------------------------------------------------
+
+#: The process-wide registry every front-end resolves through.
+_DEFAULT_REGISTRY = PhysicsRegistry()
+
+
+def default_physics_registry() -> PhysicsRegistry:
+    """The registry the CLI, experiments and sweeps share."""
+    return _DEFAULT_REGISTRY
+
+
+def register_physics(
+    name: str, *, summary: str = ""
+) -> Callable[[Callable[[], PhysicalParams]], Callable[[], PhysicalParams]]:
+    """``@register_physics("name")`` on the default registry."""
+    return _DEFAULT_REGISTRY.register(name, summary=summary)
+
+
+def resolve_physics(spec: str | PhysicalParams | None) -> PhysicalParams:
+    """Resolve a physics spec through the default registry."""
+    return _DEFAULT_REGISTRY.resolve(spec)
+
+
+def canonical_physics_spec(spec: str) -> str:
+    """Canonicalise (and validate) a physics spec string."""
+    return _DEFAULT_REGISTRY.canonical(spec)
+
+
+def available_physics() -> list[str]:
+    """Sorted profile names registered in the default registry."""
+    return _DEFAULT_REGISTRY.names()
+
+
+# ---------------------------------------------------------------------------
+# Built-in profiles
+# ---------------------------------------------------------------------------
+
+
+@register_physics(
+    "table1", summary="the paper's Table 1 constants (the default physics)"
+)
+def build_table1() -> PhysicalParams:
+    return PhysicalParams()
+
+
+@register_physics(
+    "perfect-gate",
+    summary="Fig 13 counterfactual: every entangler pinned at 0.9999",
+)
+def build_perfect_gate() -> PhysicalParams:
+    return PhysicalParams().perfect_gate()
+
+
+@register_physics(
+    "perfect-shuttle",
+    summary="Fig 13 counterfactual: shuttling deposits no motional heat",
+)
+def build_perfect_shuttle() -> PhysicalParams:
+    return PhysicalParams().perfect_shuttle()

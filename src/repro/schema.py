@@ -1,0 +1,116 @@
+"""Shared JSON-schema validation with a stdlib fallback.
+
+Every JSON artifact this repository emits — the ``BENCH_*.json``
+microbenchmark payloads (:data:`repro.bench.micro.BENCH_SCHEMA`) and the
+:meth:`repro.sim.ExecutionReport.to_dict` report payloads
+(:data:`repro.sim.metrics.REPORT_SCHEMA`) — is validated against a JSON
+Schema before it is written and after it is read back.  ``jsonschema``
+is used when installed; otherwise :func:`validate_node` provides an
+equivalent structural check for the subset of the spec those schemas
+use (``const``, ``enum``, ``type``, ``required``, ``properties``,
+``additionalProperties`` as ``False`` or a value schema, ``items``,
+``minItems``, ``minLength``, ``minimum``, ``maximum``), keeping the
+package itself stdlib-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SchemaError(ValueError):
+    """A payload does not conform to its declared JSON schema."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _check_bounds(value: Any, schema: dict, path: str) -> None:
+    minimum = schema.get("minimum")
+    if minimum is not None:
+        _check(value >= minimum, f"{path}: {value} < minimum {minimum}")
+    maximum = schema.get("maximum")
+    if maximum is not None:
+        _check(value <= maximum, f"{path}: {value} > maximum {maximum}")
+
+
+def validate_node(value: Any, schema: dict, path: str = "$") -> None:
+    """Structurally validate *value* against the supported schema subset.
+
+    Raises :class:`SchemaError` with a ``$.path.to.field`` location on the
+    first violation.
+    """
+    if "const" in schema:
+        _check(value == schema["const"], f"{path}: expected {schema['const']!r}")
+        return
+    if "enum" in schema:
+        _check(
+            value in schema["enum"],
+            f"{path}: expected one of {schema['enum']!r}, got {value!r}",
+        )
+        return
+    kind = schema.get("type")
+    if kind == "object":
+        _check(isinstance(value, dict), f"{path}: expected object")
+        for name in schema.get("required", ()):
+            _check(name in value, f"{path}: missing required field {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
+        if additional is False:
+            for name in value:
+                _check(name in properties, f"{path}: unexpected field {name!r}")
+        elif isinstance(additional, dict):
+            for name, element in value.items():
+                if name not in properties:
+                    validate_node(element, additional, f"{path}.{name}")
+        for name, sub in properties.items():
+            if name in value:
+                validate_node(value[name], sub, f"{path}.{name}")
+    elif kind == "array":
+        _check(isinstance(value, list), f"{path}: expected array")
+        _check(
+            len(value) >= schema.get("minItems", 0),
+            f"{path}: expected at least {schema.get('minItems', 0)} item(s)",
+        )
+        items = schema.get("items")
+        if items:
+            for index, element in enumerate(value):
+                validate_node(element, items, f"{path}[{index}]")
+    elif kind == "string":
+        _check(isinstance(value, str), f"{path}: expected string")
+        _check(
+            len(value) >= schema.get("minLength", 0), f"{path}: string too short"
+        )
+    elif kind == "integer":
+        _check(
+            isinstance(value, int) and not isinstance(value, bool),
+            f"{path}: expected integer",
+        )
+        _check_bounds(value, schema, path)
+    elif kind == "number":
+        _check(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"{path}: expected number",
+        )
+        _check_bounds(value, schema, path)
+    elif kind == "boolean":
+        _check(isinstance(value, bool), f"{path}: expected boolean")
+
+
+def validate(payload: Any, schema: dict) -> None:
+    """Raise :class:`SchemaError` unless *payload* conforms to *schema*.
+
+    Uses ``jsonschema`` when installed, otherwise the built-in
+    :func:`validate_node` structural check.
+    """
+    try:
+        import jsonschema
+    except ImportError:
+        validate_node(payload, schema, "$")
+        return
+    try:
+        jsonschema.validate(payload, schema)
+    except jsonschema.ValidationError as error:
+        raise SchemaError(str(error)) from error

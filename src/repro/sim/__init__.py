@@ -1,8 +1,26 @@
-"""Schedule IR, executor, verifier and metrics."""
+"""Schedule IR, timed-event ledger, executor, verifier and metrics.
+
+The pricing stack is layered over one engine (:mod:`repro.sim.events`):
+:func:`replay` performs the single legality-checked replay of a program
+and returns an :class:`EventLedger`; :func:`execute`,
+:func:`fidelity_breakdown`, :func:`program_to_records` and
+:func:`render_timeline` are pure folds over it, and :func:`reprice` /
+:func:`price_many` price the same replay under any number of
+:class:`~repro.physics.PhysicalParams` without re-validating.
+"""
 
 from .breakdown import CATEGORIES, dominant_loss, fidelity_breakdown, render_breakdown
-from .executor import ExecutionError, execute
-from .metrics import ExecutionReport
+from .events import (
+    CHANNELS,
+    EventLedger,
+    ExecutionError,
+    TimedEvent,
+    price_many,
+    replay,
+    reprice,
+)
+from .executor import execute
+from .metrics import REPORT_SCHEMA, ExecutionReport
 from .ops import (
     ChainSwapOp,
     FiberGateOp,
@@ -15,11 +33,13 @@ from .ops import (
 )
 from .program import Program
 from .trace import program_to_records, render_timeline, save_trace
-from .verify import VerificationError, is_valid, verify_program
+from .verify import VerificationError, is_valid, verify_logical, verify_program
 
 __all__ = [
     "CATEGORIES",
+    "CHANNELS",
     "ChainSwapOp",
+    "EventLedger",
     "ExecutionError",
     "dominant_loss",
     "fidelity_breakdown",
@@ -31,13 +51,19 @@ __all__ = [
     "MoveOp",
     "Operation",
     "Program",
+    "REPORT_SCHEMA",
     "SplitOp",
     "SwapGateOp",
+    "TimedEvent",
     "VerificationError",
     "execute",
     "is_valid",
+    "price_many",
     "program_to_records",
     "render_timeline",
+    "replay",
+    "reprice",
     "save_trace",
+    "verify_logical",
     "verify_program",
 ]

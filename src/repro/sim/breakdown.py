@@ -4,114 +4,40 @@ Splits a schedule's total log-fidelity into the model's loss channels —
 the analysis behind the paper's Fig 13 discussion of *where* fidelity goes:
 
 * ``one_qubit_gates``   — the 0.9999-per-gate cost,
-* ``two_qubit_gates``   — the 1 - εN² local entangler cost,
+* ``two_qubit_gates``   — the 1 - eps * N^2 local entangler cost,
 * ``fiber_gates``       — the 0.99-per-fiber-op cost (incl. remote SWAPs),
 * ``shuttle_ops``       — Eq. 1 for split/move/merge/chain-swap,
-* ``background_heat``   — the B_i = exp(-k·heat) degradation of every gate.
+* ``background_heat``   — the B_i = exp(-k * heat) degradation of every gate.
 
-The categories sum (in log space) exactly to the executor's total, which the
-test suite asserts; disagreement would mean the two models drifted apart.
+The decomposition is a pure fold over the timed-event ledger
+(:meth:`repro.sim.events.EventLedger.channels`) — the *same* charges the
+executor accumulates, grouped by channel instead of summed — so the
+categories sum to the executor's total by construction, not by parallel
+bookkeeping.  This module carries no pricing tables of its own.
 """
 
 from __future__ import annotations
 
-import math
-
-from ..physics import PhysicalParams, shuttle_log_fidelity, zone_background_log_fidelity
-from ..physics.timing import move_duration_us
-from .ops import (
-    ChainSwapOp,
-    FiberGateOp,
-    GateOp,
-    MergeOp,
-    MoveOp,
-    SplitOp,
-    SwapGateOp,
-)
+from ..physics import PhysicalParams
+from .events import CHANNELS, EventLedger, replay
 from .program import Program
 
-_LOG10_E = math.log10(math.e)
-
-#: Breakdown category names, in report order.
-CATEGORIES = (
-    "one_qubit_gates",
-    "two_qubit_gates",
-    "fiber_gates",
-    "shuttle_ops",
-    "background_heat",
-)
+#: Breakdown category names, in report order (the ledger's channels).
+CATEGORIES = CHANNELS
 
 
 def fidelity_breakdown(
-    program: Program, params: PhysicalParams | None = None
+    program: Program | EventLedger, params: PhysicalParams | None = None
 ) -> dict[str, float]:
     """Per-category log10-fidelity contributions of a program.
 
-    Replays the same pricing the executor applies, attributing each charge
-    to one of :data:`CATEGORIES`.  The values are all <= 0 and sum to the
-    executor's ``log10_fidelity``.
+    One legality-checked replay (skipped when passed an already-replayed
+    :class:`~repro.sim.events.EventLedger`), then the per-channel
+    pricing fold.  The values are all <= 0 and sum to the executor's
+    ``log10_fidelity``.
     """
-    params = params or PhysicalParams()
-    move_time = move_duration_us(params.inter_zone_distance_um, params)
-    heat: dict[int, float] = {zone.zone_id: 0.0 for zone in program.machine.zones}
-    sizes: dict[int, int] = {
-        zone.zone_id: len(program.initial_placement.get(zone.zone_id, ()))
-        for zone in program.machine.zones
-    }
-    totals = {category: 0.0 for category in CATEGORIES}
-
-    def charge(category: str, natural_log: float) -> None:
-        totals[category] += natural_log
-
-    def trap_op(duration: float, nbar: float, heated_zone: int) -> None:
-        charge("shuttle_ops", shuttle_log_fidelity(duration, nbar, params))
-        heat[heated_zone] += nbar
-
-    def background(zone_id: int) -> None:
-        charge(
-            "background_heat",
-            zone_background_log_fidelity(heat[zone_id], params),
-        )
-
-    for op in program.operations:
-        if isinstance(op, SplitOp):
-            trap_op(params.split_time_us, params.split_nbar, op.zone)
-            sizes[op.zone] -= 1
-        elif isinstance(op, MoveOp):
-            trap_op(move_time, params.move_nbar, op.destination_zone)
-        elif isinstance(op, MergeOp):
-            trap_op(params.merge_time_us, params.merge_nbar, op.zone)
-            sizes[op.zone] += 1
-        elif isinstance(op, ChainSwapOp):
-            trap_op(params.chain_swap_time_us, params.chain_swap_nbar, op.zone)
-        elif isinstance(op, GateOp):
-            if op.gate.is_one_qubit:
-                charge("one_qubit_gates", math.log(params.one_qubit_gate_fidelity))
-            else:
-                charge(
-                    "two_qubit_gates",
-                    math.log(params.two_qubit_gate_fidelity(sizes[op.zone])),
-                )
-            background(op.zone)
-        elif isinstance(op, FiberGateOp):
-            charge("fiber_gates", math.log(params.fiber_gate_fidelity))
-            background(op.zone_a)
-            background(op.zone_b)
-        elif isinstance(op, SwapGateOp):
-            if op.is_remote:
-                for _ in range(3):
-                    charge("fiber_gates", math.log(params.fiber_gate_fidelity))
-                    background(op.zone_a)
-                    background(op.zone_b)
-            else:
-                fidelity = params.two_qubit_gate_fidelity(sizes[op.zone_a])
-                for _ in range(3):
-                    charge("two_qubit_gates", math.log(fidelity))
-                    background(op.zone_a)
-        else:
-            raise TypeError(f"unknown op type {type(op).__name__}")
-
-    return {category: value * _LOG10_E for category, value in totals.items()}
+    ledger = program if isinstance(program, EventLedger) else replay(program)
+    return ledger.channels(params)
 
 
 def dominant_loss(breakdown: dict[str, float]) -> str:

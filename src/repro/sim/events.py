@@ -1,0 +1,996 @@
+"""Timed-event ledger: replay once, price many times.
+
+This module is the repository's **single pricing engine**.  One
+legality-checked replay of a :class:`~repro.sim.program.Program` produces
+an :class:`EventLedger` — the canonical record of *what happened*: op
+kinds, qubits, zones, and the trap occupancies that local two-qubit
+fidelity depends on.  Everything priced from a schedule is then a pure
+fold over that ledger under a :class:`~repro.physics.PhysicalParams`:
+
+* :func:`repro.sim.execute` — replay + :meth:`EventLedger.reprice`,
+* :func:`repro.sim.fidelity_breakdown` — :meth:`EventLedger.channels`,
+* :func:`repro.sim.program_to_records` / ``render_timeline`` —
+  :meth:`EventLedger.records`,
+* Fig 13-style counterfactuals — :func:`reprice` / :func:`price_many`
+  under any physics profile, **without re-validating**.
+
+The per-op duration and fidelity-charge tables live here and only here;
+``breakdown.py`` and ``trace.py`` carry no pricing knowledge of their
+own, so the three views can never drift apart again.
+
+Pricing reproduces the §4 model bit for bit: Eq. 1
+(``exp(-t/T1 - k·nbar)``) for trap operations, ``1 - εN²`` for local
+entanglers, the 0.99 fiber gate, and the per-zone background
+``B_i = exp(-k·heat_i)`` — every natural-log charge is accumulated in
+exactly the order the original executor charged its ledger, so an
+:class:`~repro.sim.metrics.ExecutionReport` priced through this module
+matches the pre-refactor executor byte for byte (the differential suite
+asserts it).
+
+Repricing the same ledger under N parameter sets costs one replay plus N
+folds; parameter sets sharing Table 1 durations (the perfect-gate /
+perfect-shuttle counterfactuals) additionally share one timing fold via
+a per-duration-signature cache, which is what makes multi-profile
+physics sweeps cheap (see the ``reprice`` microbenchmark cell).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..physics import PhysicalParams, idle_log_fidelity, shuttle_log_fidelity
+from ..physics.timing import move_duration_us
+from .metrics import ExecutionReport
+from .ops import (
+    ChainSwapOp,
+    FiberGateOp,
+    GateOp,
+    MergeOp,
+    MoveOp,
+    SplitOp,
+    SwapGateOp,
+)
+from .program import Program
+
+#: log10(e); converts the natural-log fidelity total to log10.
+_LOG10_E = math.log10(math.e)
+
+#: Pricing channels, in report order (re-exported as
+#: ``repro.sim.CATEGORIES`` for the breakdown view).
+CHANNELS = (
+    "one_qubit_gates",
+    "two_qubit_gates",
+    "fiber_gates",
+    "shuttle_ops",
+    "background_heat",
+)
+
+
+class ExecutionError(RuntimeError):
+    """Raised when an op is illegal for the current machine state."""
+
+    def __init__(self, message: str, op_index: int | None = None) -> None:
+        if op_index is not None:
+            message = f"op #{op_index}: {message}"
+        super().__init__(message)
+        self.op_index = op_index
+
+
+class _MachineReplay:
+    """Mutable chain/transit state shared by execution and verification."""
+
+    def __init__(self, program: Program) -> None:
+        self.machine = program.machine
+        self.chains: dict[int, list[int]] = {
+            zone.zone_id: [] for zone in program.machine.zones
+        }
+        for zone_id, chain in program.initial_placement.items():
+            self.chains[zone_id] = list(chain)
+        self.location: dict[int, int] = {}
+        for zone_id, chain in self.chains.items():
+            for qubit in chain:
+                self.location[qubit] = zone_id
+        #: qubit -> zone it is hovering over while detached (None = in chain).
+        self.in_transit: dict[int, int] = {}
+
+    # -- shuttle ops -----------------------------------------------------
+
+    def split(self, op: SplitOp, index: int) -> None:
+        if op.qubit in self.in_transit:
+            raise ExecutionError(f"qubit {op.qubit} is already detached", index)
+        zone_id = self.location.get(op.qubit)
+        if zone_id != op.zone:
+            raise ExecutionError(
+                f"qubit {op.qubit} is in zone {zone_id}, not {op.zone}", index
+            )
+        chain = self.chains[op.zone]
+        position = chain.index(op.qubit)
+        if position not in (0, len(chain) - 1):
+            raise ExecutionError(
+                f"qubit {op.qubit} is at interior position {position} of "
+                f"zone {op.zone} (chain swaps required before split)",
+                index,
+            )
+        chain.remove(op.qubit)
+        del self.location[op.qubit]
+        self.in_transit[op.qubit] = op.zone
+
+    def move(self, op: MoveOp, index: int) -> None:
+        at = self.in_transit.get(op.qubit)
+        if at is None:
+            raise ExecutionError(f"qubit {op.qubit} is not detached", index)
+        if at != op.source_zone:
+            raise ExecutionError(
+                f"qubit {op.qubit} is over zone {at}, not {op.source_zone}",
+                index,
+            )
+        if op.destination_zone not in self.machine.neighbours(op.source_zone):
+            raise ExecutionError(
+                f"zones {op.source_zone} and {op.destination_zone} are not "
+                "shuttle-adjacent",
+                index,
+            )
+        self.in_transit[op.qubit] = op.destination_zone
+
+    def merge(self, op: MergeOp, index: int) -> None:
+        at = self.in_transit.get(op.qubit)
+        if at is None:
+            raise ExecutionError(f"qubit {op.qubit} is not detached", index)
+        if at != op.zone:
+            raise ExecutionError(
+                f"qubit {op.qubit} is over zone {at}, not {op.zone}", index
+            )
+        chain = self.chains[op.zone]
+        zone = self.machine.zone(op.zone)
+        if len(chain) >= zone.capacity:
+            raise ExecutionError(
+                f"zone {op.zone} is full (capacity {zone.capacity})", index
+            )
+        if op.side == "head":
+            chain.insert(0, op.qubit)
+        elif op.side == "tail":
+            chain.append(op.qubit)
+        else:
+            raise ExecutionError(f"bad merge side {op.side!r}", index)
+        del self.in_transit[op.qubit]
+        self.location[op.qubit] = op.zone
+
+    def chain_swap(self, op: ChainSwapOp, index: int) -> None:
+        chain = self.chains[op.zone]
+        if not 0 <= op.position < len(chain) - 1:
+            raise ExecutionError(
+                f"chain swap position {op.position} out of range for zone "
+                f"{op.zone} (chain length {len(chain)})",
+                index,
+            )
+        chain[op.position], chain[op.position + 1] = (
+            chain[op.position + 1],
+            chain[op.position],
+        )
+
+    # -- gate ops ----------------------------------------------------------
+
+    def check_local_gate(self, op: GateOp, index: int) -> int:
+        """Validate a local gate; returns ions-in-trap for fidelity."""
+        zone = self.machine.zone(op.zone)
+        for qubit in op.gate.qubits:
+            location = self.location.get(qubit)
+            if location != op.zone:
+                raise ExecutionError(
+                    f"gate {op.gate} expects qubit {qubit} in zone {op.zone}, "
+                    f"found {location}",
+                    index,
+                )
+        if op.gate.is_two_qubit and not zone.allows_gates:
+            raise ExecutionError(
+                f"zone {op.zone} ({zone.kind.value}) cannot execute two-qubit "
+                f"gates",
+                index,
+            )
+        return len(self.chains[op.zone])
+
+    def check_fiber_gate(self, op: FiberGateOp, index: int) -> None:
+        zone_a = self.machine.zone(op.zone_a)
+        zone_b = self.machine.zone(op.zone_b)
+        if not (zone_a.allows_fiber and zone_b.allows_fiber):
+            raise ExecutionError(
+                f"fiber gate needs optical zones, got {zone_a.kind.value} and "
+                f"{zone_b.kind.value}",
+                index,
+            )
+        if zone_a.module_id == zone_b.module_id:
+            raise ExecutionError(
+                "fiber gate endpoints must be in different modules", index
+            )
+        qubit_a, qubit_b = op.gate.qubits
+        if self.location.get(qubit_a) != op.zone_a:
+            raise ExecutionError(
+                f"fiber gate expects qubit {qubit_a} in zone {op.zone_a}, "
+                f"found {self.location.get(qubit_a)}",
+                index,
+            )
+        if self.location.get(qubit_b) != op.zone_b:
+            raise ExecutionError(
+                f"fiber gate expects qubit {qubit_b} in zone {op.zone_b}, "
+                f"found {self.location.get(qubit_b)}",
+                index,
+            )
+
+    def apply_swap_gate(self, op: SwapGateOp, index: int) -> None:
+        """Validate and apply a logical SWAP (exchanges chain labels)."""
+        for qubit, zone_id in ((op.qubit_a, op.zone_a), (op.qubit_b, op.zone_b)):
+            if self.location.get(qubit) != zone_id:
+                raise ExecutionError(
+                    f"swap expects qubit {qubit} in zone {zone_id}, found "
+                    f"{self.location.get(qubit)}",
+                    index,
+                )
+        if op.is_remote:
+            zone_a = self.machine.zone(op.zone_a)
+            zone_b = self.machine.zone(op.zone_b)
+            if not (zone_a.allows_fiber and zone_b.allows_fiber):
+                raise ExecutionError(
+                    "remote swap endpoints must be optical zones", index
+                )
+            if zone_a.module_id == zone_b.module_id:
+                raise ExecutionError(
+                    "remote swap endpoints must be in different modules", index
+                )
+        else:
+            if not self.machine.zone(op.zone_a).allows_gates:
+                raise ExecutionError(
+                    f"zone {op.zone_a} cannot execute gates", index
+                )
+        chain_a = self.chains[op.zone_a]
+        chain_b = self.chains[op.zone_b]
+        index_a = chain_a.index(op.qubit_a)
+        index_b = chain_b.index(op.qubit_b)
+        chain_a[index_a] = op.qubit_b
+        chain_b[index_b] = op.qubit_a
+        self.location[op.qubit_a] = op.zone_b
+        self.location[op.qubit_b] = op.zone_a
+
+
+@dataclass(frozen=True, slots=True)
+class TimedEvent:
+    """One priced schedule op: what happened, when, and what it cost.
+
+    ``charges`` is the exact ledger sequence of this op's natural-log
+    fidelity contributions as ``(channel, value)`` pairs — folding every
+    event's charges in order reproduces the executor's ``log10_fidelity``
+    to the last bit.  ``ions`` is the trap occupancy a local entangler
+    fired with (0 when not applicable); ``heated_zone``/``heat_delta``
+    record the motional-quanta deposit of trap ops (zone -1 / 0.0 when
+    none).
+    """
+
+    index: int
+    kind: str
+    qubits: tuple[int, ...]
+    zones: tuple[int, ...]
+    ions: int
+    start_us: float
+    duration_us: float
+    heated_zone: int
+    heat_delta: float
+    charges: tuple[tuple[str, float], ...]
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+    @property
+    def log10_charge(self) -> float:
+        """This op's total fidelity charge in log10 (all channels)."""
+        return sum(value for _, value in self.charges) * _LOG10_E
+
+
+def _op_shape(op, one_qubit_time, two_qubit_time, fiber_time, move_time, params):
+    """(kind, duration, qubits, zones) for any schedule op — the one
+    descriptive table trace records and events share."""
+    op_class = op.__class__
+    if op_class is GateOp:
+        duration = one_qubit_time if op.gate.is_one_qubit else two_qubit_time
+        return f"gate:{op.gate.name}", duration, op.gate.qubits, (op.zone,)
+    if op_class is MoveOp:
+        return "move", move_time, (op.qubit,), (op.source_zone, op.destination_zone)
+    if op_class is SplitOp:
+        return "split", params.split_time_us, (op.qubit,), (op.zone,)
+    if op_class is MergeOp:
+        return "merge", params.merge_time_us, (op.qubit,), (op.zone,)
+    if op_class is ChainSwapOp:
+        return "chain_swap", params.chain_swap_time_us, (), (op.zone,)
+    if op_class is FiberGateOp:
+        return (
+            f"fiber:{op.gate.name}",
+            fiber_time,
+            op.gate.qubits,
+            (op.zone_a, op.zone_b),
+        )
+    if op_class is SwapGateOp:
+        duration = 3 * (fiber_time if op.is_remote else two_qubit_time)
+        return (
+            "swap_insert",
+            duration,
+            (op.qubit_a, op.qubit_b),
+            (op.zone_a, op.zone_b),
+        )
+    raise TypeError(f"unknown op type {type(op).__name__}")
+
+
+class _Timing:
+    """Result of one timing fold: per-op spans plus the aggregates."""
+
+    __slots__ = ("spans", "serial_time", "makespan", "qubit_busy")
+
+    def __init__(self, spans, serial_time, makespan, qubit_busy) -> None:
+        self.spans = spans  # list of (start_us, duration_us, end_us)
+        self.serial_time = serial_time
+        self.makespan = makespan
+        self.qubit_busy = qubit_busy
+
+
+class EventLedger:
+    """The replay-once artifact: one legality-checked pass over a program.
+
+    Holds the program plus the only replay-dependent pricing input — the
+    trap occupancy each local entangler fired with — and the op-category
+    counts.  All pricing methods are pure folds; none mutates machine
+    state or re-validates legality, which is what makes
+    :meth:`reprice`-ing the same schedule under many
+    :class:`~repro.physics.PhysicalParams` cheap.
+
+    Build one with :func:`replay`.
+    """
+
+    __slots__ = (
+        "program",
+        "trap_sizes",
+        "split_count",
+        "move_count",
+        "merge_count",
+        "chain_swap_count",
+        "one_qubit_gate_count",
+        "two_qubit_gate_count",
+        "fiber_gate_count",
+        "inserted_swap_count",
+        "remote_swap_count",
+        "_timing_cache",
+    )
+
+    def __init__(self, program: Program, trap_sizes: list[int], counts) -> None:
+        self.program = program
+        #: ions-in-trap per op index (0 where not applicable).
+        self.trap_sizes = trap_sizes
+        (
+            self.split_count,
+            self.move_count,
+            self.merge_count,
+            self.chain_swap_count,
+            self.one_qubit_gate_count,
+            self.two_qubit_gate_count,
+            self.fiber_gate_count,
+            self.inserted_swap_count,
+            self.remote_swap_count,
+        ) = counts
+        self._timing_cache: dict[tuple, _Timing] = {}
+
+    def __len__(self) -> int:
+        return len(self.program.operations)
+
+    # -- timing fold -----------------------------------------------------
+
+    def _timing(self, params: PhysicalParams) -> _Timing:
+        """Resource-model timing fold, cached per duration signature.
+
+        An op starts when its qubits and *blocking* zones are all free;
+        one-qubit gates do not block their zone (other work may proceed
+        around them).  Parameter sets sharing Table 1 durations — e.g.
+        the perfect-gate / perfect-shuttle counterfactuals — share one
+        fold.
+        """
+        move_time = move_duration_us(params.inter_zone_distance_um, params)
+        split_time = params.split_time_us
+        merge_time = params.merge_time_us
+        chain_swap_time = params.chain_swap_time_us
+        one_qubit_time = params.one_qubit_gate_time_us
+        two_qubit_time = params.two_qubit_gate_time_us
+        fiber_time = params.fiber_gate_time_us
+        signature = (
+            split_time,
+            move_time,
+            merge_time,
+            chain_swap_time,
+            one_qubit_time,
+            two_qubit_time,
+            fiber_time,
+        )
+        cached = self._timing_cache.get(signature)
+        if cached is not None:
+            return cached
+
+        qubit_ready: dict[int, float] = {}
+        zone_ready: dict[int, float] = {}
+        qubit_busy: dict[int, float] = {}
+        qubit_ready_get = qubit_ready.get
+        zone_ready_get = zone_ready.get
+        qubit_busy_get = qubit_busy.get
+        serial_time = 0.0
+        spans: list[tuple[float, float, float]] = []
+        append_span = spans.append
+
+        for op in self.program.operations:
+            op_class = op.__class__
+            if op_class is GateOp:
+                qubits = op.gate.qubits
+                if len(qubits) == 1:
+                    serial_time += one_qubit_time
+                    qubit = qubits[0]
+                    start = qubit_ready_get(qubit, 0.0)
+                    end = start + one_qubit_time
+                    qubit_ready[qubit] = end
+                    qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + one_qubit_time
+                    append_span((start, one_qubit_time, end))
+                else:
+                    serial_time += two_qubit_time
+                    zone_id = op.zone
+                    qubit_a, qubit_b = qubits
+                    start = qubit_ready_get(qubit_a, 0.0)
+                    when = qubit_ready_get(qubit_b, 0.0)
+                    if when > start:
+                        start = when
+                    when = zone_ready_get(zone_id, 0.0)
+                    if when > start:
+                        start = when
+                    end = start + two_qubit_time
+                    qubit_ready[qubit_a] = end
+                    qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + two_qubit_time
+                    qubit_ready[qubit_b] = end
+                    qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + two_qubit_time
+                    zone_ready[zone_id] = end
+                    append_span((start, two_qubit_time, end))
+            elif op_class is MoveOp:
+                serial_time += move_time
+                qubit = op.qubit
+                source_zone = op.source_zone
+                destination_zone = op.destination_zone
+                start = qubit_ready_get(qubit, 0.0)
+                when = zone_ready_get(source_zone, 0.0)
+                if when > start:
+                    start = when
+                when = zone_ready_get(destination_zone, 0.0)
+                if when > start:
+                    start = when
+                end = start + move_time
+                qubit_ready[qubit] = end
+                qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + move_time
+                zone_ready[source_zone] = end
+                zone_ready[destination_zone] = end
+                append_span((start, move_time, end))
+            elif op_class is SplitOp or op_class is MergeOp:
+                duration = split_time if op_class is SplitOp else merge_time
+                serial_time += duration
+                zone_id = op.zone
+                qubit = op.qubit
+                start = qubit_ready_get(qubit, 0.0)
+                when = zone_ready_get(zone_id, 0.0)
+                if when > start:
+                    start = when
+                end = start + duration
+                qubit_ready[qubit] = end
+                qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + duration
+                zone_ready[zone_id] = end
+                append_span((start, duration, end))
+            elif op_class is ChainSwapOp:
+                serial_time += chain_swap_time
+                zone_id = op.zone
+                start = zone_ready_get(zone_id, 0.0)
+                end = start + chain_swap_time
+                zone_ready[zone_id] = end
+                append_span((start, chain_swap_time, end))
+            elif op_class is FiberGateOp:
+                serial_time += fiber_time
+                zone_a = op.zone_a
+                zone_b = op.zone_b
+                qubit_a, qubit_b = op.gate.qubits
+                start = qubit_ready_get(qubit_a, 0.0)
+                when = qubit_ready_get(qubit_b, 0.0)
+                if when > start:
+                    start = when
+                when = zone_ready_get(zone_a, 0.0)
+                if when > start:
+                    start = when
+                when = zone_ready_get(zone_b, 0.0)
+                if when > start:
+                    start = when
+                end = start + fiber_time
+                qubit_ready[qubit_a] = end
+                qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + fiber_time
+                qubit_ready[qubit_b] = end
+                qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + fiber_time
+                zone_ready[zone_a] = end
+                zone_ready[zone_b] = end
+                append_span((start, fiber_time, end))
+            elif op_class is SwapGateOp:
+                zone_a = op.zone_a
+                zone_b = op.zone_b
+                if zone_a != zone_b:
+                    duration = 3 * fiber_time
+                    zones = (zone_a, zone_b)
+                else:
+                    duration = 3 * two_qubit_time
+                    zones = (zone_a,)
+                serial_time += duration
+                qubit_a = op.qubit_a
+                qubit_b = op.qubit_b
+                start = qubit_ready_get(qubit_a, 0.0)
+                when = qubit_ready_get(qubit_b, 0.0)
+                if when > start:
+                    start = when
+                for zone_id in zones:
+                    when = zone_ready_get(zone_id, 0.0)
+                    if when > start:
+                        start = when
+                end = start + duration
+                qubit_ready[qubit_a] = end
+                qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + duration
+                qubit_ready[qubit_b] = end
+                qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + duration
+                for zone_id in zones:
+                    zone_ready[zone_id] = end
+                append_span((start, duration, end))
+            else:
+                raise TypeError(f"unknown op type {type(op).__name__}")
+
+        makespan = max(
+            max(qubit_ready.values(), default=0.0),
+            max(zone_ready.values(), default=0.0),
+        )
+        timing = _Timing(spans, serial_time, makespan, qubit_busy)
+        self._timing_cache[signature] = timing
+        return timing
+
+    # -- fidelity fold ---------------------------------------------------
+
+    def _fold_fidelity(self, params: PhysicalParams, sink=None):
+        """The one fidelity-charge table: §4's model over the op stream.
+
+        Returns ``(log_total, heat)`` with every natural-log charge added
+        in the executor's canonical order.  When *sink* is given it is
+        called as ``sink(index, channel, value)`` for every individual
+        charge, in that same order — the breakdown and the event stream
+        are built through it.
+        """
+        move_time = move_duration_us(params.inter_zone_distance_um, params)
+        split_nbar = params.split_nbar
+        move_nbar = params.move_nbar
+        merge_nbar = params.merge_nbar
+        chain_swap_nbar = params.chain_swap_nbar
+        split_log = shuttle_log_fidelity(params.split_time_us, split_nbar, params)
+        move_log = shuttle_log_fidelity(move_time, move_nbar, params)
+        merge_log = shuttle_log_fidelity(params.merge_time_us, merge_nbar, params)
+        chain_swap_log = shuttle_log_fidelity(
+            params.chain_swap_time_us, chain_swap_nbar, params
+        )
+        heating_rate = params.heating_rate  # background = -heating_rate * heat
+        one_qubit_log = math.log(params.one_qubit_gate_fidelity)
+        fiber_log = math.log(params.fiber_gate_fidelity)
+        two_qubit_gate_fidelity = params.two_qubit_gate_fidelity
+        for value in (split_log, move_log, merge_log, chain_swap_log,
+                      one_qubit_log, fiber_log):
+            if value > 1e-12:
+                raise ValueError(
+                    f"fidelity contribution must be <= 1 (log <= 0), got "
+                    f"log={value}"
+                )
+
+        heat: dict[int, float] = {
+            zone.zone_id: 0.0 for zone in self.program.machine.zones
+        }
+        trap_sizes = self.trap_sizes
+        #: ions -> (fidelity, natural log); local entangler pricing cache.
+        two_qubit_cache: dict[int, tuple[float, float]] = {}
+        log_total = 0.0
+
+        for index, op in enumerate(self.program.operations):
+            op_class = op.__class__
+            if op_class is GateOp:
+                zone_id = op.zone
+                background = -heating_rate * heat[zone_id]
+                if len(op.gate.qubits) == 1:
+                    log_total += one_qubit_log
+                    log_total += background
+                    if sink is not None:
+                        sink(index, "one_qubit_gates", one_qubit_log)
+                        sink(index, "background_heat", background)
+                else:
+                    ions = trap_sizes[index]
+                    entry = two_qubit_cache.get(ions)
+                    if entry is None:
+                        fidelity = two_qubit_gate_fidelity(ions)
+                        entry = (
+                            fidelity,
+                            math.log(fidelity) if fidelity > 0.0 else 0.0,
+                        )
+                        two_qubit_cache[ions] = entry
+                    fidelity, gate_log = entry
+                    if fidelity <= 0.0:
+                        raise ExecutionError(
+                            f"two-qubit gate fidelity collapsed to zero with "
+                            f"{ions} ions in zone {zone_id}",
+                            index,
+                        )
+                    log_total += gate_log
+                    log_total += background
+                    if sink is not None:
+                        sink(index, "two_qubit_gates", gate_log)
+                        sink(index, "background_heat", background)
+            elif op_class is MoveOp:
+                log_total += move_log
+                heat[op.destination_zone] += move_nbar
+                if sink is not None:
+                    sink(index, "shuttle_ops", move_log)
+            elif op_class is SplitOp:
+                log_total += split_log
+                heat[op.zone] += split_nbar
+                if sink is not None:
+                    sink(index, "shuttle_ops", split_log)
+            elif op_class is MergeOp:
+                log_total += merge_log
+                heat[op.zone] += merge_nbar
+                if sink is not None:
+                    sink(index, "shuttle_ops", merge_log)
+            elif op_class is ChainSwapOp:
+                log_total += chain_swap_log
+                heat[op.zone] += chain_swap_nbar
+                if sink is not None:
+                    sink(index, "shuttle_ops", chain_swap_log)
+            elif op_class is FiberGateOp:
+                background_a = -heating_rate * heat[op.zone_a]
+                background_b = -heating_rate * heat[op.zone_b]
+                log_total += fiber_log
+                log_total += background_a
+                log_total += background_b
+                if sink is not None:
+                    sink(index, "fiber_gates", fiber_log)
+                    sink(index, "background_heat", background_a)
+                    sink(index, "background_heat", background_b)
+            elif op_class is SwapGateOp:
+                zone_a = op.zone_a
+                zone_b = op.zone_b
+                if zone_a != zone_b:  # remote swap: three fiber MS gates (§3.3)
+                    background_a = -heating_rate * heat[zone_a]
+                    background_b = -heating_rate * heat[zone_b]
+                    for _ in range(3):
+                        log_total += fiber_log
+                        log_total += background_a
+                        log_total += background_b
+                        if sink is not None:
+                            sink(index, "fiber_gates", fiber_log)
+                            sink(index, "background_heat", background_a)
+                            sink(index, "background_heat", background_b)
+                else:
+                    ions = trap_sizes[index]
+                    entry = two_qubit_cache.get(ions)
+                    if entry is None:
+                        fidelity = two_qubit_gate_fidelity(ions)
+                        entry = (
+                            fidelity,
+                            math.log(fidelity) if fidelity > 0.0 else 0.0,
+                        )
+                        two_qubit_cache[ions] = entry
+                    fidelity, gate_log = entry
+                    if fidelity <= 0.0:
+                        raise ExecutionError(
+                            f"swap fidelity collapsed to zero with {ions} ions",
+                            index,
+                        )
+                    background = -heating_rate * heat[zone_a]
+                    for _ in range(3):
+                        log_total += gate_log
+                        log_total += background
+                        if sink is not None:
+                            sink(index, "two_qubit_gates", gate_log)
+                            sink(index, "background_heat", background)
+            else:
+                raise TypeError(f"unknown op type {type(op).__name__}")
+
+        return log_total, heat
+
+    # -- public folds ----------------------------------------------------
+
+    def reprice(
+        self,
+        params: PhysicalParams | None = None,
+        *,
+        include_idle_decoherence: bool = False,
+    ) -> ExecutionReport:
+        """Price the replayed schedule under *params*; no re-validation.
+
+        Byte-identical to :func:`repro.sim.execute` on the same program
+        and parameters — the two share this fold.
+        """
+        params = params or PhysicalParams()
+        log_total, heat = self._fold_fidelity(params)
+        timing = self._timing(params)
+        if include_idle_decoherence:
+            makespan = timing.makespan
+            busy_get = timing.qubit_busy.get
+            for qubit in range(self.program.circuit.num_qubits):
+                idle = makespan - busy_get(qubit, 0.0)
+                if idle > 0:
+                    log_total += idle_log_fidelity(idle, params)
+        program = self.program
+        return ExecutionReport(
+            circuit_name=program.circuit.name,
+            compiler_name=program.compiler_name,
+            num_qubits=program.circuit.num_qubits,
+            shuttle_count=self.move_count,
+            split_count=self.split_count,
+            merge_count=self.merge_count,
+            chain_swap_count=self.chain_swap_count,
+            one_qubit_gate_count=self.one_qubit_gate_count,
+            two_qubit_gate_count=self.two_qubit_gate_count,
+            fiber_gate_count=self.fiber_gate_count,
+            inserted_swap_count=self.inserted_swap_count,
+            remote_swap_count=self.remote_swap_count,
+            execution_time_us=timing.serial_time,
+            makespan_us=timing.makespan,
+            log10_fidelity=log_total * _LOG10_E,
+            zone_heat=dict(heat),
+            compile_time_s=program.compile_time_s,
+        )
+
+    def verify_priceable(self, params: PhysicalParams | None = None) -> None:
+        """Raise :class:`ExecutionError` if pricing under *params* would
+        fail — a local entangler whose ``1 - εN²`` fidelity collapses to
+        zero for some recorded trap occupancy.
+
+        Legality (the replay) is physics-independent; this is the one
+        physics-dependent failure mode, checked without a full pricing
+        fold so verification stays cheap.
+        """
+        params = params or PhysicalParams()
+        collapsed = {
+            ions
+            for ions in set(self.trap_sizes)
+            if ions and params.two_qubit_gate_fidelity(ions) <= 0.0
+        }
+        if not collapsed:
+            return
+        for index, (op, ions) in enumerate(
+            zip(self.program.operations, self.trap_sizes)
+        ):
+            if ions in collapsed:
+                if op.__class__ is GateOp:
+                    raise ExecutionError(
+                        f"two-qubit gate fidelity collapsed to zero with "
+                        f"{ions} ions in zone {op.zone}",
+                        index,
+                    )
+                raise ExecutionError(
+                    f"swap fidelity collapsed to zero with {ions} ions", index
+                )
+
+    def channels(self, params: PhysicalParams | None = None) -> dict[str, float]:
+        """Per-channel log10 contributions (the fidelity breakdown).
+
+        The values sum to :attr:`ExecutionReport.log10_fidelity` (same
+        charges, grouped by channel) and are all <= 0.
+        """
+        params = params or PhysicalParams()
+        totals = {channel: 0.0 for channel in CHANNELS}
+
+        def sink(_index: int, channel: str, value: float) -> None:
+            totals[channel] += value
+
+        self._fold_fidelity(params, sink)
+        return {channel: value * _LOG10_E for channel, value in totals.items()}
+
+    def events(self, params: PhysicalParams | None = None) -> tuple[TimedEvent, ...]:
+        """The priced event stream: one :class:`TimedEvent` per op."""
+        params = params or PhysicalParams()
+        charges: list[list[tuple[str, float]]] = [
+            [] for _ in self.program.operations
+        ]
+
+        def sink(index: int, channel: str, value: float) -> None:
+            charges[index].append((channel, value))
+
+        self._fold_fidelity(params, sink)
+        timing = self._timing(params)
+        move_time = move_duration_us(params.inter_zone_distance_um, params)
+        one_qubit_time = params.one_qubit_gate_time_us
+        two_qubit_time = params.two_qubit_gate_time_us
+        fiber_time = params.fiber_gate_time_us
+        heat_deltas = {
+            SplitOp: params.split_nbar,
+            MoveOp: params.move_nbar,
+            MergeOp: params.merge_nbar,
+            ChainSwapOp: params.chain_swap_nbar,
+        }
+        events = []
+        for index, op in enumerate(self.program.operations):
+            kind, _, qubits, zones = _op_shape(
+                op, one_qubit_time, two_qubit_time, fiber_time, move_time, params
+            )
+            start, duration, _ = timing.spans[index]
+            delta = heat_deltas.get(op.__class__)
+            if delta is None:
+                heated_zone, heat_delta = -1, 0.0
+            elif op.__class__ is MoveOp:
+                heated_zone, heat_delta = op.destination_zone, delta
+            else:
+                heated_zone, heat_delta = op.zone, delta
+            events.append(
+                TimedEvent(
+                    index=index,
+                    kind=kind,
+                    qubits=tuple(qubits),
+                    zones=zones,
+                    ions=self.trap_sizes[index],
+                    start_us=start,
+                    duration_us=duration,
+                    heated_zone=heated_zone,
+                    heat_delta=heat_delta,
+                    charges=tuple(charges[index]),
+                )
+            )
+        return tuple(events)
+
+    def records(self, params: PhysicalParams | None = None) -> list[dict]:
+        """Timed, JSON-serialisable op records (the trace view)."""
+        params = params or PhysicalParams()
+        timing = self._timing(params)
+        move_time = move_duration_us(params.inter_zone_distance_um, params)
+        one_qubit_time = params.one_qubit_gate_time_us
+        two_qubit_time = params.two_qubit_gate_time_us
+        fiber_time = params.fiber_gate_time_us
+        records = []
+        for index, op in enumerate(self.program.operations):
+            kind, duration, qubits, zones = _op_shape(
+                op, one_qubit_time, two_qubit_time, fiber_time, move_time, params
+            )
+            start, _, end = timing.spans[index]
+            records.append(
+                {
+                    "index": index,
+                    "kind": kind,
+                    "qubits": list(qubits),
+                    "zones": list(zones),
+                    "start_us": start,
+                    "duration_us": duration,
+                    "end_us": end,
+                }
+            )
+        return records
+
+
+def replay(program: Program) -> EventLedger:
+    """The single legality-checked replay: program -> :class:`EventLedger`.
+
+    Validates the initial placement, replays every op against the machine
+    (chain edges, capacities, shuttle adjacency, zone kinds), captures
+    the trap occupancy of every local entangler, and counts each op
+    category.  Raises :class:`ExecutionError` on the first illegal op.
+    """
+    program.validate_placement()
+    state = _MachineReplay(program)
+    operations = program.operations
+    trap_sizes = [0] * len(operations)
+
+    splits = moves = merges = chain_swaps = 0
+    one_qubit_gates = two_qubit_gates = fiber_gates = 0
+    inserted_swaps = remote_swaps = 0
+
+    state_split = state.split
+    state_move = state.move
+    state_merge = state.merge
+    state_chain_swap = state.chain_swap
+    state_check_local = state.check_local_gate
+    state_check_fiber = state.check_fiber_gate
+    state_apply_swap = state.apply_swap_gate
+    chains = state.chains
+
+    for index, op in enumerate(operations):
+        op_class = op.__class__
+        if op_class is GateOp:
+            ions = state_check_local(op, index)
+            if len(op.gate.qubits) == 1:
+                one_qubit_gates += 1
+            else:
+                two_qubit_gates += 1
+                trap_sizes[index] = ions
+        elif op_class is MoveOp:
+            state_move(op, index)
+            moves += 1
+        elif op_class is SplitOp:
+            state_split(op, index)
+            splits += 1
+        elif op_class is MergeOp:
+            state_merge(op, index)
+            merges += 1
+        elif op_class is ChainSwapOp:
+            state_chain_swap(op, index)
+            chain_swaps += 1
+        elif op_class is FiberGateOp:
+            state_check_fiber(op, index)
+            fiber_gates += 1
+        elif op_class is SwapGateOp:
+            inserted_swaps += 1
+            if op.zone_a != op.zone_b:
+                remote_swaps += 1
+            else:
+                trap_sizes[index] = len(chains[op.zone_a])
+            state_apply_swap(op, index)
+        else:
+            raise ExecutionError(
+                f"unknown operation type {type(op).__name__}", index
+            )
+
+    if state.in_transit:
+        raise ExecutionError(
+            f"qubits left detached at end of program: {sorted(state.in_transit)}"
+        )
+
+    return EventLedger(
+        program,
+        trap_sizes,
+        (
+            splits,
+            moves,
+            merges,
+            chain_swaps,
+            one_qubit_gates,
+            two_qubit_gates,
+            fiber_gates,
+            inserted_swaps,
+            remote_swaps,
+        ),
+    )
+
+
+def _resolve_params(params) -> PhysicalParams:
+    """Accept a :class:`PhysicalParams`, a physics-profile spec string
+    (``"table1"``, ``"perfect-gate?heating_rate=0.5"``, ...), or None."""
+    if params is None or isinstance(params, PhysicalParams):
+        return params or PhysicalParams()
+    from ..physics.registry import resolve_physics
+
+    return resolve_physics(params)
+
+
+def reprice(
+    ledger: EventLedger | Program,
+    params=None,
+    *,
+    include_idle_decoherence: bool = False,
+) -> ExecutionReport:
+    """Price a ledger (or program) under *params* — a
+    :class:`~repro.physics.PhysicalParams` or a physics-profile spec
+    string.  Passing an :class:`EventLedger` skips re-validation."""
+    if isinstance(ledger, Program):
+        ledger = replay(ledger)
+    return ledger.reprice(
+        _resolve_params(params),
+        include_idle_decoherence=include_idle_decoherence,
+    )
+
+
+def price_many(
+    ledger: EventLedger | Program, profiles
+) -> dict[str, ExecutionReport]:
+    """Replay once, price under every profile: label -> report.
+
+    *profiles* maps labels to :class:`~repro.physics.PhysicalParams` or
+    physics-profile spec strings.  This is the Fig 13 counterfactual in
+    API form — N parameter arms cost one legality-checked replay plus N
+    pricing folds.
+    """
+    if isinstance(ledger, Program):
+        ledger = replay(ledger)
+    return {
+        label: ledger.reprice(_resolve_params(params))
+        for label, params in dict(profiles).items()
+    }

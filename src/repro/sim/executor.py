@@ -1,229 +1,33 @@
 """Schedule executor: prices an op stream under a physical model.
 
-The executor replays a :class:`~repro.sim.program.Program` against its
+:func:`execute` replays a :class:`~repro.sim.program.Program` against its
 machine — any machine resolved from a registry spec string
 (``"eml:16:2"``, ``"grid:2x2:12"``...) or lowered from a declarative
-:class:`~repro.hardware.ArchitectureSpec` — maintaining per-zone ion
-chains and per-zone accumulated heat, validating every op's legality as
-it goes, and accumulating:
+:class:`~repro.hardware.ArchitectureSpec` — validating every op's
+legality, and prices the replay under §4's model: Eq. 1 for trap ops,
+``1-εN²`` for local 2q gates, 0.99 for fiber gates, everything
+multiplied by the background fidelity ``B_i = exp(-k·heat_i)`` of the
+zone(s) involved.
 
-* shuttle statistics (splits, moves, merges, chain swaps),
-* serial execution time (sum of op durations, the paper's time metric) and a
-  resource-constrained parallel makespan,
-* log-domain circuit fidelity per §4's model: Eq. 1 for trap ops, ``1-εN²``
-  for local 2q gates, 0.99 for fiber gates, everything multiplied by the
-  background fidelity ``B_i = exp(-k·heat_i)`` of the zone(s) involved.
-
-Because compilers emit descriptive ops only, the same program can be
-re-priced under :meth:`PhysicalParams.perfect_gate` or
-:meth:`~PhysicalParams.perfect_shuttle` (Fig 13) or any capacity variant.
+Since the pricing-engine refactor this module is a thin front door over
+:mod:`repro.sim.events`: ``execute(program, params)`` is exactly
+``replay(program).reprice(params)`` — one legality-checked replay
+producing an :class:`~repro.sim.events.EventLedger`, then one pricing
+fold.  Keep the ledger around to price the *same* replay under many
+parameter sets (:meth:`~repro.sim.events.EventLedger.reprice`,
+:func:`~repro.sim.events.price_many`) without re-validating — the Fig 13
+perfect-gate / perfect-shuttle counterfactuals in API form.  The pricing
+tables themselves live in :mod:`repro.sim.events` and nowhere else.
 """
 
 from __future__ import annotations
 
-from ..physics import (
-    FidelityLedger,
-    PhysicalParams,
-    shuttle_log_fidelity,
-)
-from ..physics.timing import move_duration_us
+from ..physics import PhysicalParams
+from .events import ExecutionError, _MachineReplay, replay  # noqa: F401
 from .metrics import ExecutionReport
-from .ops import (
-    ChainSwapOp,
-    FiberGateOp,
-    GateOp,
-    MergeOp,
-    MoveOp,
-    Operation,
-    SplitOp,
-    SwapGateOp,
-)
 from .program import Program
 
-
-class ExecutionError(RuntimeError):
-    """Raised when an op is illegal for the current machine state."""
-
-    def __init__(self, message: str, op_index: int | None = None) -> None:
-        if op_index is not None:
-            message = f"op #{op_index}: {message}"
-        super().__init__(message)
-        self.op_index = op_index
-
-
-class _MachineReplay:
-    """Mutable chain/transit state shared by execution and verification."""
-
-    def __init__(self, program: Program) -> None:
-        self.machine = program.machine
-        self.chains: dict[int, list[int]] = {
-            zone.zone_id: [] for zone in program.machine.zones
-        }
-        for zone_id, chain in program.initial_placement.items():
-            self.chains[zone_id] = list(chain)
-        self.location: dict[int, int] = {}
-        for zone_id, chain in self.chains.items():
-            for qubit in chain:
-                self.location[qubit] = zone_id
-        #: qubit -> zone it is hovering over while detached (None = in chain).
-        self.in_transit: dict[int, int] = {}
-
-    # -- shuttle ops -----------------------------------------------------
-
-    def split(self, op: SplitOp, index: int) -> None:
-        if op.qubit in self.in_transit:
-            raise ExecutionError(f"qubit {op.qubit} is already detached", index)
-        zone_id = self.location.get(op.qubit)
-        if zone_id != op.zone:
-            raise ExecutionError(
-                f"qubit {op.qubit} is in zone {zone_id}, not {op.zone}", index
-            )
-        chain = self.chains[op.zone]
-        position = chain.index(op.qubit)
-        if position not in (0, len(chain) - 1):
-            raise ExecutionError(
-                f"qubit {op.qubit} is at interior position {position} of "
-                f"zone {op.zone} (chain swaps required before split)",
-                index,
-            )
-        chain.remove(op.qubit)
-        del self.location[op.qubit]
-        self.in_transit[op.qubit] = op.zone
-
-    def move(self, op: MoveOp, index: int) -> None:
-        at = self.in_transit.get(op.qubit)
-        if at is None:
-            raise ExecutionError(f"qubit {op.qubit} is not detached", index)
-        if at != op.source_zone:
-            raise ExecutionError(
-                f"qubit {op.qubit} is over zone {at}, not {op.source_zone}",
-                index,
-            )
-        if op.destination_zone not in self.machine.neighbours(op.source_zone):
-            raise ExecutionError(
-                f"zones {op.source_zone} and {op.destination_zone} are not "
-                "shuttle-adjacent",
-                index,
-            )
-        self.in_transit[op.qubit] = op.destination_zone
-
-    def merge(self, op: MergeOp, index: int) -> None:
-        at = self.in_transit.get(op.qubit)
-        if at is None:
-            raise ExecutionError(f"qubit {op.qubit} is not detached", index)
-        if at != op.zone:
-            raise ExecutionError(
-                f"qubit {op.qubit} is over zone {at}, not {op.zone}", index
-            )
-        chain = self.chains[op.zone]
-        zone = self.machine.zone(op.zone)
-        if len(chain) >= zone.capacity:
-            raise ExecutionError(
-                f"zone {op.zone} is full (capacity {zone.capacity})", index
-            )
-        if op.side == "head":
-            chain.insert(0, op.qubit)
-        elif op.side == "tail":
-            chain.append(op.qubit)
-        else:
-            raise ExecutionError(f"bad merge side {op.side!r}", index)
-        del self.in_transit[op.qubit]
-        self.location[op.qubit] = op.zone
-
-    def chain_swap(self, op: ChainSwapOp, index: int) -> None:
-        chain = self.chains[op.zone]
-        if not 0 <= op.position < len(chain) - 1:
-            raise ExecutionError(
-                f"chain swap position {op.position} out of range for zone "
-                f"{op.zone} (chain length {len(chain)})",
-                index,
-            )
-        chain[op.position], chain[op.position + 1] = (
-            chain[op.position + 1],
-            chain[op.position],
-        )
-
-    # -- gate ops ----------------------------------------------------------
-
-    def check_local_gate(self, op: GateOp, index: int) -> int:
-        """Validate a local gate; returns ions-in-trap for fidelity."""
-        zone = self.machine.zone(op.zone)
-        for qubit in op.gate.qubits:
-            location = self.location.get(qubit)
-            if location != op.zone:
-                raise ExecutionError(
-                    f"gate {op.gate} expects qubit {qubit} in zone {op.zone}, "
-                    f"found {location}",
-                    index,
-                )
-        if op.gate.is_two_qubit and not zone.allows_gates:
-            raise ExecutionError(
-                f"zone {op.zone} ({zone.kind.value}) cannot execute two-qubit "
-                f"gates",
-                index,
-            )
-        return len(self.chains[op.zone])
-
-    def check_fiber_gate(self, op: FiberGateOp, index: int) -> None:
-        zone_a = self.machine.zone(op.zone_a)
-        zone_b = self.machine.zone(op.zone_b)
-        if not (zone_a.allows_fiber and zone_b.allows_fiber):
-            raise ExecutionError(
-                f"fiber gate needs optical zones, got {zone_a.kind.value} and "
-                f"{zone_b.kind.value}",
-                index,
-            )
-        if zone_a.module_id == zone_b.module_id:
-            raise ExecutionError(
-                "fiber gate endpoints must be in different modules", index
-            )
-        qubit_a, qubit_b = op.gate.qubits
-        if self.location.get(qubit_a) != op.zone_a:
-            raise ExecutionError(
-                f"fiber gate expects qubit {qubit_a} in zone {op.zone_a}, "
-                f"found {self.location.get(qubit_a)}",
-                index,
-            )
-        if self.location.get(qubit_b) != op.zone_b:
-            raise ExecutionError(
-                f"fiber gate expects qubit {qubit_b} in zone {op.zone_b}, "
-                f"found {self.location.get(qubit_b)}",
-                index,
-            )
-
-    def apply_swap_gate(self, op: SwapGateOp, index: int) -> None:
-        """Validate and apply a logical SWAP (exchanges chain labels)."""
-        for qubit, zone_id in ((op.qubit_a, op.zone_a), (op.qubit_b, op.zone_b)):
-            if self.location.get(qubit) != zone_id:
-                raise ExecutionError(
-                    f"swap expects qubit {qubit} in zone {zone_id}, found "
-                    f"{self.location.get(qubit)}",
-                    index,
-                )
-        if op.is_remote:
-            zone_a = self.machine.zone(op.zone_a)
-            zone_b = self.machine.zone(op.zone_b)
-            if not (zone_a.allows_fiber and zone_b.allows_fiber):
-                raise ExecutionError(
-                    "remote swap endpoints must be optical zones", index
-                )
-            if zone_a.module_id == zone_b.module_id:
-                raise ExecutionError(
-                    "remote swap endpoints must be in different modules", index
-                )
-        else:
-            if not self.machine.zone(op.zone_a).allows_gates:
-                raise ExecutionError(
-                    f"zone {op.zone_a} cannot execute gates", index
-                )
-        chain_a = self.chains[op.zone_a]
-        chain_b = self.chains[op.zone_b]
-        index_a = chain_a.index(op.qubit_a)
-        index_b = chain_b.index(op.qubit_b)
-        chain_a[index_a] = op.qubit_b
-        chain_b[index_b] = op.qubit_a
-        self.location[op.qubit_a] = op.zone_b
-        self.location[op.qubit_b] = op.zone_a
+__all__ = ["ExecutionError", "execute"]
 
 
 def execute(
@@ -239,278 +43,7 @@ def execute(
     qubit's idle time (makespan minus its busy time).  Off by default: with
     the paper's T1 = 600 s the term is negligible, and the paper's §4 model
     charges decay per operation only.
-
-    The loop is hot-path tuned — exact-class dispatch, per-op-kind
-    fidelity/duration constants hoisted out of the loop, and the
-    resource-availability bookkeeping inlined per op shape — but charges
-    the ledger in exactly the seed's order, so every report field matches
-    the pre-optimization executor bit for bit (the differential suite
-    asserts it).
     """
-    params = params or PhysicalParams()
-    program.validate_placement()
-    replay = _MachineReplay(program)
-    ledger = FidelityLedger()
-    heat: dict[int, float] = {zone.zone_id: 0.0 for zone in program.machine.zones}
-    serial_time = 0.0
-    # Resource-availability times for the parallel makespan: qubits and zones.
-    qubit_ready: dict[int, float] = {}
-    zone_ready: dict[int, float] = {}
-    qubit_busy: dict[int, float] = {}
-
-    splits = moves = merges = chain_swaps = 0
-    one_qubit_gates = two_qubit_gates = fiber_gates = 0
-    inserted_swaps = remote_swaps = 0
-
-    charge_log = ledger.charge_log
-    charge_linear = ledger.charge_linear
-    qubit_ready_get = qubit_ready.get
-    zone_ready_get = zone_ready.get
-    qubit_busy_get = qubit_busy.get
-
-    # Per-kind constants: the trap-op fidelity charges depend only on the
-    # physical parameters, never on machine state.
-    move_time = move_duration_us(params.inter_zone_distance_um, params)
-    split_time = params.split_time_us
-    merge_time = params.merge_time_us
-    chain_swap_time = params.chain_swap_time_us
-    split_nbar = params.split_nbar
-    move_nbar = params.move_nbar
-    merge_nbar = params.merge_nbar
-    chain_swap_nbar = params.chain_swap_nbar
-    split_log = shuttle_log_fidelity(split_time, split_nbar, params)
-    move_log = shuttle_log_fidelity(move_time, move_nbar, params)
-    merge_log = shuttle_log_fidelity(merge_time, merge_nbar, params)
-    chain_swap_log = shuttle_log_fidelity(chain_swap_time, chain_swap_nbar, params)
-    heating_rate = params.heating_rate  # background = -heating_rate * heat
-    one_qubit_fidelity = params.one_qubit_gate_fidelity
-    fiber_fidelity = params.fiber_gate_fidelity
-    one_qubit_time = params.one_qubit_gate_time_us
-    two_qubit_time = params.two_qubit_gate_time_us
-    fiber_time = params.fiber_gate_time_us
-    two_qubit_gate_fidelity = params.two_qubit_gate_fidelity
-
-    replay_split = replay.split
-    replay_move = replay.move
-    replay_merge = replay.merge
-    replay_chain_swap = replay.chain_swap
-    replay_check_local = replay.check_local_gate
-    replay_check_fiber = replay.check_fiber_gate
-    replay_apply_swap = replay.apply_swap_gate
-
-    for index, op in enumerate(program.operations):
-        op_class = op.__class__
-        if op_class is MoveOp:
-            replay_move(op, index)
-            moves += 1
-            charge_log(move_log)
-            source_zone = op.source_zone
-            destination_zone = op.destination_zone
-            heat[destination_zone] += move_nbar
-            qubit = op.qubit
-            serial_time += move_time
-            start = qubit_ready_get(qubit, 0.0)
-            when = zone_ready_get(source_zone, 0.0)
-            if when > start:
-                start = when
-            when = zone_ready_get(destination_zone, 0.0)
-            if when > start:
-                start = when
-            end = start + move_time
-            qubit_ready[qubit] = end
-            qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + move_time
-            zone_ready[source_zone] = end
-            zone_ready[destination_zone] = end
-        elif op_class is GateOp:
-            ions = replay_check_local(op, index)
-            zone_id = op.zone
-            background = -heating_rate * heat[zone_id]
-            gate = op.gate
-            qubits = gate.qubits
-            if len(qubits) == 1:
-                one_qubit_gates += 1
-                charge_linear(one_qubit_fidelity)
-                charge_log(background)
-                serial_time += one_qubit_time
-                qubit = qubits[0]
-                end = qubit_ready_get(qubit, 0.0) + one_qubit_time
-                qubit_ready[qubit] = end
-                qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + one_qubit_time
-            else:
-                two_qubit_gates += 1
-                fidelity = two_qubit_gate_fidelity(ions)
-                if fidelity <= 0.0:
-                    raise ExecutionError(
-                        f"two-qubit gate fidelity collapsed to zero with "
-                        f"{ions} ions in zone {zone_id}",
-                        index,
-                    )
-                charge_linear(fidelity)
-                charge_log(background)
-                serial_time += two_qubit_time
-                qubit_a, qubit_b = qubits
-                start = qubit_ready_get(qubit_a, 0.0)
-                when = qubit_ready_get(qubit_b, 0.0)
-                if when > start:
-                    start = when
-                when = zone_ready_get(zone_id, 0.0)
-                if when > start:
-                    start = when
-                end = start + two_qubit_time
-                qubit_ready[qubit_a] = end
-                qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + two_qubit_time
-                qubit_ready[qubit_b] = end
-                qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + two_qubit_time
-                zone_ready[zone_id] = end
-        elif op_class is ChainSwapOp:
-            replay_chain_swap(op, index)
-            chain_swaps += 1
-            charge_log(chain_swap_log)
-            zone_id = op.zone
-            heat[zone_id] += chain_swap_nbar
-            serial_time += chain_swap_time
-            zone_ready[zone_id] = zone_ready_get(zone_id, 0.0) + chain_swap_time
-        elif op_class is SplitOp:
-            replay_split(op, index)
-            splits += 1
-            charge_log(split_log)
-            zone_id = op.zone
-            heat[zone_id] += split_nbar
-            qubit = op.qubit
-            serial_time += split_time
-            start = qubit_ready_get(qubit, 0.0)
-            when = zone_ready_get(zone_id, 0.0)
-            if when > start:
-                start = when
-            end = start + split_time
-            qubit_ready[qubit] = end
-            qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + split_time
-            zone_ready[zone_id] = end
-        elif op_class is MergeOp:
-            replay_merge(op, index)
-            merges += 1
-            charge_log(merge_log)
-            zone_id = op.zone
-            heat[zone_id] += merge_nbar
-            qubit = op.qubit
-            serial_time += merge_time
-            start = qubit_ready_get(qubit, 0.0)
-            when = zone_ready_get(zone_id, 0.0)
-            if when > start:
-                start = when
-            end = start + merge_time
-            qubit_ready[qubit] = end
-            qubit_busy[qubit] = qubit_busy_get(qubit, 0.0) + merge_time
-            zone_ready[zone_id] = end
-        elif op_class is FiberGateOp:
-            replay_check_fiber(op, index)
-            fiber_gates += 1
-            charge_linear(fiber_fidelity)
-            zone_a = op.zone_a
-            zone_b = op.zone_b
-            charge_log(-heating_rate * heat[zone_a])
-            charge_log(-heating_rate * heat[zone_b])
-            serial_time += fiber_time
-            qubit_a, qubit_b = op.gate.qubits
-            start = qubit_ready_get(qubit_a, 0.0)
-            when = qubit_ready_get(qubit_b, 0.0)
-            if when > start:
-                start = when
-            when = zone_ready_get(zone_a, 0.0)
-            if when > start:
-                start = when
-            when = zone_ready_get(zone_b, 0.0)
-            if when > start:
-                start = when
-            end = start + fiber_time
-            qubit_ready[qubit_a] = end
-            qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + fiber_time
-            qubit_ready[qubit_b] = end
-            qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + fiber_time
-            zone_ready[zone_a] = end
-            zone_ready[zone_b] = end
-        elif op_class is SwapGateOp:
-            inserted_swaps += 1
-            zone_a = op.zone_a
-            zone_b = op.zone_b
-            if zone_a != zone_b:  # remote swap over fiber
-                remote_swaps += 1
-                replay_apply_swap(op, index)
-                # Three fiber-entangled MS gates (§3.3).
-                for _ in range(3):
-                    charge_linear(fiber_fidelity)
-                    charge_log(-heating_rate * heat[zone_a])
-                    charge_log(-heating_rate * heat[zone_b])
-                duration = 3 * fiber_time
-                zones = (zone_a, zone_b)
-            else:
-                ions = len(replay.chains[zone_a])
-                replay_apply_swap(op, index)
-                fidelity = two_qubit_gate_fidelity(ions)
-                if fidelity <= 0.0:
-                    raise ExecutionError(
-                        f"swap fidelity collapsed to zero with {ions} ions",
-                        index,
-                    )
-                background = -heating_rate * heat[zone_a]
-                for _ in range(3):
-                    charge_linear(fidelity)
-                    charge_log(background)
-                duration = 3 * two_qubit_time
-                zones = (zone_a,)
-            serial_time += duration
-            qubit_a = op.qubit_a
-            qubit_b = op.qubit_b
-            start = qubit_ready_get(qubit_a, 0.0)
-            when = qubit_ready_get(qubit_b, 0.0)
-            if when > start:
-                start = when
-            for zone_id in zones:
-                when = zone_ready_get(zone_id, 0.0)
-                if when > start:
-                    start = when
-            end = start + duration
-            qubit_ready[qubit_a] = end
-            qubit_busy[qubit_a] = qubit_busy_get(qubit_a, 0.0) + duration
-            qubit_ready[qubit_b] = end
-            qubit_busy[qubit_b] = qubit_busy_get(qubit_b, 0.0) + duration
-            for zone_id in zones:
-                zone_ready[zone_id] = end
-        else:
-            raise ExecutionError(f"unknown operation type {type(op).__name__}", index)
-
-    if replay.in_transit:
-        raise ExecutionError(
-            f"qubits left detached at end of program: {sorted(replay.in_transit)}"
-        )
-
-    makespan = max(
-        max(qubit_ready.values(), default=0.0),
-        max(zone_ready.values(), default=0.0),
-    )
-    if include_idle_decoherence:
-        from ..physics import idle_log_fidelity
-
-        for qubit in range(program.circuit.num_qubits):
-            idle = makespan - qubit_busy.get(qubit, 0.0)
-            if idle > 0:
-                ledger.charge_log(idle_log_fidelity(idle, params))
-    return ExecutionReport(
-        circuit_name=program.circuit.name,
-        compiler_name=program.compiler_name,
-        num_qubits=program.circuit.num_qubits,
-        shuttle_count=moves,
-        split_count=splits,
-        merge_count=merges,
-        chain_swap_count=chain_swaps,
-        one_qubit_gate_count=one_qubit_gates,
-        two_qubit_gate_count=two_qubit_gates,
-        fiber_gate_count=fiber_gates,
-        inserted_swap_count=inserted_swaps,
-        remote_swap_count=remote_swaps,
-        execution_time_us=serial_time,
-        makespan_us=makespan,
-        log10_fidelity=ledger.log10_fidelity,
-        zone_heat=dict(heat),
-        compile_time_s=program.compile_time_s,
+    return replay(program).reprice(
+        params, include_idle_decoherence=include_idle_decoherence
     )

@@ -4,12 +4,75 @@
 Fidelity is kept in log10 form (the paper's large circuits underflow IEEE
 doubles); :attr:`ExecutionReport.fidelity` converts on demand and underflows
 to 0.0 exactly like the paper's tables when below ~1e-308.
+
+Reports round-trip through JSON: :meth:`ExecutionReport.to_dict` emits a
+payload validated against :data:`REPORT_SCHEMA`, and
+:meth:`ExecutionReport.from_dict` validates and rebuilds — the contract
+behind ``repro compile --json``.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Mapping
+
+from ..schema import validate
+
+#: Schema version of the :meth:`ExecutionReport.to_dict` payload.
+REPORT_SCHEMA_VERSION = 1
+
+#: JSON Schema (draft 2020-12) of one serialised execution report.
+REPORT_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": "https://example.invalid/repro-muss-ti/execution-report.schema.json",
+    "title": "repro execution report",
+    "type": "object",
+    "required": [
+        "schema_version",
+        "circuit_name",
+        "compiler_name",
+        "num_qubits",
+        "shuttle_count",
+        "split_count",
+        "merge_count",
+        "chain_swap_count",
+        "one_qubit_gate_count",
+        "two_qubit_gate_count",
+        "fiber_gate_count",
+        "inserted_swap_count",
+        "remote_swap_count",
+        "execution_time_us",
+        "makespan_us",
+        "log10_fidelity",
+        "zone_heat",
+        "compile_time_s",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "schema_version": {"const": REPORT_SCHEMA_VERSION},
+        "circuit_name": {"type": "string", "minLength": 1},
+        "compiler_name": {"type": "string", "minLength": 1},
+        "num_qubits": {"type": "integer", "minimum": 1},
+        "shuttle_count": {"type": "integer", "minimum": 0},
+        "split_count": {"type": "integer", "minimum": 0},
+        "merge_count": {"type": "integer", "minimum": 0},
+        "chain_swap_count": {"type": "integer", "minimum": 0},
+        "one_qubit_gate_count": {"type": "integer", "minimum": 0},
+        "two_qubit_gate_count": {"type": "integer", "minimum": 0},
+        "fiber_gate_count": {"type": "integer", "minimum": 0},
+        "inserted_swap_count": {"type": "integer", "minimum": 0},
+        "remote_swap_count": {"type": "integer", "minimum": 0},
+        "execution_time_us": {"type": "number", "minimum": 0},
+        "makespan_us": {"type": "number", "minimum": 0},
+        "log10_fidelity": {"type": "number", "maximum": 0},
+        "zone_heat": {
+            "type": "object",
+            "additionalProperties": {"type": "number", "minimum": 0},
+        },
+        "compile_time_s": {"type": "number", "minimum": 0},
+    },
+}
 
 
 @dataclass(frozen=True)
@@ -64,6 +127,34 @@ class ExecutionReport:
         exponent = math.floor(self.log10_fidelity)
         mantissa = 10.0 ** (self.log10_fidelity - exponent)
         return f"{mantissa:.1f}e{exponent:+03d}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload, validated against :data:`REPORT_SCHEMA`.
+
+        ``zone_heat`` keys become strings (JSON objects key on strings);
+        :meth:`from_dict` restores them to ints.
+        """
+        payload = asdict(self)
+        payload["zone_heat"] = {
+            str(zone_id): heat for zone_id, heat in self.zone_heat.items()
+        }
+        payload = {"schema_version": REPORT_SCHEMA_VERSION, **payload}
+        validate(payload, REPORT_SCHEMA)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExecutionReport":
+        """Inverse of :meth:`to_dict`; validates before constructing.
+
+        Raises :class:`repro.schema.SchemaError` on a malformed payload.
+        """
+        payload = dict(payload)
+        validate(payload, REPORT_SCHEMA)
+        payload.pop("schema_version")
+        payload["zone_heat"] = {
+            int(zone_id): heat for zone_id, heat in payload["zone_heat"].items()
+        }
+        return cls(**payload)
 
     def summary(self) -> str:
         """Multi-line human-readable report."""

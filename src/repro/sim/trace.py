@@ -8,7 +8,18 @@ artifacts:
   for external tooling and regression diffing.
 * :func:`render_timeline` — a per-zone ASCII Gantt chart of the first ops of
   a schedule, which makes scheduling pathologies (ping-pong, eviction
-  storms) visible at a glance.
+  storms) visible at a glance.  ``repro trace <workload> <machine>`` prints
+  it from the shell.
+
+Both are views over the timed-event ledger
+(:meth:`repro.sim.events.EventLedger.records`): the op kinds, durations
+and start/end times come from the same replay + pricing folds the
+executor uses, so a trace can never disagree with the report it
+accompanies.  This module carries no duration tables of its own.
+Every function here accepts either a :class:`~repro.sim.program.Program`
+(replayed on the spot) or an already-replayed
+:class:`~repro.sim.events.EventLedger` — pass the ledger when producing
+several views of one schedule, so the legality-checked replay runs once.
 """
 
 from __future__ import annotations
@@ -16,118 +27,40 @@ from __future__ import annotations
 import json
 
 from ..physics import PhysicalParams
-from ..physics.timing import move_duration_us
-from .ops import (
-    ChainSwapOp,
-    FiberGateOp,
-    GateOp,
-    MergeOp,
-    MoveOp,
-    SplitOp,
-    SwapGateOp,
-)
+from .events import EventLedger, replay
 from .program import Program
 
 
-def _op_fields(op, params: PhysicalParams) -> tuple[str, float, tuple[int, ...], tuple[int, ...]]:
-    """(kind, duration, qubits, zones) for any schedule op."""
-    move_time = move_duration_us(params.inter_zone_distance_um, params)
-    if isinstance(op, SplitOp):
-        return "split", params.split_time_us, (op.qubit,), (op.zone,)
-    if isinstance(op, MoveOp):
-        return (
-            "move",
-            move_time,
-            (op.qubit,),
-            (op.source_zone, op.destination_zone),
-        )
-    if isinstance(op, MergeOp):
-        return "merge", params.merge_time_us, (op.qubit,), (op.zone,)
-    if isinstance(op, ChainSwapOp):
-        return "chain_swap", params.chain_swap_time_us, (), (op.zone,)
-    if isinstance(op, GateOp):
-        duration = (
-            params.one_qubit_gate_time_us
-            if op.gate.is_one_qubit
-            else params.two_qubit_gate_time_us
-        )
-        return f"gate:{op.gate.name}", duration, op.gate.qubits, (op.zone,)
-    if isinstance(op, FiberGateOp):
-        return (
-            f"fiber:{op.gate.name}",
-            params.fiber_gate_time_us,
-            op.gate.qubits,
-            (op.zone_a, op.zone_b),
-        )
-    if isinstance(op, SwapGateOp):
-        duration = 3 * (
-            params.fiber_gate_time_us
-            if op.is_remote
-            else params.two_qubit_gate_time_us
-        )
-        return (
-            "swap_insert",
-            duration,
-            (op.qubit_a, op.qubit_b),
-            (op.zone_a, op.zone_b),
-        )
-    raise TypeError(f"unknown op type {type(op).__name__}")
+def _as_ledger(source: Program | EventLedger) -> EventLedger:
+    return source if isinstance(source, EventLedger) else replay(source)
 
 
 def program_to_records(
-    program: Program, params: PhysicalParams | None = None
+    program: Program | EventLedger, params: PhysicalParams | None = None
 ) -> list[dict]:
-    """Flatten a program into timed, JSON-serialisable op records.
+    """Flatten a program (or replayed ledger) into timed op records.
 
     Start times follow the executor's resource model: an op starts when its
-    qubits and zones are all free.
+    qubits and zones are all free (one-qubit gates do not occupy their
+    zone).  Passing a program replays it first, validating legality
+    exactly like the executor; passing a ledger skips the replay.
     """
-    params = params or PhysicalParams()
-    qubit_ready: dict[int, float] = {}
-    zone_ready: dict[int, float] = {}
-    records = []
-    for index, op in enumerate(program.operations):
-        kind, duration, qubits, zones = _op_fields(op, params)
-        # Match the executor's resource model exactly: one-qubit gates do
-        # not occupy their zone (other work may proceed around them).
-        blocking_zones = (
-            ()
-            if isinstance(op, GateOp) and op.gate.is_one_qubit
-            else zones
-        )
-        start = 0.0
-        for qubit in qubits:
-            start = max(start, qubit_ready.get(qubit, 0.0))
-        for zone in blocking_zones:
-            start = max(start, zone_ready.get(zone, 0.0))
-        end = start + duration
-        for qubit in qubits:
-            qubit_ready[qubit] = end
-        for zone in blocking_zones:
-            zone_ready[zone] = end
-        records.append(
-            {
-                "index": index,
-                "kind": kind,
-                "qubits": list(qubits),
-                "zones": list(zones),
-                "start_us": start,
-                "duration_us": duration,
-                "end_us": end,
-            }
-        )
-    return records
+    return _as_ledger(program).records(params)
 
 
-def save_trace(program: Program, path: str, params: PhysicalParams | None = None) -> None:
+def save_trace(
+    program: Program | EventLedger,
+    path: str,
+    params: PhysicalParams | None = None,
+) -> None:
     """Write the timed op records to a JSON file."""
-    records = program_to_records(program, params)
+    ledger = _as_ledger(program)
     payload = {
-        "circuit": program.circuit.name,
-        "compiler": program.compiler_name,
-        "num_qubits": program.circuit.num_qubits,
-        "shuttle_count": program.shuttle_count,
-        "operations": records,
+        "circuit": ledger.program.circuit.name,
+        "compiler": ledger.program.compiler_name,
+        "num_qubits": ledger.program.circuit.num_qubits,
+        "shuttle_count": ledger.program.shuttle_count,
+        "operations": ledger.records(params),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1)
@@ -143,7 +76,7 @@ _GLYPHS = {
 
 
 def render_timeline(
-    program: Program,
+    program: Program | EventLedger,
     params: PhysicalParams | None = None,
     *,
     width: int = 72,
@@ -154,7 +87,9 @@ def render_timeline(
     Gates render as ``G`` (local) / ``F`` (fiber), shuttle stages as
     ``s > m``, chain swaps as ``x`` and inserted SWAPs as ``S``.
     """
-    records = program_to_records(program, params)
+    ledger = _as_ledger(program)
+    program = ledger.program
+    records = ledger.records(params)
     if not records:
         return "(empty schedule)"
     horizon = max_time_us or max(record["end_us"] for record in records)

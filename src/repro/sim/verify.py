@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from ..circuits import DependencyGraph
 from ..physics import PhysicalParams
-from .executor import ExecutionError, execute
+from .events import ExecutionError, replay
 from .ops import FiberGateOp, GateOp
 from .program import Program
 
@@ -30,14 +30,27 @@ class VerificationError(RuntimeError):
 
 
 def verify_program(program: Program, params: PhysicalParams | None = None) -> None:
-    """Raise :class:`VerificationError` unless the program is fully valid."""
-    # Layer 1: physical legality (delegated to the executor's replay).
+    """Raise :class:`VerificationError` unless the program is fully valid.
+
+    Layer 1 replays the op stream once (:func:`repro.sim.events.replay`)
+    and additionally checks the program is *priceable* under ``params``
+    (no entangler's ``1 - εN²`` fidelity collapses to zero) — exactly
+    the failures :func:`~repro.sim.execute` would raise, without paying
+    for a pricing fold.
+    """
+    # Layer 1: physical legality + priceability (the ledger's replay).
     try:
-        execute(program, params)
+        replay(program).verify_priceable(params)
     except (ExecutionError, ValueError) as exc:
         raise VerificationError(f"physical legality: {exc}") from exc
 
-    # Layer 2: logical equivalence against the dependency DAG.
+    verify_logical(program)
+
+
+def verify_logical(program: Program) -> None:
+    """Layer 2 alone: the op stream realises the circuit (dependency
+    order, gate identity, completeness).  Assumes legality was already
+    established via :func:`repro.sim.events.replay`."""
     dag = DependencyGraph(program.circuit)
     executed: set[int] = set()
     for op in program.operations:

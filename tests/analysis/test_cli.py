@@ -313,3 +313,132 @@ class TestMachineCommands:
     def test_machine_show_missing_file_is_clean_error(self, capsys):
         assert main(["machine", "show", "file:/does/not/exist.json"]) == 2
         assert "cannot read machine file" in capsys.readouterr().err
+
+
+class TestPhysicsFlag:
+    def test_compile_with_physics_profile(self, capsys):
+        code = main(
+            ["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--physics", "perfect-shuttle"]
+        )
+        assert code == 0
+        assert "GHZ_n16 via MUSS-TI" in capsys.readouterr().out
+
+    def test_physics_override_changes_the_report(self, capsys):
+        main(["compile", "GHZ_n16", "--machine", "grid:2x2:8"])
+        base = capsys.readouterr().out
+        main(
+            [
+                "compile",
+                "GHZ_n16",
+                "--machine",
+                "grid:2x2:8",
+                "--physics",
+                "table1?heating_rate=0.5",
+            ]
+        )
+        heated = capsys.readouterr().out
+        line = next(l for l in base.splitlines() if "fidelity" in l)
+        heated_line = next(l for l in heated.splitlines() if "fidelity" in l)
+        assert line != heated_line
+
+    def test_unknown_physics_profile_is_clean_error(self, capsys):
+        code = main(
+            ["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--physics", "nope"]
+        )
+        assert code == 2
+        assert "unknown physics profile" in capsys.readouterr().err
+
+    def test_bad_physics_option_is_clean_error(self, capsys):
+        code = main(
+            [
+                "compile",
+                "GHZ_n16",
+                "--machine",
+                "grid:2x2:8",
+                "--physics",
+                "table1?split_time_us=-1",
+            ]
+        )
+        assert code == 2
+        assert "split_time_us" in capsys.readouterr().err
+
+    def test_compare_accepts_physics(self, capsys):
+        assert main(["compare", "GHZ_n16", "--physics", "perfect-gate"]) == 0
+        assert "MUSS-TI" in capsys.readouterr().out
+
+    def test_compile_help_lists_physics_profiles(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["compile", "--help"])
+        out = capsys.readouterr().out
+        assert "--physics" in out
+        for name in ("table1", "perfect-gate", "perfect-shuttle"):
+            assert name in out
+
+
+class TestCompileJson:
+    def test_json_report_round_trips(self, capsys):
+        import json as jsonlib
+
+        from repro.sim import ExecutionReport
+
+        code = main(["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--json"])
+        assert code == 0
+        payload = jsonlib.loads(capsys.readouterr().out)
+        report = ExecutionReport.from_dict(payload)
+        assert report.circuit_name == "GHZ_n16"
+        assert report.compiler_name == "MUSS-TI"
+
+    def test_json_rejects_display_flags(self, capsys):
+        code = main(
+            ["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--json", "--breakdown"]
+        )
+        assert code == 2
+        assert "--json" in capsys.readouterr().err
+
+    def test_json_respects_physics(self, capsys):
+        import json as jsonlib
+
+        main(["compile", "GHZ_n16", "--machine", "grid:2x2:8", "--json"])
+        base = jsonlib.loads(capsys.readouterr().out)
+        main(
+            [
+                "compile",
+                "GHZ_n16",
+                "--machine",
+                "grid:2x2:8",
+                "--json",
+                "--physics",
+                "table1?heating_rate=0.5",
+            ]
+        )
+        heated = jsonlib.loads(capsys.readouterr().out)
+        assert heated["log10_fidelity"] < base["log10_fidelity"]
+
+
+class TestTraceCommand:
+    def test_trace_prints_timeline(self, capsys):
+        assert main(["trace", "GHZ_n16", "grid:2x2:8"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline: GHZ_n16 via MUSS-TI" in out
+        assert "legend" in out
+
+    def test_trace_width(self, capsys):
+        assert main(["trace", "GHZ_n16", "grid:2x2:8", "--width", "40"]) == 0
+        lane = capsys.readouterr().out.splitlines()[1]
+        assert len(lane.split("|")[1]) == 40
+
+    def test_trace_writes_json(self, capsys, tmp_path):
+        import json as jsonlib
+
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "GHZ_n16", "grid:2x2:8", "--output", str(out_path)])
+        assert code == 0
+        payload = jsonlib.loads(out_path.read_text())
+        assert payload["circuit"] == "GHZ_n16"
+        assert payload["operations"]
+
+    def test_trace_bad_machine_is_clean_error(self, capsys):
+        assert main(["trace", "GHZ_n16", "grid:nope"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,172 @@
+"""Bench payload comparison tests: the perf-regression guard."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import compare_payloads, run_compare, worst_regression
+from repro.cli import main
+
+
+def make_payload(cells: list[dict]) -> dict:
+    return {
+        "schema_version": 2,
+        "created_utc": "2026-07-29T00:00:00Z",
+        "grid": "micro",
+        "repeats": 3,
+        "environment": {"python": "3.12.0", "platform": "test"},
+        "cells": cells,
+    }
+
+
+def make_cell(**overrides) -> dict:
+    cell = {
+        "workload": "GHZ_n32",
+        "machine": "grid:2x2:12",
+        "compiler": "muss-ti",
+        "compile_s": 1.0,
+        "execute_s": 0.5,
+        "total_s": 1.5,
+        "operations": 100,
+        "shuttles": 5,
+        "makespan_us": 1000.0,
+        "log10_fidelity": -1.0,
+    }
+    cell.update(overrides)
+    return cell
+
+
+@pytest.fixture
+def baseline() -> dict:
+    return make_payload(
+        [
+            make_cell(),
+            make_cell(workload="QFT_n64", compile_s=2.0, total_s=2.5),
+        ]
+    )
+
+
+class TestComparePayloads:
+    def test_matched_cells_carry_deltas(self, baseline):
+        new = copy.deepcopy(baseline)
+        new["cells"][0]["total_s"] = 3.0
+        rows = compare_payloads(baseline, new)
+        matched = [row for row in rows if row["status"] == "matched"]
+        assert len(matched) == 2
+        assert matched[0]["total_s"]["delta_pct"] == pytest.approx(100.0)
+        assert matched[1]["total_s"]["delta_pct"] == pytest.approx(0.0)
+
+    def test_new_and_gone_cells_reported(self, baseline):
+        new = copy.deepcopy(baseline)
+        del new["cells"][1]
+        new["cells"].append(make_cell(workload="BV_n64"))
+        statuses = {
+            row["key"][0]: row["status"]
+            for row in compare_payloads(baseline, new)
+        }
+        assert statuses["QFT_n64"] == "gone"
+        assert statuses["BV_n64"] == "new"
+        assert statuses["GHZ_n32"] == "matched"
+
+    def test_reprice_mode_is_part_of_cell_identity(self, baseline):
+        new = copy.deepcopy(baseline)
+        new["cells"].append(
+            make_cell(
+                mode="reprice", profiles=12, reexecute_s=0.4, speedup=4.0
+            )
+        )
+        rows = compare_payloads(baseline, new)
+        new_rows = [row for row in rows if row["status"] == "new"]
+        assert len(new_rows) == 1
+        assert new_rows[0]["key"][-1] == "reprice"
+
+
+class TestWorstRegression:
+    def test_picks_the_largest_delta(self, baseline):
+        new = copy.deepcopy(baseline)
+        new["cells"][0]["total_s"] = 1.65  # +10%
+        new["cells"][1]["total_s"] = 5.0  # +100%
+        worst, key = worst_regression(compare_payloads(baseline, new))
+        assert worst == pytest.approx(100.0)
+        assert key[0] == "QFT_n64"
+
+    def test_min_seconds_floor_skips_noise_cells(self, baseline):
+        noisy = copy.deepcopy(baseline)
+        noisy["cells"][0]["total_s"] = 0.001  # 1 ms baseline: pure noise
+        new = copy.deepcopy(noisy)
+        new["cells"][0]["total_s"] = 0.004  # "+300%" of nothing
+        worst, key = worst_regression(
+            compare_payloads(noisy, new), min_seconds=0.05
+        )
+        assert key[0] == "QFT_n64"
+        assert worst == pytest.approx(0.0)
+
+
+class TestRunCompare:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_ok_within_budget(self, baseline, tmp_path):
+        old = self.write(tmp_path, "old.json", baseline)
+        new_payload = copy.deepcopy(baseline)
+        new_payload["cells"][0]["total_s"] = 1.6
+        new = self.write(tmp_path, "new.json", new_payload)
+        text, code = run_compare(old, new, fail_over_pct=50)
+        assert code == 0
+        assert "OK" in text
+
+    def test_guard_trips_over_budget(self, baseline, tmp_path):
+        old = self.write(tmp_path, "old.json", baseline)
+        new_payload = copy.deepcopy(baseline)
+        new_payload["cells"][0]["total_s"] = 4.5  # +200%
+        new = self.write(tmp_path, "new.json", new_payload)
+        text, code = run_compare(old, new, fail_over_pct=50)
+        assert code == 1
+        assert "FAIL" in text
+
+    def test_nothing_to_judge_fails_loudly(self, baseline, tmp_path):
+        old = self.write(tmp_path, "old.json", baseline)
+        other = make_payload([make_cell(workload="BV_n299")])
+        new = self.write(tmp_path, "new.json", other)
+        text, code = run_compare(old, new, fail_over_pct=50)
+        assert code == 2
+        assert "no matching cells" in text
+
+    def test_schema_invalid_payload_rejected(self, baseline, tmp_path):
+        old = self.write(tmp_path, "old.json", baseline)
+        bad = self.write(tmp_path, "bad.json", {"schema_version": 2})
+        with pytest.raises(ValueError):
+            run_compare(old, bad)
+
+    def test_accepts_version_one_baselines(self, baseline, tmp_path):
+        v1 = copy.deepcopy(baseline)
+        v1["schema_version"] = 1
+        old = self.write(tmp_path, "old.json", v1)
+        new = self.write(tmp_path, "new.json", baseline)
+        _, code = run_compare(old, new, fail_over_pct=50)
+        assert code == 0
+
+
+class TestCompareCli:
+    def test_cli_round_trip(self, baseline, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(baseline))
+        code = main(
+            ["bench", "compare", str(old), str(old), "--fail-over", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Microbenchmark comparison" in out
+        assert "OK" in out
+
+    def test_cli_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["bench", "compare", str(tmp_path / "nope.json"), str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -42,6 +42,44 @@ class TestMicroGrid:
             micro.run_micro(repeats=0)
 
 
+class TestRepriceCell:
+    def test_grid_carries_a_reprice_cell(self):
+        modes = [cell.get("mode") for cell in micro.MICRO_GRID]
+        assert "reprice" in modes
+
+    def test_reprice_profiles_resolve_and_span_the_counterfactuals(self):
+        from repro.physics import resolve_physics
+
+        assert len(micro.REPRICE_PROFILES) >= 12
+        for spec in micro.REPRICE_PROFILES:
+            resolve_physics(spec)  # does not raise
+        assert {"perfect-gate", "perfect-shuttle"} <= {
+            spec.split("?")[0] for spec in micro.REPRICE_PROFILES
+        }
+
+    @pytest.fixture(scope="class")
+    def reprice_payload(self):
+        return micro.run_micro(repeats=1, cell_filter="mode=reprice")
+
+    def test_reprice_cell_records_both_arms(self, reprice_payload):
+        payload = reprice_payload
+        micro.validate_payload(payload)
+        (row,) = payload["cells"]
+        assert row["mode"] == "reprice"
+        assert row["profiles"] == len(micro.REPRICE_PROFILES)
+        assert row["execute_s"] > 0 and row["reexecute_s"] > 0
+        assert row["speedup"] > 0
+        # compile_s/execute_s/total_s round independently to 6 decimals.
+        assert row["total_s"] == pytest.approx(
+            row["compile_s"] + row["execute_s"], abs=2e-6
+        )
+
+    def test_reprice_render_mentions_speedup(self, reprice_payload):
+        text = micro.render(reprice_payload)
+        assert "replay-once/price-many" in text
+        assert "[reprice]" in text
+
+
 class TestPayloadSchema:
     @pytest.fixture(scope="class")
     def payload(self):

@@ -4,6 +4,9 @@ Two classes of output are pinned byte-for-byte:
 
 * ``repro machine render`` — the ASCII zone maps of representative
   registered topologies, captured through the real CLI entry point.
+* ``repro trace`` — the per-zone ASCII timelines of representative
+  schedules, which pin both the scheduler's op stream and the event
+  ledger's timing fold (durations, start times, resource blocking).
 * The experiment-driver stdout tables (table2 / fig6 / fig8) on reduced,
   fully deterministic subsets — every pinned column (shuttle counts,
   execution times, fidelities) is a pure function of the scheduler, so
@@ -62,6 +65,23 @@ class TestMachineRenderGoldens:
         assert main(["machine", "render", RENDER_SPECS[name]]) == 0
         out = capsys.readouterr().out
         check_golden(f"machine_render_{name}.txt", out, update_goldens)
+
+
+#: name -> (benchmark, machine spec, extra CLI flags).
+TRACE_SPECS = {
+    "ghz32_grid": ("GHZ_n32", "grid:2x2:12", ()),
+    "bv16_eml2": ("BV_n16", "eml?capacity=4&module_limit=8&modules=2", ()),
+    "ghz32_grid_narrow": ("GHZ_n32", "grid:2x2:12", ("--width", "40")),
+}
+
+
+class TestTraceGoldens:
+    @pytest.mark.parametrize("name", sorted(TRACE_SPECS))
+    def test_trace(self, name: str, capsys, update_goldens: bool) -> None:
+        benchmark, machine, flags = TRACE_SPECS[name]
+        assert main(["trace", benchmark, machine, *flags]) == 0
+        out = capsys.readouterr().out
+        check_golden(f"trace_{name}.txt", out, update_goldens)
 
 
 class TestExperimentTableGoldens:

@@ -1,0 +1,126 @@
+"""Physics-profile registry tests: specs, canonicalisation, overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.physics import (
+    PhysicalParams,
+    PhysicsRegistry,
+    available_physics,
+    canonical_physics_spec,
+    default_physics_registry,
+    resolve_physics,
+)
+
+
+class TestBuiltinProfiles:
+    def test_builtins_registered(self):
+        assert {"table1", "perfect-gate", "perfect-shuttle"} <= set(
+            available_physics()
+        )
+
+    def test_table1_is_the_default_params(self):
+        assert resolve_physics("table1") == PhysicalParams()
+
+    def test_none_resolves_to_table1(self):
+        assert resolve_physics(None) == PhysicalParams()
+
+    def test_perfect_profiles_match_param_constructors(self):
+        assert resolve_physics("perfect-gate") == PhysicalParams().perfect_gate()
+        assert (
+            resolve_physics("perfect-shuttle")
+            == PhysicalParams().perfect_shuttle()
+        )
+
+    def test_params_instance_passes_through(self):
+        params = PhysicalParams(heating_rate=0.5)
+        assert resolve_physics(params) is params
+
+    def test_describe_mentions_every_profile(self):
+        text = default_physics_registry().describe()
+        for name in available_physics():
+            assert name in text
+
+
+class TestOverrides:
+    def test_field_override(self):
+        params = resolve_physics("table1?heating_rate=0.5")
+        assert params.heating_rate == 0.5
+        assert params.split_time_us == PhysicalParams().split_time_us
+
+    def test_override_composes_with_profile(self):
+        params = resolve_physics("perfect-shuttle?fiber_gate_fidelity=0.95")
+        assert params.move_nbar == 0.0  # from the profile
+        assert params.fiber_gate_fidelity == 0.95  # from the override
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown physics profile"):
+            resolve_physics("perfect-everything")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown physics option"):
+            resolve_physics("table1?warp_factor=9")
+
+    def test_bad_value_rejected_at_parse_time(self):
+        with pytest.raises(ValueError, match="split_time_us"):
+            resolve_physics("table1?split_time_us=-1")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            resolve_physics("table1?heating_rate=hot")
+
+    def test_positional_segments_rejected(self):
+        with pytest.raises(ValueError, match="no positional segments"):
+            resolve_physics("table1:0.5")
+
+
+class TestCanonicalisation:
+    def test_bare_profile_is_canonical(self):
+        assert canonical_physics_spec("table1") == "table1"
+
+    def test_profile_default_values_drop(self):
+        assert canonical_physics_spec("table1?heating_rate=0.001") == "table1"
+
+    def test_non_default_values_stay_sorted(self):
+        spec = "table1?merge_time_us=90&heating_rate=0.5"
+        assert (
+            canonical_physics_spec(spec)
+            == "table1?heating_rate=0.5&merge_time_us=90"
+        )
+
+    def test_canonical_specs_resolve_equal(self):
+        for spec in ("table1?heating_rate=0.5", "perfect-gate"):
+            assert resolve_physics(canonical_physics_spec(spec)) == resolve_physics(
+                spec
+            )
+
+
+class TestRegistryMechanics:
+    def test_duplicate_registration_rejected(self):
+        registry = PhysicsRegistry()
+        registry.register("custom")(lambda: PhysicalParams())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("custom")(lambda: PhysicalParams())
+
+    def test_invalid_name_rejected(self):
+        registry = PhysicsRegistry()
+        with pytest.raises(ValueError, match="invalid physics profile name"):
+            registry.register("?bad")(lambda: PhysicalParams())
+
+    def test_builder_must_return_params(self):
+        registry = PhysicsRegistry()
+        registry.register("broken")(lambda: 42)
+        with pytest.raises(TypeError, match="must return PhysicalParams"):
+            registry.resolve("broken")
+
+    def test_custom_profile_round_trips(self):
+        registry = PhysicsRegistry()
+
+        @registry.register("cold", summary="10x slower heating")
+        def build_cold() -> PhysicalParams:
+            return PhysicalParams(heating_rate=0.0001)
+
+        assert registry.resolve("cold").heating_rate == 0.0001
+        # The profile's own value is the canonical default now.
+        assert registry.canonical("cold?heating_rate=0.0001") == "cold"

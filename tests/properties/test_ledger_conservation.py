@@ -1,0 +1,161 @@
+"""Property-based ledger conservation (hypothesis).
+
+Random circuits x random *registered* machines, compiled with MUSS-TI,
+then the timed-event ledger's conservation laws — the invariants that
+make one pricing engine trustworthy for executor, breakdown, trace and
+physics sweeps alike:
+
+* folding every event's per-channel charges (in order) reproduces the
+  executor's ``log10_fidelity`` **exactly** (same floats, same order),
+* event durations sum exactly to ``execution_time_us``,
+* ``fidelity_breakdown`` equals the per-channel event fold, category by
+  category,
+* ``reprice`` on the ledger equals ``execute`` on the program, field for
+  field, under the real and idealised physics profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.circuits import QuantumCircuit
+from repro.core.state import RoutingError
+from repro.hardware import resolve_machine
+from repro.physics import resolve_physics
+from repro.sim import execute, fidelity_breakdown, replay
+
+_LOG10_E = math.log10(math.e)
+
+# ---------------------------------------------------------------------------
+# Strategies (mirrors tests/properties/test_scheduler_invariants.py)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def circuits(draw, max_qubits: int = 16, max_gates: int = 40) -> QuantumCircuit:
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    circuit = QuantumCircuit(num_qubits, name="prop")
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            circuit.h(draw(st.integers(0, num_qubits - 1)))
+        elif kind == 1:
+            circuit.rz(
+                draw(st.floats(-3.14, 3.14)), draw(st.integers(0, num_qubits - 1))
+            )
+        else:
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            circuit.cx(a, b)
+    return circuit
+
+
+@st.composite
+def machine_specs(draw) -> str:
+    kind = draw(st.sampled_from(("grid", "eml", "ring", "chain", "star")))
+    capacity = draw(st.integers(min_value=4, max_value=10))
+    if kind == "grid":
+        rows = draw(st.integers(min_value=1, max_value=3))
+        cols = draw(st.integers(min_value=2, max_value=3))
+        return f"grid:{rows}x{cols}:{capacity}"
+    if kind == "eml":
+        modules = draw(st.integers(min_value=1, max_value=3))
+        limit = draw(st.integers(min_value=8, max_value=16))
+        return f"eml?modules={modules}&capacity={capacity}&module_limit={limit}"
+    if kind == "ring":
+        traps = draw(st.integers(min_value=3, max_value=6))
+        return f"ring:{traps}:{capacity}"
+    if kind == "chain":
+        traps = draw(st.integers(min_value=2, max_value=6))
+        return f"chain:{traps}:{capacity}"
+    leaves = draw(st.integers(min_value=1, max_value=3))
+    return f"star:1+{leaves}:{capacity}?module_limit=12"
+
+
+PROFILE_SPECS = ("table1", "perfect-gate", "perfect-shuttle")
+
+
+def schedulable(machine, circuit: QuantumCircuit) -> bool:
+    limit = getattr(machine, "module_qubit_limit", None)
+    usable = 0
+    for module_id in range(machine.num_modules):
+        space = sum(
+            zone.capacity
+            for zone in machine.zones
+            if zone.module_id == module_id
+        )
+        usable += min(space, limit) if limit is not None else space
+    return usable >= circuit.num_qubits + machine.num_modules
+
+
+def compile_or_reject(circuit, machine):
+    try:
+        return repro.compile(circuit, machine, compiler="muss-ti").program
+    except RoutingError:
+        assume(False)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+class TestLedgerConservation:
+    @given(circuits(), machine_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_charges_and_durations_fold_to_the_report(self, circuit, spec):
+        machine = resolve_machine(spec, circuit.num_qubits)
+        assume(schedulable(machine, circuit))
+        program = compile_or_reject(circuit, machine)
+        report = execute(program)
+        events = replay(program).events()
+
+        log_total = 0.0
+        duration_total = 0.0
+        per_channel: dict[str, float] = {}
+        for event in events:
+            duration_total += event.duration_us
+            for channel, value in event.charges:
+                log_total += value
+                per_channel[channel] = per_channel.get(channel, 0.0) + value
+
+        # Exact equality, not approx: the fold replays the executor's
+        # own float additions in the executor's own order.
+        assert log_total * _LOG10_E == report.log10_fidelity
+        assert duration_total == report.execution_time_us
+
+        # The breakdown is the same fold grouped by channel: exact again.
+        breakdown = fidelity_breakdown(program)
+        for channel, value in breakdown.items():
+            assert value == per_channel.get(channel, 0.0) * _LOG10_E
+
+    @given(circuits(max_qubits=12), machine_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_reprice_equals_execute_under_every_profile(self, circuit, spec):
+        machine = resolve_machine(spec, circuit.num_qubits)
+        assume(schedulable(machine, circuit))
+        program = compile_or_reject(circuit, machine)
+        ledger = replay(program)
+        for profile in PROFILE_SPECS:
+            params = resolve_physics(profile)
+            assert asdict(ledger.reprice(params)) == asdict(
+                execute(program, params)
+            )
+
+    @given(circuits(max_qubits=10), machine_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_is_the_latest_event_end(self, circuit, spec):
+        machine = resolve_machine(spec, circuit.num_qubits)
+        assume(schedulable(machine, circuit))
+        program = compile_or_reject(circuit, machine)
+        events = replay(program).events()
+        assume(events)
+        assert max(e.end_us for e in events) == execute(program).makespan_us

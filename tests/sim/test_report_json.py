@@ -1,0 +1,80 @@
+"""ExecutionReport JSON round trip: schema-validated to_dict/from_dict."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import MussTiCompiler
+from repro.schema import SchemaError
+from repro.sim import REPORT_SCHEMA, ExecutionReport, execute
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def report() -> ExecutionReport:
+    from repro.hardware import QCCDGridMachine
+
+    program = MussTiCompiler().compile(
+        get_benchmark("GHZ_n32"), QCCDGridMachine(2, 2, 12)
+    )
+    return execute(program)
+
+
+class TestRoundTrip:
+    def test_round_trip_is_lossless(self, report):
+        assert ExecutionReport.from_dict(report.to_dict()) == report
+
+    def test_payload_is_json_serialisable(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert ExecutionReport.from_dict(payload) == report
+
+    def test_zone_heat_keys_restored_to_ints(self, report):
+        payload = report.to_dict()
+        assert all(isinstance(key, str) for key in payload["zone_heat"])
+        rebuilt = ExecutionReport.from_dict(payload)
+        assert all(isinstance(key, int) for key in rebuilt.zone_heat)
+        assert rebuilt.zone_heat == report.zone_heat
+
+    def test_payload_validates_under_jsonschema_when_available(self, report):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(report.to_dict(), REPORT_SCHEMA)
+
+
+class TestValidation:
+    def test_missing_field_rejected(self, report):
+        payload = report.to_dict()
+        del payload["shuttle_count"]
+        with pytest.raises(SchemaError):
+            ExecutionReport.from_dict(payload)
+
+    def test_wrong_type_rejected(self, report):
+        payload = report.to_dict()
+        payload["execution_time_us"] = "fast"
+        with pytest.raises(SchemaError):
+            ExecutionReport.from_dict(payload)
+
+    def test_positive_log_fidelity_rejected(self, report):
+        payload = report.to_dict()
+        payload["log10_fidelity"] = 0.5
+        with pytest.raises(SchemaError):
+            ExecutionReport.from_dict(payload)
+
+    def test_unknown_field_rejected(self, report):
+        payload = report.to_dict()
+        payload["vibes"] = "good"
+        with pytest.raises(SchemaError):
+            ExecutionReport.from_dict(payload)
+
+    def test_stale_schema_version_rejected(self, report):
+        payload = report.to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(SchemaError):
+            ExecutionReport.from_dict(payload)
+
+    def test_negative_zone_heat_rejected(self, report):
+        payload = report.to_dict()
+        payload["zone_heat"]["0"] = -1.0
+        with pytest.raises(SchemaError):
+            ExecutionReport.from_dict(payload)

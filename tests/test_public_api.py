@@ -35,7 +35,20 @@ class TestTopLevelExports:
         assert MussTiCompiler.name == "MUSS-TI"
 
     def test_version(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
+
+    def test_ledger_and_physics_registry_exports(self):
+        from repro import (  # noqa: F401
+            EventLedger,
+            TimedEvent,
+            available_physics,
+            price_many,
+            replay,
+            reprice,
+            resolve_physics,
+        )
+
+        assert "table1" in available_physics()
 
 
 class TestQasmFileIO:
