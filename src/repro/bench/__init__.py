@@ -25,8 +25,10 @@ from .cache import ResultCache, config_fingerprint, default_cache_dir
 from .cells import cell_key, describe_cell, matches_filter, parse_filter
 from .compare import (
     compare_payloads,
+    discover_baseline,
     load_payload,
     render_comparison,
+    resolve_baseline,
     run_compare,
     worst_regression,
 )
@@ -44,6 +46,7 @@ from .micro import (
     REPRICE_PROFILES,
     BenchSchemaError,
     default_output_path,
+    merge_payloads,
     micro_cells,
     run_micro,
     validate_payload,
@@ -64,12 +67,15 @@ __all__ = [
     "default_cache_dir",
     "default_output_path",
     "describe_cell",
+    "discover_baseline",
     "experiment_registry",
     "load_payload",
     "matches_filter",
+    "merge_payloads",
     "micro_cells",
     "parse_filter",
     "render_comparison",
+    "resolve_baseline",
     "resolve_experiment",
     "run_compare",
     "run_micro",

@@ -1,22 +1,31 @@
 """Compare two ``BENCH_*.json`` payloads: the perf-regression guard.
 
 ``repro bench compare <old.json> <new.json>`` matches cells by identity
-(workload, machine, compiler, mode), renders a per-cell delta table for
-``compile_s`` / ``execute_s`` / ``total_s``, and — with ``--fail-over
-PCT`` — exits non-zero when any matched cell's ``total_s`` regressed by
-more than PCT percent.  CI runs it after ``repro bench micro --quick``
-against the latest committed ``BENCH_*.json``, so a perf-relevant change
-cannot land without either staying inside the budget or committing a
-fresh baseline that documents the new numbers.
+(workload, machine, compiler, mode), renders a per-cell delta table, and
+— with ``--fail-over PCT`` — exits non-zero when any matched cell's
+guard metric regressed by more than PCT percent.  Metrics are
+mode-aware: compile+execute (and reprice) cells are judged on
+``total_s`` in seconds, service load-generator cells (``serve-cold`` /
+``serve-warm``) on ``p99_ms`` in milliseconds — so scheduler speed and
+service latency live under one guard.
+
+The baseline may be given literally, or as the word ``latest`` (or a
+directory), which auto-discovers the newest committed ``BENCH_*.json``
+by the date in its filename and fails with a clear message when none
+exists.  CI runs the guard after ``repro bench micro --quick`` against
+``latest``, so a perf-relevant change cannot land without either
+staying inside the budget or committing a fresh baseline that documents
+the new numbers.
 
 Cells present in only one payload are listed (``(new)`` / ``(gone)``)
-but never fail the guard; both schema versions of the payload are
+but never fail the guard; every schema version of the payload is
 accepted.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from .micro import validate_payload
@@ -24,11 +33,54 @@ from .micro import validate_payload
 #: Cell-identity fields; ``mode`` defaults to the plain compile+execute cell.
 _KEY_FIELDS = ("workload", "machine", "compiler")
 
-#: Timing fields compared per cell, in table order.
+#: Timing fields compared per compile+execute cell, in table order.
 METRICS = ("compile_s", "execute_s", "total_s")
 
-#: The metric the ``--fail-over`` guard judges.
+#: The metric the ``--fail-over`` guard judges on compile+execute cells.
 GUARD_METRIC = "total_s"
+
+#: Fields compared per service load-generator cell.
+SERVE_METRICS = ("p50_ms", "p99_ms", "throughput_rps")
+
+#: The metric the guard judges on serve cells (throughput is shown but
+#: not judged: its good direction is up, and p99 already covers it).
+SERVE_GUARD_METRIC = "p99_ms"
+
+#: Filename pattern of a committed, dated baseline.
+_BASELINE_RE = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})\.json$")
+
+
+def discover_baseline(root: str | Path = ".") -> Path:
+    """The newest committed ``BENCH_<date>.json`` under *root*, by the
+    date in the filename.
+
+    Raises :class:`ValueError` with an actionable message when no dated
+    baseline exists — a mis-wired CI guard must fail loudly, not pass
+    vacuously.
+    """
+    root = Path(root)
+    candidates = [
+        path
+        for path in root.glob("BENCH_*.json")
+        if _BASELINE_RE.match(path.name)
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no committed BENCH_<date>.json baseline found under {str(root)!r} "
+            "— run 'repro bench micro' and commit the result, or pass an "
+            "explicit baseline path"
+        )
+    return max(candidates, key=lambda path: _BASELINE_RE.match(path.name).group(1))
+
+
+def resolve_baseline(old_path: str | Path) -> Path | str:
+    """Resolve the ``old`` argument: ``latest`` (or a directory) means
+    auto-discovery; anything else passes through untouched."""
+    if str(old_path) == "latest":
+        return discover_baseline(".")
+    if Path(old_path).is_dir():
+        return discover_baseline(old_path)
+    return old_path
 
 
 def load_payload(path: str | Path) -> dict:
@@ -52,6 +104,19 @@ def _cell_key(cell: dict) -> tuple:
     )
 
 
+def _is_serve_key(key: tuple) -> bool:
+    return key[-1].startswith("serve-")
+
+
+def _metrics_for(key: tuple) -> tuple[str, ...]:
+    return SERVE_METRICS if _is_serve_key(key) else METRICS
+
+
+def guard_metric_for(key: tuple) -> str:
+    """The ``--fail-over`` metric of one cell (mode-aware)."""
+    return SERVE_GUARD_METRIC if _is_serve_key(key) else GUARD_METRIC
+
+
 def _describe_key(key: tuple) -> str:
     workload, machine, _compiler, mode = key
     suffix = f" [{mode}]" if mode != "compile-execute" else ""
@@ -61,8 +126,8 @@ def _describe_key(key: tuple) -> str:
 def compare_payloads(old: dict, new: dict) -> list[dict]:
     """Match cells across two payloads; returns one row dict per cell.
 
-    Matched rows carry ``old``/``new``/``delta_pct`` per metric in
-    :data:`METRICS` (``delta_pct`` is ``(new - old) / old * 100``, or
+    Matched rows carry ``old``/``new``/``delta_pct`` per metric of the
+    cell's mode (``delta_pct`` is ``(new - old) / old * 100``, or
     ``None`` when the old value is zero); unmatched rows carry
     ``status`` ``"new"`` or ``"gone"``.
     """
@@ -75,7 +140,7 @@ def compare_payloads(old: dict, new: dict) -> list[dict]:
             rows.append({"key": key, "status": "gone", "cell": old_cell})
             continue
         row: dict = {"key": key, "status": "matched"}
-        for metric in METRICS:
+        for metric in _metrics_for(key):
             before = old_cell[metric]
             after = new_cell[metric]
             row[metric] = {
@@ -92,32 +157,39 @@ def compare_payloads(old: dict, new: dict) -> list[dict]:
     return rows
 
 
-#: Cells whose baseline ``total_s`` is below this are shown in the table
-#: but not judged by the guard: a 1 ms cell regressing "200%" is timer
-#: noise, not a perf regression.
+#: Cells whose baseline guard value is below this many *seconds* are
+#: shown in the table but not judged by the guard: a 1 ms cell
+#: regressing "200%" is timer noise, not a perf regression.  Serve-cell
+#: p99 values (milliseconds) are converted before the floor applies.
 DEFAULT_MIN_SECONDS = 0.05
+
+
+def _guard_seconds(key: tuple, entry: dict) -> float:
+    """The baseline guard value of one row, in seconds."""
+    return entry["old"] / 1000.0 if _is_serve_key(key) else entry["old"]
 
 
 def worst_regression(
     rows: list[dict],
-    metric: str = GUARD_METRIC,
     *,
     min_seconds: float = 0.0,
 ):
-    """The largest positive ``delta_pct`` across matched rows, with its key.
+    """The largest positive guard-metric ``delta_pct``, with its key.
 
-    Rows whose baseline value is below *min_seconds* are skipped (too
-    noise-dominated to judge).  Returns ``(delta_pct, key)``;
-    ``(None, None)`` when nothing qualified.
+    Each row is judged on its own mode's guard metric (``total_s``
+    seconds or ``p99_ms`` milliseconds).  Rows whose baseline guard
+    value is below *min_seconds* (after unit conversion) are skipped as
+    noise-dominated.  Returns ``(delta_pct, key)``; ``(None, None)``
+    when nothing qualified.
     """
     worst: float | None = None
     worst_key = None
     for row in rows:
         if row["status"] != "matched":
             continue
-        entry = row[metric]
+        entry = row[guard_metric_for(row["key"])]
         delta = entry["delta_pct"]
-        if delta is None or entry["old"] < min_seconds:
+        if delta is None or _guard_seconds(row["key"], entry) < min_seconds:
             continue
         if worst is None or delta > worst:
             worst = delta
@@ -125,25 +197,36 @@ def worst_regression(
     return worst, worst_key
 
 
-def render_comparison(rows: list[dict]) -> str:
-    """Fixed-width per-cell delta table."""
+def _render_group(rows: list[dict], metrics: tuple[str, ...], title: str) -> str:
     from ..analysis.tables import render_table
 
-    headers = ["cell"] + [f"{metric} old/new (Δ%)" for metric in METRICS]
+    headers = ["cell"] + [f"{metric} old/new (Δ%)" for metric in metrics]
     body = []
     for row in rows:
         label = _describe_key(row["key"])
         if row["status"] != "matched":
-            body.append([label] + [f"({row['status']})"] * len(METRICS))
+            body.append([label] + [f"({row['status']})"] * len(metrics))
             continue
         cells = []
-        for metric in METRICS:
+        for metric in metrics:
             entry = row[metric]
             delta = entry["delta_pct"]
             delta_text = "n/a" if delta is None else f"{delta:+.0f}%"
             cells.append(f"{entry['old']:.3f}/{entry['new']:.3f} ({delta_text})")
         body.append([label] + cells)
-    return render_table(headers, body, title="Microbenchmark comparison")
+    return render_table(headers, body, title=title)
+
+
+def render_comparison(rows: list[dict]) -> str:
+    """Fixed-width per-cell delta tables, one per cell family."""
+    timing = [row for row in rows if not _is_serve_key(row["key"])]
+    serve = [row for row in rows if _is_serve_key(row["key"])]
+    parts = []
+    if timing:
+        parts.append(_render_group(timing, METRICS, "Microbenchmark comparison"))
+    if serve:
+        parts.append(_render_group(serve, SERVE_METRICS, "Service load comparison"))
+    return "\n".join(parts)
 
 
 def run_compare(
@@ -155,13 +238,16 @@ def run_compare(
 ) -> tuple[str, int]:
     """The full compare flow: ``(report text, exit code)``.
 
-    Exit code 1 means the ``--fail-over`` guard tripped; 2 means the
-    payloads shared no judgeable cells (a mis-wired guard should fail
-    loudly, not pass vacuously).  *min_seconds* is the baseline-time
-    floor below which a cell is shown but not judged.
+    ``old_path`` may be the literal ``latest`` (or a directory) to
+    auto-discover the newest committed baseline.  Exit code 1 means the
+    ``--fail-over`` guard tripped; 2 means the payloads shared no
+    judgeable cells (a mis-wired guard should fail loudly, not pass
+    vacuously).  *min_seconds* is the baseline-time floor below which a
+    cell is shown but not judged.
     """
+    old_path = resolve_baseline(old_path)
     rows = compare_payloads(load_payload(old_path), load_payload(new_path))
-    lines = [render_comparison(rows)]
+    lines = [f"baseline: {old_path}", render_comparison(rows)]
     worst, worst_key = worst_regression(rows, min_seconds=min_seconds)
     if worst is None:
         lines.append(
@@ -170,7 +256,7 @@ def run_compare(
         )
         return "\n".join(lines), 2
     lines.append(
-        f"worst {GUARD_METRIC} regression: {worst:+.1f}% "
+        f"worst {guard_metric_for(worst_key)} regression: {worst:+.1f}% "
         f"({_describe_key(worst_key)}; cells under {min_seconds:g}s baseline "
         "not judged)"
     )

@@ -51,9 +51,12 @@ from .cells import matches_filter, parse_filter
 
 #: Current schema version of the ``BENCH_*.json`` payload.  Version 2
 #: added the optional ``mode``/``profiles``/``reexecute_s``/``speedup``
-#: cell fields for the replay-once/price-many cell; version-1 files
-#: still validate (and compare) cleanly.
-SCHEMA_VERSION = 2
+#: cell fields for the replay-once/price-many cell; version 3 added the
+#: service load-generator cells (``repro bench serve``: ``serve-cold`` /
+#: ``serve-warm`` modes with p50/p99/throughput metrics) and the
+#: ``serve`` / ``mixed`` grids.  Version-1/2 files still validate (and
+#: compare) cleanly.
+SCHEMA_VERSION = 3
 
 #: The physics arms of the ``reprice`` cell: the Fig 13 counterfactuals
 #: plus heating-rate / gate-decay / fiber / lifetime sweeps — the
@@ -127,18 +130,51 @@ _CELL_SCHEMA = {
     },
 }
 
+#: Service load-generator cells (``repro bench serve``, schema v3): the
+#: cold and warm phases of one load run.  Latencies are milliseconds —
+#: ``repro bench compare`` guards ``p99_ms`` for these the way it
+#: guards ``total_s`` for compile+execute cells.
+_SERVE_CELL_SCHEMA = {
+    "type": "object",
+    "required": [
+        "workload",
+        "machine",
+        "compiler",
+        "mode",
+        "concurrency",
+        "requests",
+        "errors",
+        "p50_ms",
+        "p99_ms",
+        "throughput_rps",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "workload": {"type": "string", "minLength": 1},
+        "machine": {"type": "string", "minLength": 1},
+        "compiler": {"type": "string", "minLength": 1},
+        "mode": {"enum": ["serve-cold", "serve-warm"]},
+        "concurrency": {"type": "integer", "minimum": 1},
+        "requests": {"type": "integer", "minimum": 1},
+        "errors": {"type": "integer", "minimum": 0},
+        "p50_ms": {"type": "number", "minimum": 0},
+        "p99_ms": {"type": "number", "minimum": 0},
+        "throughput_rps": {"type": "number", "minimum": 0},
+    },
+}
+
 #: JSON Schema (draft 2020-12) of the ``BENCH_*.json`` payload.
 BENCH_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "$id": "https://example.invalid/repro-muss-ti/bench-micro.schema.json",
-    "title": "repro bench micro payload",
+    "title": "repro bench payload",
     "type": "object",
     "required": ["schema_version", "created_utc", "grid", "repeats", "environment", "cells"],
     "additionalProperties": False,
     "properties": {
-        "schema_version": {"enum": [1, SCHEMA_VERSION]},
+        "schema_version": {"enum": [1, 2, SCHEMA_VERSION]},
         "created_utc": {"type": "string", "minLength": 1},
-        "grid": {"const": "micro"},
+        "grid": {"enum": ["micro", "serve", "mixed"]},
         "repeats": {"type": "integer", "minimum": 1},
         "environment": {
             "type": "object",
@@ -149,7 +185,11 @@ BENCH_SCHEMA = {
                 "platform": {"type": "string", "minLength": 1},
             },
         },
-        "cells": {"type": "array", "minItems": 1, "items": _CELL_SCHEMA},
+        "cells": {
+            "type": "array",
+            "minItems": 1,
+            "items": {"anyOf": [_CELL_SCHEMA, _SERVE_CELL_SCHEMA]},
+        },
     },
 }
 
@@ -305,6 +345,39 @@ def write_payload(payload: dict, path: Path | str) -> Path:
     path = Path(path)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return path
+
+
+def merge_payloads(base: dict, new: dict) -> dict:
+    """Merge *new* cells over *base* cells into one tracked payload.
+
+    Cells match on (workload, machine, compiler, mode); matching cells
+    are replaced by the new measurement, others are kept, new ones
+    appended — so ``repro bench serve`` can fold its serve cells into
+    the day's ``BENCH_<date>.json`` without clobbering the micro grid.
+    The merged grid is the shared grid name, or ``"mixed"``.
+    """
+    validate_payload(base)
+    validate_payload(new)
+
+    def key(cell: dict) -> tuple:
+        return (
+            cell["workload"],
+            cell["machine"],
+            cell["compiler"],
+            cell.get("mode", "compile-execute"),
+        )
+
+    replacements = {key(cell): cell for cell in new["cells"]}
+    cells = [replacements.pop(key(cell), cell) for cell in base["cells"]]
+    cells.extend(cell for cell in new["cells"] if key(cell) in replacements)
+    merged = {
+        **new,
+        "schema_version": SCHEMA_VERSION,
+        "grid": base["grid"] if base["grid"] == new["grid"] else "mixed",
+        "cells": cells,
+    }
+    validate_payload(merged)
+    return merged
 
 
 def render(payload: dict) -> str:

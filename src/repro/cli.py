@@ -17,6 +17,9 @@ Usage::
     python -m repro bench clear-cache fig7
     python -m repro bench sweep -w GHZ_n64 -m eml -m grid:2x2:12 -c muss-ti -c dai
     python -m repro bench compare BENCH_old.json BENCH_new.json --fail-over 50
+    python -m repro bench compare latest BENCH_new.json --fail-over 50
+    python -m repro bench serve --quick
+    python -m repro serve --port 8000 --jobs 4
     python -m repro machine list
     python -m repro machine show eml:16:2
     python -m repro machine render star:1+6:16
@@ -211,6 +214,72 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.output:
         save_trace(ledger, args.output, params)
         print(f"trace written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import CompileService, run_server
+
+    service = CompileService(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_memory_mb=args.max_memory_mb,
+        use_disk_cache=not args.no_disk_cache,
+    )
+    try:
+        asyncio.run(
+            run_server(
+                service,
+                args.host,
+                args.port,
+                announce=lambda line: print(line, flush=True),
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        # Port already bound, privileged port, bad host: clean message.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import micro
+    from .serve import loadgen
+
+    try:
+        result = loadgen.run_serve_bench(
+            requests=args.requests,
+            concurrency=args.concurrency,
+            jobs=args.jobs if args.jobs is not None else (2 if args.quick else None),
+            quick=args.quick,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = result["payload"]
+    path = Path(args.output or micro.default_output_path())
+    # Fold the serve cells into the day's tracked payload when one exists,
+    # so micro and serve cells share a single BENCH_<date>.json.
+    if path.exists():
+        try:
+            payload = micro.merge_payloads(
+                json.loads(path.read_text(encoding="utf-8")), payload
+            )
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot merge into {path}: {error}", file=sys.stderr)
+            return 2
+    micro.write_payload(payload, path)
+    print(loadgen.render(result))
+    print(
+        f"[serve: {len(result['payload']['cells'])} cells, schema-valid, "
+        f"written to {path}]"
+    )
     return 0
 
 
@@ -427,7 +496,7 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
 
 #: Explicit bench sub-commands; anything else after ``bench`` is an
 #: experiment name and routes through the implicit ``run``.
-BENCH_SUBCOMMANDS = ("run", "list", "clear-cache", "sweep", "micro", "compare")
+BENCH_SUBCOMMANDS = ("run", "list", "clear-cache", "sweep", "micro", "compare", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -562,6 +631,45 @@ def build_parser() -> argparse.ArgumentParser:
         )
         machine_sub.set_defaults(handler=handler)
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the async compilation service (HTTP + JSON job API)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="TCP port; 0 picks an ephemeral port (default: 8000)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: CPU count; 0 = in-process threads)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"on-disk result cache root (default: {default_cache_dir()})",
+    )
+    serve_parser.add_argument(
+        "--max-memory-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="in-memory result cache bound in MiB (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="keep results in memory only (skip the on-disk tier)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
     bench_parser = commands.add_parser(
         "bench", help="parallel, cached experiment sweeps"
     )
@@ -644,12 +752,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_micro.set_defaults(handler=_cmd_bench_micro)
 
+    bench_serve = bench_commands.add_parser(
+        "serve",
+        help="service load generator: latency/throughput cells -> BENCH_<date>.json",
+    )
+    bench_serve.add_argument(
+        "--requests",
+        type=int,
+        default=60,
+        metavar="N",
+        help="requests per phase (default: 60)",
+    )
+    bench_serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent client connections (default: 8)",
+    )
+    bench_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="service worker processes (default: CPU count; 0 = threads)",
+    )
+    bench_serve.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-scale CI smoke run (small mix, low concurrency)",
+    )
+    bench_serve.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output file; merges into an existing payload "
+        "(default: ./BENCH_<utc date>.json)",
+    )
+    bench_serve.set_defaults(handler=_cmd_bench_serve)
+
     bench_compare_parser = bench_commands.add_parser(
         "compare",
         help="diff two BENCH_*.json payloads (the perf-regression guard)",
     )
     bench_compare_parser.add_argument(
-        "old", metavar="OLD.json", help="baseline payload (e.g. the committed BENCH_*.json)"
+        "old",
+        metavar="OLD.json",
+        help="baseline payload, or the word 'latest' (or a directory) to "
+        "auto-discover the newest committed BENCH_<date>.json",
     )
     bench_compare_parser.add_argument(
         "new", metavar="NEW.json", help="candidate payload (a fresh bench micro run)"

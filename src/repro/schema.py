@@ -9,8 +9,8 @@ is used when installed; otherwise :func:`validate_node` provides an
 equivalent structural check for the subset of the spec those schemas
 use (``const``, ``enum``, ``type``, ``required``, ``properties``,
 ``additionalProperties`` as ``False`` or a value schema, ``items``,
-``minItems``, ``minLength``, ``minimum``, ``maximum``), keeping the
-package itself stdlib-only.
+``minItems``, ``minLength``, ``minimum``, ``maximum``, ``anyOf``),
+keeping the package itself stdlib-only.
 """
 
 from __future__ import annotations
@@ -42,6 +42,19 @@ def validate_node(value: Any, schema: dict, path: str = "$") -> None:
     Raises :class:`SchemaError` with a ``$.path.to.field`` location on the
     first violation.
     """
+    if "anyOf" in schema:
+        first_error: SchemaError | None = None
+        for branch in schema["anyOf"]:
+            try:
+                validate_node(value, branch, path)
+                return
+            except SchemaError as error:
+                if first_error is None:
+                    first_error = error
+        raise SchemaError(
+            f"{path}: matches none of the {len(schema['anyOf'])} allowed "
+            f"forms (first failure: {first_error})"
+        )
     if "const" in schema:
         _check(value == schema["const"], f"{path}: expected {schema['const']!r}")
         return

@@ -1,0 +1,73 @@
+"""``repro serve``: an async compilation service with multi-tier caching.
+
+Every spec in this repository is a canonical, picklable string
+(compiler x machine x physics registries) and every result a
+schema-validated payload — so serving compilation as a long-running
+HTTP service is a thin layer:
+
+* :mod:`~repro.serve.jobs` — request canonicalisation: payloads become
+  :class:`Job` values keyed on (circuit content hash, canonical specs),
+* :mod:`~repro.serve.service` — :class:`CompileService`: a
+  ``ProcessPoolExecutor`` worker pool, request coalescing (N concurrent
+  identical jobs -> one execution), and the two-tier cache,
+* :mod:`~repro.serve.cache` — bounded in-memory LRU over the on-disk
+  ``~/.cache/repro-bench`` store, with ``/stats`` counters,
+* :mod:`~repro.serve.http` — the stdlib asyncio HTTP/1.1 front-end
+  (``POST /compile | /trace | /compare``, ``GET /healthz | /stats``),
+* :mod:`~repro.serve.schemas` — request/response/error JSON schemas,
+* :mod:`~repro.serve.loadgen` — ``repro bench serve``: the latency /
+  throughput load generator feeding ``BENCH_<date>.json``.
+
+From the shell::
+
+    repro serve --port 8000 --jobs 4
+    curl -s localhost:8000/healthz
+    curl -s -XPOST localhost:8000/compile \
+         -d '{"workload": "GHZ_n32", "machine": "eml"}'
+    repro bench serve --quick
+"""
+
+from .cache import DEFAULT_MAX_MEMORY_MB, MemoryLRU, TwoTierCache
+from .http import error_body, run_server, start_http_server
+from .jobs import Job, JobError, canonical_bytes, circuit_fingerprint, parse_job
+from .loadgen import run_serve_bench
+from .schemas import (
+    CACHE_STATES,
+    COMPARE_REQUEST_SCHEMA,
+    COMPARE_RESPONSE_SCHEMA,
+    COMPILE_REQUEST_SCHEMA,
+    COMPILE_RESPONSE_SCHEMA,
+    ERROR_SCHEMA,
+    HEALTH_SCHEMA,
+    STATS_SCHEMA,
+    TRACE_REQUEST_SCHEMA,
+    TRACE_RESPONSE_SCHEMA,
+)
+from .service import CompileService, ServeExecutionError
+
+__all__ = [
+    "CACHE_STATES",
+    "COMPARE_REQUEST_SCHEMA",
+    "COMPARE_RESPONSE_SCHEMA",
+    "COMPILE_REQUEST_SCHEMA",
+    "COMPILE_RESPONSE_SCHEMA",
+    "CompileService",
+    "DEFAULT_MAX_MEMORY_MB",
+    "ERROR_SCHEMA",
+    "HEALTH_SCHEMA",
+    "Job",
+    "JobError",
+    "MemoryLRU",
+    "STATS_SCHEMA",
+    "ServeExecutionError",
+    "TRACE_REQUEST_SCHEMA",
+    "TRACE_RESPONSE_SCHEMA",
+    "TwoTierCache",
+    "canonical_bytes",
+    "circuit_fingerprint",
+    "error_body",
+    "parse_job",
+    "run_serve_bench",
+    "run_server",
+    "start_http_server",
+]

@@ -1,0 +1,146 @@
+"""Two-tier content-addressed result cache of the compilation service.
+
+Tier 1 is a byte- and entry-bounded in-memory LRU holding the canonical
+JSON encoding of each job result; tier 2 is the same on-disk
+``~/.cache/repro-bench`` store the sweep engine uses
+(:class:`repro.bench.cache.ResultCache`, experiment name ``"serve"``),
+so service results survive restarts and are invalidated by the same
+source-fingerprint rule as every other cached result in the repo — a
+code change can never serve a stale report.
+
+A disk hit is *promoted* into the memory tier; an LRU insert evicts
+least-recently-used entries until both bounds hold.  Every get/put
+updates the counters surfaced by ``GET /stats`` (memory/disk hits,
+misses, evictions) — the observability the coalescing and latency
+acceptance tests key on.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..bench.cache import ResultCache
+from .jobs import canonical_bytes
+
+#: Experiment name of the service's slice of the on-disk store.
+DISK_EXPERIMENT = "serve"
+
+#: Default memory-tier bound (64 MiB of canonical result bytes).
+DEFAULT_MAX_MEMORY_MB = 64.0
+
+#: Default memory-tier entry bound.
+DEFAULT_MAX_ENTRIES = 4096
+
+
+@dataclass
+class CacheStats:
+    """Counters surfaced on ``GET /stats``."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    memory_evictions: int = 0
+
+    def to_dict(self, lru: "MemoryLRU") -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "memory_entries": len(lru),
+            "memory_bytes": lru.total_bytes,
+            "memory_evictions": self.memory_evictions,
+        }
+
+
+@dataclass
+class MemoryLRU:
+    """Bounded LRU of ``key -> canonical result bytes``."""
+
+    max_bytes: int = int(DEFAULT_MAX_MEMORY_MB * 1024 * 1024)
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    total_bytes: int = 0
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> bytes | None:
+        payload = self._entries.get(key)
+        if payload is not None:
+            self._entries.move_to_end(key)
+        return payload
+
+    def put(self, key: str, payload: bytes) -> int:
+        """Insert (or refresh) an entry; returns how many were evicted.
+
+        A payload larger than the byte bound is simply not admitted —
+        bounds are bounds, and the disk tier still holds it.
+        """
+        if len(payload) > self.max_bytes:
+            return 0
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.total_bytes -= len(old)
+        self._entries[key] = payload
+        self.total_bytes += len(payload)
+        evicted = 0
+        while self._entries and (
+            self.total_bytes > self.max_bytes or len(self._entries) > self.max_entries
+        ):
+            _, dropped = self._entries.popitem(last=False)
+            self.total_bytes -= len(dropped)
+            evicted += 1
+        return evicted
+
+
+class TwoTierCache:
+    """Memory LRU over the on-disk sweep-engine store, with counters."""
+
+    def __init__(
+        self,
+        cache_dir: Path | str | None = None,
+        *,
+        max_memory_mb: float = DEFAULT_MAX_MEMORY_MB,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        use_disk: bool = True,
+    ) -> None:
+        self.memory = MemoryLRU(
+            max_bytes=int(max_memory_mb * 1024 * 1024), max_entries=max_entries
+        )
+        self.disk = ResultCache(cache_dir) if use_disk else None
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> tuple[bytes, str] | None:
+        """Look a job key up: ``(canonical bytes, tier)`` or ``None``.
+
+        Disk hits are re-encoded through the same canonical encoder that
+        produced them, so memory- and disk-served bytes are identical.
+        """
+        payload = self.memory.get(key)
+        if payload is not None:
+            self.stats.memory_hits += 1
+            return payload, "memory"
+        if self.disk is not None:
+            entry = self.disk.get(DISK_EXPERIMENT, key)
+            if entry is not None:
+                payload = canonical_bytes(entry["result"])
+                self.stats.disk_hits += 1
+                self.stats.memory_evictions += self.memory.put(key, payload)
+                return payload, "disk"
+        return None
+
+    def put(self, key: str, payload: bytes, elapsed_s: float) -> None:
+        """Record a fresh result in both tiers (counted as one miss)."""
+        self.stats.misses += 1
+        self.stats.memory_evictions += self.memory.put(key, payload)
+        if self.disk is not None:
+            self.disk.put(DISK_EXPERIMENT, key, json.loads(payload), elapsed_s)
+            self.disk.flush()
+
+    def to_dict(self) -> dict:
+        return self.stats.to_dict(self.memory)

@@ -1,0 +1,233 @@
+"""Minimal asyncio HTTP/1.1 front-end of the compilation service.
+
+Stdlib-only by design (the whole package is): a hand-rolled HTTP/1.1
+request reader over ``asyncio.start_server`` streams — request line,
+headers, ``Content-Length``-framed JSON bodies, keep-alive — which is
+exactly the subset a JSON job API needs, and nothing more.  Routes:
+
+====================  =====================================================
+``GET /healthz``      liveness: ``{"status": "ok", ...}``
+``GET /stats``        request counters + both cache tiers + coalesce count
+``POST /compile``     one job -> REPORT_SCHEMA-validated report
+``POST /trace``       one job -> timed op records
+``POST /compare``     the paper suite as cached/coalesced sub-jobs
+====================  =====================================================
+
+Every error — malformed JSON, unknown route, oversized body, a bad spec
+string — is a structured :data:`~repro.serve.schemas.ERROR_SCHEMA` body
+with the matching status code; tracebacks never reach the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .jobs import JobError
+from .service import CompileService, ServeExecutionError
+
+#: Reject request bodies beyond this many bytes (a job payload is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+#: Reject header sections beyond this many bytes.
+MAX_HEADER_BYTES = 1 << 16
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Internal: aborts request handling with a structured error body."""
+
+    def __init__(self, status: int, message: str, *, field: str | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.field = field
+
+
+def error_body(status: int, message: str, field: str | None = None) -> dict:
+    """The one error payload shape (see ``ERROR_SCHEMA``)."""
+    error: dict = {"status": status, "message": message}
+    if field is not None:
+        error["field"] = field
+    return {"error": error}
+
+
+def _encode_response(status: int, payload: dict, *, keep_alive: bool) -> bytes:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    ).encode()
+    return head + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes] | None:
+    """Read one request; ``None`` when the client closed the connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial.strip():
+            return None
+        raise _HttpError(400, "truncated HTTP request") from None
+    except asyncio.LimitOverrunError:
+        raise _HttpError(413, "request headers too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise _HttpError(413, "request headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise _HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _HttpError(400, f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"request body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    body = await reader.readexactly(length) if length else b""
+    return method, target.split("?", 1)[0], headers, body
+
+
+def _parse_json_body(body: bytes) -> dict:
+    if not body:
+        raise _HttpError(400, "request body must be a JSON object, got nothing")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as error:
+        raise _HttpError(400, f"request body is not valid JSON: {error}") from None
+
+
+async def _dispatch(service: CompileService, method: str, path: str, body: bytes) -> dict:
+    if path == "/healthz":
+        if method != "GET":
+            raise _HttpError(405, f"{path} only supports GET")
+        return service.health()
+    if path == "/stats":
+        if method != "GET":
+            raise _HttpError(405, f"{path} only supports GET")
+        return service.stats()
+    handlers = {
+        "/compile": service.compile,
+        "/trace": service.trace,
+        "/compare": service.compare,
+    }
+    handler = handlers.get(path)
+    if handler is None:
+        raise _HttpError(404, f"unknown path {path!r} (routes: /healthz, /stats, "
+                              "/compile, /trace, /compare)")
+    if method != "POST":
+        raise _HttpError(405, f"{path} only supports POST")
+    try:
+        return await handler(_parse_json_body(body))
+    except JobError as error:
+        raise _HttpError(400, error.message, field=error.field) from None
+    except ServeExecutionError as error:
+        raise _HttpError(500, str(error)) from None
+
+
+async def _handle_connection(
+    service: CompileService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            keep_alive = True
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                payload = await _dispatch(service, method, path, body)
+                status = 200
+            except _HttpError as error:
+                payload = error_body(error.status, error.message, error.field)
+                status = error.status
+            except Exception as error:  # a bug, but never a traceback on the wire
+                payload = error_body(500, f"internal error: {error}")
+                status = 500
+                keep_alive = False
+            writer.write(_encode_response(status, payload, keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_http_server(
+    service: CompileService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind and start serving; ``port=0`` picks an ephemeral port
+    (read it back from ``server.sockets[0].getsockname()``)."""
+
+    async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(
+        handler, host, port, limit=MAX_HEADER_BYTES + MAX_BODY_BYTES
+    )
+
+
+async def run_server(
+    service: CompileService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    ready: "asyncio.Event | None" = None,
+    announce=None,
+) -> None:
+    """Serve until cancelled (or SIGTERM/SIGINT on platforms that allow
+    signal handlers); used by ``repro serve``."""
+    import signal
+
+    server = await start_http_server(service, host, port)
+    bound = server.sockets[0].getsockname()
+    if announce is not None:
+        announce(f"serving on http://{bound[0]}:{bound[1]} "
+                 f"(workers: {service.jobs}, routes: /healthz /stats /compile "
+                 "/trace /compare)")
+    if ready is not None:
+        ready.set()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # e.g. non-main thread
+            pass
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        service.close()

@@ -1,0 +1,206 @@
+"""Job specs: the unit of work of the compilation service.
+
+A *job* is one fully-canonicalised request — kind (``compile`` /
+``trace`` / ``compare``) plus the four registry spec strings every
+front-end already speaks (workload, machine, compiler, physics).  The
+service keys its result cache and its request coalescing on
+:attr:`Job.key`, which is built from the **content hash of the resolved
+circuit** and the **canonical** spec strings, so:
+
+* two spellings of the same machine (``eml?modules=16&optical=2`` vs
+  ``eml:16:2``) share one cache entry,
+* a workload rename that keeps the gate stream identical still hits,
+  while any change to the generated circuit misses,
+* the key is a plain JSON string — safe as an on-disk cache key and
+  printable in ``/stats``.
+
+Validation happens here, at the front door: every field resolves
+through its registry before any work is queued, and failures raise
+:class:`JobError` carrying the offending field name so the HTTP layer
+can return a structured 400 instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..hardware import canonical_machine_spec
+from ..physics import canonical_physics_spec
+from ..pipeline import resolve_compiler
+from ..pipeline.registry import format_compiler_spec, parse_compiler_spec
+from ..workloads import get_benchmark
+
+#: Request kinds the service executes (``compare`` fans out into
+#: per-compiler ``compile`` sub-jobs, so they share one cache).
+JOB_KINDS = ("compile", "trace", "compare")
+
+#: Payload fields accepted by ``/compile`` and ``/trace``.
+JOB_FIELDS = ("workload", "machine", "compiler", "physics")
+
+#: Defaults applied when a payload omits an optional field.
+DEFAULTS = {"machine": "eml", "compiler": "muss-ti", "physics": "table1"}
+
+
+class JobError(ValueError):
+    """A request payload failed validation.
+
+    Carries the offending ``field`` (or ``None`` for payload-level
+    problems) so the HTTP layer can emit a structured 400 error body.
+    """
+
+    def __init__(self, message: str, *, field: str | None = None) -> None:
+        super().__init__(message)
+        self.field = field
+
+    @property
+    def message(self) -> str:
+        return self.args[0]
+
+
+def circuit_fingerprint(circuit) -> str:
+    """Content hash of a circuit: qubit count plus the exact gate stream.
+
+    Stable across processes and python versions (no ``hash()``), and
+    sensitive to any change in the generated gates — the property that
+    makes the service cache *content*-addressed rather than
+    name-addressed.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{circuit.num_qubits}\0".encode())
+    for gate in circuit:
+        digest.update(gate.name.encode())
+        digest.update(b"\0")
+        digest.update(",".join(str(q) for q in gate.qubits).encode())
+        digest.update(b"\0")
+        digest.update(",".join(repr(p) for p in gate.params).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()[:32]
+
+
+def canonical_compiler_spec(spec: str) -> str:
+    """Canonicalise a compiler spec (name resolved, options sorted)."""
+    name, options = parse_compiler_spec(spec)
+    # Instantiating validates both the name and every option value.
+    resolve_compiler(spec)
+    return format_compiler_spec(name, options)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One canonicalised service request."""
+
+    kind: str
+    workload: str
+    machine: str
+    compiler: str
+    physics: str
+    circuit_hash: str
+
+    @property
+    def key(self) -> str:
+        """Canonical cache / coalescing key: circuit hash + canonical specs.
+
+        The workload *name* is deliberately absent — two names generating
+        the same circuit are the same job.
+        """
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "circuit": self.circuit_hash,
+                "machine": self.machine,
+                "compiler": self.compiler,
+                "physics": self.physics,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe echo of the canonical job, returned in responses."""
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "machine": self.machine,
+            "compiler": self.compiler,
+            "physics": self.physics,
+            "circuit_hash": self.circuit_hash,
+        }
+
+
+def _require_payload(payload) -> dict:
+    if not isinstance(payload, dict):
+        raise JobError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _spec_field(payload: dict, field: str) -> str:
+    value = payload.get(field, DEFAULTS.get(field))
+    if value is None:
+        raise JobError(f"missing required field {field!r}", field=field)
+    if not isinstance(value, str) or not value.strip():
+        raise JobError(
+            f"field {field!r} must be a non-empty spec string, got {value!r}",
+            field=field,
+        )
+    return value.strip()
+
+
+def parse_job(kind: str, payload, *, allowed_fields: tuple = JOB_FIELDS) -> Job:
+    """Validate and canonicalise one request payload into a :class:`Job`.
+
+    Every failure — unknown field, unknown workload family, bad machine
+    or physics spec, invalid compiler option — raises :class:`JobError`
+    naming the field, never a bare traceback.
+    """
+    if kind not in JOB_KINDS:
+        raise JobError(f"unknown job kind {kind!r} (want one of {JOB_KINDS})")
+    payload = _require_payload(payload)
+    for name in payload:
+        if name not in allowed_fields:
+            raise JobError(
+                f"unexpected field {name!r} (accepted: {', '.join(allowed_fields)})",
+                field=name,
+            )
+
+    workload = _spec_field(payload, "workload")
+    machine = _spec_field(payload, "machine")
+    compiler = _spec_field(payload, "compiler")
+    physics = _spec_field(payload, "physics")
+
+    try:
+        circuit = get_benchmark(workload)
+    except (ValueError, KeyError) as error:
+        raise JobError(f"bad workload {workload!r}: {error}", field="workload") from None
+    try:
+        machine = canonical_machine_spec(machine)
+    except ValueError as error:
+        raise JobError(f"bad machine spec: {error}", field="machine") from None
+    try:
+        compiler = canonical_compiler_spec(compiler)
+    except (ValueError, KeyError) as error:
+        raise JobError(f"bad compiler spec: {error}", field="compiler") from None
+    try:
+        physics = canonical_physics_spec(physics)
+    except (ValueError, KeyError) as error:
+        raise JobError(f"bad physics spec: {error}", field="physics") from None
+
+    return Job(
+        kind=kind,
+        workload=workload,
+        machine=machine,
+        compiler=compiler,
+        physics=physics,
+        circuit_hash=circuit_fingerprint(circuit),
+    )
+
+
+def canonical_bytes(payload: dict) -> bytes:
+    """The one JSON encoding used for cached results and coalesced
+    responses: sorted keys, no whitespace.  Byte-identical for equal
+    payloads, so every waiter on a coalesced job receives the same
+    bytes."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()

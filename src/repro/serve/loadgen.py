@@ -1,0 +1,253 @@
+"""Load generator for the compilation service: ``repro bench serve``.
+
+Boots a :class:`~repro.serve.service.CompileService` plus its HTTP
+front-end on an ephemeral localhost port, drives a configurable request
+mix at a configurable concurrency through *real* HTTP connections, and
+records latency/throughput cells into the same schema-validated
+``BENCH_<date>.json`` trajectory the microbenchmark suite feeds — so
+service performance is guarded by ``repro bench compare`` exactly like
+scheduler performance is.
+
+Two phases, two cells:
+
+* ``serve-cold`` — a fresh cache (private temp dir), so every distinct
+  job in the mix executes once and concurrent duplicates exercise the
+  coalescer,
+* ``serve-warm`` — the identical request list again, now served from
+  the in-memory tier; the cold/warm p50 ratio is the cache's measured
+  speedup and is printed after the run.
+
+Each cell records request count, concurrency, error count, p50/p99
+latency (ms) and throughput (requests/s).  ``--quick`` shrinks the mix
+and concurrency to a seconds-scale CI smoke run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from .http import start_http_server
+from .service import CompileService
+
+#: The request mix: small, structurally different jobs across both
+#: machine families plus a trace, so the mix exercises compile and
+#: trace paths and more than one cache key.
+DEFAULT_MIX: tuple[tuple[str, dict], ...] = (
+    ("/compile", {"workload": "GHZ_n16", "machine": "grid:2x2:12"}),
+    ("/compile", {"workload": "GHZ_n16", "machine": "eml"}),
+    ("/compile", {"workload": "QFT_n16", "machine": "eml"}),
+    ("/compile", {"workload": "GHZ_n16", "machine": "eml", "physics": "perfect-gate"}),
+    ("/trace", {"workload": "GHZ_n16", "machine": "grid:2x2:12"}),
+)
+
+#: Identity fields of the two serve cells in ``BENCH_*.json``; stable
+#: across runs so ``repro bench compare`` matches them by key.
+MIX_LABEL = "mix:compile+trace"
+
+
+@dataclass
+class PhaseResult:
+    """One load phase: latencies in ms plus wall-clock seconds."""
+
+    phase: str
+    latencies_ms: list[float]
+    wall_s: float
+    errors: int
+
+    def percentile(self, q: float) -> float:
+        ordered = sorted(self.latencies_ms)
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+        return ordered[index]
+
+    @property
+    def throughput_rps(self) -> float:
+        return len(self.latencies_ms) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def cell(self, concurrency: int) -> dict:
+        return {
+            "workload": MIX_LABEL,
+            "machine": "mix",
+            "compiler": "mix",
+            "mode": f"serve-{self.phase}",
+            "concurrency": concurrency,
+            "requests": len(self.latencies_ms),
+            "errors": self.errors,
+            "p50_ms": round(self.percentile(0.50), 3),
+            "p99_ms": round(self.percentile(0.99), 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+        }
+
+
+async def _request(host: str, port: int, path: str, payload: dict) -> tuple[int, bytes]:
+    """One HTTP POST over a fresh connection; returns (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps(payload).encode()
+        writer.write(
+            (
+                f"POST {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, response_body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, response_body
+
+
+async def _run_phase(
+    host: str,
+    port: int,
+    phase: str,
+    request_list: list[tuple[str, dict]],
+    concurrency: int,
+) -> PhaseResult:
+    queue: asyncio.Queue = asyncio.Queue()
+    for item in request_list:
+        queue.put_nowait(item)
+    latencies: list[float] = []
+    errors = 0
+
+    async def worker() -> None:
+        nonlocal errors
+        while True:
+            try:
+                path, payload = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            started = time.perf_counter()
+            status, _ = await _request(host, port, path, payload)
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            if status != 200:
+                errors += 1
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    wall_s = time.perf_counter() - started
+    return PhaseResult(phase, latencies, wall_s, errors)
+
+
+def _request_list(requests: int) -> list[tuple[str, dict]]:
+    """Round-robin through the mix until *requests* entries exist — so
+    duplicates are plentiful and the coalescer/cache actually works."""
+    return [DEFAULT_MIX[index % len(DEFAULT_MIX)] for index in range(requests)]
+
+
+async def _run_load(
+    *, requests: int, concurrency: int, jobs: int | None, cache_dir: str
+) -> tuple[PhaseResult, PhaseResult, dict]:
+    service = CompileService(jobs=jobs, cache_dir=cache_dir)
+    server = await start_http_server(service, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    try:
+        request_list = _request_list(requests)
+        cold = await _run_phase(host, port, "cold", request_list, concurrency)
+        warm = await _run_phase(host, port, "warm", request_list, concurrency)
+        stats = service.stats()
+    finally:
+        server.close()
+        await server.wait_closed()
+        service.close()
+    return cold, warm, stats
+
+
+def run_serve_bench(
+    *,
+    requests: int = 60,
+    concurrency: int = 8,
+    jobs: int | None = None,
+    quick: bool = False,
+) -> dict:
+    """Run the load generator; returns a validated BENCH payload whose
+    cells are the cold and warm phases (plus the final ``/stats`` under
+    a non-schema sibling key for the human summary)."""
+    from ..bench.micro import SCHEMA_VERSION, validate_payload
+
+    if quick:
+        requests = min(requests, 20)
+        concurrency = min(concurrency, 4)
+    if requests < len(DEFAULT_MIX):
+        raise ValueError(
+            f"requests must cover the {len(DEFAULT_MIX)}-entry mix, got {requests}"
+        )
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as cache_dir:
+        cold, warm, stats = asyncio.run(
+            _run_load(
+                requests=requests,
+                concurrency=concurrency,
+                jobs=jobs,
+                cache_dir=cache_dir,
+            )
+        )
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "created_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "grid": "serve",
+        "repeats": 1,
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "cells": [cold.cell(concurrency), warm.cell(concurrency)],
+    }
+    validate_payload(payload)
+    # Diagnostics ride alongside (not part of the schema-validated payload).
+    payload_stats = {
+        "stats": stats,
+        "cold_p50_ms": cold.cell(concurrency)["p50_ms"],
+        "warm_p50_ms": warm.cell(concurrency)["p50_ms"],
+    }
+    return {"payload": payload, "diagnostics": payload_stats}
+
+
+def render(result: dict) -> str:
+    """Human summary: the two cells plus the cache's measured speedup."""
+    from ..analysis.tables import render_table
+
+    payload = result["payload"]
+    headers = ["phase", "requests", "conc", "p50 (ms)", "p99 (ms)", "req/s", "errors"]
+    body = [
+        [
+            cell["mode"].removeprefix("serve-"),
+            cell["requests"],
+            cell["concurrency"],
+            f"{cell['p50_ms']:.1f}",
+            f"{cell['p99_ms']:.1f}",
+            f"{cell['throughput_rps']:.1f}",
+            cell["errors"],
+        ]
+        for cell in payload["cells"]
+    ]
+    lines = [render_table(headers, body, title="Service load benchmark")]
+    cold = result["diagnostics"]["cold_p50_ms"]
+    warm = result["diagnostics"]["warm_p50_ms"]
+    if warm > 0:
+        lines.append(f"cold/warm p50 speedup: {cold / warm:.1f}x")
+    cache = result["diagnostics"]["stats"]["cache"]
+    lines.append(
+        f"cache: {cache['memory_hits']} memory + {cache['disk_hits']} disk hits, "
+        f"{cache['misses']} misses, {cache['coalesced']} coalesced"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Request / response / error JSON schemas of the compilation service.
+
+Every byte the service reads or writes is governed by a schema here and
+validated through :func:`repro.schema.validate` (``jsonschema`` when
+installed, the built-in structural checker otherwise):
+
+* requests — ``COMPILE_REQUEST_SCHEMA`` / ``TRACE_REQUEST_SCHEMA`` /
+  ``COMPARE_REQUEST_SCHEMA``: the ``{workload, machine, compiler,
+  physics}`` spec-string payload grammar,
+* responses — wrap the existing :data:`repro.sim.REPORT_SCHEMA` payload
+  (``/compile``, and one per suite compiler for ``/compare``) or the
+  timed-trace records (``/trace``) together with the canonical job echo
+  and the cache disposition of the request,
+* errors — one structured shape for every non-2xx body, so a malformed
+  spec string can never surface as a traceback.
+
+The test suite round-trips every endpoint through these schemas; the CI
+serve-smoke job re-validates a live ``/compile`` response against
+:data:`repro.sim.REPORT_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+from ..sim import REPORT_SCHEMA
+
+#: Where a response's payload came from: the in-memory LRU tier, the
+#: on-disk store, a concurrent identical request (coalesced), or a
+#: fresh execution (miss).
+CACHE_STATES = ("memory", "disk", "coalesced", "miss")
+
+_SPEC = {"type": "string", "minLength": 1}
+
+#: ``POST /compile`` and ``POST /trace`` request body.
+COMPILE_REQUEST_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve compile/trace request",
+    "type": "object",
+    "required": ["workload"],
+    "additionalProperties": False,
+    "properties": {
+        "workload": _SPEC,
+        "machine": _SPEC,
+        "compiler": _SPEC,
+        "physics": _SPEC,
+    },
+}
+
+TRACE_REQUEST_SCHEMA = COMPILE_REQUEST_SCHEMA
+
+#: ``POST /compare`` request body: no ``compiler`` field — the endpoint
+#: always runs the registered paper suite; ``grid`` is the machine for
+#: grid-family baselines (mirroring ``repro compare --grid``).
+COMPARE_REQUEST_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve compare request",
+    "type": "object",
+    "required": ["workload"],
+    "additionalProperties": False,
+    "properties": {
+        "workload": _SPEC,
+        "machine": _SPEC,
+        "grid": _SPEC,
+        "physics": _SPEC,
+    },
+}
+
+#: Canonical job echo carried by every success response.
+JOB_SCHEMA = {
+    "type": "object",
+    "required": ["kind", "workload", "machine", "compiler", "physics", "circuit_hash"],
+    "additionalProperties": False,
+    "properties": {
+        "kind": {"enum": ["compile", "trace", "compare"]},
+        "workload": _SPEC,
+        "machine": _SPEC,
+        "compiler": _SPEC,
+        "physics": _SPEC,
+        "circuit_hash": {"type": "string", "minLength": 8},
+    },
+}
+
+_CACHE = {"enum": list(CACHE_STATES)}
+
+#: ``POST /compile`` 200 body: the schema-validated execution report
+#: plus the canonical job and cache disposition.
+COMPILE_RESPONSE_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve compile response",
+    "type": "object",
+    "required": ["job", "cache", "elapsed_ms", "report"],
+    "additionalProperties": False,
+    "properties": {
+        "job": JOB_SCHEMA,
+        "cache": _CACHE,
+        "elapsed_ms": {"type": "number", "minimum": 0},
+        "report": REPORT_SCHEMA,
+    },
+}
+
+#: ``POST /trace`` 200 body: the timed op records of the schedule.
+TRACE_RESPONSE_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve trace response",
+    "type": "object",
+    "required": ["job", "cache", "elapsed_ms", "trace"],
+    "additionalProperties": False,
+    "properties": {
+        "job": JOB_SCHEMA,
+        "cache": _CACHE,
+        "elapsed_ms": {"type": "number", "minimum": 0},
+        "trace": {
+            "type": "object",
+            "required": ["circuit", "compiler", "num_qubits", "shuttle_count", "operations"],
+            "additionalProperties": False,
+            "properties": {
+                "circuit": _SPEC,
+                "compiler": _SPEC,
+                "num_qubits": {"type": "integer", "minimum": 1},
+                "shuttle_count": {"type": "integer", "minimum": 0},
+                "operations": {
+                    "type": "array",
+                    "items": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+#: ``POST /compare`` 200 body: one report row per paper-suite compiler,
+#: each row individually cached/coalesced like a ``/compile`` job.
+COMPARE_RESPONSE_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve compare response",
+    "type": "object",
+    "required": ["job", "elapsed_ms", "rows"],
+    "additionalProperties": False,
+    "properties": {
+        "job": JOB_SCHEMA,
+        "elapsed_ms": {"type": "number", "minimum": 0},
+        "rows": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["compiler", "machine", "cache", "report"],
+                "additionalProperties": False,
+                "properties": {
+                    "compiler": _SPEC,
+                    "machine": _SPEC,
+                    "cache": _CACHE,
+                    "report": REPORT_SCHEMA,
+                },
+            },
+        },
+    },
+}
+
+#: Every non-2xx body: status mirrors the HTTP code, ``field`` names the
+#: offending request field when one is known.
+ERROR_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve error",
+    "type": "object",
+    "required": ["error"],
+    "additionalProperties": False,
+    "properties": {
+        "error": {
+            "type": "object",
+            "required": ["status", "message"],
+            "additionalProperties": False,
+            "properties": {
+                "status": {"type": "integer", "minimum": 400, "maximum": 599},
+                "message": _SPEC,
+                "field": {"type": "string", "minLength": 1},
+            },
+        },
+    },
+}
+
+#: ``GET /healthz`` body.
+HEALTH_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve health",
+    "type": "object",
+    "required": ["status", "uptime_s", "version"],
+    "additionalProperties": False,
+    "properties": {
+        "status": {"const": "ok"},
+        "uptime_s": {"type": "number", "minimum": 0},
+        "version": _SPEC,
+    },
+}
+
+#: ``GET /stats`` body: request counters plus the two cache tiers.
+STATS_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve stats",
+    "type": "object",
+    "required": ["uptime_s", "requests", "cache", "workers"],
+    "additionalProperties": False,
+    "properties": {
+        "uptime_s": {"type": "number", "minimum": 0},
+        "requests": {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 0},
+        },
+        "cache": {
+            "type": "object",
+            "required": [
+                "memory_hits",
+                "disk_hits",
+                "misses",
+                "coalesced",
+                "memory_entries",
+                "memory_bytes",
+                "memory_evictions",
+            ],
+            "additionalProperties": False,
+            "properties": {
+                "memory_hits": {"type": "integer", "minimum": 0},
+                "disk_hits": {"type": "integer", "minimum": 0},
+                "misses": {"type": "integer", "minimum": 0},
+                "coalesced": {"type": "integer", "minimum": 0},
+                "memory_entries": {"type": "integer", "minimum": 0},
+                "memory_bytes": {"type": "integer", "minimum": 0},
+                "memory_evictions": {"type": "integer", "minimum": 0},
+            },
+        },
+        "workers": {"type": "integer", "minimum": 0},
+    },
+}

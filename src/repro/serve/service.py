@@ -1,0 +1,303 @@
+"""The compilation service: worker pool, coalescing, cache, stats.
+
+:class:`CompileService` is the transport-free core behind ``repro
+serve`` — the HTTP layer (:mod:`repro.serve.http`) only parses requests
+and serialises what this class returns, so the whole service contract is
+testable without a socket.
+
+Request path of one ``/compile`` job::
+
+    parse_job()  ->  cache.get(job.key)        memory / disk hit?
+                 ->  self._inflight[job.key]   identical job running? await it
+                 ->  run_in_executor(pool, _execute_job, ...)   fresh miss
+
+Coalescing: the first request for a key installs an ``asyncio.Future``
+in ``_inflight``; every concurrent identical request awaits that future
+and receives the *same canonical bytes* (counted in
+``stats.cache.coalesced``), so N simultaneous users of one spec cost one
+execution.  Results are cached as canonical JSON bytes in the two-tier
+:class:`~repro.serve.cache.TwoTierCache`.
+
+Workers: a :class:`~concurrent.futures.ProcessPoolExecutor` (the same
+engine the sweep subsystem uses) created lazily on first miss; ``jobs=0``
+selects a thread pool instead — handy for tests and tiny deployments
+where process spin-up dominates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+
+from ..hardware import canonical_machine_spec, resolve_machine
+from ..physics import resolve_physics
+from ..pipeline import default_registry, resolve_compiler
+from ..sim import replay
+from ..workloads import get_benchmark
+from .cache import DEFAULT_MAX_MEMORY_MB, TwoTierCache
+from .jobs import DEFAULTS, Job, JobError, canonical_bytes, parse_job
+
+#: Default machine offered to grid-family baselines by ``/compare``
+#: (mirrors ``repro compare --grid``).
+DEFAULT_GRID = "grid:3x4:16"
+
+
+class ServeExecutionError(RuntimeError):
+    """A validated job failed while executing (a 500, not a 400)."""
+
+
+def _execute_job(kind: str, workload: str, machine: str, compiler: str, physics: str) -> dict:
+    """Worker entry point: compile + price one validated job.
+
+    Module-level and spec-string addressed, so it pickles across the
+    process pool; returns a JSON-safe dict (the unit the cache stores).
+    """
+    circuit = get_benchmark(workload)
+    resolved_machine = resolve_machine(machine, circuit.num_qubits)
+    resolved_compiler = resolve_compiler(compiler)
+    params = resolve_physics(physics)
+    program = resolved_compiler.compile(circuit, resolved_machine)
+    ledger = replay(program)
+    ledger.verify_priceable(params)
+    if kind == "trace":
+        return {
+            "circuit": circuit.name,
+            "compiler": program.compiler_name,
+            "num_qubits": circuit.num_qubits,
+            "shuttle_count": program.shuttle_count,
+            "operations": ledger.records(params),
+        }
+    return ledger.reprice(params).to_dict()
+
+
+class CompileService:
+    """Async compile/trace/compare service over a worker pool."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int | None = None,
+        cache_dir: Path | str | None = None,
+        max_memory_mb: float = DEFAULT_MAX_MEMORY_MB,
+        use_disk_cache: bool = True,
+    ) -> None:
+        import os
+
+        self.jobs = (os.cpu_count() or 1) if jobs is None else jobs
+        self.cache = TwoTierCache(
+            cache_dir, max_memory_mb=max_memory_mb, use_disk=use_disk_cache
+        )
+        self.started = time.monotonic()
+        self.requests: dict[str, int] = {}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pool: Executor | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _executor(self) -> Executor:
+        if self._pool is None:
+            if self.jobs <= 0:
+                self._pool = ThreadPoolExecutor(max_workers=4)
+            else:
+                # Workers fork lazily, *after* the event loop is running —
+                # the default fork start method can inherit a locked lock
+                # from the loop's internals and deadlock the child, so the
+                # service always spawns fresh interpreters.
+                import multiprocessing
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _count(self, endpoint: str) -> None:
+        self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started
+
+    def health(self) -> dict:
+        from .. import __version__
+
+        self._count("healthz")
+        return {
+            "status": "ok",
+            "uptime_s": round(self.uptime_s, 3),
+            "version": __version__,
+        }
+
+    def stats(self) -> dict:
+        self._count("stats")
+        return {
+            "uptime_s": round(self.uptime_s, 3),
+            "requests": dict(sorted(self.requests.items())),
+            "cache": self.cache.to_dict(),
+            "workers": self.jobs,
+        }
+
+    # -- the core: cached, coalesced execution ---------------------------
+
+    async def result_bytes(self, job: Job) -> tuple[bytes, str]:
+        """Canonical result bytes for *job* plus how they were obtained
+        (``memory`` / ``disk`` / ``coalesced`` / ``miss``).
+
+        This is the coalescing point: concurrent calls with the same
+        ``job.key`` share one execution and receive identical bytes.
+        """
+        cached = self.cache.get(job.key)
+        if cached is not None:
+            return cached
+        inflight = self._inflight.get(job.key)
+        if inflight is not None:
+            payload = await asyncio.shield(inflight)
+            self.cache.stats.coalesced += 1
+            return payload, "coalesced"
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[job.key] = future
+        started = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(
+                self._executor(),
+                _execute_job,
+                job.kind,
+                job.workload,
+                job.machine,
+                job.compiler,
+                job.physics,
+            )
+        except Exception as error:
+            if not future.cancelled():
+                future.set_exception(
+                    ServeExecutionError(f"{job.workload} failed: {error}")
+                )
+                # The exception is delivered to every coalesced waiter (or
+                # nobody); either way it is not "unretrieved".
+                future.exception()
+            raise ServeExecutionError(
+                f"executing {job.workload} on {job.machine} with "
+                f"{job.compiler} failed: {error}"
+            ) from error
+        else:
+            payload = canonical_bytes(result)
+            self.cache.put(job.key, payload, time.perf_counter() - started)
+            if not future.cancelled():
+                future.set_result(payload)
+            return payload, "miss"
+        finally:
+            self._inflight.pop(job.key, None)
+
+    # -- endpoint handlers ----------------------------------------------
+
+    async def compile(self, payload) -> dict:
+        """``POST /compile``: one report, validated against REPORT_SCHEMA."""
+        self._count("compile")
+        job = parse_job("compile", payload)
+        started = time.perf_counter()
+        result, state = await self.result_bytes(job)
+        return {
+            "job": job.to_dict(),
+            "cache": state,
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            "report": json.loads(result),
+        }
+
+    async def trace(self, payload) -> dict:
+        """``POST /trace``: the schedule's timed op records."""
+        self._count("trace")
+        job = parse_job("trace", payload)
+        started = time.perf_counter()
+        result, state = await self.result_bytes(job)
+        return {
+            "job": job.to_dict(),
+            "cache": state,
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            "trace": json.loads(result),
+        }
+
+    async def compare(self, payload) -> dict:
+        """``POST /compare``: the paper suite as parallel compile sub-jobs.
+
+        Every suite compiler becomes an ordinary ``compile`` job keyed on
+        its own (circuit hash, specs) tuple, so comparison rows share the
+        cache — and the coalescer — with plain ``/compile`` traffic.
+        """
+        self._count("compare")
+        if isinstance(payload, dict) and "grid" in payload:
+            payload = dict(payload)
+            grid_spec = payload.pop("grid")
+            if not isinstance(grid_spec, str) or not grid_spec.strip():
+                raise JobError(
+                    f"field 'grid' must be a machine spec string, got {grid_spec!r}",
+                    field="grid",
+                )
+            try:
+                grid_spec = canonical_machine_spec(grid_spec.strip())
+            except ValueError as error:
+                raise JobError(f"bad machine spec: {error}", field="grid") from None
+        else:
+            grid_spec = canonical_machine_spec(DEFAULT_GRID)
+        if isinstance(payload, dict) and "compiler" in payload:
+            raise JobError(
+                "compare runs the registered paper suite; "
+                "it does not accept a 'compiler' field",
+                field="compiler",
+            )
+        base = parse_job(
+            "compare",
+            payload,
+            allowed_fields=("workload", "machine", "physics"),
+        )
+        registry = default_registry()
+        started = time.perf_counter()
+        sub_jobs: list[Job] = []
+        for name in registry.paper_suite():
+            entry = registry.entry(name)
+            machine = grid_spec if entry.machine_family == "grid" else base.machine
+            sub_jobs.append(
+                Job(
+                    kind="compile",
+                    workload=base.workload,
+                    machine=machine,
+                    compiler=name,
+                    physics=base.physics,
+                    circuit_hash=base.circuit_hash,
+                )
+            )
+        results = await asyncio.gather(*(self.result_bytes(job) for job in sub_jobs))
+        rows = [
+            {
+                "compiler": job.compiler,
+                "machine": job.machine,
+                "cache": state,
+                "report": json.loads(result),
+            }
+            for job, (result, state) in zip(sub_jobs, results)
+        ]
+        return {
+            "job": base.to_dict(),
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            "rows": rows,
+        }
+
+
+#: Re-exported defaults the CLI surfaces in ``--help``.
+__all__ = [
+    "CompileService",
+    "DEFAULT_GRID",
+    "DEFAULTS",
+    "ServeExecutionError",
+    "_execute_job",
+]

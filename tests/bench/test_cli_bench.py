@@ -140,3 +140,42 @@ def test_adhoc_cells_reject_bad_machine_spec():
         adhoc.cells(
             workloads=("GHZ_n16",), machines=("grid:2x2",), compilers=("muss-ti",)
         )
+
+
+def test_bench_serve_quick_writes_and_merges(tmp_path, capsys):
+    import json
+
+    from repro.bench import micro
+
+    out = tmp_path / "BENCH_serve.json"
+    # --jobs 0 keeps the smoke on a thread pool: no process spin-up cost.
+    code = main(
+        ["bench", "serve", "--quick", "--jobs", "0", "--output", str(out)]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    micro.validate_payload(payload)
+    assert {cell["mode"] for cell in payload["cells"]} == {
+        "serve-cold",
+        "serve-warm",
+    }
+    stdout = capsys.readouterr().out
+    assert "schema-valid" in stdout and "speedup" in stdout
+    # A second run merges into (not clobbers) the existing payload.
+    code = main(
+        ["bench", "serve", "--quick", "--jobs", "0", "--output", str(out)]
+    )
+    assert code == 0
+    merged = json.loads(out.read_text())
+    assert len(merged["cells"]) == 2
+
+
+def test_bench_serve_bad_request_count_fails_cleanly(tmp_path, capsys):
+    code = main(
+        [
+            "bench", "serve", "--requests", "1", "--jobs", "0",
+            "--output", str(tmp_path / "out.json"),
+        ]
+    )
+    assert code == 2
+    assert "error" in capsys.readouterr().err

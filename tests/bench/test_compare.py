@@ -7,7 +7,13 @@ import json
 
 import pytest
 
-from repro.bench import compare_payloads, run_compare, worst_regression
+from repro.bench import (
+    compare_payloads,
+    discover_baseline,
+    resolve_baseline,
+    run_compare,
+    worst_regression,
+)
 from repro.cli import main
 
 
@@ -150,6 +156,107 @@ class TestRunCompare:
         new = self.write(tmp_path, "new.json", baseline)
         _, code = run_compare(old, new, fail_over_pct=50)
         assert code == 0
+
+
+def make_serve_cell(**overrides) -> dict:
+    cell = {
+        "workload": "mix:compile+trace",
+        "machine": "mix",
+        "compiler": "mix",
+        "mode": "serve-warm",
+        "concurrency": 8,
+        "requests": 60,
+        "errors": 0,
+        "p50_ms": 5.0,
+        "p99_ms": 100.0,
+        "throughput_rps": 400.0,
+    }
+    cell.update(overrides)
+    return cell
+
+
+class TestServeCells:
+    def test_serve_cells_are_judged_on_p99(self):
+        old = make_payload([make_serve_cell()])
+        old["grid"] = "serve"
+        new = copy.deepcopy(old)
+        new["cells"][0]["p99_ms"] = 250.0  # +150%
+        worst, key = worst_regression(compare_payloads(old, new))
+        assert worst == pytest.approx(150.0)
+        assert key[-1] == "serve-warm"
+
+    def test_phase_is_part_of_cell_identity(self):
+        old = make_payload([make_serve_cell(mode="serve-cold")])
+        new = make_payload([make_serve_cell(mode="serve-warm")])
+        statuses = sorted(
+            row["status"] for row in compare_payloads(old, new)
+        )
+        assert statuses == ["gone", "new"]
+
+    def test_noise_floor_converts_milliseconds(self):
+        # 10 ms p99 baseline is below a 50 ms floor: shown, never judged.
+        old = make_payload([make_serve_cell(p99_ms=10.0)])
+        new = copy.deepcopy(old)
+        new["cells"][0]["p99_ms"] = 40.0  # "+300%" of noise
+        worst, _ = worst_regression(compare_payloads(old, new), min_seconds=0.05)
+        assert worst is None
+
+    def test_mixed_payload_renders_both_tables(self, baseline, tmp_path):
+        mixed = copy.deepcopy(baseline)
+        mixed["cells"].append(make_serve_cell())
+        mixed["grid"] = "mixed"
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps(mixed))
+        text, code = run_compare(path, path, fail_over_pct=50)
+        assert code == 0
+        assert "Microbenchmark comparison" in text
+        assert "Service load comparison" in text
+
+    def test_throughput_shown_but_not_judged(self):
+        old = make_payload([make_serve_cell()])
+        new = copy.deepcopy(old)
+        new["cells"][0]["throughput_rps"] = 1.0  # collapse: not the guard metric
+        worst, _ = worst_regression(compare_payloads(old, new))
+        assert worst == pytest.approx(0.0)
+
+
+class TestDiscoverBaseline:
+    def test_picks_newest_by_filename_date(self, tmp_path):
+        for name in ("BENCH_2026-07-01.json", "BENCH_2026-07-29.json", "BENCH_2026-03-15.json"):
+            (tmp_path / name).write_text("{}")
+        assert discover_baseline(tmp_path).name == "BENCH_2026-07-29.json"
+
+    def test_ignores_undated_files(self, tmp_path):
+        (tmp_path / "BENCH_2026-07-01.json").write_text("{}")
+        (tmp_path / "BENCH_latest.json").write_text("{}")
+        (tmp_path / "BENCH_2026-07-01.json.bak").write_text("{}")
+        assert discover_baseline(tmp_path).name == "BENCH_2026-07-01.json"
+
+    def test_no_baseline_fails_loudly(self, tmp_path):
+        with pytest.raises(ValueError, match="no committed BENCH_<date>.json"):
+            discover_baseline(tmp_path)
+
+    def test_resolve_latest_uses_cwd(self, baseline, tmp_path, monkeypatch):
+        (tmp_path / "BENCH_2026-08-01.json").write_text(json.dumps(baseline))
+        monkeypatch.chdir(tmp_path)
+        assert resolve_baseline("latest").name == "BENCH_2026-08-01.json"
+        assert resolve_baseline(tmp_path).name == "BENCH_2026-08-01.json"
+        # An explicit path passes through untouched.
+        assert resolve_baseline("foo.json") == "foo.json"
+
+    def test_run_compare_latest_end_to_end(self, baseline, tmp_path, monkeypatch):
+        (tmp_path / "BENCH_2026-08-01.json").write_text(json.dumps(baseline))
+        new = tmp_path / "new.json"
+        new.write_text(json.dumps(baseline))
+        monkeypatch.chdir(tmp_path)
+        text, code = run_compare("latest", new, fail_over_pct=50)
+        assert code == 0
+        assert "baseline:" in text and "BENCH_2026-08-01.json" in text
+
+    def test_run_compare_latest_without_baseline_fails(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError, match="no committed"):
+            run_compare("latest", tmp_path / "new.json")
 
 
 class TestCompareCli:

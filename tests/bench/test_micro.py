@@ -167,3 +167,116 @@ class TestMicroCli:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+def _micro_payload(cells: list[dict], grid: str = "micro") -> dict:
+    return {
+        "schema_version": 3,
+        "created_utc": "2026-08-08T00:00:00Z",
+        "grid": grid,
+        "repeats": 1,
+        "environment": {"python": "3.12.0", "platform": "test"},
+        "cells": cells,
+    }
+
+
+def _timing_cell(**overrides) -> dict:
+    cell = {
+        "workload": "GHZ_n32",
+        "machine": "grid:2x2:12",
+        "compiler": "muss-ti",
+        "compile_s": 1.0,
+        "execute_s": 0.5,
+        "total_s": 1.5,
+        "operations": 100,
+        "shuttles": 5,
+        "makespan_us": 1000.0,
+        "log10_fidelity": -1.0,
+    }
+    cell.update(overrides)
+    return cell
+
+
+def _serve_cell(**overrides) -> dict:
+    cell = {
+        "workload": "mix:compile+trace",
+        "machine": "mix",
+        "compiler": "mix",
+        "mode": "serve-cold",
+        "concurrency": 8,
+        "requests": 60,
+        "errors": 0,
+        "p50_ms": 5.0,
+        "p99_ms": 20.0,
+        "throughput_rps": 400.0,
+    }
+    cell.update(overrides)
+    return cell
+
+
+class TestSchemaV3:
+    def test_serve_cells_validate(self):
+        micro.validate_payload(_micro_payload([_serve_cell()], grid="serve"))
+
+    def test_mixed_payload_validates(self):
+        micro.validate_payload(
+            _micro_payload([_timing_cell(), _serve_cell()], grid="mixed")
+        )
+
+    def test_hybrid_cell_rejected(self):
+        # A cell mixing timing and serve fields matches neither branch.
+        broken = _serve_cell()
+        del broken["p99_ms"]
+        with pytest.raises(micro.BenchSchemaError):
+            micro.validate_payload(_micro_payload([broken], grid="serve"))
+
+    def test_serve_mode_enum_enforced(self):
+        with pytest.raises(micro.BenchSchemaError):
+            micro.validate_payload(
+                _micro_payload([_serve_cell(mode="serve-lukewarm")], grid="serve")
+            )
+
+    def test_older_schema_versions_still_accepted(self):
+        payload = _micro_payload([_timing_cell()])
+        for version in (1, 2):
+            payload["schema_version"] = version
+            micro.validate_payload(payload)
+
+
+class TestMergePayloads:
+    def test_appends_new_cells_and_mixes_grids(self):
+        base = _micro_payload([_timing_cell()])
+        new = _micro_payload([_serve_cell()], grid="serve")
+        merged = micro.merge_payloads(base, new)
+        assert merged["grid"] == "mixed"
+        assert len(merged["cells"]) == 2
+        micro.validate_payload(merged)
+
+    def test_replaces_matching_cells(self):
+        base = _micro_payload([_serve_cell(p50_ms=5.0)], grid="serve")
+        new = _micro_payload([_serve_cell(p50_ms=9.0)], grid="serve")
+        merged = micro.merge_payloads(base, new)
+        assert len(merged["cells"]) == 1
+        assert merged["cells"][0]["p50_ms"] == 9.0
+        assert merged["grid"] == "serve"
+
+    def test_keeps_unmatched_base_cells_in_order(self):
+        base = _micro_payload(
+            [_timing_cell(), _timing_cell(workload="QFT_n64")]
+        )
+        new = _micro_payload([_timing_cell(workload="QFT_n64", total_s=9.0)])
+        merged = micro.merge_payloads(base, new)
+        assert [cell["workload"] for cell in merged["cells"]] == [
+            "GHZ_n32",
+            "QFT_n64",
+        ]
+        assert merged["cells"][1]["total_s"] == 9.0
+
+    def test_mode_distinguishes_cells(self):
+        base = _micro_payload([_serve_cell(mode="serve-cold")], grid="serve")
+        new = _micro_payload([_serve_cell(mode="serve-warm")], grid="serve")
+        merged = micro.merge_payloads(base, new)
+        assert len(merged["cells"]) == 2
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(micro.BenchSchemaError):
+            micro.merge_payloads({"schema_version": 3}, _micro_payload([_timing_cell()]))

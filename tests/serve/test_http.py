@@ -1,0 +1,190 @@
+"""HTTP front-end: endpoint round-trips and structured errors.
+
+Each test boots the real asyncio server on an ephemeral localhost port
+and speaks actual HTTP/1.1 over a socket — the same wire path ``repro
+serve`` exposes — with a thread worker pool for speed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.schema import validate, validate_node
+from repro.serve import CompileService, start_http_server
+from repro.serve.schemas import (
+    COMPARE_RESPONSE_SCHEMA,
+    COMPILE_RESPONSE_SCHEMA,
+    ERROR_SCHEMA,
+    HEALTH_SCHEMA,
+    STATS_SCHEMA,
+    TRACE_RESPONSE_SCHEMA,
+)
+
+
+async def _roundtrip(port: int, method: str, path: str, body: bytes = b"") -> tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\n"
+                "Host: localhost\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, response_body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), response_body
+
+
+def serve(tmp_path, *requests):
+    """Run *requests* (method, path[, payload]) against a live server."""
+
+    async def flow():
+        service = CompileService(jobs=0, cache_dir=tmp_path)
+        server = await start_http_server(service, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        responses = []
+        try:
+            for request in requests:
+                method, path = request[0], request[1]
+                body = (
+                    json.dumps(request[2]).encode()
+                    if len(request) > 2 and not isinstance(request[2], bytes)
+                    else (request[2] if len(request) > 2 else b"")
+                )
+                status, payload = await _roundtrip(port, method, path, body)
+                responses.append((status, json.loads(payload)))
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+        return responses
+
+    return asyncio.run(flow())
+
+
+JOB = {"workload": "GHZ_n8", "machine": "grid:4x4:12", "compiler": "muss-ti"}
+
+
+class TestEndpoints:
+    def test_healthz(self, tmp_path):
+        ((status, payload),) = serve(tmp_path, ("GET", "/healthz"))
+        assert status == 200
+        validate(payload, HEALTH_SCHEMA)
+        validate_node(payload, HEALTH_SCHEMA)
+
+    def test_compile_round_trip_and_cache_hit(self, tmp_path):
+        responses = serve(
+            tmp_path,
+            ("POST", "/compile", JOB),
+            ("POST", "/compile", JOB),
+            ("GET", "/stats"),
+        )
+        (s1, first), (s2, second), (s3, stats) = responses
+        assert (s1, s2, s3) == (200, 200, 200)
+        validate(first, COMPILE_RESPONSE_SCHEMA)
+        validate_node(first, COMPILE_RESPONSE_SCHEMA)
+        assert first["cache"] == "miss"
+        assert second["cache"] == "memory"
+        assert first["report"] == second["report"]
+        validate(stats, STATS_SCHEMA)
+        assert stats["cache"]["memory_hits"] == 1
+        assert stats["cache"]["misses"] == 1
+
+    def test_trace_round_trip(self, tmp_path):
+        ((status, payload),) = serve(
+            tmp_path, ("POST", "/trace", {"workload": "GHZ_n8", "machine": "eml"})
+        )
+        assert status == 200
+        validate(payload, TRACE_RESPONSE_SCHEMA)
+        validate_node(payload, TRACE_RESPONSE_SCHEMA)
+
+    def test_compare_round_trip(self, tmp_path):
+        ((status, payload),) = serve(
+            tmp_path, ("POST", "/compare", {"workload": "GHZ_n8"})
+        )
+        assert status == 200
+        validate(payload, COMPARE_RESPONSE_SCHEMA)
+        validate_node(payload, COMPARE_RESPONSE_SCHEMA)
+        assert len(payload["rows"]) >= 2
+
+
+class TestErrors:
+    def test_bad_spec_is_a_structured_400_with_field(self, tmp_path):
+        ((status, payload),) = serve(
+            tmp_path, ("POST", "/compile", {"workload": "GHZ_n8", "machine": "bogus"})
+        )
+        assert status == 400
+        validate(payload, ERROR_SCHEMA)
+        validate_node(payload, ERROR_SCHEMA)
+        assert payload["error"]["field"] == "machine"
+        assert "Traceback" not in json.dumps(payload)
+
+    def test_malformed_json_is_a_structured_400(self, tmp_path):
+        ((status, payload),) = serve(tmp_path, ("POST", "/compile", b"{not json"))
+        assert status == 400
+        validate(payload, ERROR_SCHEMA)
+        assert "Traceback" not in json.dumps(payload)
+
+    def test_empty_body_is_a_structured_400(self, tmp_path):
+        ((status, payload),) = serve(tmp_path, ("POST", "/compile"))
+        assert status == 400
+        validate(payload, ERROR_SCHEMA)
+
+    def test_unknown_route_is_a_structured_404(self, tmp_path):
+        ((status, payload),) = serve(tmp_path, ("GET", "/nope"))
+        assert status == 404
+        validate(payload, ERROR_SCHEMA)
+        assert "/compile" in payload["error"]["message"]
+
+    def test_wrong_method_is_a_405(self, tmp_path):
+        responses = serve(tmp_path, ("POST", "/healthz"), ("GET", "/compile"))
+        assert [status for status, _ in responses] == [405, 405]
+        for _, payload in responses:
+            validate(payload, ERROR_SCHEMA)
+
+    def test_unknown_field_is_a_400_naming_it(self, tmp_path):
+        ((status, payload),) = serve(
+            tmp_path, ("POST", "/compile", {"workload": "GHZ_n8", "shots": 100})
+        )
+        assert status == 400
+        assert payload["error"]["field"] == "shots"
+
+
+class TestCoalescingOverHttp:
+    def test_concurrent_identical_posts_share_one_execution(self, tmp_path):
+        async def flow():
+            service = CompileService(jobs=0, cache_dir=tmp_path)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            body = json.dumps(JOB).encode()
+            try:
+                responses = await asyncio.gather(
+                    *(_roundtrip(port, "POST", "/compile", body) for _ in range(5))
+                )
+                stats = service.stats()
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+            return responses, stats
+
+        responses, stats = asyncio.run(flow())
+        assert all(status == 200 for status, _ in responses)
+        reports = {
+            json.dumps(json.loads(payload)["report"], sort_keys=True)
+            for _, payload in responses
+        }
+        assert len(reports) == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["coalesced"] + stats["cache"]["memory_hits"] == 4

@@ -1,0 +1,65 @@
+"""Load generator: payload validity and the bench-trajectory contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import validate_payload
+from repro.serve.loadgen import DEFAULT_MIX, MIX_LABEL, PhaseResult, render, run_serve_bench
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Thread pool (jobs=0): fast, and exercises the same asyncio path.
+    return run_serve_bench(requests=10, concurrency=3, jobs=0, quick=True)
+
+
+class TestRunServeBench:
+    def test_payload_is_bench_schema_valid(self, result):
+        validate_payload(result["payload"])
+
+    def test_two_phases_with_stable_identity(self, result):
+        cells = result["payload"]["cells"]
+        assert [cell["mode"] for cell in cells] == ["serve-cold", "serve-warm"]
+        assert all(cell["workload"] == MIX_LABEL for cell in cells)
+        assert result["payload"]["grid"] == "serve"
+
+    def test_no_errors_and_all_requests_counted(self, result):
+        for cell in result["payload"]["cells"]:
+            assert cell["errors"] == 0
+            assert cell["requests"] == 10
+            assert cell["p50_ms"] > 0
+            assert cell["p99_ms"] >= cell["p50_ms"]
+            assert cell["throughput_rps"] > 0
+
+    def test_warm_phase_hits_the_cache(self, result):
+        stats = result["diagnostics"]["stats"]
+        assert stats["cache"]["misses"] == len(DEFAULT_MIX)
+        assert stats["cache"]["memory_hits"] >= 10  # the whole warm phase
+
+    def test_render_mentions_speedup_and_counters(self, result):
+        text = render(result)
+        assert "cold" in text and "warm" in text
+        assert "speedup" in text
+        assert "coalesced" in text
+
+    def test_too_few_requests_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            run_serve_bench(requests=2, jobs=0)
+
+    def test_bad_concurrency_rejected(self):
+        with pytest.raises(ValueError, match="concurrency"):
+            run_serve_bench(requests=10, concurrency=0, jobs=0)
+
+
+class TestPhaseResult:
+    def test_percentiles_of_known_data(self):
+        phase = PhaseResult("cold", [float(i) for i in range(1, 101)], 1.0, 0)
+        assert phase.percentile(0.50) == pytest.approx(50.0, abs=1.0)
+        assert phase.percentile(0.99) == pytest.approx(99.0, abs=1.0)
+        assert phase.throughput_rps == pytest.approx(100.0)
+
+    def test_empty_phase_is_all_zero(self):
+        phase = PhaseResult("warm", [], 0.0, 0)
+        assert phase.percentile(0.5) == 0.0
+        assert phase.throughput_rps == 0.0

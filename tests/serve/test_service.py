@@ -1,0 +1,197 @@
+"""CompileService core: caching, coalescing, compare fan-out.
+
+Everything here drives the transport-free service object directly (no
+socket) with a thread worker pool (``jobs=0``) so the suite stays fast
+and deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.schema import validate, validate_node
+from repro.serve import (
+    COMPARE_RESPONSE_SCHEMA,
+    COMPILE_RESPONSE_SCHEMA,
+    HEALTH_SCHEMA,
+    STATS_SCHEMA,
+    TRACE_RESPONSE_SCHEMA,
+    CompileService,
+    JobError,
+    ServeExecutionError,
+)
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = CompileService(jobs=0, cache_dir=tmp_path)
+    yield svc
+    svc.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+PAYLOAD = {"workload": "GHZ_n8", "machine": "grid:4x4:12", "compiler": "muss-ti"}
+
+
+class TestCompile:
+    def test_miss_then_memory_hit(self, service):
+        async def flow():
+            first = await service.compile(PAYLOAD)
+            second = await service.compile(PAYLOAD)
+            return first, second
+
+        first, second = run(flow())
+        assert first["cache"] == "miss"
+        assert second["cache"] == "memory"
+        assert first["report"] == second["report"]
+        validate(first, COMPILE_RESPONSE_SCHEMA)
+        validate_node(second, COMPILE_RESPONSE_SCHEMA)
+
+    def test_disk_hit_after_restart(self, tmp_path):
+        first_service = CompileService(jobs=0, cache_dir=tmp_path)
+        try:
+            first = run(first_service.compile(PAYLOAD))
+        finally:
+            first_service.close()
+        second_service = CompileService(jobs=0, cache_dir=tmp_path)
+        try:
+            second = run(second_service.compile(PAYLOAD))
+        finally:
+            second_service.close()
+        assert second["cache"] == "disk"
+        assert second["report"] == first["report"]
+
+    def test_report_is_schema_valid(self, service):
+        from repro.sim import REPORT_SCHEMA
+
+        response = run(service.compile(PAYLOAD))
+        validate(response["report"], REPORT_SCHEMA)
+
+    def test_bad_spec_raises_job_error_not_execution_error(self, service):
+        with pytest.raises(JobError) as excinfo:
+            run(service.compile({"workload": "GHZ_n8", "machine": "bogus:1"}))
+        assert excinfo.value.field == "machine"
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_execute_once(self, service):
+        async def flow():
+            return await asyncio.gather(*(service.compile(PAYLOAD) for _ in range(6)))
+
+        responses = run(flow())
+        states = sorted(response["cache"] for response in responses)
+        assert states.count("miss") == 1
+        assert states.count("coalesced") == 5
+        assert service.cache.stats.coalesced == 5
+        assert service.cache.stats.misses == 1
+
+    def test_coalesced_waiters_receive_identical_bytes(self, service):
+        from repro.serve.jobs import parse_job
+
+        job = parse_job("compile", PAYLOAD)
+
+        async def flow():
+            return await asyncio.gather(*(service.result_bytes(job) for _ in range(4)))
+
+        results = run(flow())
+        payloads = {payload for payload, _ in results}
+        assert len(payloads) == 1
+        states = sorted(state for _, state in results)
+        assert states == ["coalesced", "coalesced", "coalesced", "miss"]
+
+    def test_distinct_jobs_do_not_coalesce(self, service):
+        other = dict(PAYLOAD, machine="eml")
+
+        async def flow():
+            return await asyncio.gather(service.compile(PAYLOAD), service.compile(other))
+
+        responses = run(flow())
+        assert [response["cache"] for response in responses] == ["miss", "miss"]
+        assert service.cache.stats.coalesced == 0
+
+
+class TestTrace:
+    def test_trace_response_shape(self, service):
+        response = run(service.trace({"workload": "GHZ_n8", "machine": "grid:2x2:12"}))
+        validate(response, TRACE_RESPONSE_SCHEMA)
+        validate_node(response, TRACE_RESPONSE_SCHEMA)
+        trace = response["trace"]
+        assert trace["num_qubits"] == 8
+        assert trace["operations"]
+
+    def test_trace_and_compile_cached_separately(self, service):
+        spec = {"workload": "GHZ_n8", "machine": "grid:2x2:12"}
+
+        async def flow():
+            compile_response = await service.compile(spec)
+            trace_response = await service.trace(spec)
+            return compile_response, trace_response
+
+        compile_response, trace_response = run(flow())
+        assert compile_response["cache"] == "miss"
+        assert trace_response["cache"] == "miss"
+
+
+class TestCompare:
+    def test_rows_cover_the_paper_suite(self, service):
+        from repro.pipeline import default_registry
+
+        response = run(service.compare({"workload": "GHZ_n8"}))
+        validate(response, COMPARE_RESPONSE_SCHEMA)
+        validate_node(response, COMPARE_RESPONSE_SCHEMA)
+        assert {row["compiler"] for row in response["rows"]} == set(
+            default_registry().paper_suite()
+        )
+
+    def test_rows_share_the_compile_cache(self, service):
+        async def flow():
+            await service.compare({"workload": "GHZ_n8"})
+            return await service.compare({"workload": "GHZ_n8"})
+
+        second = run(flow())
+        assert all(row["cache"] == "memory" for row in second["rows"])
+
+    def test_compiler_field_rejected(self, service):
+        with pytest.raises(JobError) as excinfo:
+            run(service.compare({"workload": "GHZ_n8", "compiler": "muss-ti"}))
+        assert excinfo.value.field == "compiler"
+
+    def test_bad_grid_spec_rejected(self, service):
+        with pytest.raises(JobError) as excinfo:
+            run(service.compare({"workload": "GHZ_n8", "grid": "nope"}))
+        assert excinfo.value.field == "grid"
+
+
+class TestExecutionFailure:
+    def test_worker_failure_surfaces_as_serve_execution_error(self, service, monkeypatch):
+        from repro.serve import service as service_module
+
+        def explode(*_args):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(service_module, "_execute_job", explode)
+        with pytest.raises(ServeExecutionError, match="boom"):
+            run(service.compile(PAYLOAD))
+        # The failure is not cached: nothing was stored under the key.
+        assert service.cache.stats.misses == 0
+
+
+class TestObservability:
+    def test_health_and_stats_schemas(self, service):
+        validate(service.health(), HEALTH_SCHEMA)
+        validate_node(service.health(), HEALTH_SCHEMA)
+        run(service.compile(PAYLOAD))
+        stats = service.stats()
+        validate(stats, STATS_SCHEMA)
+        validate_node(stats, STATS_SCHEMA)
+        assert stats["requests"]["compile"] == 1
+        assert stats["cache"]["misses"] == 1
+
+    def test_stats_serialise_to_json(self, service):
+        json.dumps(service.stats())

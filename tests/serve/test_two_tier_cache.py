@@ -1,0 +1,95 @@
+"""Two-tier service cache: LRU bounds, promotion, identical bytes."""
+
+from __future__ import annotations
+
+from repro.serve.cache import MemoryLRU, TwoTierCache
+
+
+class TestMemoryLRU:
+    def test_get_refreshes_recency(self):
+        lru = MemoryLRU(max_bytes=1024, max_entries=2)
+        lru.put("a", b"1")
+        lru.put("b", b"2")
+        lru.get("a")  # a is now most-recent; c should evict b
+        lru.put("c", b"3")
+        assert lru.get("b") is None
+        assert lru.get("a") == b"1"
+        assert lru.get("c") == b"3"
+
+    def test_entry_bound_evicts_oldest(self):
+        lru = MemoryLRU(max_bytes=1024, max_entries=2)
+        assert lru.put("a", b"1") == 0
+        assert lru.put("b", b"2") == 0
+        assert lru.put("c", b"3") == 1
+        assert lru.get("a") is None
+
+    def test_byte_bound_evicts_until_it_holds(self):
+        lru = MemoryLRU(max_bytes=8, max_entries=100)
+        lru.put("a", b"xxxx")
+        lru.put("b", b"yyyy")
+        evicted = lru.put("c", b"zzzzzz")  # 4 + 4 + 6 > 8: a and b both go
+        assert evicted == 2
+        assert lru.total_bytes == 6
+        assert len(lru) == 1
+
+    def test_oversized_payload_not_admitted(self):
+        lru = MemoryLRU(max_bytes=4, max_entries=100)
+        assert lru.put("huge", b"x" * 5) == 0
+        assert len(lru) == 0
+        assert lru.total_bytes == 0
+
+    def test_refresh_replaces_bytes_exactly_once(self):
+        lru = MemoryLRU(max_bytes=1024, max_entries=10)
+        lru.put("a", b"1234")
+        lru.put("a", b"12")
+        assert lru.total_bytes == 2
+        assert len(lru) == 1
+
+
+class TestTwoTierCache:
+    def test_miss_then_memory_hit(self, tmp_path):
+        cache = TwoTierCache(tmp_path)
+        assert cache.get("k") is None
+        cache.put("k", b'{"a":1}', 0.01)
+        payload, tier = cache.get("k")
+        assert tier == "memory"
+        assert payload == b'{"a":1}'
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_disk_survives_a_fresh_memory_tier(self, tmp_path):
+        first = TwoTierCache(tmp_path)
+        first.put("k", b'{"b":2,"a":1}', 0.01)
+        # A new instance simulates a service restart: memory empty, disk warm.
+        second = TwoTierCache(tmp_path)
+        payload, tier = second.get("k")
+        assert tier == "disk"
+        assert second.stats.disk_hits == 1
+        # Promotion: next get is a memory hit with byte-identical payload.
+        promoted, tier = second.get("k")
+        assert tier == "memory"
+        assert promoted == payload
+
+    def test_disk_bytes_are_canonical(self, tmp_path):
+        first = TwoTierCache(tmp_path)
+        first.put("k", b'{"a":1,"b":[2,3]}', 0.01)
+        second = TwoTierCache(tmp_path)
+        payload, _ = second.get("k")
+        assert payload == b'{"a":1,"b":[2,3]}'
+
+    def test_disk_tier_optional(self, tmp_path):
+        cache = TwoTierCache(tmp_path, use_disk=False)
+        cache.put("k", b'{"a":1}', 0.01)
+        fresh = TwoTierCache(tmp_path, use_disk=False)
+        assert fresh.get("k") is None
+
+    def test_stats_dict_matches_schema_fields(self, tmp_path):
+        from repro.schema import validate_node
+        from repro.serve.schemas import STATS_SCHEMA
+
+        cache = TwoTierCache(tmp_path)
+        cache.put("k", b'{"a":1}', 0.01)
+        cache.get("k")
+        validate_node(
+            cache.to_dict(), STATS_SCHEMA["properties"]["cache"], "$.cache"
+        )
