@@ -1,7 +1,10 @@
 """Compare two ``BENCH_*.json`` payloads: the perf-regression guard.
 
 ``repro bench compare <old.json> <new.json>`` matches cells by identity
-(workload, machine, compiler, mode), renders a per-cell delta table, and
+(workload, machine, compiler, mode — plus, for service load-generator
+cells, the concurrency/request configuration, because a ``--quick``
+run's latencies are not comparable to a full-size run's), renders a
+per-cell delta table, and
 — with ``--fail-over PCT`` — exits non-zero when any matched cell's
 guard metric regressed by more than PCT percent.  Metrics are
 mode-aware: compile+execute (and reprice) cells are judged on
@@ -99,13 +102,19 @@ def load_payload(path: str | Path) -> dict:
 
 
 def _cell_key(cell: dict) -> tuple:
-    return tuple(cell[field] for field in _KEY_FIELDS) + (
-        cell.get("mode", "compile-execute"),
-    )
+    mode = cell.get("mode", "compile-execute")
+    key = tuple(cell[field] for field in _KEY_FIELDS) + (mode,)
+    if mode.startswith("serve-"):
+        # Load-generator latencies are only comparable between identical
+        # experiment configurations: a --quick cell (low concurrency,
+        # few requests) must never be guard-judged against a full-size
+        # baseline cell, so the configuration is part of the identity.
+        key += (f"c{cell.get('concurrency')}r{cell.get('requests')}",)
+    return key
 
 
 def _is_serve_key(key: tuple) -> bool:
-    return key[-1].startswith("serve-")
+    return key[3].startswith("serve-")
 
 
 def _metrics_for(key: tuple) -> tuple[str, ...]:
@@ -118,8 +127,10 @@ def guard_metric_for(key: tuple) -> str:
 
 
 def _describe_key(key: tuple) -> str:
-    workload, machine, _compiler, mode = key
+    workload, machine, _compiler, mode = key[:4]
     suffix = f" [{mode}]" if mode != "compile-execute" else ""
+    if len(key) > 4:
+        suffix += f" @{key[4]}"
     return f"{workload} on {machine}{suffix}"
 
 

@@ -13,12 +13,22 @@ least-recently-used entries until both bounds hold.  Every get/put
 updates the counters surfaced by ``GET /stats`` (memory/disk hits,
 misses, evictions) — the observability the coalescing and latency
 acceptance tests key on.
+
+The service calls the ``get_async``/``put_async`` pair: the memory tier
+is consulted/updated synchronously (it is pure dict work), but every
+disk-tier read and write is offloaded to a dedicated single-thread
+executor so the event loop never blocks on file I/O — and so all disk
+access is serialised through one thread, keeping the underlying
+:class:`ResultCache` free of cross-thread races.  The plain sync
+``get``/``put`` remain for non-async callers and tests.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -114,6 +124,35 @@ class TwoTierCache:
         )
         self.disk = ResultCache(cache_dir) if use_disk else None
         self.stats = CacheStats()
+        self._disk_pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _disk_executor(self) -> ThreadPoolExecutor:
+        # One thread, lazily: serialises every disk read/write, so the
+        # ResultCache never sees concurrent access.
+        if self._disk_pool is None:
+            self._disk_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="serve-cache-disk"
+            )
+        return self._disk_pool
+
+    def close(self) -> None:
+        if self._disk_pool is not None:
+            self._disk_pool.shutdown(wait=True)
+            self._disk_pool = None
+
+    # -- lookups ---------------------------------------------------------
+
+    def _record_memory_hit(self, payload: bytes) -> tuple[bytes, str]:
+        self.stats.memory_hits += 1
+        return payload, "memory"
+
+    def _record_disk_hit(self, key: str, entry: dict) -> tuple[bytes, str]:
+        payload = canonical_bytes(entry["result"])
+        self.stats.disk_hits += 1
+        self.stats.memory_evictions += self.memory.put(key, payload)
+        return payload, "disk"
 
     def get(self, key: str) -> tuple[bytes, str] | None:
         """Look a job key up: ``(canonical bytes, tier)`` or ``None``.
@@ -123,24 +162,47 @@ class TwoTierCache:
         """
         payload = self.memory.get(key)
         if payload is not None:
-            self.stats.memory_hits += 1
-            return payload, "memory"
+            return self._record_memory_hit(payload)
         if self.disk is not None:
             entry = self.disk.get(DISK_EXPERIMENT, key)
             if entry is not None:
-                payload = canonical_bytes(entry["result"])
-                self.stats.disk_hits += 1
-                self.stats.memory_evictions += self.memory.put(key, payload)
-                return payload, "disk"
+                return self._record_disk_hit(key, entry)
         return None
+
+    async def get_async(self, key: str) -> tuple[bytes, str] | None:
+        """:meth:`get` with the disk-tier read off the event loop."""
+        payload = self.memory.get(key)
+        if payload is not None:
+            return self._record_memory_hit(payload)
+        if self.disk is not None:
+            entry = await asyncio.get_running_loop().run_in_executor(
+                self._disk_executor(), self.disk.get, DISK_EXPERIMENT, key
+            )
+            if entry is not None:
+                return self._record_disk_hit(key, entry)
+        return None
+
+    # -- inserts ---------------------------------------------------------
+
+    def _disk_put(self, key: str, payload: bytes, elapsed_s: float) -> None:
+        self.disk.put(DISK_EXPERIMENT, key, json.loads(payload), elapsed_s)
+        self.disk.flush()
 
     def put(self, key: str, payload: bytes, elapsed_s: float) -> None:
         """Record a fresh result in both tiers (counted as one miss)."""
         self.stats.misses += 1
         self.stats.memory_evictions += self.memory.put(key, payload)
         if self.disk is not None:
-            self.disk.put(DISK_EXPERIMENT, key, json.loads(payload), elapsed_s)
-            self.disk.flush()
+            self._disk_put(key, payload, elapsed_s)
+
+    async def put_async(self, key: str, payload: bytes, elapsed_s: float) -> None:
+        """:meth:`put` with the disk-tier write off the event loop."""
+        self.stats.misses += 1
+        self.stats.memory_evictions += self.memory.put(key, payload)
+        if self.disk is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._disk_executor(), self._disk_put, key, payload, elapsed_s
+            )
 
     def to_dict(self) -> dict:
         return self.stats.to_dict(self.memory)

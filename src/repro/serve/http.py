@@ -106,7 +106,10 @@ async def _read_request(
         raise _HttpError(400, f"bad Content-Length {length_text!r}") from None
     if length < 0 or length > MAX_BODY_BYTES:
         raise _HttpError(413, f"request body of {length} bytes exceeds {MAX_BODY_BYTES}")
-    body = await reader.readexactly(length) if length else b""
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        raise _HttpError(400, "truncated request body") from None
     return method, target.split("?", 1)[0], headers, body
 
 
@@ -155,10 +158,12 @@ async def _handle_connection(
     try:
         while True:
             keep_alive = True
+            framed = False
             try:
                 request = await _read_request(reader)
                 if request is None:
                     break
+                framed = True
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
                 payload = await _dispatch(service, method, path, body)
@@ -166,6 +171,13 @@ async def _handle_connection(
             except _HttpError as error:
                 payload = error_body(error.status, error.message, error.field)
                 status = error.status
+                if not framed:
+                    # A framing error (oversized/truncated headers or
+                    # body, bad Content-Length) leaves the stream in an
+                    # unknown position — re-reading it would replay the
+                    # same error forever, so the connection must die
+                    # after the one structured error response.
+                    keep_alive = False
             except Exception as error:  # a bug, but never a traceback on the wire
                 payload = error_body(500, f"internal error: {error}")
                 status = 500

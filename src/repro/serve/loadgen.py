@@ -136,7 +136,13 @@ async def _run_phase(
             except asyncio.QueueEmpty:
                 return
             started = time.perf_counter()
-            status, _ = await _request(host, port, path, payload)
+            try:
+                status, _ = await _request(host, port, path, payload)
+            except (OSError, EOFError, ValueError, IndexError):
+                # A dropped connection or garbled response is one failed
+                # request, not a reason to abort the whole bench run —
+                # it still gets a latency sample and an error count.
+                status = 0
             latencies.append((time.perf_counter() - started) * 1000.0)
             if status != 200:
                 errors += 1

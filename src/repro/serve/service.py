@@ -118,6 +118,7 @@ class CompileService:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        self.cache.close()
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -156,7 +157,7 @@ class CompileService:
         This is the coalescing point: concurrent calls with the same
         ``job.key`` share one execution and receive identical bytes.
         """
-        cached = self.cache.get(job.key)
+        cached = await self.cache.get_async(job.key)
         if cached is not None:
             return cached
         inflight = self._inflight.get(job.key)
@@ -192,12 +193,21 @@ class CompileService:
             ) from error
         else:
             payload = canonical_bytes(result)
-            self.cache.put(job.key, payload, time.perf_counter() - started)
+            # Resolve the coalesced waiters before the (off-loop) disk
+            # write — they only need the bytes, not the persistence.
             if not future.cancelled():
                 future.set_result(payload)
+            await self.cache.put_async(job.key, payload, time.perf_counter() - started)
             return payload, "miss"
         finally:
             self._inflight.pop(job.key, None)
+            if not future.done():
+                # Only reachable when the leading call was torn down by
+                # CancelledError (which bypasses `except Exception`),
+                # e.g. executor shutdown: cancel the future so coalesced
+                # waiters shielding on it are released instead of
+                # hanging forever.
+                future.cancel()
 
     # -- endpoint handlers ----------------------------------------------
 

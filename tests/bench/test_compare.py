@@ -183,7 +183,7 @@ class TestServeCells:
         new["cells"][0]["p99_ms"] = 250.0  # +150%
         worst, key = worst_regression(compare_payloads(old, new))
         assert worst == pytest.approx(150.0)
-        assert key[-1] == "serve-warm"
+        assert key[3] == "serve-warm"
 
     def test_phase_is_part_of_cell_identity(self):
         old = make_payload([make_serve_cell(mode="serve-cold")])
@@ -192,6 +192,18 @@ class TestServeCells:
             row["status"] for row in compare_payloads(old, new)
         )
         assert statuses == ["gone", "new"]
+
+    def test_load_configuration_is_part_of_cell_identity(self):
+        # A --quick cell (low concurrency, few requests) must not be
+        # guard-judged against a full-size baseline cell.
+        old = make_payload([make_serve_cell(concurrency=8, requests=60)])
+        new = make_payload(
+            [make_serve_cell(concurrency=4, requests=20, p99_ms=900.0)]
+        )
+        rows = compare_payloads(old, new)
+        assert sorted(row["status"] for row in rows) == ["gone", "new"]
+        worst, _ = worst_regression(rows)
+        assert worst is None
 
     def test_noise_floor_converts_milliseconds(self):
         # 10 ms p99 baseline is below a 50 ms floor: shown, never judged.

@@ -161,6 +161,69 @@ class TestErrors:
         assert payload["error"]["field"] == "shots"
 
 
+class TestFramingErrors:
+    """A framing error gets ONE structured response, then the
+    connection dies — it must never loop 413s at the client forever."""
+
+    def _interact(self, tmp_path, raw_request: bytes) -> bytes:
+        async def flow():
+            service = CompileService(jobs=0, cache_dir=tmp_path)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                try:
+                    writer.write(raw_request)
+                    await writer.drain()
+                    writer.write_eof()
+                    # read() returns only at EOF: a server that keeps the
+                    # connection alive after the error hangs right here.
+                    return await asyncio.wait_for(reader.read(), timeout=10)
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        return asyncio.run(flow())
+
+    def test_oversized_headers_one_413_then_close(self, tmp_path):
+        from repro.serve.http import MAX_HEADER_BYTES
+
+        filler = b"X-Filler: " + b"x" * (MAX_HEADER_BYTES + 1024) + b"\r\n"
+        raw = self._interact(
+            tmp_path, b"GET /healthz HTTP/1.1\r\n" + filler + b"\r\n"
+        )
+        assert raw.count(b"HTTP/1.1 413") == 1
+        assert b"HTTP/1.1 200" not in raw
+        assert b"Connection: close" in raw
+
+    def test_truncated_body_one_400_then_close(self, tmp_path):
+        raw = self._interact(
+            tmp_path,
+            b"POST /compile HTTP/1.1\r\nContent-Length: 100\r\n\r\n{tiny",
+        )
+        assert raw.count(b"HTTP/1.1 400") == 1
+        assert b"Connection: close" in raw
+
+    def test_bad_content_length_closes_before_pipelined_request(self, tmp_path):
+        # The unread "body" of the broken request must not be re-parsed
+        # as the next request; the connection dies after the 400, so the
+        # pipelined /healthz never gets an answer.
+        raw = self._interact(
+            tmp_path,
+            b"POST /compile HTTP/1.1\r\nContent-Length: abc\r\n\r\n"
+            b"GET /healthz HTTP/1.1\r\n\r\n",
+        )
+        assert raw.count(b"HTTP/1.1 400") == 1
+        assert b"HTTP/1.1 200" not in raw
+
+
 class TestCoalescingOverHttp:
     def test_concurrent_identical_posts_share_one_execution(self, tmp_path):
         async def flow():

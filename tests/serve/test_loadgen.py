@@ -52,6 +52,31 @@ class TestRunServeBench:
             run_serve_bench(requests=10, concurrency=0, jobs=0)
 
 
+class TestTransportErrors:
+    def test_worker_counts_failures_instead_of_aborting(self, monkeypatch):
+        import asyncio
+
+        from repro.serve import loadgen
+
+        calls = {"count": 0}
+
+        async def flaky(host, port, path, payload):
+            calls["count"] += 1
+            if calls["count"] % 2:
+                raise ConnectionResetError("peer vanished under load")
+            return 200, b"{}"
+
+        monkeypatch.setattr(loadgen, "_request", flaky)
+        phase = asyncio.run(
+            loadgen._run_phase("127.0.0.1", 1, "cold", [("/compile", {})] * 6, 2)
+        )
+        assert calls["count"] == 6
+        assert phase.errors == 3
+        # Failed requests still produce a latency sample, so the cell's
+        # request count stays equal to the configured load.
+        assert len(phase.latencies_ms) == 6
+
+
 class TestPhaseResult:
     def test_percentiles_of_known_data(self):
         phase = PhaseResult("cold", [float(i) for i in range(1, 101)], 1.0, 0)

@@ -182,6 +182,43 @@ class TestExecutionFailure:
         assert service.cache.stats.misses == 0
 
 
+class TestCancellation:
+    def test_cancelled_leader_releases_coalesced_waiters(self, service, monkeypatch):
+        import threading
+
+        from repro.serve import service as service_module
+        from repro.serve.jobs import parse_job
+
+        release = threading.Event()
+
+        def slow(*_args):
+            release.wait(5)
+            return {"ok": 1}
+
+        monkeypatch.setattr(service_module, "_execute_job", slow)
+        job = parse_job("compile", PAYLOAD)
+
+        async def flow():
+            leader = asyncio.ensure_future(service.result_bytes(job))
+            await asyncio.sleep(0.05)  # leader installs the in-flight future
+            waiter = asyncio.ensure_future(service.result_bytes(job))
+            await asyncio.sleep(0.05)  # waiter coalesces onto it
+            leader.cancel()
+            try:
+                # A leaked in-flight future would hang the waiter forever.
+                return await asyncio.wait_for(
+                    asyncio.gather(leader, waiter, return_exceptions=True),
+                    timeout=5,
+                )
+            finally:
+                release.set()
+
+        leader_result, waiter_result = run(flow())
+        assert isinstance(leader_result, asyncio.CancelledError)
+        assert isinstance(waiter_result, asyncio.CancelledError)
+        assert service._inflight == {}
+
+
 class TestObservability:
     def test_health_and_stats_schemas(self, service):
         validate(service.health(), HEALTH_SCHEMA)

@@ -83,6 +83,30 @@ class TestTwoTierCache:
         fresh = TwoTierCache(tmp_path, use_disk=False)
         assert fresh.get("k") is None
 
+    def test_async_api_round_trips_and_promotes(self, tmp_path):
+        import asyncio
+
+        async def flow():
+            first = TwoTierCache(tmp_path)
+            try:
+                assert await first.get_async("k") is None
+                await first.put_async("k", b'{"a":1}', 0.01)
+                assert await first.get_async("k") == (b'{"a":1}', "memory")
+            finally:
+                first.close()
+            # Restart: the async path must find the disk tier and promote.
+            second = TwoTierCache(tmp_path)
+            try:
+                assert await second.get_async("k") == (b'{"a":1}', "disk")
+                assert await second.get_async("k") == (b'{"a":1}', "memory")
+                return second.stats
+            finally:
+                second.close()
+
+        stats = asyncio.run(flow())
+        assert stats.disk_hits == 1
+        assert stats.memory_hits == 1
+
     def test_stats_dict_matches_schema_fields(self, tmp_path):
         from repro.schema import validate_node
         from repro.serve.schemas import STATS_SCHEMA
