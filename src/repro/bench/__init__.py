@@ -40,6 +40,7 @@ from .engine import (
     stderr_progress,
     sweep,
 )
+from .fleet import run_fleet_bench
 from .micro import (
     BENCH_SCHEMA,
     MICRO_GRID,
@@ -78,6 +79,7 @@ __all__ = [
     "resolve_baseline",
     "resolve_experiment",
     "run_compare",
+    "run_fleet_bench",
     "run_micro",
     "stderr_progress",
     "sweep",

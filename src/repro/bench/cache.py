@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import re
+import time
 from pathlib import Path
 
 _ENV_VAR = "REPRO_BENCH_CACHE"
@@ -91,8 +92,21 @@ class ResultCache:
         return self._entries(experiment).get(key)
 
     def put(self, experiment: str, key: str, result: dict, elapsed_s: float) -> None:
-        self._entries(experiment)[key] = {"result": result, "elapsed_s": elapsed_s}
+        self._entries(experiment)[key] = {
+            "result": result,
+            "elapsed_s": elapsed_s,
+            "stored_s": time.time(),
+        }
         self._dirty.add(experiment)
+
+    def remove(self, experiment: str, key: str) -> bool:
+        """Drop one entry (e.g. a TTL-expired one); ``True`` if it existed."""
+        entries = self._entries(experiment)
+        if key not in entries:
+            return False
+        del entries[key]
+        self._dirty.add(experiment)
+        return True
 
     def count(self, experiment: str) -> int:
         return len(self._entries(experiment))

@@ -9,8 +9,9 @@ per-cell delta table, and
 guard metric regressed by more than PCT percent.  Metrics are
 mode-aware: compile+execute (and reprice) cells are judged on
 ``total_s`` in seconds, service load-generator cells (``serve-cold`` /
-``serve-warm``) on ``p99_ms`` in milliseconds — so scheduler speed and
-service latency live under one guard.
+``serve-warm``) on ``p99_ms`` in milliseconds, and multi-tenant
+queueing cells (``fleet``) on ``p99_wait_ms`` — so scheduler speed,
+service latency, and co-scheduling tail wait all live under one guard.
 
 The baseline may be given literally, or as the word ``latest`` (or a
 directory), which auto-discovers the newest committed ``BENCH_*.json``
@@ -48,6 +49,14 @@ SERVE_METRICS = ("p50_ms", "p99_ms", "throughput_rps")
 #: The metric the guard judges on serve cells (throughput is shown but
 #: not judged: its good direction is up, and p99 already covers it).
 SERVE_GUARD_METRIC = "p99_ms"
+
+#: Fields compared per multi-tenant queueing cell (``mode: fleet``).
+FLEET_METRICS = ("throughput_jps", "p99_wait_ms")
+
+#: The metric the guard judges on fleet cells — tail queue wait, the
+#: user-facing cost of a scheduling regression (throughput's good
+#: direction is up, so it is shown but not judged).
+FLEET_GUARD_METRIC = "p99_wait_ms"
 
 #: Filename pattern of a committed, dated baseline.
 _BASELINE_RE = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})\.json$")
@@ -110,6 +119,10 @@ def _cell_key(cell: dict) -> tuple:
         # few requests) must never be guard-judged against a full-size
         # baseline cell, so the configuration is part of the identity.
         key += (f"c{cell.get('concurrency')}r{cell.get('requests')}",)
+    elif mode == "fleet":
+        # Same reasoning for queueing cells: a --quick trace's tail wait
+        # is not comparable to the full-size trace's.
+        key += (f"j{cell.get('jobs')}a{cell.get('arrival')}",)
     return key
 
 
@@ -117,13 +130,25 @@ def _is_serve_key(key: tuple) -> bool:
     return key[3].startswith("serve-")
 
 
+def _is_fleet_key(key: tuple) -> bool:
+    return key[3] == "fleet"
+
+
 def _metrics_for(key: tuple) -> tuple[str, ...]:
-    return SERVE_METRICS if _is_serve_key(key) else METRICS
+    if _is_serve_key(key):
+        return SERVE_METRICS
+    if _is_fleet_key(key):
+        return FLEET_METRICS
+    return METRICS
 
 
 def guard_metric_for(key: tuple) -> str:
     """The ``--fail-over`` metric of one cell (mode-aware)."""
-    return SERVE_GUARD_METRIC if _is_serve_key(key) else GUARD_METRIC
+    if _is_serve_key(key):
+        return SERVE_GUARD_METRIC
+    if _is_fleet_key(key):
+        return FLEET_GUARD_METRIC
+    return GUARD_METRIC
 
 
 def _describe_key(key: tuple) -> str:
@@ -177,7 +202,9 @@ DEFAULT_MIN_SECONDS = 0.05
 
 def _guard_seconds(key: tuple, entry: dict) -> float:
     """The baseline guard value of one row, in seconds."""
-    return entry["old"] / 1000.0 if _is_serve_key(key) else entry["old"]
+    if _is_serve_key(key) or _is_fleet_key(key):
+        return entry["old"] / 1000.0  # p99 latencies are milliseconds
+    return entry["old"]
 
 
 def worst_regression(
@@ -230,13 +257,20 @@ def _render_group(rows: list[dict], metrics: tuple[str, ...], title: str) -> str
 
 def render_comparison(rows: list[dict]) -> str:
     """Fixed-width per-cell delta tables, one per cell family."""
-    timing = [row for row in rows if not _is_serve_key(row["key"])]
+    timing = [
+        row
+        for row in rows
+        if not _is_serve_key(row["key"]) and not _is_fleet_key(row["key"])
+    ]
     serve = [row for row in rows if _is_serve_key(row["key"])]
+    fleet = [row for row in rows if _is_fleet_key(row["key"])]
     parts = []
     if timing:
         parts.append(_render_group(timing, METRICS, "Microbenchmark comparison"))
     if serve:
         parts.append(_render_group(serve, SERVE_METRICS, "Service load comparison"))
+    if fleet:
+        parts.append(_render_group(fleet, FLEET_METRICS, "Fleet comparison"))
     return "\n".join(parts)
 
 

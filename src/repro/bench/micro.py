@@ -54,9 +54,11 @@ from .cells import matches_filter, parse_filter
 #: cell fields for the replay-once/price-many cell; version 3 added the
 #: service load-generator cells (``repro bench serve``: ``serve-cold`` /
 #: ``serve-warm`` modes with p50/p99/throughput metrics) and the
-#: ``serve`` / ``mixed`` grids.  Version-1/2 files still validate (and
-#: compare) cleanly.
-SCHEMA_VERSION = 3
+#: ``serve`` / ``mixed`` grids; version 4 added the multi-tenant
+#: queueing cells (``repro bench fleet``: ``mode: fleet`` with
+#: throughput / wait / fairness metrics) and the ``fleet`` grid.  Older
+#: files still validate (and compare) cleanly.
+SCHEMA_VERSION = 4
 
 #: The physics arms of the ``reprice`` cell: the Fig 13 counterfactuals
 #: plus heating-rate / gate-decay / fiber / lifetime sweeps — the
@@ -163,6 +165,43 @@ _SERVE_CELL_SCHEMA = {
     },
 }
 
+#: Multi-tenant queueing cells (``repro bench fleet``, schema v4): one
+#: cell per admission policy of one simulator run.  The ``compiler``
+#: field carries the policy name (the natural "variant" axis of the
+#: cell identity); ``repro bench compare`` guards ``p99_wait_ms``.
+_FLEET_CELL_SCHEMA = {
+    "type": "object",
+    "required": [
+        "workload",
+        "machine",
+        "compiler",
+        "mode",
+        "jobs",
+        "arrival",
+        "dropped",
+        "throughput_jps",
+        "utilization",
+        "p50_wait_ms",
+        "p99_wait_ms",
+        "jain",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "workload": {"type": "string", "minLength": 1},
+        "machine": {"type": "string", "minLength": 1},
+        "compiler": {"type": "string", "minLength": 1},
+        "mode": {"enum": ["fleet"]},
+        "jobs": {"type": "integer", "minimum": 1},
+        "arrival": {"enum": ["poisson", "bursty"]},
+        "dropped": {"type": "integer", "minimum": 0},
+        "throughput_jps": {"type": "number", "minimum": 0},
+        "utilization": {"type": "number", "minimum": 0},
+        "p50_wait_ms": {"type": "number", "minimum": 0},
+        "p99_wait_ms": {"type": "number", "minimum": 0},
+        "jain": {"type": "number", "minimum": 0, "maximum": 1},
+    },
+}
+
 #: JSON Schema (draft 2020-12) of the ``BENCH_*.json`` payload.
 BENCH_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
@@ -172,9 +211,9 @@ BENCH_SCHEMA = {
     "required": ["schema_version", "created_utc", "grid", "repeats", "environment", "cells"],
     "additionalProperties": False,
     "properties": {
-        "schema_version": {"enum": [1, 2, SCHEMA_VERSION]},
+        "schema_version": {"enum": [1, 2, 3, SCHEMA_VERSION]},
         "created_utc": {"type": "string", "minLength": 1},
-        "grid": {"enum": ["micro", "serve", "mixed"]},
+        "grid": {"enum": ["micro", "serve", "fleet", "mixed"]},
         "repeats": {"type": "integer", "minimum": 1},
         "environment": {
             "type": "object",
@@ -188,7 +227,9 @@ BENCH_SCHEMA = {
         "cells": {
             "type": "array",
             "minItems": 1,
-            "items": {"anyOf": [_CELL_SCHEMA, _SERVE_CELL_SCHEMA]},
+            "items": {
+                "anyOf": [_CELL_SCHEMA, _SERVE_CELL_SCHEMA, _FLEET_CELL_SCHEMA]
+            },
         },
     },
 }

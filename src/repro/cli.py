@@ -222,12 +222,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import CompileService, run_server
 
-    service = CompileService(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        max_memory_mb=args.max_memory_mb,
-        use_disk_cache=not args.no_disk_cache,
-    )
+    try:
+        service = CompileService(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            max_memory_mb=args.max_memory_mb,
+            use_disk_cache=not args.no_disk_cache,
+            disk_ttl_days=args.disk_ttl_days,
+            max_connections=args.max_connections,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     try:
         asyncio.run(
             run_server(
@@ -243,6 +249,139 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Port already bound, privileged port, bad host: clean message.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_fleet_sim(args: argparse.Namespace) -> int:
+    from .multiprog import FleetSimConfig, render_fleet, run_fleet_sim
+    from .multiprog.policies import available_policies
+
+    jobs = min(args.jobs, 5000) if args.quick else args.jobs
+    policies = tuple(args.policy) if args.policy else tuple(available_policies())
+    config = FleetSimConfig(
+        machine=args.machine,
+        machine_qubits=args.machine_qubits,
+        jobs=jobs,
+        arrival=args.arrival,
+        load=args.load,
+        seed=args.seed,
+        policies=policies,
+        window=args.window,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    try:
+        result = run_fleet_sim(config)
+    except ValueError as error:
+        # Bad machine spec, unknown policy/arrival, bad load: clean message.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(render_fleet(result))
+    return 0
+
+
+def _cmd_fleet_policies(_args: argparse.Namespace) -> int:
+    from .multiprog.policies import POLICIES
+
+    print("registered admission policies:")
+    for name, cls in POLICIES.items():
+        print(f"  {name:10s} {cls.summary}")
+    return 0
+
+
+def _cmd_fleet_pack(args: argparse.Namespace) -> int:
+    from .multiprog import BatchJob, pack_batch, slice_ledger
+    from .multiprog.regions import RegionError
+
+    jobs = [
+        BatchJob(
+            job_id=f"job{index}",
+            workload=workload,
+            tenant=f"tenant{index}",
+            compiler=args.compiler,
+        )
+        for index, workload in enumerate(args.workloads)
+    ]
+    try:
+        machine = resolve_machine(args.machine, args.machine_qubits)
+        schedule = pack_batch(jobs, machine, policy=args.policy)
+        ledger = schedule.ledger()
+    except (ValueError, RegionError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    slices = slice_ledger(ledger, schedule.owners, len(schedule.placements))
+    report = ledger.reprice()
+    rows = [
+        [
+            placement.job.tenant,
+            placement.job.workload,
+            placement.region.describe(),
+            entry["operations"],
+            entry["shuttles"],
+            f"{entry['makespan_us']:.0f}",
+            f"{entry['log10_fidelity']:.3f}",
+        ]
+        for placement, entry in zip(schedule.placements, slices)
+    ]
+    print(
+        render_table(
+            ["tenant", "workload", "region", "ops", "shuttles",
+             "makespan (us)", "log10 F"],
+            rows,
+            title=f"batch pack on {machine.describe()} [{args.policy}]",
+        )
+    )
+    print(
+        f"combined: {len(ledger)} ops, makespan {report.makespan_us:.0f} us, "
+        f"log10 fidelity {report.log10_fidelity:.3f}"
+    )
+    if schedule.deferred:
+        deferred = ", ".join(job.workload for job in schedule.deferred)
+        print(f"deferred (did not fit this round): {deferred}")
+    return 0
+
+
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import fleet as bench_fleet
+    from .bench import micro
+
+    try:
+        result = bench_fleet.run_fleet_bench(
+            jobs=args.jobs,
+            arrival=args.arrival,
+            load=args.load,
+            seed=args.seed,
+            machine=args.machine,
+            machine_qubits=args.machine_qubits,
+            cache_dir=args.cache_dir,
+            quick=args.quick,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = result["payload"]
+    path = Path(args.output or micro.default_output_path())
+    # Fold the fleet cells into the day's tracked payload when one exists,
+    # so micro, serve and fleet cells share a single BENCH_<date>.json.
+    if path.exists():
+        try:
+            payload = micro.merge_payloads(
+                json.loads(path.read_text(encoding="utf-8")), payload
+            )
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot merge into {path}: {error}", file=sys.stderr)
+            return 2
+    micro.write_payload(payload, path)
+    print(bench_fleet.render(result))
+    print(
+        f"[fleet: {len(result['payload']['cells'])} cells, schema-valid, "
+        f"written to {path}]"
+    )
     return 0
 
 
@@ -496,7 +635,9 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
 
 #: Explicit bench sub-commands; anything else after ``bench`` is an
 #: experiment name and routes through the implicit ``run``.
-BENCH_SUBCOMMANDS = ("run", "list", "clear-cache", "sweep", "micro", "compare", "serve")
+BENCH_SUBCOMMANDS = (
+    "run", "list", "clear-cache", "sweep", "micro", "compare", "serve", "fleet",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -668,7 +809,155 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep results in memory only (skip the on-disk tier)",
     )
+    serve_parser.add_argument(
+        "--disk-ttl-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="age limit of disk-cached results; stale entries are deleted "
+             "on read and recomputed (default: no limit)",
+    )
+    serve_parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shed connections beyond N with a structured 503 "
+             "(default: 0 = unlimited)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    fleet_parser = commands.add_parser(
+        "fleet",
+        help="multi-tenant co-scheduling: queueing sim, policies, batch pack",
+    )
+    fleet_commands = fleet_parser.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_sim = fleet_commands.add_parser(
+        "sim",
+        help="drive synthetic multi-tenant jobs through the admission policies",
+    )
+    fleet_sim.add_argument(
+        "machine",
+        nargs="?",
+        default="eml:16:2",
+        metavar="MACHINE",
+        help=f"machine to co-schedule on (default: eml:16:2); {_machine_spec_help()}",
+    )
+    fleet_sim.add_argument(
+        "--jobs",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="synthetic jobs in the arrival trace (default: 100000)",
+    )
+    fleet_sim.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty"),
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    fleet_sim.add_argument(
+        "--load",
+        type=float,
+        default=0.8,
+        metavar="RHO",
+        help="offered load: arriving unit-time per available unit-time "
+        "(default: 0.8)",
+    )
+    fleet_sim.add_argument(
+        "--seed", type=int, default=7, metavar="N", help="trace seed (default: 7)"
+    )
+    fleet_sim.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="admission policy, repeatable (default: all registered)",
+    )
+    fleet_sim.add_argument(
+        "--machine-qubits",
+        type=int,
+        default=128,
+        metavar="N",
+        help="size circuit-relative machine specs to this many qubits "
+        "(default: 128)",
+    )
+    fleet_sim.add_argument(
+        "--window",
+        type=int,
+        default=256,
+        metavar="N",
+        help="queue-scan window per admission decision (default: 256)",
+    )
+    fleet_sim.add_argument(
+        "--quick",
+        action="store_true",
+        help="cap the trace at 5000 jobs (CI smoke run)",
+    )
+    fleet_sim.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full simulation result as JSON",
+    )
+    fleet_sim.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"service-time compile cache root (default: {default_cache_dir()})",
+    )
+    fleet_sim.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompile service times instead of using the disk cache",
+    )
+    fleet_sim.set_defaults(handler=_cmd_fleet_sim)
+
+    fleet_policies = fleet_commands.add_parser(
+        "policies", help="list registered admission policies"
+    )
+    fleet_policies.set_defaults(handler=_cmd_fleet_policies)
+
+    fleet_pack = fleet_commands.add_parser(
+        "pack",
+        help="pack a batch of workloads onto one machine and show "
+        "per-tenant ledger slices",
+    )
+    fleet_pack.add_argument(
+        "workloads",
+        nargs="+",
+        metavar="WORKLOAD",
+        help="workloads to co-schedule, one tenant each (e.g. GHZ_n16 QFT_n16)",
+    )
+    fleet_pack.add_argument(
+        "--machine",
+        default="eml:16:2",
+        metavar="SPEC",
+        help=f"default eml:16:2; {_machine_spec_help()}",
+    )
+    fleet_pack.add_argument(
+        "--policy",
+        default="first-fit",
+        metavar="NAME",
+        help="admission policy (default: first-fit)",
+    )
+    fleet_pack.add_argument(
+        "--compiler",
+        default="muss-ti",
+        metavar="SPEC",
+        help=(
+            "compiler for every tenant (default: muss-ti; registered: "
+            f"{', '.join(available_compilers())})"
+        ),
+    )
+    fleet_pack.add_argument(
+        "--machine-qubits",
+        type=int,
+        default=128,
+        metavar="N",
+        help="size circuit-relative machine specs to this many qubits "
+        "(default: 128)",
+    )
+    fleet_pack.set_defaults(handler=_cmd_fleet_pack)
 
     bench_parser = commands.add_parser(
         "bench", help="parallel, cached experiment sweeps"
@@ -790,6 +1079,66 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: ./BENCH_<utc date>.json)",
     )
     bench_serve.set_defaults(handler=_cmd_bench_serve)
+
+    bench_fleet = bench_commands.add_parser(
+        "fleet",
+        help="multi-tenant queueing cells (one per policy) -> BENCH_<date>.json",
+    )
+    bench_fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="synthetic jobs in the trace (default: 20000)",
+    )
+    bench_fleet.add_argument(
+        "--arrival",
+        choices=("poisson", "bursty"),
+        default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    bench_fleet.add_argument(
+        "--load",
+        type=float,
+        default=0.8,
+        metavar="RHO",
+        help="offered load (default: 0.8)",
+    )
+    bench_fleet.add_argument(
+        "--seed", type=int, default=7, metavar="N", help="trace seed (default: 7)"
+    )
+    bench_fleet.add_argument(
+        "--machine",
+        default="eml:16:2",
+        metavar="SPEC",
+        help=f"default eml:16:2; {_machine_spec_help()}",
+    )
+    bench_fleet.add_argument(
+        "--machine-qubits",
+        type=int,
+        default=128,
+        metavar="N",
+        help="size circuit-relative machine specs to this many qubits "
+        "(default: 128)",
+    )
+    bench_fleet.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"service-time compile cache root (default: {default_cache_dir()})",
+    )
+    bench_fleet.add_argument(
+        "--quick",
+        action="store_true",
+        help="cap the trace at 2000 jobs (CI smoke run)",
+    )
+    bench_fleet.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output file; merges into an existing payload "
+        "(default: ./BENCH_<utc date>.json)",
+    )
+    bench_fleet.set_defaults(handler=_cmd_bench_fleet)
 
     bench_compare_parser = bench_commands.add_parser(
         "compare",

@@ -1,0 +1,64 @@
+"""Multi-programming: co-schedule N independent circuits on one machine.
+
+The subsystem behind ``repro fleet`` (ROADMAP item 2): a region
+allocator that carves a registered machine into disjoint tenant regions
+(:mod:`~repro.multiprog.regions`), pluggable admission/packing policies
+(:mod:`~repro.multiprog.policies`), a batch scheduler that compiles each
+tenant against its region through the unchanged MUSS-TI pipeline and
+interleaves the results into one machine-wide program with per-tenant
+ledger slices (:mod:`~repro.multiprog.batch`), and an event-driven
+queueing simulator over synthetic multi-tenant arrival streams
+(:mod:`~repro.multiprog.queueing`).
+"""
+
+from .batch import (
+    BatchJob,
+    BatchSchedule,
+    Placement,
+    pack_batch,
+    slice_ledger,
+)
+from .policies import (
+    DEFAULT_POLICIES,
+    POLICIES,
+    Policy,
+    available_policies,
+    jain_index,
+    resolve_policy,
+)
+from .queueing import (
+    DEFAULT_TENANTS,
+    FleetSimConfig,
+    TenantSpec,
+    render_fleet,
+    run_fleet_sim,
+)
+from .regions import (
+    Region,
+    RegionAllocator,
+    RegionError,
+    region_architecture,
+)
+
+__all__ = [
+    "BatchJob",
+    "BatchSchedule",
+    "DEFAULT_POLICIES",
+    "DEFAULT_TENANTS",
+    "FleetSimConfig",
+    "POLICIES",
+    "Placement",
+    "Policy",
+    "Region",
+    "RegionAllocator",
+    "RegionError",
+    "TenantSpec",
+    "available_policies",
+    "jain_index",
+    "pack_batch",
+    "region_architecture",
+    "render_fleet",
+    "resolve_policy",
+    "run_fleet_sim",
+    "slice_ledger",
+]

@@ -1,0 +1,378 @@
+"""Queueing simulator: a hundred thousand jobs against the scheduler.
+
+``repro fleet sim`` answers the capacity-planning question behind
+ROADMAP item 2: *under a realistic multi-tenant arrival stream, how do
+the admission policies trade throughput, queue wait, and fairness on
+one machine?*  It is an event-driven simulation over region **units**
+(modules on EML machines — interchangeable thanks to all-to-all fiber —
+or zones on single-module machines):
+
+1. every tenant's workload is compiled **once** against the region its
+   qubit count actually needs, through the real MUSS-TI pipeline; the
+   region program's priced makespan becomes the job type's service
+   time.  Compiles are memoised on disk keyed by
+   :attr:`repro.serve.jobs.Job.key` (content hash of the circuit plus
+   canonical specs), so a 100k-job sweep costs a handful of compiles —
+   or zero on a warm cache;
+2. one shared arrival trace (Poisson or bursty, seeded) is replayed
+   against every policy, so runs differ only in policy decisions;
+3. jobs queue until the policy admits them into free units, hold the
+   units for their service time, then release them.
+
+Reported per policy: throughput (jobs per second of simulated time),
+machine utilization (busy unit-time over available unit-time), p50/p99
+queue wait, and Jain's fairness index over weight-normalised attained
+service.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from random import Random
+
+from ..bench.cache import ResultCache
+from ..hardware import resolve_machine
+from ..pipeline.facade import compile as compile_circuit
+from ..serve.jobs import Job, circuit_fingerprint
+from ..sim.events import replay, reprice
+from ..workloads import get_benchmark
+from .policies import DEFAULT_POLICIES, DEFAULT_WINDOW, jain_index, resolve_policy
+from .regions import RegionAllocator
+
+#: Cache experiment file holding the fleet service-time compiles.
+FLEET_EXPERIMENT = "fleet"
+
+#: Supported arrival processes.
+ARRIVALS = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the synthetic mix.
+
+    ``share`` is the relative probability an arriving job belongs to
+    this tenant; shares are normalised over the mix.
+    """
+
+    tenant: str
+    workload: str
+    weight: float = 1.0
+    priority: int = 0
+    share: float = 1.0
+
+
+#: Default mix: small interactive tenants (GHZ/QFT/QAOA), a
+#: double-weight BV batch tenant, and a large high-priority GHZ tenant
+#: whose jobs span multiple modules on the default machine.
+DEFAULT_TENANTS: tuple[TenantSpec, ...] = (
+    TenantSpec("alice", "GHZ_n16", share=0.30),
+    TenantSpec("bob", "QFT_n16", share=0.25),
+    TenantSpec("carol", "BV_n32", weight=2.0, priority=1, share=0.20),
+    TenantSpec("dave", "QAOA_n16", share=0.15),
+    TenantSpec("erin", "GHZ_n48", priority=2, share=0.10),
+)
+
+
+@dataclass
+class FleetSimConfig:
+    """Everything one ``repro fleet sim`` run depends on."""
+
+    machine: str = "eml:16:2"
+    machine_qubits: int = 128
+    jobs: int = 100_000
+    arrival: str = "poisson"
+    load: float = 0.8
+    seed: int = 7
+    policies: tuple[str, ...] = DEFAULT_POLICIES
+    tenants: tuple[TenantSpec, ...] = DEFAULT_TENANTS
+    window: int = DEFAULT_WINDOW
+    physics: str = "table1"
+    compiler: str = "muss-ti"
+    cache_dir: str | None = None
+    use_cache: bool = True
+
+
+@dataclass(frozen=True)
+class _JobType:
+    """One tenant's job class with its measured resource profile."""
+
+    spec: TenantSpec
+    qubits: int
+    units: int
+    service_us: float
+
+
+class _QueuedJob:
+    """A waiting job, shaped the way admission policies expect
+    (``tenant`` / ``priority`` / ``weight`` / ``qubits``)."""
+
+    __slots__ = (
+        "tenant", "priority", "weight", "qubits", "units",
+        "service_us", "arrival_us",
+    )
+
+    def __init__(self, job_type: _JobType, arrival_us: float) -> None:
+        self.tenant = job_type.spec.tenant
+        self.priority = job_type.spec.priority
+        self.weight = job_type.spec.weight
+        self.qubits = job_type.qubits
+        self.units = job_type.units
+        self.service_us = job_type.service_us
+        self.arrival_us = arrival_us
+
+
+def _measure_job_types(config: FleetSimConfig, machine) -> list[_JobType]:
+    """Compile every tenant workload against its region once (cached)."""
+    cache = ResultCache(config.cache_dir) if config.use_cache else None
+    job_types: list[_JobType] = []
+    dirty = False
+    for spec in config.tenants:
+        circuit = get_benchmark(spec.workload)
+        allocator = RegionAllocator(machine)
+        units = allocator.units_for(circuit.num_qubits)
+        region = allocator.allocate(circuit.num_qubits)
+        key = Job(
+            kind="compile",
+            workload=spec.workload,
+            machine=region.machine_token(),
+            compiler=config.compiler,
+            physics=config.physics,
+            circuit_hash=circuit_fingerprint(circuit),
+        ).key
+        entry = cache.get(FLEET_EXPERIMENT, key) if cache is not None else None
+        if entry is not None:
+            result = entry["result"]
+        else:
+            program = compile_circuit(
+                circuit, region.machine(), config.compiler
+            ).program
+            report = reprice(replay(program), config.physics)
+            result = {
+                "makespan_us": report.makespan_us,
+                "qubits": circuit.num_qubits,
+                "units": units,
+            }
+            if cache is not None:
+                cache.put(FLEET_EXPERIMENT, key, result, report.compile_time_s)
+                dirty = True
+        job_types.append(
+            _JobType(
+                spec=spec,
+                qubits=int(result["qubits"]),
+                units=int(result["units"]),
+                service_us=float(result["makespan_us"]),
+            )
+        )
+    if cache is not None and dirty:
+        cache.flush()
+    return job_types
+
+
+def _normalised_shares(job_types: list[_JobType]) -> list[float]:
+    total = sum(job_type.spec.share for job_type in job_types)
+    if total <= 0.0:
+        raise ValueError("tenant shares must sum to a positive value")
+    return [job_type.spec.share / total for job_type in job_types]
+
+
+def _arrival_trace(
+    config: FleetSimConfig, job_types: list[_JobType], total_units: int
+) -> list[tuple[float, int]]:
+    """The shared ``(arrival_us, type index)`` trace all policies replay.
+
+    The interarrival mean is set so the *offered load* — arriving
+    unit-time per available unit-time — equals ``config.load``.  The
+    bursty process keeps the same average rate but concentrates it:
+    roughly one gap in eight is a long lull, the rest arrive nearly
+    back-to-back.
+    """
+    if config.arrival not in ARRIVALS:
+        raise ValueError(
+            f"unknown arrival process {config.arrival!r} (want one of {ARRIVALS})"
+        )
+    if config.load <= 0.0:
+        raise ValueError(f"load must be positive, got {config.load}")
+    shares = _normalised_shares(job_types)
+    mean_unit_time = sum(
+        share * job_type.units * job_type.service_us
+        for share, job_type in zip(shares, job_types)
+    )
+    mean_gap = mean_unit_time / (config.load * total_units)
+
+    cumulative: list[float] = []
+    running = 0.0
+    for share in shares:
+        running += share
+        cumulative.append(running)
+    cumulative[-1] = 1.0
+
+    rng = Random(config.seed)
+    trace: list[tuple[float, int]] = []
+    now = 0.0
+    for _ in range(config.jobs):
+        if config.arrival == "poisson":
+            gap = rng.expovariate(1.0 / mean_gap)
+        elif rng.random() < 0.125:
+            gap = rng.expovariate(1.0 / (7.2 * mean_gap))
+        else:
+            gap = rng.expovariate(1.0 / (0.1 * mean_gap))
+        now += gap
+        draw = rng.random()
+        type_index = 0
+        while cumulative[type_index] < draw:
+            type_index += 1
+        trace.append((now, type_index))
+    return trace
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def _simulate(
+    policy, jobs: list[_QueuedJob], total_units: int, tenants: list[TenantSpec]
+) -> dict:
+    """Replay one arrival trace under one policy; returns its metrics."""
+    free = total_units
+    queue: list[_QueuedJob] = []
+    completions: list[tuple[float, int, int]] = []  # (end_us, seq, units)
+    waits_us: list[float] = []
+    served: dict[str, float] = {}
+    busy_unit_time = 0.0
+    completed = 0
+    dropped = 0
+    seq = 0
+    now = 0.0
+    pointer = 0
+
+    def fits(entry: _QueuedJob) -> bool:
+        return entry.units <= free
+
+    def admit() -> None:
+        nonlocal free, busy_unit_time, seq
+        while queue:
+            index = policy.select(queue, fits)
+            if index is None:
+                return
+            job = queue.pop(index)
+            waits_us.append(now - job.arrival_us)
+            free -= job.units
+            heapq.heappush(completions, (now + job.service_us, seq, job.units))
+            seq += 1
+            service = job.units * job.service_us
+            busy_unit_time += service
+            served[job.tenant] = served.get(job.tenant, 0.0) + service
+            policy.record_service(job.tenant, service, job.weight)
+
+    while pointer < len(jobs) or completions:
+        next_arrival = jobs[pointer].arrival_us if pointer < len(jobs) else math.inf
+        next_completion = completions[0][0] if completions else math.inf
+        if next_arrival <= next_completion:
+            now = next_arrival
+            job = jobs[pointer]
+            pointer += 1
+            if job.units > total_units:
+                dropped += 1  # can never fit even an idle machine
+            else:
+                queue.append(job)
+        else:
+            now = next_completion
+            _, _, units = heapq.heappop(completions)
+            free += units
+            completed += 1
+        admit()
+
+    span_us = max(now, 1e-9)
+    waits_us.sort()
+    fairness = jain_index(
+        [served.get(spec.tenant, 0.0) / spec.weight for spec in tenants]
+    )
+    return {
+        "completed": completed,
+        "dropped": dropped,
+        "throughput_jps": completed / (span_us / 1e6),
+        "utilization": busy_unit_time / (total_units * span_us),
+        "p50_wait_ms": _percentile(waits_us, 0.50) / 1000.0,
+        "p99_wait_ms": _percentile(waits_us, 0.99) / 1000.0,
+        "jain": fairness,
+        "span_s": span_us / 1e6,
+    }
+
+
+def run_fleet_sim(config: FleetSimConfig) -> dict:
+    """The full simulation: measure, trace, replay under every policy."""
+    if config.jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {config.jobs}")
+    machine = resolve_machine(config.machine, config.machine_qubits)
+    job_types = _measure_job_types(config, machine)
+    allocator = RegionAllocator(machine)
+    total_units = len(allocator.units)
+
+    trace = _arrival_trace(config, job_types, total_units)
+    jobs = [_QueuedJob(job_types[index], arrival) for arrival, index in trace]
+    shares = _normalised_shares(job_types)
+
+    policies = {}
+    for name in config.policies:
+        policy = resolve_policy(name, window=config.window)
+        policies[name] = _simulate(policy, jobs, total_units, list(config.tenants))
+
+    return {
+        "machine": machine.spec or config.machine,
+        "machine_qubits": config.machine_qubits,
+        "granularity": allocator.granularity,
+        "total_units": total_units,
+        "jobs": config.jobs,
+        "arrival": config.arrival,
+        "load": config.load,
+        "seed": config.seed,
+        "tenants": [
+            {
+                "tenant": job_type.spec.tenant,
+                "workload": job_type.spec.workload,
+                "weight": job_type.spec.weight,
+                "priority": job_type.spec.priority,
+                "share": share,
+                "qubits": job_type.qubits,
+                "units": job_type.units,
+                "service_us": job_type.service_us,
+            }
+            for job_type, share in zip(job_types, shares)
+        ],
+        "policies": policies,
+    }
+
+
+def render_fleet(result: dict) -> str:
+    """Fixed-width per-policy summary of one simulation result."""
+    from ..analysis.tables import render_table
+
+    headers = [
+        "policy", "completed", "dropped", "jobs/s", "util",
+        "p50 wait ms", "p99 wait ms", "jain",
+    ]
+    body = []
+    for name, metrics in result["policies"].items():
+        body.append([
+            name,
+            str(metrics["completed"]),
+            str(metrics["dropped"]),
+            f"{metrics['throughput_jps']:.1f}",
+            f"{metrics['utilization']:.3f}",
+            f"{metrics['p50_wait_ms']:.3f}",
+            f"{metrics['p99_wait_ms']:.3f}",
+            f"{metrics['jain']:.4f}",
+        ])
+    title = (
+        f"fleet sim: {result['jobs']} jobs on {result['machine']} "
+        f"({result['total_units']} {result['granularity']} units, "
+        f"{result['arrival']} arrivals, load {result['load']:g})"
+    )
+    return render_table(headers, body, title=title)

@@ -1,0 +1,341 @@
+"""Region allocator: carve one machine into disjoint tenant regions.
+
+A *region* is a subset of a machine's hardware — whole modules on
+multi-module machines (EML, star: fiber links are all-to-all, so any
+module set works), or a connected set of traps on single-module machines
+(grids, rings, chains: shuttling needs adjacency).  Each region is
+exposed as a sub-:class:`~repro.hardware.topology.ArchitectureSpec`, so
+the existing compilation pipeline builds the region into a machine and
+compiles a tenant's circuit against it *unchanged* — multi-programming
+is a layer over the compiler, not a fork of it.
+
+Two derivation rules keep regions faithful to the parent hardware:
+
+* a region covering the **whole** machine reuses the parent's own
+  architecture verbatim (same kind, same builder options), so a
+  single-tenant batch compiles on hardware byte-identical to the direct
+  path — the differential guarantee the test suite enforces;
+* a module region of an ``eml`` machine keeps kind ``"eml"`` with the
+  parent's builder options and the selected module count (EML modules
+  are homogeneous), so the sub-machine rebuilds through the registered
+  builder as a real :class:`~repro.hardware.eml.EMLQCCDMachine`; any
+  other carve lowers as kind ``"custom"``, carrying the parent's
+  ``module_limit`` so per-module ion budgets still bind.
+
+The allocator itself is a free-list over *units* (modules or zones):
+``allocate(num_qubits)`` picks the lowest-id units whose capacity covers
+the request (BFS-connected for zone granularity), ``release`` returns
+them.  Capacity of a module unit is ``min(trap space, module qubit
+limit)`` — the same budget placement respects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..hardware import Machine, default_machine_registry
+from ..hardware.topology import ArchitectureSpec, ZoneSpec
+
+#: Granularity of the carve: whole modules (fiber-linked machines) or
+#: connected zone sets (single-module shuttle topologies).
+GRANULARITIES = ("module", "zone")
+
+
+class RegionError(ValueError):
+    """The requested region cannot be carved from the free hardware."""
+
+
+def _module_capacity(machine: Machine, module_id: int) -> int:
+    """Usable qubit budget of one module: trap space capped by the
+    machine's per-module ion limit (when it has one)."""
+    trap_space = sum(zone.capacity for zone in machine.zones_in_module(module_id))
+    limit = getattr(machine, "module_qubit_limit", None)
+    if limit is not None:
+        return min(trap_space, limit)
+    return trap_space
+
+
+def _carry_options(machine: Machine) -> tuple[tuple[str, object], ...]:
+    """Parent options a ``custom`` sub-architecture must keep.
+
+    ``module_limit`` is the one option the generic lowering interprets
+    (it becomes ``module_qubit_limit``); everything else describes the
+    parent's full shape and would be wrong on a fragment.
+    """
+    limit = getattr(machine, "module_qubit_limit", None)
+    return (("module_limit", limit),) if limit is not None else ()
+
+
+def region_architecture(
+    machine: Machine, granularity: str, units: tuple[int, ...]
+) -> tuple[ArchitectureSpec, tuple[int, ...]]:
+    """The sub-architecture of *units* plus its parent zone ids.
+
+    Returns ``(arch, zone_ids)`` where ``zone_ids[i]`` is the parent
+    zone backing the sub-architecture's zone ``i`` (parent zone-id
+    order, so the mapping is monotone).
+    """
+    if granularity not in GRANULARITIES:
+        raise RegionError(f"unknown granularity {granularity!r}")
+    if not units:
+        raise RegionError("a region needs at least one unit")
+    if granularity == "module":
+        selected = set(units)
+        zone_ids = tuple(
+            zone.zone_id for zone in machine.zones if zone.module_id in selected
+        )
+    else:
+        zone_ids = tuple(sorted(set(units)))
+        for zone_id in zone_ids:
+            machine.zone(zone_id)  # raises IndexError on bad ids
+    if zone_ids == tuple(range(machine.num_zones)):
+        # Full coverage: the region *is* the machine — reuse its own
+        # architecture (kind and builder options included) so the
+        # sub-machine rebuilds type- and byte-identical to the parent.
+        return machine.architecture(), zone_ids
+
+    local_of = {zone_id: local for local, zone_id in enumerate(zone_ids)}
+    module_rank: dict[int, int] = {}
+    rows = []
+    for zone_id in zone_ids:
+        zone = machine.zone(zone_id)
+        rank = module_rank.setdefault(zone.module_id, len(module_rank))
+        rows.append(ZoneSpec(module_id=rank, kind=zone.kind, capacity=zone.capacity))
+    edges = tuple(
+        (local_of[a], local_of[b])
+        for a in zone_ids
+        for b in machine.neighbours(a)
+        if a < b and b in local_of
+    )
+    if granularity == "module" and machine._spec_kind == "eml":
+        # EML modules are homogeneous, so a module subset is itself an
+        # EML machine: keep the registered kind (the registry
+        # cross-checks the zone table against the builder's output).
+        options = dict(machine._spec_options or {})
+        options["modules"] = len(module_rank)
+        return (
+            ArchitectureSpec(
+                kind="eml",
+                zones=tuple(rows),
+                edges=edges,
+                options=tuple(sorted(options.items())),
+            ),
+            zone_ids,
+        )
+    return (
+        ArchitectureSpec(
+            kind="custom",
+            zones=tuple(rows),
+            edges=edges,
+            options=_carry_options(machine),
+        ),
+        zone_ids,
+    )
+
+
+@dataclass(frozen=True)
+class Region:
+    """One tenant's slice of a machine.
+
+    ``zone_ids[i]`` is the parent zone behind the region's local zone
+    ``i`` — the translation :func:`repro.multiprog.batch.pack_batch`
+    uses to lift a region-frame program into the machine frame.
+    """
+
+    region_id: int
+    granularity: str
+    units: tuple[int, ...]
+    zone_ids: tuple[int, ...]
+    arch: ArchitectureSpec
+    capacity: int
+
+    @property
+    def zone_map(self) -> dict[int, int]:
+        """Local zone id -> parent zone id."""
+        return dict(enumerate(self.zone_ids))
+
+    @cached_property
+    def _machine(self) -> Machine:
+        return default_machine_registry().from_architecture(self.arch)
+
+    def machine(self) -> Machine:
+        """Build (once) the region as a runnable machine."""
+        return self._machine
+
+    def machine_token(self) -> str:
+        """Stable identity of the region's hardware: the canonical
+        machine spec when the sub-architecture is registry-buildable,
+        otherwise a content digest of the architecture payload."""
+        spec = self.machine().spec
+        if spec is not None:
+            return spec
+        payload = json.dumps(self.arch.to_dict(), sort_keys=True)
+        return "custom:" + hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        unit_kind = "module" if self.granularity == "module" else "zone"
+        ids = ",".join(str(unit) for unit in self.units)
+        return (
+            f"region {self.region_id}: {unit_kind}s [{ids}], "
+            f"{len(self.zone_ids)} zones, capacity {self.capacity}"
+        )
+
+
+@dataclass
+class RegionAllocator:
+    """Free-list allocator of machine units (modules or zones)."""
+
+    machine: Machine
+    granularity: str = ""
+    _free: set = field(default_factory=set, repr=False)
+    _next_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.granularity:
+            self.granularity = "module" if self.machine.num_modules > 1 else "zone"
+        if self.granularity not in GRANULARITIES:
+            raise RegionError(f"unknown granularity {self.granularity!r}")
+        self._free = set(self.units)
+
+    @property
+    def units(self) -> tuple[int, ...]:
+        if self.granularity == "module":
+            return tuple(range(self.machine.num_modules))
+        return tuple(range(self.machine.num_zones))
+
+    def unit_capacity(self, unit: int) -> int:
+        if self.granularity == "module":
+            return _module_capacity(self.machine, unit)
+        return self.machine.zone(unit).capacity
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(self.unit_capacity(unit) for unit in self.units)
+
+    @property
+    def free_units(self) -> tuple[int, ...]:
+        return tuple(sorted(self._free))
+
+    @property
+    def free_capacity(self) -> int:
+        return sum(self.unit_capacity(unit) for unit in self._free)
+
+    def _effective_capacity(self, zone_ids) -> int:
+        """Placeable qubits of a zone set: per-module trap space capped
+        at the module's qubit limit — the same hard bound placement
+        enforces, so an admitted region can always be compiled."""
+        per_module: dict[int, int] = {}
+        for zone_id in zone_ids:
+            zone = self.machine.zone(zone_id)
+            per_module[zone.module_id] = (
+                per_module.get(zone.module_id, 0) + zone.capacity
+            )
+        limit = getattr(self.machine, "module_qubit_limit", None)
+        if limit is None:
+            return sum(per_module.values())
+        return sum(min(space, limit) for space in per_module.values())
+
+    # -- planning --------------------------------------------------------
+
+    def _plan(self, num_qubits: int, free: set) -> list[int] | None:
+        """Lowest-id units out of *free* covering *num_qubits*, or
+        ``None``.  Zone granularity additionally requires the picked
+        set to be shuttle-connected (BFS from each candidate seed)."""
+        if num_qubits < 1:
+            raise RegionError(f"a region must hold at least one qubit, got {num_qubits}")
+        if self.granularity == "module":
+            picked: list[int] = []
+            capacity = 0
+            for unit in sorted(free):
+                picked.append(unit)
+                capacity += self.unit_capacity(unit)
+                if capacity >= num_qubits:
+                    return picked
+            return None
+        for seed in sorted(free):
+            picked = [seed]
+            capacity = self._effective_capacity(picked)
+            seen = {seed}
+            frontier = [seed]
+            while capacity < num_qubits and frontier:
+                # Expand to the lowest-id unvisited free neighbour of the
+                # picked set — deterministic, and keeps the region compact.
+                candidates = sorted(
+                    neighbour
+                    for zone_id in frontier
+                    for neighbour in self.machine.neighbours(zone_id)
+                    if neighbour in free and neighbour not in seen
+                )
+                if not candidates:
+                    break
+                chosen = candidates[0]
+                seen.add(chosen)
+                picked.append(chosen)
+                frontier.append(chosen)
+                capacity = self._effective_capacity(picked)
+            if capacity >= num_qubits:
+                return sorted(picked)
+        return None
+
+    def units_for(self, num_qubits: int) -> int:
+        """How many units a request needs on an *empty* machine.
+
+        Raises :class:`RegionError` when the whole machine is too small.
+        """
+        plan = self._plan(num_qubits, set(self.units))
+        if plan is None:
+            raise RegionError(
+                f"{num_qubits} qubits exceed the machine "
+                f"({self.total_capacity} across {len(self.units)} "
+                f"{self.granularity} units)"
+            )
+        return len(plan)
+
+    def fits(self, num_qubits: int) -> bool:
+        """Whether a request can be carved from the currently free units."""
+        return self._plan(num_qubits, self._free) is not None
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(self, num_qubits: int) -> Region:
+        plan = self._plan(num_qubits, self._free)
+        if plan is None:
+            raise RegionError(
+                f"cannot carve {num_qubits} qubits: "
+                f"{self.free_capacity} free across {len(self._free)} of "
+                f"{len(self.units)} {self.granularity} units"
+            )
+        units = tuple(plan)
+        arch, zone_ids = region_architecture(self.machine, self.granularity, units)
+        self._free.difference_update(units)
+        region = Region(
+            region_id=self._next_id,
+            granularity=self.granularity,
+            units=units,
+            zone_ids=zone_ids,
+            arch=arch,
+            capacity=sum(self.unit_capacity(unit) for unit in units),
+        )
+        self._next_id += 1
+        return region
+
+    def release(self, region: Region) -> None:
+        if region.granularity != self.granularity:
+            raise RegionError(
+                f"region granularity {region.granularity!r} does not match "
+                f"allocator granularity {self.granularity!r}"
+            )
+        already_free = set(region.units) & self._free
+        if already_free:
+            raise RegionError(f"double release of units {sorted(already_free)}")
+        unknown = set(region.units) - set(self.units)
+        if unknown:
+            raise RegionError(f"region units {sorted(unknown)} are not on this machine")
+        self._free.update(region.units)
+
+    def reset(self) -> None:
+        """Free every unit (regions handed out become invalid)."""
+        self._free = set(self.units)

@@ -9,10 +9,14 @@ source-fingerprint rule as every other cached result in the repo — a
 code change can never serve a stale report.
 
 A disk hit is *promoted* into the memory tier; an LRU insert evicts
-least-recently-used entries until both bounds hold.  Every get/put
-updates the counters surfaced by ``GET /stats`` (memory/disk hits,
-misses, evictions) — the observability the coalescing and latency
-acceptance tests key on.
+least-recently-used entries until both bounds hold.  An optional disk
+TTL (``disk_ttl_days``, off by default) ages the disk tier: a lookup
+that finds an entry older than the TTL deletes it and reports a miss
+(skip-and-delete), so long-running deployments can bound how old a
+served result may be.  Every get/put updates the counters surfaced by
+``GET /stats`` (memory/disk hits, misses, evictions — including TTL
+evictions) — the observability the coalescing and latency acceptance
+tests key on.
 
 The service calls the ``get_async``/``put_async`` pair: the memory tier
 is consulted/updated synchronously (it is pure dict work), but every
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -44,6 +49,11 @@ DEFAULT_MAX_MEMORY_MB = 64.0
 #: Default memory-tier entry bound.
 DEFAULT_MAX_ENTRIES = 4096
 
+#: Sentinel a disk lookup returns for a TTL-expired entry (already
+#: deleted by the lookup); distinct from ``None`` (plain miss) so the
+#: caller can count the eviction.
+_STALE = object()
+
 
 @dataclass
 class CacheStats:
@@ -54,6 +64,7 @@ class CacheStats:
     misses: int = 0
     coalesced: int = 0
     memory_evictions: int = 0
+    disk_ttl_evictions: int = 0
 
     def to_dict(self, lru: "MemoryLRU") -> dict:
         return {
@@ -64,6 +75,7 @@ class CacheStats:
             "memory_entries": len(lru),
             "memory_bytes": lru.total_bytes,
             "memory_evictions": self.memory_evictions,
+            "disk_ttl_evictions": self.disk_ttl_evictions,
         }
 
 
@@ -118,11 +130,17 @@ class TwoTierCache:
         max_memory_mb: float = DEFAULT_MAX_MEMORY_MB,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         use_disk: bool = True,
+        disk_ttl_days: float | None = None,
     ) -> None:
+        if disk_ttl_days is not None and disk_ttl_days <= 0:
+            raise ValueError(f"disk_ttl_days must be positive, got {disk_ttl_days}")
         self.memory = MemoryLRU(
             max_bytes=int(max_memory_mb * 1024 * 1024), max_entries=max_entries
         )
         self.disk = ResultCache(cache_dir) if use_disk else None
+        self.disk_ttl_s = (
+            None if disk_ttl_days is None else disk_ttl_days * 86400.0
+        )
         self.stats = CacheStats()
         self._disk_pool: ThreadPoolExecutor | None = None
 
@@ -154,6 +172,27 @@ class TwoTierCache:
         self.stats.memory_evictions += self.memory.put(key, payload)
         return payload, "disk"
 
+    def _disk_lookup(self, key: str):
+        """Disk-tier read with the TTL check (runs on the disk thread).
+
+        Returns the entry dict, ``None`` (plain miss), or :data:`_STALE`
+        when the entry exceeded ``disk_ttl_s`` — in which case it has
+        already been deleted from the store (skip-and-delete), so the
+        next request recomputes instead of re-judging staleness.
+        Entries predating the timestamp field are treated as stale too:
+        their age is unknowable, and a TTL the operator asked for must
+        never be quietly unbounded.
+        """
+        entry = self.disk.get(DISK_EXPERIMENT, key)
+        if entry is None or self.disk_ttl_s is None:
+            return entry
+        stored_s = entry.get("stored_s")
+        if stored_s is not None and time.time() - stored_s <= self.disk_ttl_s:
+            return entry
+        self.disk.remove(DISK_EXPERIMENT, key)
+        self.disk.flush()
+        return _STALE
+
     def get(self, key: str) -> tuple[bytes, str] | None:
         """Look a job key up: ``(canonical bytes, tier)`` or ``None``.
 
@@ -164,8 +203,10 @@ class TwoTierCache:
         if payload is not None:
             return self._record_memory_hit(payload)
         if self.disk is not None:
-            entry = self.disk.get(DISK_EXPERIMENT, key)
-            if entry is not None:
+            entry = self._disk_lookup(key)
+            if entry is _STALE:
+                self.stats.disk_ttl_evictions += 1
+            elif entry is not None:
                 return self._record_disk_hit(key, entry)
         return None
 
@@ -176,9 +217,11 @@ class TwoTierCache:
             return self._record_memory_hit(payload)
         if self.disk is not None:
             entry = await asyncio.get_running_loop().run_in_executor(
-                self._disk_executor(), self.disk.get, DISK_EXPERIMENT, key
+                self._disk_executor(), self._disk_lookup, key
             )
-            if entry is not None:
+            if entry is _STALE:
+                self.stats.disk_ttl_evictions += 1
+            elif entry is not None:
                 return self._record_disk_hit(key, entry)
         return None
 

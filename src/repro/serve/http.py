@@ -39,6 +39,7 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -155,6 +156,26 @@ async def _handle_connection(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
+    if not service.connection_opened():
+        # Over the --max-connections limit: shed with one structured
+        # 503 instead of queueing behind connections we cannot serve.
+        payload = error_body(
+            503,
+            f"connection limit of {service.max_connections} reached, "
+            "try again later",
+        )
+        try:
+            writer.write(_encode_response(503, payload, keep_alive=False))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        return
     try:
         while True:
             keep_alive = True
@@ -189,6 +210,7 @@ async def _handle_connection(
     except (ConnectionResetError, BrokenPipeError):
         pass
     finally:
+        service.connection_closed()
         writer.close()
         try:
             await writer.wait_closed()

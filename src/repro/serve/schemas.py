@@ -196,7 +196,7 @@ STATS_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "title": "repro serve stats",
     "type": "object",
-    "required": ["uptime_s", "requests", "cache", "workers"],
+    "required": ["uptime_s", "requests", "cache", "connections", "workers"],
     "additionalProperties": False,
     "properties": {
         "uptime_s": {"type": "number", "minimum": 0},
@@ -214,6 +214,7 @@ STATS_SCHEMA = {
                 "memory_entries",
                 "memory_bytes",
                 "memory_evictions",
+                "disk_ttl_evictions",
             ],
             "additionalProperties": False,
             "properties": {
@@ -224,6 +225,17 @@ STATS_SCHEMA = {
                 "memory_entries": {"type": "integer", "minimum": 0},
                 "memory_bytes": {"type": "integer", "minimum": 0},
                 "memory_evictions": {"type": "integer", "minimum": 0},
+                "disk_ttl_evictions": {"type": "integer", "minimum": 0},
+            },
+        },
+        "connections": {
+            "type": "object",
+            "required": ["active", "limit", "shed"],
+            "additionalProperties": False,
+            "properties": {
+                "active": {"type": "integer", "minimum": 0},
+                "limit": {"type": "integer", "minimum": 0},
+                "shed": {"type": "integer", "minimum": 0},
             },
         },
         "workers": {"type": "integer", "minimum": 0},

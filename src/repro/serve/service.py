@@ -83,13 +83,25 @@ class CompileService:
         cache_dir: Path | str | None = None,
         max_memory_mb: float = DEFAULT_MAX_MEMORY_MB,
         use_disk_cache: bool = True,
+        disk_ttl_days: float | None = None,
+        max_connections: int = 0,
     ) -> None:
         import os
 
+        if max_connections < 0:
+            raise ValueError(
+                f"max_connections must be >= 0 (0 = unlimited), got {max_connections}"
+            )
         self.jobs = (os.cpu_count() or 1) if jobs is None else jobs
         self.cache = TwoTierCache(
-            cache_dir, max_memory_mb=max_memory_mb, use_disk=use_disk_cache
+            cache_dir,
+            max_memory_mb=max_memory_mb,
+            use_disk=use_disk_cache,
+            disk_ttl_days=disk_ttl_days,
         )
+        self.max_connections = max_connections
+        self.active_connections = 0
+        self.shed_connections = 0
         self.started = time.monotonic()
         self.requests: dict[str, int] = {}
         self._inflight: dict[str, asyncio.Future] = {}
@@ -125,6 +137,23 @@ class CompileService:
     def _count(self, endpoint: str) -> None:
         self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
 
+    def connection_opened(self) -> bool:
+        """Admit (or shed) one incoming connection.
+
+        Returns ``False`` — and counts the shed — when the
+        ``max_connections`` limit is reached; the HTTP layer answers
+        such connections with a structured 503 and closes them.  A
+        ``True`` return must be balanced by :meth:`connection_closed`.
+        """
+        if self.max_connections and self.active_connections >= self.max_connections:
+            self.shed_connections += 1
+            return False
+        self.active_connections += 1
+        return True
+
+    def connection_closed(self) -> None:
+        self.active_connections -= 1
+
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self.started
@@ -145,6 +174,11 @@ class CompileService:
             "uptime_s": round(self.uptime_s, 3),
             "requests": dict(sorted(self.requests.items())),
             "cache": self.cache.to_dict(),
+            "connections": {
+                "active": self.active_connections,
+                "limit": self.max_connections,
+                "shed": self.shed_connections,
+            },
             "workers": self.jobs,
         }
 

@@ -14,7 +14,19 @@ class TestResultCache:
         assert cache.get("exp", "k") is None
         cache.put("exp", "k", {"value": 1.5}, elapsed_s=0.25)
         entry = cache.get("exp", "k")
-        assert entry == {"result": {"value": 1.5}, "elapsed_s": 0.25}
+        assert entry["result"] == {"value": 1.5}
+        assert entry["elapsed_s"] == 0.25
+        assert entry["stored_s"] > 0
+
+    def test_remove_drops_entry_and_marks_dirty(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", "k", {"value": 1}, elapsed_s=0.1)
+        cache.flush()
+        assert cache.remove("exp", "k") is True
+        assert cache.remove("exp", "k") is False
+        assert cache.get("exp", "k") is None
+        cache.flush()
+        assert ResultCache(tmp_path).get("exp", "k") is None
 
     def test_flush_persists_across_instances(self, tmp_path):
         cache = ResultCache(tmp_path)

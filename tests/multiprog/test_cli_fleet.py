@@ -1,0 +1,93 @@
+"""The ``python -m repro fleet`` command surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+def test_fleet_policies_lists_registry(capsys):
+    assert main(["fleet", "policies"]) == 0
+    out = capsys.readouterr().out
+    for name in ("first-fit", "best-fit", "priority", "fair-share"):
+        assert name in out
+
+
+def test_fleet_sim_quick_renders_table(capsys):
+    code = main(
+        ["fleet", "sim", "--quick", "--jobs", "200",
+         "--policy", "first-fit", "--policy", "fair-share"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fleet sim: 200 jobs" in out
+    assert "first-fit" in out and "fair-share" in out
+
+
+def test_fleet_sim_json_output_is_parseable(capsys):
+    code = main(
+        ["fleet", "sim", "--quick", "--jobs", "100",
+         "--policy", "first-fit", "--json"]
+    )
+    assert code == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["jobs"] == 100
+    assert result["policies"]["first-fit"]["dropped"] == 0
+    assert result["policies"]["first-fit"]["completed"] == 100
+
+
+def test_fleet_sim_rejects_bad_arrival(capsys):
+    code = main(
+        ["fleet", "sim", "--quick", "--jobs", "10", "--arrival", "poisson",
+         "--load", "0"]
+    )
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_fleet_pack_reports_per_tenant_slices(capsys):
+    code = main(["fleet", "pack", "GHZ_n16", "QFT_n16"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tenant0" in out and "tenant1" in out
+    assert "combined:" in out
+
+
+def test_fleet_pack_rejects_oversized_batch(capsys):
+    code = main(
+        ["fleet", "pack", "GHZ_n64", "--machine", "eml:16:2",
+         "--machine-qubits", "16"]
+    )
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bench_fleet_quick_writes_and_merges(tmp_path, capsys):
+    output = tmp_path / "BENCH_fleet.json"
+    args = [
+        "bench", "fleet", "--quick", "--jobs", "300",
+        "--output", str(output),
+    ]
+    assert main(args) == 0
+    first = json.loads(output.read_text())
+    assert first["grid"] == "fleet"
+    assert len(first["cells"]) == 4
+    out = capsys.readouterr().out
+    assert "[fleet: 4 cells, schema-valid" in out
+
+    # A second run merges into the existing payload instead of clobbering.
+    assert main(args) == 0
+    merged = json.loads(output.read_text())
+    assert len(merged["cells"]) == 4
+    for cell in merged["cells"]:
+        assert cell["mode"] == "fleet"
+        assert cell["dropped"] == 0

@@ -1,0 +1,46 @@
+"""Differential guarantee: single-tenant batch == direct compile path.
+
+The acceptance criterion of the multiprog subsystem: a batch holding one
+job whose region covers the whole machine must produce a schedule
+byte-identical to compiling the circuit directly — same ops, same
+placements, same compiler name, same priced report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import resolve_machine
+from repro.multiprog import BatchJob, pack_batch
+from repro.pipeline.facade import compile as compile_circuit
+from repro.sim import replay, reprice
+from repro.workloads import get_benchmark
+
+CASES = [
+    ("GHZ_n16", "eml?modules=2&capacity=4&module_limit=8"),
+    ("GHZ_n40", "grid:2x2:12"),
+]
+
+
+@pytest.mark.parametrize("workload,machine_spec", CASES)
+def test_single_tenant_batch_is_byte_identical(workload, machine_spec):
+    circuit = get_benchmark(workload)
+    machine = resolve_machine(machine_spec, circuit.num_qubits)
+
+    direct = compile_circuit(circuit, machine, "muss-ti").program
+    schedule = pack_batch([BatchJob("only", workload)], machine)
+    batched = schedule.program
+
+    assert batched.compiler_name == direct.compiler_name
+    assert list(batched.operations) == list(direct.operations)
+    assert batched.initial_placement == direct.initial_placement
+    assert batched.final_placement == direct.final_placement
+    assert batched.circuit == direct.circuit
+    assert schedule.owners == (0,) * len(direct.operations)
+    assert schedule.deferred == ()
+
+    direct_report = reprice(replay(direct), "table1").to_dict()
+    batched_report = reprice(replay(batched), "table1").to_dict()
+    direct_report.pop("compile_time_s")
+    batched_report.pop("compile_time_s")
+    assert batched_report == direct_report

@@ -1,0 +1,118 @@
+"""Admission policies: selection rules, windows, fairness index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.multiprog import (
+    DEFAULT_POLICIES,
+    POLICIES,
+    available_policies,
+    jain_index,
+    resolve_policy,
+)
+from repro.multiprog.policies import FairSharePolicy
+
+
+@dataclass
+class Entry:
+    tenant: str = "t"
+    priority: int = 0
+    weight: float = 1.0
+    qubits: int = 4
+
+
+def fits_all(entry):
+    return True
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(DEFAULT_POLICIES) == {
+            "first-fit", "best-fit", "priority", "fair-share"
+        }
+        assert available_policies() == list(POLICIES)
+
+    def test_resolve_returns_fresh_instances(self):
+        a = resolve_policy("fair-share")
+        b = resolve_policy("fair-share")
+        assert a is not b
+        a.record_service("t", 10.0, 1.0)
+        assert b._served == {}
+
+    def test_resolve_passes_instance_through(self):
+        policy = resolve_policy("first-fit")
+        assert resolve_policy(policy) is policy
+
+    def test_unknown_policy_lists_registered(self):
+        with pytest.raises(ValueError, match="first-fit"):
+            resolve_policy("round-robin")
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            resolve_policy("first-fit", window=0)
+
+    def test_summaries_exist(self):
+        for cls in POLICIES.values():
+            assert cls.summary
+
+
+class TestSelection:
+    def test_first_fit_skips_non_fitting_head(self):
+        policy = resolve_policy("first-fit")
+        queue = [Entry(qubits=64), Entry(qubits=4)]
+        assert policy.select(queue, lambda e: e.qubits <= 8) == 1
+
+    def test_first_fit_none_when_nothing_fits(self):
+        policy = resolve_policy("first-fit")
+        assert policy.select([Entry()], lambda e: False) is None
+        assert policy.select([], fits_all) is None
+
+    def test_best_fit_picks_largest_with_fifo_tiebreak(self):
+        policy = resolve_policy("best-fit")
+        queue = [Entry(qubits=4), Entry(qubits=8), Entry(qubits=8)]
+        assert policy.select(queue, fits_all) == 1
+
+    def test_priority_picks_highest_with_fifo_tiebreak(self):
+        policy = resolve_policy("priority")
+        queue = [Entry(priority=0), Entry(priority=2), Entry(priority=2)]
+        assert policy.select(queue, fits_all) == 1
+
+    def test_fair_share_prefers_underserved_tenant(self):
+        policy = FairSharePolicy()
+        policy.record_service("rich", 100.0, 1.0)
+        queue = [Entry(tenant="rich"), Entry(tenant="poor")]
+        assert policy.select(queue, fits_all) == 1
+
+    def test_fair_share_weight_normalises(self):
+        policy = FairSharePolicy()
+        policy.record_service("heavy", 100.0, 2.0)
+        policy.record_service("light", 60.0, 1.0)
+        # heavy's normalised share is 50 < light's 60
+        queue = [Entry(tenant="light"), Entry(tenant="heavy", weight=2.0)]
+        assert policy.select(queue, fits_all) == 1
+
+    def test_fair_share_reset_clears_history(self):
+        policy = FairSharePolicy()
+        policy.record_service("t", 5.0, 1.0)
+        policy.reset()
+        assert policy._served == {}
+
+    def test_window_bounds_the_scan(self):
+        policy = resolve_policy("best-fit", window=2)
+        queue = [Entry(qubits=1), Entry(qubits=2), Entry(qubits=99)]
+        assert policy.select(queue, fits_all) == 1
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_all_zero_are_vacuously_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0

@@ -1,0 +1,108 @@
+"""Queueing simulator: determinism, conservation, metric sanity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multiprog import FleetSimConfig, TenantSpec, render_fleet, run_fleet_sim
+from repro.multiprog.queueing import _percentile
+
+SMALL_MIX = (
+    TenantSpec("alice", "GHZ_n16", share=0.6),
+    TenantSpec("bob", "QFT_n16", weight=2.0, priority=1, share=0.4),
+)
+
+
+def small_config(tmp_path, **overrides) -> FleetSimConfig:
+    defaults = dict(
+        jobs=400,
+        tenants=SMALL_MIX,
+        policies=("first-fit", "fair-share"),
+        cache_dir=str(tmp_path / "cache"),
+    )
+    defaults.update(overrides)
+    return FleetSimConfig(**defaults)
+
+
+class TestRunFleetSim:
+    def test_all_jobs_complete_with_zero_drops(self, tmp_path):
+        result = run_fleet_sim(small_config(tmp_path))
+        assert result["jobs"] == 400
+        for metrics in result["policies"].values():
+            assert metrics["completed"] == 400
+            assert metrics["dropped"] == 0
+            assert metrics["throughput_jps"] > 0
+            assert 0.0 < metrics["utilization"] <= 1.0
+            assert metrics["p50_wait_ms"] <= metrics["p99_wait_ms"]
+            assert 0.0 < metrics["jain"] <= 1.0
+
+    def test_same_seed_is_deterministic(self, tmp_path):
+        config = small_config(tmp_path)
+        assert run_fleet_sim(config) == run_fleet_sim(config)
+
+    def test_different_seed_changes_trace(self, tmp_path):
+        base = run_fleet_sim(small_config(tmp_path))
+        other = run_fleet_sim(small_config(tmp_path, seed=99))
+        assert base["policies"] != other["policies"]
+
+    def test_bursty_arrivals_inflate_tail_wait(self, tmp_path):
+        poisson = run_fleet_sim(small_config(tmp_path))
+        bursty = run_fleet_sim(small_config(tmp_path, arrival="bursty"))
+        p99 = lambda result: result["policies"]["first-fit"]["p99_wait_ms"]
+        assert p99(bursty) > p99(poisson)
+
+    def test_tenant_profiles_reported(self, tmp_path):
+        result = run_fleet_sim(small_config(tmp_path))
+        tenants = {row["tenant"]: row for row in result["tenants"]}
+        assert set(tenants) == {"alice", "bob"}
+        assert tenants["alice"]["qubits"] == 16
+        assert tenants["alice"]["units"] >= 1
+        assert tenants["alice"]["service_us"] > 0
+        assert sum(row["share"] for row in result["tenants"]) == pytest.approx(1.0)
+
+    def test_second_run_hits_the_compile_cache(self, tmp_path):
+        config = small_config(tmp_path, jobs=50)
+        run_fleet_sim(config)
+        cache_files = list((tmp_path / "cache").glob("fleet.json"))
+        assert len(cache_files) == 1
+        run_fleet_sim(config)  # served from disk, no recompiles
+
+    def test_rejects_bad_inputs(self, tmp_path):
+        with pytest.raises(ValueError, match="arrival"):
+            run_fleet_sim(small_config(tmp_path, arrival="uniform"))
+        with pytest.raises(ValueError, match="load"):
+            run_fleet_sim(small_config(tmp_path, load=0.0))
+        with pytest.raises(ValueError, match="jobs"):
+            run_fleet_sim(small_config(tmp_path, jobs=0))
+        with pytest.raises(ValueError, match="share"):
+            run_fleet_sim(
+                small_config(
+                    tmp_path,
+                    tenants=(TenantSpec("a", "GHZ_n16", share=0.0),),
+                )
+            )
+
+    def test_overload_leaves_queue_pressure(self, tmp_path):
+        light = run_fleet_sim(small_config(tmp_path, load=0.3))
+        heavy = run_fleet_sim(small_config(tmp_path, load=2.0))
+        wait = lambda result: result["policies"]["first-fit"]["p99_wait_ms"]
+        assert wait(heavy) > wait(light)
+
+
+class TestRenderFleet:
+    def test_table_lists_every_policy(self, tmp_path):
+        result = run_fleet_sim(small_config(tmp_path, jobs=50))
+        text = render_fleet(result)
+        assert "first-fit" in text and "fair-share" in text
+        assert "50 jobs" in text
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.99) == 0.0
+
+    def test_picks_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 100.0
+        assert _percentile(values, 0.5) == 51.0

@@ -1,0 +1,141 @@
+"""Region allocator: carving, sub-architectures, free-list bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import QCCDGridMachine, resolve_machine
+from repro.hardware.eml import EMLQCCDMachine as EMLClass
+from repro.hardware.topology import ArchitectureSpec
+from repro.multiprog import Region, RegionAllocator, RegionError, region_architecture
+
+
+class TestRegionArchitecture:
+    def test_full_coverage_reuses_parent_architecture(self, two_tight_modules):
+        arch, zone_ids = region_architecture(
+            two_tight_modules, "module", (0, 1)
+        )
+        assert arch == two_tight_modules.architecture()
+        assert zone_ids == tuple(range(two_tight_modules.num_zones))
+
+    def test_eml_module_subset_stays_eml(self):
+        machine = resolve_machine("eml:16:2", 128)
+        arch, zone_ids = region_architecture(machine, "module", (1,))
+        assert arch.kind == "eml"
+        assert dict(arch.options)["modules"] == 1
+        # The subset rebuilds through the registered builder as real EML.
+        sub = Region(0, "module", (1,), zone_ids, arch, 16).machine()
+        assert isinstance(sub, EMLClass)
+        assert sub.num_modules == 1
+
+    def test_grid_zone_subset_lowers_as_custom(self, small_grid_2x2):
+        allocator = RegionAllocator(small_grid_2x2)
+        assert allocator.granularity == "zone"
+        region = allocator.allocate(2)
+        if len(region.zone_ids) < small_grid_2x2.num_zones:
+            assert region.arch.kind == "custom"
+        assert region.machine_token()
+
+    def test_zone_ids_are_monotone_parent_order(self):
+        machine = resolve_machine("eml:16:2", 128)
+        _, zone_ids = region_architecture(machine, "module", (2, 0))
+        assert list(zone_ids) == sorted(zone_ids)
+
+    def test_edges_are_induced(self, small_grid_2x2):
+        zone_ids = (0, 1)
+        arch, _ = region_architecture(small_grid_2x2, "zone", zone_ids)
+        for a, b in arch.edges:
+            assert a in (0, 1) and b in (0, 1)
+
+    def test_rejects_bad_granularity_and_empty_units(self, two_tight_modules):
+        with pytest.raises(RegionError):
+            region_architecture(two_tight_modules, "rack", (0,))
+        with pytest.raises(RegionError):
+            region_architecture(two_tight_modules, "module", ())
+
+    def test_sub_arch_round_trips_through_from_dict(self):
+        machine = resolve_machine("eml:16:2", 128)
+        arch, _ = region_architecture(machine, "module", (0, 1))
+        assert ArchitectureSpec.from_dict(arch.to_dict()) == arch
+
+
+class TestRegionAllocator:
+    def test_defaults_to_module_granularity_on_multimodule(self, two_tight_modules):
+        assert RegionAllocator(two_tight_modules).granularity == "module"
+
+    def test_defaults_to_zone_granularity_on_single_module(self, small_grid_2x2):
+        assert RegionAllocator(small_grid_2x2).granularity == "zone"
+
+    def test_module_capacity_respects_qubit_limit(self, two_tight_modules):
+        allocator = RegionAllocator(two_tight_modules)
+        # trap space would be larger, but module_qubit_limit=8 binds
+        assert allocator.unit_capacity(0) == 8
+        assert allocator.total_capacity == 16
+
+    def test_allocate_release_cycle(self, two_tight_modules):
+        allocator = RegionAllocator(two_tight_modules)
+        region = allocator.allocate(8)
+        assert region.units == (0,)
+        assert allocator.free_units == (1,)
+        assert allocator.fits(8)
+        assert not allocator.fits(9)
+        allocator.release(region)
+        assert allocator.free_units == (0, 1)
+        assert allocator.fits(16)
+
+    def test_allocate_exhaustion_raises(self, two_tight_modules):
+        allocator = RegionAllocator(two_tight_modules)
+        allocator.allocate(16)
+        with pytest.raises(RegionError):
+            allocator.allocate(1)
+
+    def test_units_for_oversized_raises(self, two_tight_modules):
+        allocator = RegionAllocator(two_tight_modules)
+        with pytest.raises(RegionError):
+            allocator.units_for(17)
+        assert allocator.units_for(9) == 2
+
+    def test_rejects_nonpositive_request(self, two_tight_modules):
+        with pytest.raises(RegionError):
+            RegionAllocator(two_tight_modules).allocate(0)
+
+    def test_double_release_raises(self, two_tight_modules):
+        allocator = RegionAllocator(two_tight_modules)
+        region = allocator.allocate(8)
+        allocator.release(region)
+        with pytest.raises(RegionError):
+            allocator.release(region)
+
+    def test_release_granularity_mismatch_raises(self, two_tight_modules, small_grid_2x2):
+        modules = RegionAllocator(two_tight_modules)
+        zones = RegionAllocator(small_grid_2x2)
+        region = zones.allocate(2)
+        with pytest.raises(RegionError):
+            modules.release(region)
+
+    def test_reset_frees_everything(self, two_tight_modules):
+        allocator = RegionAllocator(two_tight_modules)
+        allocator.allocate(16)
+        allocator.reset()
+        assert allocator.free_capacity == allocator.total_capacity
+
+    def test_zone_regions_are_connected(self):
+        machine = QCCDGridMachine(rows=3, columns=3, trap_capacity=4)
+        allocator = RegionAllocator(machine, granularity="zone")
+        region = allocator.allocate(10)
+        picked = set(region.units)
+        # BFS from the first unit must reach every picked unit
+        frontier = [region.units[0]]
+        seen = {region.units[0]}
+        while frontier:
+            zone_id = frontier.pop()
+            for neighbour in machine.neighbours(zone_id):
+                if neighbour in picked and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        assert seen == picked
+
+    def test_describe_mentions_units_and_capacity(self, two_tight_modules):
+        region = RegionAllocator(two_tight_modules).allocate(8)
+        text = region.describe()
+        assert "region 0" in text and "capacity 8" in text

@@ -1,0 +1,138 @@
+"""Property-based region allocator invariants (hypothesis).
+
+Random machines x random allocation/release sequences, checked against
+what multi-tenancy fundamentally requires:
+
+* live regions are pairwise disjoint (no unit, no zone shared),
+* every region zone is a real parent zone and capacity accounting is
+  conserved across allocate/release,
+* each region's sub-architecture survives a
+  ``ArchitectureSpec.from_dict`` round trip (it is losslessly
+  serialisable, so sub-machines rebuild deterministically),
+* per-tenant ledger slices of a packed batch sum back to the
+  machine-wide ledger (counts exactly, fidelity up to float
+  re-association).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import resolve_machine
+from repro.hardware.topology import ArchitectureSpec
+from repro.multiprog import (
+    BatchJob,
+    RegionAllocator,
+    RegionError,
+    pack_batch,
+    slice_ledger,
+)
+from repro.sim import reprice
+
+MACHINE_SPECS = (
+    "eml:16:2",
+    "eml?modules=3&capacity=4&module_limit=8",
+    "grid:2x2:8",
+    "grid:3x3:4",
+    "ring:6:4",
+)
+
+
+@st.composite
+def machines(draw):
+    spec = draw(st.sampled_from(MACHINE_SPECS))
+    qubits = draw(st.integers(min_value=8, max_value=64))
+    return resolve_machine(spec, qubits)
+
+
+class TestAllocatorInvariants:
+    @given(
+        machine=machines(),
+        requests=st.lists(st.integers(min_value=1, max_value=24), max_size=6),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_live_regions_stay_disjoint_and_real(self, machine, requests, data):
+        allocator = RegionAllocator(machine)
+        total = allocator.total_capacity
+        live = []
+        for qubits in requests:
+            if allocator.fits(qubits):
+                live.append(allocator.allocate(qubits))
+            if live and data.draw(st.booleans()):
+                allocator.release(live.pop(data.draw(
+                    st.integers(0, len(live) - 1)
+                )))
+
+        seen_units: set[int] = set()
+        seen_zones: set[int] = set()
+        for region in live:
+            assert not seen_units & set(region.units)
+            assert not seen_zones & set(region.zone_ids)
+            seen_units.update(region.units)
+            seen_zones.update(region.zone_ids)
+            # only real parent zones, monotone local -> parent mapping
+            for zone_id in region.zone_ids:
+                assert 0 <= zone_id < machine.num_zones
+            assert list(region.zone_ids) == sorted(region.zone_ids)
+            assert len(region.arch.zones) == len(region.zone_ids)
+            assert region.capacity >= 1
+
+        # capacity conservation: free + live == total
+        live_capacity = sum(region.capacity for region in live)
+        assert allocator.free_capacity + live_capacity == total
+
+    @given(
+        machine=machines(),
+        qubits=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sub_arch_round_trips_and_rebuilds(self, machine, qubits):
+        allocator = RegionAllocator(machine)
+        if not allocator.fits(qubits):
+            return
+        region = allocator.allocate(qubits)
+        assert ArchitectureSpec.from_dict(region.arch.to_dict()) == region.arch
+        sub = region.machine()
+        assert sub.num_zones == len(region.zone_ids)
+        for local, zone_id in region.zone_map.items():
+            assert sub.zone(local).capacity == machine.zone(zone_id).capacity
+            assert sub.zone(local).kind == machine.zone(zone_id).kind
+        assert region.machine_token()
+
+
+WORKLOADS = ("GHZ_n8", "GHZ_n16", "QFT_n8", "BV_n16")
+
+
+class TestLedgerSliceConservation:
+    @given(
+        names=st.lists(st.sampled_from(WORKLOADS), min_size=1, max_size=3),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_slices_sum_to_machine_ledger(self, names):
+        jobs = [
+            BatchJob(f"job{index}", workload, tenant=f"t{index}")
+            for index, workload in enumerate(names)
+        ]
+        try:
+            schedule = pack_batch(jobs, "eml:16:2")
+        except RegionError:
+            return
+        ledger = schedule.ledger()
+        slices = slice_ledger(
+            ledger, schedule.owners, len(schedule.placements), "table1"
+        )
+        report = reprice(ledger, "table1")
+        assert sum(s["operations"] for s in slices) == len(ledger)
+        shuttles = sum(1 for event in ledger.events() if event.kind == "move")
+        assert sum(s["shuttles"] for s in slices) == shuttles
+        assert math.isclose(
+            sum(s["log10_fidelity"] for s in slices),
+            report.log10_fidelity,
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+        assert max(s["makespan_us"] for s in slices) == report.makespan_us

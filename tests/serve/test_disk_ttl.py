@@ -1,0 +1,102 @@
+"""Disk-tier TTL: stale entries are skipped, deleted, and counted."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.schema import validate
+from repro.serve.cache import DISK_EXPERIMENT, TwoTierCache
+from repro.serve.schemas import STATS_SCHEMA
+
+
+def age_entry(cache_dir, key: str, days: float) -> None:
+    """Backdate one disk entry's stored timestamp by *days*."""
+    store = ResultCache(cache_dir)
+    entry = store.get(DISK_EXPERIMENT, key)
+    assert entry is not None
+    entry["stored_s"] = time.time() - days * 86400.0
+    store._dirty.add(DISK_EXPERIMENT)
+    store.flush()
+
+
+def seed(cache_dir, key: str = "k", payload: bytes = b'{"v":1}') -> None:
+    writer = TwoTierCache(cache_dir)
+    writer.put(key, payload, 0.1)
+    writer.close()
+
+
+class TestDiskTTL:
+    def test_fresh_entry_is_served(self, tmp_path):
+        seed(tmp_path)
+        cache = TwoTierCache(tmp_path, disk_ttl_days=30.0)
+        assert cache.get("k") == (b'{"v":1}', "disk")
+        assert cache.stats.disk_ttl_evictions == 0
+
+    def test_stale_entry_is_skipped_and_deleted(self, tmp_path):
+        seed(tmp_path)
+        age_entry(tmp_path, "k", days=10.0)
+        cache = TwoTierCache(tmp_path, disk_ttl_days=1.0)
+        assert cache.get("k") is None
+        assert cache.stats.disk_ttl_evictions == 1
+        # skip-and-delete: the entry is gone from the store, so a second
+        # lookup is a plain miss, not another eviction
+        assert cache.get("k") is None
+        assert cache.stats.disk_ttl_evictions == 1
+        assert ResultCache(tmp_path).get(DISK_EXPERIMENT, "k") is None
+
+    def test_entry_without_timestamp_is_stale(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store._entries(DISK_EXPERIMENT)["legacy"] = {
+            "result": {"v": 1}, "elapsed_s": 0.0,
+        }
+        store._dirty.add(DISK_EXPERIMENT)
+        store.flush()
+        # without a TTL the ageless entry is served...
+        assert TwoTierCache(tmp_path).get("legacy") is not None
+        # ...with one it must be treated as expired (age unknowable)
+        cache = TwoTierCache(tmp_path, disk_ttl_days=365.0)
+        assert cache.get("legacy") is None
+        assert cache.stats.disk_ttl_evictions == 1
+
+    def test_no_ttl_serves_arbitrarily_old_entries(self, tmp_path):
+        seed(tmp_path)
+        age_entry(tmp_path, "k", days=1000.0)
+        assert TwoTierCache(tmp_path).get("k") is not None
+
+    def test_async_lookup_counts_eviction(self, tmp_path):
+        seed(tmp_path)
+        age_entry(tmp_path, "k", days=10.0)
+        cache = TwoTierCache(tmp_path, disk_ttl_days=1.0)
+
+        async def flow():
+            return await cache.get_async("k")
+
+        assert asyncio.run(flow()) is None
+        assert cache.stats.disk_ttl_evictions == 1
+        cache.close()
+
+    def test_memory_tier_is_not_aged(self, tmp_path):
+        cache = TwoTierCache(tmp_path, disk_ttl_days=1.0)
+        cache.put("k", b'{"v":1}', 0.1)
+        age_entry(tmp_path, "k", days=10.0)
+        # memory hit short-circuits the TTL check by design
+        assert cache.get("k") == (b'{"v":1}', "memory")
+
+    def test_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            TwoTierCache(tmp_path, disk_ttl_days=0.0)
+        with pytest.raises(ValueError):
+            TwoTierCache(tmp_path, disk_ttl_days=-2.0)
+
+    def test_stats_expose_the_counter(self, tmp_path):
+        seed(tmp_path)
+        age_entry(tmp_path, "k", days=10.0)
+        cache = TwoTierCache(tmp_path, disk_ttl_days=1.0)
+        cache.get("k")
+        stats = cache.to_dict()
+        validate(stats, STATS_SCHEMA["properties"]["cache"])
+        assert stats["disk_ttl_evictions"] == 1

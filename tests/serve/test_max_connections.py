@@ -1,0 +1,149 @@
+"""Connection shedding: ``--max-connections`` answers 503 over the limit."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.schema import validate
+from repro.serve import CompileService, start_http_server
+from repro.serve.schemas import ERROR_SCHEMA, STATS_SCHEMA
+
+
+async def _open(port: int):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    return reader, writer
+
+
+async def _request(reader, writer, path: str = "/healthz"):
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n".encode()
+    )
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.decode("latin-1").split("\r\n"):
+        if line.lower().startswith("content-length"):
+            length = int(line.partition(":")[2])
+    body = json.loads(await reader.readexactly(length)) if length else {}
+    return status, body
+
+
+async def _close(writer):
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMaxConnections:
+    def test_excess_connection_gets_structured_503(self):
+        async def flow():
+            service = CompileService(jobs=0, use_disk_cache=False, max_connections=1)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                r1, w1 = await _open(port)
+                status1, _ = await _request(r1, w1)
+                # connection 1 is held open (keep-alive); 2 is over the limit
+                r2, w2 = await _open(port)
+                status2, body2 = await _request(r2, w2)
+                # shed connections are closed right after the 503 (EOF,
+                # or RST when unread request bytes were pending)
+                try:
+                    assert (await r2.read()) == b""
+                except ConnectionResetError:
+                    pass
+                await _close(w2)
+                await _close(w1)
+                await asyncio.sleep(0.05)  # let the handlers unwind
+                return status1, status2, body2, service
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        status1, status2, body2, service = run(flow())
+        assert status1 == 200
+        assert status2 == 503
+        validate(body2, ERROR_SCHEMA)
+        assert body2["error"]["status"] == 503
+        assert "limit" in body2["error"]["message"]
+        assert service.shed_connections == 1
+        assert service.active_connections == 0  # all balanced after close
+
+    def test_slot_frees_when_connection_closes(self):
+        async def flow():
+            service = CompileService(jobs=0, use_disk_cache=False, max_connections=1)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                r1, w1 = await _open(port)
+                await _request(r1, w1)
+                await _close(w1)
+                await asyncio.sleep(0.05)  # let the handler unwind
+                r2, w2 = await _open(port)
+                status, stats = await _request(r2, w2, "/stats")
+                await _close(w2)
+                return status, stats
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        status, stats = run(flow())
+        assert status == 200
+        validate(stats, STATS_SCHEMA)
+        assert stats["connections"]["shed"] == 0
+        assert stats["connections"]["limit"] == 1
+        assert stats["connections"]["active"] == 1
+
+    def test_zero_means_unlimited(self):
+        async def flow():
+            service = CompileService(jobs=0, use_disk_cache=False)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                pairs = [await _open(port) for _ in range(5)]
+                for reader, writer in pairs:
+                    status, _ = await _request(reader, writer)
+                    assert status == 200
+                for _, writer in pairs:
+                    await _close(writer)
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+            return service
+
+        service = run(flow())
+        assert service.shed_connections == 0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            CompileService(jobs=0, use_disk_cache=False, max_connections=-1)
+
+    def test_cli_rejects_bad_limits_before_binding(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--max-connections", "-1", "--no-disk-cache"]) == 2
+        assert "max_connections" in capsys.readouterr().err
+        assert main(["serve", "--disk-ttl-days", "0", "--no-disk-cache"]) == 2
+        assert "disk_ttl_days" in capsys.readouterr().err
+
+    def test_stats_carries_connections_block(self):
+        service = CompileService(jobs=0, use_disk_cache=False, max_connections=3)
+        try:
+            stats = service.stats()
+            validate(stats, STATS_SCHEMA)
+            assert stats["connections"] == {"active": 0, "limit": 3, "shed": 0}
+        finally:
+            service.close()
