@@ -9,9 +9,11 @@ per-cell delta table, and
 guard metric regressed by more than PCT percent.  Metrics are
 mode-aware: compile+execute (and reprice) cells are judged on
 ``total_s`` in seconds, service load-generator cells (``serve-cold`` /
-``serve-warm``) on ``p99_ms`` in milliseconds, and multi-tenant
-queueing cells (``fleet``) on ``p99_wait_ms`` — so scheduler speed,
-service latency, and co-scheduling tail wait all live under one guard.
+``serve-warm``) on ``p99_ms`` in milliseconds, multi-tenant queueing
+cells (``fleet``) on ``p99_wait_ms``, and fault-robustness cells
+(``faults``) on ``makespan_degradation_pct`` (in percentage points) —
+so scheduler speed, service latency, co-scheduling tail wait, and
+degraded-hardware robustness all live under one guard.
 
 The baseline may be given literally, or as the word ``latest`` (or a
 directory), which auto-discovers the newest committed ``BENCH_*.json``
@@ -57,6 +59,20 @@ FLEET_METRICS = ("throughput_jps", "p99_wait_ms")
 #: user-facing cost of a scheduling regression (throughput's good
 #: direction is up, so it is shown but not judged).
 FLEET_GUARD_METRIC = "p99_wait_ms"
+
+#: Fields compared per fault-robustness cell (``mode: faults``).
+FAULTS_METRICS = (
+    "makespan_us",
+    "makespan_degradation_pct",
+    "recovery_overhead_pct",
+)
+
+#: The metric the guard judges on faults cells: how much slower the
+#: fault-avoiding schedule is than the pristine compile.  It is itself a
+#: percentage (often exactly 0.0 on symmetric machines), so its delta is
+#: reported in percentage *points* — a ratio against a zero baseline
+#: would be undefined exactly where fault avoidance works best.
+FAULTS_GUARD_METRIC = "makespan_degradation_pct"
 
 #: Filename pattern of a committed, dated baseline.
 _BASELINE_RE = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})\.json$")
@@ -134,11 +150,17 @@ def _is_fleet_key(key: tuple) -> bool:
     return key[3] == "fleet"
 
 
+def _is_faults_key(key: tuple) -> bool:
+    return key[3] == "faults"
+
+
 def _metrics_for(key: tuple) -> tuple[str, ...]:
     if _is_serve_key(key):
         return SERVE_METRICS
     if _is_fleet_key(key):
         return FLEET_METRICS
+    if _is_faults_key(key):
+        return FAULTS_METRICS
     return METRICS
 
 
@@ -148,12 +170,21 @@ def guard_metric_for(key: tuple) -> str:
         return SERVE_GUARD_METRIC
     if _is_fleet_key(key):
         return FLEET_GUARD_METRIC
+    if _is_faults_key(key):
+        return FAULTS_GUARD_METRIC
     return GUARD_METRIC
 
 
 def _describe_key(key: tuple) -> str:
-    workload, machine, _compiler, mode = key[:4]
-    suffix = f" [{mode}]" if mode != "compile-execute" else ""
+    workload, machine, compiler, mode = key[:4]
+    if mode == "faults":
+        # The compiler field carries ``faults-<profile>`` — the profile
+        # is the variant axis, so show it instead of the bare mode.
+        suffix = f" [{compiler}]"
+    elif mode != "compile-execute":
+        suffix = f" [{mode}]"
+    else:
+        suffix = ""
     if len(key) > 4:
         suffix += f" @{key[4]}"
     return f"{workload} on {machine}{suffix}"
@@ -179,13 +210,16 @@ def compare_payloads(old: dict, new: dict) -> list[dict]:
         for metric in _metrics_for(key):
             before = old_cell[metric]
             after = new_cell[metric]
-            row[metric] = {
-                "old": before,
-                "new": after,
-                "delta_pct": (
+            if _is_faults_key(key) and metric.endswith("_pct"):
+                # Already a percentage: report the change in percentage
+                # points (a ratio against a 0.0 baseline — the normal
+                # case when fault avoidance is free — is undefined).
+                delta = after - before
+            else:
+                delta = (
                     (after - before) / before * 100.0 if before > 0 else None
-                ),
-            }
+                )
+            row[metric] = {"old": before, "new": after, "delta_pct": delta}
         rows.append(row)
     for key, new_cell in new_cells.items():
         if key not in old_cells:
@@ -202,6 +236,11 @@ DEFAULT_MIN_SECONDS = 0.05
 
 def _guard_seconds(key: tuple, entry: dict) -> float:
     """The baseline guard value of one row, in seconds."""
+    if _is_faults_key(key):
+        # Faults cells are deterministic simulator output (scheduled
+        # microseconds, not wall-clock) — timer noise cannot occur, so
+        # the noise floor never applies.
+        return float("inf")
     if _is_serve_key(key) or _is_fleet_key(key):
         return entry["old"] / 1000.0  # p99 latencies are milliseconds
     return entry["old"]
@@ -260,10 +299,13 @@ def render_comparison(rows: list[dict]) -> str:
     timing = [
         row
         for row in rows
-        if not _is_serve_key(row["key"]) and not _is_fleet_key(row["key"])
+        if not _is_serve_key(row["key"])
+        and not _is_fleet_key(row["key"])
+        and not _is_faults_key(row["key"])
     ]
     serve = [row for row in rows if _is_serve_key(row["key"])]
     fleet = [row for row in rows if _is_fleet_key(row["key"])]
+    faults = [row for row in rows if _is_faults_key(row["key"])]
     parts = []
     if timing:
         parts.append(_render_group(timing, METRICS, "Microbenchmark comparison"))
@@ -271,6 +313,8 @@ def render_comparison(rows: list[dict]) -> str:
         parts.append(_render_group(serve, SERVE_METRICS, "Service load comparison"))
     if fleet:
         parts.append(_render_group(fleet, FLEET_METRICS, "Fleet comparison"))
+    if faults:
+        parts.append(_render_group(faults, FAULTS_METRICS, "Faults comparison"))
     return "\n".join(parts)
 
 

@@ -56,9 +56,12 @@ from .cells import matches_filter, parse_filter
 #: ``serve-warm`` modes with p50/p99/throughput metrics) and the
 #: ``serve`` / ``mixed`` grids; version 4 added the multi-tenant
 #: queueing cells (``repro bench fleet``: ``mode: fleet`` with
-#: throughput / wait / fairness metrics) and the ``fleet`` grid.  Older
-#: files still validate (and compare) cleanly.
-SCHEMA_VERSION = 4
+#: throughput / wait / fairness metrics) and the ``fleet`` grid;
+#: version 5 added the fault-robustness cells (``repro bench faults``:
+#: ``mode: faults`` with makespan-degradation / fidelity-delta /
+#: recovery-overhead metrics) and the ``faults`` grid.  Older files
+#: still validate (and compare) cleanly.
+SCHEMA_VERSION = 5
 
 #: The physics arms of the ``reprice`` cell: the Fig 13 counterfactuals
 #: plus heating-rate / gate-decay / fiber / lifetime sweeps — the
@@ -202,6 +205,43 @@ _FLEET_CELL_SCHEMA = {
     },
 }
 
+#: Fault-robustness cells (``repro bench faults``, schema v5): one cell
+#: per named fault profile applied to the tracked machine.  The
+#: ``compiler`` field carries ``faults-<profile>`` (the variant axis of
+#: the cell identity); ``repro bench compare`` guards
+#: ``makespan_degradation_pct`` — how much slower the schedule got on
+#: the degraded hardware vs the pristine compile of the same workload.
+_FAULTS_CELL_SCHEMA = {
+    "type": "object",
+    "required": [
+        "workload",
+        "machine",
+        "compiler",
+        "mode",
+        "profile",
+        "num_faults",
+        "pristine_makespan_us",
+        "makespan_us",
+        "makespan_degradation_pct",
+        "log10_fidelity_delta",
+        "recovery_overhead_pct",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "workload": {"type": "string", "minLength": 1},
+        "machine": {"type": "string", "minLength": 1},
+        "compiler": {"type": "string", "minLength": 1},
+        "mode": {"enum": ["faults"]},
+        "profile": {"type": "string", "minLength": 1},
+        "num_faults": {"type": "integer", "minimum": 1},
+        "pristine_makespan_us": {"type": "number", "minimum": 0},
+        "makespan_us": {"type": "number", "minimum": 0},
+        "makespan_degradation_pct": {"type": "number"},
+        "log10_fidelity_delta": {"type": "number"},
+        "recovery_overhead_pct": {"type": "number"},
+    },
+}
+
 #: JSON Schema (draft 2020-12) of the ``BENCH_*.json`` payload.
 BENCH_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
@@ -211,9 +251,9 @@ BENCH_SCHEMA = {
     "required": ["schema_version", "created_utc", "grid", "repeats", "environment", "cells"],
     "additionalProperties": False,
     "properties": {
-        "schema_version": {"enum": [1, 2, 3, SCHEMA_VERSION]},
+        "schema_version": {"enum": [1, 2, 3, 4, SCHEMA_VERSION]},
         "created_utc": {"type": "string", "minLength": 1},
-        "grid": {"enum": ["micro", "serve", "fleet", "mixed"]},
+        "grid": {"enum": ["micro", "serve", "fleet", "faults", "mixed"]},
         "repeats": {"type": "integer", "minimum": 1},
         "environment": {
             "type": "object",
@@ -228,7 +268,12 @@ BENCH_SCHEMA = {
             "type": "array",
             "minItems": 1,
             "items": {
-                "anyOf": [_CELL_SCHEMA, _SERVE_CELL_SCHEMA, _FLEET_CELL_SCHEMA]
+                "anyOf": [
+                    _CELL_SCHEMA,
+                    _SERVE_CELL_SCHEMA,
+                    _FLEET_CELL_SCHEMA,
+                    _FAULTS_CELL_SCHEMA,
+                ]
             },
         },
     },

@@ -385,6 +385,141 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_faults(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import faults as bench_faults
+    from .bench import micro
+
+    try:
+        result = bench_faults.run_faults_bench(
+            machine=args.machine or bench_faults.DEFAULT_MACHINE,
+            workload=args.workload or bench_faults.DEFAULT_WORKLOAD,
+            compiler=args.compiler,
+            profiles=tuple(args.profile) if args.profile else None,
+            quick=args.quick,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = result["payload"]
+    path = Path(args.output or micro.default_output_path())
+    # Fold the faults cells into the day's tracked payload when one
+    # exists, so all bench suites share a single BENCH_<date>.json.
+    if path.exists():
+        try:
+            payload = micro.merge_payloads(
+                json.loads(path.read_text(encoding="utf-8")), payload
+            )
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot merge into {path}: {error}", file=sys.stderr)
+            return 2
+    micro.write_payload(payload, path)
+    print(bench_faults.render(result))
+    print(
+        f"[faults: {len(result['payload']['cells'])} cells, schema-valid, "
+        f"written to {path}]"
+    )
+    return 0
+
+
+def _faults_bench_default(field: str) -> str:
+    from .bench import faults as bench_faults
+
+    return {
+        "machine": bench_faults.DEFAULT_MACHINE,
+        "workload": bench_faults.DEFAULT_WORKLOAD,
+    }[field]
+
+
+def _cmd_faults_list(args: argparse.Namespace) -> int:
+    from .faults import describe_fault_profiles
+
+    print(describe_fault_profiles())
+    return 0
+
+
+def _cmd_faults_show(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from .faults import build_fault_profile
+
+    try:
+        machine = resolve_machine(args.machine, args.qubits)
+        model = build_fault_profile(args.profile, machine)
+        faulted = default_machine_registry().from_architecture(
+            dc_replace(machine.architecture(), faults=model)
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    maps = faulted.topology_maps()
+    print(f"profile : {args.profile}")
+    print(f"machine : {machine.describe()}")
+    print(f"faults  : {model.describe()}")
+    print(f"spec    : {faulted.spec}")
+    if maps.dead_zones:
+        dead = ", ".join(str(zone) for zone in sorted(maps.dead_zones))
+        print(f"dead zones   : {dead}")
+    if maps.blocked_links:
+        pairs = ", ".join(f"{a}-{b}" for a, b in sorted(maps.blocked_links))
+        print(f"failed links : {pairs}")
+    if model.entangler_eps:
+        degraded = ", ".join(
+            f"module {module} eps={eps:g}"
+            for module, eps in sorted(model.eps_by_module().items())
+        )
+        print(f"degraded     : {degraded}")
+    return 0
+
+
+def _cmd_faults_inject(args: argparse.Namespace) -> int:
+    from .faults import FaultEvent, RecoveryError, build_fault_profile
+    from .faults import inject_fault as run_inject
+
+    circuit = get_benchmark(args.workload)
+    try:
+        machine = resolve_machine(args.machine, circuit.num_qubits)
+        compiler = resolve_compiler(args.compiler)
+        model = build_fault_profile(args.profile, machine)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    program = compiler.compile(circuit, machine)
+    pristine_makespan = replay(program).reprice().makespan_us
+    at_us = (
+        args.at_us
+        if args.at_us is not None
+        else args.at_fraction * pristine_makespan
+    )
+    try:
+        recovery = run_inject(
+            program, FaultEvent(at_us=at_us, model=model), compiler=args.compiler
+        )
+    except (RecoveryError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(recovery.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"workload  : {args.workload} on {machine.describe()}")
+    print(f"fault     : {args.profile} ({model.describe()}) at {at_us:.1f} us")
+    print(
+        f"committed : {recovery.committed_gates} gates before the fault, "
+        f"{recovery.residual_gates} recompiled on surviving hardware"
+    )
+    print(
+        f"makespan  : pristine {recovery.pristine_makespan_us:.1f} us -> "
+        f"combined {recovery.combined_makespan_us:.1f} us "
+        f"({recovery.overhead_pct:+.2f}% recovery overhead)"
+    )
+    print(
+        f"fidelity  : log10 F {recovery.pristine_log10_fidelity:.3f} -> "
+        f"{recovery.combined_log10_fidelity:.3f}"
+    )
+    return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -636,7 +771,8 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
 #: Explicit bench sub-commands; anything else after ``bench`` is an
 #: experiment name and routes through the implicit ``run``.
 BENCH_SUBCOMMANDS = (
-    "run", "list", "clear-cache", "sweep", "micro", "compare", "serve", "fleet",
+    "run", "list", "clear-cache", "sweep", "micro", "compare", "serve",
+    "fleet", "faults",
 )
 
 
@@ -959,6 +1095,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_pack.set_defaults(handler=_cmd_fleet_pack)
 
+    faults_parser = commands.add_parser(
+        "faults",
+        help="degraded-hardware tooling: profiles, faulted specs, recovery",
+    )
+    faults_commands = faults_parser.add_subparsers(
+        dest="faults_command", required=True
+    )
+
+    faults_list = faults_commands.add_parser(
+        "list", help="registered fault profiles"
+    )
+    faults_list.set_defaults(handler=_cmd_faults_list)
+
+    faults_show = faults_commands.add_parser(
+        "show", help="apply a fault profile to a machine and show the result"
+    )
+    faults_show.add_argument(
+        "profile", metavar="PROFILE", help="fault profile (see 'faults list')"
+    )
+    faults_show.add_argument(
+        "--machine",
+        default="eml?modules=4",
+        metavar="SPEC",
+        help=f"default eml?modules=4; {_machine_spec_help()}",
+    )
+    faults_show.add_argument(
+        "--qubits",
+        type=int,
+        default=None,
+        metavar="N",
+        help="size circuit-relative machine specs to N qubits",
+    )
+    faults_show.set_defaults(handler=_cmd_faults_show)
+
+    faults_inject = faults_commands.add_parser(
+        "inject",
+        help="strike a compiled schedule mid-run and recover on the "
+        "surviving hardware",
+    )
+    faults_inject.add_argument(
+        "workload", metavar="WORKLOAD", help="benchmark to compile (e.g. QFT_n20)"
+    )
+    faults_inject.add_argument(
+        "--machine",
+        default="eml?modules=4",
+        metavar="SPEC",
+        help=f"default eml?modules=4; {_machine_spec_help()}",
+    )
+    faults_inject.add_argument(
+        "--profile",
+        default="dead-zones-1",
+        metavar="NAME",
+        help="fault profile to strike with (default: dead-zones-1)",
+    )
+    faults_inject.add_argument(
+        "--compiler",
+        default="muss-ti",
+        metavar="SPEC",
+        help="compiler for both the pristine and recovery compiles "
+        "(default: muss-ti)",
+    )
+    faults_inject.add_argument(
+        "--at-fraction",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="fault instant as a fraction of the pristine makespan "
+        "(default: 0.5)",
+    )
+    faults_inject.add_argument(
+        "--at-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="fault instant in microseconds (overrides --at-fraction)",
+    )
+    faults_inject.add_argument(
+        "--json", action="store_true", help="emit the recovery result as JSON"
+    )
+    faults_inject.set_defaults(handler=_cmd_faults_inject)
+
     bench_parser = commands.add_parser(
         "bench", help="parallel, cached experiment sweeps"
     )
@@ -1139,6 +1356,53 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: ./BENCH_<utc date>.json)",
     )
     bench_fleet.set_defaults(handler=_cmd_bench_fleet)
+
+    bench_faults = bench_commands.add_parser(
+        "faults",
+        help="fault-robustness cells (one per profile) -> BENCH_<date>.json",
+    )
+    bench_faults.add_argument(
+        "--machine",
+        default=None,
+        metavar="SPEC",
+        help="pristine baseline machine "
+        f"(default: {_faults_bench_default('machine')}); "
+        f"{_machine_spec_help()}",
+    )
+    bench_faults.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="tracked workload "
+        f"(default: {_faults_bench_default('workload')})",
+    )
+    bench_faults.add_argument(
+        "--compiler",
+        default="muss-ti",
+        metavar="SPEC",
+        help="compiler for pristine and faulted compiles (default: muss-ti)",
+    )
+    bench_faults.add_argument(
+        "--profile",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="fault profile, repeatable (default: the tracked sweep; "
+        "see 'repro faults list')",
+    )
+    bench_faults.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the two-profile CI smoke subset",
+    )
+    bench_faults.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output file; merges into an existing payload "
+        "(default: ./BENCH_<utc date>.json)",
+    )
+    bench_faults.set_defaults(handler=_cmd_bench_faults)
 
     bench_compare_parser = bench_commands.add_parser(
         "compare",

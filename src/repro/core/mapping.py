@@ -30,15 +30,64 @@ def _modules_by_id(machine: Machine) -> list[int]:
     return sorted({zone.module_id for zone in machine.zones})
 
 
+def _dead_zone_ids(machine: Machine) -> frozenset[int]:
+    model = machine.fault_model
+    return frozenset(model.dead_zones) if model is not None else frozenset()
+
+
+def _usable_zones(machine: Machine, module_id: int) -> list:
+    """A module's zones minus any the fault model declares dead."""
+    dead = _dead_zone_ids(machine)
+    return [
+        zone
+        for zone in machine.zones_in_module(module_id)
+        if zone.zone_id not in dead
+    ]
+
+
+def _placement_modules(machine: Machine) -> list[int]:
+    """Modules placement may populate, restricted to a live fiber clique.
+
+    When the fault model fails optical links, placement keeps only a
+    greedy clique (lowest ids first) of modules that are all mutually
+    linked.  Because swap insertion only pairs resident qubits, eviction
+    stays intra-module and fiber gates only run between resident modules,
+    populating only a clique guarantees no scheduled operation ever needs
+    a failed link.
+    """
+    modules = _modules_by_id(machine)
+    model = machine.fault_model
+    if model is None:
+        return modules
+    maps = machine.topology_maps()
+    live = [
+        module_id
+        for module_id in modules
+        if maps.module_gate_zones[module_id]
+        and maps.module_optical_zones[module_id]
+    ]
+    if not live:
+        # No module can both gate and fiber: keep the first module that
+        # can at least gate — a single-module workload needs no fiber.
+        live = [m for m in modules if maps.module_gate_zones[m]][:1]
+    if not model.failed_links:
+        return live
+    clique: list[int] = []
+    for module_id in live:
+        if all(not model.blocks_link(module_id, member) for member in clique):
+            clique.append(module_id)
+    return clique
+
+
 def _module_zone_order(machine: Machine, module_id: int) -> list[int]:
-    """Zones of a module ordered by level descending (optical first)."""
-    zones = machine.zones_in_module(module_id)
+    """Usable zones of a module ordered by level descending (optical first)."""
+    zones = _usable_zones(machine, module_id)
     zones.sort(key=lambda zone: (-zone.level, zone.zone_id))
     return [zone.zone_id for zone in zones]
 
 
 def _module_limit(machine: Machine, module_id: int) -> int:
-    capacity = sum(zone.capacity for zone in machine.zones_in_module(module_id))
+    capacity = sum(zone.capacity for zone in _usable_zones(machine, module_id))
     limit = getattr(machine, "module_qubit_limit", None)
     if limit is not None:
         capacity = min(capacity, limit)
@@ -59,7 +108,7 @@ def trivial_placement(circuit: QuantumCircuit, machine: Machine) -> Placement:
     """
     placement: dict[int, list[int]] = {}
     total = circuit.num_qubits
-    modules = _modules_by_id(machine)
+    modules = _placement_modules(machine)
 
     def fill(next_qubit: int, reserve: int) -> int:
         for module_id in modules:
@@ -67,10 +116,10 @@ def trivial_placement(circuit: QuantumCircuit, machine: Machine) -> Placement:
                 break
             used = sum(
                 len(placement.get(zone.zone_id, ()))
-                for zone in machine.zones_in_module(module_id)
+                for zone in _usable_zones(machine, module_id)
             )
             trap_space = sum(
-                zone.capacity for zone in machine.zones_in_module(module_id)
+                zone.capacity for zone in _usable_zones(machine, module_id)
             )
             budget = min(
                 _module_limit(machine, module_id), trap_space - reserve
@@ -95,11 +144,17 @@ def trivial_placement(circuit: QuantumCircuit, machine: Machine) -> Placement:
     if next_qubit < total:
         next_qubit = fill(next_qubit, 0)  # tight machine: use the slack
     if next_qubit < total:
-        raise RoutingError(
+        detail = (
             f"machine too small: placed {next_qubit} of {total} qubits "
             f"(total usable capacity "
-            f"{sum(_module_limit(machine, m) for m in modules)})"
+            f"{sum(_module_limit(machine, m) for m in modules)}"
         )
+        if machine.fault_model is not None:
+            detail += (
+                f"; capacity reduced by faults: "
+                f"{machine.fault_model.describe()}"
+            )
+        raise RoutingError(detail + ")")
     return {zone_id: tuple(chain) for zone_id, chain in placement.items()}
 
 

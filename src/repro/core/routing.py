@@ -362,6 +362,16 @@ def route_fiber_gate(
         raise RoutingError(
             f"qubits {qubit_a} and {qubit_b} share a module; use a local gate"
         )
+    blocked = state.maps.blocked_links
+    if blocked:
+        module_a = state.module_of(qubit_a)
+        module_b = state.module_of(qubit_b)
+        key = (min(module_a, module_b), max(module_a, module_b))
+        if key in blocked:
+            raise RoutingError(
+                f"optical link {key[0]}-{key[1]} is failed; qubits "
+                f"{qubit_a} and {qubit_b} cannot share a fiber gate"
+            )
     zone_a = route_to_optical(
         state, qubit_a, use_lru=use_lru, future_qubits=future_qubits, slack=slack
     )

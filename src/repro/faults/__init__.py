@@ -1,0 +1,64 @@
+"""Fault-aware scheduling subsystem: degraded hardware as first-class data.
+
+* :mod:`repro.faults.model` — the declarative :class:`FaultModel` (dead
+  zones, severed shuttle edges, failed optical links, degraded
+  entanglers) with its spec-string grammar and lossless serialization.
+* :mod:`repro.faults.profiles` — named machine-relative fault profiles
+  (``dead-zones-2``, ``links-1``, ...) for sweeps and the CLI.
+* :mod:`repro.faults.dynamic` — mid-schedule :class:`FaultEvent`s with
+  recompile-from-checkpoint recovery over the event ledger.
+
+Only :mod:`~repro.faults.model` is imported eagerly: the hardware layer
+imports it while building machines, so the profile/dynamic modules
+(which import the hardware layer back) load lazily on first attribute
+access.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    FAULT_KEYS,
+    FaultError,
+    FaultModel,
+    parse_fault_options,
+    split_fault_options,
+)
+
+__all__ = [
+    "FAULT_KEYS",
+    "FaultError",
+    "FaultEvent",
+    "FaultModel",
+    "RecoveryError",
+    "RecoveryResult",
+    "available_fault_profiles",
+    "build_fault_profile",
+    "describe_fault_profiles",
+    "inject_fault",
+    "parse_fault_options",
+    "register_fault_profile",
+    "split_fault_options",
+]
+
+_LAZY = {
+    "FaultEvent": "dynamic",
+    "RecoveryError": "dynamic",
+    "RecoveryResult": "dynamic",
+    "inject_fault": "dynamic",
+    "available_fault_profiles": "profiles",
+    "build_fault_profile": "profiles",
+    "describe_fault_profiles": "profiles",
+    "register_fault_profile": "profiles",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,373 @@
+"""Declarative fault models: degraded hardware as data, not subclasses.
+
+Production trapped-ion fleets never run pristine hardware — junctions
+die, optical links drop, entanglers degrade — so every machine in this
+repository can carry a :class:`FaultModel`: a frozen, canonical record
+of which resources are gone or degraded.  Four fault kinds cover the
+resources an EML/QCCD machine actually loses:
+
+* **dead zones** — a trap zone is unusable: nothing may be placed there,
+  routed through it, or gated in it;
+* **severed edges** — a shuttle junction between two adjacent zones is
+  broken: BFS routing must go around it;
+* **failed links** — the optical fiber between two modules is down: no
+  fiber gate or remote SWAP may cross it;
+* **entangler eps** — a module's photonic entangler is degraded: every
+  fiber entangling operation touching that module pays an extra
+  per-operation infidelity ``eps``.
+
+Fault models ride on machine spec strings as ordinary query options
+(``eml:16:2?dead_zones=3,7&failed_links=0-1&entangler_eps=2:0.02``),
+lower losslessly through ``ArchitectureSpec.to_dict``/``from_dict``,
+and are consumed by the topology maps (routing/placement avoid faults
+for free), the replay legality checks, and the physics fold (degraded
+entanglers price in).  An **empty model is byte-identical to no model**:
+every consumer branches to the pristine code path when the model is
+``None`` or empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..specstrings import suggest_key
+
+__all__ = [
+    "FAULT_KEYS",
+    "FaultError",
+    "FaultModel",
+    "parse_fault_options",
+    "split_fault_options",
+]
+
+#: The query keys of the fault grammar, in canonical (sorted) order.
+#: Any machine spec may carry them; :meth:`MachineRegistry.parse` splits
+#: them off before the builder sees its options.
+FAULT_KEYS: tuple[str, ...] = (
+    "dead_zones",
+    "entangler_eps",
+    "failed_links",
+    "severed_edges",
+)
+
+
+class FaultError(ValueError):
+    """A fault spec is malformed or names resources the machine lacks."""
+
+
+def _parse_int(text: str, *, key: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise FaultError(
+            f"bad {key} entry {text!r}: want a non-negative integer"
+        ) from None
+    if value < 0:
+        raise FaultError(f"bad {key} entry {text!r}: want a non-negative integer")
+    return value
+
+
+def _parse_pair(text: str, *, key: str, what: str) -> tuple[int, int]:
+    a_text, sep, b_text = text.partition("-")
+    if not sep:
+        raise FaultError(
+            f"bad {key} entry {text!r}: want a {what} pair like 0-1"
+        )
+    a = _parse_int(a_text.strip(), key=key)
+    b = _parse_int(b_text.strip(), key=key)
+    if a == b:
+        raise FaultError(
+            f"bad {key} entry {text!r}: the two {what} ids must differ"
+        )
+    return (min(a, b), max(a, b))
+
+
+def _parse_eps(text: str, *, key: str) -> tuple[int, float]:
+    module_text, sep, eps_text = text.partition(":")
+    if not sep:
+        raise FaultError(
+            f"bad {key} entry {text!r}: want module:eps like 2:0.02"
+        )
+    module = _parse_int(module_text.strip(), key=key)
+    try:
+        eps = float(eps_text)
+    except ValueError:
+        raise FaultError(
+            f"bad {key} entry {text!r}: eps must be a number"
+        ) from None
+    if not 0.0 < eps < 1.0:
+        raise FaultError(
+            f"bad {key} entry {text!r}: eps must be in (0, 1)"
+        )
+    return (module, eps)
+
+
+def _split_entries(value: Any, *, key: str) -> list[str]:
+    # Spec query values arrive pre-coerced (a lone "7" is already an int);
+    # normalise everything back to the comma-separated string grammar.
+    text = str(value).strip()
+    if not text:
+        raise FaultError(f"fault option {key} must not be empty")
+    return [entry.strip() for entry in text.split(",") if entry.strip()]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A canonical, hashable record of one machine's faults.
+
+    All four fields normalise in ``__post_init__`` — deduped, sorted,
+    pairs ordered ``a < b`` — so two models describing the same faults
+    compare (and hash, and canonicalise) equal.
+    """
+
+    dead_zones: tuple[int, ...] = ()
+    severed_edges: tuple[tuple[int, int], ...] = ()
+    failed_links: tuple[tuple[int, int], ...] = ()
+    entangler_eps: tuple[tuple[int, float], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "dead_zones", tuple(sorted({int(z) for z in self.dead_zones}))
+        )
+        for zone in self.dead_zones:
+            if zone < 0:
+                raise FaultError(f"dead zone id must be >= 0, got {zone}")
+        for name in ("severed_edges", "failed_links"):
+            pairs = set()
+            for pair in getattr(self, name):
+                a, b = int(pair[0]), int(pair[1])
+                if a < 0 or b < 0:
+                    raise FaultError(f"{name} ids must be >= 0, got {a}-{b}")
+                if a == b:
+                    raise FaultError(f"{name} pair {a}-{b} must join two ids")
+                pairs.add((min(a, b), max(a, b)))
+            object.__setattr__(self, name, tuple(sorted(pairs)))
+        eps_by_module: dict[int, float] = {}
+        for module, eps in self.entangler_eps:
+            module, eps = int(module), float(eps)
+            if module < 0:
+                raise FaultError(f"entangler_eps module must be >= 0, got {module}")
+            if not 0.0 < eps < 1.0:
+                raise FaultError(
+                    f"entangler eps for module {module} must be in (0, 1), got {eps}"
+                )
+            eps_by_module[module] = eps
+        object.__setattr__(
+            self, "entangler_eps", tuple(sorted(eps_by_module.items()))
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.dead_zones
+            or self.severed_edges
+            or self.failed_links
+            or self.entangler_eps
+        )
+
+    @property
+    def num_faults(self) -> int:
+        """Total count of individual faulted resources."""
+        return (
+            len(self.dead_zones)
+            + len(self.severed_edges)
+            + len(self.failed_links)
+            + len(self.entangler_eps)
+        )
+
+    def eps_by_module(self) -> dict[int, float]:
+        """Per-module degraded-entangler infidelity (empty when pristine)."""
+        return dict(self.entangler_eps)
+
+    def blocks_link(self, module_a: int, module_b: int) -> bool:
+        """Is the optical link between two modules failed?"""
+        pair = (min(module_a, module_b), max(module_a, module_b))
+        return pair in self.failed_links
+
+    def severs_edge(self, zone_a: int, zone_b: int) -> bool:
+        """Is the shuttle junction between two zones severed?"""
+        pair = (min(zone_a, zone_b), max(zone_a, zone_b))
+        return pair in self.severed_edges
+
+    def describe(self) -> str:
+        """One-line human summary, e.g. ``2 dead zones, 1 failed link``."""
+        parts = []
+        if self.dead_zones:
+            parts.append(f"{len(self.dead_zones)} dead zone(s)")
+        if self.severed_edges:
+            parts.append(f"{len(self.severed_edges)} severed edge(s)")
+        if self.failed_links:
+            parts.append(f"{len(self.failed_links)} failed link(s)")
+        if self.entangler_eps:
+            parts.append(f"{len(self.entangler_eps)} degraded entangler(s)")
+        return ", ".join(parts) if parts else "no faults"
+
+    # -- machine validation ----------------------------------------------
+
+    def validate_for(self, machine) -> None:
+        """Raise :class:`FaultError` when a fault names a resource the
+        machine does not have (unknown zone/module id, non-edge)."""
+        zone_ids = {zone.zone_id for zone in machine.zones}
+        modules = {zone.module_id for zone in machine.zones}
+        for zone in self.dead_zones:
+            if zone not in zone_ids:
+                raise FaultError(
+                    f"dead zone {zone} does not exist on {machine.describe()}"
+                )
+        for a, b in self.severed_edges:
+            if a not in zone_ids or b not in zone_ids:
+                raise FaultError(
+                    f"severed edge {a}-{b} names a zone that does not exist "
+                    f"on {machine.describe()}"
+                )
+            if b not in machine._adjacency.get(a, frozenset()):
+                raise FaultError(
+                    f"severed edge {a}-{b} is not a shuttle edge of "
+                    f"{machine.describe()}"
+                )
+        for a, b in self.failed_links:
+            if a not in modules or b not in modules:
+                raise FaultError(
+                    f"failed link {a}-{b} names a module that does not exist "
+                    f"on {machine.describe()}"
+                )
+        for module, _eps in self.entangler_eps:
+            if module not in modules:
+                raise FaultError(
+                    f"entangler_eps names module {module}, which does not "
+                    f"exist on {machine.describe()}"
+                )
+
+    # -- lossless serialization ------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (only non-empty fields are emitted)."""
+        payload: dict = {}
+        if self.dead_zones:
+            payload["dead_zones"] = list(self.dead_zones)
+        if self.severed_edges:
+            payload["severed_edges"] = [list(pair) for pair in self.severed_edges]
+        if self.failed_links:
+            payload["failed_links"] = [list(pair) for pair in self.failed_links]
+        if self.entangler_eps:
+            payload["entangler_eps"] = [
+                [module, eps] for module, eps in self.entangler_eps
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultModel":
+        unknown = sorted(set(payload) - set(FAULT_KEYS))
+        if unknown:
+            hint = suggest_key(unknown[0], FAULT_KEYS)
+            raise FaultError(
+                f"unknown fault field(s): {', '.join(unknown)}{hint} "
+                f"(valid fields: {', '.join(FAULT_KEYS)})"
+            )
+        try:
+            return cls(
+                dead_zones=tuple(payload.get("dead_zones", ())),
+                severed_edges=tuple(
+                    tuple(pair) for pair in payload.get("severed_edges", ())
+                ),
+                failed_links=tuple(
+                    tuple(pair) for pair in payload.get("failed_links", ())
+                ),
+                entangler_eps=tuple(
+                    tuple(entry) for entry in payload.get("entangler_eps", ())
+                ),
+            )
+        except (TypeError, IndexError):
+            raise FaultError(
+                "malformed fault payload: pairs must be two-element lists"
+            ) from None
+
+    # -- spec-string grammar ---------------------------------------------
+
+    def to_options(self) -> dict[str, str]:
+        """The canonical ``?key=value`` fragment values of this model."""
+        options: dict[str, str] = {}
+        if self.dead_zones:
+            options["dead_zones"] = ",".join(str(z) for z in self.dead_zones)
+        if self.severed_edges:
+            options["severed_edges"] = ",".join(
+                f"{a}-{b}" for a, b in self.severed_edges
+            )
+        if self.failed_links:
+            options["failed_links"] = ",".join(
+                f"{a}-{b}" for a, b in self.failed_links
+            )
+        if self.entangler_eps:
+            options["entangler_eps"] = ",".join(
+                f"{module}:{eps:g}" for module, eps in self.entangler_eps
+            )
+        return options
+
+    @classmethod
+    def from_options(cls, options: Mapping[str, Any]) -> "FaultModel":
+        """Parse spec-query fault values (``dead_zones="3,7"`` etc.)."""
+        unknown = sorted(set(options) - set(FAULT_KEYS))
+        if unknown:
+            hint = suggest_key(unknown[0], FAULT_KEYS)
+            raise FaultError(
+                f"unknown fault option(s): {', '.join(unknown)}{hint} "
+                f"(valid fault options: {', '.join(FAULT_KEYS)})"
+            )
+        dead_zones: tuple[int, ...] = ()
+        severed: tuple[tuple[int, int], ...] = ()
+        links: tuple[tuple[int, int], ...] = ()
+        eps: tuple[tuple[int, float], ...] = ()
+        if "dead_zones" in options:
+            dead_zones = tuple(
+                _parse_int(entry, key="dead_zones")
+                for entry in _split_entries(options["dead_zones"], key="dead_zones")
+            )
+        if "severed_edges" in options:
+            severed = tuple(
+                _parse_pair(entry, key="severed_edges", what="zone")
+                for entry in _split_entries(
+                    options["severed_edges"], key="severed_edges"
+                )
+            )
+        if "failed_links" in options:
+            links = tuple(
+                _parse_pair(entry, key="failed_links", what="module")
+                for entry in _split_entries(
+                    options["failed_links"], key="failed_links"
+                )
+            )
+        if "entangler_eps" in options:
+            eps = tuple(
+                _parse_eps(entry, key="entangler_eps")
+                for entry in _split_entries(
+                    options["entangler_eps"], key="entangler_eps"
+                )
+            )
+        return cls(
+            dead_zones=dead_zones,
+            severed_edges=severed,
+            failed_links=links,
+            entangler_eps=eps,
+        )
+
+
+def split_fault_options(options: Mapping[str, Any]) -> tuple[dict, dict]:
+    """Partition a parsed spec query into ``(fault options, the rest)``.
+
+    The machine registry calls this before builder-option validation so
+    fault keys are legal on *any* registered machine spec.
+    """
+    faults = {key: value for key, value in options.items() if key in FAULT_KEYS}
+    rest = {key: value for key, value in options.items() if key not in FAULT_KEYS}
+    return faults, rest
+
+
+def parse_fault_options(options: Mapping[str, Any]) -> "FaultModel | None":
+    """Fault options -> :class:`FaultModel`, or ``None`` when there are none."""
+    if not options:
+        return None
+    model = FaultModel.from_options(options)
+    return None if model.is_empty else model

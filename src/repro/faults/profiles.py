@@ -1,0 +1,216 @@
+"""Named fault profiles: machine-relative fault models by name.
+
+A *fault profile* is a recipe, not a fixed fault list: ``dead-zones-2``
+means "kill two storage zones" on whatever machine it is applied to, so
+the same profile name sweeps across machine sizes in ``repro bench
+faults``.  Profiles pick resources deterministically (highest-id modules
+first for dead zones, lowest-id module pairs for failed links), so a
+profile on a given machine always yields the same :class:`FaultModel` —
+sweep cells stay cacheable and bench cells reproducible.
+
+Profiles intentionally degrade, never destroy: dead zones are storage
+zones (gate/optical capability survives) and failed links leave a
+connected clique of modules, so a workload that fits the surviving
+capacity still compiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .model import FaultError, FaultModel
+
+__all__ = [
+    "FaultProfile",
+    "available_fault_profiles",
+    "build_fault_profile",
+    "describe_fault_profiles",
+    "register_fault_profile",
+]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """One registered profile: a machine -> :class:`FaultModel` recipe."""
+
+    name: str
+    summary: str
+    builder: Callable[..., FaultModel]
+
+    def build(self, machine) -> FaultModel:
+        model = self.builder(machine)
+        model.validate_for(machine)
+        return model
+
+
+_PROFILES: dict[str, FaultProfile] = {}
+
+
+def register_fault_profile(
+    name: str, *, summary: str = ""
+) -> Callable[[Callable[..., FaultModel]], Callable[..., FaultModel]]:
+    """Decorator registering a machine -> :class:`FaultModel` builder."""
+
+    def decorate(builder: Callable[..., FaultModel]):
+        if name in _PROFILES:
+            raise ValueError(f"fault profile {name!r} is already registered")
+        _PROFILES[name] = FaultProfile(name=name, summary=summary, builder=builder)
+        return builder
+
+    return decorate
+
+
+def available_fault_profiles() -> list[str]:
+    """Sorted names of every registered fault profile."""
+    return sorted(_PROFILES)
+
+
+def describe_fault_profiles() -> str:
+    """One ``name  summary`` line per profile, sorted by name."""
+    width = max((len(name) for name in _PROFILES), default=0)
+    return "\n".join(
+        f"{name:{width}s}  {_PROFILES[name].summary}" for name in sorted(_PROFILES)
+    )
+
+
+def build_fault_profile(name: str, machine) -> FaultModel:
+    """Apply the named profile to *machine* (validated against it)."""
+    try:
+        profile = _PROFILES[name]
+    except KeyError:
+        raise FaultError(
+            f"unknown fault profile {name!r} "
+            f"(want one of {', '.join(available_fault_profiles())})"
+        ) from None
+    return profile.build(machine)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic resource pickers
+# ---------------------------------------------------------------------------
+
+
+def _modules(machine) -> list[int]:
+    return sorted({zone.module_id for zone in machine.zones})
+
+
+def _storage_zones_by_module(machine) -> dict[int, list[int]]:
+    by_module: dict[int, list[int]] = {}
+    for zone in machine.zones:
+        if not zone.kind.allows_gates:  # storage zones: level 0, no gates
+            by_module.setdefault(zone.module_id, []).append(zone.zone_id)
+    return by_module
+
+
+def _pick_dead_zones(machine, count: int) -> tuple[int, ...]:
+    """*count* storage zones, one per module, highest-id modules first.
+
+    Spreading the deaths across modules (instead of gutting one module)
+    keeps every module schedulable while still shrinking capacity.
+    """
+    by_module = _storage_zones_by_module(machine)
+    picked: list[int] = []
+    rounds = 0
+    while len(picked) < count:
+        progressed = False
+        for module in sorted(by_module, reverse=True):
+            zones = sorted(by_module[module], reverse=True)
+            if rounds < len(zones):
+                picked.append(zones[rounds])
+                progressed = True
+                if len(picked) == count:
+                    break
+        if not progressed:
+            raise FaultError(
+                f"profile needs {count} storage zone(s) to kill but "
+                f"{machine.describe()} has only {len(picked)}"
+            )
+        rounds += 1
+    return tuple(picked)
+
+
+def _pick_failed_links(machine, count: int) -> tuple[tuple[int, int], ...]:
+    """*count* disjoint module pairs, lowest ids first (0-1, 2-3, ...).
+
+    Disjoint pairs leave the even-id modules as a mutually-linked clique,
+    so placement always has somewhere to put the workload.
+    """
+    modules = _modules(machine)
+    if len(modules) < 2 * count:
+        raise FaultError(
+            f"profile needs {count} module pair(s) to sever but "
+            f"{machine.describe()} has {len(modules)} module(s)"
+        )
+    return tuple(
+        (modules[2 * index], modules[2 * index + 1]) for index in range(count)
+    )
+
+
+def _pick_degraded(machine, count: int, eps: float) -> tuple[tuple[int, float], ...]:
+    modules = _modules(machine)
+    if len(modules) < count:
+        raise FaultError(
+            f"profile needs {count} module(s) to degrade but "
+            f"{machine.describe()} has {len(modules)}"
+        )
+    return tuple((module, eps) for module in modules[:count])
+
+
+def _register_counted(
+    kind: str, counts: Iterable[int], build: Callable[..., FaultModel], what: str
+) -> None:
+    for count in counts:
+        name = f"{kind}-{count}"
+        _PROFILES[name] = FaultProfile(
+            name=name,
+            summary=f"{what} (x{count})",
+            builder=(lambda machine, _count=count: build(machine, _count)),
+        )
+
+
+_register_counted(
+    "dead-zones",
+    (1, 2, 4),
+    lambda machine, count: FaultModel(dead_zones=_pick_dead_zones(machine, count)),
+    "kill storage zones, highest-id modules first",
+)
+
+_register_counted(
+    "links",
+    (1, 2),
+    lambda machine, count: FaultModel(
+        failed_links=_pick_failed_links(machine, count)
+    ),
+    "fail optical links between disjoint module pairs",
+)
+
+_register_counted(
+    "degraded",
+    (1, 2),
+    lambda machine, count: FaultModel(
+        entangler_eps=_pick_degraded(machine, count, 0.02)
+    ),
+    "degrade module entanglers to eps=0.02",
+)
+
+
+@register_fault_profile(
+    "mixed-1",
+    summary="one dead storage zone + one failed link + one degraded entangler",
+)
+def _build_mixed(machine) -> FaultModel:
+    modules = _modules(machine)
+    if len(modules) < 3:
+        raise FaultError(
+            f"profile mixed-1 needs >= 3 modules, {machine.describe()} has "
+            f"{len(modules)}"
+        )
+    # Degrade the last module's entangler: the failed 0-1 link removes
+    # module 1 from the placement clique, so the eps must land on a
+    # module that still does fiber work for the degradation to price in.
+    return FaultModel(
+        dead_zones=_pick_dead_zones(machine, 1),
+        failed_links=_pick_failed_links(machine, 1),
+        entangler_eps=((modules[-1], 0.02),),
+    )

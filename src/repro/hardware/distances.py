@@ -86,6 +86,10 @@ class TopologyMaps:
     eviction_preference: tuple[
         tuple[tuple[tuple[int, int, int], int], ...], ...
     ] = field(repr=False)
+    #: zone ids the machine's fault model declares dead (empty = pristine).
+    dead_zones: frozenset[int] = frozenset()
+    #: failed optical links as normalised ``(module_a, module_b)`` pairs.
+    blocked_links: frozenset[tuple[int, int]] = frozenset()
 
 
 def topology_cache_key(machine: "Machine") -> str:
@@ -106,7 +110,7 @@ def topology_cache_key(machine: "Machine") -> str:
 
 
 def _bfs_paths(
-    machine: "Machine", source: int
+    adjacency: dict[int, frozenset[int]], source: int
 ) -> dict[int, tuple[int, ...]]:
     """Full BFS from ``source``; reproduces the seed per-query BFS.
 
@@ -114,9 +118,10 @@ def _bfs_paths(
     iteration order with first-visit parents and stopped at the queried
     destination; stopping early never changes the parents of nodes
     already reached, so one full traversal yields the exact path the
-    seed would have returned for every destination.
+    seed would have returned for every destination.  Faulted machines
+    pass their live adjacency instead, so severed edges and dead zones
+    simply do not exist for routing.
     """
-    adjacency = machine._adjacency
     parents: dict[int, int] = {source: source}
     queue = [source]
     head = 0
@@ -140,6 +145,16 @@ def _build_maps(machine: "Machine", cache_key: str) -> TopologyMaps:
     zones = machine.zones
     num_modules = 1 + max(zone.module_id for zone in zones)
 
+    # A pristine machine uses ``_adjacency`` directly so the BFS below is
+    # byte-identical to the seed; a faulted one routes over the live
+    # adjacency, where dead zones and severed edges do not exist.
+    model = machine.fault_model
+    dead = frozenset(model.dead_zones) if model is not None else frozenset()
+    blocked = (
+        frozenset(model.failed_links) if model is not None else frozenset()
+    )
+    adjacency = machine._adjacency if model is None else machine.live_adjacency()
+
     module_zones: list[list] = [[] for _ in range(num_modules)]
     for zone in zones:
         module_zones[zone.module_id].append(zone)
@@ -148,7 +163,9 @@ def _build_maps(machine: "Machine", cache_key: str) -> TopologyMaps:
     paths: dict[tuple[int, int], tuple[int, ...]] = {}
     for zone in zones:
         source = zone.zone_id
-        for destination, path in _bfs_paths(machine, source).items():
+        if source in dead:
+            continue  # no route starts (or ends) at a dead zone
+        for destination, path in _bfs_paths(adjacency, source).items():
             paths[(source, destination)] = path
             distances[(source, destination)] = len(path) - 1
 
@@ -158,7 +175,7 @@ def _build_maps(machine: "Machine", cache_key: str) -> TopologyMaps:
         from_level = zone.level
         ranked = []
         for peer in module_zones[zone.module_id]:
-            if peer.zone_id == from_zone:
+            if peer.zone_id == from_zone or peer.zone_id in dead:
                 continue
             distance = distances.get((from_zone, peer.zone_id))
             if distance is None:
@@ -176,16 +193,30 @@ def _build_maps(machine: "Machine", cache_key: str) -> TopologyMaps:
         cache_key=cache_key,
         zone_module=tuple(zone.module_id for zone in zones),
         zone_level=tuple(zone.level for zone in zones),
-        zone_capacity=tuple(zone.capacity for zone in zones),
-        zone_allows_gates=tuple(zone.allows_gates for zone in zones),
-        zone_allows_fiber=tuple(zone.allows_fiber for zone in zones),
+        zone_capacity=tuple(
+            0 if zone.zone_id in dead else zone.capacity for zone in zones
+        ),
+        zone_allows_gates=tuple(
+            zone.allows_gates and zone.zone_id not in dead for zone in zones
+        ),
+        zone_allows_fiber=tuple(
+            zone.allows_fiber and zone.zone_id not in dead for zone in zones
+        ),
         module_zones=tuple(tuple(group) for group in module_zones),
         module_gate_zones=tuple(
-            tuple(zone for zone in group if zone.allows_gates)
+            tuple(
+                zone
+                for zone in group
+                if zone.allows_gates and zone.zone_id not in dead
+            )
             for group in module_zones
         ),
         module_optical_zones=tuple(
-            tuple(zone for zone in group if zone.allows_fiber)
+            tuple(
+                zone
+                for zone in group
+                if zone.allows_fiber and zone.zone_id not in dead
+            )
             for group in module_zones
         ),
         module_zone_ids=tuple(
@@ -194,6 +225,8 @@ def _build_maps(machine: "Machine", cache_key: str) -> TopologyMaps:
         distances=distances,
         paths=paths,
         eviction_preference=tuple(eviction_preference),
+        dead_zones=dead,
+        blocked_links=blocked,
     )
 
 

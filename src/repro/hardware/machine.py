@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any
 from .zones import Zone, ZoneKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.model import FaultModel
     from .topology import ArchitectureSpec
 
 
@@ -30,6 +31,12 @@ class Machine:
     #: (``None`` for hand-built instances, reported as kind ``"custom"``).
     _spec_kind: str | None = None
     _spec_options: dict[str, Any] | None = None
+
+    #: Fault overlay (``None`` = pristine hardware).  The zone table and
+    #: ``_adjacency`` always describe the *pristine* machine; faults are
+    #: applied by consumers through :meth:`live_adjacency` and the
+    #: fault-aware topology maps.
+    fault_model: "FaultModel | None" = None
 
     def __init__(self, zones: list[Zone], adjacency: dict[int, set[int]]) -> None:
         if not zones:
@@ -75,6 +82,8 @@ class Machine:
         limit = machine._spec_options.get("module_limit")
         if limit is not None:
             machine.module_qubit_limit = limit
+        if arch.faults is not None:
+            machine.attach_fault_model(arch.faults)
         return machine
 
     def architecture(self) -> "ArchitectureSpec":
@@ -99,6 +108,7 @@ class Machine:
             ),
             edges=tuple(sorted(edges)),
             options=tuple(sorted((self._spec_options or {}).items())),
+            faults=self.fault_model,
         )
 
     @property
@@ -136,7 +146,12 @@ class Machine:
         theirs = rebuilt.architecture()
         if mine.zones != theirs.zones or mine.edges != theirs.edges:
             return None
-        return entry.format_spec(options)
+        spec = entry.format_spec(options)
+        if self.fault_model is not None:
+            from .topology import _append_fault_fragment
+
+            spec = _append_fault_fragment(spec, self.fault_model.to_options())
+        return spec
 
     def to_dict(self) -> dict:
         """JSON-safe architecture payload (see :mod:`repro.hardware.serialization`)."""
@@ -152,6 +167,62 @@ class Machine:
     def describe(self) -> str:
         """Human-readable one-line summary (subclasses specialise)."""
         return self.architecture().describe()
+
+    # ------------------------------------------------------------------
+    # Fault overlay
+    # ------------------------------------------------------------------
+
+    def attach_fault_model(self, model: "FaultModel") -> None:
+        """Overlay *model* on this machine (validated against it).
+
+        The zone table and pristine adjacency are untouched — lowering to
+        an :class:`~repro.hardware.topology.ArchitectureSpec` keeps
+        describing the hardware as built, with the faults riding along as
+        an annotation.  Attaching invalidates the memoised spec string and
+        topology maps, so routing and cache keys see the faulted view.
+        """
+        from ..faults.model import FaultModel
+
+        if not isinstance(model, FaultModel):
+            raise TypeError(
+                f"expected a FaultModel, got {type(model).__name__}"
+            )
+        if model.is_empty:
+            return
+        if self.fault_model is not None:
+            raise MachineError(
+                "machine already has a fault model attached; merge the "
+                "models into one FaultModel before attaching"
+            )
+        model.validate_for(self)
+        self.fault_model = model
+        self.__dict__.pop("_spec_memo", None)
+        self.__dict__.pop("_topology_maps", None)
+
+    def live_adjacency(self) -> dict[int, frozenset[int]]:
+        """Shuttle adjacency with this machine's faults applied.
+
+        Dead zones lose every incident edge (and map to an empty set);
+        severed edges disappear from both endpoints.  Without faults this
+        is exactly ``_adjacency``.
+        """
+        model = self.fault_model
+        if model is None:
+            return dict(self._adjacency)
+        dead = set(model.dead_zones)
+        return {
+            zone_id: (
+                frozenset()
+                if zone_id in dead
+                else frozenset(
+                    other
+                    for other in neighbours
+                    if other not in dead
+                    and not model.severs_edge(zone_id, other)
+                )
+            )
+            for zone_id, neighbours in self._adjacency.items()
+        }
 
     # ------------------------------------------------------------------
     # Zone access

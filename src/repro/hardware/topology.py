@@ -38,11 +38,18 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
+from ..faults.model import (
+    FaultModel,
+    parse_fault_options,
+    split_fault_options,
+)
 from ..specstrings import (
     NAME_RE,
     coerce_option_value,
+    format_option_value,
     format_query,
     parse_query,
+    suggest_key,
 )
 from .eml import DEFAULT_MODULE_QUBIT_LIMIT, EMLQCCDMachine, ModuleLayout
 from .grid import QCCDGridMachine
@@ -113,14 +120,33 @@ class ArchitectureSpec:
     registry builder produced the spec, making the round trip through
     :meth:`to_dict`/:meth:`from_dict` lossless; hand-built architectures
     use kind ``"custom"``.
+
+    ``faults`` optionally annotates the architecture with a
+    :class:`~repro.faults.model.FaultModel` (dead zones, severed edges,
+    failed optical links, degraded entanglers).  The zone table and edge
+    list always describe the *pristine* hardware — faults are an overlay,
+    so a fault-free spec is byte-identical to one that never heard of
+    faults (``to_dict`` emits no ``"faults"`` key when the model is
+    empty).
     """
 
     kind: str = "custom"
     zones: tuple[ZoneSpec, ...] = ()
     edges: tuple[tuple[int, int], ...] = ()
     options: tuple[tuple[str, Any], ...] = ()
+    faults: FaultModel | None = None
 
     def __post_init__(self) -> None:
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultModel):
+                raise MachineError(
+                    f"architecture 'faults' must be a FaultModel, got "
+                    f"{type(self.faults).__name__}"
+                )
+            if self.faults.is_empty:
+                # An empty model normalises to None so pristine specs
+                # compare (and serialise) identically however built.
+                object.__setattr__(self, "faults", None)
         if not NAME_RE.match(self.kind):
             raise MachineError(f"invalid architecture kind {self.kind!r}")
         zones = tuple(self.zones)
@@ -201,8 +227,10 @@ class ArchitectureSpec:
     # -- serialisation ---------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-safe dict: ``{"kind", "options", "zones", "edges"}``."""
-        return {
+        """JSON-safe dict: ``{"kind", "options", "zones", "edges"}``
+        (plus ``"faults"`` only when a non-empty fault model is attached,
+        so pristine payloads are byte-identical to pre-fault ones)."""
+        payload = {
             "kind": self.kind,
             "options": {
                 key: value for key, value in self.options
@@ -218,6 +246,9 @@ class ArchitectureSpec:
             ],
             "edges": [list(edge) for edge in self.edges],
         }
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ArchitectureSpec":
@@ -286,11 +317,18 @@ class ArchitectureSpec:
                     f"edges must be [a, b] zone-id pairs, got {edge!r}"
                 )
             parsed_edges.append(tuple(edge))
+        faults_payload = payload.get("faults")
+        faults = None
+        if faults_payload is not None:
+            if not isinstance(faults_payload, Mapping):
+                raise MachineError("architecture 'faults' must be a mapping")
+            faults = FaultModel.from_dict(faults_payload)
         return cls(
             kind=kind,
             zones=tuple(zones),
             edges=tuple(parsed_edges),
             options=tuple(sorted(options.items())),
+            faults=faults,
         )
 
     def describe(self) -> str:
@@ -301,12 +339,15 @@ class ArchitectureSpec:
         mix = " + ".join(
             f"{per_kind[k.value]} {k.value}" for k in ZoneKind if k.value in per_kind
         )
-        return (
+        text = (
             f"{self.kind}: {self.num_modules} module(s), "
             f"{self.num_zones} zones ({mix}), "
             f"{len(self.edges)} shuttle edges, "
             f"total capacity {self.total_capacity}"
         )
+        if self.faults is not None:
+            text += f"; faults: {self.faults.describe()}"
+        return text
 
 
 # ---------------------------------------------------------------------------
@@ -346,9 +387,12 @@ class MachineEntry:
         unknown = sorted(set(options) - set(self.options))
         if unknown:
             valid = ", ".join(self.options) if self.options else "none"
+            from ..faults.model import FAULT_KEYS
+
+            hint = suggest_key(unknown[0], (*self.options, *FAULT_KEYS))
             raise ValueError(
                 f"unknown option(s) for machine {self.name!r}: "
-                f"{', '.join(unknown)} (valid options: {valid})"
+                f"{', '.join(unknown)}{hint} (valid options: {valid})"
             )
         if self.check is not None:
             self.check(options)
@@ -500,7 +544,11 @@ class MachineRegistry:
 
         Accepts positional colon segments, a ``?key=value`` query, or both
         (``eml:12?storage=3``); query options may not rename a positional
-        one.  ``file:`` specs do not parse — resolve them instead.
+        one.  Fault-grammar keys (``dead_zones``/``severed_edges``/
+        ``failed_links``/``entangler_eps``) are legal in the query of
+        *any* registered machine: they validate through the fault grammar
+        and come back in canonical string form alongside the builder
+        options.  ``file:`` specs do not parse — resolve them instead.
         """
         if spec.startswith(FILE_PREFIX):
             raise ValueError(
@@ -514,6 +562,7 @@ class MachineRegistry:
             raise ValueError(f"machine spec {spec!r} has no machine name")
         entry = self.entry(name)
         options: dict[str, Any] = {}
+        fault_options: dict[str, Any] = {}
         if rest:
             parts = rest.split(":")
             if entry.positional is not None:
@@ -532,14 +581,21 @@ class MachineRegistry:
                     for key, part in zip(entry.options, parts)
                 )
         if query_sep:
-            for key, value in parse_query(query, spec=spec).items():
+            fault_options, query_options = split_fault_options(
+                parse_query(query, spec=spec)
+            )
+            for key, value in query_options.items():
                 if key in options:
                     raise ValueError(
                         f"option {key!r} appears both positionally and in "
                         f"the query of {spec!r}"
                     )
                 options[key] = value
-        return name, entry.validate_options(options)
+        validated = entry.validate_options(options)
+        model = parse_fault_options(fault_options)
+        if model is not None:
+            validated.update(model.to_options())
+        return name, validated
 
     def canonical(self, spec: str) -> str:
         """Canonical string form of *spec* (validates as a side effect).
@@ -560,8 +616,15 @@ class MachineRegistry:
                 kind = payload.get("kind")
                 if isinstance(kind, str) and kind in self._entries:
                     entry = self._entries[kind]
-                    return entry.format_spec(
-                        entry.validate_options(payload.get("options", {}))
+                    fault_options, builder_options = split_fault_options(
+                        payload.get("options", {})
+                    )
+                    model = parse_fault_options(fault_options)
+                    return _append_fault_fragment(
+                        entry.format_spec(
+                            entry.validate_options(builder_options)
+                        ),
+                        model.to_options() if model is not None else {},
                     )
                 # Fall through to from_payload for its error message.
             # Full form: resolve for real — the recorded options must
@@ -573,8 +636,12 @@ class MachineRegistry:
             machine = self.from_payload(payload)
             if machine._spec_kind in self._entries:
                 entry = self._entries[machine._spec_kind]
-                return entry.format_spec(
-                    entry.validate_options(machine._spec_options or {})
+                model = machine.fault_model
+                return _append_fault_fragment(
+                    entry.format_spec(
+                        entry.validate_options(machine._spec_options or {})
+                    ),
+                    model.to_options() if model is not None else {},
                 )
             # Unregistered/custom kinds stay path-keyed, but carry a
             # content digest so an edited file never reuses a stale sweep
@@ -584,7 +651,10 @@ class MachineRegistry:
                 f"#sha256={_payload_digest(payload)}"
             )
         name, options = self.parse(spec)
-        return self._entries[name].format_spec(options)
+        fault_options, builder_options = split_fault_options(options)
+        return _append_fault_fragment(
+            self._entries[name].format_spec(builder_options), fault_options
+        )
 
     # -- resolution ------------------------------------------------------
 
@@ -608,7 +678,12 @@ class MachineRegistry:
                 _read_payload(_file_spec_path(spec)), num_qubits
             )
         name, options = self.parse(spec)
-        return self._entries[name].build(options, num_qubits)
+        fault_options, builder_options = split_fault_options(options)
+        machine = self._entries[name].build(builder_options, num_qubits)
+        model = parse_fault_options(fault_options)
+        if model is not None:
+            machine.attach_fault_model(model)
+        return machine
 
     def from_architecture(self, arch: ArchitectureSpec) -> Machine:
         """Build *arch*, through its registered builder when one exists.
@@ -634,6 +709,8 @@ class MachineRegistry:
                     "match what its builder produces from the recorded "
                     "options (zone table or edges differ)"
                 )
+            if arch.faults is not None:
+                machine.attach_fault_model(arch.faults)
             return machine
         return Machine.from_architecture(arch)
 
@@ -668,7 +745,26 @@ class MachineRegistry:
                 f"{', '.join(self.names())})"
             )
         entry = self.entry(kind)
-        return entry.build(payload.get("options", {}), num_qubits)
+        fault_options, builder_options = split_fault_options(
+            payload.get("options", {})
+        )
+        machine = entry.build(builder_options, num_qubits)
+        model = parse_fault_options(fault_options)
+        if model is not None:
+            machine.attach_fault_model(model)
+        return machine
+
+
+def _append_fault_fragment(base: str, fault_options: Mapping[str, Any]) -> str:
+    """Append canonical fault options to an already-canonical spec."""
+    if not fault_options:
+        return base
+    parts = [
+        f"{key}={format_option_value(fault_options[key])}"
+        for key in sorted(fault_options)
+    ]
+    separator = "&" if "?" in base else "?"
+    return f"{base}{separator}{'&'.join(parts)}"
 
 
 def _builder_defaults(

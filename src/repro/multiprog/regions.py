@@ -36,6 +36,7 @@ import json
 from dataclasses import dataclass, field
 from functools import cached_property
 
+from ..faults.model import FaultModel
 from ..hardware import Machine, default_machine_registry
 from ..hardware.topology import ArchitectureSpec, ZoneSpec
 
@@ -67,6 +68,37 @@ def _carry_options(machine: Machine) -> tuple[tuple[str, object], ...]:
     """
     limit = getattr(machine, "module_qubit_limit", None)
     return (("module_limit", limit),) if limit is not None else ()
+
+
+def _region_faults(
+    machine: Machine,
+    local_of: dict[int, int],
+    module_rank: dict[int, int],
+) -> FaultModel | None:
+    """The parent's faults, remapped into a region's local frame.
+
+    Dead zones and failed links never reach here — the allocator excludes
+    dead units and link-blocked module pairs up front — but severed
+    shuttle edges inside a kept unit and degraded entanglers on kept
+    modules must ride along so the tenant's compile prices and routes on
+    the hardware it actually has.
+    """
+    model = machine.fault_model
+    if model is None:
+        return None
+    severed = tuple(
+        (local_of[a], local_of[b])
+        for a, b in model.severed_edges
+        if a in local_of and b in local_of
+    )
+    eps = tuple(
+        (module_rank[module], value)
+        for module, value in model.entangler_eps
+        if module in module_rank
+    )
+    if not severed and not eps:
+        return None
+    return FaultModel(severed_edges=severed, entangler_eps=eps)
 
 
 def region_architecture(
@@ -110,6 +142,7 @@ def region_architecture(
         for b in machine.neighbours(a)
         if a < b and b in local_of
     )
+    faults = _region_faults(machine, local_of, module_rank)
     if granularity == "module" and machine._spec_kind == "eml":
         # EML modules are homogeneous, so a module subset is itself an
         # EML machine: keep the registered kind (the registry
@@ -122,6 +155,7 @@ def region_architecture(
                 zones=tuple(rows),
                 edges=edges,
                 options=tuple(sorted(options.items())),
+                faults=faults,
             ),
             zone_ids,
         )
@@ -131,6 +165,7 @@ def region_architecture(
             zones=tuple(rows),
             edges=edges,
             options=_carry_options(machine),
+            faults=faults,
         ),
         zone_ids,
     )
@@ -202,9 +237,28 @@ class RegionAllocator:
 
     @property
     def units(self) -> tuple[int, ...]:
+        """Allocatable units: dead hardware is never handed to a tenant.
+
+        At module granularity a module containing *any* dead zone is
+        withheld entirely (its surviving zones are real, but carving them
+        out would break the homogeneous-module invariant EML regions rely
+        on); at zone granularity only the dead zones themselves vanish.
+        """
+        model = self.machine.fault_model
         if self.granularity == "module":
-            return tuple(range(self.machine.num_modules))
-        return tuple(range(self.machine.num_zones))
+            all_units = range(self.machine.num_modules)
+            if model is None or not model.dead_zones:
+                return tuple(all_units)
+            dead_modules = {
+                self.machine.zone(zone_id).module_id
+                for zone_id in model.dead_zones
+            }
+            return tuple(m for m in all_units if m not in dead_modules)
+        all_zones = range(self.machine.num_zones)
+        if model is None or not model.dead_zones:
+            return tuple(all_zones)
+        dead = set(model.dead_zones)
+        return tuple(z for z in all_zones if z not in dead)
 
     def unit_capacity(self, unit: int) -> int:
         if self.granularity == "module":
@@ -246,15 +300,21 @@ class RegionAllocator:
         set to be shuttle-connected (BFS from each candidate seed)."""
         if num_qubits < 1:
             raise RegionError(f"a region must hold at least one qubit, got {num_qubits}")
+        model = self.machine.fault_model
         if self.granularity == "module":
             picked: list[int] = []
             capacity = 0
             for unit in sorted(free):
+                if model is not None and any(
+                    model.blocks_link(unit, member) for member in picked
+                ):
+                    continue  # keep the region a live fiber clique
                 picked.append(unit)
                 capacity += self.unit_capacity(unit)
                 if capacity >= num_qubits:
                     return picked
             return None
+        live_adjacency = self.machine.live_adjacency()
         for seed in sorted(free):
             picked = [seed]
             capacity = self._effective_capacity(picked)
@@ -266,7 +326,7 @@ class RegionAllocator:
                 candidates = sorted(
                     neighbour
                     for zone_id in frontier
-                    for neighbour in self.machine.neighbours(zone_id)
+                    for neighbour in live_adjacency[zone_id]
                     if neighbour in free and neighbour not in seen
                 )
                 if not candidates:

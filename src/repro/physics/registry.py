@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Callable, Iterator, Mapping
 
-from ..specstrings import NAME_RE, format_query, parse_query
+from ..specstrings import NAME_RE, format_query, parse_query, suggest_key
 from .params import PhysicalParams
 
 __all__ = [
@@ -82,10 +82,11 @@ class PhysicsEntry:
         options = dict(options)
         unknown = sorted(set(options) - set(PARAM_FIELDS))
         if unknown:
+            hint = suggest_key(unknown[0], PARAM_FIELDS)
             raise ValueError(
                 f"unknown physics option(s) for profile {self.name!r}: "
-                f"{', '.join(unknown)} (valid options are PhysicalParams "
-                f"fields: {', '.join(PARAM_FIELDS)})"
+                f"{', '.join(unknown)}{hint} (valid options are "
+                f"PhysicalParams fields: {', '.join(PARAM_FIELDS)})"
             )
         for key, value in options.items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):

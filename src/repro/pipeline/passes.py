@@ -44,6 +44,11 @@ class PipelineError(Exception):
     """A pipeline was assembled or driven incorrectly."""
 
 
+def _link_key(module_a: int, module_b: int) -> tuple[int, int]:
+    """Normalised optical-link name, matching ``TopologyMaps.blocked_links``."""
+    return (module_a, module_b) if module_a < module_b else (module_b, module_a)
+
+
 @runtime_checkable
 class Pass(Protocol):
     """One stage of a compiler pipeline.
@@ -213,6 +218,7 @@ class _EventDrivenScheduler:
         self._allows_gates = maps.zone_allows_gates
         self._allows_fiber = maps.zone_allows_fiber
         self._zone_module = maps.zone_module
+        self._blocked_links = maps.blocked_links
         #: frontier node -> _CLEAN (parked watcher) / _CURRENT / _PENDING.
         self.status: dict[int, int] = {}
         #: qubit -> set of _CLEAN frontier nodes blocked on it.
@@ -243,6 +249,7 @@ class _EventDrivenScheduler:
         allows_gates = self._allows_gates
         allows_fiber = self._allows_fiber
         zone_module = self._zone_module
+        blocked_links = self._blocked_links
         while True:
             if not self.current:
                 if not self.pending:
@@ -273,6 +280,11 @@ class _EventDrivenScheduler:
                     allows_fiber[zone_a]
                     and allows_fiber[zone_b]
                     and zone_module[zone_a] != zone_module[zone_b]
+                    and (
+                        not blocked_links
+                        or _link_key(zone_module[zone_a], zone_module[zone_b])
+                        not in blocked_links
+                    )
                 ):
                     state.emit_fiber_gate(gate, node)
                     newly_ready = dag.complete(node)

@@ -30,6 +30,7 @@ from ..specstrings import (
     coerce_option_value,  # noqa: F401  (re-exported public helper)
     format_query,
     parse_query,
+    suggest_key,
 )
 
 
@@ -84,9 +85,10 @@ class CompilerEntry:
         unknown = sorted(set(options) - set(self.options))
         if unknown:
             valid = ", ".join(self.options) if self.options else "none"
+            hint = suggest_key(unknown[0], self.options)
             raise ValueError(
                 f"unknown option(s) for compiler {self.name!r}: "
-                f"{', '.join(unknown)} (valid options: {valid})"
+                f"{', '.join(unknown)}{hint} (valid options: {valid})"
             )
         return self.factory(**options)
 

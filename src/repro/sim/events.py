@@ -82,6 +82,17 @@ class _MachineReplay:
 
     def __init__(self, program: Program) -> None:
         self.machine = program.machine
+        self.fault_model = program.machine.fault_model
+        self._dead = (
+            frozenset(self.fault_model.dead_zones)
+            if self.fault_model is not None
+            else frozenset()
+        )
+        self._blocked = (
+            frozenset(self.fault_model.failed_links)
+            if self.fault_model is not None
+            else frozenset()
+        )
         self.chains: dict[int, list[int]] = {
             zone.zone_id: [] for zone in program.machine.zones
         }
@@ -89,6 +100,11 @@ class _MachineReplay:
             self.chains[zone_id] = list(chain)
         self.location: dict[int, int] = {}
         for zone_id, chain in self.chains.items():
+            if chain and zone_id in self._dead:
+                raise ExecutionError(
+                    f"initial placement puts qubit(s) {sorted(chain)} in "
+                    f"zone {zone_id}, which the fault model declares dead"
+                )
             for qubit in chain:
                 self.location[qubit] = zone_id
         #: qubit -> zone it is hovering over while detached (None = in chain).
@@ -131,6 +147,19 @@ class _MachineReplay:
                 "shuttle-adjacent",
                 index,
             )
+        if self.fault_model is not None:
+            if op.destination_zone in self._dead:
+                raise ExecutionError(
+                    f"zone {op.destination_zone} is dead (fault model); "
+                    f"qubit {op.qubit} cannot shuttle into it",
+                    index,
+                )
+            if self.fault_model.severs_edge(op.source_zone, op.destination_zone):
+                raise ExecutionError(
+                    f"shuttle edge {op.source_zone}-{op.destination_zone} is "
+                    "severed (fault model)",
+                    index,
+                )
         self.in_transit[op.qubit] = op.destination_zone
 
     def merge(self, op: MergeOp, index: int) -> None:
@@ -143,6 +172,12 @@ class _MachineReplay:
             )
         chain = self.chains[op.zone]
         zone = self.machine.zone(op.zone)
+        if op.zone in self._dead:
+            raise ExecutionError(
+                f"zone {op.zone} is dead (fault model); qubit {op.qubit} "
+                "cannot merge into it",
+                index,
+            )
         if len(chain) >= zone.capacity:
             raise ExecutionError(
                 f"zone {op.zone} is full (capacity {zone.capacity})", index
@@ -188,6 +223,11 @@ class _MachineReplay:
                 f"gates",
                 index,
             )
+        if op.zone in self._dead:
+            raise ExecutionError(
+                f"zone {op.zone} is dead (fault model); no gate can run there",
+                index,
+            )
         return len(self.chains[op.zone])
 
     def check_fiber_gate(self, op: FiberGateOp, index: int) -> None:
@@ -203,6 +243,9 @@ class _MachineReplay:
             raise ExecutionError(
                 "fiber gate endpoints must be in different modules", index
             )
+        self._check_link_live(
+            op.zone_a, op.zone_b, zone_a.module_id, zone_b.module_id, index
+        )
         qubit_a, qubit_b = op.gate.qubits
         if self.location.get(qubit_a) != op.zone_a:
             raise ExecutionError(
@@ -214,6 +257,29 @@ class _MachineReplay:
             raise ExecutionError(
                 f"fiber gate expects qubit {qubit_b} in zone {op.zone_b}, "
                 f"found {self.location.get(qubit_b)}",
+                index,
+            )
+
+    def _check_link_live(
+        self,
+        zone_a: int,
+        zone_b: int,
+        module_a: int,
+        module_b: int,
+        index: int,
+    ) -> None:
+        if self.fault_model is None:
+            return
+        if zone_a in self._dead or zone_b in self._dead:
+            raise ExecutionError(
+                f"optical zone {zone_a if zone_a in self._dead else zone_b} "
+                "is dead (fault model)",
+                index,
+            )
+        key = (min(module_a, module_b), max(module_a, module_b))
+        if key in self._blocked:
+            raise ExecutionError(
+                f"optical link {key[0]}-{key[1]} is failed (fault model)",
                 index,
             )
 
@@ -237,6 +303,9 @@ class _MachineReplay:
                 raise ExecutionError(
                     "remote swap endpoints must be in different modules", index
                 )
+            self._check_link_live(
+                op.zone_a, op.zone_b, zone_a.module_id, zone_b.module_id, index
+            )
         else:
             if not self.machine.zone(op.zone_a).allows_gates:
                 raise ExecutionError(
@@ -585,6 +654,23 @@ class EventLedger:
                     f"log={value}"
                 )
 
+        # Degraded entanglers: fiber charges at a degraded module's zones
+        # pick up an extra log(1 - eps) per remote MS gate.  Pristine
+        # machines keep the exact seed float path (no lookup, no adds).
+        machine = self.program.machine
+        fault_model = machine.fault_model
+        eps_by_module = (
+            fault_model.eps_by_module() if fault_model is not None else {}
+        )
+        zone_fiber_extra: dict[int, float] | None = None
+        if eps_by_module:
+            zone_fiber_extra = {
+                zone.zone_id: math.log1p(
+                    -eps_by_module.get(zone.module_id, 0.0)
+                )
+                for zone in machine.zones
+            }
+
         heat: dict[int, float] = {
             zone.zone_id: 0.0 for zone in self.program.machine.zones
         }
@@ -647,27 +733,38 @@ class EventLedger:
                 if sink is not None:
                     sink(index, "shuttle_ops", chain_swap_log)
             elif op_class is FiberGateOp:
+                charge = fiber_log
+                if zone_fiber_extra is not None:
+                    charge += (
+                        zone_fiber_extra[op.zone_a]
+                        + zone_fiber_extra[op.zone_b]
+                    )
                 background_a = -heating_rate * heat[op.zone_a]
                 background_b = -heating_rate * heat[op.zone_b]
-                log_total += fiber_log
+                log_total += charge
                 log_total += background_a
                 log_total += background_b
                 if sink is not None:
-                    sink(index, "fiber_gates", fiber_log)
+                    sink(index, "fiber_gates", charge)
                     sink(index, "background_heat", background_a)
                     sink(index, "background_heat", background_b)
             elif op_class is SwapGateOp:
                 zone_a = op.zone_a
                 zone_b = op.zone_b
                 if zone_a != zone_b:  # remote swap: three fiber MS gates (§3.3)
+                    charge = fiber_log
+                    if zone_fiber_extra is not None:
+                        charge += (
+                            zone_fiber_extra[zone_a] + zone_fiber_extra[zone_b]
+                        )
                     background_a = -heating_rate * heat[zone_a]
                     background_b = -heating_rate * heat[zone_b]
                     for _ in range(3):
-                        log_total += fiber_log
+                        log_total += charge
                         log_total += background_a
                         log_total += background_b
                         if sink is not None:
-                            sink(index, "fiber_gates", fiber_log)
+                            sink(index, "fiber_gates", charge)
                             sink(index, "background_heat", background_a)
                             sink(index, "background_heat", background_b)
                 else:

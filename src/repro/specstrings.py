@@ -17,8 +17,9 @@ across the process pool and JSON-safe for the on-disk result cache.
 
 from __future__ import annotations
 
+import difflib
 import re
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 #: Registered names must be addressable inside spec strings and cache keys.
 NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
@@ -59,6 +60,17 @@ def parse_query(query: str, *, spec: str) -> dict[str, Any]:
             )
         options[key] = coerce_option_value(value.strip())
     return options
+
+
+def suggest_key(key: str, valid: Iterable[str]) -> str:
+    """A ``" (did you mean 'x'?)"`` hint when *key* is close to a valid key.
+
+    Every registry grammar (machine, compiler, physics, faults) appends
+    this to its unknown-option error so a typo names its nearest valid
+    spelling; returns ``""`` when nothing is close enough to suggest.
+    """
+    matches = difflib.get_close_matches(key, list(valid), n=1, cutoff=0.6)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
 
 
 def format_option_value(value: Any) -> str:

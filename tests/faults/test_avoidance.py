@@ -1,0 +1,172 @@
+"""Fault avoidance: compiled schedules never touch a faulted resource.
+
+The satellite invariants of PR 8, checked both on fixed scenarios and as
+hypothesis properties over random circuits x random fault draws:
+
+* no operation places, moves, merges, gates, or fibers in a dead zone;
+* no move crosses a severed shuttle edge;
+* no fiber gate or remote SWAP crosses a failed optical link;
+* a machine whose surviving capacity cannot hold the workload raises a
+  clear admission error naming the faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.core.state import RoutingError
+from repro.hardware import resolve_machine
+from repro.pipeline import compile as compile_circuit
+from repro.sim import replay
+from repro.sim.ops import FiberGateOp, GateOp, MergeOp, MoveOp, SwapGateOp
+from repro.workloads import get_benchmark
+
+
+def _zone_module(machine):
+    return {zone.zone_id: zone.module_id for zone in machine.zones}
+
+
+def assert_faults_avoided(program, machine) -> None:
+    """Every scheduled op and the placement avoid every faulted resource."""
+    model = machine.fault_model
+    assert model is not None
+    dead = set(model.dead_zones)
+    zone_module = _zone_module(machine)
+
+    for zone_id, chain in program.initial_placement.items():
+        assert not (chain and zone_id in dead), (
+            f"placement put qubits {chain} in dead zone {zone_id}"
+        )
+    for op in program.operations:
+        if isinstance(op, MoveOp):
+            assert op.source_zone not in dead and op.destination_zone not in dead
+            assert not model.severs_edge(op.source_zone, op.destination_zone), (
+                f"move crosses severed edge "
+                f"{op.source_zone}-{op.destination_zone}"
+            )
+        elif isinstance(op, (GateOp, MergeOp)):
+            assert op.zone not in dead
+        elif isinstance(op, FiberGateOp):
+            _assert_link_live(model, zone_module, op.zone_a, op.zone_b, dead)
+        elif isinstance(op, SwapGateOp):
+            if op.zone_a != op.zone_b:
+                _assert_link_live(model, zone_module, op.zone_a, op.zone_b, dead)
+            else:
+                assert op.zone_a not in dead
+
+
+def _assert_link_live(model, zone_module, zone_a, zone_b, dead):
+    assert zone_a not in dead and zone_b not in dead
+    module_a, module_b = zone_module[zone_a], zone_module[zone_b]
+    assert not model.blocks_link(module_a, module_b), (
+        f"fiber op crosses failed link {module_a}-{module_b}"
+    )
+
+
+FAULT_SPECS = [
+    "eml?capacity=4&modules=4&dead_zones=3,7",
+    "eml?capacity=4&modules=4&failed_links=0-1",
+    "eml?capacity=4&modules=4&failed_links=0-1,2-3",
+    "eml?capacity=4&modules=4&severed_edges=14-15",
+    "eml?capacity=4&modules=4&dead_zones=15&failed_links=0-1"
+    "&entangler_eps=2:0.02",
+]
+
+
+@pytest.mark.parametrize("spec", FAULT_SPECS)
+def test_compiled_schedule_avoids_faults(spec):
+    machine = resolve_machine(spec)
+    circuit = get_benchmark("QFT_n12")
+    result = compile_circuit(circuit, machine, verify=True)
+    assert_faults_avoided(result.program, machine)
+    # The faulted schedule must still replay and price cleanly.
+    replay(result.program).reprice()
+
+
+def test_degraded_entangler_prices_in():
+    # module_limit=8 forces the 12-qubit QFT across both modules so the
+    # schedule actually contains fiber operations to price.
+    pristine = resolve_machine("eml?capacity=4&modules=2&module_limit=8")
+    degraded = resolve_machine(
+        "eml?capacity=4&modules=2&module_limit=8&entangler_eps=0:0.05,1:0.05"
+    )
+    circuit = get_benchmark("QFT_n12")
+    base = replay(compile_circuit(circuit, pristine, verify=False).program)
+    worse = replay(compile_circuit(circuit, degraded, verify=False).program)
+    base_f = base.reprice().log10_fidelity
+    worse_f = worse.reprice().log10_fidelity
+    assert worse_f < base_f  # degraded entanglers cost fidelity
+    # ... but leave the schedule itself alone (same op stream).
+    assert base.reprice().makespan_us == worse.reprice().makespan_us
+
+
+def test_admission_error_names_faults():
+    machine = resolve_machine("eml?modules=2&capacity=4&dead_zones=2,3,6,7")
+    circuit = get_benchmark("QFT_n18")
+    with pytest.raises(RoutingError, match="capacity reduced by faults"):
+        compile_circuit(circuit, machine, verify=False)
+
+
+def test_fully_faulted_machine_raises_clearly():
+    # Every zone dead: placement cannot put a single qubit anywhere.
+    dead = ",".join(str(z) for z in range(8))
+    machine = resolve_machine(f"eml?modules=2&dead_zones={dead}")
+    with pytest.raises(RoutingError, match="machine too small"):
+        compile_circuit(get_benchmark("GHZ_n4"), machine, verify=False)
+
+
+# ---------------------------------------------------------------------------
+# Properties: random circuits x random fault draws on a 4-module EML.
+# ---------------------------------------------------------------------------
+
+_MODULES = 4
+_STORAGE_ZONES = [4 * m + k for m in range(_MODULES) for k in (2, 3)]
+_LINKS = [(a, b) for a in range(_MODULES) for b in range(a + 1, _MODULES)]
+
+
+@st.composite
+def _circuits(draw, max_qubits: int = 10, max_gates: int = 24):
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    circuit = QuantumCircuit(num_qubits, name="faultprop")
+    for _ in range(draw(st.integers(0, max_gates))):
+        a = draw(st.integers(0, num_qubits - 1))
+        if draw(st.booleans()):
+            circuit.h(a)
+        else:
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            circuit.cx(a, b)
+    return circuit
+
+
+@st.composite
+def _fault_specs(draw):
+    # Storage-zone deaths and link failures keep every module gate- and
+    # fiber-capable, so any small workload stays admissible.
+    dead = draw(st.lists(st.sampled_from(_STORAGE_ZONES), max_size=3, unique=True))
+    links = draw(st.lists(st.sampled_from(_LINKS), max_size=2, unique=True))
+    eps = draw(st.sampled_from([None, "1:0.02", "0:0.1,3:0.05"]))
+    parts = []
+    if dead:
+        parts.append("dead_zones=" + ",".join(map(str, sorted(dead))))
+    if links:
+        parts.append(
+            "failed_links=" + ",".join(f"{a}-{b}" for a, b in sorted(links))
+        )
+    if eps:
+        parts.append(f"entangler_eps={eps}")
+    if not parts:
+        parts.append("dead_zones=3")  # always at least one fault
+    return "eml?capacity=4&modules=4&" + "&".join(parts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(circuit=_circuits(), spec=_fault_specs())
+def test_property_random_faults_avoided(circuit, spec):
+    machine = resolve_machine(spec)
+    result = compile_circuit(circuit, machine, verify=True)
+    assert_faults_avoided(result.program, machine)

@@ -1,0 +1,167 @@
+"""``repro bench faults`` payloads, compare judging, and CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import compare as bench_compare
+from repro.bench import micro
+from repro.bench.faults import (
+    DEFAULT_MACHINE,
+    DEFAULT_WORKLOAD,
+    QUICK_PROFILES,
+    run_faults_bench,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_faults_bench(quick=True)
+
+
+def test_quick_payload_is_schema_valid(quick_result):
+    payload = quick_result["payload"]
+    micro.validate_payload(payload)  # raises on violation
+    assert payload["grid"] == "faults"
+    assert payload["schema_version"] == micro.SCHEMA_VERSION
+    assert len(payload["cells"]) == len(QUICK_PROFILES)
+
+
+def test_cells_carry_fault_metrics(quick_result):
+    for cell in quick_result["payload"]["cells"]:
+        assert cell["mode"] == "faults"
+        assert cell["compiler"] == f"faults-{cell['profile']}"
+        assert cell["workload"] == DEFAULT_WORKLOAD
+        assert cell["num_faults"] >= 1
+        assert cell["pristine_makespan_us"] > 0
+        assert cell["makespan_us"] > 0
+        # Fault avoidance earns 0.0 degradation on the symmetric default
+        # machine; it must never be negative (faults can't speed you up).
+        assert cell["makespan_degradation_pct"] >= 0.0
+
+
+def test_diagnostics_describe_each_profile(quick_result):
+    diagnostics = quick_result["diagnostics"]
+    assert set(diagnostics) == set(QUICK_PROFILES)
+    for info in diagnostics.values():
+        assert "faulted_spec" in info
+        assert info["recovery"]["combined_makespan_us"] > 0
+
+
+def test_bench_rejects_prefaulted_machine():
+    with pytest.raises(ValueError, match="pristine baseline"):
+        run_faults_bench(machine=f"{DEFAULT_MACHINE}&dead_zones=3", quick=True)
+
+
+def test_merge_with_micro_payload(quick_result):
+    other = {
+        "schema_version": micro.SCHEMA_VERSION,
+        "created_utc": "2026-01-01T00:00:00Z",
+        "grid": "micro",
+        "repeats": 1,
+        "environment": {"python": "3", "platform": "test"},
+        "cells": [
+            {
+                "workload": "GHZ_n16",
+                "machine": "eml",
+                "compiler": "muss-ti",
+                "compile_s": 0.1,
+                "execute_s": 0.1,
+                "total_s": 0.2,
+                "makespan_us": 1.0,
+                "log10_fidelity": -0.5,
+                "operations": 10,
+                "shuttles": 2,
+            }
+        ],
+    }
+    merged = micro.merge_payloads(other, quick_result["payload"])
+    micro.validate_payload(merged)
+    assert merged["grid"] == "mixed"
+    assert len(merged["cells"]) == 1 + len(QUICK_PROFILES)
+
+
+def test_compare_judges_degradation_in_points(quick_result):
+    old = quick_result["payload"]
+    new = json.loads(json.dumps(old))
+    new["cells"][0]["makespan_degradation_pct"] += 3.0
+    rows = bench_compare.compare_payloads(old, new)
+    judged = [
+        row
+        for row in rows
+        if row["status"] == "matched"
+        and row["makespan_degradation_pct"]["delta_pct"] is not None
+    ]
+    assert judged
+    worst = max(
+        row["makespan_degradation_pct"]["delta_pct"] for row in judged
+    )
+    # Point difference, not a ratio against the 0.0 baseline.
+    assert worst == pytest.approx(3.0)
+
+
+def test_compare_faults_ignore_timing_noise_floor(quick_result):
+    # Deterministic simulator metrics have no timer noise floor: even a
+    # tiny-baseline cell is judged (min-seconds never filters faults rows).
+    old = quick_result["payload"]
+    new = json.loads(json.dumps(old))
+    new["cells"][0]["makespan_degradation_pct"] += 99.0
+    rows = bench_compare.compare_payloads(old, new)
+    worst, key = bench_compare.worst_regression(rows, min_seconds=1e9)
+    assert worst == pytest.approx(99.0)
+    assert key is not None and key[3] == "faults"
+
+
+def test_cli_bench_faults_writes_and_merges(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    code = main(
+        ["bench", "faults", "--quick", "--output", str(out)]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    micro.validate_payload(payload)
+    assert len(payload["cells"]) == len(QUICK_PROFILES)
+    # Second run merges (replaces) rather than duplicating.
+    assert main(["bench", "faults", "--quick", "--output", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert len(payload["cells"]) == len(QUICK_PROFILES)
+    captured = capsys.readouterr()
+    assert "schema-valid" in captured.out
+
+
+def test_cli_faults_list(capsys):
+    assert main(["faults", "list"]) == 0
+    assert "dead-zones-1" in capsys.readouterr().out
+
+
+def test_cli_faults_show(capsys):
+    assert main(["faults", "show", "mixed-1", "--machine", DEFAULT_MACHINE]) == 0
+    out = capsys.readouterr().out
+    assert "dead_zones=" in out and "failed_links=" in out
+
+
+def test_cli_faults_show_unknown_profile(capsys):
+    assert main(["faults", "show", "nope", "--machine", DEFAULT_MACHINE]) == 2
+    assert "unknown fault profile" in capsys.readouterr().err
+
+
+def test_cli_faults_inject_json(capsys):
+    code = main(
+        [
+            "faults",
+            "inject",
+            "QFT_n12",
+            "--machine",
+            DEFAULT_MACHINE,
+            "--profile",
+            "links-1",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["combined_makespan_us"] > 0
+    assert "overhead_pct" in payload

@@ -1,0 +1,102 @@
+"""Dynamic faults: mid-schedule strike + recompile-from-checkpoint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultModel,
+    RecoveryError,
+    build_fault_profile,
+    inject_fault,
+)
+from repro.hardware import resolve_machine
+from repro.pipeline import compile as compile_circuit
+from repro.sim import replay
+from repro.workloads import get_benchmark
+
+EML4 = "eml?capacity=4&modules=4"
+
+
+@pytest.fixture(scope="module")
+def base():
+    machine = resolve_machine(EML4)
+    circuit = get_benchmark("QFT_n12")
+    program = compile_circuit(circuit, machine, verify=False).program
+    report = replay(program).reprice()
+    return machine, circuit, program, report
+
+
+def test_recovery_accounting(base):
+    machine, circuit, program, report = base
+    model = build_fault_profile("dead-zones-4", machine)
+    at_us = 0.5 * report.makespan_us
+    recovery = inject_fault(program, FaultEvent(at_us=at_us, model=model))
+    assert recovery.fault_at_us == at_us
+    assert recovery.pristine_makespan_us == pytest.approx(report.makespan_us)
+    total_gates = recovery.committed_gates + recovery.residual_gates
+    assert total_gates == len(circuit.gates)
+    assert 0 < recovery.committed_gates < len(circuit.gates)
+    assert recovery.combined_makespan_us == pytest.approx(
+        at_us + recovery.residual_makespan_us
+    )
+    payload = recovery.to_dict()
+    assert payload["overhead_pct"] == pytest.approx(recovery.overhead_pct)
+
+
+def test_fault_at_zero_recompiles_everything(base):
+    machine, circuit, program, _report = base
+    model = build_fault_profile("links-1", machine)
+    recovery = inject_fault(program, FaultEvent(at_us=0.0, model=model))
+    assert recovery.committed_gates == 0
+    assert recovery.residual_gates == len(circuit.gates)
+
+
+def test_fault_after_makespan_commits_everything(base):
+    machine, circuit, program, report = base
+    model = build_fault_profile("dead-zones-1", machine)
+    recovery = inject_fault(
+        program, FaultEvent(at_us=report.makespan_us * 2, model=model)
+    )
+    assert recovery.committed_gates == len(circuit.gates)
+    assert recovery.residual_gates == 0
+    # A fault after completion costs nothing: the schedule already ran.
+    assert recovery.combined_makespan_us == pytest.approx(report.makespan_us)
+    assert recovery.overhead_pct == pytest.approx(0.0)
+
+
+def test_event_requires_nonnegative_time(base):
+    machine, _circuit, _program, _report = base
+    model = build_fault_profile("dead-zones-1", machine)
+    with pytest.raises(ValueError):
+        FaultEvent(at_us=-1.0, model=model)
+
+
+def test_unsurvivable_fault_raises_recovery_error():
+    machine = resolve_machine("eml?modules=2&capacity=4")
+    circuit = get_benchmark("QFT_n18")
+    program = compile_circuit(circuit, machine, verify=False).program
+    report = replay(program).reprice()
+    # Kill half the zones: 18 qubits no longer fit the survivors.
+    model = FaultModel(dead_zones=(2, 3, 6, 7))
+    with pytest.raises(RecoveryError, match="cannot recover"):
+        inject_fault(
+            program, FaultEvent(at_us=0.5 * report.makespan_us, model=model)
+        )
+
+
+def test_faults_accumulate_on_already_faulted_machine():
+    machine = resolve_machine(f"{EML4}&dead_zones=15")
+    circuit = get_benchmark("QFT_n12")
+    program = compile_circuit(circuit, machine, verify=False).program
+    report = replay(program).reprice()
+    recovery = inject_fault(
+        program,
+        FaultEvent(
+            at_us=0.5 * report.makespan_us,
+            model=FaultModel(failed_links=((0, 1),)),
+        ),
+    )
+    # The residual schedule had to respect both the old and the new fault.
+    assert recovery.residual_gates > 0

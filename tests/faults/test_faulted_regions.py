@@ -1,0 +1,78 @@
+"""RegionAllocator on degraded hardware (PR 8 satellite): regions never
+contain a faulted resource, and region architectures carry remapped faults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import resolve_machine
+from repro.multiprog import RegionAllocator, RegionError, region_architecture
+
+EML4 = "eml?capacity=4&modules=4"
+
+
+def test_module_units_exclude_modules_with_dead_zones():
+    # Zone 3 lives in module 0: the whole module is withheld at module
+    # granularity (its architecture would misdescribe the dead trap).
+    machine = resolve_machine(f"{EML4}&dead_zones=3")
+    allocator = RegionAllocator(machine, granularity="module")
+    assert 0 not in allocator.units
+    assert set(allocator.units) == {1, 2, 3}
+
+
+def test_zone_units_exclude_only_dead_zones():
+    machine = resolve_machine(f"{EML4}&dead_zones=3,7")
+    allocator = RegionAllocator(machine, granularity="zone")
+    assert 3 not in allocator.units and 7 not in allocator.units
+    # Sibling zones of the same modules survive.
+    assert 2 in allocator.units and 6 in allocator.units
+
+
+def test_allocated_region_avoids_dead_zones():
+    machine = resolve_machine(f"{EML4}&dead_zones=3,7")
+    allocator = RegionAllocator(machine, granularity="module")
+    region = allocator.allocate(8)
+    dead_modules = {0, 1}
+    assert not set(region.units) & dead_modules
+    assert 3 not in region.zone_ids and 7 not in region.zone_ids
+
+
+def test_module_regions_form_live_link_clique():
+    machine = resolve_machine(f"{EML4}&failed_links=0-1")
+    allocator = RegionAllocator(machine, granularity="module")
+    region = allocator.allocate(40)  # needs several modules
+    assert len(region.units) >= 2
+    assert not ({0, 1} <= set(region.units)), (
+        "region spans the failed optical link 0-1"
+    )
+
+
+def test_region_architecture_carries_remapped_eps():
+    machine = resolve_machine(f"{EML4}&entangler_eps=2:0.02")
+    arch, _zone_ids = region_architecture(machine, "module", (2, 3))
+    assert arch.faults is not None
+    # Parent module 2 is the region's module 0.
+    assert arch.faults.eps_by_module() == {0: 0.02}
+
+
+def test_region_architecture_drops_foreign_faults():
+    machine = resolve_machine(f"{EML4}&entangler_eps=2:0.02")
+    arch, _zone_ids = region_architecture(machine, "module", (0, 1))
+    assert arch.faults is None  # module 2's fault does not ride along
+
+
+def test_fully_dead_machine_has_no_units():
+    dead = ",".join(str(z) for z in range(16))
+    machine = resolve_machine(f"{EML4}&dead_zones={dead}")
+    allocator = RegionAllocator(machine, granularity="module")
+    assert allocator.units == ()
+    with pytest.raises(RegionError, match="cannot carve"):
+        allocator.allocate(2)
+
+
+def test_pristine_allocator_unchanged_by_fault_plumbing():
+    pristine = resolve_machine(EML4)
+    allocator = RegionAllocator(pristine, granularity="module")
+    assert set(allocator.units) == {0, 1, 2, 3}
+    region = allocator.allocate(8)
+    assert region.arch.faults is None

@@ -1,0 +1,173 @@
+"""FaultModel: normalization, round-trips, validation (PR 8)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FAULT_KEYS,
+    FaultError,
+    FaultModel,
+    parse_fault_options,
+    split_fault_options,
+)
+from repro.hardware import EMLQCCDMachine
+
+
+def test_empty_model_properties():
+    model = FaultModel()
+    assert model.is_empty
+    assert model.num_faults == 0
+    assert model.describe() == "no faults"
+    assert model.to_dict() == {}
+    assert model.to_options() == {}
+
+
+def test_normalization_dedupes_and_sorts():
+    model = FaultModel(
+        dead_zones=(7, 3, 7),
+        failed_links=((1, 0), (0, 1), (3, 2)),
+        severed_edges=((5, 4),),
+        entangler_eps=((2, 0.02), (1, 0.05), (2, 0.03)),
+    )
+    assert model.dead_zones == (3, 7)
+    assert model.failed_links == ((0, 1), (2, 3))
+    assert model.severed_edges == ((4, 5),)
+    # Last eps for a repeated module wins, modules sorted.
+    assert model.entangler_eps == ((1, 0.05), (2, 0.03))
+    assert model.num_faults == 2 + 2 + 1 + 2
+
+
+def test_equal_models_hash_equal():
+    a = FaultModel(dead_zones=(3, 7), failed_links=((1, 0),))
+    b = FaultModel(dead_zones=(7, 3, 3), failed_links=((0, 1),))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_queries():
+    model = FaultModel(
+        failed_links=((0, 1),), severed_edges=((4, 5),), entangler_eps=((2, 0.02),)
+    )
+    assert model.blocks_link(1, 0) and model.blocks_link(0, 1)
+    assert not model.blocks_link(0, 2)
+    assert model.severs_edge(5, 4)
+    assert not model.severs_edge(4, 6)
+    assert model.eps_by_module() == {2: 0.02}
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"dead_zones": (-1,)},
+        {"failed_links": ((2, 2),)},
+        {"severed_edges": ((-1, 2),)},
+        {"entangler_eps": ((0, 0.0),)},
+        {"entangler_eps": ((0, 1.0),)},
+        {"entangler_eps": ((-1, 0.5),)},
+    ],
+)
+def test_constructor_rejects_bad_values(kwargs):
+    with pytest.raises(FaultError):
+        FaultModel(**kwargs)
+
+
+def test_dict_round_trip():
+    model = FaultModel(
+        dead_zones=(3, 7),
+        severed_edges=((4, 5),),
+        failed_links=((0, 1),),
+        entangler_eps=((2, 0.02),),
+    )
+    assert FaultModel.from_dict(model.to_dict()) == model
+
+
+def test_options_round_trip():
+    model = FaultModel(
+        dead_zones=(3, 7),
+        severed_edges=((4, 5),),
+        failed_links=((0, 1), (2, 3)),
+        entangler_eps=((2, 0.02),),
+    )
+    options = model.to_options()
+    assert options["failed_links"] == "0-1,2-3"
+    assert FaultModel.from_options(options) == model
+
+
+def test_from_dict_unknown_key_suggests():
+    with pytest.raises(FaultError, match="did you mean 'dead_zones'"):
+        FaultModel.from_dict({"ded_zones": [3]})
+
+
+def test_from_options_rejects_malformed_entries():
+    with pytest.raises(FaultError, match="non-negative integer"):
+        FaultModel.from_options({"dead_zones": "3,x"})
+    with pytest.raises(FaultError, match="pair like 0-1"):
+        FaultModel.from_options({"failed_links": "01"})
+    with pytest.raises(FaultError, match="module:eps"):
+        FaultModel.from_options({"entangler_eps": "2"})
+    with pytest.raises(FaultError, match="in \\(0, 1\\)"):
+        FaultModel.from_options({"entangler_eps": "2:1.5"})
+
+
+def test_split_fault_options_partitions():
+    faults, rest = split_fault_options(
+        {"capacity": 4, "dead_zones": "3", "modules": 2, "failed_links": "0-1"}
+    )
+    assert set(faults) == {"dead_zones", "failed_links"}
+    assert set(rest) == {"capacity", "modules"}
+    assert set(faults) <= set(FAULT_KEYS)
+
+
+def test_parse_fault_options_empty_is_none():
+    assert parse_fault_options({}) is None
+
+
+def test_validate_for_rejects_missing_resources():
+    machine = EMLQCCDMachine(num_modules=2, trap_capacity=4)  # zones 0..7
+    FaultModel(dead_zones=(7,)).validate_for(machine)  # fine
+    with pytest.raises(FaultError, match="dead zone 99 does not exist"):
+        FaultModel(dead_zones=(99,)).validate_for(machine)
+    with pytest.raises(FaultError, match="does not exist"):
+        FaultModel(failed_links=((0, 5),)).validate_for(machine)
+    with pytest.raises(FaultError, match="not a shuttle edge"):
+        FaultModel(severed_edges=((0, 7),)).validate_for(machine)
+    with pytest.raises(FaultError, match="module 9"):
+        FaultModel(entangler_eps=((9, 0.1),)).validate_for(machine)
+
+
+# ---------------------------------------------------------------------------
+# Property: every model round-trips through both serializations.
+# ---------------------------------------------------------------------------
+
+_pairs = st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(
+    lambda p: p[0] != p[1]
+)
+_models = st.builds(
+    FaultModel,
+    dead_zones=st.lists(st.integers(0, 30), max_size=4).map(tuple),
+    severed_edges=st.lists(_pairs, max_size=3).map(tuple),
+    failed_links=st.lists(_pairs, max_size=3).map(tuple),
+    # Spec-string eps render through ``%g`` (6 significant digits), so the
+    # exact-equality round-trip draws from values that format is lossless
+    # for; to_dict/from_dict is exact for any float.
+    entangler_eps=st.lists(
+        st.tuples(
+            st.integers(0, 7),
+            st.sampled_from([0.01, 0.02, 0.05, 0.1, 0.125, 0.25, 0.5]),
+        ),
+        max_size=3,
+    ).map(tuple),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(model=_models)
+def test_property_round_trips(model: FaultModel):
+    assert FaultModel.from_dict(model.to_dict()) == model
+    if model.is_empty:
+        assert parse_fault_options(model.to_options()) is None
+    else:
+        assert FaultModel.from_options(model.to_options()) == model

@@ -1,0 +1,81 @@
+"""Named fault profiles: registry, determinism, machine-relative builds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultError,
+    available_fault_profiles,
+    build_fault_profile,
+    describe_fault_profiles,
+)
+from repro.hardware import resolve_machine
+
+EML4 = "eml?capacity=4&modules=4"
+
+
+def test_registry_lists_tracked_profiles():
+    names = available_fault_profiles()
+    for expected in (
+        "dead-zones-1",
+        "dead-zones-2",
+        "dead-zones-4",
+        "links-1",
+        "links-2",
+        "degraded-1",
+        "degraded-2",
+        "mixed-1",
+    ):
+        assert expected in names
+    text = describe_fault_profiles()
+    for name in names:
+        assert name in text
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(FaultError, match="unknown fault profile"):
+        build_fault_profile("no-such-profile", resolve_machine(EML4))
+
+
+def test_profiles_are_deterministic():
+    machine = resolve_machine(EML4)
+    for name in available_fault_profiles():
+        assert build_fault_profile(name, machine) == build_fault_profile(
+            name, machine
+        )
+
+
+def test_dead_zones_profiles_kill_storage_zones():
+    machine = resolve_machine(EML4)
+    storage = {
+        zone.zone_id for zone in machine.zones if zone.level == 0
+    } or {zone.zone_id for zone in machine.zones}
+    for count in (1, 2, 4):
+        model = build_fault_profile(f"dead-zones-{count}", machine)
+        assert len(model.dead_zones) == count
+        assert set(model.dead_zones) <= storage
+
+
+def test_links_profiles_fail_disjoint_pairs():
+    machine = resolve_machine(EML4)
+    one = build_fault_profile("links-1", machine)
+    two = build_fault_profile("links-2", machine)
+    assert len(one.failed_links) == 1
+    assert len(two.failed_links) == 2
+    modules = [m for pair in two.failed_links for m in pair]
+    assert len(modules) == len(set(modules))  # disjoint pairs
+
+
+def test_profiles_validate_on_build():
+    # mixed-1 needs at least 3 modules; a 2-module machine can't host it.
+    with pytest.raises(FaultError):
+        build_fault_profile("mixed-1", resolve_machine("eml?modules=2"))
+
+
+def test_profile_scales_with_machine():
+    small = build_fault_profile("dead-zones-1", resolve_machine("eml?modules=2"))
+    large = build_fault_profile("dead-zones-1", resolve_machine(EML4))
+    small.validate_for(resolve_machine("eml?modules=2"))
+    large.validate_for(resolve_machine(EML4))
+    assert small.dead_zones != large.dead_zones  # picked relative to size

@@ -1,0 +1,132 @@
+"""Fault fragments on machine specs: parse, canonical, lossless lowering,
+and the empty-model byte-identity differential (PR 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultError, FaultModel
+from repro.hardware import (
+    canonical_machine_spec,
+    default_machine_registry,
+    resolve_machine,
+)
+from repro.hardware.topology import ArchitectureSpec
+
+FAULTED = "eml?modules=4&dead_zones=3,7&failed_links=0-1&entangler_eps=2:0.02"
+
+
+def test_resolve_attaches_fault_model():
+    machine = resolve_machine(FAULTED)
+    model = machine.fault_model
+    assert model is not None
+    assert model.dead_zones == (3, 7)
+    assert model.failed_links == ((0, 1),)
+    assert model.eps_by_module() == {2: 0.02}
+
+
+def test_canonical_spec_orders_fault_keys():
+    canonical = canonical_machine_spec(
+        "eml?failed_links=1-0&modules=4&dead_zones=7,3&entangler_eps=2:0.02"
+    )
+    assert canonical.endswith(
+        "dead_zones=3,7&entangler_eps=2:0.02&failed_links=0-1"
+    )
+    # Canonicalising twice is a fixed point.
+    assert canonical_machine_spec(canonical) == canonical
+
+
+def test_machine_spec_carries_fault_fragment():
+    machine = resolve_machine(FAULTED)
+    assert "dead_zones=3,7" in machine.spec
+    assert "failed_links=0-1" in machine.spec
+    # The spec string round-trips to an equal fault model.
+    again = resolve_machine(machine.spec)
+    assert again.fault_model == machine.fault_model
+
+
+def test_architecture_round_trip_preserves_faults():
+    machine = resolve_machine(FAULTED)
+    arch = machine.architecture()
+    assert arch.faults == machine.fault_model
+    payload = arch.to_dict()
+    restored = ArchitectureSpec.from_dict(payload)
+    assert restored.faults == machine.fault_model
+    rebuilt = default_machine_registry().from_architecture(restored)
+    assert rebuilt.fault_model == machine.fault_model
+
+
+def test_fault_spec_validated_against_machine():
+    # A single-module EML has zones 0..3: zone 7 doesn't exist.
+    with pytest.raises(FaultError, match="does not exist"):
+        resolve_machine("eml?modules=1&dead_zones=7")
+
+
+def test_unknown_machine_option_suggests_fault_key():
+    with pytest.raises(ValueError, match="did you mean 'dead_zones'"):
+        resolve_machine("eml?dead_zone=3")
+
+
+def test_attach_fault_model_guards():
+    machine = resolve_machine("eml?modules=2")
+    machine.attach_fault_model(FaultModel())  # empty: no-op
+    assert machine.fault_model is None
+    machine.attach_fault_model(FaultModel(dead_zones=(7,)))
+    assert machine.fault_model is not None
+    with pytest.raises(ValueError, match="already has a fault model"):
+        machine.attach_fault_model(FaultModel(dead_zones=(3,)))
+
+
+def test_live_adjacency_prunes_faults():
+    machine = resolve_machine("eml?modules=2&dead_zones=3&severed_edges=4-5")
+    pristine = resolve_machine("eml?modules=2")
+    live = machine.live_adjacency()
+    assert live[3] == frozenset()
+    assert all(3 not in peers for peers in live.values())
+    assert 5 not in live[4] and 4 not in live[5]
+    # Everything else matches the pristine adjacency.
+    for zone, peers in pristine.live_adjacency().items():
+        if zone == 3:
+            continue
+        expected = peers - {3} - ({5} if zone == 4 else set()) - (
+            {4} if zone == 5 else set()
+        )
+        assert live[zone] == expected
+
+
+# ---------------------------------------------------------------------------
+# Differential: an empty/no fault model changes nothing.
+# ---------------------------------------------------------------------------
+
+
+def test_empty_fault_model_is_byte_identical():
+    pristine = resolve_machine("eml?modules=2")
+    annotated = resolve_machine("eml?modules=2")
+    annotated.attach_fault_model(FaultModel())
+    assert annotated.fault_model is None
+    assert annotated.spec == pristine.spec
+    assert annotated.architecture() == pristine.architecture()
+    assert annotated.architecture().to_dict() == pristine.architecture().to_dict()
+    assert annotated.topology_maps() == pristine.topology_maps()
+    assert canonical_machine_spec("eml?modules=2") == canonical_machine_spec(
+        "eml?modules=2"
+    )
+
+
+def test_pristine_topology_maps_have_no_fault_state():
+    maps = resolve_machine("eml?modules=2").topology_maps()
+    assert maps.dead_zones == frozenset()
+    assert maps.blocked_links == frozenset()
+
+
+def test_pristine_compile_unchanged_by_fault_plumbing():
+    """The schedule of a pristine machine is identical whether or not the
+    fault subsystem is imported/active — guard against accidental coupling."""
+    from repro.pipeline import compile as compile_circuit
+    from repro.workloads import get_benchmark
+
+    circuit = get_benchmark("GHZ_n8")
+    a = compile_circuit(circuit, resolve_machine("eml?modules=2"), verify=False)
+    b = compile_circuit(circuit, resolve_machine("eml?modules=2"), verify=False)
+    assert a.program.operations == b.program.operations
+    assert a.program.initial_placement == b.program.initial_placement
