@@ -45,8 +45,10 @@ METRICS = ("compile_s", "execute_s", "total_s")
 #: The metric the ``--fail-over`` guard judges on compile+execute cells.
 GUARD_METRIC = "total_s"
 
-#: Fields compared per service load-generator cell.
-SERVE_METRICS = ("p50_ms", "p99_ms", "throughput_rps")
+#: Fields compared per service load-generator cell.  ``rejected``
+#: (429 count, schema v6) is absent from older baselines; a missing
+#: side renders as ``n/a`` and is never judged.
+SERVE_METRICS = ("p50_ms", "p99_ms", "throughput_rps", "rejected")
 
 #: The metric the guard judges on serve cells (throughput is shown but
 #: not judged: its good direction is up, and p99 already covers it).
@@ -208,8 +210,14 @@ def compare_payloads(old: dict, new: dict) -> list[dict]:
             continue
         row: dict = {"key": key, "status": "matched"}
         for metric in _metrics_for(key):
-            before = old_cell[metric]
-            after = new_cell[metric]
+            before = old_cell.get(metric)
+            after = new_cell.get(metric)
+            if before is None or after is None:
+                # A metric added in a newer schema version (e.g. the
+                # serve cells' ``rejected``) is absent from older
+                # baselines — shown as n/a, never judged.
+                row[metric] = {"old": before, "new": after, "delta_pct": None}
+                continue
             if _is_faults_key(key) and metric.endswith("_pct"):
                 # Already a percentage: report the change in percentage
                 # points (a ratio against a 0.0 baseline — the normal
@@ -287,6 +295,9 @@ def _render_group(rows: list[dict], metrics: tuple[str, ...], title: str) -> str
         cells = []
         for metric in metrics:
             entry = row[metric]
+            if entry["old"] is None or entry["new"] is None:
+                cells.append("(n/a)")
+                continue
             delta = entry["delta_pct"]
             delta_text = "n/a" if delta is None else f"{delta:+.0f}%"
             cells.append(f"{entry['old']:.3f}/{entry['new']:.3f} ({delta_text})")

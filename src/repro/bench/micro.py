@@ -59,9 +59,11 @@ from .cells import matches_filter, parse_filter
 #: throughput / wait / fairness metrics) and the ``fleet`` grid;
 #: version 5 added the fault-robustness cells (``repro bench faults``:
 #: ``mode: faults`` with makespan-degradation / fidelity-delta /
-#: recovery-overhead metrics) and the ``faults`` grid.  Older files
-#: still validate (and compare) cleanly.
-SCHEMA_VERSION = 5
+#: recovery-overhead metrics) and the ``faults`` grid; version 6 added
+#: the ``serve-backpressure`` mode and the optional ``rejected`` (429)
+#: count to the serve cells.  Older files still validate (and compare)
+#: cleanly.
+SCHEMA_VERSION = 6
 
 #: The physics arms of the ``reprice`` cell: the Fig 13 counterfactuals
 #: plus heating-rate / gate-decay / fiber / lifetime sweeps — the
@@ -135,10 +137,11 @@ _CELL_SCHEMA = {
     },
 }
 
-#: Service load-generator cells (``repro bench serve``, schema v3): the
-#: cold and warm phases of one load run.  Latencies are milliseconds —
-#: ``repro bench compare`` guards ``p99_ms`` for these the way it
-#: guards ``total_s`` for compile+execute cells.
+#: Service load-generator cells (``repro bench serve``, schema v3; the
+#: backpressure phase and ``rejected`` count arrived in v6): the cold,
+#: warm, and backpressure phases of one load run.  Latencies are
+#: milliseconds — ``repro bench compare`` guards ``p99_ms`` for these
+#: the way it guards ``total_s`` for compile+execute cells.
 _SERVE_CELL_SCHEMA = {
     "type": "object",
     "required": [
@@ -158,10 +161,11 @@ _SERVE_CELL_SCHEMA = {
         "workload": {"type": "string", "minLength": 1},
         "machine": {"type": "string", "minLength": 1},
         "compiler": {"type": "string", "minLength": 1},
-        "mode": {"enum": ["serve-cold", "serve-warm"]},
+        "mode": {"enum": ["serve-cold", "serve-warm", "serve-backpressure"]},
         "concurrency": {"type": "integer", "minimum": 1},
         "requests": {"type": "integer", "minimum": 1},
         "errors": {"type": "integer", "minimum": 0},
+        "rejected": {"type": "integer", "minimum": 0},
         "p50_ms": {"type": "number", "minimum": 0},
         "p99_ms": {"type": "number", "minimum": 0},
         "throughput_rps": {"type": "number", "minimum": 0},
@@ -251,7 +255,7 @@ BENCH_SCHEMA = {
     "required": ["schema_version", "created_utc", "grid", "repeats", "environment", "cells"],
     "additionalProperties": False,
     "properties": {
-        "schema_version": {"enum": [1, 2, 3, 4, SCHEMA_VERSION]},
+        "schema_version": {"enum": [1, 2, 3, 4, 5, SCHEMA_VERSION]},
         "created_utc": {"type": "string", "minLength": 1},
         "grid": {"enum": ["micro", "serve", "fleet", "faults", "mixed"]},
         "repeats": {"type": "integer", "minimum": 1},

@@ -230,6 +230,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             use_disk_cache=not args.no_disk_cache,
             disk_ttl_days=args.disk_ttl_days,
             max_connections=args.max_connections,
+            max_inflight_per_client=args.max_inflight_per_client,
+            rate_per_client=args.rate_per_client,
+            trace_ring=args.trace_ring,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -960,6 +963,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shed connections beyond N with a structured 503 "
              "(default: 0 = unlimited)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight-per-client",
+        type=int,
+        default=0,
+        metavar="N",
+        help="reject a client's concurrent requests beyond N with a "
+             "structured 429 + Retry-After (default: 0 = unlimited)",
+    )
+    serve_parser.add_argument(
+        "--rate-per-client",
+        type=float,
+        default=0.0,
+        metavar="RPS",
+        help="token-bucket request rate per client address; excess gets "
+             "a structured 429 + Retry-After (default: 0 = unlimited)",
+    )
+    serve_parser.add_argument(
+        "--trace-ring",
+        type=int,
+        default=256,
+        metavar="N",
+        help="finished requests kept for GET /trace/recent (default: 256)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

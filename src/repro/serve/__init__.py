@@ -9,11 +9,17 @@ HTTP service is a thin layer:
   :class:`Job` values keyed on (circuit content hash, canonical specs),
 * :mod:`~repro.serve.service` — :class:`CompileService`: a
   ``ProcessPoolExecutor`` worker pool, request coalescing (N concurrent
-  identical jobs -> one execution), and the two-tier cache,
+  identical jobs -> one execution), the two-tier cache, and the
+  per-client :class:`ClientLimiter` backpressure gate,
 * :mod:`~repro.serve.cache` — bounded in-memory LRU over the on-disk
   ``~/.cache/repro-bench`` store, with ``/stats`` counters,
+* :mod:`~repro.serve.tracing` — per-request trace ids and span timings
+  plus the bounded ``GET /trace/recent`` ring,
+* :mod:`~repro.serve.metrics` — the stdlib counter/gauge/histogram
+  registry behind the ``GET /metrics`` Prometheus text exposition,
 * :mod:`~repro.serve.http` — the stdlib asyncio HTTP/1.1 front-end
-  (``POST /compile | /trace | /compare``, ``GET /healthz | /stats``),
+  (``POST /compile | /trace | /compare``, ``GET /healthz | /stats |
+  /metrics | /trace/recent``),
 * :mod:`~repro.serve.schemas` — request/response/error JSON schemas,
 * :mod:`~repro.serve.loadgen` — ``repro bench serve``: the latency /
   throughput load generator feeding ``BENCH_<date>.json``.
@@ -24,6 +30,7 @@ From the shell::
     curl -s localhost:8000/healthz
     curl -s -XPOST localhost:8000/compile \
          -d '{"workload": "GHZ_n32", "machine": "eml"}'
+    curl -s localhost:8000/metrics
     repro bench serve --quick
 """
 
@@ -31,6 +38,7 @@ from .cache import DEFAULT_MAX_MEMORY_MB, MemoryLRU, TwoTierCache
 from .http import error_body, run_server, start_http_server
 from .jobs import Job, JobError, canonical_bytes, circuit_fingerprint, parse_job
 from .loadgen import run_serve_bench
+from .metrics import MetricsRegistry, validate_exposition
 from .schemas import (
     CACHE_STATES,
     COMPARE_REQUEST_SCHEMA,
@@ -39,11 +47,15 @@ from .schemas import (
     COMPILE_RESPONSE_SCHEMA,
     ERROR_SCHEMA,
     HEALTH_SCHEMA,
+    SPANS_SCHEMA,
     STATS_SCHEMA,
+    TRACE_ENTRY_SCHEMA,
+    TRACE_RECENT_SCHEMA,
     TRACE_REQUEST_SCHEMA,
     TRACE_RESPONSE_SCHEMA,
 )
-from .service import CompileService, ServeExecutionError
+from .service import ClientLimiter, CompileService, ServeExecutionError
+from .tracing import RequestTrace, TraceRing, new_trace_id, sanitize_trace_id
 
 __all__ = [
     "CACHE_STATES",
@@ -51,6 +63,7 @@ __all__ = [
     "COMPARE_RESPONSE_SCHEMA",
     "COMPILE_REQUEST_SCHEMA",
     "COMPILE_RESPONSE_SCHEMA",
+    "ClientLimiter",
     "CompileService",
     "DEFAULT_MAX_MEMORY_MB",
     "ERROR_SCHEMA",
@@ -58,16 +71,25 @@ __all__ = [
     "Job",
     "JobError",
     "MemoryLRU",
+    "MetricsRegistry",
+    "RequestTrace",
+    "SPANS_SCHEMA",
     "STATS_SCHEMA",
     "ServeExecutionError",
+    "TRACE_ENTRY_SCHEMA",
+    "TRACE_RECENT_SCHEMA",
     "TRACE_REQUEST_SCHEMA",
     "TRACE_RESPONSE_SCHEMA",
+    "TraceRing",
     "TwoTierCache",
     "canonical_bytes",
     "circuit_fingerprint",
     "error_body",
+    "new_trace_id",
     "parse_job",
     "run_serve_bench",
     "run_server",
+    "sanitize_trace_id",
     "start_http_server",
+    "validate_exposition",
 ]

@@ -210,8 +210,21 @@ class TwoTierCache:
                 return self._record_disk_hit(key, entry)
         return None
 
-    async def get_async(self, key: str) -> tuple[bytes, str] | None:
-        """:meth:`get` with the disk-tier read off the event loop."""
+    async def get_async(self, key: str, trace=None) -> tuple[bytes, str] | None:
+        """:meth:`get` with the disk-tier read off the event loop.
+
+        When a :class:`~repro.serve.tracing.RequestTrace` is supplied,
+        the probe is recorded as the request's ``cache_lookup`` span and
+        the serving tier (or ``miss``) as a trace annotation.
+        """
+        if trace is not None:
+            with trace.span("cache_lookup"):
+                found = await self._get_async(key)
+            trace.annotate(cache="miss" if found is None else found[1])
+            return found
+        return await self._get_async(key)
+
+    async def _get_async(self, key: str) -> tuple[bytes, str] | None:
         payload = self.memory.get(key)
         if payload is not None:
             return self._record_memory_hit(payload)

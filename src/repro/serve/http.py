@@ -5,13 +5,28 @@ request reader over ``asyncio.start_server`` streams — request line,
 headers, ``Content-Length``-framed JSON bodies, keep-alive — which is
 exactly the subset a JSON job API needs, and nothing more.  Routes:
 
-====================  =====================================================
-``GET /healthz``      liveness: ``{"status": "ok", ...}``
-``GET /stats``        request counters + both cache tiers + coalesce count
-``POST /compile``     one job -> REPORT_SCHEMA-validated report
-``POST /trace``       one job -> timed op records
-``POST /compare``     the paper suite as cached/coalesced sub-jobs
-====================  =====================================================
+=====================  ====================================================
+``GET /healthz``       liveness: ``{"status": "ok", ...}``
+``GET /stats``         request counters + both cache tiers + coalesce count
+``GET /metrics``       Prometheus text exposition (latency histograms, ...)
+``GET /trace/recent``  bounded ring of finished request traces
+``POST /compile``      one job -> REPORT_SCHEMA-validated report
+``POST /trace``        one job -> timed op records
+``POST /compare``      the paper suite as cached/coalesced sub-jobs
+=====================  ====================================================
+
+Framing is strict because a desynced keep-alive stream is a request-
+smuggling primitive: ``Transfer-Encoding`` is rejected with a 501 (the
+service only speaks ``Content-Length`` framing), duplicate or
+conflicting ``Content-Length`` headers are a 400, and every framing
+error closes the connection after one structured response.  The HTTP
+version is honored: an HTTP/1.0 request defaults to ``Connection:
+close`` unless it asks for keep-alive.
+
+Observability: every request gets a trace id (an inbound
+``X-Request-Id`` is honored) echoed in the response header and body
+metadata; per-client backpressure answers excess load with a structured
+429 + ``Retry-After`` instead of letting one client starve the pool.
 
 Every error — malformed JSON, unknown route, oversized body, a bad spec
 string — is a structured :data:`~repro.serve.schemas.ERROR_SCHEMA` body
@@ -22,9 +37,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
+import time
 
 from .jobs import JobError
 from .service import CompileService, ServeExecutionError
+from .tracing import RequestTrace
 
 #: Reject request bodies beyond this many bytes (a job payload is tiny).
 MAX_BODY_BYTES = 1 << 20
@@ -38,44 +56,94 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    501: "Not Implemented",
     503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
 }
 
 
 class _HttpError(Exception):
     """Internal: aborts request handling with a structured error body."""
 
-    def __init__(self, status: int, message: str, *, field: str | None = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        field: str | None = None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
         self.field = field
+        self.retry_after = retry_after
 
 
-def error_body(status: int, message: str, field: str | None = None) -> dict:
+class _TextResponse:
+    """A non-JSON 200 body (the ``/metrics`` exposition page)."""
+
+    def __init__(self, body: str, content_type: str) -> None:
+        self.body = body.encode()
+        self.content_type = content_type
+
+
+def error_body(
+    status: int,
+    message: str,
+    field: str | None = None,
+    retry_after: float | None = None,
+) -> dict:
     """The one error payload shape (see ``ERROR_SCHEMA``)."""
     error: dict = {"status": status, "message": message}
     if field is not None:
         error["field"] = field
+    if retry_after is not None:
+        error["retry_after_s"] = round(retry_after, 3)
     return {"error": error}
 
 
-def _encode_response(status: int, payload: dict, *, keep_alive: bool) -> bytes:
+def _encode_raw(
+    status: int,
+    body: bytes,
+    content_type: str,
+    *,
+    keep_alive: bool,
+    extra_headers: dict | None = None,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+def _encode_response(
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool,
+    extra_headers: dict | None = None,
+) -> bytes:
     body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
-    head = (
-        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        "\r\n"
-    ).encode()
-    return head + body
+    return _encode_raw(
+        status,
+        body,
+        "application/json",
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+    )
 
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, dict[str, str], bytes] | None:
+) -> tuple[str, str, str, dict[str, str], bytes] | None:
     """Read one request; ``None`` when the client closed the connection."""
     try:
         head = await reader.readuntil(b"\r\n\r\n")
@@ -91,7 +159,9 @@ async def _read_request(
     parts = lines[0].split(" ")
     if len(parts) != 3:
         raise _HttpError(400, f"malformed request line {lines[0]!r}")
-    method, target, _version = parts
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise _HttpError(505, f"unsupported protocol version {version!r}")
     headers: dict[str, str] = {}
     for line in lines[1:]:
         if not line:
@@ -99,7 +169,24 @@ async def _read_request(
         name, sep, value = line.partition(":")
         if not sep:
             raise _HttpError(400, f"malformed header line {line!r}")
-        headers[name.strip().lower()] = value.strip()
+        name = name.strip().lower()
+        value = value.strip()
+        if name == "content-length" and name in headers:
+            # Duplicate Content-Length headers are a request-smuggling
+            # primitive: a silent last-win would let two parsers in the
+            # path disagree on where the body ends.
+            kind = "conflicting" if headers[name] != value else "duplicate"
+            raise _HttpError(400, f"{kind} Content-Length headers")
+        headers[name] = value
+    if "transfer-encoding" in headers:
+        # A chunked body would otherwise be read as Content-Length: 0 and
+        # its bytes replayed as the next request line on the keep-alive
+        # stream — reject the framing this parser does not speak.
+        raise _HttpError(
+            501,
+            f"Transfer-Encoding {headers['transfer-encoding']!r} is not "
+            "supported; send a Content-Length-framed body",
+        )
     length_text = headers.get("content-length", "0")
     try:
         length = int(length_text)
@@ -111,7 +198,7 @@ async def _read_request(
         body = await reader.readexactly(length) if length else b""
     except asyncio.IncompleteReadError:
         raise _HttpError(400, "truncated request body") from None
-    return method, target.split("?", 1)[0], headers, body
+    return method, target.split("?", 1)[0], version, headers, body
 
 
 def _parse_json_body(body: bytes) -> dict:
@@ -123,15 +210,32 @@ def _parse_json_body(body: bytes) -> dict:
         raise _HttpError(400, f"request body is not valid JSON: {error}") from None
 
 
-async def _dispatch(service: CompileService, method: str, path: str, body: bytes) -> dict:
-    if path == "/healthz":
+_ROUTE_LIST = (
+    "/healthz, /stats, /metrics, /trace/recent, /compile, /trace, /compare"
+)
+
+
+async def _dispatch(
+    service: CompileService,
+    method: str,
+    path: str,
+    body: bytes,
+    trace: RequestTrace,
+    client: str,
+):
+    gets = {
+        "/healthz": service.health,
+        "/stats": service.stats,
+        "/trace/recent": service.trace_recent,
+    }
+    if path in gets:
         if method != "GET":
             raise _HttpError(405, f"{path} only supports GET")
-        return service.health()
-    if path == "/stats":
+        return gets[path]()
+    if path == "/metrics":
         if method != "GET":
             raise _HttpError(405, f"{path} only supports GET")
-        return service.stats()
+        return _TextResponse(service.metrics_text(), service.metrics.CONTENT_TYPE)
     handlers = {
         "/compile": service.compile,
         "/trace": service.trace,
@@ -139,16 +243,28 @@ async def _dispatch(service: CompileService, method: str, path: str, body: bytes
     }
     handler = handlers.get(path)
     if handler is None:
-        raise _HttpError(404, f"unknown path {path!r} (routes: /healthz, /stats, "
-                              "/compile, /trace, /compare)")
+        raise _HttpError(404, f"unknown path {path!r} (routes: {_ROUTE_LIST})")
     if method != "POST":
         raise _HttpError(405, f"{path} only supports POST")
+    # Per-client backpressure gates the compute endpoints *before* any
+    # parsing: shedding must stay cheap, and ops endpoints (health,
+    # stats, metrics) stay reachable even for a throttled client.
+    retry_after = service.admit_request(client)
+    if retry_after is not None:
+        raise _HttpError(
+            429,
+            f"client {client} is over its per-client limit; retry after "
+            f"{retry_after:.3f}s",
+            retry_after=retry_after,
+        )
     try:
-        return await handler(_parse_json_body(body))
+        return await handler(_parse_json_body(body), trace=trace)
     except JobError as error:
         raise _HttpError(400, error.message, field=error.field) from None
     except ServeExecutionError as error:
         raise _HttpError(500, str(error)) from None
+    finally:
+        service.release_request(client)
 
 
 async def _handle_connection(
@@ -156,6 +272,8 @@ async def _handle_connection(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
+    peer = writer.get_extra_info("peername")
+    client = peer[0] if isinstance(peer, tuple) and peer else "unknown"
     if not service.connection_opened():
         # Over the --max-connections limit: shed with one structured
         # 503 instead of queueing behind connections we cannot serve.
@@ -180,31 +298,78 @@ async def _handle_connection(
         while True:
             keep_alive = True
             framed = False
+            trace: RequestTrace | None = None
+            retry_after: float | None = None
+            started = time.perf_counter()
             try:
                 request = await _read_request(reader)
                 if request is None:
                     break
+                started = time.perf_counter()  # excludes keep-alive idle time
                 framed = True
-                method, path, headers, body = request
-                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                payload = await _dispatch(service, method, path, body)
+                method, path, version, headers, body = request
+                trace = RequestTrace.begin(
+                    endpoint=path,
+                    method=method,
+                    client=client,
+                    request_id=headers.get("x-request-id"),
+                )
+                connection = headers.get("connection", "").lower()
+                if version == "HTTP/1.0":
+                    # HTTP/1.0 defaults to close; keep-alive is opt-in.
+                    keep_alive = connection == "keep-alive"
+                else:
+                    keep_alive = connection != "close"
+                payload = await _dispatch(service, method, path, body, trace, client)
                 status = 200
             except _HttpError as error:
-                payload = error_body(error.status, error.message, error.field)
+                payload = error_body(
+                    error.status, error.message, error.field, error.retry_after
+                )
                 status = error.status
+                retry_after = error.retry_after
                 if not framed:
                     # A framing error (oversized/truncated headers or
-                    # body, bad Content-Length) leaves the stream in an
-                    # unknown position — re-reading it would replay the
-                    # same error forever, so the connection must die
-                    # after the one structured error response.
+                    # body, chunked or duplicate Content-Length, bad
+                    # version) leaves the stream in an unknown position —
+                    # re-reading it would replay the same error forever,
+                    # so the connection must die after the one structured
+                    # error response.
                     keep_alive = False
             except Exception as error:  # a bug, but never a traceback on the wire
                 payload = error_body(500, f"internal error: {error}")
                 status = 500
                 keep_alive = False
-            writer.write(_encode_response(status, payload, keep_alive=keep_alive))
+            extra_headers: dict = {}
+            if trace is not None:
+                extra_headers["X-Request-Id"] = trace.trace_id
+            if retry_after is not None:
+                extra_headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
+            if isinstance(payload, _TextResponse):
+                writer.write(
+                    _encode_raw(
+                        status,
+                        payload.body,
+                        payload.content_type,
+                        keep_alive=keep_alive,
+                        extra_headers=extra_headers,
+                    )
+                )
+            else:
+                writer.write(
+                    _encode_response(
+                        status,
+                        payload,
+                        keep_alive=keep_alive,
+                        extra_headers=extra_headers,
+                    )
+                )
             await writer.drain()
+            if trace is None:
+                # Framing errors abort before a trace exists; they still
+                # count in the metrics and show up in the ring.
+                trace = RequestTrace.begin(endpoint="unframed", client=client)
+            service.finish_request(trace, status, time.perf_counter() - started)
             if not keep_alive:
                 break
     except (ConnectionResetError, BrokenPipeError):
@@ -248,8 +413,8 @@ async def run_server(
     bound = server.sockets[0].getsockname()
     if announce is not None:
         announce(f"serving on http://{bound[0]}:{bound[1]} "
-                 f"(workers: {service.jobs}, routes: /healthz /stats /compile "
-                 "/trace /compare)")
+                 f"(workers: {service.jobs}, routes: /healthz /stats /metrics "
+                 "/trace/recent /compile /trace /compare)")
     if ready is not None:
         ready.set()
     stop = asyncio.Event()

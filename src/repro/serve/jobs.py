@@ -149,13 +149,26 @@ def _spec_field(payload: dict, field: str) -> str:
     return value.strip()
 
 
-def parse_job(kind: str, payload, *, allowed_fields: tuple = JOB_FIELDS) -> Job:
+def parse_job(kind: str, payload, *, allowed_fields: tuple = JOB_FIELDS, trace=None) -> Job:
     """Validate and canonicalise one request payload into a :class:`Job`.
 
     Every failure — unknown field, unknown workload family, bad machine
     or physics spec, invalid compiler option — raises :class:`JobError`
     naming the field, never a bare traceback.
+
+    When a :class:`~repro.serve.tracing.RequestTrace` is supplied the
+    validation work is recorded as the request's ``parse`` span and the
+    canonical job identity is attached as trace annotations.
     """
+    if trace is not None:
+        with trace.span("parse"):
+            job = _parse_job(kind, payload, allowed_fields=allowed_fields)
+        trace.annotate(workload=job.workload, circuit_hash=job.circuit_hash)
+        return job
+    return _parse_job(kind, payload, allowed_fields=allowed_fields)
+
+
+def _parse_job(kind: str, payload, *, allowed_fields: tuple = JOB_FIELDS) -> Job:
     if kind not in JOB_KINDS:
         raise JobError(f"unknown job kind {kind!r} (want one of {JOB_KINDS})")
     payload = _require_payload(payload)

@@ -8,18 +8,27 @@ records latency/throughput cells into the same schema-validated
 service performance is guarded by ``repro bench compare`` exactly like
 scheduler performance is.
 
-Two phases, two cells:
+Three phases, three cells:
 
 * ``serve-cold`` — a fresh cache (private temp dir), so every distinct
   job in the mix executes once and concurrent duplicates exercise the
   coalescer,
 * ``serve-warm`` — the identical request list again, now served from
   the in-memory tier; the cold/warm p50 ratio is the cache's measured
-  speedup and is printed after the run.
+  speedup and is printed after the run,
+* ``serve-backpressure`` — the same mix against a second service booted
+  with ``max_inflight_per_client=1`` and its own cold cache, so the
+  concurrent workers (all one client address) collide with the
+  per-client limiter and the 429 path is exercised under real load.
 
-Each cell records request count, concurrency, error count, p50/p99
-latency (ms) and throughput (requests/s).  ``--quick`` shrinks the mix
-and concurrency to a seconds-scale CI smoke run.
+Each cell records request count, concurrency, error count, rejected
+(429) count, p50/p99 latency (ms) and throughput (requests/s).  The
+percentile samples cover **successful** requests only: a transport
+failure or error response has a latency that measures the failure mode
+(connect timeout, instant rejection), not the service, and folding it
+into the percentiles skews the cells both ways.  Failed-request
+latencies are kept separately for diagnostics.  ``--quick`` shrinks the
+mix and concurrency to a seconds-scale CI smoke run.
 """
 
 from __future__ import annotations
@@ -30,8 +39,9 @@ import platform
 import sys
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
+from pathlib import Path
 
 from .http import start_http_server
 from .service import CompileService
@@ -47,19 +57,47 @@ DEFAULT_MIX: tuple[tuple[str, dict], ...] = (
     ("/trace", {"workload": "GHZ_n16", "machine": "grid:2x2:12"}),
 )
 
-#: Identity fields of the two serve cells in ``BENCH_*.json``; stable
+#: Identity fields of the serve cells in ``BENCH_*.json``; stable
 #: across runs so ``repro bench compare`` matches them by key.
 MIX_LABEL = "mix:compile+trace"
 
 
 @dataclass
 class PhaseResult:
-    """One load phase: latencies in ms plus wall-clock seconds."""
+    """One load phase: outcome counters plus per-outcome latencies.
+
+    ``latencies_ms`` holds successful (HTTP 200) requests only — the
+    population the percentile cells are computed from.  Rejected (429)
+    and failed requests are counted separately and their latencies kept
+    in ``failed_latencies_ms`` for diagnostics, never mixed into the
+    percentile samples.
+    """
 
     phase: str
-    latencies_ms: list[float]
-    wall_s: float
-    errors: int
+    wall_s: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+    failed_latencies_ms: list[float] = field(default_factory=list)
+    errors: int = 0
+    rejected: int = 0
+
+    def record(self, status: int, elapsed_ms: float) -> None:
+        """File one finished request under its outcome.
+
+        ``status`` 0 means the transport failed before a status line
+        arrived (dropped connection, garbled response).
+        """
+        if status == 200:
+            self.latencies_ms.append(elapsed_ms)
+            return
+        self.failed_latencies_ms.append(elapsed_ms)
+        if status == 429:
+            self.rejected += 1
+        else:
+            self.errors += 1
+
+    @property
+    def attempts(self) -> int:
+        return len(self.latencies_ms) + len(self.failed_latencies_ms)
 
     def percentile(self, q: float) -> float:
         ordered = sorted(self.latencies_ms)
@@ -79,8 +117,9 @@ class PhaseResult:
             "compiler": "mix",
             "mode": f"serve-{self.phase}",
             "concurrency": concurrency,
-            "requests": len(self.latencies_ms),
+            "requests": self.attempts,
             "errors": self.errors,
+            "rejected": self.rejected,
             "p50_ms": round(self.percentile(0.50), 3),
             "p99_ms": round(self.percentile(0.99), 3),
             "throughput_rps": round(self.throughput_rps, 2),
@@ -125,11 +164,9 @@ async def _run_phase(
     queue: asyncio.Queue = asyncio.Queue()
     for item in request_list:
         queue.put_nowait(item)
-    latencies: list[float] = []
-    errors = 0
+    result = PhaseResult(phase)
 
     async def worker() -> None:
-        nonlocal errors
         while True:
             try:
                 path, payload = queue.get_nowait()
@@ -140,17 +177,14 @@ async def _run_phase(
                 status, _ = await _request(host, port, path, payload)
             except (OSError, EOFError, ValueError, IndexError):
                 # A dropped connection or garbled response is one failed
-                # request, not a reason to abort the whole bench run —
-                # it still gets a latency sample and an error count.
+                # request, not a reason to abort the whole bench run.
                 status = 0
-            latencies.append((time.perf_counter() - started) * 1000.0)
-            if status != 200:
-                errors += 1
+            result.record(status, (time.perf_counter() - started) * 1000.0)
 
     started = time.perf_counter()
     await asyncio.gather(*(worker() for _ in range(concurrency)))
-    wall_s = time.perf_counter() - started
-    return PhaseResult(phase, latencies, wall_s, errors)
+    result.wall_s = time.perf_counter() - started
+    return result
 
 
 def _request_list(requests: int) -> list[tuple[str, dict]]:
@@ -161,12 +195,12 @@ def _request_list(requests: int) -> list[tuple[str, dict]]:
 
 async def _run_load(
     *, requests: int, concurrency: int, jobs: int | None, cache_dir: str
-) -> tuple[PhaseResult, PhaseResult, dict]:
+) -> tuple[PhaseResult, PhaseResult, PhaseResult, dict]:
+    request_list = _request_list(requests)
     service = CompileService(jobs=jobs, cache_dir=cache_dir)
     server = await start_http_server(service, "127.0.0.1", 0)
     host, port = server.sockets[0].getsockname()[:2]
     try:
-        request_list = _request_list(requests)
         cold = await _run_phase(host, port, "cold", request_list, concurrency)
         warm = await _run_phase(host, port, "warm", request_list, concurrency)
         stats = service.stats()
@@ -174,7 +208,28 @@ async def _run_load(
         server.close()
         await server.wait_closed()
         service.close()
-    return cold, warm, stats
+
+    # Backpressure phase: a second service, cold private cache, one
+    # in-flight request per client.  Every worker shares one client
+    # address (localhost), so concurrent requests collide with the
+    # limiter and the 429 path runs under real load.
+    bp_service = CompileService(
+        jobs=jobs,
+        cache_dir=str(Path(cache_dir) / "backpressure"),
+        max_inflight_per_client=1,
+    )
+    bp_server = await start_http_server(bp_service, "127.0.0.1", 0)
+    bp_host, bp_port = bp_server.sockets[0].getsockname()[:2]
+    try:
+        backpressure = await _run_phase(
+            bp_host, bp_port, "backpressure", request_list, max(concurrency, 2)
+        )
+        stats["backpressure_phase"] = bp_service.stats()["backpressure"]
+    finally:
+        bp_server.close()
+        await bp_server.wait_closed()
+        bp_service.close()
+    return cold, warm, backpressure, stats
 
 
 def run_serve_bench(
@@ -185,8 +240,8 @@ def run_serve_bench(
     quick: bool = False,
 ) -> dict:
     """Run the load generator; returns a validated BENCH payload whose
-    cells are the cold and warm phases (plus the final ``/stats`` under
-    a non-schema sibling key for the human summary)."""
+    cells are the cold, warm, and backpressure phases (plus the final
+    ``/stats`` under a non-schema sibling key for the human summary)."""
     from ..bench.micro import SCHEMA_VERSION, validate_payload
 
     if quick:
@@ -199,13 +254,18 @@ def run_serve_bench(
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as cache_dir:
-        cold, warm, stats = asyncio.run(
+        cold, warm, backpressure, stats = asyncio.run(
             _run_load(
                 requests=requests,
                 concurrency=concurrency,
                 jobs=jobs,
                 cache_dir=cache_dir,
             )
+        )
+    if backpressure.rejected == 0:
+        raise RuntimeError(
+            "backpressure phase saw zero 429 rejections — the per-client "
+            "limiter did not engage under concurrent load"
         )
     payload = {
         "schema_version": SCHEMA_VERSION,
@@ -216,7 +276,11 @@ def run_serve_bench(
             "python": sys.version.split()[0],
             "platform": platform.platform(),
         },
-        "cells": [cold.cell(concurrency), warm.cell(concurrency)],
+        "cells": [
+            cold.cell(concurrency),
+            warm.cell(concurrency),
+            backpressure.cell(max(concurrency, 2)),
+        ],
     }
     validate_payload(payload)
     # Diagnostics ride alongside (not part of the schema-validated payload).
@@ -224,16 +288,27 @@ def run_serve_bench(
         "stats": stats,
         "cold_p50_ms": cold.cell(concurrency)["p50_ms"],
         "warm_p50_ms": warm.cell(concurrency)["p50_ms"],
+        "backpressure_rejected": backpressure.rejected,
+        "backpressure_attempts": backpressure.attempts,
     }
     return {"payload": payload, "diagnostics": payload_stats}
 
 
 def render(result: dict) -> str:
-    """Human summary: the two cells plus the cache's measured speedup."""
+    """Human summary: the three cells plus the cache's measured speedup."""
     from ..analysis.tables import render_table
 
     payload = result["payload"]
-    headers = ["phase", "requests", "conc", "p50 (ms)", "p99 (ms)", "req/s", "errors"]
+    headers = [
+        "phase",
+        "requests",
+        "conc",
+        "p50 (ms)",
+        "p99 (ms)",
+        "req/s",
+        "errors",
+        "429s",
+    ]
     body = [
         [
             cell["mode"].removeprefix("serve-"),
@@ -243,6 +318,7 @@ def render(result: dict) -> str:
             f"{cell['p99_ms']:.1f}",
             f"{cell['throughput_rps']:.1f}",
             cell["errors"],
+            cell.get("rejected", 0),
         ]
         for cell in payload["cells"]
     ]
@@ -256,4 +332,11 @@ def render(result: dict) -> str:
         f"cache: {cache['memory_hits']} memory + {cache['disk_hits']} disk hits, "
         f"{cache['misses']} misses, {cache['coalesced']} coalesced"
     )
+    rejected = result["diagnostics"].get("backpressure_rejected")
+    if rejected is not None:
+        lines.append(
+            f"backpressure: {rejected} of "
+            f"{result['diagnostics']['backpressure_attempts']} requests "
+            "rejected with 429 (max-inflight-per-client=1)"
+        )
     return "\n".join(lines)

@@ -1,0 +1,401 @@
+"""Metrics registry + Prometheus text exposition for ``repro serve``.
+
+A deliberately small, stdlib-only metrics layer: three instrument kinds
+(:class:`Counter`, :class:`Gauge`, :class:`Histogram` with fixed
+buckets) collected by a :class:`MetricsRegistry` that renders the
+Prometheus *text exposition format* (version 0.0.4) served at
+``GET /metrics``::
+
+    # HELP repro_serve_requests_total Requests by endpoint and status.
+    # TYPE repro_serve_requests_total counter
+    repro_serve_requests_total{endpoint="/compile",status="200"} 12
+    # TYPE repro_serve_request_seconds histogram
+    repro_serve_request_seconds_bucket{endpoint="/compile",le="0.05"} 9
+    ...
+
+Counters and gauges may be *callback-backed* (``fn=...``): the value is
+read at render time from live service state (cache counters, connection
+gauges, queue depth), so ``/metrics`` can never drift from ``/stats``.
+
+:func:`validate_exposition` is the schema check of this format — it
+parses a rendered page back into metric families and raises
+:class:`ValueError` on any malformed line, missing ``# TYPE``,
+non-monotonic histogram buckets, or a histogram without ``+Inf`` — and
+is what the tests and the CI serve-smoke job run against a live scrape.
+
+The service is single-threaded (asyncio) at every instrumentation
+point, so the instruments are deliberately lock-free.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+#: Fixed latency buckets in seconds (Prometheus convention), spanning
+#: sub-ms cache hits to multi-second cold compiles; ``+Inf`` implied.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def format_labels(labels: dict) -> str:
+    """``{a="x",b="y"}`` (keys sorted), or ``""`` when empty."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared name/label bookkeeping of the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, *, labels: tuple = ()) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_NAME_RE.match(label) or label == "le":
+                raise ValueError(f"invalid label name {label!r} on {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labels = tuple(labels)
+
+    def _key(self, label_values: dict) -> tuple:
+        if set(label_values) != set(self.labels):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labels}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        return tuple(str(label_values[name]) for name in self.labels)
+
+    def _labels_dict(self, key: tuple) -> dict:
+        return dict(zip(self.labels, key))
+
+
+class Counter(_Metric):
+    """Monotonically increasing count; optionally callback-backed."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text, *, labels=(), fn=None) -> None:
+        super().__init__(name, help_text, labels=labels)
+        if fn is not None and labels:
+            raise ValueError(f"callback-backed counter {name!r} cannot take labels")
+        self._fn = fn
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if self._fn is not None:
+            raise ValueError(f"counter {self.name!r} is callback-backed")
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> list[tuple[dict, float]]:
+        if self._fn is not None:
+            return [({}, float(self._fn()))]
+        return [(self._labels_dict(key), value) for key, value in self._values.items()]
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{format_labels(labels)} {_format_value(value)}"
+            for labels, value in self.samples()
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down; optionally callback-backed."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text, *, labels=(), fn=None) -> None:
+        super().__init__(name, help_text, labels=labels)
+        if fn is not None and labels:
+            raise ValueError(f"callback-backed gauge {name!r} cannot take labels")
+        self._fn = fn
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._values[self._key(labels)] = float(value)
+
+    def value(self, **labels) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> list[tuple[dict, float]]:
+        if self._fn is not None:
+            return [({}, float(self._fn()))]
+        return [(self._labels_dict(key), value) for key, value in self._values.items()]
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{format_labels(labels)} {_format_value(value)}"
+            for labels, value in self.samples()
+        ]
+
+
+@dataclass
+class _HistogramState:
+    counts: list[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative ``le`` buckets + sum/count)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        help_text,
+        *,
+        labels=(),
+        buckets: tuple = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> None:
+        super().__init__(name, help_text, labels=labels)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r} buckets must be strictly increasing, got {buckets}"
+            )
+        self.buckets = bounds
+        self._states: dict[tuple, _HistogramState] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState([0] * (len(self.buckets) + 1))
+        # Cumulative buckets: an observation lands in every bucket whose
+        # upper bound admits it (the exposition-format contract).
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                state.counts[index] += 1
+        state.counts[-1] += 1  # +Inf
+        state.total += value
+        state.count += 1
+
+    def state(self, **labels) -> _HistogramState | None:
+        return self._states.get(self._key(labels))
+
+    def render(self) -> list[str]:
+        lines = []
+        for key, state in self._states.items():
+            labels = self._labels_dict(key)
+            for bound, count in zip(self.buckets, state.counts):
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{format_labels({**labels, 'le': _format_value(bound)})} {count}"
+                )
+            lines.append(
+                f"{self.name}_bucket{format_labels({**labels, 'le': '+Inf'})} "
+                f"{state.counts[-1]}"
+            )
+            lines.append(
+                f"{self.name}_sum{format_labels(labels)} {_format_value(state.total)}"
+            )
+            lines.append(f"{self.name}_count{format_labels(labels)} {state.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Ordered collection of instruments rendering one exposition page."""
+
+    #: The Content-Type of the rendered page.
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name, help_text, *, labels=(), fn=None) -> Counter:
+        return self._register(Counter(name, help_text, labels=labels, fn=fn))
+
+    def gauge(self, name, help_text, *, labels=(), fn=None) -> Gauge:
+        return self._register(Gauge(name, help_text, labels=labels, fn=fn))
+
+    def histogram(
+        self, name, help_text, *, labels=(), buckets=DEFAULT_LATENCY_BUCKETS_S
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, labels=labels, buckets=buckets))
+
+    def get(self, name: str) -> _Metric:
+        return self._metrics[name]
+
+    def render(self) -> str:
+        """The full Prometheus text exposition page."""
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            lines.append(f"# HELP {metric.name} {metric.help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+# -- exposition-format validation (the /metrics "schema test") ----------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
+
+def _parse_sample_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"bad sample value {text!r}") from None
+
+
+def _parse_labels(text: str) -> dict:
+    labels: dict = {}
+    if not text:
+        return labels
+    for pair in re.split(r",(?=[a-zA-Z_])", text):
+        match = _LABEL_PAIR_RE.match(pair)
+        if not match:
+            raise ValueError(f"malformed label pair {pair!r}")
+        labels[match.group("name")] = match.group("value")
+    return labels
+
+
+def validate_exposition(text: str) -> dict:
+    """Parse + validate a Prometheus text exposition page.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(labels, value), ...]}}``.  Raises :class:`ValueError` on any
+    malformed line, a sample without a preceding ``# TYPE``, a sample
+    name that does not belong to its family (histograms own their
+    ``_bucket``/``_sum``/``_count`` suffixes), a histogram label set
+    missing the ``+Inf`` bucket, or non-monotonic cumulative buckets.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                raise ValueError(f"line {number}: malformed HELP line {line!r}")
+            families.setdefault(
+                parts[2], {"type": None, "help": None, "samples": []}
+            )["help"] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {number}: malformed TYPE line {line!r}")
+            family = families.setdefault(
+                parts[2], {"type": None, "help": None, "samples": []}
+            )
+            family["type"] = parts[3]
+            current = parts[2]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {number}: malformed sample line {line!r}")
+        name = match.group("name")
+        family_name = current
+        if family_name is None or not name.startswith(family_name):
+            # A sample must belong to the family announced by # TYPE.
+            raise ValueError(
+                f"line {number}: sample {name!r} outside a # TYPE family"
+            )
+        suffix = name[len(family_name):]
+        family = families[family_name]
+        if family["type"] == "histogram":
+            if suffix not in ("_bucket", "_sum", "_count"):
+                raise ValueError(
+                    f"line {number}: bad histogram sample suffix {suffix!r}"
+                )
+        elif suffix:
+            raise ValueError(
+                f"line {number}: unexpected sample suffix {suffix!r} on "
+                f"{family['type']} family {family_name!r}"
+            )
+        labels = _parse_labels(match.group("labels") or "")
+        value = _parse_sample_value(match.group("value"))
+        family["samples"].append((name, labels, value))
+    for family_name, family in families.items():
+        if family["type"] is None:
+            raise ValueError(f"family {family_name!r} has samples but no # TYPE")
+        if family["type"] == "histogram":
+            _validate_histogram_family(family_name, family["samples"])
+    return families
+
+
+def _validate_histogram_family(name: str, samples: list) -> None:
+    by_series: dict[tuple, list[tuple[float, float]]] = {}
+    for sample_name, labels, value in samples:
+        if not sample_name.endswith("_bucket"):
+            continue
+        if "le" not in labels:
+            raise ValueError(f"histogram {name!r} bucket sample without 'le'")
+        series = tuple(sorted(
+            (key, val) for key, val in labels.items() if key != "le"
+        ))
+        by_series.setdefault(series, []).append(
+            (_parse_sample_value(labels["le"]), value)
+        )
+    for series, buckets in by_series.items():
+        buckets.sort(key=lambda pair: pair[0])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(
+                f"histogram {name!r} series {dict(series)} lacks an +Inf bucket"
+            )
+        counts = [count for _, count in buckets]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            raise ValueError(
+                f"histogram {name!r} series {dict(series)} has "
+                "non-monotonic cumulative buckets"
+            )

@@ -81,18 +81,40 @@ JOB_SCHEMA = {
 
 _CACHE = {"enum": list(CACHE_STATES)}
 
+#: A request's trace id: honored from an inbound ``X-Request-Id`` (after
+#: sanitisation) or generated, and echoed in every success response.
+_TRACE_ID = {"type": "string", "minLength": 1, "maxLength": 128}
+
+#: Per-request span timings returned in response metadata and kept in
+#: the ``/trace/recent`` ring (parse, cache_lookup, coalesced_wait,
+#: queue_wait, execute, encode — the subset that actually happened).
+SPANS_SCHEMA = {
+    "type": "array",
+    "items": {
+        "type": "object",
+        "required": ["name", "ms"],
+        "additionalProperties": False,
+        "properties": {
+            "name": _SPEC,
+            "ms": {"type": "number", "minimum": 0},
+        },
+    },
+}
+
 #: ``POST /compile`` 200 body: the schema-validated execution report
-#: plus the canonical job and cache disposition.
+#: plus the canonical job, cache disposition, and trace metadata.
 COMPILE_RESPONSE_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "title": "repro serve compile response",
     "type": "object",
-    "required": ["job", "cache", "elapsed_ms", "report"],
+    "required": ["job", "cache", "elapsed_ms", "trace_id", "spans", "report"],
     "additionalProperties": False,
     "properties": {
         "job": JOB_SCHEMA,
         "cache": _CACHE,
         "elapsed_ms": {"type": "number", "minimum": 0},
+        "trace_id": _TRACE_ID,
+        "spans": SPANS_SCHEMA,
         "report": REPORT_SCHEMA,
     },
 }
@@ -102,12 +124,14 @@ TRACE_RESPONSE_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "title": "repro serve trace response",
     "type": "object",
-    "required": ["job", "cache", "elapsed_ms", "trace"],
+    "required": ["job", "cache", "elapsed_ms", "trace_id", "spans", "trace"],
     "additionalProperties": False,
     "properties": {
         "job": JOB_SCHEMA,
         "cache": _CACHE,
         "elapsed_ms": {"type": "number", "minimum": 0},
+        "trace_id": _TRACE_ID,
+        "spans": SPANS_SCHEMA,
         "trace": {
             "type": "object",
             "required": ["circuit", "compiler", "num_qubits", "shuttle_count", "operations"],
@@ -126,37 +150,65 @@ TRACE_RESPONSE_SCHEMA = {
     },
 }
 
-#: ``POST /compare`` 200 body: one report row per paper-suite compiler,
-#: each row individually cached/coalesced like a ``/compile`` job.
-COMPARE_RESPONSE_SCHEMA = {
-    "$schema": "https://json-schema.org/draft/2020-12/schema",
-    "title": "repro serve compare response",
+#: One successful ``/compare`` row: a cached/coalesced compile report.
+_COMPARE_ROW_REPORT = {
     "type": "object",
-    "required": ["job", "elapsed_ms", "rows"],
+    "required": ["compiler", "machine", "cache", "report"],
     "additionalProperties": False,
     "properties": {
-        "job": JOB_SCHEMA,
-        "elapsed_ms": {"type": "number", "minimum": 0},
-        "rows": {
-            "type": "array",
-            "minItems": 1,
-            "items": {
-                "type": "object",
-                "required": ["compiler", "machine", "cache", "report"],
-                "additionalProperties": False,
-                "properties": {
-                    "compiler": _SPEC,
-                    "machine": _SPEC,
-                    "cache": _CACHE,
-                    "report": REPORT_SCHEMA,
-                },
+        "compiler": _SPEC,
+        "machine": _SPEC,
+        "cache": _CACHE,
+        "report": REPORT_SCHEMA,
+    },
+}
+
+#: One failed ``/compare`` row: the sub-job's error, without abandoning
+#: its sibling rows mid-flight.
+_COMPARE_ROW_ERROR = {
+    "type": "object",
+    "required": ["compiler", "machine", "error"],
+    "additionalProperties": False,
+    "properties": {
+        "compiler": _SPEC,
+        "machine": _SPEC,
+        "error": {
+            "type": "object",
+            "required": ["status", "message"],
+            "additionalProperties": False,
+            "properties": {
+                "status": {"type": "integer", "minimum": 400, "maximum": 599},
+                "message": _SPEC,
             },
         },
     },
 }
 
+#: ``POST /compare`` 200 body: one row per paper-suite compiler — a
+#: report row (individually cached/coalesced like a ``/compile`` job)
+#: or an error row when that sub-job failed.
+COMPARE_RESPONSE_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve compare response",
+    "type": "object",
+    "required": ["job", "elapsed_ms", "trace_id", "spans", "rows"],
+    "additionalProperties": False,
+    "properties": {
+        "job": JOB_SCHEMA,
+        "elapsed_ms": {"type": "number", "minimum": 0},
+        "trace_id": _TRACE_ID,
+        "spans": SPANS_SCHEMA,
+        "rows": {
+            "type": "array",
+            "minItems": 1,
+            "items": {"anyOf": [_COMPARE_ROW_REPORT, _COMPARE_ROW_ERROR]},
+        },
+    },
+}
+
 #: Every non-2xx body: status mirrors the HTTP code, ``field`` names the
-#: offending request field when one is known.
+#: offending request field when one is known, and a 429 carries
+#: ``retry_after_s`` (mirroring its ``Retry-After`` header).
 ERROR_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "title": "repro serve error",
@@ -172,6 +224,7 @@ ERROR_SCHEMA = {
                 "status": {"type": "integer", "minimum": 400, "maximum": 599},
                 "message": _SPEC,
                 "field": {"type": "string", "minLength": 1},
+                "retry_after_s": {"type": "number", "minimum": 0},
             },
         },
     },
@@ -196,7 +249,14 @@ STATS_SCHEMA = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "title": "repro serve stats",
     "type": "object",
-    "required": ["uptime_s", "requests", "cache", "connections", "workers"],
+    "required": [
+        "uptime_s",
+        "requests",
+        "cache",
+        "connections",
+        "backpressure",
+        "workers",
+    ],
     "additionalProperties": False,
     "properties": {
         "uptime_s": {"type": "number", "minimum": 0},
@@ -238,6 +298,55 @@ STATS_SCHEMA = {
                 "shed": {"type": "integer", "minimum": 0},
             },
         },
+        "backpressure": {
+            "type": "object",
+            "required": [
+                "max_inflight_per_client",
+                "rate_per_client",
+                "rejected",
+                "clients",
+            ],
+            "additionalProperties": False,
+            "properties": {
+                "max_inflight_per_client": {"type": "integer", "minimum": 0},
+                "rate_per_client": {"type": "number", "minimum": 0},
+                "rejected": {"type": "integer", "minimum": 0},
+                "clients": {"type": "integer", "minimum": 0},
+            },
+        },
         "workers": {"type": "integer", "minimum": 0},
+    },
+}
+
+#: One entry of the ``GET /trace/recent`` ring: a finished request with
+#: its trace id, outcome, and span timings.
+TRACE_ENTRY_SCHEMA = {
+    "type": "object",
+    "required": ["trace_id", "endpoint", "status", "total_ms", "spans"],
+    "additionalProperties": False,
+    "properties": {
+        "trace_id": _TRACE_ID,
+        "endpoint": _SPEC,
+        "method": {"type": "string"},
+        "client": {"type": "string"},
+        "started_utc": {"type": "string"},
+        "status": {"type": "integer", "minimum": 0, "maximum": 599},
+        "total_ms": {"type": "number", "minimum": 0},
+        "spans": SPANS_SCHEMA,
+        "annotations": {"type": "object"},
+    },
+}
+
+#: ``GET /trace/recent`` body: the bounded in-memory trace ring, newest
+#: first.
+TRACE_RECENT_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro serve recent traces",
+    "type": "object",
+    "required": ["capacity", "traces"],
+    "additionalProperties": False,
+    "properties": {
+        "capacity": {"type": "integer", "minimum": 1},
+        "traces": {"type": "array", "items": TRACE_ENTRY_SCHEMA},
     },
 }

@@ -1,4 +1,4 @@
-"""The compilation service: worker pool, coalescing, cache, stats.
+"""The compilation service: worker pool, coalescing, cache, observability.
 
 :class:`CompileService` is the transport-free core behind ``repro
 serve`` — the HTTP layer (:mod:`repro.serve.http`) only parses requests
@@ -22,6 +22,21 @@ Workers: a :class:`~concurrent.futures.ProcessPoolExecutor` (the same
 engine the sweep subsystem uses) created lazily on first miss; ``jobs=0``
 selects a thread pool instead — handy for tests and tiny deployments
 where process spin-up dominates.
+
+Observability (all stdlib, all in-process):
+
+* every request carries a :class:`~repro.serve.tracing.RequestTrace`
+  whose spans (parse, cache lookup, queue wait, execute, encode) are
+  returned in the response metadata and kept in the bounded
+  :class:`~repro.serve.tracing.TraceRing` behind ``GET /trace/recent``,
+* a :class:`~repro.serve.metrics.MetricsRegistry` instruments request
+  latency per endpoint, span timings, both cache tiers, the coalescer,
+  worker-pool queue depth, connection shedding and per-client 429s —
+  exported as Prometheus text at ``GET /metrics``,
+* :class:`ClientLimiter` applies per-client backpressure: an in-flight
+  cap plus a token-bucket rate, answered with a structured 429 +
+  ``Retry-After`` by the HTTP layer so one greedy client cannot starve
+  the pool.
 """
 
 from __future__ import annotations
@@ -29,7 +44,9 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..hardware import canonical_machine_spec, resolve_machine
@@ -39,10 +56,24 @@ from ..sim import replay
 from ..workloads import get_benchmark
 from .cache import DEFAULT_MAX_MEMORY_MB, TwoTierCache
 from .jobs import DEFAULTS, Job, JobError, canonical_bytes, parse_job
+from .metrics import MetricsRegistry
+from .tracing import DEFAULT_RING_CAPACITY, RequestTrace, TraceRing
 
 #: Default machine offered to grid-family baselines by ``/compare``
 #: (mirrors ``repro compare --grid``).
 DEFAULT_GRID = "grid:3x4:16"
+
+#: Endpoint label values of the request metrics; anything else (404
+#: spam) collapses into ``other`` so label cardinality stays bounded.
+KNOWN_ENDPOINTS = (
+    "/compile",
+    "/trace",
+    "/compare",
+    "/healthz",
+    "/stats",
+    "/metrics",
+    "/trace/recent",
+)
 
 
 class ServeExecutionError(RuntimeError):
@@ -73,6 +104,131 @@ def _execute_job(kind: str, workload: str, machine: str, compiler: str, physics:
     return ledger.reprice(params).to_dict()
 
 
+def _execute_job_timed(
+    kind: str, workload: str, machine: str, compiler: str, physics: str
+) -> tuple[float, dict]:
+    """:func:`_execute_job` plus the wall-clock instant the worker
+    actually started — the service subtracts its submit instant to split
+    pool ``queue_wait`` from ``execute`` in the request trace.  (Late
+    module-global lookup so tests monkeypatching ``_execute_job`` keep
+    working.)"""
+    started = time.time()
+    return started, _execute_job(kind, workload, machine, compiler, physics)
+
+
+@dataclass
+class _ClientState:
+    """Token bucket + in-flight count of one client address."""
+
+    tokens: float
+    updated: float
+    inflight: int = 0
+
+
+@dataclass
+class ClientLimiter:
+    """Per-client backpressure: in-flight cap + token-bucket rate.
+
+    ``max_inflight`` bounds how many requests one client address may
+    have executing at once; ``rate_per_s`` bounds its sustained request
+    rate (token bucket, burst capacity = one second of tokens, floor 1).
+    Either knob at 0 disables that check; both at 0 disable the limiter
+    entirely (``admit`` is then a no-op returning ``None``).
+
+    :meth:`admit` returns ``None`` on admission (the caller must balance
+    it with :meth:`release`) or ``(retry_after_s, reason)`` when the
+    request must be answered with a 429.  Client state lives in a
+    bounded LRU so a scan of short-lived source addresses cannot grow
+    memory without bound — only idle clients (``inflight == 0``) are
+    evicted.
+    """
+
+    max_inflight: int = 0
+    rate_per_s: float = 0.0
+    max_clients: int = 1024
+    clock: object = time.monotonic
+    rejected_inflight: int = 0
+    rejected_rate: int = 0
+    _clients: OrderedDict = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 0:
+            raise ValueError(
+                f"max_inflight must be >= 0 (0 = unlimited), got {self.max_inflight}"
+            )
+        if self.rate_per_s < 0:
+            raise ValueError(
+                f"rate_per_s must be >= 0 (0 = unlimited), got {self.rate_per_s}"
+            )
+        if self.max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {self.max_clients}")
+        self.burst = max(1.0, self.rate_per_s)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.max_inflight or self.rate_per_s)
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_inflight + self.rejected_rate
+
+    def _state(self, client: str) -> _ClientState:
+        state = self._clients.get(client)
+        if state is None:
+            state = self._clients[client] = _ClientState(
+                tokens=self.burst, updated=self.clock()
+            )
+        self._clients.move_to_end(client)
+        while len(self._clients) > self.max_clients:
+            # Evict the least-recently-seen *idle* client; an in-flight
+            # one must keep its state so release() stays balanced.
+            for key in self._clients:
+                if self._clients[key].inflight == 0:
+                    del self._clients[key]
+                    break
+            else:
+                break
+        return state
+
+    def admit(self, client: str) -> tuple[float, str] | None:
+        """``None`` = admitted (balance with :meth:`release`); otherwise
+        ``(retry_after_s, reason)`` with reason ``inflight`` or ``rate``."""
+        if not self.enabled:
+            return None
+        state = self._state(client)
+        if self.max_inflight and state.inflight >= self.max_inflight:
+            self.rejected_inflight += 1
+            return 1.0, "inflight"
+        if self.rate_per_s:
+            now = self.clock()
+            state.tokens = min(
+                self.burst, state.tokens + (now - state.updated) * self.rate_per_s
+            )
+            state.updated = now
+            if state.tokens < 1.0:
+                self.rejected_rate += 1
+                return (1.0 - state.tokens) / self.rate_per_s, "rate"
+            state.tokens -= 1.0
+        state.inflight += 1
+        return None
+
+    def release(self, client: str) -> None:
+        """Balance one successful :meth:`admit`."""
+        if not self.enabled:
+            return
+        state = self._clients.get(client)
+        if state is not None and state.inflight > 0:
+            state.inflight -= 1
+
+    def to_dict(self) -> dict:
+        return {
+            "max_inflight_per_client": self.max_inflight,
+            "rate_per_client": self.rate_per_s,
+            "rejected": self.rejected,
+            "clients": len(self._clients),
+        }
+
+
 class CompileService:
     """Async compile/trace/compare service over a worker pool."""
 
@@ -85,6 +241,9 @@ class CompileService:
         use_disk_cache: bool = True,
         disk_ttl_days: float | None = None,
         max_connections: int = 0,
+        max_inflight_per_client: int = 0,
+        rate_per_client: float = 0.0,
+        trace_ring: int = DEFAULT_RING_CAPACITY,
     ) -> None:
         import os
 
@@ -102,10 +261,112 @@ class CompileService:
         self.max_connections = max_connections
         self.active_connections = 0
         self.shed_connections = 0
+        self.limiter = ClientLimiter(
+            max_inflight=max_inflight_per_client, rate_per_s=rate_per_client
+        )
+        self.trace_ring = TraceRing(trace_ring)
         self.started = time.monotonic()
         self.requests: dict[str, int] = {}
         self._inflight: dict[str, asyncio.Future] = {}
+        self._executing = 0
         self._pool: Executor | None = None
+        self.metrics = MetricsRegistry()
+        self._build_metrics()
+
+    def _build_metrics(self) -> None:
+        metrics = self.metrics
+        self._metric_requests = metrics.counter(
+            "repro_serve_requests_total",
+            "Requests by endpoint and HTTP status.",
+            labels=("endpoint", "status"),
+        )
+        self._metric_request_seconds = metrics.histogram(
+            "repro_serve_request_seconds",
+            "Request latency by endpoint, in seconds.",
+            labels=("endpoint",),
+        )
+        self._metric_span_seconds = metrics.histogram(
+            "repro_serve_span_seconds",
+            "Per-request span timings (parse, cache_lookup, queue_wait, "
+            "execute, encode, coalesced_wait), in seconds.",
+            labels=("span",),
+        )
+        self._metric_rate_limited = metrics.counter(
+            "repro_serve_rate_limited_total",
+            "Requests answered 429 by the per-client limiter, by reason.",
+            labels=("reason",),
+        )
+        stats = self.cache.stats
+        metrics.counter(
+            "repro_serve_cache_memory_hits_total",
+            "Requests served from the in-memory cache tier.",
+            fn=lambda: stats.memory_hits,
+        )
+        metrics.counter(
+            "repro_serve_cache_disk_hits_total",
+            "Requests served from the on-disk cache tier.",
+            fn=lambda: stats.disk_hits,
+        )
+        metrics.counter(
+            "repro_serve_cache_misses_total",
+            "Requests that executed fresh (both cache tiers missed).",
+            fn=lambda: stats.misses,
+        )
+        metrics.counter(
+            "repro_serve_coalesced_total",
+            "Requests that awaited an identical in-flight execution.",
+            fn=lambda: stats.coalesced,
+        )
+        metrics.counter(
+            "repro_serve_cache_memory_evictions_total",
+            "Entries evicted from the in-memory LRU tier.",
+            fn=lambda: stats.memory_evictions,
+        )
+        metrics.counter(
+            "repro_serve_cache_disk_ttl_evictions_total",
+            "Disk-tier entries deleted by the TTL skip-and-delete rule.",
+            fn=lambda: stats.disk_ttl_evictions,
+        )
+        metrics.gauge(
+            "repro_serve_cache_memory_bytes",
+            "Canonical result bytes held by the in-memory tier.",
+            fn=lambda: self.cache.memory.total_bytes,
+        )
+        metrics.gauge(
+            "repro_serve_cache_memory_entries",
+            "Entries held by the in-memory tier.",
+            fn=lambda: len(self.cache.memory),
+        )
+        metrics.gauge(
+            "repro_serve_queue_depth",
+            "Jobs submitted to the worker pool and not yet finished.",
+            fn=lambda: self._executing,
+        )
+        metrics.gauge(
+            "repro_serve_inflight_jobs",
+            "Distinct job keys currently executing or coalescing.",
+            fn=lambda: len(self._inflight),
+        )
+        metrics.gauge(
+            "repro_serve_connections_active",
+            "Open client connections.",
+            fn=lambda: self.active_connections,
+        )
+        metrics.counter(
+            "repro_serve_connections_shed_total",
+            "Connections answered 503 over the --max-connections limit.",
+            fn=lambda: self.shed_connections,
+        )
+        metrics.counter(
+            "repro_serve_clients_rejected_total",
+            "Requests rejected by the per-client limiter (all reasons).",
+            fn=lambda: self.limiter.rejected,
+        )
+        metrics.gauge(
+            "repro_serve_uptime_seconds",
+            "Seconds since the service started.",
+            fn=lambda: self.uptime_s,
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -154,6 +415,34 @@ class CompileService:
     def connection_closed(self) -> None:
         self.active_connections -= 1
 
+    def admit_request(self, client: str) -> float | None:
+        """Per-client backpressure gate of one compute request.
+
+        ``None`` = admitted (balance with :meth:`release_request`);
+        otherwise the seconds the client should wait before retrying —
+        the HTTP layer turns that into a 429 + ``Retry-After``.
+        """
+        verdict = self.limiter.admit(client)
+        if verdict is None:
+            return None
+        retry_after, reason = verdict
+        self._metric_rate_limited.inc(reason=reason)
+        return retry_after
+
+    def release_request(self, client: str) -> None:
+        self.limiter.release(client)
+
+    def finish_request(
+        self, trace: RequestTrace, status: int, elapsed_s: float
+    ) -> None:
+        """Record one finished request: metrics + the trace ring."""
+        endpoint = trace.endpoint if trace.endpoint in KNOWN_ENDPOINTS else "other"
+        self._metric_requests.inc(endpoint=endpoint, status=str(status))
+        self._metric_request_seconds.observe(elapsed_s, endpoint=endpoint)
+        for span in trace.spans:
+            self._metric_span_seconds.observe(span.ms / 1000.0, span=span.name)
+        self.trace_ring.record(trace, status=status, total_ms=elapsed_s * 1000.0)
+
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self.started
@@ -179,34 +468,58 @@ class CompileService:
                 "limit": self.max_connections,
                 "shed": self.shed_connections,
             },
+            "backpressure": self.limiter.to_dict(),
             "workers": self.jobs,
+        }
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition page."""
+        self._count("metrics")
+        return self.metrics.render()
+
+    def trace_recent(self) -> dict:
+        """``GET /trace/recent``: the bounded ring of finished traces."""
+        self._count("trace_recent")
+        return {
+            "capacity": self.trace_ring.capacity,
+            "traces": self.trace_ring.recent(),
         }
 
     # -- the core: cached, coalesced execution ---------------------------
 
-    async def result_bytes(self, job: Job) -> tuple[bytes, str]:
+    async def result_bytes(
+        self, job: Job, trace: RequestTrace | None = None
+    ) -> tuple[bytes, str]:
         """Canonical result bytes for *job* plus how they were obtained
         (``memory`` / ``disk`` / ``coalesced`` / ``miss``).
 
         This is the coalescing point: concurrent calls with the same
         ``job.key`` share one execution and receive identical bytes.
+        Span timings (cache lookup, coalesced wait, queue wait, execute)
+        are recorded on *trace* when one is supplied.
         """
-        cached = await self.cache.get_async(job.key)
+        if trace is None:
+            trace = RequestTrace.begin(endpoint="internal")
+        cached = await self.cache.get_async(job.key, trace=trace)
         if cached is not None:
             return cached
         inflight = self._inflight.get(job.key)
         if inflight is not None:
-            payload = await asyncio.shield(inflight)
+            with trace.span("coalesced_wait"):
+                payload = await asyncio.shield(inflight)
             self.cache.stats.coalesced += 1
+            trace.annotate(cache="coalesced")
             return payload, "coalesced"
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[job.key] = future
         started = time.perf_counter()
+        submitted_wall = time.time()
+        self._executing += 1
         try:
-            result = await loop.run_in_executor(
+            worker_started, result = await loop.run_in_executor(
                 self._executor(),
-                _execute_job,
+                _execute_job_timed,
                 job.kind,
                 job.workload,
                 job.machine,
@@ -226,14 +539,22 @@ class CompileService:
                 f"{job.compiler} failed: {error}"
             ) from error
         else:
+            elapsed_s = time.perf_counter() - started
+            # time.time() is comparable across (spawned) worker processes,
+            # so the worker's start instant splits pool queue wait from
+            # actual execution; clamped into [0, elapsed] against clock skew.
+            queue_wait = min(max(worker_started - submitted_wall, 0.0), elapsed_s)
+            trace.add("queue_wait", queue_wait)
+            trace.add("execute", elapsed_s - queue_wait)
             payload = canonical_bytes(result)
             # Resolve the coalesced waiters before the (off-loop) disk
             # write — they only need the bytes, not the persistence.
             if not future.cancelled():
                 future.set_result(payload)
-            await self.cache.put_async(job.key, payload, time.perf_counter() - started)
+            await self.cache.put_async(job.key, payload, elapsed_s)
             return payload, "miss"
         finally:
+            self._executing -= 1
             self._inflight.pop(job.key, None)
             if not future.done():
                 # Only reachable when the leading call was torn down by
@@ -245,40 +566,56 @@ class CompileService:
 
     # -- endpoint handlers ----------------------------------------------
 
-    async def compile(self, payload) -> dict:
+    def _trace_for(self, endpoint: str, trace: RequestTrace | None) -> RequestTrace:
+        return trace if trace is not None else RequestTrace.begin(endpoint=endpoint)
+
+    async def compile(self, payload, trace: RequestTrace | None = None) -> dict:
         """``POST /compile``: one report, validated against REPORT_SCHEMA."""
         self._count("compile")
-        job = parse_job("compile", payload)
+        trace = self._trace_for("/compile", trace)
+        job = parse_job("compile", payload, trace=trace)
         started = time.perf_counter()
-        result, state = await self.result_bytes(job)
+        result, state = await self.result_bytes(job, trace=trace)
+        with trace.span("encode"):
+            report = json.loads(result)
         return {
             "job": job.to_dict(),
             "cache": state,
             "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
-            "report": json.loads(result),
+            "trace_id": trace.trace_id,
+            "spans": trace.spans_summary(),
+            "report": report,
         }
 
-    async def trace(self, payload) -> dict:
+    async def trace(self, payload, trace: RequestTrace | None = None) -> dict:
         """``POST /trace``: the schedule's timed op records."""
         self._count("trace")
-        job = parse_job("trace", payload)
+        trace = self._trace_for("/trace", trace)
+        job = parse_job("trace", payload, trace=trace)
         started = time.perf_counter()
-        result, state = await self.result_bytes(job)
+        result, state = await self.result_bytes(job, trace=trace)
+        with trace.span("encode"):
+            records = json.loads(result)
         return {
             "job": job.to_dict(),
             "cache": state,
             "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
-            "trace": json.loads(result),
+            "trace_id": trace.trace_id,
+            "spans": trace.spans_summary(),
+            "trace": records,
         }
 
-    async def compare(self, payload) -> dict:
+    async def compare(self, payload, trace: RequestTrace | None = None) -> dict:
         """``POST /compare``: the paper suite as parallel compile sub-jobs.
 
         Every suite compiler becomes an ordinary ``compile`` job keyed on
         its own (circuit hash, specs) tuple, so comparison rows share the
-        cache — and the coalescer — with plain ``/compile`` traffic.
+        cache — and the coalescer — with plain ``/compile`` traffic.  A
+        failing sub-job becomes a per-row ``error`` entry instead of
+        abandoning its siblings mid-flight.
         """
         self._count("compare")
+        trace = self._trace_for("/compare", trace)
         if isinstance(payload, dict) and "grid" in payload:
             payload = dict(payload)
             grid_spec = payload.pop("grid")
@@ -303,6 +640,7 @@ class CompileService:
             "compare",
             payload,
             allowed_fields=("workload", "machine", "physics"),
+            trace=trace,
         )
         registry = default_registry()
         started = time.perf_counter()
@@ -320,28 +658,53 @@ class CompileService:
                     circuit_hash=base.circuit_hash,
                 )
             )
-        results = await asyncio.gather(*(self.result_bytes(job) for job in sub_jobs))
-        rows = [
-            {
-                "compiler": job.compiler,
-                "machine": job.machine,
-                "cache": state,
-                "report": json.loads(result),
-            }
-            for job, (result, state) in zip(sub_jobs, results)
-        ]
+        # return_exceptions=True: a failing sub-job must not abandon its
+        # sibling result_bytes tasks mid-flight (they would finish as
+        # never-retrieved exceptions); failures become per-row errors.
+        outcomes = await asyncio.gather(
+            *(self.result_bytes(job, trace=trace) for job in sub_jobs),
+            return_exceptions=True,
+        )
+        rows = []
+        with trace.span("encode"):
+            for job, outcome in zip(sub_jobs, outcomes):
+                if isinstance(outcome, asyncio.CancelledError):
+                    raise outcome  # cancellation is not a row error
+                if isinstance(outcome, BaseException):
+                    rows.append(
+                        {
+                            "compiler": job.compiler,
+                            "machine": job.machine,
+                            "error": {"status": 500, "message": str(outcome)},
+                        }
+                    )
+                    continue
+                result, state = outcome
+                rows.append(
+                    {
+                        "compiler": job.compiler,
+                        "machine": job.machine,
+                        "cache": state,
+                        "report": json.loads(result),
+                    }
+                )
         return {
             "job": base.to_dict(),
             "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            "trace_id": trace.trace_id,
+            "spans": trace.spans_summary(),
             "rows": rows,
         }
 
 
 #: Re-exported defaults the CLI surfaces in ``--help``.
 __all__ = [
+    "ClientLimiter",
     "CompileService",
     "DEFAULT_GRID",
     "DEFAULTS",
+    "KNOWN_ENDPOINTS",
     "ServeExecutionError",
     "_execute_job",
+    "_execute_job_timed",
 ]

@@ -1,0 +1,169 @@
+"""Per-request tracing of the compilation service.
+
+Every request the HTTP front-end accepts gets a *trace id* — either the
+value of an inbound ``X-Request-Id`` header (so a caller can correlate
+its own logs with the service's) or a freshly generated one — and a
+:class:`RequestTrace` that rides through the whole request path:
+``parse_job`` records the validation span, :class:`TwoTierCache` the
+cache-lookup span, the coalescer its wait, and the worker pool the
+queue-wait/execute split.  The finished trace is
+
+* echoed in the response metadata (``trace_id`` + ``spans``) and in an
+  ``X-Request-Id`` response header, and
+* kept in a bounded in-memory :class:`TraceRing` readable at
+  ``GET /trace/recent`` — the last N requests with their span timings,
+  newest first, for "what just happened" debugging without log files.
+
+Span names the service records (a request carries the subset that
+actually happened)::
+
+    parse           request payload validation + canonicalisation
+    cache_lookup    two-tier cache probe (memory, then disk off-loop)
+    coalesced_wait  waiting on an identical in-flight request
+    queue_wait      submitted to the worker pool, not yet picked up
+    execute         compile + replay + price inside the worker
+    encode          decoding canonical result bytes into the response
+
+Stdlib-only, like the rest of the package.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+#: Bound on the trace ring (``GET /trace/recent`` serves at most this
+#: many entries; older traces fall off the end).
+DEFAULT_RING_CAPACITY = 256
+
+#: Inbound ``X-Request-Id`` values must match this to be honored — a
+#: bounded charset/length so a hostile header can never smuggle bytes
+#: into responses or the ring.  Anything else gets a generated id.
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:/-]{0,127}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def sanitize_trace_id(candidate: object) -> str:
+    """Honor a well-formed inbound request id; replace anything else.
+
+    Well-formed means 1-128 chars of ``[A-Za-z0-9._:/-]`` starting with
+    an alphanumeric — the shapes request-id middlewares actually emit.
+    """
+    if isinstance(candidate, str) and _TRACE_ID_RE.match(candidate):
+        return candidate
+    return new_trace_id()
+
+
+@dataclass
+class Span:
+    """One timed segment of a request, in milliseconds."""
+
+    name: str
+    ms: float
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ms": self.ms}
+
+
+@dataclass
+class RequestTrace:
+    """The spans and annotations of one request, keyed by trace id."""
+
+    trace_id: str
+    endpoint: str
+    method: str = ""
+    client: str = ""
+    started_utc: str = ""
+    spans: list[Span] = field(default_factory=list)
+    annotations: dict = field(default_factory=dict)
+
+    @classmethod
+    def begin(
+        cls,
+        endpoint: str,
+        *,
+        method: str = "",
+        client: str = "",
+        request_id: object = None,
+    ) -> "RequestTrace":
+        """Start a trace, honoring a sane inbound ``X-Request-Id``."""
+        return cls(
+            trace_id=sanitize_trace_id(request_id),
+            endpoint=endpoint,
+            method=method,
+            client=client,
+            started_utc=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one span of *seconds* duration (stored in ms)."""
+        self.spans.append(Span(name, round(max(seconds, 0.0) * 1000.0, 3)))
+
+    @contextmanager
+    def span(self, name: str):
+        """Context manager timing its body into one span."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def annotate(self, **values) -> None:
+        """Attach JSON-safe key/value context (cache tier, job key, ...)."""
+        self.annotations.update(values)
+
+    def spans_summary(self) -> list[dict]:
+        """The spans as JSON-safe dicts, in recording order."""
+        return [span.to_dict() for span in self.spans]
+
+    def to_dict(self, *, status: int | None = None, total_ms: float | None = None) -> dict:
+        """The ring entry: identity, outcome, and every span."""
+        entry = {
+            "trace_id": self.trace_id,
+            "endpoint": self.endpoint,
+            "method": self.method,
+            "client": self.client,
+            "started_utc": self.started_utc,
+            "status": 0 if status is None else status,
+            "total_ms": 0.0 if total_ms is None else round(total_ms, 3),
+            "spans": self.spans_summary(),
+        }
+        if self.annotations:
+            entry["annotations"] = dict(self.annotations)
+        return entry
+
+
+class TraceRing:
+    """Bounded ring of finished request traces (newest first on read)."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: deque = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(
+        self, trace: RequestTrace, *, status: int, total_ms: float
+    ) -> None:
+        """Finalize one trace into the ring."""
+        self._entries.append(trace.to_dict(status=status, total_ms=total_ms))
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """The most recent traces, newest first."""
+        entries = list(self._entries)
+        entries.reverse()
+        if limit is not None:
+            entries = entries[: max(limit, 0)]
+        return entries

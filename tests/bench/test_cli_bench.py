@@ -158,16 +158,18 @@ def test_bench_serve_quick_writes_and_merges(tmp_path, capsys):
     assert {cell["mode"] for cell in payload["cells"]} == {
         "serve-cold",
         "serve-warm",
+        "serve-backpressure",
     }
     stdout = capsys.readouterr().out
     assert "schema-valid" in stdout and "speedup" in stdout
+    assert "429" in stdout
     # A second run merges into (not clobbers) the existing payload.
     code = main(
         ["bench", "serve", "--quick", "--jobs", "0", "--output", str(out)]
     )
     assert code == 0
     merged = json.loads(out.read_text())
-    assert len(merged["cells"]) == 2
+    assert len(merged["cells"]) == 3
 
 
 def test_bench_serve_bad_request_count_fails_cleanly(tmp_path, capsys):

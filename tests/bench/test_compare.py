@@ -231,6 +231,35 @@ class TestServeCells:
         worst, _ = worst_regression(compare_payloads(old, new))
         assert worst == pytest.approx(0.0)
 
+    def test_rejected_metric_missing_from_old_baseline_is_tolerated(self, tmp_path):
+        # Pre-v6 baselines have no ``rejected`` field; comparing against
+        # them must render n/a instead of raising, and the guard must
+        # still judge p99.
+        old = make_payload([make_serve_cell()])  # no "rejected"
+        new = make_payload([make_serve_cell(rejected=3)])
+        new["cells"][0]["p99_ms"] = 200.0  # +100%
+        rows = compare_payloads(old, new)
+        (matched,) = [row for row in rows if row["status"] == "matched"]
+        assert matched["rejected"] == {"old": None, "new": 3, "delta_pct": None}
+        worst, _ = worst_regression(rows)
+        assert worst == pytest.approx(100.0)
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        text, code = run_compare(old_path, new_path)
+        assert code == 0
+        assert "(n/a)" in text
+
+    def test_backpressure_mode_is_a_serve_cell(self):
+        cell = make_serve_cell(mode="serve-backpressure", rejected=12)
+        old = make_payload([cell])
+        new = copy.deepcopy(old)
+        new["cells"][0]["p99_ms"] = 150.0  # +50%
+        worst, key = worst_regression(compare_payloads(old, new))
+        assert worst == pytest.approx(50.0)
+        assert key[3] == "serve-backpressure"
+
 
 class TestDiscoverBaseline:
     def test_picks_newest_by_filename_date(self, tmp_path):

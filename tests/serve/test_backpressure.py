@@ -1,0 +1,237 @@
+"""Per-client backpressure: the limiter and the 429 + Retry-After path."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.schema import validate
+from repro.serve import ClientLimiter, CompileService, start_http_server
+from repro.serve.schemas import ERROR_SCHEMA
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestClientLimiter:
+    def test_disabled_by_default(self):
+        limiter = ClientLimiter()
+        assert not limiter.enabled
+        assert limiter.admit("1.2.3.4") is None
+        limiter.release("1.2.3.4")
+        assert limiter.to_dict()["rejected"] == 0
+
+    def test_inflight_cap(self):
+        limiter = ClientLimiter(max_inflight=2)
+        assert limiter.admit("a") is None
+        assert limiter.admit("a") is None
+        retry_after, reason = limiter.admit("a")
+        assert reason == "inflight"
+        assert retry_after > 0
+        # Another client is unaffected.
+        assert limiter.admit("b") is None
+        # Releasing frees a slot.
+        limiter.release("a")
+        assert limiter.admit("a") is None
+        assert limiter.rejected == 1
+
+    def test_rate_token_bucket_refills_with_time(self):
+        clock = FakeClock()
+        limiter = ClientLimiter(rate_per_s=2.0, clock=clock)
+        # Burst = one second of tokens = 2.
+        assert limiter.admit("a") is None
+        limiter.release("a")
+        assert limiter.admit("a") is None
+        limiter.release("a")
+        retry_after, reason = limiter.admit("a")
+        assert reason == "rate"
+        assert retry_after == pytest.approx(0.5)  # 1 token / 2 rps
+        clock.now += 0.5
+        assert limiter.admit("a") is None
+        limiter.release("a")
+
+    def test_burst_floor_is_one_token(self):
+        clock = FakeClock()
+        limiter = ClientLimiter(rate_per_s=0.5, clock=clock)
+        assert limiter.admit("a") is None
+        limiter.release("a")
+        retry_after, reason = limiter.admit("a")
+        assert reason == "rate"
+        assert retry_after == pytest.approx(2.0)
+
+    def test_client_state_is_lru_bounded_but_inflight_kept(self):
+        limiter = ClientLimiter(max_inflight=1, max_clients=2)
+        assert limiter.admit("busy") is None  # stays in flight
+        assert limiter.admit("a") is None
+        limiter.release("a")
+        assert limiter.admit("b") is None
+        limiter.release("b")
+        assert limiter.admit("c") is None
+        limiter.release("c")
+        assert limiter.to_dict()["clients"] <= 2
+        # The in-flight client survived every eviction round.
+        retry_after, reason = limiter.admit("busy")
+        assert reason == "inflight"
+        limiter.release("busy")
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            ClientLimiter(max_inflight=-1)
+        with pytest.raises(ValueError, match="rate_per_s"):
+            ClientLimiter(rate_per_s=-0.1)
+        with pytest.raises(ValueError, match="max_clients"):
+            ClientLimiter(max_inflight=1, max_clients=0)
+
+
+async def _post(port: int, path: str, payload: dict) -> tuple[int, dict, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = json.dumps(payload).encode()
+        writer.write(
+            (
+                f"POST {path} HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, response_body = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    headers = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return int(head_lines[0].split(" ", 2)[1]), headers, response_body
+
+
+JOB = {"workload": "GHZ_n8", "machine": "grid:4x4:12", "compiler": "muss-ti"}
+
+
+class TestBackpressureOverHttp:
+    def test_second_concurrent_request_gets_structured_429(self, tmp_path, monkeypatch):
+        from repro.serve import service as service_module
+
+        release = threading.Event()
+        original = service_module._execute_job
+
+        def slow(*args):
+            release.wait(10)
+            return original(*args)
+
+        monkeypatch.setattr(service_module, "_execute_job", slow)
+
+        async def flow():
+            service = CompileService(
+                jobs=0, cache_dir=tmp_path, max_inflight_per_client=1
+            )
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                first = asyncio.ensure_future(_post(port, "/compile", JOB))
+                # Wait until the first request holds its in-flight slot.
+                for _ in range(100):
+                    await asyncio.sleep(0.02)
+                    if service.limiter.to_dict()["clients"]:
+                        break
+                second = await _post(port, "/compile", dict(JOB, machine="eml"))
+                release.set()
+                return await first, second, service.stats()
+            finally:
+                release.set()
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        (s1, _, _), (s2, headers, body), stats = asyncio.run(flow())
+        assert s1 == 200
+        assert s2 == 429
+        assert int(headers["retry-after"]) >= 1
+        payload = json.loads(body)
+        validate(payload, ERROR_SCHEMA)
+        assert payload["error"]["status"] == 429
+        assert payload["error"]["retry_after_s"] > 0
+        assert stats["backpressure"]["rejected"] == 1
+        assert stats["backpressure"]["max_inflight_per_client"] == 1
+
+    def test_ops_endpoints_stay_reachable_for_throttled_client(self, tmp_path):
+        async def flow():
+            # rate 1 rps, burst 1: the second POST is throttled, but GET
+            # /healthz, /stats and /metrics never go through the limiter.
+            service = CompileService(jobs=0, cache_dir=tmp_path, rate_per_client=1.0)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                first = await _post(port, "/compile", JOB)
+                second = await _post(port, "/compile", JOB)
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                try:
+                    writer.write(
+                        b"GET /stats HTTP/1.1\r\nHost: x\r\n"
+                        b"Content-Length: 0\r\nConnection: close\r\n\r\n"
+                    )
+                    await writer.drain()
+                    raw = await reader.read()
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                return first, second, raw
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        (s1, _, _), (s2, _, _), raw = asyncio.run(flow())
+        assert s1 == 200
+        assert s2 == 429
+        assert raw.startswith(b"HTTP/1.1 200")
+        stats = json.loads(raw.partition(b"\r\n\r\n")[2])
+        assert stats["backpressure"]["rejected"] == 1
+
+    def test_rejections_show_up_in_metrics(self, tmp_path):
+        from repro.serve.metrics import validate_exposition
+
+        async def flow():
+            service = CompileService(jobs=0, cache_dir=tmp_path, rate_per_client=1.0)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                await _post(port, "/compile", JOB)
+                await _post(port, "/compile", JOB)
+                return service.metrics_text()
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        families = validate_exposition(asyncio.run(flow()))
+        rate_limited = {
+            labels["reason"]: value
+            for _, labels, value in families["repro_serve_rate_limited_total"]["samples"]
+        }
+        assert rate_limited == {"rate": 1}
+        ((_, _, rejected),) = families["repro_serve_clients_rejected_total"]["samples"]
+        assert rejected == 1
+        status_429 = [
+            value
+            for _, labels, value in families["repro_serve_requests_total"]["samples"]
+            if labels.get("status") == "429"
+        ]
+        assert status_429 == [1]

@@ -223,6 +223,135 @@ class TestFramingErrors:
         assert raw.count(b"HTTP/1.1 400") == 1
         assert b"HTTP/1.1 200" not in raw
 
+    def test_chunked_transfer_encoding_one_501_then_close(self, tmp_path):
+        # A chunked body would be read as Content-Length: 0 and its bytes
+        # replayed as the next request line — the classic desync
+        # primitive.  The smuggled /healthz must never be answered.
+        raw = self._interact(
+            tmp_path,
+            b"POST /compile HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"2\r\n{}\r\n0\r\n\r\n"
+            b"GET /healthz HTTP/1.1\r\n\r\n",
+        )
+        assert raw.count(b"HTTP/1.1 501") == 1
+        assert b"HTTP/1.1 200" not in raw
+        assert b"Connection: close" in raw
+        assert b"Content-Length" in raw  # the 501 itself is framed
+        body = json.loads(raw.partition(b"\r\n\r\n")[2])
+        validate(body, ERROR_SCHEMA)
+        assert "Transfer-Encoding" in body["error"]["message"]
+
+    def test_transfer_encoding_with_content_length_rejected(self, tmp_path):
+        # TE + CL is the textbook smuggling pair; TE is rejected even
+        # when a plausible Content-Length is present.
+        raw = self._interact(
+            tmp_path,
+            b"POST /compile HTTP/1.1\r\nContent-Length: 2\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n{}",
+        )
+        assert raw.count(b"HTTP/1.1 501") == 1
+        assert b"Connection: close" in raw
+
+    def test_duplicate_content_length_one_400_then_close(self, tmp_path):
+        raw = self._interact(
+            tmp_path,
+            b"POST /compile HTTP/1.1\r\nContent-Length: 2\r\n"
+            b"Content-Length: 2\r\n\r\n{}",
+        )
+        assert raw.count(b"HTTP/1.1 400") == 1
+        assert b"Connection: close" in raw
+        body = json.loads(raw.partition(b"\r\n\r\n")[2])
+        validate(body, ERROR_SCHEMA)
+        assert "duplicate Content-Length" in body["error"]["message"]
+
+    def test_conflicting_content_length_one_400_then_close(self, tmp_path):
+        # Two parsers in the path picking different lengths is the other
+        # smuggling primitive — a silent last-win is never acceptable.
+        raw = self._interact(
+            tmp_path,
+            b"POST /compile HTTP/1.1\r\nContent-Length: 2\r\n"
+            b"Content-Length: 40\r\n\r\n{}"
+            b"GET /healthz HTTP/1.1\r\n\r\n",
+        )
+        assert raw.count(b"HTTP/1.1 400") == 1
+        assert b"HTTP/1.1 200" not in raw
+        body = json.loads(raw.partition(b"\r\n\r\n")[2])
+        assert "conflicting Content-Length" in body["error"]["message"]
+
+    def test_unsupported_version_one_505_then_close(self, tmp_path):
+        raw = self._interact(tmp_path, b"GET /healthz HTTP/2.0\r\n\r\n")
+        assert raw.count(b"HTTP/1.1 505") == 1
+        assert b"Connection: close" in raw
+        body = json.loads(raw.partition(b"\r\n\r\n")[2])
+        validate(body, ERROR_SCHEMA)
+
+
+class TestHttpVersionSemantics:
+    """HTTP/1.0 defaults to close (keep-alive is opt-in); HTTP/1.1
+    defaults to keep-alive (close is opt-out)."""
+
+    def _session(self, tmp_path, flow):
+        async def run():
+            service = CompileService(jobs=0, cache_dir=tmp_path)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                try:
+                    return await asyncio.wait_for(flow(reader, writer), timeout=10)
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+
+        return asyncio.run(run())
+
+    def test_http10_defaults_to_close(self, tmp_path):
+        async def flow(reader, writer):
+            # No Connection header, client side stays open for writing:
+            # read() returning proves the *server* closed the stream.
+            writer.write(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            return await reader.read()
+
+        raw = self._session(tmp_path, flow)
+        assert raw.count(b"HTTP/1.1 200") == 1
+        assert b"Connection: close" in raw
+
+    def test_http10_keep_alive_is_honored_when_asked(self, tmp_path):
+        async def flow(reader, writer):
+            request = (
+                b"GET /healthz HTTP/1.0\r\nHost: x\r\n"
+                b"Connection: keep-alive\r\n\r\n"
+            )
+            writer.write(request)
+            await writer.drain()
+            first = await reader.readuntil(b"\r\n\r\n")
+            length = int(
+                [
+                    line.split(b":")[1]
+                    for line in first.split(b"\r\n")
+                    if line.lower().startswith(b"content-length")
+                ][0]
+            )
+            await reader.readexactly(length)
+            # Second request on the same connection must be answered.
+            writer.write(request)
+            await writer.drain()
+            second = await reader.readuntil(b"\r\n\r\n")
+            return first, second
+
+        first, second = self._session(tmp_path, flow)
+        assert first.startswith(b"HTTP/1.1 200")
+        assert second.startswith(b"HTTP/1.1 200")
+        assert b"Connection: keep-alive" in first
+
 
 class TestCoalescingOverHttp:
     def test_concurrent_identical_posts_share_one_execution(self, tmp_path):

@@ -18,9 +18,13 @@ class TestRunServeBench:
     def test_payload_is_bench_schema_valid(self, result):
         validate_payload(result["payload"])
 
-    def test_two_phases_with_stable_identity(self, result):
+    def test_three_phases_with_stable_identity(self, result):
         cells = result["payload"]["cells"]
-        assert [cell["mode"] for cell in cells] == ["serve-cold", "serve-warm"]
+        assert [cell["mode"] for cell in cells] == [
+            "serve-cold",
+            "serve-warm",
+            "serve-backpressure",
+        ]
         assert all(cell["workload"] == MIX_LABEL for cell in cells)
         assert result["payload"]["grid"] == "serve"
 
@@ -37,11 +41,27 @@ class TestRunServeBench:
         assert stats["cache"]["misses"] == len(DEFAULT_MIX)
         assert stats["cache"]["memory_hits"] >= 10  # the whole warm phase
 
+    def test_backpressure_phase_rejects_under_load(self, result):
+        cold, warm, backpressure = result["payload"]["cells"]
+        assert cold["rejected"] == 0
+        assert warm["rejected"] == 0
+        # Concurrent workers sharing one client address must collide
+        # with max_inflight_per_client=1 — that is the phase's point.
+        assert backpressure["rejected"] >= 1
+        # Rejections are backpressure, not service failures.
+        assert backpressure["errors"] == 0
+        assert result["diagnostics"]["backpressure_rejected"] == backpressure["rejected"]
+        assert (
+            result["diagnostics"]["stats"]["backpressure_phase"]["rejected"]
+            == backpressure["rejected"]
+        )
+
     def test_render_mentions_speedup_and_counters(self, result):
         text = render(result)
         assert "cold" in text and "warm" in text
         assert "speedup" in text
         assert "coalesced" in text
+        assert "backpressure" in text and "429" in text
 
     def test_too_few_requests_rejected(self):
         with pytest.raises(ValueError, match="mix"):
@@ -72,19 +92,50 @@ class TestTransportErrors:
         )
         assert calls["count"] == 6
         assert phase.errors == 3
-        # Failed requests still produce a latency sample, so the cell's
-        # request count stays equal to the configured load.
-        assert len(phase.latencies_ms) == 6
+        # Transport failures must NOT contribute percentile samples —
+        # their latency measures the failure, not the service — but the
+        # cell's request count still covers the configured load.
+        assert len(phase.latencies_ms) == 3
+        assert len(phase.failed_latencies_ms) == 3
+        assert phase.attempts == 6
+        assert phase.cell(2)["requests"] == 6
+        assert phase.cell(2)["errors"] == 3
 
 
 class TestPhaseResult:
     def test_percentiles_of_known_data(self):
-        phase = PhaseResult("cold", [float(i) for i in range(1, 101)], 1.0, 0)
+        phase = PhaseResult(
+            "cold", wall_s=1.0, latencies_ms=[float(i) for i in range(1, 101)]
+        )
         assert phase.percentile(0.50) == pytest.approx(50.0, abs=1.0)
         assert phase.percentile(0.99) == pytest.approx(99.0, abs=1.0)
         assert phase.throughput_rps == pytest.approx(100.0)
 
     def test_empty_phase_is_all_zero(self):
-        phase = PhaseResult("warm", [], 0.0, 0)
+        phase = PhaseResult("warm")
         assert phase.percentile(0.5) == 0.0
         assert phase.throughput_rps == 0.0
+
+    def test_record_routes_outcomes(self):
+        phase = PhaseResult("backpressure")
+        phase.record(200, 5.0)
+        phase.record(429, 0.4)
+        phase.record(500, 1.0)
+        phase.record(0, 30.0)  # transport failure before a status line
+        assert phase.latencies_ms == [5.0]
+        assert phase.failed_latencies_ms == [0.4, 1.0, 30.0]
+        assert phase.rejected == 1
+        assert phase.errors == 2
+        assert phase.attempts == 4
+
+    def test_cell_reports_rejected(self):
+        phase = PhaseResult("backpressure", wall_s=1.0)
+        phase.record(200, 5.0)
+        phase.record(429, 0.5)
+        cell = phase.cell(2)
+        assert cell["mode"] == "serve-backpressure"
+        assert cell["requests"] == 2
+        assert cell["rejected"] == 1
+        assert cell["errors"] == 0
+        # Throughput counts successful responses only.
+        assert cell["throughput_rps"] == pytest.approx(1.0)

@@ -1,0 +1,281 @@
+"""Metrics registry, exposition-format validation, and /metrics wiring."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import pytest
+
+from repro.serve import CompileService, start_http_server
+from repro.serve.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    validate_exposition,
+)
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        counter = Counter("t_total", "help", labels=("endpoint",))
+        counter.inc(endpoint="/a")
+        counter.inc(2, endpoint="/a")
+        counter.inc(endpoint="/b")
+        assert counter.value(endpoint="/a") == 3
+        assert counter.value(endpoint="/b") == 1
+
+    def test_cannot_decrease(self):
+        counter = Counter("t_total", "help")
+        with pytest.raises(ValueError, match="decrease"):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("t_total", "help", labels=("endpoint",))
+        with pytest.raises(ValueError, match="labels"):
+            counter.inc(status="200")
+
+    def test_callback_backed_reads_live_state(self):
+        state = {"n": 0}
+        counter = Counter("t_total", "help", fn=lambda: state["n"])
+        assert counter.value() == 0
+        state["n"] = 7
+        assert counter.value() == 7
+        with pytest.raises(ValueError, match="callback"):
+            counter.inc()
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="metric name"):
+            Counter("2bad", "help")
+
+    def test_le_label_is_reserved(self):
+        with pytest.raises(ValueError, match="label"):
+            Histogram("t_seconds", "help", labels=("le",))
+
+
+class TestGauge:
+    def test_set_goes_both_ways(self):
+        gauge = Gauge("t_depth", "help")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_sum(self):
+        hist = Histogram("t_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        state = hist.state()
+        assert state.counts == [1, 2, 3, 4]  # cumulative, +Inf last
+        assert state.count == 4
+        assert state.total == pytest.approx(55.55)
+
+    def test_render_is_valid_exposition(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "t_seconds", "Latency.", labels=("endpoint",), buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05, endpoint="/a")
+        hist.observe(2.0, endpoint="/a")
+        families = validate_exposition(registry.render())
+        samples = families["t_seconds"]["samples"]
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in samples
+            if name == "t_seconds_bucket"
+        }
+        assert buckets == {"0.1": 1, "1": 1, "+Inf": 2}
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("t_seconds", "help", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "help")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("t_total", "help")
+
+    def test_render_has_help_and_type_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "Counts a.").inc()
+        registry.gauge("b_depth", "Depth b.").set(3)
+        text = registry.render()
+        families = validate_exposition(text)
+        assert families["a_total"]["type"] == "counter"
+        assert families["a_total"]["help"] == "Counts a."
+        assert families["b_depth"]["type"] == "gauge"
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a_total", "help", labels=("path",))
+        counter.inc(path='we"ird\\path\nline')
+        families = validate_exposition(registry.render())
+        ((_, labels, value),) = families["a_total"]["samples"]
+        assert value == 1
+
+
+class TestValidateExposition:
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(ValueError, match="malformed"):
+            validate_exposition("# TYPE a counter\na{,} 1\n")
+
+    def test_rejects_sample_outside_a_family(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_exposition("orphan_total 1\n")
+
+    def test_rejects_histogram_without_inf(self):
+        text = (
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 1\n'
+            "h_seconds_sum 1\n"
+            "h_seconds_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_exposition(text)
+
+    def test_rejects_non_monotonic_histogram(self):
+        text = (
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 5\n'
+            'h_seconds_bucket{le="+Inf"} 3\n'
+            "h_seconds_sum 1\n"
+            "h_seconds_count 3\n"
+        )
+        with pytest.raises(ValueError, match="non-monotonic"):
+            validate_exposition(text)
+
+    def test_rejects_bad_suffix_on_counter_family(self):
+        with pytest.raises(ValueError, match="suffix"):
+            validate_exposition("# TYPE a_total counter\na_total_extra 1\n")
+
+    def test_parses_inf_values(self):
+        families = validate_exposition("# TYPE g gauge\ng +Inf\n")
+        assert families["g"]["samples"][0][2] == math.inf
+
+
+PAYLOAD = {"workload": "GHZ_n8", "machine": "grid:4x4:12", "compiler": "muss-ti"}
+
+#: Families the acceptance criteria name: request latency histograms,
+#: cache tier / coalescer counters, shed + 429 counts.
+EXPECTED_FAMILIES = (
+    "repro_serve_requests_total",
+    "repro_serve_request_seconds",
+    "repro_serve_span_seconds",
+    "repro_serve_cache_memory_hits_total",
+    "repro_serve_cache_disk_hits_total",
+    "repro_serve_cache_misses_total",
+    "repro_serve_coalesced_total",
+    "repro_serve_connections_shed_total",
+    "repro_serve_clients_rejected_total",
+    "repro_serve_rate_limited_total",
+    "repro_serve_queue_depth",
+    "repro_serve_uptime_seconds",
+)
+
+
+class TestServiceMetrics:
+    def test_service_page_is_schema_valid_and_complete(self, tmp_path):
+        service = CompileService(jobs=0, cache_dir=tmp_path)
+        try:
+            asyncio.run(service.compile(PAYLOAD))
+            asyncio.run(service.compile(PAYLOAD))
+            families = validate_exposition(service.metrics_text())
+        finally:
+            service.close()
+        for name in EXPECTED_FAMILIES:
+            assert name in families, f"missing metric family {name}"
+        assert families["repro_serve_request_seconds"]["type"] == "histogram"
+
+    def test_counters_track_cache_activity(self, tmp_path):
+        service = CompileService(jobs=0, cache_dir=tmp_path)
+        try:
+            asyncio.run(service.compile(PAYLOAD))
+            asyncio.run(service.compile(PAYLOAD))
+            registry = service.metrics
+            assert registry.get("repro_serve_cache_misses_total").value() == 1
+            assert registry.get("repro_serve_cache_memory_hits_total").value() == 1
+        finally:
+            service.close()
+
+    def test_metrics_endpoint_over_http(self, tmp_path):
+        async def flow():
+            service = CompileService(jobs=0, cache_dir=tmp_path)
+            server = await start_http_server(service, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                try:
+                    body = json.dumps(PAYLOAD).encode()
+                    writer.write(
+                        (
+                            "POST /compile HTTP/1.1\r\nHost: x\r\n"
+                            f"Content-Length: {len(body)}\r\n\r\n"
+                        ).encode()
+                        + body
+                    )
+                    await writer.drain()
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    length = int(
+                        [
+                            line.split(b":")[1]
+                            for line in head.split(b"\r\n")
+                            if line.lower().startswith(b"content-length")
+                        ][0]
+                    )
+                    await reader.readexactly(length)
+                    writer.write(
+                        b"GET /metrics HTTP/1.1\r\nHost: x\r\n"
+                        b"Content-Length: 0\r\nConnection: close\r\n\r\n"
+                    )
+                    await writer.drain()
+                    raw = await reader.read()
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+            finally:
+                server.close()
+                await server.wait_closed()
+                service.close()
+            return raw
+
+        raw = asyncio.run(flow())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200")
+        assert b"Content-Type: text/plain; version=0.0.4" in head
+        families = validate_exposition(body.decode())
+        sample = {
+            tuple(sorted(labels.items())): value
+            for name, labels, value in families["repro_serve_requests_total"]["samples"]
+        }
+        assert sample[(("endpoint", "/compile"), ("status", "200"))] == 1
+
+    def test_unknown_endpoints_collapse_to_other(self, tmp_path):
+        from repro.serve.tracing import RequestTrace
+
+        service = CompileService(jobs=0, cache_dir=tmp_path)
+        try:
+            for path in ("/scan1", "/scan2", "/scan3"):
+                service.finish_request(RequestTrace.begin(path), 404, 0.001)
+            families = validate_exposition(service.metrics_text())
+        finally:
+            service.close()
+        labels = [
+            labels["endpoint"]
+            for _, labels, _ in families["repro_serve_requests_total"]["samples"]
+        ]
+        assert labels == ["other"]
+
+    def test_default_buckets_span_cache_hits_to_cold_compiles(self):
+        assert DEFAULT_LATENCY_BUCKETS_S[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS_S[-1] >= 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(DEFAULT_LATENCY_BUCKETS_S)

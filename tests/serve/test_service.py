@@ -167,6 +167,39 @@ class TestCompare:
             run(service.compare({"workload": "GHZ_n8", "grid": "nope"}))
         assert excinfo.value.field == "grid"
 
+    def test_failing_sub_job_becomes_an_error_row(self, service, monkeypatch):
+        from repro.pipeline import default_registry
+        from repro.serve import service as service_module
+
+        suite = list(default_registry().paper_suite())
+        assert len(suite) >= 2  # the test needs surviving siblings
+        victim = suite[0]
+        original = service_module._execute_job
+
+        def sabotage(kind, workload, machine, compiler, physics):
+            if compiler == victim:
+                raise RuntimeError("victim compiler exploded")
+            return original(kind, workload, machine, compiler, physics)
+
+        monkeypatch.setattr(service_module, "_execute_job", sabotage)
+        response = run(service.compare({"workload": "GHZ_n8"}))
+        validate(response, COMPARE_RESPONSE_SCHEMA)
+        validate_node(response, COMPARE_RESPONSE_SCHEMA)
+        by_compiler = {row["compiler"]: row for row in response["rows"]}
+        failed = by_compiler[victim]
+        assert failed["error"]["status"] == 500
+        assert "victim compiler exploded" in failed["error"]["message"]
+        assert "report" not in failed
+        # The siblings were NOT abandoned mid-flight: every other row is
+        # a full report row.
+        for name in suite[1:]:
+            assert "report" in by_compiler[name]
+            assert "error" not in by_compiler[name]
+        # And the failure was never cached.
+        assert all(
+            json.loads(key)["compiler"] != victim for key in service.cache.memory._entries
+        )
+
 
 class TestExecutionFailure:
     def test_worker_failure_surfaces_as_serve_execution_error(self, service, monkeypatch):

@@ -1,0 +1,231 @@
+"""Request tracing: trace ids, spans, the ring, and wire round-trips."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.schema import validate, validate_node
+from repro.serve import CompileService, start_http_server
+from repro.serve.schemas import TRACE_RECENT_SCHEMA
+from repro.serve.tracing import (
+    RequestTrace,
+    TraceRing,
+    new_trace_id,
+    sanitize_trace_id,
+)
+
+
+class TestTraceIds:
+    def test_generated_ids_are_unique_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 32 and set(t) <= set("0123456789abcdef") for t in ids)
+
+    def test_sane_inbound_ids_are_honored(self):
+        for candidate in ("abc", "req-123", "svc:web/42", "a" * 128, "A.b_c"):
+            assert sanitize_trace_id(candidate) == candidate
+
+    def test_hostile_inbound_ids_are_replaced(self):
+        for candidate in (
+            "",
+            None,
+            123,
+            "a" * 129,
+            "evil\r\nSet-Cookie: x",
+            '"><script>',
+            "-leading-dash",
+            "sp ace",
+        ):
+            replaced = sanitize_trace_id(candidate)
+            assert replaced != candidate
+            assert len(replaced) == 32
+
+
+class TestRequestTrace:
+    def test_span_context_manager_records_ms(self):
+        trace = RequestTrace.begin("/compile")
+        with trace.span("parse"):
+            pass
+        assert [span.name for span in trace.spans] == ["parse"]
+        assert trace.spans[0].ms >= 0
+        assert trace.spans_summary() == [
+            {"name": "parse", "ms": trace.spans[0].ms}
+        ]
+
+    def test_negative_durations_are_clamped(self):
+        trace = RequestTrace.begin("/compile")
+        trace.add("execute", -0.5)
+        assert trace.spans[0].ms == 0.0
+
+    def test_to_dict_carries_outcome_and_annotations(self):
+        trace = RequestTrace.begin("/trace", method="POST", client="10.0.0.1")
+        trace.annotate(cache="memory")
+        entry = trace.to_dict(status=200, total_ms=12.5)
+        assert entry["status"] == 200
+        assert entry["total_ms"] == 12.5
+        assert entry["annotations"] == {"cache": "memory"}
+        assert entry["client"] == "10.0.0.1"
+
+
+class TestTraceRing:
+    def test_bounded_and_newest_first(self):
+        ring = TraceRing(capacity=3)
+        for index in range(5):
+            ring.record(
+                RequestTrace.begin(f"/e{index}"), status=200, total_ms=float(index)
+            )
+        assert len(ring) == 3
+        endpoints = [entry["endpoint"] for entry in ring.recent()]
+        assert endpoints == ["/e4", "/e3", "/e2"]
+        assert [e["endpoint"] for e in ring.recent(limit=1)] == ["/e4"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRing(capacity=0)
+
+
+JOB = {"workload": "GHZ_n8", "machine": "grid:4x4:12", "compiler": "muss-ti"}
+
+
+async def _request_with_headers(
+    port: int, method: str, path: str, body: bytes = b"", headers: dict | None = None
+) -> tuple[int, dict, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        lines = [f"{method} {path} HTTP/1.1", "Host: localhost"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        lines += [f"Content-Length: {len(body)}", "Connection: close", "", ""]
+        writer.write("\r\n".join(lines).encode() + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, response_body = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split(" ", 2)[1])
+    response_headers = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    return status, response_headers, response_body
+
+
+def _serve(tmp_path, flow):
+    async def run():
+        service = CompileService(jobs=0, cache_dir=tmp_path)
+        server = await start_http_server(service, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await flow(service, port)
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+
+    return asyncio.run(run())
+
+
+class TestTracingOverHttp:
+    def test_inbound_request_id_round_trips(self, tmp_path):
+        async def flow(service, port):
+            return await _request_with_headers(
+                port,
+                "POST",
+                "/compile",
+                json.dumps(JOB).encode(),
+                headers={"X-Request-Id": "test-trace-42"},
+            )
+
+        status, headers, body = _serve(tmp_path, flow)
+        assert status == 200
+        assert headers["x-request-id"] == "test-trace-42"
+        payload = json.loads(body)
+        assert payload["trace_id"] == "test-trace-42"
+        span_names = [span["name"] for span in payload["spans"]]
+        # A cold compile records the full span set.
+        for expected in ("parse", "cache_lookup", "queue_wait", "execute", "encode"):
+            assert expected in span_names
+
+    def test_generated_id_when_header_absent_or_hostile(self, tmp_path):
+        async def flow(service, port):
+            absent = await _request_with_headers(
+                port, "POST", "/compile", json.dumps(JOB).encode()
+            )
+            hostile = await _request_with_headers(
+                port,
+                "POST",
+                "/compile",
+                json.dumps(JOB).encode(),
+                headers={"X-Request-Id": "x" * 300},
+            )
+            return absent, hostile
+
+        (s1, h1, b1), (s2, h2, b2) = _serve(tmp_path, flow)
+        assert s1 == s2 == 200
+        for headers, body in ((h1, b1), (h2, b2)):
+            trace_id = json.loads(body)["trace_id"]
+            assert headers["x-request-id"] == trace_id
+            assert len(trace_id) == 32
+        assert h2["x-request-id"] != "x" * 300
+
+    def test_trace_recent_serves_the_ring(self, tmp_path):
+        async def flow(service, port):
+            await _request_with_headers(
+                port,
+                "POST",
+                "/compile",
+                json.dumps(JOB).encode(),
+                headers={"X-Request-Id": "ring-entry-1"},
+            )
+            return await _request_with_headers(port, "GET", "/trace/recent")
+
+        status, _, body = _serve(tmp_path, flow)
+        assert status == 200
+        payload = json.loads(body)
+        validate(payload, TRACE_RECENT_SCHEMA)
+        validate_node(payload, TRACE_RECENT_SCHEMA)
+        entries = {entry["trace_id"]: entry for entry in payload["traces"]}
+        entry = entries["ring-entry-1"]
+        assert entry["endpoint"] == "/compile"
+        assert entry["status"] == 200
+        assert entry["total_ms"] > 0
+        assert entry["annotations"]["cache"] == "miss"
+        assert any(span["name"] == "execute" for span in entry["spans"])
+
+    def test_errors_are_traced_too(self, tmp_path):
+        async def flow(service, port):
+            await _request_with_headers(
+                port,
+                "POST",
+                "/compile",
+                b"{bad json",
+                headers={"X-Request-Id": "bad-req-7"},
+            )
+            return await _request_with_headers(port, "GET", "/trace/recent")
+
+        _, _, body = _serve(tmp_path, flow)
+        entries = {e["trace_id"]: e for e in json.loads(body)["traces"]}
+        assert entries["bad-req-7"]["status"] == 400
+
+    def test_warm_hit_skips_execute_span(self, tmp_path):
+        async def flow(service, port):
+            await _request_with_headers(
+                port, "POST", "/compile", json.dumps(JOB).encode()
+            )
+            return await _request_with_headers(
+                port, "POST", "/compile", json.dumps(JOB).encode()
+            )
+
+        _, _, body = _serve(tmp_path, flow)
+        payload = json.loads(body)
+        span_names = [span["name"] for span in payload["spans"]]
+        assert "cache_lookup" in span_names
+        assert "execute" not in span_names
