@@ -28,12 +28,18 @@ from .cells import cell_key, describe_cell, matches_filter, parse_filter
 
 
 def experiment_registry() -> dict[str, ModuleType]:
-    """Every sweepable driver: the paper experiments plus extras."""
+    """Every sweepable driver: the paper experiments plus extras.
+
+    ``micro`` is registered so ``repro bench micro --jobs`` can fan its
+    cells through the worker pool, but the micro runner always disables
+    the result cache — perf numbers are measured fresh.
+    """
     from ..analysis.experiments import ALL_EXPERIMENTS
-    from . import adhoc
+    from . import adhoc, micro
 
     registry = dict(ALL_EXPERIMENTS)
     registry["adhoc"] = adhoc
+    registry["micro"] = micro
     return registry
 
 

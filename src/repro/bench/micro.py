@@ -41,12 +41,12 @@ from collections.abc import Callable
 from datetime import datetime, timezone
 from pathlib import Path
 
-from ..hardware import canonical_machine_spec, resolve_machine
+from ..hardware import canonical_machine_spec, machine_from_spec, resolve_machine
 from ..physics import resolve_physics
 from ..pipeline import resolve_compiler
 from ..schema import SchemaError, validate, validate_node
 from ..sim import execute, replay
-from ..workloads import get_benchmark
+from ..workloads import get_benchmark, parse_name
 from .cells import matches_filter, parse_filter
 
 #: Current schema version of the ``BENCH_*.json`` payload.  Version 2
@@ -61,9 +61,27 @@ from .cells import matches_filter, parse_filter
 #: ``mode: faults`` with makespan-degradation / fidelity-delta /
 #: recovery-overhead metrics) and the ``faults`` grid; version 6 added
 #: the ``serve-backpressure`` mode and the optional ``rejected`` (429)
-#: count to the serve cells.  Older files still validate (and compare)
-#: cleanly.
-SCHEMA_VERSION = 6
+#: count to the serve cells; version 7 pinned the compile+execute cell
+#: workloads to the :data:`MICRO_WORKLOADS` enum (adding the array-core
+#: scale cells ``QFT_n512``/``QFT_n1024``) and deduped cell identity
+#: through resolved-machine canonicalisation.  Older files still
+#: validate (and compare) cleanly.
+SCHEMA_VERSION = 7
+
+#: Every workload that has ever appeared in a tracked compile+execute
+#: micro cell — the schema enum for that cell kind (v7).  Serve / fleet
+#: / faults cells keep free-form workload strings (they name traces and
+#: request mixes, not registry benchmarks).
+MICRO_WORKLOADS: tuple[str, ...] = (
+    "GHZ_n32",
+    "QFT_n32",
+    "QFT_n64",
+    "QFT_n128",
+    "QFT_n512",
+    "QFT_n1024",
+    "QV_n32",
+    "SQRT_n128",
+)
 
 #: The physics arms of the ``reprice`` cell: the Fig 13 counterfactuals
 #: plus heating-rate / gate-decay / fiber / lifetime sweeps — the
@@ -98,6 +116,8 @@ MICRO_GRID: tuple[dict, ...] = (
     {"workload": "QFT_n64", "machine": "eml?capacity=4&modules=64", "compiler": "muss-ti"},
     {"workload": "QFT_n128", "machine": "eml:64:4", "compiler": "muss-ti"},
     {"workload": "QFT_n128", "machine": "eml?capacity=4&modules=64", "compiler": "muss-ti"},
+    {"workload": "QFT_n512", "machine": "eml?capacity=4&modules=256", "compiler": "muss-ti"},
+    {"workload": "QFT_n1024", "machine": "eml?capacity=4&modules=256", "compiler": "muss-ti"},
     {"workload": "QFT_n128", "machine": "eml:64:4", "compiler": "muss-ti", "mode": "reprice"},
 )
 
@@ -117,7 +137,7 @@ _CELL_SCHEMA = {
     ],
     "additionalProperties": False,
     "properties": {
-        "workload": {"type": "string", "minLength": 1},
+        "workload": {"enum": list(MICRO_WORKLOADS)},
         "machine": {"type": "string", "minLength": 1},
         "compiler": {"type": "string", "minLength": 1},
         "compile_s": {"type": "number", "minimum": 0},
@@ -255,7 +275,7 @@ BENCH_SCHEMA = {
     "required": ["schema_version", "created_utc", "grid", "repeats", "environment", "cells"],
     "additionalProperties": False,
     "properties": {
-        "schema_version": {"enum": [1, 2, 3, 4, 5, SCHEMA_VERSION]},
+        "schema_version": {"enum": [1, 2, 3, 4, 5, 6, SCHEMA_VERSION]},
         "created_utc": {"type": "string", "minLength": 1},
         "grid": {"enum": ["micro", "serve", "fleet", "faults", "mixed"]},
         "repeats": {"type": "integer", "minimum": 1},
@@ -299,13 +319,48 @@ def validate_payload(payload: dict) -> None:
     validate(payload, BENCH_SCHEMA)
 
 
+def _resolved_machine_key(workload: str, machine_spec: str) -> str:
+    """Cell-identity machine key: the *resolved* machine's canonical spec.
+
+    String canonicalisation alone cannot collapse every equivalent
+    spelling (``eml?modules=64&capacity=4&operation=1`` spells out a
+    default; circuit-relative ``eml`` pins its module count only once a
+    workload sizes it), so identity goes through
+    :func:`~repro.hardware.machine_from_spec` and the built machine's
+    verified canonical ``spec``.  Off-registry machines fall back to the
+    canonical string.
+    """
+    _, num_qubits = parse_name(workload)
+    resolved = machine_from_spec(machine_spec, num_qubits).spec
+    return resolved if resolved is not None else machine_spec
+
+
 def micro_cells(cell_filter: str | None = None) -> list[dict]:
     """The micro grid with canonical machine specs, optionally filtered
-    with the sweep engine's ``--filter`` syntax."""
+    with the sweep engine's ``--filter`` syntax.
+
+    Cells are deduplicated by resolved-machine identity — equivalent
+    spec spellings (positional vs query form, explicit defaults vs
+    omitted) never produce duplicate rows; the first spelling wins.
+    """
     cells = [
         {**cell, "machine": canonical_machine_spec(cell["machine"])}
         for cell in MICRO_GRID
     ]
+    seen: set[tuple] = set()
+    deduped: list[dict] = []
+    for cell in cells:
+        key = (
+            cell["workload"],
+            _resolved_machine_key(cell["workload"], cell["machine"]),
+            cell["compiler"],
+            cell.get("mode", "compile-execute"),
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        deduped.append(cell)
+    cells = deduped
     if cell_filter:
         terms = parse_filter(cell_filter)
         cells = [cell for cell in cells if matches_filter(cell, terms)]
@@ -313,6 +368,9 @@ def micro_cells(cell_filter: str | None = None) -> list[dict]:
 
 
 ProgressFn = Callable[[int, int, dict], None]
+
+#: Per-cell profile consumer: called with (cell, formatted profile text).
+ProfileSink = Callable[[dict, str], None]
 
 
 def _run_reprice_cell(cell: dict, program, compile_s: float, repeats: int) -> dict:
@@ -357,57 +415,139 @@ def _run_reprice_cell(cell: dict, program, compile_s: float, repeats: int) -> di
     }
 
 
+def _run_cell(cell: dict, repeats: int) -> dict:
+    """Measure one micro cell: min-of-``repeats`` compile and execute."""
+    circuit = get_benchmark(cell["workload"])
+    machine = resolve_machine(cell["machine"], circuit.num_qubits)
+    compiler = resolve_compiler(cell["compiler"])
+    compile_s = float("inf")
+    program = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        program = compiler.compile(circuit, machine)
+        compile_s = min(compile_s, time.perf_counter() - started)
+    if cell.get("mode") == "reprice":
+        return _run_reprice_cell(cell, program, compile_s, repeats)
+    execute_s = float("inf")
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = execute(program)
+        execute_s = min(execute_s, time.perf_counter() - started)
+    return {
+        "workload": cell["workload"],
+        "machine": cell["machine"],
+        "compiler": cell["compiler"],
+        "compile_s": round(compile_s, 6),
+        "execute_s": round(execute_s, 6),
+        "total_s": round(compile_s + execute_s, 6),
+        "operations": program.num_operations,
+        "shuttles": report.shuttle_count,
+        "makespan_us": report.makespan_us,
+        "log10_fidelity": report.log10_fidelity,
+    }
+
+
+def _profile_cell(cell: dict) -> str:
+    """One profiled compile+execute of *cell*: top-20 cumulative text."""
+    import cProfile
+    import io
+    import pstats
+
+    circuit = get_benchmark(cell["workload"])
+    machine = resolve_machine(cell["machine"], circuit.num_qubits)
+    compiler = resolve_compiler(cell["compiler"])
+    profiler = cProfile.Profile()
+    profiler.enable()
+    program = compiler.compile(circuit, machine)
+    execute(program)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(20)
+    return stream.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Sweep-engine driver API (``module.cells`` / ``run_cell`` / ``assemble``)
+# ---------------------------------------------------------------------------
+# The micro grid runs through the same ProcessPoolExecutor engine as the
+# paper experiments (``repro bench micro --jobs N``), but always with the
+# result cache disabled: perf numbers are measured fresh, never served.
+
+
+def cells(repeats: int = 3, cell_filter: str | None = None) -> list[dict]:
+    """Engine-facing cell specs: the micro grid with ``repeats`` pinned."""
+    return [{**cell, "repeats": repeats} for cell in micro_cells(cell_filter)]
+
+
+def run_cell(spec: dict) -> dict:
+    """Engine-facing worker entry point: measure one grid cell."""
+    cell = {key: value for key, value in spec.items() if key != "repeats"}
+    return _run_cell(cell, spec["repeats"])
+
+
+def assemble(pairs: list[tuple[dict, dict]]) -> list[dict]:
+    """Engine-facing row assembly: rows are the cell results, grid order."""
+    return [result for _spec, result in pairs]
+
+
+def run(repeats: int = 3, cell_filter: str | None = None) -> list[dict]:
+    """Driver-protocol serial reference: the measured rows, grid order."""
+    return [run_cell(spec) for spec in cells(repeats=repeats, cell_filter=cell_filter)]
+
+
 def run_micro(
     *,
     repeats: int = 3,
     cell_filter: str | None = None,
     progress: ProgressFn | None = None,
+    jobs: int = 1,
+    profile_sink: ProfileSink | None = None,
 ) -> dict:
     """Execute the microbenchmark grid; returns the payload (validated).
 
     Results are always measured fresh — perf numbers must never be served
-    from the sweep cache.
+    from the sweep cache (``jobs > 1`` uses the sweep engine's process
+    pool with caching disabled).  The payload is deterministic up to the
+    measured wall-clock fields: a ``--jobs`` run and a serial run produce
+    byte-identical payloads once ``compile_s`` / ``execute_s`` /
+    ``reexecute_s`` / ``speedup`` / ``total_s`` and the environment stamp
+    are masked.
+
+    When *profile_sink* is given, each cell additionally runs once under
+    :mod:`cProfile` (after the timed repeats, in-process even under
+    ``jobs``) and the sink receives the top-20 cumulative report.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    cells = micro_cells(cell_filter)
-    if not cells:
+    cells_ = micro_cells(cell_filter)
+    if not cells_:
         raise ValueError(f"filter {cell_filter!r} selected no micro cells")
-    rows: list[dict] = []
-    for index, cell in enumerate(cells):
-        circuit = get_benchmark(cell["workload"])
-        machine = resolve_machine(cell["machine"], circuit.num_qubits)
-        compiler = resolve_compiler(cell["compiler"])
-        compile_s = float("inf")
-        program = None
-        for _ in range(repeats):
-            started = time.perf_counter()
-            program = compiler.compile(circuit, machine)
-            compile_s = min(compile_s, time.perf_counter() - started)
-        if cell.get("mode") == "reprice":
-            row = _run_reprice_cell(cell, program, compile_s, repeats)
-        else:
-            execute_s = float("inf")
-            report = None
-            for _ in range(repeats):
-                started = time.perf_counter()
-                report = execute(program)
-                execute_s = min(execute_s, time.perf_counter() - started)
-            row = {
-                "workload": cell["workload"],
-                "machine": cell["machine"],
-                "compiler": cell["compiler"],
-                "compile_s": round(compile_s, 6),
-                "execute_s": round(execute_s, 6),
-                "total_s": round(compile_s + execute_s, 6),
-                "operations": program.num_operations,
-                "shuttles": report.shuttle_count,
-                "makespan_us": report.makespan_us,
-                "log10_fidelity": report.log10_fidelity,
-            }
-        rows.append(row)
-        if progress is not None:
-            progress(index + 1, len(cells), row)
+    if jobs > 1 and len(cells_) > 1:
+        from .engine import sweep
+
+        def engine_progress(_experiment, done, total, outcome) -> None:
+            if progress is not None:
+                progress(done, total, outcome.result)
+
+        result = sweep(
+            "micro",
+            jobs=jobs,
+            use_cache=False,
+            cells_kwargs={"repeats": repeats, "cell_filter": cell_filter},
+            progress=engine_progress,
+        )
+        rows = result.rows
+    else:
+        rows = []
+        for index, cell in enumerate(cells_):
+            row = _run_cell(cell, repeats)
+            rows.append(row)
+            if progress is not None:
+                progress(index + 1, len(cells_), row)
+    if profile_sink is not None:
+        for cell in cells_:
+            profile_sink(cell, _profile_cell(cell))
     payload = {
         "schema_version": SCHEMA_VERSION,
         "created_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),

@@ -407,6 +407,77 @@ class DependencyGraph:
         return [node for layer in self.all_layers() for node in layer]
 
 
+class DagArrays:
+    """Immutable flat-array view of a circuit's dependency DAG.
+
+    The array-core scheduler consumes the DAG as dense int structures —
+    successor/predecessor adjacency as tuples-of-tuples, initial
+    in-degrees, and the operand arrays ``qubit_a``/``qubit_b`` (with
+    ``qubit_b[node] == -1`` for one-qubit gates).  Construction is the
+    same O(g) last-writer scan :class:`DependencyGraph` runs, done once
+    per circuit: SABRE's two-fold search schedules the same circuit
+    object three times per compile, so the view is cached on the circuit
+    (keyed by gate count — circuits are append-only through their API).
+    """
+
+    __slots__ = (
+        "num_gates",
+        "successors",
+        "predecessors",
+        "in_degree",
+        "qubit_a",
+        "qubit_b",
+        "native_arity",
+    )
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        gates = circuit.gates
+        num_gates = len(gates)
+        successors: list[list[int]] = [[] for _ in gates]
+        predecessors: list[list[int]] = [[] for _ in gates]
+        in_degree = [0] * num_gates
+        qubit_a = [0] * num_gates
+        qubit_b = [-1] * num_gates
+        native_arity = True
+        last_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(gates):
+            qubits = gate.qubits
+            arity = len(qubits)
+            if arity == 2:
+                qubit_a[index] = qubits[0]
+                qubit_b[index] = qubits[1]
+            elif arity == 1:
+                qubit_a[index] = qubits[0]
+            else:
+                # Beyond the native 1q/2q set: the arrays cannot encode
+                # it, so consumers must take the object path.
+                native_arity = False
+            preds = {last_on_qubit[q] for q in qubits if q in last_on_qubit}
+            for pred in preds:
+                successors[pred].append(index)
+                predecessors[index].append(pred)
+            in_degree[index] = len(preds)
+            for q in qubits:
+                last_on_qubit[q] = index
+        self.num_gates = num_gates
+        self.successors = tuple(tuple(s) for s in successors)
+        self.predecessors = tuple(tuple(p) for p in predecessors)
+        self.in_degree = tuple(in_degree)
+        self.qubit_a = tuple(qubit_a)
+        self.qubit_b = tuple(qubit_b)
+        self.native_arity = native_arity
+
+
+def dag_arrays(circuit: QuantumCircuit) -> DagArrays:
+    """The cached :class:`DagArrays` view of ``circuit``."""
+    cached = circuit.__dict__.get("_dag_arrays")
+    if cached is not None and cached.num_gates == len(circuit):
+        return cached
+    arrays = DagArrays(circuit)
+    circuit._dag_arrays = arrays  # type: ignore[attr-defined]
+    return arrays
+
+
 def dependency_layers(circuit: QuantumCircuit) -> list[list[int]]:
     """Convenience: layer decomposition of a full circuit."""
     return DependencyGraph(circuit).all_layers()

@@ -611,12 +611,15 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     registry = experiment_registry()
     names = list(args.experiments)
     if names == ["all"]:
-        names = sorted(name for name in registry if name != "adhoc")
-    unknown = [name for name in names if name not in registry or name == "adhoc"]
+        names = sorted(name for name in registry if name not in ("adhoc", "micro"))
+    unknown = [
+        name for name in names if name not in registry or name in ("adhoc", "micro")
+    ]
     if unknown:
         print(
             f"unknown experiment(s): {', '.join(unknown)} "
-            f"(use 'repro bench sweep' for ad-hoc grids)",
+            f"(use 'repro bench sweep' for ad-hoc grids, "
+            f"'repro bench micro' for the tracked perf cells)",
             file=sys.stderr,
         )
         return 2
@@ -661,11 +664,19 @@ def _cmd_bench_micro(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    def profile_sink(cell: dict, text: str) -> None:
+        print(
+            f"[micro profile] {cell['workload']} on {cell['machine']}:\n{text}",
+            file=sys.stderr,
+        )
+
     try:
         payload = micro.run_micro(
             repeats=repeats,
             cell_filter=args.filter,
             progress=None if args.quiet else progress,
+            jobs=args.jobs,
+            profile_sink=profile_sink if args.profile else None,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1281,6 +1292,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_micro.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress on stderr"
+    )
+    bench_micro.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for cell execution via the sweep engine "
+            "(default: 1 = in-process; never cache-served)"
+        ),
+    )
+    bench_micro.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "after timing, run each cell once under cProfile and print the "
+            "top-20 cumulative entries to stderr"
+        ),
     )
     bench_micro.set_defaults(handler=_cmd_bench_micro)
 

@@ -29,6 +29,36 @@ def gate_capable_zones(state: MachineState, module_id: int) -> list[Zone]:
     return list(state.maps.module_gate_zones[module_id])
 
 
+def module_zone_id_tables(maps):
+    """Per-module zone ids as plain int tuples: (all, gate-capable, optical).
+
+    The array-core scheduler (:mod:`repro.core.arraycore`) iterates
+    candidate zones millions of times per compile; reading ``zone_id``
+    off :class:`~repro.hardware.Zone` dataclasses in that loop costs an
+    attribute lookup per visit.  This flattens the maps' per-module zone
+    groups to int tuples once per topology (cached on the maps object,
+    which is itself cached per canonical machine spec).
+    """
+    cached = getattr(maps, "_zone_id_tables", None)
+    if cached is not None:
+        return cached
+    tables = (
+        tuple(
+            tuple(zone.zone_id for zone in group) for group in maps.module_zones
+        ),
+        tuple(
+            tuple(zone.zone_id for zone in group)
+            for group in maps.module_gate_zones
+        ),
+        tuple(
+            tuple(zone.zone_id for zone in group)
+            for group in maps.module_optical_zones
+        ),
+    )
+    object.__setattr__(maps, "_zone_id_tables", tables)
+    return tables
+
+
 def optical_zones(state: MachineState, module_id: int) -> list[Zone]:
     return list(state.maps.module_optical_zones[module_id])
 

@@ -44,6 +44,12 @@ class RoutingError(RuntimeError):
 class MachineState:
     """Mutable scheduling state over a machine."""
 
+    #: Packed op records attached by the array-core scheduler
+    #: (:mod:`repro.core.arraycore`); ``operations`` stays empty then and
+    #: the pipeline builds an :class:`~repro.sim.program.ArrayProgram`
+    #: from these records instead of an op-object list.
+    packed_ops = None
+
     def __init__(
         self, machine: Machine, initial_placement: dict[int, tuple[int, ...]]
     ) -> None:
@@ -270,3 +276,39 @@ class MachineState:
             for zone_id, chain in self.chains.items()
             if chain
         }
+
+    # ------------------------------------------------------------------
+    # Array-core hand-off
+    # ------------------------------------------------------------------
+
+    def adopt_array_core(
+        self,
+        chains: list[list[int]],
+        location: list[int],
+        last_used: list[int],
+        zone_usage: list[float],
+        clock: int,
+        stats: dict[str, int],
+        packed,
+    ) -> None:
+        """Install the array-core engine's final state.
+
+        The engine works over flat int-indexed arrays; this writes its
+        outcome back into the dict-shaped views the rest of the pipeline
+        reads (``final_placement``, SABRE's two-fold search, pass stats),
+        preserving the dict key orders a legacy run would have produced:
+        all existing keys were created in ``__init__`` and only their
+        values change.  ``operations`` stays empty — the schedule lives
+        in ``packed`` (a :class:`~repro.sim.oparray.PackedOps`).
+        """
+        for zone_id in self.chains:
+            self.chains[zone_id] = list(chains[zone_id])
+        for qubit in self.location:
+            self.location[qubit] = location[qubit]
+        for qubit in self.last_used:
+            self.last_used[qubit] = last_used[qubit]
+        for zone_id in self.zone_usage:
+            self.zone_usage[zone_id] = zone_usage[zone_id]
+        self._clock = clock
+        self.stats = dict(stats)
+        self.packed_ops = packed

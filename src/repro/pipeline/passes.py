@@ -37,6 +37,7 @@ from ..core.swap_insertion import maybe_insert_swaps
 from ..hardware import Machine
 from ..sim import Program
 from ..sim.ops import MergeOp, SwapGateOp
+from ..sim.program import ArrayProgram
 from .context import CompileContext, CompileResult
 
 
@@ -461,6 +462,23 @@ class SchedulingPass:
             )
         config = _context_config(self.config, context)
         policy = self.swap_policy or self._default_policy(config)
+        if context.dag is None and context.state is None:
+            # Fresh context: try the array-core engine (flat int state,
+            # packed op records — byte-identical schedules, no op objects).
+            from ..core.arraycore import try_array_schedule
+
+            state = try_array_schedule(
+                context.circuit, context.machine, context.placement,
+                config, policy,
+            )
+            if state is not None:
+                context.state = state
+                context.record(
+                    self.name,
+                    scheduled_gates=float(len(context.circuit)),
+                    inserted_swaps=float(state.stats.get("inserted_swaps", 0)),
+                )
+                return
         if context.dag is None:
             context.dag = DependencyGraph(context.circuit)
         if context.state is None:
@@ -521,6 +539,28 @@ class PassPipeline:
                 f"(passes: {self.describe() or 'none'}); add a SchedulingPass"
             )
         elapsed = time.perf_counter() - started
+        packed = getattr(context.state, "packed_ops", None)
+        if packed is not None and not context.state.operations:
+            program: Program = ArrayProgram(
+                machine=machine,
+                circuit=circuit,
+                initial_placement=dict(context.placement),
+                packed=packed,
+                compiler_name=self.name,
+                compile_time_s=elapsed,
+                metadata={
+                    key: float(value)
+                    for key, value in context.state.stats.items()
+                },
+                final_placement=context.state.final_placement(),
+            )
+            return CompileResult(
+                program=program,
+                pass_stats={
+                    name: dict(s) for name, s in context.pass_stats.items()
+                },
+                diagnostics=tuple(context.diagnostics),
+            )
         program = Program(
             machine=machine,
             circuit=circuit,

@@ -426,9 +426,12 @@ class EventLedger:
         "inserted_swap_count",
         "remote_swap_count",
         "_timing_cache",
+        "_packed",
     )
 
-    def __init__(self, program: Program, trap_sizes: list[int], counts) -> None:
+    def __init__(
+        self, program: Program, trap_sizes: list[int], counts, packed=None
+    ) -> None:
         self.program = program
         #: ions-in-trap per op index (0 where not applicable).
         self.trap_sizes = trap_sizes
@@ -444,8 +447,13 @@ class EventLedger:
             self.remote_swap_count,
         ) = counts
         self._timing_cache: dict[tuple, _Timing] = {}
+        #: Packed records when the replay ran on them (array-core fast
+        #: path); the sink-less folds then skip op materialisation.
+        self._packed = packed
 
     def __len__(self) -> int:
+        if self._packed is not None:
+            return len(self._packed)
         return len(self.program.operations)
 
     # -- timing fold -----------------------------------------------------
@@ -478,6 +486,15 @@ class EventLedger:
         cached = self._timing_cache.get(signature)
         if cached is not None:
             return cached
+        packed = self._packed
+        if packed is not None and getattr(
+            self.program, "packed_view", None
+        ) is packed:
+            from .oparray import timing_fold_packed
+
+            timing = _Timing(*timing_fold_packed(self, packed, signature))
+            self._timing_cache[signature] = timing
+            return timing
 
         qubit_ready: dict[int, float] = {}
         zone_ready: dict[int, float] = {}
@@ -670,6 +687,34 @@ class EventLedger:
                 )
                 for zone in machine.zones
             }
+
+        packed = self._packed
+        if (
+            packed is not None
+            and sink is None
+            and zone_fiber_extra is None
+            and getattr(self.program, "packed_view", None) is packed
+        ):
+            from .oparray import fidelity_fold_packed
+
+            return fidelity_fold_packed(
+                self,
+                packed,
+                params,
+                (
+                    split_log,
+                    move_log,
+                    merge_log,
+                    chain_swap_log,
+                    one_qubit_log,
+                    fiber_log,
+                    split_nbar,
+                    move_nbar,
+                    merge_nbar,
+                    chain_swap_nbar,
+                    heating_rate,
+                ),
+            )
 
         heat: dict[int, float] = {
             zone.zone_id: 0.0 for zone in self.program.machine.zones
@@ -973,6 +1018,16 @@ def replay(program: Program) -> EventLedger:
     category.  Raises :class:`ExecutionError` on the first illegal op.
     """
     program.validate_placement()
+    packed = getattr(program, "packed_view", None)
+    if packed is not None:
+        from .oparray import replay_packed
+
+        result = replay_packed(program, packed)
+        if result is not None:
+            trap_sizes, counts = result
+            return EventLedger(program, trap_sizes, counts, packed=packed)
+        # Illegal or unsupported stream: fall through to the object replay
+        # (materialising the ops) so errors carry the canonical messages.
     state = _MachineReplay(program)
     operations = program.operations
     trap_sizes = [0] * len(operations)

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..circuits import QuantumCircuit
 from ..hardware import Machine
 from .ops import MoveOp, Operation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .oparray import PackedOps
 
 
 @dataclass
@@ -68,3 +72,74 @@ class Program:
         missing = set(range(self.circuit.num_qubits)) - seen
         if missing:
             raise ValueError(f"qubits never placed: {sorted(missing)}")
+
+
+class ArrayProgram(Program):
+    """A :class:`Program` whose op stream lives in packed int records.
+
+    Produced by the array-core scheduler: the schedule is carried as a
+    :class:`~repro.sim.oparray.PackedOps` and the ``operations`` list of
+    op dataclasses is only materialised on first access.  Pricing-side
+    consumers (:func:`repro.sim.events.replay` and the ledger folds) read
+    the packed form directly through :attr:`packed_view`, so a
+    compile + execute round trip never builds a single op object.
+
+    Once ``operations`` has been materialised (or assigned), the packed
+    view is withdrawn: the list is then the single mutable source of
+    truth, exactly like a plain :class:`Program` — callers that edit the
+    op stream (tests corrupting an op, multi-programming rewrites) get
+    object-replay semantics automatically.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        circuit: QuantumCircuit,
+        initial_placement: dict[int, tuple[int, ...]],
+        packed: "PackedOps",
+        compiler_name: str = "unknown",
+        compile_time_s: float = 0.0,
+        metadata: dict[str, float] | None = None,
+        final_placement: dict[int, tuple[int, ...]] | None = None,
+    ) -> None:
+        self.machine = machine
+        self.circuit = circuit
+        self.initial_placement = initial_placement
+        self.compiler_name = compiler_name
+        self.compile_time_s = compile_time_s
+        self.metadata = {} if metadata is None else metadata
+        self.final_placement = {} if final_placement is None else final_placement
+        self._packed = packed
+        self._materialized: list[Operation] | None = None
+
+    @property
+    def packed_view(self) -> "PackedOps | None":
+        """The packed records while they are still authoritative.
+
+        ``None`` once ``operations`` has been materialised — from then on
+        the object list may have been mutated and must be replayed as is.
+        """
+        return self._packed if self._materialized is None else None
+
+    @property  # type: ignore[override]
+    def operations(self) -> list[Operation]:
+        ops = self._materialized
+        if ops is None:
+            ops = self._materialized = self._packed.materialize(self.circuit)
+        return ops
+
+    @operations.setter
+    def operations(self, value: list[Operation]) -> None:
+        self._materialized = value
+
+    @property
+    def shuttle_count(self) -> int:
+        if self._materialized is None:
+            return self._packed.shuttle_count
+        return sum(1 for op in self._materialized if isinstance(op, MoveOp))
+
+    @property
+    def num_operations(self) -> int:
+        if self._materialized is None:
+            return len(self._packed.records)
+        return len(self._materialized)

@@ -137,7 +137,7 @@ class TestRunCompare:
 
     def test_nothing_to_judge_fails_loudly(self, baseline, tmp_path):
         old = self.write(tmp_path, "old.json", baseline)
-        other = make_payload([make_cell(workload="BV_n299")])
+        other = make_payload([make_cell(workload="QFT_n1024")])
         new = self.write(tmp_path, "new.json", other)
         text, code = run_compare(old, new, fail_over_pct=50)
         assert code == 2

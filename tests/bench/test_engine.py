@@ -17,7 +17,7 @@ REDUCED = {"applications": ("GHZ_n32",), "grids": ("2x2",)}
 class TestRegistry:
     def test_contains_all_drivers_plus_adhoc(self):
         registry = experiment_registry()
-        assert set(registry) == set(ALL_EXPERIMENTS) | {"adhoc"}
+        assert set(registry) == set(ALL_EXPERIMENTS) | {"adhoc", "micro"}
         assert "ablation" in registry
 
     def test_resolve_unknown_raises(self):

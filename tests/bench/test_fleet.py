@@ -51,7 +51,7 @@ class TestRunFleetBench:
             "environment": {"python": "3.11", "platform": "test"},
             "cells": [
                 {
-                    "workload": "GHZ_n16",
+                    "workload": "GHZ_n32",
                     "machine": "eml",
                     "compiler": "muss-ti",
                     "compile_s": 1.0,

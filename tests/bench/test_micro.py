@@ -42,6 +42,139 @@ class TestMicroGrid:
             micro.run_micro(repeats=0)
 
 
+class TestCellDedupe:
+    """Cell identity goes through resolved-machine canonicalisation —
+    equivalent spec spellings never produce duplicate grid rows."""
+
+    def test_committed_grid_has_no_duplicate_cells(self):
+        cells = micro.micro_cells()
+        keys = [
+            (
+                cell["workload"],
+                micro._resolved_machine_key(cell["workload"], cell["machine"]),
+                cell["compiler"],
+                cell.get("mode", "compile-execute"),
+            )
+            for cell in cells
+        ]
+        assert len(keys) == len(set(keys))
+        # The two QFT_n128 spellings name genuinely different machines
+        # (4 modules × capacity 64 vs 64 modules × capacity 4), so both
+        # survive dedupe.
+        assert len(cells) == len(micro.MICRO_GRID)
+
+    def test_equivalent_spellings_collapse(self, monkeypatch):
+        # "eml" sized by QFT_n64 resolves to the same machine as the
+        # pinned spelling; explicit defaults and key order collapse too.
+        pinned = micro._resolved_machine_key("QFT_n64", "eml")
+        grid = (
+            {"workload": "QFT_n64", "machine": "eml", "compiler": "muss-ti"},
+            {"workload": "QFT_n64", "machine": pinned, "compiler": "muss-ti"},
+            {
+                "workload": "QFT_n64",
+                "machine": pinned + "&operation=1",
+                "compiler": "muss-ti",
+            },
+        )
+        monkeypatch.setattr(micro, "MICRO_GRID", grid)
+        cells = micro.micro_cells()
+        assert len(cells) == 1
+        assert cells[0]["machine"] == "eml"  # first spelling wins
+
+    def test_distinct_workloads_do_not_collapse(self, monkeypatch):
+        grid = (
+            {"workload": "QFT_n32", "machine": "eml", "compiler": "muss-ti"},
+            {"workload": "QFT_n64", "machine": "eml", "compiler": "muss-ti"},
+        )
+        monkeypatch.setattr(micro, "MICRO_GRID", grid)
+        assert len(micro.micro_cells()) == 2
+
+    def test_mode_distinguishes_cells(self, monkeypatch):
+        grid = (
+            {"workload": "QFT_n32", "machine": "eml", "compiler": "muss-ti"},
+            {
+                "workload": "QFT_n32",
+                "machine": "eml",
+                "compiler": "muss-ti",
+                "mode": "reprice",
+            },
+        )
+        monkeypatch.setattr(micro, "MICRO_GRID", grid)
+        assert len(micro.micro_cells()) == 2
+
+
+class TestScaleGridAndSchemaV7:
+    def test_grid_reaches_256_modules_and_n1024(self):
+        workloads = {cell["workload"] for cell in micro.MICRO_GRID}
+        assert {"QFT_n512", "QFT_n1024"} <= workloads
+        from repro.hardware import parse_machine_spec
+
+        options = [
+            parse_machine_spec(cell["machine"])[1] for cell in micro.MICRO_GRID
+        ]
+        assert any(opts.get("modules") == 256 for opts in options)
+
+    def test_grid_workloads_stay_in_schema_enum(self):
+        plain = [cell for cell in micro.MICRO_GRID if "mode" not in cell]
+        assert {cell["workload"] for cell in plain} <= set(micro.MICRO_WORKLOADS)
+
+    def test_schema_v7_rejects_unknown_micro_workload(self):
+        payload = _micro_payload([_timing_cell(workload="Bogus_n5")])
+        with pytest.raises(micro.BenchSchemaError):
+            micro.validate_payload(payload)
+
+    def test_schema_v6_payloads_still_accepted(self):
+        payload = _micro_payload([_timing_cell()])
+        payload["schema_version"] = 6
+        micro.validate_payload(payload)
+
+
+class TestJobsAndProfile:
+    def test_jobs_payload_matches_serial_modulo_timings(self):
+        import copy
+
+        def masked(payload: dict) -> str:
+            clone = copy.deepcopy(payload)
+            clone["created_utc"] = "X"
+            clone["environment"] = {}
+            for cell in clone["cells"]:
+                for key in ("compile_s", "execute_s", "total_s",
+                            "reexecute_s", "speedup"):
+                    cell.pop(key, None)
+            return json.dumps(clone, sort_keys=True)
+
+        serial = micro.run_micro(repeats=1, cell_filter="workload=QFT_n32")
+        parallel = micro.run_micro(
+            repeats=1, cell_filter="workload=QFT_n32", jobs=2
+        )
+        assert len(serial["cells"]) == 2
+        assert masked(serial) == masked(parallel)
+
+    def test_profile_sink_receives_each_cell(self):
+        reports: list[tuple[dict, str]] = []
+        micro.run_micro(
+            repeats=1,
+            cell_filter="workload=GHZ_n32",
+            profile_sink=lambda cell, text: reports.append((cell, text)),
+        )
+        assert len(reports) == 1
+        cell, text = reports[0]
+        assert cell["workload"] == "GHZ_n32"
+        assert "cumulative" in text and "function calls" in text
+
+    def test_cli_profile_flag_prints_report(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench", "micro", "--quick", "--quiet", "--profile",
+                "--output", str(tmp_path / "BENCH_p.json"),
+                "--filter", "workload=GHZ_n32",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[micro profile] GHZ_n32" in err and "cumulative" in err
+
+
 class TestRepriceCell:
     def test_grid_carries_a_reprice_cell(self):
         modes = [cell.get("mode") for cell in micro.MICRO_GRID]

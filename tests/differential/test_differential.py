@@ -150,6 +150,18 @@ def test_dual_optical_machine_matches_reference() -> None:
     )
 
 
+@pytest.mark.slow
+def test_array_core_scale_cell_matches_reference() -> None:
+    """The array-core path stays byte-identical at QFT_n512 x 256 modules.
+
+    The micro grid's new large cells run through the packed array
+    scheduler; this pins the full op stream, placements, trace records
+    and report against the frozen seed at that scale (marked ``slow`` so
+    tier-1 stays fast).
+    """
+    compare_cell("QFT_n512", "eml?capacity=4&modules=256", MussTiConfig())
+
+
 def test_executor_rejects_like_reference() -> None:
     """A corrupted op stream fails both executors at the same op index."""
     from repro.sim import ExecutionError

